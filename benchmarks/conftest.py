@@ -1,0 +1,17 @@
+"""Shared fixtures for the benchmark suite.
+
+Benchmarks are kept small enough for CI; the paper-scale sweep is
+``python -m repro.bench all --full``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import build_events_axis_workload
+
+
+@pytest.fixture(scope="session")
+def small_workload():
+    """~10k observations with 10 rules (Fig. 9a smallest point)."""
+    return build_events_axis_workload(10_000, n_rules=10)

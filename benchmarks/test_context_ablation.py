@@ -1,0 +1,47 @@
+"""Ablation A1: parameter contexts on overlapping instances (paper §4.2).
+
+The paper argues chronicle is the only context that detects RFID events
+correctly when instances overlap; this benchmark measures each context's
+cost on the overlapping packing workload and asserts the correctness
+split (chronicle perfect, every other context imperfect).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.bench import context_ablation
+from repro.bench.ablations import _packing_event
+from repro.bench.harness import run_detection
+from repro.core.contexts import available_contexts
+from repro.rules import Rule
+from repro.simulator import PackingConfig, simulate_packing
+
+
+@pytest.fixture(scope="module")
+def overlap_trace():
+    return simulate_packing(PackingConfig(cases=100), rng=random.Random(17))
+
+
+@pytest.mark.parametrize("context", available_contexts())
+def test_bench_context(benchmark, overlap_trace, context):
+    rules = [Rule("r", "containment", _packing_event())]
+
+    def run():
+        return run_detection(rules, overlap_trace.observations, context=context)
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    benchmark.extra_info["detections"] = result.detections
+
+
+def test_only_chronicle_is_correct():
+    results = {result.context: result for result in context_ablation(cases=50)}
+    chronicle = results.pop("chronicle")
+    assert chronicle.correct_cases == chronicle.total_cases
+    for context, result in results.items():
+        assert result.correct_cases < result.total_cases, (
+            f"{context} unexpectedly recovered every containment; "
+            "the chronicle argument would be vacuous"
+        )

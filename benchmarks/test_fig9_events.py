@@ -1,0 +1,40 @@
+"""Fig. 9, events axis: total processing time vs number of primitive events.
+
+The paper reports almost-linear growth from 50k to 250k events at a
+fixed rule set.  The pytest-benchmark points use scaled-down streams;
+the assertion checks the series' per-event cost stays near constant
+(the linearity claim), and every run is verified against the workload's
+expected detection count so we never benchmark a silently-broken engine.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import build_events_axis_workload, run_detection
+
+EVENT_POINTS = (2_500, 5_000, 10_000, 20_000)
+
+
+@pytest.mark.parametrize("n_events", EVENT_POINTS)
+def test_fig9a_processing_time(benchmark, n_events):
+    workload = build_events_axis_workload(n_events, n_rules=10)
+
+    def run():
+        return run_detection(workload.rules, workload.observations)
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1, warmup_rounds=1)
+    assert result.detections == workload.expected_detections
+    benchmark.extra_info["events"] = result.n_events
+    benchmark.extra_info["detections"] = result.detections
+
+
+def test_fig9a_linearity():
+    """Per-event cost must not blow up across a 8x event-count range."""
+    from repro.bench import linearity_ratio, run_fig9a
+
+    results = run_fig9a(points=EVENT_POINTS, n_rules=10)
+    ratio = linearity_ratio(results)
+    # The paper claims near-linear scaling.  Allow generous slack for
+    # noisy CI machines: superlinear blowup would push this far above 2.
+    assert ratio < 2.0, f"per-event cost drifted {ratio:.2f}x across the sweep"

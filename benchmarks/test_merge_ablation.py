@@ -1,0 +1,54 @@
+"""Ablation A2: common sub-graph merging (paper §4.3).
+
+Fifty structurally identical rules should compile to one shared root
+with merging on, and to fifty disjoint sub-graphs with merging off; the
+merged engine does constant work regardless of the copy count.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.bench import merge_ablation, run_detection
+from repro.bench.ablations import _packing_event
+from repro.rules import Rule
+from repro.simulator import PackingConfig, simulate_packing
+
+
+@pytest.fixture(scope="module")
+def copies_workload():
+    trace = simulate_packing(PackingConfig(cases=100), rng=random.Random(5))
+    rules = [
+        Rule(f"copy-{index}", "containment", _packing_event()) for index in range(50)
+    ]
+    return trace, rules
+
+
+def test_bench_merged(benchmark, copies_workload):
+    trace, rules = copies_workload
+
+    def run():
+        return run_detection(rules, trace.observations, merge_common_subgraphs=True)
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    # Every copy fires on every case.
+    assert result.detections == len(trace.cases) * len(rules)
+
+
+def test_bench_unmerged(benchmark, copies_workload):
+    trace, rules = copies_workload
+
+    def run():
+        return run_detection(rules, trace.observations, merge_common_subgraphs=False)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result.detections == len(trace.cases) * len(rules)
+
+
+def test_merge_reduces_nodes_and_time():
+    result = merge_ablation(copies=50, cases=100)
+    assert result.merged_nodes < result.unmerged_nodes
+    assert result.node_reduction > 0.9
+    assert result.merged.elapsed_seconds < result.unmerged.elapsed_seconds

@@ -1,0 +1,66 @@
+"""NFA all-matches vs graph-engine chronicle: cost of not consuming.
+
+The SASE-style NFA keeps every partial run alive for the whole window,
+so dense streams multiply runs; the chronicle context consumes matched
+constituents and stays flat.  Both are measured on the same stream.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Engine, Observation, Var, Within, obs
+from repro.baselines import NfaSequenceDetector, PatternStep
+from repro.core.expressions import Seq
+
+
+@pytest.fixture(scope="module")
+def dense_stream():
+    """Many As per B inside one window — the NFA's worst shape."""
+    stream = []
+    time = 0.0
+    for block in range(60):
+        for index in range(15):
+            time += 0.1
+            stream.append(Observation("A", f"a{block}-{index}", time))
+        time += 0.5
+        stream.append(Observation("B", f"b{block}", time))
+    return stream
+
+
+def test_bench_nfa_all_matches(benchmark, dense_stream):
+    def run():
+        detector = NfaSequenceDetector(
+            [PatternStep(reader="A"), PatternStep(reader="B")], window=30.0
+        )
+        detector.run(dense_stream)
+        return detector
+
+    detector = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert len(detector.matches) > len(dense_stream)  # quadratic-ish output
+    benchmark.extra_info["matches"] = len(detector.matches)
+    benchmark.extra_info["peak_runs"] = detector.peak_runs
+
+
+def test_bench_engine_chronicle(benchmark, dense_stream):
+    def run():
+        engine = Engine()
+        engine.watch(Within(Seq(obs("A", Var("x")), obs("B", Var("y"))), 30.0))
+        return sum(1 for _ in engine.run(dense_stream))
+
+    detections = benchmark.pedantic(run, rounds=3, iterations=1)
+    # Chronicle pairs each B with exactly one A.
+    assert detections == 60
+    benchmark.extra_info["matches"] = detections
+
+
+def test_nfa_output_dwarfs_chronicle(dense_stream):
+    detector = NfaSequenceDetector(
+        [PatternStep(reader="A"), PatternStep(reader="B")], window=30.0
+    )
+    detector.run(dense_stream)
+    engine = Engine()
+    engine.watch(Within(Seq(obs("A", Var("x")), obs("B", Var("y"))), 30.0))
+    chronicle = sum(1 for _ in engine.run(dense_stream))
+    assert len(detector.matches) > 10 * chronicle
+    assert detector.peak_runs > 100

@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Distributed edge detection: shard rules and traffic across sites.
+
+Four packing lines at four sites, one containment rule each.  A
+:class:`ShardedEngine` places each rule on its own shard (rules sharing
+readers would co-locate automatically) and routes every observation only
+to the shard that needs it — the edge architecture behind the paper's
+"streams collected from multiple readers at distributed locations".
+
+Run:  python examples/distributed_edge.py
+"""
+
+from repro import Engine, TSeq, TSeqPlus, Var, obs
+from repro.core.sharding import ShardedEngine
+from repro.rules import Rule
+from repro.simulator import simulate_multi_packing
+
+
+def containment(rule_id, item_reader, case_reader):
+    return Rule(
+        rule_id,
+        f"containment at {item_reader[:-2]}",
+        TSeq(
+            TSeqPlus(obs(item_reader, Var("o1")), 0.1, 1.0),
+            obs(case_reader, Var("o2")),
+            10,
+            20,
+        ),
+    )
+
+
+def main() -> None:
+    workload = simulate_multi_packing(lines=4, cases_per_line=25, seed=3)
+    rules = [
+        containment(f"site-{index}", item_reader, case_reader)
+        for index, (item_reader, case_reader) in enumerate(workload.reader_pairs)
+    ]
+    print(f"{len(workload.observations)} observations across "
+          f"{len(workload.reader_pairs)} sites")
+
+    sharded = ShardedEngine(
+        [containment(f"site-{i}", a, b)
+         for i, (a, b) in enumerate(workload.reader_pairs)],
+        max_shards=4,
+    )
+    sharded_detections = sum(1 for _ in sharded.run(workload.observations))
+
+    print("\nplacement:")
+    for shard, rule_ids in sorted(sharded.placement().items()):
+        print(f"  {shard}: {', '.join(rule_ids)}")
+    print("\ntraffic per shard (each observation visits exactly one):")
+    for shard, count in sorted(sharded.traffic_summary().items()):
+        print(f"  {shard}: {count} observations")
+    print(f"  multicast observations: {sharded.multicast}")
+
+    single = Engine(rules)
+    single_detections = sum(1 for _ in single.run(workload.observations))
+
+    print(f"\ndetections — sharded: {sharded_detections}, "
+          f"single engine: {single_detections}")
+    assert sharded_detections == single_detections == 4 * 25
+    print("sharded detection is equivalent to the single engine")
+
+
+if __name__ == "__main__":
+    main()

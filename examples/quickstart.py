@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""Quickstart: detect complex RFID events with RCEDA.
+
+Builds the paper's Fig. 4 event — a distance-constrained run of item
+readings followed by a case reading — feeds the exact event history from
+the figure, and prints the two detected packing instances that a
+traditional type-level ECA engine would miss.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import Engine, Observation, TSeq, TSeqPlus, Var, obs
+
+# Event types: items pass reader r1, cases pass reader r2 (paper §2.1).
+item = obs("r1", Var("item"))
+case = obs("r2", Var("case"))
+
+# The complex event of Fig. 4: one-or-more items at most 1s apart,
+# followed 5-10s later by the case they were packed into (paper §2.2).
+packing = TSeq(TSeqPlus(item, "0sec", "1sec"), case, "5sec", "10sec")
+
+
+def main() -> None:
+    engine = Engine()
+    engine.watch(packing, name="packing")
+
+    history = [
+        Observation("r1", "pencil", 1.0),
+        Observation("r1", "eraser", 2.0),
+        Observation("r1", "ruler", 3.0),
+        Observation("r1", "marker", 5.0),
+        Observation("r1", "crayon", 6.0),
+        Observation("r1", "sharpener", 7.0),
+        Observation("r2", "case-A", 12.0),
+        Observation("r2", "case-B", 15.0),
+    ]
+
+    print("Detecting", packing)
+    print()
+    for detection in engine.run(history):
+        observations = detection.instance.observations()
+        *items, case_reading = observations
+        print(
+            f"t={detection.time:5.1f}  case {case_reading.obj!r} packed with "
+            f"{[reading.obj for reading in items]}"
+        )
+    stats = engine.stats
+    print()
+    print(
+        f"processed {stats.observations} observations, "
+        f"{stats.pseudo_fired} pseudo events fired, "
+        f"{stats.detections} detections"
+    )
+
+
+if __name__ == "__main__":
+    main()

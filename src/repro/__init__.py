@@ -1,0 +1,88 @@
+"""repro — RCEDA: complex event processing for RFID data streams.
+
+A from-scratch reproduction of Wang, Liu, Liu & Bai, *Bridging Physical
+and Virtual Worlds: Complex Event Processing for RFID Data Streams*
+(EDBT 2006).  See ``README.md`` for a tour and ``DESIGN.md`` for the
+system inventory.
+
+The most frequently used names are re-exported here::
+
+    from repro import Engine, Rule, Observation, obs, Var, TSeq, TSeqPlus
+"""
+
+from .core import (
+    INFINITY,
+    All,
+    And,
+    Any,
+    CompileError,
+    CompositeInstance,
+    Detection,
+    Engine,
+    EventExpr,
+    EventGraph,
+    EventInstance,
+    ExpressionError,
+    FunctionRegistry,
+    InvalidRuleError,
+    Mode,
+    NegationInstance,
+    Not,
+    Observation,
+    Or,
+    Periodic,
+    PrimitiveInstance,
+    ReproError,
+    Seq,
+    SeqPlus,
+    TimeOrderError,
+    TSeq,
+    TSeqPlus,
+    Var,
+    Within,
+    dist,
+    interval,
+    obs,
+    parse_duration,
+    span,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "All",
+    "And",
+    "Any",
+    "CompileError",
+    "CompositeInstance",
+    "Detection",
+    "dist",
+    "Engine",
+    "EventExpr",
+    "EventGraph",
+    "EventInstance",
+    "ExpressionError",
+    "FunctionRegistry",
+    "INFINITY",
+    "interval",
+    "InvalidRuleError",
+    "Mode",
+    "NegationInstance",
+    "Not",
+    "obs",
+    "Observation",
+    "Or",
+    "parse_duration",
+    "Periodic",
+    "PrimitiveInstance",
+    "ReproError",
+    "Seq",
+    "SeqPlus",
+    "span",
+    "TimeOrderError",
+    "TSeq",
+    "TSeqPlus",
+    "Var",
+    "Within",
+    "__version__",
+]

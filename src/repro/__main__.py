@@ -1,0 +1,156 @@
+"""Command-line interface for the RCEDA reproduction.
+
+Usage::
+
+    python -m repro record --scenario supply-chain --out stream.jsonl
+    python -m repro run --rules rules.txt --stream stream.jsonl [--store out.json]
+    python -m repro graph --rules rules.txt            # DOT to stdout
+    python -m repro demo                                # end-to-end demo
+
+Benchmarks live under ``python -m repro.bench`` (see its ``--help``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .core.detector import Engine, FunctionRegistry
+from .core.visualize import engine_to_dot
+from .lang import parse_program
+from .readers import load_stream, save_stream
+from .store import RfidStore
+
+
+def _cmd_record(arguments: argparse.Namespace) -> int:
+    from .simulator import (
+        PackingConfig,
+        SupplyChainConfig,
+        simulate_packing,
+        simulate_supply_chain,
+    )
+
+    if arguments.scenario == "packing":
+        import random
+
+        trace = simulate_packing(
+            PackingConfig(cases=arguments.cases),
+            rng=random.Random(arguments.seed),
+        )
+        observations = trace.observations
+    else:
+        config = SupplyChainConfig(seed=arguments.seed)
+        observations = simulate_supply_chain(config).observations
+    count = save_stream(observations, arguments.out)
+    print(f"recorded {count} observations to {arguments.out}")
+    return 0
+
+
+def _load_rules(path: str):
+    with open(path) as handle:
+        return parse_program(handle.read())
+
+
+def _cmd_run(arguments: argparse.Namespace) -> int:
+    program = _load_rules(arguments.rules)
+    observations = load_stream(arguments.stream)
+    store = RfidStore()
+    engine = Engine(program.rules, store=store, functions=FunctionRegistry())
+    detections = 0
+    for observation in observations:
+        detections += len(engine.submit(observation))
+    detections += len(engine.flush())
+    print(f"{len(observations)} observations, {detections} detections")
+    for rule_id, count in sorted(engine.stats.per_rule.items()):
+        print(f"  {rule_id}: {count}")
+    if store.alerts:
+        print("alerts:")
+        for rule_id, message, timestamp in store.alerts:
+            print(f"  [{rule_id}] t={timestamp:g} {message}")
+    if arguments.store:
+        store.save_json(arguments.store)
+        print(f"store snapshot written to {arguments.store}")
+    return 0
+
+
+def _cmd_graph(arguments: argparse.Namespace) -> int:
+    program = _load_rules(arguments.rules)
+    engine = Engine(program.rules)
+    print(engine_to_dot(engine))
+    return 0
+
+
+def _cmd_inspect(arguments: argparse.Namespace) -> int:
+    from .store import render_summary, render_timeline
+
+    store = RfidStore.load_json(arguments.store)
+    print(render_summary(store))
+    if arguments.object:
+        print()
+        print(render_timeline(store, arguments.object))
+        parent = store.parent_of(arguments.object)
+        if parent is not None:
+            print(f"  currently contained in {parent}")
+    return 0
+
+
+def _cmd_demo(_arguments: argparse.Namespace) -> int:
+    import random
+
+    from .apps import RfidMiddleware, containment_rule, location_rule
+    from .simulator import PackingConfig, simulate_packing
+
+    config = PackingConfig(cases=3, items_per_case=3)
+    trace = simulate_packing(config, rng=random.Random(1))
+    middleware = RfidMiddleware()
+    middleware.store.place_reader(config.item_reader, "conveyor")
+    middleware.store.place_reader(config.case_reader, "packing")
+    middleware.add_rules([containment_rule(), location_rule()])
+    middleware.process(trace.observations)
+    print("packing demo — containment derived from the raw stream:")
+    for case in trace.cases:
+        print(f"  case {case.case_epc}")
+        for item in middleware.store.contents_of(case.case_epc):
+            print(f"    {item}")
+    return 0
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="RCEDA: complex event processing for RFID data streams.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    record = commands.add_parser("record", help="record a simulated stream")
+    record.add_argument("--scenario", choices=("packing", "supply-chain"),
+                        default="supply-chain")
+    record.add_argument("--out", required=True)
+    record.add_argument("--seed", type=int, default=7)
+    record.add_argument("--cases", type=int, default=20)
+    record.set_defaults(handler=_cmd_record)
+
+    run = commands.add_parser("run", help="run a rule program over a stream")
+    run.add_argument("--rules", required=True, help="rule program file")
+    run.add_argument("--stream", required=True, help="JSONL observation file")
+    run.add_argument("--store", help="write the resulting store snapshot here")
+    run.set_defaults(handler=_cmd_run)
+
+    graph = commands.add_parser("graph", help="print a rule program's event graph as DOT")
+    graph.add_argument("--rules", required=True)
+    graph.set_defaults(handler=_cmd_graph)
+
+    inspect = commands.add_parser("inspect", help="inspect a store snapshot")
+    inspect.add_argument("--store", required=True, help="store JSON file")
+    inspect.add_argument("--object", help="render one object's timeline")
+    inspect.set_defaults(handler=_cmd_inspect)
+
+    demo = commands.add_parser("demo", help="quick end-to-end demo")
+    demo.set_defaults(handler=_cmd_demo)
+
+    arguments = parser.parse_args(argv)
+    return arguments.handler(arguments)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,22 @@
+"""Prebuilt RFID applications on top of the rule engine (paper §3).
+
+Each builder returns a :class:`repro.rules.Rule` parameterized for a
+deployment; :class:`RfidMiddleware` wires the engine, store and
+registries together for application code.
+"""
+
+from .checkout import SOLD_LOCATION, sale_rule
+from .containment import containment_rule, unpacking_rule
+from .location import location_rule
+from .middleware import RfidMiddleware
+from .monitoring import asset_monitoring_rule
+
+__all__ = [
+    "asset_monitoring_rule",
+    "containment_rule",
+    "location_rule",
+    "RfidMiddleware",
+    "sale_rule",
+    "SOLD_LOCATION",
+    "unpacking_rule",
+]

@@ -1,0 +1,48 @@
+"""Point-of-sale application: the end of an object's supply-chain life.
+
+A reading by a POS reader means the object was sold: record the sale,
+move the object to the ``sold`` location and close its open containment
+period (the item leaves its case/pallet for good).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..core.detector import ActivationContext
+from ..core.expressions import Var, obs
+from ..rules import CallableAction, Rule
+
+#: Symbolic location recorded for sold objects.
+SOLD_LOCATION = "sold"
+
+
+def sale_rule(
+    pos_readers: Sequence[str] = ("pos1",),
+    group: Optional[str] = None,
+    rule_id: str = "r6",
+) -> Rule:
+    """Record sales from the given POS readers (or a reader group)."""
+    if group is not None:
+        event = obs(None, Var("o"), group=group, t=Var("t"))
+    elif len(pos_readers) == 1:
+        event = obs(pos_readers[0], Var("o"), t=Var("t"))
+    else:
+        readers = frozenset(pos_readers)
+        event = obs(
+            None,
+            Var("o"),
+            where=lambda observation: observation.reader in readers,
+            t=Var("t"),
+        )
+
+    def record_sale(context: ActivationContext) -> None:
+        observation = context.observations()[0]
+        store = context.store
+        store.database.table("SALE").insert(
+            [observation.obj, observation.reader, observation.timestamp]
+        )
+        store.update_location(observation.obj, SOLD_LOCATION, observation.timestamp)
+        store.end_containment(observation.obj, observation.timestamp)
+
+    return Rule(rule_id, "sale rule", event, actions=[CallableAction(record_sale)])

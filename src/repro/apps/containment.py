@@ -1,0 +1,80 @@
+"""Containment aggregation application (paper §3.2, Rule 4).
+
+Builds the distance-constrained packing rule for a conveyor's reader
+pair and writes detected containments into the RFID store — the
+automatic solution to the data-aggregation problem the paper highlights
+as previously unsolved.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.expressions import TSeq, TSeqPlus, Var, obs
+from ..rules import Rule
+
+
+def containment_rule(
+    item_reader: Optional[str] = "r1",
+    case_reader: Optional[str] = "r2",
+    item_gap: tuple[float, float] = (0.1, 1.0),
+    case_delay: tuple[float, float] = (10.0, 20.0),
+    rule_id: str = "r4",
+    item_group: Optional[str] = None,
+    case_group: Optional[str] = None,
+    item_type: Optional[str] = None,
+    case_type: Optional[str] = None,
+) -> Rule:
+    """The paper's Rule 4, parameterized over readers, groups and bounds.
+
+    ``TSEQ(TSEQ+(E1, item_gap); E2, case_delay)`` with a BULK INSERT of
+    one OBJECTCONTAINMENT row per packed item.
+    """
+    item_event = obs(
+        item_reader if item_group is None else None,
+        Var("o1"),
+        group=item_group,
+        obj_type=item_type,
+        t=Var("t1"),
+    )
+    case_event = obs(
+        case_reader if case_group is None else None,
+        Var("o2"),
+        group=case_group,
+        obj_type=case_type,
+        t=Var("t2"),
+    )
+    event = TSeq(
+        TSeqPlus(item_event, item_gap[0], item_gap[1]),
+        case_event,
+        case_delay[0],
+        case_delay[1],
+    )
+    return Rule(
+        rule_id,
+        "containment rule",
+        event,
+        actions=["BULK INSERT INTO CONTAINMENT VALUES (o1, o2, t2, 'UC')"],
+    )
+
+
+def unpacking_rule(
+    case_reader: str,
+    rule_id: str = "r4u",
+) -> Rule:
+    """Close open containments when a case passes an unpacking station.
+
+    A natural extension of Rule 4 for the reverse flow: any case seen at
+    the unpacking reader has its children's containment periods ended at
+    the observation timestamp.
+    """
+    event = obs(case_reader, Var("o2"), t=Var("t2"))
+    return Rule(
+        rule_id,
+        "unpacking rule",
+        event,
+        actions=[
+            "UPDATE OBJECTCONTAINMENT SET tend = t2 "
+            "WHERE parent_epc = o2 AND tend = 'UC'"
+        ],
+    )

@@ -1,0 +1,52 @@
+"""Location transformation application (paper §3.2, Rule 3).
+
+Every reader observation implies the observed object entered the
+location where that reader resides; the rule closes the object's current
+location period and opens a new one.  The reader→location mapping comes
+from the store's READERLOCATION table, which deployments populate with
+:meth:`RfidStore.place_reader`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.detector import ActivationContext
+from ..core.expressions import Var, obs
+from ..rules import CallableAction, Rule
+
+
+def location_rule(
+    reader: Optional[str] = None,
+    group: Optional[str] = None,
+    rule_id: str = "r3",
+    record_observation: bool = False,
+) -> Rule:
+    """The paper's Rule 3, resolving the location via READERLOCATION.
+
+    With no ``reader``/``group`` the rule applies to every portal reader
+    that has a location on record; readers without one are ignored
+    (hand-held scanners should not corrupt location history).
+    """
+    event = obs(
+        reader if group is None else None, Var("o"), group=group, t=Var("t")
+    )
+
+    def change_location(context: ActivationContext) -> None:
+        observation = context.observations()[0]
+        store = context.store
+        location = store.reader_location(observation.reader)
+        if location is None:
+            return
+        store.update_location(observation.obj, location, observation.timestamp)
+        if record_observation:
+            store.record_observation(
+                observation.reader, observation.obj, observation.timestamp
+            )
+
+    return Rule(
+        rule_id,
+        "location change rule",
+        event,
+        actions=[CallableAction(change_location)],
+    )

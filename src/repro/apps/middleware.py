@@ -1,0 +1,82 @@
+"""The middleware facade: engine + store + functions wired together.
+
+This is the "integrated RFID solutions" layer the paper says the
+technology was folded into (Siemens RFID Middleware): one object that
+owns the data store, the ``type()``/``group()`` registries and the
+detection engine, and onto which applications hang prebuilt rule sets
+(containment aggregation, location tracking, asset monitoring, shelf
+filtering) before the stream starts.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from ..core.detector import Detection, Engine, FunctionRegistry
+from ..core.instances import Observation
+from ..epc import ReaderGroupRegistry, TypeRegistry
+from ..rules import Rule
+from ..store import RfidStore
+
+
+class RfidMiddleware:
+    """Owns the substrate objects and the engine for one deployment.
+
+    >>> middleware = RfidMiddleware()
+    >>> middleware.types.register_fallback("tag1", "case")
+    >>> middleware.groups.assign("r7", "dock")
+    """
+
+    def __init__(
+        self,
+        store: Optional[RfidStore] = None,
+        types: Optional[TypeRegistry] = None,
+        groups: Optional[ReaderGroupRegistry] = None,
+        context: str = "chronicle",
+        record_detections: bool = False,
+    ) -> None:
+        self.store = store if store is not None else RfidStore()
+        self.types = types if types is not None else TypeRegistry()
+        self.groups = groups if groups is not None else ReaderGroupRegistry()
+        self.record_detections = record_detections
+        self.engine = Engine(
+            store=self.store,
+            context=context,
+            functions=FunctionRegistry(group=self.groups, obj_type=self.types),
+        )
+
+    def add_rule(self, rule: Rule) -> None:
+        self.engine.add_rule(rule)
+
+    def add_rules(self, rules: Iterable[Rule]) -> None:
+        for rule in rules:
+            self.add_rule(rule)
+
+    def add_program(self, source: str) -> list[Rule]:
+        """Parse rule language source and register every rule."""
+        from ..lang import parse_rules
+
+        rules = parse_rules(source)
+        self.add_rules(rules)
+        return rules
+
+    def process(self, observations: Iterable[Observation]) -> list[Detection]:
+        """Feed a stream, flush expirations, return every detection.
+
+        With ``record_detections`` the paper's Fig. 2 loop is closed: each
+        detection is also written to the store's DETECTION table.
+        """
+        detections: list[Detection] = []
+        for observation in observations:
+            detections.extend(self.engine.submit(observation))
+        detections.extend(self.engine.flush())
+        if self.record_detections:
+            for detection in detections:
+                self.store.record_detection(detection)
+        return detections
+
+    def submit(self, observation: Observation) -> list[Detection]:
+        return self.engine.submit(observation)
+
+    def flush(self) -> list[Detection]:
+        return self.engine.flush()

@@ -1,0 +1,49 @@
+"""Real-time asset monitoring application (paper §3.3, Rule 5).
+
+A tagged asset (e.g. a laptop) leaving through a monitored gate without
+an authorized escort (a ``superuser`` badge within τ on either side)
+raises an alert — the paper's Example 2, with the two-sided negation
+window of its Fig. 8 semantics.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..core.detector import ActivationContext
+from ..core.expressions import And, Not, Var, Within, obs
+from ..rules import AlertAction, CallableAction, Rule
+
+AlarmCallback = Callable[[str, float], None]  # (asset EPC, detection time)
+
+
+def asset_monitoring_rule(
+    gate_reader: str = "r4",
+    tau: float = 5.0,
+    asset_type: str = "laptop",
+    authorized_type: str = "superuser",
+    on_alarm: Optional[AlarmCallback] = None,
+    rule_id: str = "r5",
+) -> Rule:
+    """The paper's Rule 5: ``WITHIN(E4 ∧ ¬E5, τ)`` at the gate reader.
+
+    With no callback the action records a formatted alert in the store.
+    """
+    asset = obs(gate_reader, Var("o4"), obj_type=asset_type, t=Var("t4"))
+    badge = obs(gate_reader, Var("o5"), obj_type=authorized_type, t=Var("t5"))
+    event = Within(And(asset, Not(badge)), tau)
+
+    if on_alarm is None:
+        actions = [
+            AlertAction(
+                f"unauthorized {asset_type} {{o4}} at gate "
+                f"{gate_reader} (detected {{time}})"
+            )
+        ]
+    else:
+        def alarm(context: ActivationContext) -> None:
+            on_alarm(context.bindings["o4"], context.time)
+
+        actions = [CallableAction(alarm)]
+
+    return Rule(rule_id, "asset monitoring rule", event, actions=actions)

@@ -1,0 +1,21 @@
+"""Baseline and comparison detectors.
+
+* :class:`TypeLevelEcaDetector` — temporal constraints as post-hoc
+  conditions; misses valid matches (the paper's Fig. 4 counter-example);
+* :class:`RescanDetector` — full re-evaluation per arrival; correct but
+  quadratic;
+* :class:`NfaSequenceDetector` — SASE-style all-matches NFA for sequence
+  patterns; cross-validates the graph engine's unrestricted context and
+  demonstrates the run blowup that consumption-based contexts avoid.
+"""
+
+from .naive_eca import RescanDetector, TypeLevelCandidate, TypeLevelEcaDetector
+from .nfa import NfaSequenceDetector, PatternStep
+
+__all__ = [
+    "NfaSequenceDetector",
+    "PatternStep",
+    "RescanDetector",
+    "TypeLevelCandidate",
+    "TypeLevelEcaDetector",
+]

@@ -1,0 +1,145 @@
+"""Baselines: traditional ECA detection and naive re-evaluation.
+
+:class:`TypeLevelEcaDetector` reproduces the failure mode of §4.1: a
+traditional ECA engine detects complex events at *type* level — the
+aperiodic sequence collects every ``E1`` instance, with no instance
+level temporal checks — and only afterwards applies the temporal
+constraints as condition predicates on the whole candidate.  On the
+paper's Fig. 4 history the single type-level candidate
+``{e1@1, e1@2, e1@3, e1@5, e1@6, e1@7} ; e2@12`` violates the 1-second
+adjacency bound (the 3→5 gap), so the condition rejects it and *no*
+instance of the complex event is ever reported — although two perfectly
+valid instances exist.  RCEDA, checking constraints during detection,
+finds both.
+
+:class:`RescanDetector` is the cost baseline: semantically identical to
+the incremental engine, but re-running detection over the entire history
+on every arrival (the "re-evaluate on trigger" strategy of early active
+database implementations).  It demonstrates why incremental graph-based
+detection is needed at stream rates.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Optional
+
+from ..core.detector import Engine
+from ..core.expressions import EventExpr
+from ..core.instances import Observation
+
+
+class TypeLevelCandidate:
+    """A candidate emitted by type-level detection, before conditions."""
+
+    __slots__ = ("members", "terminator")
+
+    def __init__(self, members: list[Observation], terminator: Observation) -> None:
+        self.members = members
+        self.terminator = terminator
+
+    def adjacent_gaps(self) -> list[float]:
+        return [
+            second.timestamp - first.timestamp
+            for first, second in zip(self.members, self.members[1:])
+        ]
+
+    def terminator_distance(self) -> float:
+        return self.terminator.timestamp - self.members[-1].timestamp
+
+
+class TypeLevelEcaDetector:
+    """Traditional ECA detection of ``TSEQ(TSEQ+(E1,l1,u1); E2,l2,u2)``.
+
+    Detection phase (type level): buffer every matching ``E1``; an ``E2``
+    arrival terminates the buffered run as one candidate and resets the
+    buffer.  Condition phase: check the paper's temporal constraints on
+    the candidate as ordinary predicates, rejecting it wholesale on any
+    violation.
+    """
+
+    def __init__(
+        self,
+        item_match: "str | Callable[[Observation], bool]",
+        case_match: "str | Callable[[Observation], bool]",
+        item_gap: tuple[float, float],
+        case_delay: tuple[float, float],
+    ) -> None:
+        self.item_match = self._as_predicate(item_match)
+        self.case_match = self._as_predicate(case_match)
+        self.item_gap = item_gap
+        self.case_delay = case_delay
+        self._buffer: list[Observation] = []
+        self.candidates: list[TypeLevelCandidate] = []
+        self.accepted: list[TypeLevelCandidate] = []
+        self.rejected: list[TypeLevelCandidate] = []
+
+    @staticmethod
+    def _as_predicate(
+        match: "str | Callable[[Observation], bool]",
+    ) -> Callable[[Observation], bool]:
+        if callable(match):
+            return match
+        return lambda observation: observation.reader == match
+
+    def submit(self, observation: Observation) -> Optional[TypeLevelCandidate]:
+        """Process one observation; returns an *accepted* candidate or None."""
+        if self.item_match(observation):
+            self._buffer.append(observation)
+            return None
+        if not self.case_match(observation) or not self._buffer:
+            return None
+        candidate = TypeLevelCandidate(self._buffer, observation)
+        self._buffer = []
+        self.candidates.append(candidate)
+        if self._condition(candidate):
+            self.accepted.append(candidate)
+            return candidate
+        self.rejected.append(candidate)
+        return None
+
+    def run(self, observations: Iterable[Observation]) -> list[TypeLevelCandidate]:
+        """Process a stream; returns all accepted candidates."""
+        for observation in observations:
+            self.submit(observation)
+        return list(self.accepted)
+
+    def _condition(self, candidate: TypeLevelCandidate) -> bool:
+        """The temporal constraints, demoted to a post-hoc condition."""
+        low, high = self.item_gap
+        for gap in candidate.adjacent_gaps():
+            if not low <= gap <= high:
+                return False
+        distance = candidate.terminator_distance()
+        return self.case_delay[0] <= distance <= self.case_delay[1]
+
+
+class RescanDetector:
+    """Naive re-evaluation: rerun full detection on every arrival.
+
+    Semantically equivalent to the incremental engine (it literally runs
+    one), but cost grows quadratically with history length — the
+    baseline for the incremental-vs-recompute ablation.
+    """
+
+    def __init__(self, event: EventExpr, context: str = "chronicle") -> None:
+        self.event = event
+        self.context = context
+        self.history: list[Observation] = []
+        self.detections = 0
+
+    def submit(self, observation: Observation) -> int:
+        """Append and re-detect from scratch; returns new detection count."""
+        self.history.append(observation)
+        engine = Engine(context=self.context)
+        engine.watch(self.event)
+        count = 0
+        for _detection in engine.run(list(self.history)):
+            count += 1
+        previously = self.detections
+        self.detections = count
+        return count - previously
+
+    def run(self, observations: Iterable[Observation]) -> int:
+        for observation in observations:
+            self.submit(observation)
+        return self.detections

@@ -1,0 +1,119 @@
+"""An NFA-based sequence detector (SASE-style baseline).
+
+A second, structurally different detection algorithm for sequence
+patterns, in the style of the later SASE/Cayuga stream systems: a
+pattern ``SEQ(s1, s2, ..., sn) WITHIN w`` is an automaton whose partial
+*runs* each hold the observations matched so far; every arriving event
+may extend any compatible run (nondeterministically — runs are copied,
+not consumed) and completed runs are matches.
+
+Purpose here:
+
+* **differential validation** — on sequence patterns, the NFA's
+  all-matches semantics must coincide with the graph engine under the
+  *unrestricted* parameter context (`tests/test_nfa.py` checks this on
+  random streams);
+* **cost contrast** — without consumption, partial runs multiply; the
+  benchmark shows the blowup the chronicle context avoids.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Optional, Sequence
+
+from ..core.instances import Observation
+
+
+@dataclass(frozen=True)
+class PatternStep:
+    """One step of a sequence pattern: filters on a single observation."""
+
+    reader: Optional[str] = None
+    obj: Optional[str] = None
+    predicate: Optional[Callable[[Observation], bool]] = None
+
+    def matches(self, observation: Observation) -> bool:
+        if self.reader is not None and observation.reader != self.reader:
+            return False
+        if self.obj is not None and observation.obj != self.obj:
+            return False
+        if self.predicate is not None and not self.predicate(observation):
+            return False
+        return True
+
+
+class NfaSequenceDetector:
+    """All-matches detection of ``SEQ(s1; ...; sn)`` within a window.
+
+    ``correlate_object=True`` adds the equality constraint the paper's
+    rules express with shared variables: every step must observe the
+    same object.
+
+    >>> detector = NfaSequenceDetector(
+    ...     [PatternStep(reader="A"), PatternStep(reader="B")], window=10.0
+    ... )
+    >>> _ = detector.submit(Observation("A", "x", 0.0))
+    >>> [tuple(o.reader for o in m) for m in detector.submit(
+    ...     Observation("B", "x", 1.0))]
+    [('A', 'B')]
+    """
+
+    def __init__(
+        self,
+        steps: Sequence[PatternStep],
+        window: float,
+        correlate_object: bool = False,
+    ) -> None:
+        if not steps:
+            raise ValueError("a pattern needs at least one step")
+        if window <= 0:
+            raise ValueError("window must be positive")
+        self.steps = list(steps)
+        self.window = window
+        self.correlate_object = correlate_object
+        #: partial runs: tuples of matched observations, len < len(steps)
+        self.runs: list[tuple[Observation, ...]] = []
+        self.matches: list[tuple[Observation, ...]] = []
+        #: peak number of simultaneously live partial runs (cost metric)
+        self.peak_runs = 0
+
+    def submit(self, observation: Observation) -> list[tuple[Observation, ...]]:
+        """Process one observation; returns the matches it completed."""
+        time = observation.timestamp
+        # Expire runs that can no longer complete inside the window.
+        self.runs = [
+            run for run in self.runs if time - run[0].timestamp <= self.window
+        ]
+        completed: list[tuple[Observation, ...]] = []
+        extended: list[tuple[Observation, ...]] = []
+        for run in self.runs:
+            step = self.steps[len(run)]
+            if not step.matches(observation):
+                continue
+            if observation.timestamp <= run[-1].timestamp:
+                continue  # strict sequence order
+            if self.correlate_object and observation.obj != run[0].obj:
+                continue
+            if observation.timestamp - run[0].timestamp > self.window:
+                continue
+            new_run = run + (observation,)
+            if len(new_run) == len(self.steps):
+                completed.append(new_run)
+            else:
+                extended.append(new_run)
+        if self.steps[0].matches(observation):
+            start = (observation,)
+            if len(self.steps) == 1:
+                completed.append(start)
+            else:
+                extended.append(start)
+        self.runs.extend(extended)
+        self.peak_runs = max(self.peak_runs, len(self.runs))
+        self.matches.extend(completed)
+        return completed
+
+    def run(self, observations: Iterable[Observation]) -> list[tuple[Observation, ...]]:
+        for observation in observations:
+            self.submit(observation)
+        return list(self.matches)

@@ -1,0 +1,71 @@
+"""Benchmark harness: regenerates the paper's evaluation (Fig. 9 + Fig. 4)
+and the ablations for the design choices of §4.
+
+Run ``python -m repro.bench all`` for the full sweep.
+"""
+
+from .ablations import (
+    ContextResult,
+    Fig4Result,
+    IncrementalResult,
+    MergeResult,
+    context_ablation,
+    fig4_comparison,
+    incremental_ablation,
+    merge_ablation,
+)
+from .fig9 import (
+    PAPER_EVENT_POINTS,
+    PAPER_RULE_POINTS,
+    SMALL_EVENT_POINTS,
+    SMALL_RULE_POINTS,
+    fig9a_table,
+    fig9b_table,
+    linearity_ratio,
+    run_fig9a,
+    run_fig9b,
+)
+from .harness import (
+    BenchResult,
+    LatencyResult,
+    format_table,
+    run_detection,
+    run_with_latency,
+)
+from .workloads import (
+    EVENTS_PER_CASE,
+    Fig9Workload,
+    build_events_axis_workload,
+    build_rules_axis_workload,
+    containment_rule_for_pair,
+)
+
+__all__ = [
+    "BenchResult",
+    "build_events_axis_workload",
+    "build_rules_axis_workload",
+    "containment_rule_for_pair",
+    "context_ablation",
+    "ContextResult",
+    "EVENTS_PER_CASE",
+    "fig4_comparison",
+    "Fig4Result",
+    "fig9a_table",
+    "fig9b_table",
+    "Fig9Workload",
+    "format_table",
+    "incremental_ablation",
+    "IncrementalResult",
+    "LatencyResult",
+    "linearity_ratio",
+    "run_with_latency",
+    "merge_ablation",
+    "MergeResult",
+    "PAPER_EVENT_POINTS",
+    "PAPER_RULE_POINTS",
+    "run_detection",
+    "run_fig9a",
+    "run_fig9b",
+    "SMALL_EVENT_POINTS",
+    "SMALL_RULE_POINTS",
+]

@@ -1,0 +1,98 @@
+"""Regenerate the paper's Fig. 9: processing time vs events and vs rules.
+
+The paper's single evaluation figure overlays two series measured at a
+1000 events/second arrival rate on a 2 GHz Pentium M (C# implementation):
+
+* events axis: 50k–250k primitive events, cost grows "almost linearly";
+* rules axis: 50–500 rules, "quite scalable" (shared sub-graphs keep the
+  growth well below linear in the rule count).
+
+Absolute milliseconds differ on a Python implementation and modern
+hardware; EXPERIMENTS.md records paper-vs-measured shape checks.  The
+default points are scaled down to keep CI fast; ``full_scale=True``
+reproduces the paper's axes exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from .harness import BenchResult, format_table, run_detection
+from .workloads import build_events_axis_workload, build_rules_axis_workload
+
+PAPER_EVENT_POINTS: tuple[int, ...] = (50_000, 100_000, 150_000, 200_000, 250_000)
+PAPER_RULE_POINTS: tuple[int, ...] = (50, 100, 200, 300, 400, 500)
+
+SMALL_EVENT_POINTS: tuple[int, ...] = (5_000, 10_000, 15_000, 20_000, 25_000)
+SMALL_RULE_POINTS: tuple[int, ...] = (10, 25, 50, 75, 100)
+
+
+def run_fig9a(
+    points: Optional[Sequence[int]] = None,
+    full_scale: bool = False,
+    n_rules: int = 10,
+) -> list[BenchResult]:
+    """Measure processing time across the primitive-events axis."""
+    if points is None:
+        points = PAPER_EVENT_POINTS if full_scale else SMALL_EVENT_POINTS
+    results = []
+    for n_events in points:
+        workload = build_events_axis_workload(n_events, n_rules=n_rules)
+        result = run_detection(
+            workload.rules, workload.observations, label=f"events={n_events}"
+        )
+        _check_detections(result, workload.expected_detections)
+        results.append(result)
+    return results
+
+
+def run_fig9b(
+    points: Optional[Sequence[int]] = None,
+    full_scale: bool = False,
+    n_events: Optional[int] = None,
+) -> list[BenchResult]:
+    """Measure processing time across the rules axis."""
+    if points is None:
+        points = PAPER_RULE_POINTS if full_scale else SMALL_RULE_POINTS
+    if n_events is None:
+        n_events = 50_000 if full_scale else 10_000
+    results = []
+    for n_rules in points:
+        workload = build_rules_axis_workload(n_rules, n_events=n_events)
+        result = run_detection(
+            workload.rules, workload.observations, label=f"rules={n_rules}"
+        )
+        _check_detections(result, workload.expected_detections)
+        results.append(result)
+    return results
+
+
+def _check_detections(result: BenchResult, expected: int) -> None:
+    if result.detections != expected:
+        raise AssertionError(
+            f"benchmark correctness check failed for {result.label}: "
+            f"{result.detections} detections, expected {expected}"
+        )
+
+
+def fig9a_table(results: Sequence[BenchResult]) -> str:
+    return format_table(results, "events", [result.n_events for result in results])
+
+
+def fig9b_table(results: Sequence[BenchResult]) -> str:
+    return format_table(results, "rules", [result.n_rules for result in results])
+
+
+def linearity_ratio(results: Sequence[BenchResult]) -> float:
+    """Per-event cost drift across the series (1.0 = perfectly linear).
+
+    The ratio of the last point's per-event cost to the first point's;
+    the paper's "almost linear" claim corresponds to values near 1.
+    """
+    if len(results) < 2:
+        raise ValueError("need at least two points")
+    first = results[0].elapsed_seconds / max(results[0].n_events, 1)
+    last = results[-1].elapsed_seconds / max(results[-1].n_events, 1)
+    if first <= 0:
+        return float("inf")
+    return last / first

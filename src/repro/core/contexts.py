@@ -1,0 +1,160 @@
+"""Parameter contexts: which constituent instances form a complex event.
+
+Section 4.2 of the paper reviews the four restricted contexts of
+Chakravarthy et al. (recent, continuous, cumulative, chronicle) plus the
+unrestricted context, and argues that **chronicle** — oldest initiator
+pairs with oldest terminator, each instance consumed by at most one
+match — is the only context that detects RFID events correctly when
+instances of the same complex event overlap in time (as they routinely
+do with multiple readers feeding one stream).
+
+The engine therefore defaults to chronicle; the other contexts are
+implemented behind the same strategy interface both for completeness and
+for the ablation benchmark that demonstrates the paper's correctness
+argument (``benchmarks/test_context_ablation.py``).
+
+A context is consulted by binary matching nodes (SEQ/TSEQ/AND) whenever a
+new instance could complete a match against a buffer of previously seen
+partner instances (oldest first).  It answers two questions:
+
+* ``select(buffer, accept)`` — which buffered partners participate, and
+  grouped how?  Each returned group yields one composite instance.
+* whether selected partners are *consumed* (removed from the buffer).
+
+``on_insert`` additionally lets the *recent* context displace stale
+partners when a fresh one arrives.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Deque, List, Sequence, Tuple
+
+from .errors import CompileError
+from .instances import EventInstance
+
+Accept = Callable[[EventInstance], bool]
+SelectResult = Tuple[List[List[EventInstance]], List[EventInstance]]
+
+
+class ParameterContext:
+    """Strategy interface for instance selection policies."""
+
+    #: Context name as used in ``Engine(context=...)``.
+    name: str = "abstract"
+
+    #: Whether selected partners are consumed (removed from buffers) and a
+    #: matched arrival is therefore *not* kept for future matches.
+    consumes: bool = True
+
+    def on_insert(self, buffer: Deque[EventInstance], instance: EventInstance) -> None:
+        """Insert a new partner candidate into a node buffer."""
+        buffer.append(instance)
+
+    def select(self, buffer: Sequence[EventInstance], accept: Accept) -> SelectResult:
+        """Choose partner groups for a completing instance.
+
+        Returns ``(groups, consumed)``: each group is the list of partner
+        instances contributing to one composite; ``consumed`` lists the
+        instances to remove from the buffer.
+        """
+        raise NotImplementedError
+
+
+class ChronicleContext(ParameterContext):
+    """Oldest acceptable partner, consumed — the paper's context."""
+
+    name = "chronicle"
+
+    def select(self, buffer: Sequence[EventInstance], accept: Accept) -> SelectResult:
+        for instance in buffer:
+            if accept(instance):
+                return [[instance]], [instance]
+        return [], []
+
+
+class RecentContext(ParameterContext):
+    """Most recent acceptable partner; partners persist until displaced.
+
+    A freshly inserted partner displaces all older ones (Snoop's recent
+    semantics: only the newest initiator can ever be used again).
+    """
+
+    name = "recent"
+    consumes = False
+
+    def on_insert(self, buffer: Deque[EventInstance], instance: EventInstance) -> None:
+        buffer.clear()
+        buffer.append(instance)
+
+    def select(self, buffer: Sequence[EventInstance], accept: Accept) -> SelectResult:
+        for instance in reversed(buffer):
+            if accept(instance):
+                return [[instance]], []
+        return [], []
+
+
+class ContinuousContext(ParameterContext):
+    """Every acceptable partner matches, each in its own composite; all consumed."""
+
+    name = "continuous"
+
+    def select(self, buffer: Sequence[EventInstance], accept: Accept) -> SelectResult:
+        chosen = [instance for instance in buffer if accept(instance)]
+        return [[instance] for instance in chosen], list(chosen)
+
+
+class CumulativeContext(ParameterContext):
+    """All acceptable partners accumulate into a single composite; consumed."""
+
+    name = "cumulative"
+
+    def select(self, buffer: Sequence[EventInstance], accept: Accept) -> SelectResult:
+        chosen = [instance for instance in buffer if accept(instance)]
+        if not chosen:
+            return [], []
+        return [chosen], list(chosen)
+
+
+class UnrestrictedContext(ParameterContext):
+    """All combinations; nothing is ever consumed (expiry-pruned only)."""
+
+    name = "unrestricted"
+    consumes = False
+
+    def select(self, buffer: Sequence[EventInstance], accept: Accept) -> SelectResult:
+        chosen = [instance for instance in buffer if accept(instance)]
+        return [[instance] for instance in chosen], []
+
+
+_CONTEXTS = {
+    context.name: context
+    for context in (
+        ChronicleContext(),
+        RecentContext(),
+        ContinuousContext(),
+        CumulativeContext(),
+        UnrestrictedContext(),
+    )
+}
+
+
+def get_context(name_or_context: "str | ParameterContext") -> ParameterContext:
+    """Resolve a context by name (or pass an instance through).
+
+    >>> get_context("chronicle").name
+    'chronicle'
+    """
+    if isinstance(name_or_context, ParameterContext):
+        return name_or_context
+    try:
+        return _CONTEXTS[name_or_context]
+    except KeyError:
+        known = ", ".join(sorted(_CONTEXTS))
+        raise CompileError(
+            f"unknown parameter context {name_or_context!r}; expected one of {known}"
+        ) from None
+
+
+def available_contexts() -> tuple[str, ...]:
+    """Names of all built-in parameter contexts."""
+    return tuple(sorted(_CONTEXTS))

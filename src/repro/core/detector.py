@@ -1,0 +1,518 @@
+"""The RCEDA engine: streaming detection of complex RFID events (paper §4.6).
+
+:class:`Engine` compiles a set of rules into one merged event graph,
+then consumes a time-ordered stream of reader observations.  Following
+the paper's main loop, it maintains two queues — the incoming observation
+stream and a queue of scheduled *pseudo events* — and always processes
+the earliest item, so expirations of non-spontaneous events interleave
+correctly with real observations.
+
+Typical use::
+
+    from repro import Engine, Rule, obs, Var, TSeq, TSeqPlus
+
+    item = obs("r1", Var("o1"))
+    case = obs("r2", Var("o2"))
+    packing = TSeq(TSeqPlus(item, "0.1sec", "1sec"), case, "10sec", "20sec")
+
+    engine = Engine()
+    engine.add_rule(Rule("r4", "containment", packing))
+    for detection in engine.run(stream_of_observations):
+        print(detection.instance)
+
+The engine works in *logical time*: the clock is the timestamp of the
+latest processed observation, and pending pseudo events fire when the
+clock passes their execution time.  At end of stream, :meth:`Engine.flush`
+(or ``run(..., flush=True)``, the default) forces remaining expirations —
+the stand-in for the wall-clock timers of a deployed middleware.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Iterator, Optional
+
+from .contexts import ParameterContext, get_context
+from .errors import ActionError, ConditionError, TimeOrderError
+from .expressions import EventExpr
+from .graph import EventGraph
+from .instances import EventInstance, Observation, PrimitiveInstance
+from .nodes import RuntimeNode, create_state
+from .pseudo import PseudoEvent, PseudoQueue
+from .temporal import TIME_EPSILON, interval
+
+
+class FunctionRegistry:
+    """The user-defined ``group()`` and ``type()`` functions of §2.1.
+
+    ``group`` maps a reader EPC to its deployment group (default: the
+    reader itself, matching the paper's default of a singleton group);
+    ``obj_type`` maps an object EPC to its type name (default: no type
+    information, so type-filtered primitive events never match until a
+    real function — e.g. ``repro.epc.type_of`` — is registered).
+    """
+
+    __slots__ = ("group", "obj_type")
+
+    def __init__(
+        self,
+        group: Optional[Callable[[str], str]] = None,
+        obj_type: Optional[Callable[[str], Optional[str]]] = None,
+    ) -> None:
+        self.group = group if group is not None else lambda reader: reader
+        self.obj_type = obj_type if obj_type is not None else lambda _obj: None
+
+
+@dataclass
+class EngineStats:
+    """Counters describing one engine's activity."""
+
+    observations: int = 0
+    primitive_matches: int = 0
+    composites: int = 0
+    pseudo_scheduled: int = 0
+    pseudo_fired: int = 0
+    detections: int = 0
+    pending_killed: int = 0
+    interval_violations: int = 0
+    dropped_out_of_order: int = 0
+    gc_removed: int = 0
+    #: detections per rule id.
+    per_rule: dict = field(default_factory=dict)
+
+    def count_rule(self, rule_id: str) -> None:
+        self.per_rule[rule_id] = self.per_rule.get(rule_id, 0) + 1
+
+
+@dataclass(frozen=True)
+class Detection:
+    """A rule firing: which rule, on which event instance, at what time."""
+
+    rule: "RuleLike"
+    instance: EventInstance
+    time: float
+
+    @property
+    def bindings(self) -> dict[str, Any]:
+        return dict(self.instance.bindings)
+
+    def __repr__(self) -> str:
+        return f"<detection rule={self.rule.rule_id!r} at {self.time:g}>"
+
+
+class ActivationContext:
+    """Everything a rule's condition and actions can see when it fires."""
+
+    __slots__ = ("engine", "rule", "instance", "time")
+
+    def __init__(
+        self, engine: "Engine", rule: "RuleLike", instance: EventInstance, time: float
+    ) -> None:
+        self.engine = engine
+        self.rule = rule
+        self.instance = instance
+        self.time = time
+
+    @property
+    def bindings(self) -> dict[str, Any]:
+        return dict(self.instance.bindings)
+
+    @property
+    def store(self):
+        return self.engine.store
+
+    def observations(self) -> list[Observation]:
+        """The leaf observations of the matched instance, in order."""
+        return list(self.instance.observations())
+
+
+class RuleLike:
+    """Duck-typing contract for objects accepted by :meth:`Engine.add_rule`.
+
+    ``repro.rules.Rule`` is the full-featured implementation; this base
+    also backs :meth:`Engine.watch` for quick, condition-less detection.
+    """
+
+    rule_id: str
+    name: str
+    event: EventExpr
+    #: disabled rules stay compiled (their sub-events keep feeding shared
+    #: graph state) but do not fire; toggle freely at runtime.
+    enabled: bool = True
+
+    def evaluate_condition(self, context: ActivationContext) -> bool:
+        return True
+
+    def execute_actions(self, context: ActivationContext) -> None:
+        return None
+
+
+class _WatchRule(RuleLike):
+    """A detection-only rule created by :meth:`Engine.watch`."""
+
+    def __init__(
+        self,
+        rule_id: str,
+        event: EventExpr,
+        callback: Optional[Callable[[ActivationContext], None]],
+    ) -> None:
+        self.rule_id = rule_id
+        self.name = rule_id
+        self.event = event
+        self._callback = callback
+
+    def execute_actions(self, context: ActivationContext) -> None:
+        if self._callback is not None:
+            self._callback(context)
+
+
+class Engine:
+    """Streaming RFID complex event detector (RCEDA).
+
+    Parameters
+    ----------
+    rules:
+        Initial rules (more can be added with :meth:`add_rule` before the
+        first observation is processed).
+    context:
+        Parameter context name or instance; default ``"chronicle"``, the
+        only context the paper finds correct for overlapping RFID events.
+    functions:
+        The ``group()`` / ``type()`` function registry.
+    store:
+        Optional data store made available to rule conditions/actions.
+    merge_common_subgraphs:
+        Share identical sub-events across rules (paper §4.3); disabling
+        this exists for the merge ablation benchmark.
+    out_of_order:
+        ``"raise"`` (default), ``"drop"`` or ``"accept"`` for observations
+        older than the engine clock.  ``"accept"`` exists for
+        experimentation only — pseudo-event correctness assumes order.
+    reorder_delay:
+        When set, arrivals pass through a watermark reorder buffer of
+        this many seconds before detection: readings up to that late are
+        repaired instead of raising/dropping.  Detections for a buffered
+        reading surface once the watermark passes it (or at flush).
+    gc_every:
+        Run expired-state garbage collection every N observations.
+    trace:
+        Optional callable ``(event_kind, payload)`` receiving engine
+        internals as they happen: ``"observation"``, ``"emit"``,
+        ``"pseudo"``, ``"kill"``, ``"detection"``.  For debugging and
+        instrumentation; keep it fast.
+    """
+
+    def __init__(
+        self,
+        rules: Iterable[RuleLike] = (),
+        *,
+        context: "str | ParameterContext" = "chronicle",
+        functions: Optional[FunctionRegistry] = None,
+        store: Any = None,
+        merge_common_subgraphs: bool = True,
+        out_of_order: str = "raise",
+        reorder_delay: Optional[float] = None,
+        gc_every: int = 1024,
+        trace: Optional[Callable[[str, dict], None]] = None,
+    ) -> None:
+        if out_of_order not in ("raise", "drop", "accept"):
+            raise ValueError(f"bad out_of_order policy: {out_of_order!r}")
+        self.context = get_context(context)
+        self.functions = functions if functions is not None else FunctionRegistry()
+        self.store = store
+        self.graph = EventGraph(merge_common_subgraphs=merge_common_subgraphs)
+        self.states: list[RuntimeNode] = []
+        self.rules: list[RuleLike] = []
+        self.stats = EngineStats()
+        self._pseudo_queue = PseudoQueue()
+        self._clock = float("-inf")
+        self._out: list[Detection] = []
+        self._out_of_order = out_of_order
+        self._gc_every = max(1, int(gc_every))
+        self._started = False
+        self._watch_counter = 0
+        self.trace = trace
+        self._reorder = None
+        if reorder_delay is not None:
+            from ..readers.streams import ReorderBuffer
+
+            self._reorder = ReorderBuffer(delay=reorder_delay)
+        for rule in rules:
+            self.add_rule(rule)
+
+    # -- configuration --------------------------------------------------------
+
+    def add_rule(self, rule: RuleLike) -> None:
+        """Compile a rule's event into the graph and register the rule."""
+        if self._started:
+            raise RuntimeError(
+                "rules must be added before the first observation is processed"
+            )
+        root = self.graph.add_root(rule.event)
+        self._sync_states()
+        root.rules.append(rule)
+        self.rules.append(rule)
+
+    def watch(
+        self,
+        event: EventExpr,
+        callback: Optional[Callable[[ActivationContext], None]] = None,
+        name: Optional[str] = None,
+    ) -> RuleLike:
+        """Register a condition-less rule that just reports detections."""
+        self._watch_counter += 1
+        rule = _WatchRule(name or f"watch-{self._watch_counter}", event, callback)
+        self.add_rule(rule)
+        return rule
+
+    def _sync_states(self) -> None:
+        while len(self.states) < len(self.graph.nodes):
+            node = self.graph.nodes[len(self.states)]
+            self.states.append(create_state(node, self))
+
+    def reset(self) -> None:
+        """Discard all runtime state, keeping the compiled rule graph.
+
+        Buffers, histories, chains, pending matches, scheduled pseudo
+        events, statistics and the clock all return to their initial
+        state; the (expensive-to-compile) event graph and rule set are
+        reused.  More rules may be added again until the next
+        observation.  Benchmarks use this to re-run a workload without
+        recompiling.
+        """
+        self.states = []
+        self._sync_states()
+        self.stats = EngineStats()
+        self._pseudo_queue = PseudoQueue()
+        self._clock = float("-inf")
+        self._out = []
+        self._started = False
+        if self._reorder is not None:
+            from ..readers.streams import ReorderBuffer
+
+            self._reorder = ReorderBuffer(delay=self._reorder.delay)
+
+    # -- the main loop ----------------------------------------------------------
+
+    @property
+    def clock(self) -> float:
+        """Logical time: the latest processed observation/pseudo timestamp."""
+        return self._clock
+
+    def submit(self, observation: Observation) -> list[Detection]:
+        """Process one observation; returns the detections it triggered.
+
+        Pseudo events scheduled strictly before the observation's
+        timestamp fire first; a pseudo event scheduled *at* the same
+        timestamp fires after the observation, so boundary occurrences
+        (e.g. a ``TSEQ+`` member arriving exactly τu after its
+        predecessor) are seen before the expiration that depends on them.
+
+        With ``reorder_delay`` set, the arrival enters the reorder buffer
+        and the readings the watermark releases are processed instead.
+        """
+        self._started = True
+        if self._reorder is not None:
+            for released in self._reorder.push(observation):
+                self._process(released)
+            return self._take_output()
+        return self._process_and_take(observation)
+
+    def _process_and_take(self, observation: Observation) -> list[Detection]:
+        self._process(observation)
+        return self._take_output()
+
+    def _process(self, observation: Observation) -> None:
+        timestamp = observation.timestamp
+        if timestamp < self._clock:
+            if self._out_of_order == "raise":
+                raise TimeOrderError(
+                    f"observation at {timestamp} is older than engine clock "
+                    f"{self._clock}"
+                )
+            if self._out_of_order == "drop":
+                self.stats.dropped_out_of_order += 1
+                return
+        if self.trace is not None:
+            self.trace("observation", {"observation": observation})
+        self._fire_due_pseudo(timestamp, inclusive=False)
+        self._clock = max(self._clock, timestamp)
+        self.stats.observations += 1
+        self._dispatch(observation)
+        if self.stats.observations % self._gc_every == 0:
+            self._collect_garbage()
+
+    def advance_to(self, time: float) -> list[Detection]:
+        """Advance the logical clock, firing pseudo events due by ``time``."""
+        self._started = True
+        self._fire_due_pseudo(time, inclusive=True)
+        self._clock = max(self._clock, time)
+        return self._take_output()
+
+    def flush(self) -> list[Detection]:
+        """Fire every remaining pseudo event (end of stream).
+
+        With a reorder buffer configured, its still-buffered readings are
+        processed first.
+        """
+        self._started = True
+        if self._reorder is not None:
+            for released in self._reorder.drain():
+                self._process(released)
+        while self._pseudo_queue:
+            event = self._pseudo_queue.pop_due(float("inf"))
+            assert event is not None
+            self._execute_pseudo(event)
+        return self._take_output()
+
+    def run(
+        self, observations: Iterable[Observation], flush: bool = True
+    ) -> Iterator[Detection]:
+        """Drive the engine over a stream, yielding detections as they occur."""
+        for observation in observations:
+            yield from self.submit(observation)
+        if flush:
+            yield from self.flush()
+
+    # -- internals used by node states ------------------------------------------
+
+    def emit(self, node, instance: EventInstance) -> None:
+        """An occurrence of ``node``'s event: record, fire rules, propagate."""
+        if interval(instance) - node.within > TIME_EPSILON:
+            self.stats.interval_violations += 1
+            return
+        if self.trace is not None:
+            self.trace("emit", {"node": node.node_id, "instance": instance})
+        if not node.is_primitive:
+            self.stats.composites += 1
+        if node.keeps_history:
+            self.states[node.node_id].record(instance)
+        for rule in node.rules:
+            self._fire_rule(rule, instance)
+        for parent, child_index in node.parents:
+            self.states[parent.node_id].on_child(child_index, instance)
+
+    def schedule(self, event: PseudoEvent) -> None:
+        self.stats.pseudo_scheduled += 1
+        self._pseudo_queue.schedule(event)
+
+    def record_kill(self, node) -> None:
+        """A pending match or candidate died (negation kill, lookback)."""
+        self.stats.pending_killed += 1
+        if self.trace is not None:
+            self.trace("kill", {"node": node.node_id})
+
+    # -- introspection -----------------------------------------------------------
+
+    def describe(self) -> str:
+        """The compiled event graph, one node per line (diagnostics)."""
+        return self.graph.describe()
+
+    def state_summary(self) -> list[dict]:
+        """Live state sizes per node: buffers, histories, chains, pendings.
+
+        Operational visibility into detection memory — the counterpart of
+        the GC counters in :attr:`stats`.
+        """
+        summary = []
+        for node, state in zip(self.graph.nodes, self.states):
+            entry = {
+                "node": node.node_id,
+                "kind": node.kind,
+                "mode": node.mode.value,
+                "history": len(state.history),
+            }
+            buckets = getattr(state, "buckets", None)
+            if buckets is not None:
+                entry["buffered"] = sum(len(bucket) for bucket in buckets.values())
+            buffers = getattr(state, "buffers", None)
+            if buffers is not None:
+                entry["buffered"] = sum(len(buffer) for buffer in buffers.values())
+            for attribute in ("pending", "chains", "runs"):
+                holder = getattr(state, attribute, None)
+                if holder is not None:
+                    entry[attribute] = len(holder)
+            summary.append(entry)
+        return summary
+
+    # -- private -------------------------------------------------------------
+
+    def _dispatch(self, observation: Observation) -> None:
+        graph = self.graph
+        candidates = graph.primitives_by_reader.get(observation.reader, ())
+        for node in candidates:
+            self._try_primitive(node, observation)
+        if graph.primitives_by_group:
+            group = self.functions.group(observation.reader)
+            for node in graph.primitives_by_group.get(group, ()):
+                self._try_primitive(node, observation)
+        for node in graph.primitive_wildcards:
+            self._try_primitive(node, observation)
+
+    def _try_primitive(self, node, observation: Observation) -> None:
+        state = self.states[node.node_id]
+        bindings = state.match(observation)
+        if bindings is None:
+            return
+        self.stats.primitive_matches += 1
+        self.emit(node, PrimitiveInstance(observation, bindings))
+
+    def _fire_due_pseudo(self, now: float, inclusive: bool) -> None:
+        while True:
+            event = self._pseudo_queue.pop_due(now, inclusive=inclusive)
+            if event is None:
+                return
+            self._execute_pseudo(event)
+
+    def _execute_pseudo(self, event: PseudoEvent) -> None:
+        self._clock = max(self._clock, event.t_execute)
+        self.stats.pseudo_fired += 1
+        if self.trace is not None:
+            self.trace("pseudo", {"event": event})
+        self.states[event.target_node_id].on_pseudo(event)
+
+    def rule(self, rule_id: str) -> RuleLike:
+        """Look up a registered rule by id (for enable/disable toggling)."""
+        for rule in self.rules:
+            if rule.rule_id == rule_id:
+                return rule
+        raise KeyError(rule_id)
+
+    def _fire_rule(self, rule: RuleLike, instance: EventInstance) -> None:
+        if not getattr(rule, "enabled", True):
+            return
+        context = ActivationContext(self, rule, instance, self._clock)
+        try:
+            satisfied = rule.evaluate_condition(context)
+        except Exception as exc:
+            raise ConditionError(
+                f"condition of rule {rule.rule_id!r} failed: {exc}"
+            ) from exc
+        if not satisfied:
+            return
+        try:
+            rule.execute_actions(context)
+        except Exception as exc:
+            raise ActionError(
+                f"action of rule {rule.rule_id!r} failed: {exc}"
+            ) from exc
+        self.stats.detections += 1
+        self.stats.count_rule(rule.rule_id)
+        detection = Detection(rule, instance, self._clock)
+        if self.trace is not None:
+            self.trace("detection", {"detection": detection})
+        self._out.append(detection)
+
+    def _collect_garbage(self) -> None:
+        horizon = self.graph.gc_horizon
+        if horizon <= 0:
+            return
+        cutoff = self._clock - horizon
+        removed = 0
+        for state in self.states:
+            removed += state.gc(cutoff)
+        self.stats.gc_removed += removed
+
+    def _take_output(self) -> list[Detection]:
+        output, self._out = self._out, []
+        return output

@@ -1,0 +1,57 @@
+"""Exception hierarchy for the RCEDA reproduction.
+
+Every error raised by the library derives from :class:`ReproError` so that
+applications can catch library failures with a single ``except`` clause
+while still distinguishing compile-time problems (bad rule definitions)
+from runtime problems (out-of-order streams, bad actions).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class ExpressionError(ReproError):
+    """An event expression was constructed with invalid arguments.
+
+    Examples: a ``TSEQ`` whose lower distance bound exceeds its upper
+    bound, a ``WITHIN`` with a non-positive interval, or a negation of a
+    negation (which the engine normalizes away and therefore rejects as
+    almost certainly a user mistake).
+    """
+
+
+class CompileError(ReproError):
+    """An event graph could not be built from a set of rules."""
+
+
+class InvalidRuleError(CompileError):
+    """A rule's event is in *pull* detection mode and can never fire.
+
+    The paper calls these *invalid rules*: the root of the rule's event
+    graph is non-spontaneous and has no temporal bound that would let the
+    engine schedule a pseudo event to query it, so no occurrence can ever
+    be detected.
+    """
+
+
+class TimeOrderError(ReproError):
+    """An observation arrived with a timestamp older than the engine clock.
+
+    The engine processes a totally ordered stream; see
+    ``Engine(out_of_order=...)`` for the available policies.
+    """
+
+
+class ActionError(ReproError):
+    """A rule action failed to execute."""
+
+
+class ConditionError(ReproError):
+    """A rule condition could not be evaluated."""
+
+
+class UnknownVariableError(ActionError):
+    """An action template referenced a variable with no binding."""

@@ -1,0 +1,534 @@
+"""Event type algebra: the paper's event constructors as an expression AST.
+
+Primitive event types are reader observations filtered by reader/object
+literals, reader *group*, object *type* and optional user predicates
+(paper §2.1).  Complex event types combine constituents with the
+constructors of §2.2:
+
+======================  =============================  ==========
+paper                   here                           sugar
+======================  =============================  ==========
+``E1 ∨ E2``             ``Or(E1, E2)``                 ``E1 | E2``
+``E1 ∧ E2``             ``And(E1, E2)``                ``E1 & E2``
+``¬E``                  ``Not(E)``                     ``~E``
+``E1 ; E2``             ``Seq(E1, E2)``                ``E1 >> E2``
+``TSEQ(E1;E2, τl, τu)`` ``TSeq(E1, E2, τl, τu)``
+``SEQ+(E)``             ``SeqPlus(E)``
+``TSEQ+(E, τl, τu)``    ``TSeqPlus(E, τl, τu)``
+``WITHIN(E, τ)``        ``Within(E, τ)``               ``E.within(τ)``
+======================  =============================  ==========
+
+Variables (:class:`Var`) may appear in the ``reader`` and ``obj``
+positions of a primitive type; a variable repeated across constituents
+constrains them to bind the same value (e.g. the paper's Rule 1 matches
+two observations of the *same* reader and *same* object).  Variables
+inside a ``SEQ+``/``TSEQ+`` body are *local to each member* of the
+sequence — they are collected per member and exposed to BULK actions, not
+unified across members (otherwise no chain of distinct items could ever
+form).
+
+Every expression has a structural identity key (:meth:`EventExpr.key`)
+used by the graph compiler to merge common sub-graphs across rules.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterator, Optional, Sequence, Union
+
+from .errors import ExpressionError
+from .instances import Observation
+from .temporal import INFINITY, format_duration, parse_duration
+
+DurationLike = Union[str, float, int]
+
+
+class Var:
+    """A named variable usable in primitive event type positions.
+
+    Two ``Var`` objects with the same name are interchangeable.
+    """
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str) -> None:
+        if not name or not name.isidentifier():
+            raise ExpressionError(f"invalid variable name: {name!r}")
+        self.name = name
+
+    def __repr__(self) -> str:
+        return self.name
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Var) and other.name == self.name
+
+    def __hash__(self) -> int:
+        return hash(("Var", self.name))
+
+
+def _field_key(value: Any) -> Any:
+    """Structural identity for a primitive-type field (literal or Var)."""
+    if isinstance(value, Var):
+        return ("var", value.name)
+    return ("lit", value)
+
+
+class EventExpr:
+    """Base class for event type expressions."""
+
+    #: Constituent expressions, in order.
+    children: tuple["EventExpr", ...] = ()
+
+    def key(self) -> tuple:
+        """A hashable structural identity used for sub-graph merging."""
+        raise NotImplementedError
+
+    # ---- construction sugar -------------------------------------------------
+
+    def __or__(self, other: "EventExpr") -> "Or":
+        return Or(self, other)
+
+    def __and__(self, other: "EventExpr") -> "And":
+        return And(self, other)
+
+    def __invert__(self) -> "Not":
+        return Not(self)
+
+    def __rshift__(self, other: "EventExpr") -> "Seq":
+        return Seq(self, other)
+
+    def within(self, tau: DurationLike) -> "Within":
+        """Constrain this event's interval: ``WITHIN(self, tau)``."""
+        return Within(self, tau)
+
+    # ---- introspection ------------------------------------------------------
+
+    def walk(self) -> Iterator["EventExpr"]:
+        """Yield this expression and all sub-expressions, pre-order."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def variables(self) -> frozenset[str]:
+        """All variable names appearing anywhere in the expression."""
+        names: set[str] = set()
+        for node in self.walk():
+            if isinstance(node, ObservationType):
+                names.update(node.own_variables())
+        return frozenset(names)
+
+    def exported_variables(self) -> frozenset[str]:
+        """Variables visible to enclosing expressions and rule actions.
+
+        Variables inside a ``SEQ+``/``TSEQ+`` body are member-local and
+        therefore not exported (the chain exposes them per-constituent
+        instead).
+        """
+        names: set[str] = set()
+        for child in self.children:
+            names.update(child.exported_variables())
+        if isinstance(self, ObservationType):
+            names.update(self.own_variables())
+        return frozenset(names)
+
+    def contains_negation(self) -> bool:
+        return any(isinstance(node, Not) for node in self.walk())
+
+
+class ObservationType(EventExpr):
+    """A primitive event type over reader observations (paper §2.1).
+
+    ``E = observation(r, o, t), group(r)='g1', type(o)='case'`` becomes
+    ``ObservationType(reader=Var('r'), obj=Var('o'), group='g1',
+    obj_type='case')``.  ``reader``/``obj`` accept a string literal (exact
+    match), a :class:`Var` (bind the value) or ``None`` (wildcard).  The
+    ``group`` / ``obj_type`` filters are resolved through the engine's
+    registered ``group()`` / ``type()`` functions.  ``where`` is an
+    optional extra predicate over the raw :class:`Observation`.
+    """
+
+    __slots__ = ("reader", "obj", "group", "obj_type", "where", "alias", "t")
+
+    def __init__(
+        self,
+        reader: Union[str, Var, None] = None,
+        obj: Union[str, Var, None] = None,
+        group: Optional[str] = None,
+        obj_type: Optional[str] = None,
+        where: Optional[Callable[[Observation], bool]] = None,
+        alias: Optional[str] = None,
+        t: Optional[Var] = None,
+    ) -> None:
+        if isinstance(reader, str) and group is not None:
+            raise ExpressionError(
+                "specify either a reader literal or a reader group, not both"
+            )
+        self.reader = reader
+        self.obj = obj
+        self.group = group
+        self.obj_type = obj_type
+        self.where = where
+        self.alias = alias
+        self.t = t
+
+    def own_variables(self) -> tuple[str, ...]:
+        names = []
+        if isinstance(self.reader, Var):
+            names.append(self.reader.name)
+        if isinstance(self.obj, Var):
+            names.append(self.obj.name)
+        if self.t is not None:
+            names.append(self.t.name)
+        return tuple(names)
+
+    def key(self) -> tuple:
+        return (
+            "obs",
+            _field_key(self.reader),
+            _field_key(self.obj),
+            self.group,
+            self.obj_type,
+            id(self.where) if self.where is not None else None,
+            self.t.name if self.t is not None else None,
+        )
+
+    def __repr__(self) -> str:
+        parts = [
+            f"{self.reader!r}" if self.reader is not None else "*",
+            f"{self.obj!r}" if self.obj is not None else "*",
+            "t",
+        ]
+        text = f"observation({', '.join(parts)})"
+        if self.group is not None:
+            text += f", group={self.group!r}"
+        if self.obj_type is not None:
+            text += f", type={self.obj_type!r}"
+        return text
+
+
+def obs(
+    reader: Union[str, Var, None] = None,
+    obj: Union[str, Var, None] = None,
+    group: Optional[str] = None,
+    obj_type: Optional[str] = None,
+    where: Optional[Callable[[Observation], bool]] = None,
+    alias: Optional[str] = None,
+    t: Optional[Var] = None,
+) -> ObservationType:
+    """Convenience constructor for :class:`ObservationType`.
+
+    ``t`` optionally names a variable that binds the observation's
+    timestamp, so rule actions can reference it (the paper's ``t2`` in
+    Rule 4).
+    """
+    return ObservationType(reader, obj, group, obj_type, where, alias, t)
+
+
+class Or(EventExpr):
+    """Disjunction: occurs when any constituent occurs."""
+
+    __slots__ = ("children",)
+
+    def __init__(self, *children: EventExpr) -> None:
+        flattened: list[EventExpr] = []
+        for child in children:
+            if isinstance(child, Or):
+                flattened.extend(child.children)
+            else:
+                flattened.append(child)
+        if len(flattened) < 2:
+            raise ExpressionError("OR requires at least two constituents")
+        self.children = tuple(flattened)
+
+    def key(self) -> tuple:
+        return ("or",) + tuple(c.key() for c in self.children)
+
+    def __repr__(self) -> str:
+        return "(" + " OR ".join(repr(c) for c in self.children) + ")"
+
+
+class And(EventExpr):
+    """Conjunction: occurs when all constituents occur, in any order."""
+
+    __slots__ = ("children",)
+
+    def __init__(self, *children: EventExpr) -> None:
+        flattened: list[EventExpr] = []
+        for child in children:
+            if isinstance(child, And):
+                flattened.extend(child.children)
+            else:
+                flattened.append(child)
+        if len(flattened) < 2:
+            raise ExpressionError("AND requires at least two constituents")
+        negated = sum(1 for c in flattened if isinstance(c, Not))
+        if negated == len(flattened):
+            raise ExpressionError("AND of only negated events can never push")
+        self.children = tuple(flattened)
+
+    def key(self) -> tuple:
+        return ("and",) + tuple(c.key() for c in self.children)
+
+    def __repr__(self) -> str:
+        return "(" + " AND ".join(repr(c) for c in self.children) + ")"
+
+
+class Not(EventExpr):
+    """Negation: non-occurrence of the constituent (non-spontaneous)."""
+
+    __slots__ = ("children",)
+
+    def __init__(self, child: EventExpr) -> None:
+        if isinstance(child, Not):
+            raise ExpressionError(
+                "double negation is not supported; use the inner event directly"
+            )
+        self.children = (child,)
+
+    @property
+    def child(self) -> EventExpr:
+        return self.children[0]
+
+    def key(self) -> tuple:
+        return ("not", self.child.key())
+
+    def __repr__(self) -> str:
+        return f"NOT {self.child!r}"
+
+
+class Seq(EventExpr):
+    """Sequence ``E1 ; E2``: E2 occurs after E1 has ended."""
+
+    __slots__ = ("children",)
+
+    def __init__(self, first: EventExpr, second: EventExpr) -> None:
+        if isinstance(first, Not) and isinstance(second, Not):
+            raise ExpressionError("a sequence of two negations can never push")
+        self.children = (first, second)
+
+    @property
+    def first(self) -> EventExpr:
+        return self.children[0]
+
+    @property
+    def second(self) -> EventExpr:
+        return self.children[1]
+
+    def key(self) -> tuple:
+        return ("seq", self.first.key(), self.second.key())
+
+    def __repr__(self) -> str:
+        return f"({self.first!r} ; {self.second!r})"
+
+
+class TSeq(EventExpr):
+    """Distance-constrained sequence ``TSEQ(E1;E2, τl, τu)``.
+
+    Occurs when E2 follows E1 with ``τl <= dist(e1, e2) <= τu`` where
+    ``dist`` is the end-to-end distance (paper Fig. 3).
+    """
+
+    __slots__ = ("children", "lower", "upper")
+
+    def __init__(
+        self,
+        first: EventExpr,
+        second: EventExpr,
+        lower: DurationLike,
+        upper: DurationLike,
+    ) -> None:
+        self.lower = parse_duration(lower)
+        self.upper = parse_duration(upper)
+        if self.lower < 0:
+            raise ExpressionError("TSEQ lower distance bound must be >= 0")
+        if self.upper < self.lower:
+            raise ExpressionError(
+                f"TSEQ bounds inverted: [{self.lower}, {self.upper}]"
+            )
+        if isinstance(first, Not) and isinstance(second, Not):
+            raise ExpressionError("a sequence of two negations can never push")
+        self.children = (first, second)
+
+    @property
+    def first(self) -> EventExpr:
+        return self.children[0]
+
+    @property
+    def second(self) -> EventExpr:
+        return self.children[1]
+
+    def key(self) -> tuple:
+        return ("tseq", self.first.key(), self.second.key(), self.lower, self.upper)
+
+    def __repr__(self) -> str:
+        bounds = f"{format_duration(self.lower)}, {format_duration(self.upper)}"
+        return f"TSEQ({self.first!r} ; {self.second!r}, {bounds})"
+
+
+class SeqPlus(EventExpr):
+    """Aperiodic sequence ``SEQ+(E)``: one or more occurrences of E.
+
+    Non-spontaneous: it cannot tell by itself when the run of occurrences
+    has ended, so it is only detectable under an interval constraint or
+    by an explicit parent query (paper §4.4).
+    """
+
+    __slots__ = ("children", "group_by")
+
+    def __init__(self, child: EventExpr, group_by: Sequence[str] = ()) -> None:
+        if isinstance(child, Not):
+            raise ExpressionError("SEQ+ over a negation can never push")
+        self.children = (child,)
+        self.group_by = tuple(group_by)
+
+    @property
+    def child(self) -> EventExpr:
+        return self.children[0]
+
+    def exported_variables(self) -> frozenset[str]:
+        return frozenset(self.group_by)
+
+    def key(self) -> tuple:
+        return ("seq+", self.child.key(), self.group_by)
+
+    def __repr__(self) -> str:
+        return f"SEQ+({self.child!r})"
+
+
+class TSeqPlus(EventExpr):
+    """Distance-constrained aperiodic sequence ``TSEQ+(E, τl, τu)``.
+
+    A maximal chain of E occurrences where every adjacent gap lies in
+    ``[τl, τu]``.  A gap larger than τu closes the chain (the engine
+    learns this via a pseudo event scheduled at ``last.t_end + τu``); a
+    gap smaller than τl discards the earlier chain and restarts.
+
+    ``group_by`` optionally partitions chains by variable values, so e.g.
+    items seen by different conveyor readers chain independently.
+    """
+
+    __slots__ = ("children", "lower", "upper", "group_by")
+
+    def __init__(
+        self,
+        child: EventExpr,
+        lower: DurationLike,
+        upper: DurationLike,
+        group_by: Sequence[str] = (),
+    ) -> None:
+        self.lower = parse_duration(lower)
+        self.upper = parse_duration(upper)
+        if self.lower < 0:
+            raise ExpressionError("TSEQ+ lower distance bound must be >= 0")
+        if self.upper < self.lower:
+            raise ExpressionError(
+                f"TSEQ+ bounds inverted: [{self.lower}, {self.upper}]"
+            )
+        if self.upper == INFINITY:
+            raise ExpressionError("TSEQ+ upper distance bound must be finite")
+        if isinstance(child, Not):
+            raise ExpressionError("TSEQ+ over a negation can never push")
+        self.children = (child,)
+        self.group_by = tuple(group_by)
+
+    @property
+    def child(self) -> EventExpr:
+        return self.children[0]
+
+    def exported_variables(self) -> frozenset[str]:
+        return frozenset(self.group_by)
+
+    def key(self) -> tuple:
+        return ("tseq+", self.child.key(), self.lower, self.upper, self.group_by)
+
+    def __repr__(self) -> str:
+        bounds = f"{format_duration(self.lower)}, {format_duration(self.upper)}"
+        return f"TSEQ+({self.child!r}, {bounds})"
+
+
+class Periodic(EventExpr):
+    """Periodic ticks anchored at an event: ``PERIODIC(E, τp)``.
+
+    **Extension** (not in the paper; Snoop's ``P`` operator is the
+    closest relative, discussed in its §6 related work): after each
+    occurrence ``e`` of ``E``, the event occurs again at ``t_end(e) +
+    k·τp`` for ``k = 1, 2, ...`` while the tick still satisfies the
+    enclosing interval constraint.  A finite ``WITHIN`` bound is
+    therefore required — an unbounded periodic train is rejected at
+    compile time.  Typical use: escalating reminders while a monitoring
+    condition stands.
+    """
+
+    __slots__ = ("children", "period")
+
+    def __init__(self, child: EventExpr, period: DurationLike) -> None:
+        self.period = parse_duration(period)
+        if self.period <= 0:
+            raise ExpressionError("PERIODIC period must be positive")
+        if isinstance(child, Not):
+            raise ExpressionError("PERIODIC over a negation can never push")
+        self.children = (child,)
+
+    @property
+    def child(self) -> EventExpr:
+        return self.children[0]
+
+    def key(self) -> tuple:
+        return ("periodic", self.child.key(), self.period)
+
+    def __repr__(self) -> str:
+        return f"PERIODIC({self.child!r}, {format_duration(self.period)})"
+
+
+class Within(EventExpr):
+    """Interval constraint ``WITHIN(E, τ)``: ``interval(e) <= τ``.
+
+    ``Within`` is not a graph node of its own — the compiler folds it
+    into an interval-constraint annotation on the wrapped event's node
+    and propagates it downward (paper §4.3, Figs. 6–7).
+    """
+
+    __slots__ = ("children", "tau")
+
+    def __init__(self, child: EventExpr, tau: DurationLike) -> None:
+        self.tau = parse_duration(tau)
+        if self.tau <= 0:
+            raise ExpressionError("WITHIN interval must be positive")
+        self.children = (child,)
+
+    @property
+    def child(self) -> EventExpr:
+        return self.children[0]
+
+    def key(self) -> tuple:
+        return ("within", self.child.key(), self.tau)
+
+    def __repr__(self) -> str:
+        return f"WITHIN({self.child!r}, {format_duration(self.tau)})"
+
+
+def All(*events: EventExpr) -> And:
+    """``ALL(E1, ..., En)``: all occur, in any order (paper §2.2).
+
+    The paper defines ALL as sugar for the n-ary conjunction:
+    ``ALL(E1, ..., En) = E1 ∧ E2 ∧ ... ∧ En``.
+    """
+    return And(*events)
+
+
+def Any(*events: EventExpr) -> Or:
+    """``ANY(E1, ..., En)``: at least one occurs — n-ary disjunction."""
+    return Or(*events)
+
+
+# Paper-style aliases for readers coming straight from the text.
+OR = Or
+AND = And
+NOT = Not
+SEQ = Seq
+TSEQ = TSeq
+SEQPLUS = SeqPlus
+TSEQPLUS = TSeqPlus
+WITHIN = Within
+ALL = All
+ANY = Any
+PERIODIC = Periodic

@@ -1,0 +1,363 @@
+"""Event graph construction (paper §4.3).
+
+The compiler turns the event expressions of a rule set into a single
+merged event graph:
+
+1. **Build** one tree per rule with leaf nodes for primitive events and
+   internal nodes for complex constructors (Fig. 5).
+2. **Propagate interval constraints** top-down: a ``WITHIN`` wrapper
+   becomes an interval annotation on the wrapped node, and every node's
+   effective constraint is the minimum of its own and its parent's
+   (Figs. 6–7) — a complex event always has a longer interval than its
+   constituents, so an ancestor's bound also bounds every descendant.
+3. **Merge common sub-graphs** across rules so shared sub-events are
+   detected once.  Node identity is the pair (structural expression key,
+   effective interval constraint): two occurrences of the same
+   sub-expression merge only when their propagated constraints agree,
+   otherwise their detection semantics would differ.
+4. **Assign detection modes** bottom-up (:mod:`repro.core.modes`) and
+   reject invalid rules (root in pull mode).
+5. Mark which nodes must keep occurrence histories (targets of ``NOT``
+   or pull-mode queries) and compute the garbage-collection horizon that
+   lets the runtime prune expired state.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+from .errors import CompileError, InvalidRuleError
+from .expressions import (
+    And,
+    EventExpr,
+    Not,
+    ObservationType,
+    Or,
+    Periodic,
+    Seq,
+    SeqPlus,
+    TSeq,
+    TSeqPlus,
+    Within,
+)
+from .modes import Mode, assign_mode
+from .temporal import INFINITY
+
+
+class Node:
+    """A compiled event graph node.
+
+    Static (compile-time) structure only; runtime matching state lives in
+    :mod:`repro.core.nodes` so that one compiled graph could in principle
+    drive several engine instances.
+    """
+
+    __slots__ = (
+        "node_id",
+        "kind",
+        "expr",
+        "children",
+        "parents",
+        "within",
+        "lower",
+        "upper",
+        "period",
+        "group_by",
+        "mode",
+        "keeps_history",
+        "shared_variables",
+        "rules",
+    )
+
+    def __init__(
+        self,
+        node_id: int,
+        kind: str,
+        expr: EventExpr,
+        children: Sequence["Node"],
+        within: float,
+        lower: float = 0.0,
+        upper: float = INFINITY,
+        period: float = 0.0,
+        group_by: tuple[str, ...] = (),
+    ) -> None:
+        self.node_id = node_id
+        self.kind = kind
+        self.expr = expr
+        self.children = tuple(children)
+        #: ``(parent, child_index)`` back-edges, filled by the compiler.
+        self.parents: list[tuple[Node, int]] = []
+        self.within = within
+        self.lower = lower
+        self.upper = upper
+        self.period = period
+        self.group_by = group_by
+        self.mode: Mode = Mode.PULL
+        self.keeps_history = False
+        #: variables shared across this node's children (join keys).
+        self.shared_variables: tuple[str, ...] = ()
+        #: rules whose event part is this node.
+        self.rules: list = []
+
+    # Convenience predicates -------------------------------------------------
+
+    @property
+    def is_primitive(self) -> bool:
+        return self.kind == "obs"
+
+    def negative_child_indexes(self) -> tuple[int, ...]:
+        return tuple(
+            index for index, child in enumerate(self.children) if child.kind == "not"
+        )
+
+    def positive_child_indexes(self) -> tuple[int, ...]:
+        return tuple(
+            index for index, child in enumerate(self.children) if child.kind != "not"
+        )
+
+    def describe(self) -> str:
+        """One-line human readable description (used in diagnostics)."""
+        constraint = "" if self.within == INFINITY else f" within={self.within:g}"
+        return f"#{self.node_id} {self.kind}{constraint} mode={self.mode.value}"
+
+    def __repr__(self) -> str:
+        return f"<Node {self.describe()}>"
+
+
+def _expr_kind(expr: EventExpr) -> str:
+    if isinstance(expr, ObservationType):
+        return "obs"
+    if isinstance(expr, Or):
+        return "or"
+    if isinstance(expr, And):
+        return "and"
+    if isinstance(expr, Not):
+        return "not"
+    if isinstance(expr, TSeq):
+        return "tseq"
+    if isinstance(expr, Seq):
+        return "seq"
+    if isinstance(expr, TSeqPlus):
+        return "tseq+"
+    if isinstance(expr, SeqPlus):
+        return "seq+"
+    if isinstance(expr, Periodic):
+        return "periodic"
+    raise CompileError(f"cannot compile expression of type {type(expr).__name__}")
+
+
+class EventGraph:
+    """The merged event graph for a rule set plus its dispatch index."""
+
+    def __init__(self, merge_common_subgraphs: bool = True) -> None:
+        self.nodes: list[Node] = []
+        self.roots: list[Node] = []
+        self._merge = merge_common_subgraphs
+        self._by_key: dict[tuple, Node] = {}
+        #: primitive nodes indexed by reader literal for O(1) dispatch.
+        self.primitives_by_reader: dict[str, list[Node]] = {}
+        #: primitive nodes that filter by reader group (resolved at runtime).
+        self.primitives_by_group: dict[str, list[Node]] = {}
+        #: primitive nodes with neither reader literal nor group filter.
+        self.primitive_wildcards: list[Node] = []
+        #: 2x the largest finite temporal bound anywhere in the graph;
+        #: runtime state older than ``clock - gc_horizon`` is prunable.
+        self.gc_horizon: float = 0.0
+
+    # -- construction ---------------------------------------------------------
+
+    def add_root(self, expr: EventExpr) -> Node:
+        """Compile ``expr`` into the graph and return its root node.
+
+        Transactional: a rejected expression (invalid rule, unsupported
+        shape) leaves the graph exactly as it was — partial compilation
+        must not leave orphan nodes, or parent edges on *shared* nodes
+        would later propagate occurrences into nodes the runtime never
+        instantiated.
+        """
+        checkpoint = len(self.nodes)
+        try:
+            root = self._compile(expr, INFINITY)
+            if root.mode is Mode.PULL:
+                raise InvalidRuleError(
+                    f"event {expr!r} is in pull detection mode and can never "
+                    "be detected; add a WITHIN interval or distance bounds so "
+                    "the engine can schedule its expiration"
+                )
+        except CompileError:
+            self._rollback(checkpoint)
+            raise
+        if root not in self.roots:
+            self.roots.append(root)
+        self._refresh_gc_horizon()
+        return root
+
+    def _rollback(self, checkpoint: int) -> None:
+        """Undo every structural effect of a failed compilation."""
+        removed_ids = {node.node_id for node in self.nodes[checkpoint:]}
+        if not removed_ids:
+            return
+        del self.nodes[checkpoint:]
+        self._by_key = {
+            key: node
+            for key, node in self._by_key.items()
+            if node.node_id not in removed_ids
+        }
+        for mapping in (self.primitives_by_reader, self.primitives_by_group):
+            for key in list(mapping):
+                kept = [
+                    node for node in mapping[key]
+                    if node.node_id not in removed_ids
+                ]
+                if kept:
+                    mapping[key] = kept
+                else:
+                    del mapping[key]
+        self.primitive_wildcards = [
+            node
+            for node in self.primitive_wildcards
+            if node.node_id not in removed_ids
+        ]
+        for node in self.nodes:
+            node.parents = [
+                (parent, index)
+                for parent, index in node.parents
+                if parent.node_id not in removed_ids
+            ]
+
+    def _compile(self, expr: EventExpr, inherited_within: float) -> Node:
+        if isinstance(expr, Within):
+            return self._compile(expr.child, min(inherited_within, expr.tau))
+
+        kind = _expr_kind(expr)
+        key = ("node", expr.key(), inherited_within)
+        if self._merge and key in self._by_key:
+            return self._by_key[key]
+
+        children = [self._compile(child, inherited_within) for child in expr.children]
+        node = Node(
+            node_id=len(self.nodes),
+            kind=kind,
+            expr=expr,
+            children=children,
+            within=inherited_within,
+            lower=getattr(expr, "lower", 0.0),
+            upper=getattr(expr, "upper", INFINITY),
+            period=getattr(expr, "period", 0.0),
+            group_by=getattr(expr, "group_by", ()),
+        )
+        self.nodes.append(node)
+        if self._merge:
+            self._by_key[key] = node
+        for index, child in enumerate(children):
+            child.parents.append((node, index))
+
+        node.mode = assign_mode(node)
+        self._check_node(node)
+        node.shared_variables = _shared_variables(expr)
+        self._index_primitive(node)
+        self._mark_history_needs(node)
+        return node
+
+    def _check_node(self, node: Node) -> None:
+        """Reject shapes the runtime cannot detect, with actionable errors."""
+        if node.kind == "not":
+            child = node.children[0]
+            if child.mode is Mode.PULL:
+                raise CompileError(
+                    "NOT requires a queryable (push/mixed) constituent; "
+                    f"{child.expr!r} is pull-mode"
+                )
+            return
+        # Non-negated constituents must be able to announce themselves: a
+        # pull-mode positive child (an unconstrained SEQ+, for instance)
+        # would silently never feed this node.
+        for child in node.children:
+            if child.kind != "not" and child.mode is Mode.PULL:
+                raise CompileError(
+                    f"constituent {child.expr!r} of {node.kind.upper()} is "
+                    "non-spontaneous (pull-mode); bound it with WITHIN or "
+                    "use TSEQ+ so its expiration can be scheduled"
+                )
+
+    def _index_primitive(self, node: Node) -> None:
+        if node.kind != "obs":
+            return
+        expr = node.expr
+        assert isinstance(expr, ObservationType)
+        if isinstance(expr.reader, str):
+            self.primitives_by_reader.setdefault(expr.reader, []).append(node)
+        elif expr.group is not None:
+            self.primitives_by_group.setdefault(expr.group, []).append(node)
+        else:
+            self.primitive_wildcards.append(node)
+
+    def _mark_history_needs(self, node: Node) -> None:
+        """Children queried on demand must record their occurrences."""
+        if node.kind == "not":
+            child = node.children[0]
+            child.keeps_history = True
+            if child.kind == "seq+":
+                # SEQ+ answers queries from its child's occurrences, not
+                # from its own (run instances only exist once closed).
+                child.children[0].keeps_history = True
+        if node.kind == "seq+" and node.mode is Mode.PULL:
+            node.children[0].keeps_history = True
+
+    def _refresh_gc_horizon(self) -> None:
+        largest = 0.0
+        for node in self.nodes:
+            for bound in (node.within, node.upper):
+                if bound != INFINITY:
+                    largest = max(largest, bound)
+        # Nodes whose buffers have no finite bound opt out of GC at the
+        # node level; the graph horizon only covers bounded state.
+        self.gc_horizon = 2.0 * largest
+
+    # -- introspection --------------------------------------------------------
+
+    def primitive_nodes(self) -> Iterable[Node]:
+        return (node for node in self.nodes if node.kind == "obs")
+
+    def describe(self) -> str:
+        """Multi-line dump of the compiled graph, for debugging and docs."""
+        lines = []
+        for node in self.nodes:
+            children = ",".join(str(child.node_id) for child in node.children)
+            expr = repr(node.expr)
+            if len(expr) > 60:
+                expr = expr[:57] + "..."
+            lines.append(f"{node.describe()} children=[{children}] expr={expr}")
+        return "\n".join(lines)
+
+
+def _shared_variables(expr: EventExpr) -> tuple[str, ...]:
+    """Variables exported by two or more children — the node's join key."""
+    if not expr.children or len(expr.children) < 2:
+        return ()
+    counts: dict[str, int] = {}
+    for child in expr.children:
+        for name in child.exported_variables():
+            counts[name] = counts.get(name, 0) + 1
+    return tuple(sorted(name for name, count in counts.items() if count >= 2))
+
+
+def compile_graph(
+    expressions: Iterable[EventExpr],
+    merge_common_subgraphs: bool = True,
+) -> tuple[EventGraph, list[Node]]:
+    """Compile expressions into one merged graph; returns (graph, roots).
+
+    ``roots[i]`` is the node for ``expressions[i]`` (rules attach there).
+    """
+    graph = EventGraph(merge_common_subgraphs=merge_common_subgraphs)
+    roots = [graph.add_root(expr) for expr in expressions]
+    return graph, roots
+
+
+def node_for(expr: EventExpr, within: Optional[float] = None) -> Node:
+    """Compile a single expression in isolation (testing convenience)."""
+    graph = EventGraph()
+    if within is not None:
+        expr = Within(expr, within)
+    return graph.add_root(expr)

@@ -1,0 +1,196 @@
+"""Event instances: the values that flow through the detection graph.
+
+The paper distinguishes *event types* (``E``) from *event instances*
+(``e``).  Types live in :mod:`repro.core.expressions`; this module holds
+the instances:
+
+* :class:`Observation` — a raw reader observation ``observation(r, o, t)``,
+  the only primitive event source in an RFID system (paper §2.1);
+* :class:`PrimitiveInstance` — an observation matched against a primitive
+  event type, carrying the variable bindings the match produced;
+* :class:`CompositeInstance` — an instance of a complex event, pointing at
+  its constituent instances;
+* :class:`NegationInstance` — a *certificate of non-occurrence*: evidence
+  that no instance of the negated event occurred during a window.  These
+  are produced only by pull-mode queries, never pushed spontaneously.
+
+Bindings are plain ``dict[str, object]`` mappings from variable names
+(``r``, ``o1`` …) to values; :func:`unify` merges two binding sets or
+reports a conflict.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Mapping, Optional, Sequence
+
+Bindings = Mapping[str, Any]
+
+_EMPTY_BINDINGS: dict[str, Any] = {}
+
+
+def unify(left: Bindings, right: Bindings) -> Optional[dict[str, Any]]:
+    """Merge two binding sets; return ``None`` on conflicting values.
+
+    >>> unify({"r": "r1"}, {"o": "tag9"})
+    {'r': 'r1', 'o': 'tag9'}
+    >>> unify({"r": "r1"}, {"r": "r2"}) is None
+    True
+    """
+    if not left:
+        return dict(right)
+    if not right:
+        return dict(left)
+    merged = dict(left)
+    for name, value in right.items():
+        if name in merged and merged[name] != value:
+            return None
+        merged[name] = value
+    return merged
+
+
+class Observation:
+    """A raw RFID reader observation ``observation(reader, obj, timestamp)``.
+
+    ``reader`` and ``obj`` are EPC strings (or any hashable identifiers);
+    ``timestamp`` is a float in seconds.  ``extra`` optionally carries
+    payload attributes (e.g. RSSI, antenna port) for user predicates.
+    """
+
+    __slots__ = ("reader", "obj", "timestamp", "extra")
+
+    def __init__(
+        self,
+        reader: str,
+        obj: str,
+        timestamp: float,
+        extra: Optional[Mapping[str, Any]] = None,
+    ) -> None:
+        self.reader = reader
+        self.obj = obj
+        self.timestamp = float(timestamp)
+        self.extra = extra
+
+    def __repr__(self) -> str:
+        return f"observation({self.reader!r}, {self.obj!r}, {self.timestamp:g})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Observation):
+            return NotImplemented
+        return (
+            self.reader == other.reader
+            and self.obj == other.obj
+            and self.timestamp == other.timestamp
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.reader, self.obj, self.timestamp))
+
+
+class EventInstance:
+    """Base class for detected event instances.
+
+    Subclasses expose ``t_begin`` / ``t_end`` (floats), ``bindings`` and
+    ``constituents``; the temporal functions in :mod:`repro.core.temporal`
+    operate on any of them.
+    """
+
+    __slots__ = ("t_begin", "t_end", "bindings")
+
+    t_begin: float
+    t_end: float
+    bindings: Bindings
+
+    def observations(self) -> Iterator[Observation]:
+        """Yield the leaf observations underlying this instance, in order."""
+        raise NotImplementedError
+
+    @property
+    def constituents(self) -> Sequence["EventInstance"]:
+        return ()
+
+
+class PrimitiveInstance(EventInstance):
+    """An observation matched against a primitive event type.
+
+    Primitive events are instantaneous: ``t_begin == t_end`` (paper §2.1).
+    """
+
+    __slots__ = ("observation",)
+
+    def __init__(self, observation: Observation, bindings: Bindings = _EMPTY_BINDINGS):
+        self.observation = observation
+        self.t_begin = observation.timestamp
+        self.t_end = observation.timestamp
+        self.bindings = bindings
+
+    def observations(self) -> Iterator[Observation]:
+        yield self.observation
+
+    def __repr__(self) -> str:
+        return f"<prim {self.observation!r} bindings={dict(self.bindings)}>"
+
+
+class CompositeInstance(EventInstance):
+    """An instance of a complex event over its constituent instances.
+
+    ``label`` names the constructor that produced it (``"SEQ"``,
+    ``"TSEQ+"`` …) purely for diagnostics.
+    """
+
+    __slots__ = ("label", "_constituents")
+
+    def __init__(
+        self,
+        label: str,
+        constituents: Sequence[EventInstance],
+        bindings: Bindings = _EMPTY_BINDINGS,
+        t_begin: Optional[float] = None,
+        t_end: Optional[float] = None,
+    ) -> None:
+        if not constituents and (t_begin is None or t_end is None):
+            raise ValueError("composite without constituents needs explicit times")
+        self.label = label
+        self._constituents = tuple(constituents)
+        self.t_begin = (
+            t_begin
+            if t_begin is not None
+            else min(c.t_begin for c in self._constituents)
+        )
+        self.t_end = (
+            t_end if t_end is not None else max(c.t_end for c in self._constituents)
+        )
+        self.bindings = bindings
+
+    @property
+    def constituents(self) -> Sequence[EventInstance]:
+        return self._constituents
+
+    def observations(self) -> Iterator[Observation]:
+        for constituent in self._constituents:
+            yield from constituent.observations()
+
+    def __repr__(self) -> str:
+        inner = ", ".join(repr(c) for c in self._constituents)
+        return f"<{self.label} [{self.t_begin:g},{self.t_end:g}] ({inner})>"
+
+
+class NegationInstance(EventInstance):
+    """A certificate that the negated event did *not* occur in a window.
+
+    The window endpoints become ``t_begin``/``t_end`` so that negation
+    certificates compose with the temporal functions like any instance.
+    """
+
+    __slots__ = ()
+
+    def __init__(self, window_start: float, window_end: float,
+                 bindings: Bindings = _EMPTY_BINDINGS) -> None:
+        self.t_begin = window_start
+        self.t_end = window_end
+        self.bindings = bindings
+
+    def observations(self) -> Iterator[Observation]:
+        return iter(())
+
+    def __repr__(self) -> str:
+        return f"<not [{self.t_begin:g},{self.t_end:g}]>"

@@ -1,0 +1,107 @@
+"""Detection modes: push / pull / mixed (paper §4.4).
+
+Traditional graph-based event systems detect bottom-up: occurrences flow
+from the leaves to the roots.  Many RFID events are *non-spontaneous* —
+``NOT`` can never announce itself, and ``SEQ+``/``TSEQ+`` cannot know
+that a run of occurrences has ended — so the paper generalizes each
+graph node's detection mode:
+
+* **push** — every occurrence is detected and propagated spontaneously;
+* **pull** — occurrences are only discoverable by an explicit query from
+  a parent (or never, if nothing queries);
+* **mixed** — occurrences become known at an *expiration time* that the
+  engine can schedule a pseudo event for.
+
+A rule is *valid* iff its event's root node is push or mixed.  Mode
+assignment is bottom-up and depends on the constructor, the children's
+modes and the temporal bounds available to schedule expirations
+(a finite ``WITHIN`` upgrades several pull shapes to mixed).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import TYPE_CHECKING
+
+from .temporal import INFINITY
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from .graph import Node
+
+
+class Mode(enum.Enum):
+    """Detection mode of an event graph node."""
+
+    PUSH = "push"
+    PULL = "pull"
+    MIXED = "mixed"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Mode.{self.name}"
+
+
+def assign_mode(node: "Node") -> Mode:
+    """Compute the detection mode of ``node`` from its children's modes.
+
+    Children must already have their modes assigned (the compiler
+    processes nodes in bottom-up creation order).
+    """
+    kind = node.kind
+    children = node.children
+    if kind == "obs":
+        return Mode.PUSH
+    if kind == "not":
+        return Mode.PULL
+    modes = [child.mode for child in children]
+    bounded = node.within < INFINITY
+
+    if kind == "or":
+        if all(mode is Mode.PUSH for mode in modes):
+            return Mode.PUSH
+        if all(mode is Mode.PULL for mode in modes):
+            return Mode.PULL
+        return Mode.MIXED
+
+    if kind == "and":
+        if any(mode is Mode.PULL for mode in modes):
+            return Mode.MIXED if bounded else Mode.PULL
+        if any(mode is Mode.MIXED for mode in modes):
+            return Mode.MIXED
+        return Mode.PUSH
+
+    if kind in ("seq", "tseq"):
+        initiator, terminator = modes
+        has_distance_bound = kind == "tseq" and node.upper < INFINITY
+        queryable_window = bounded or has_distance_bound
+        if terminator is Mode.PULL:
+            # SEQ(E1; NOT E2): detectable only at a schedulable expiration.
+            return Mode.MIXED if queryable_window else Mode.PULL
+        if initiator is Mode.PULL:
+            # SEQ(NOT E1; E2): the terminator's arrival triggers the
+            # lookback query, but only if the window is bounded.
+            if not queryable_window:
+                return Mode.PULL
+            return Mode.MIXED if terminator is Mode.MIXED else Mode.PUSH
+        if Mode.MIXED in (initiator, terminator):
+            return Mode.MIXED
+        return Mode.PUSH
+
+    if kind == "seq+":
+        child = modes[0]
+        if child is not Mode.PUSH:
+            return Mode.PULL
+        return Mode.MIXED if bounded else Mode.PULL
+
+    if kind == "tseq+":
+        child = modes[0]
+        return Mode.MIXED if child is Mode.PUSH else Mode.PULL
+
+    if kind == "periodic":
+        # Ticks are schedulable only while an interval constraint bounds
+        # the train; an unbounded periodic event would fire forever.
+        child = modes[0]
+        if child is not Mode.PUSH:
+            return Mode.PULL
+        return Mode.MIXED if bounded else Mode.PULL
+
+    raise AssertionError(f"unknown node kind {kind!r}")

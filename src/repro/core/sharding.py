@@ -1,0 +1,216 @@
+"""Sharded detection: one engine per site, coordinated routing.
+
+The paper's history-oriented deployments collect "RFID data streams from
+multiple RFID readers at distributed locations"; an edge architecture
+runs detection near the readers and ships only detections upstream.
+:class:`ShardedEngine` models that: rules are assigned to shards, each
+shard runs an independent :class:`~repro.core.detector.Engine`, and each
+observation is routed only to the shards whose rules can possibly match
+it.
+
+Placement is computed from the rules' primitive event types:
+
+* a rule whose primitives all name reader literals (or groups with a
+  known member set) is placed on one shard, and its readers are pinned
+  there;
+* readers referenced by several co-placed rules stay together — rules
+  sharing a reader form one placement unit (union-find);
+* rules with wildcard readers match anything, so they are placed on
+  every shard... which would duplicate detections; instead they go to a
+  dedicated *catch-all* shard that receives a copy of every observation.
+
+Within one shard the engine is exactly the single-engine RCEDA, so
+sharded detection is equivalent to running everything on one engine
+(`tests/test_sharding.py` verifies this on random streams) while each
+shard only sees its own traffic.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Optional
+
+from .detector import Detection, Engine, FunctionRegistry, RuleLike
+from .expressions import ObservationType
+from .instances import Observation
+
+CATCH_ALL = "__catch_all__"
+
+
+def rule_reader_literals(rule: RuleLike) -> Optional[set[str]]:
+    """The reader literals a rule's event touches; None if any wildcard.
+
+    Group-filtered primitives count as wildcards unless the group's
+    members are supplied to :class:`ShardedEngine` via ``group_members``.
+    """
+    readers: set[str] = set()
+    for node in rule.event.walk():
+        if not isinstance(node, ObservationType):
+            continue
+        if isinstance(node.reader, str):
+            readers.add(node.reader)
+        else:
+            return None  # variable/wildcard/group reader
+    return readers
+
+
+class _UnionFind:
+    def __init__(self) -> None:
+        self.parent: dict[Any, Any] = {}
+
+    def find(self, item: Any) -> Any:
+        self.parent.setdefault(item, item)
+        root = item
+        while self.parent[root] != root:
+            root = self.parent[root]
+        while self.parent[item] != root:
+            self.parent[item], item = root, self.parent[item]
+        return root
+
+    def union(self, left: Any, right: Any) -> None:
+        self.parent[self.find(left)] = self.find(right)
+
+
+class ShardedEngine:
+    """Partition rules and observation traffic across engines.
+
+    Parameters mirror :class:`Engine` where they apply to every shard.
+    ``group_members`` optionally maps group names to their reader sets so
+    group-filtered rules can be placed instead of falling to the
+    catch-all shard.
+    """
+
+    def __init__(
+        self,
+        rules: Iterable[RuleLike],
+        *,
+        max_shards: int = 4,
+        context: str = "chronicle",
+        functions: Optional[FunctionRegistry] = None,
+        store: Any = None,
+        group_members: Optional[dict[str, set[str]]] = None,
+    ) -> None:
+        if max_shards < 1:
+            raise ValueError("need at least one shard")
+        self._group_members = group_members or {}
+        placements = self._place(list(rules), max_shards)
+        self.shards: dict[str, Engine] = {}
+        #: reader literal -> shard names that need its observations.
+        self._routes: dict[str, list[str]] = {}
+        self._has_catch_all = False
+        for shard_name, (shard_rules, readers) in placements.items():
+            engine = Engine(
+                shard_rules, context=context, functions=functions, store=store
+            )
+            self.shards[shard_name] = engine
+            if shard_name == CATCH_ALL:
+                self._has_catch_all = True
+                continue
+            for reader in readers:
+                self._routes.setdefault(reader, []).append(shard_name)
+        self.routed = 0
+        self.multicast = 0
+
+    # -- placement ------------------------------------------------------------
+
+    def _rule_readers(self, rule: RuleLike) -> Optional[set[str]]:
+        readers: set[str] = set()
+        for node in rule.event.walk():
+            if not isinstance(node, ObservationType):
+                continue
+            if isinstance(node.reader, str):
+                readers.add(node.reader)
+            elif node.group is not None and node.group in self._group_members:
+                readers.update(self._group_members[node.group])
+            else:
+                return None
+        return readers
+
+    def _place(
+        self, rules: list[RuleLike], max_shards: int
+    ) -> dict[str, tuple[list[RuleLike], set[str]]]:
+        placeable: list[tuple[RuleLike, set[str]]] = []
+        catch_all: list[RuleLike] = []
+        for rule in rules:
+            readers = self._rule_readers(rule)
+            if readers is None or not readers:
+                catch_all.append(rule)
+            else:
+                placeable.append((rule, readers))
+
+        # Rules sharing any reader must co-locate: union by reader.
+        union = _UnionFind()
+        for rule, readers in placeable:
+            first, *rest = sorted(readers)
+            for reader in rest:
+                union.union(first, reader)
+        clusters: dict[Any, tuple[list[RuleLike], set[str]]] = {}
+        for rule, readers in placeable:
+            root = union.find(sorted(readers)[0])
+            bucket = clusters.setdefault(root, ([], set()))
+            bucket[0].append(rule)
+            bucket[1].update(readers)
+
+        # Pack clusters onto shards round-robin by descending size.
+        shard_count = max(1, min(max_shards, len(clusters)) or 1)
+        shards: dict[str, tuple[list[RuleLike], set[str]]] = {
+            f"shard-{index}": ([], set()) for index in range(shard_count)
+        }
+        ordered = sorted(
+            clusters.values(), key=lambda bucket: -len(bucket[0])
+        )
+        names = list(shards)
+        for index, (cluster_rules, cluster_readers) in enumerate(ordered):
+            target = shards[names[index % shard_count]]
+            target[0].extend(cluster_rules)
+            target[1].update(cluster_readers)
+        placements = {
+            name: bucket for name, bucket in shards.items() if bucket[0]
+        }
+        if catch_all:
+            placements[CATCH_ALL] = (catch_all, set())
+        if not placements:
+            placements["shard-0"] = ([], set())
+        return placements
+
+    # -- streaming -----------------------------------------------------------
+
+    def submit(self, observation: Observation) -> list[Detection]:
+        """Route one observation to the shards that need it."""
+        detections: list[Detection] = []
+        targets = self._routes.get(observation.reader, ())
+        for shard_name in targets:
+            detections.extend(self.shards[shard_name].submit(observation))
+        if self._has_catch_all:
+            detections.extend(self.shards[CATCH_ALL].submit(observation))
+        fan_out = len(targets) + (1 if self._has_catch_all else 0)
+        self.routed += 1
+        self.multicast += max(0, fan_out - 1)
+        return detections
+
+    def flush(self) -> list[Detection]:
+        detections: list[Detection] = []
+        for engine in self.shards.values():
+            detections.extend(engine.flush())
+        detections.sort(key=lambda detection: detection.time)
+        return detections
+
+    def run(self, observations: Iterable[Observation]):
+        for observation in observations:
+            yield from self.submit(observation)
+        yield from self.flush()
+
+    # -- introspection -----------------------------------------------------------
+
+    def placement(self) -> dict[str, list[str]]:
+        """shard name -> rule ids, for inspection."""
+        return {
+            name: [rule.rule_id for rule in engine.rules]
+            for name, engine in self.shards.items()
+        }
+
+    def traffic_summary(self) -> dict[str, int]:
+        """Observations each shard actually processed."""
+        return {
+            name: engine.stats.observations
+            for name, engine in self.shards.items()
+        }

@@ -1,0 +1,138 @@
+"""Time primitives: durations, the temporal functions of the paper (Fig. 3).
+
+Timestamps throughout the library are floats measured in seconds on an
+application-defined logical timeline (the simulator starts its streams at
+``t = 0.0``).  The paper defines four functions over event instances
+(its Fig. 3); they are implemented here over any object exposing
+``t_begin`` and ``t_end`` attributes:
+
+* ``interval(e)``        = ``t_end(e) - t_begin(e)``
+* ``dist(e1, e2)``       = ``t_end(e2) - t_end(e1)``
+* ``span(e1, e2)``       = ``max(t_end) - min(t_begin)``  (the paper's
+  two-argument ``interval(e1, e2)``; renamed to avoid clashing with the
+  one-argument form)
+
+Durations in the rule language are written with a unit suffix
+(``5sec``, ``0.1sec``, ``10min``); :func:`parse_duration` converts them
+to float seconds and :func:`format_duration` renders them back.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Protocol
+
+#: Unbounded duration / absent constraint.
+INFINITY: float = math.inf
+
+#: Tolerance for temporal-constraint comparisons.  Expiration times are
+#: computed as ``t + tau``, so re-deriving the interval ``(t + tau) - t``
+#: can exceed ``tau`` by an ulp; constraint checks allow this slack.
+TIME_EPSILON: float = 1e-6
+
+_UNIT_SECONDS = {
+    "ms": 0.001,
+    "msec": 0.001,
+    "millisecond": 0.001,
+    "milliseconds": 0.001,
+    "s": 1.0,
+    "sec": 1.0,
+    "secs": 1.0,
+    "second": 1.0,
+    "seconds": 1.0,
+    "min": 60.0,
+    "mins": 60.0,
+    "minute": 60.0,
+    "minutes": 60.0,
+    "h": 3600.0,
+    "hr": 3600.0,
+    "hour": 3600.0,
+    "hours": 3600.0,
+    "d": 86400.0,
+    "day": 86400.0,
+    "days": 86400.0,
+}
+
+_DURATION_RE = re.compile(
+    r"^\s*(?P<value>\d+(?:\.\d+)?|\.\d+)\s*(?P<unit>[a-zA-Z]*)\s*$"
+)
+
+
+class HasSpan(Protocol):
+    """Anything with a begin and an end timestamp (event instances)."""
+
+    t_begin: float
+    t_end: float
+
+
+def parse_duration(text: str | float | int) -> float:
+    """Convert a duration literal such as ``"5sec"`` to float seconds.
+
+    Accepts plain numbers (already in seconds), and number+unit strings
+    with optional whitespace between them.  Raises :class:`ValueError`
+    for malformed input or unknown units.
+
+    >>> parse_duration("5sec")
+    5.0
+    >>> parse_duration("0.1 sec")
+    0.1
+    >>> parse_duration("10min")
+    600.0
+    """
+    if isinstance(text, (int, float)):
+        return float(text)
+    match = _DURATION_RE.match(text)
+    if not match:
+        raise ValueError(f"malformed duration literal: {text!r}")
+    value = float(match.group("value"))
+    unit = match.group("unit").lower()
+    if not unit:
+        return value
+    if unit not in _UNIT_SECONDS:
+        raise ValueError(f"unknown duration unit {unit!r} in {text!r}")
+    return value * _UNIT_SECONDS[unit]
+
+
+def format_duration(seconds: float) -> str:
+    """Render a duration in the most natural unit for the rule language.
+
+    >>> format_duration(600.0)
+    '10min'
+    >>> format_duration(0.1)
+    '0.1sec'
+    """
+    if seconds == INFINITY:
+        return "inf"
+    for unit, factor in (("day", 86400.0), ("hour", 3600.0), ("min", 60.0)):
+        if seconds >= factor and seconds % factor == 0:
+            return f"{_trim(seconds / factor)}{unit}"
+    return f"{_trim(seconds)}sec"
+
+
+def _trim(value: float) -> str:
+    """Format a float dropping a trailing ``.0``."""
+    return str(int(value)) if value == int(value) else str(value)
+
+
+def interval(e: HasSpan) -> float:
+    """Interval of a single event instance: ``t_end(e) - t_begin(e)``."""
+    return e.t_end - e.t_begin
+
+
+def dist(e1: HasSpan, e2: HasSpan) -> float:
+    """Temporal distance between two instances: ``t_end(e2) - t_end(e1)``.
+
+    This is the quantity bounded by the ``[τl, τu]`` parameters of the
+    ``TSEQ`` and ``TSEQ+`` constructors.
+    """
+    return e2.t_end - e1.t_end
+
+
+def span(e1: HasSpan, e2: HasSpan) -> float:
+    """The paper's two-argument ``interval(e1, e2)``.
+
+    ``max(t_end(e1), t_end(e2)) - min(t_begin(e1), t_begin(e2))`` — the
+    length of the smallest window covering both instances.
+    """
+    return max(e1.t_end, e2.t_end) - min(e1.t_begin, e2.t_begin)

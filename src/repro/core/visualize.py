@@ -1,0 +1,91 @@
+"""Event graph export to Graphviz DOT (diagnostics and documentation).
+
+Renders the compiled event graph in the style of the paper's Figs. 5-7:
+constructor nodes with their temporal annotations, primitive leaves with
+their filters, merged sub-graphs shown shared.  The output is plain DOT
+text; pipe it to ``dot -Tsvg`` when graphviz is available.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from .expressions import ObservationType
+from .graph import EventGraph
+from .temporal import INFINITY, format_duration
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .detector import Engine
+
+_SYMBOLS = {
+    "or": "∨",
+    "and": "∧",
+    "not": "¬",
+    "seq": ";",
+    "tseq": ":",
+    "seq+": ";+",
+    "tseq+": ":+",
+}
+
+
+def _node_label(node) -> str:
+    if node.kind == "obs":
+        expr = node.expr
+        assert isinstance(expr, ObservationType)
+        parts = []
+        if expr.alias:
+            parts.append(expr.alias)
+        reader = expr.reader if isinstance(expr.reader, str) else None
+        if reader:
+            parts.append(f"r={reader}")
+        if expr.group:
+            parts.append(f"group={expr.group}")
+        if expr.obj_type:
+            parts.append(f"type={expr.obj_type}")
+        label = "obs " + " ".join(parts) if parts else "obs *"
+    else:
+        label = _SYMBOLS.get(node.kind, node.kind)
+        if node.kind in ("tseq", "tseq+"):
+            label += (
+                f" [{format_duration(node.lower)}, {format_duration(node.upper)}]"
+            )
+    if node.within != INFINITY:
+        label += f" ⟨{format_duration(node.within)}⟩"
+    return label
+
+
+def graph_to_dot(graph: EventGraph, title: str = "event graph") -> str:
+    """Render a compiled event graph as Graphviz DOT text.
+
+    >>> from repro.core.graph import EventGraph
+    >>> from repro.core.expressions import obs
+    >>> graph = EventGraph()
+    >>> _ = graph.add_root(obs("r1") >> obs("r2"))
+    >>> print(graph_to_dot(graph))  # doctest: +ELLIPSIS
+    digraph "event graph" {
+    ...
+    }
+    """
+    lines = [f'digraph "{title}" {{', "  rankdir=BT;", "  node [shape=box];"]
+    root_ids = {node.node_id for node in graph.roots}
+    for node in graph.nodes:
+        label = _node_label(node).replace('"', "'")
+        attributes = [f'label="{label}"']
+        if node.node_id in root_ids:
+            attributes.append("penwidth=2")
+        if node.kind == "obs":
+            attributes.append("style=rounded")
+        lines.append(f"  n{node.node_id} [{', '.join(attributes)}];")
+    for node in graph.nodes:
+        for index, child in enumerate(node.children):
+            edge_label = ""
+            if node.kind in ("seq", "tseq"):
+                edge_label = f' [label="{index + 1}"]'
+            lines.append(f"  n{child.node_id} -> n{node.node_id}{edge_label};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def engine_to_dot(engine: "Engine", title: str = "RCEDA") -> str:
+    """Render a configured engine's merged rule graph."""
+    return graph_to_dot(engine.graph, title)

@@ -1,0 +1,40 @@
+"""EPC substrate: Electronic Product Code encodings and lookup functions.
+
+Implements the EPC Tag Data Standard 1.1 codecs the paper relies on for
+its ``type(o)`` extraction function, plus registries for the
+user-defined ``type()`` / ``group()`` functions and a deterministic EPC
+factory for workload generation.
+"""
+
+from .codecs import (
+    EPC_BITS,
+    Epc,
+    EpcError,
+    Gid96,
+    Grai96,
+    Sgln96,
+    Sgtin96,
+    Sscc96,
+    decode,
+    scheme_of,
+)
+from .functions import ReaderGroupRegistry, TypeRegistry
+from .generator import DEFAULT_COMPANY_DIGITS, DEFAULT_COMPANY_PREFIX, EpcFactory
+
+__all__ = [
+    "decode",
+    "DEFAULT_COMPANY_DIGITS",
+    "DEFAULT_COMPANY_PREFIX",
+    "Epc",
+    "EPC_BITS",
+    "EpcError",
+    "EpcFactory",
+    "Gid96",
+    "Grai96",
+    "ReaderGroupRegistry",
+    "scheme_of",
+    "Sgln96",
+    "Sgtin96",
+    "Sscc96",
+    "TypeRegistry",
+]

@@ -1,0 +1,460 @@
+"""EPC binary codecs per the EPC Tag Data Standard 1.1 (paper reference [1]).
+
+The paper's primitive event types filter observations through
+user-defined ``type(o)`` and ``group(r)`` functions whose inputs are EPC
+values; this module implements the actual 96-bit tag encodings so that
+type extraction operates on realistic identifiers rather than ad-hoc
+strings.
+
+Implemented schemes (the ones an RFID supply chain needs):
+
+* **SGTIN-96** — serialized GTIN: trade items (the paper's ``'laptop'``,
+  ``'case'`` object types), header ``0x30``;
+* **SSCC-96** — serial shipping container code: logistic units (pallets,
+  cases in transport), header ``0x31``;
+* **SGLN-96** — global location numbers: dock doors, shelves, portals
+  (readers identify themselves with these), header ``0x32``;
+* **GRAI-96** — returnable assets (the asset-monitoring scenario),
+  header ``0x33``;
+* **GID-96** — general identifier for everything else (employee badges),
+  header ``0x35``.
+
+Each scheme encodes to a 96-bit integer, a 24-hex-digit string, and the
+``urn:epc:tag:...`` URI form, and decodes back; round-tripping is
+exercised by property tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import ClassVar, Type
+
+EPC_BITS = 96
+
+#: SGTIN-96 / GRAI-96 partition table: value -> (company bits, company
+#: digits, reference bits, reference digits).  From TDS 1.1 §3.3.
+_SGTIN_PARTITIONS = {
+    0: (40, 12, 4, 1),
+    1: (37, 11, 7, 2),
+    2: (34, 10, 10, 3),
+    3: (30, 9, 14, 4),
+    4: (27, 8, 17, 5),
+    5: (24, 7, 20, 6),
+    6: (20, 6, 24, 7),
+}
+
+#: SSCC-96 partition table: value -> (company bits, company digits,
+#: serial-reference bits, serial-reference digits).
+_SSCC_PARTITIONS = {
+    0: (40, 12, 18, 5),
+    1: (37, 11, 21, 6),
+    2: (34, 10, 24, 7),
+    3: (30, 9, 28, 8),
+    4: (27, 8, 31, 9),
+    5: (24, 7, 34, 10),
+    6: (20, 6, 38, 11),
+}
+
+#: GRAI-96 asset-type digits per partition (reference digits may be 0).
+_GRAI_PARTITIONS = {
+    0: (40, 12, 4, 0),
+    1: (37, 11, 7, 1),
+    2: (34, 10, 10, 2),
+    3: (30, 9, 14, 3),
+    4: (27, 8, 17, 4),
+    5: (24, 7, 20, 5),
+    6: (20, 6, 24, 6),
+}
+
+
+class EpcError(ValueError):
+    """Raised for malformed EPC values or out-of-range fields."""
+
+
+def _check_range(name: str, value: int, bits: int) -> None:
+    if value < 0 or value >= (1 << bits):
+        raise EpcError(f"{name}={value} does not fit in {bits} bits")
+
+
+def _check_digits(name: str, value: int, digits: int) -> None:
+    if value < 0 or (digits == 0 and value != 0) or len(str(value)) > digits > 0:
+        raise EpcError(f"{name}={value} does not fit in {digits} decimal digits")
+
+
+def _partition_for_company_digits(table: dict, company_digits: int) -> int:
+    for partition, (_bits, digits, _rbits, _rdigits) in table.items():
+        if digits == company_digits:
+            return partition
+    raise EpcError(f"no partition for a {company_digits}-digit company prefix")
+
+
+@dataclass(frozen=True)
+class Epc:
+    """Base class for decoded EPC identities."""
+
+    HEADER: ClassVar[int] = -1
+    SCHEME: ClassVar[str] = "epc"
+
+    def to_int(self) -> int:
+        raise NotImplementedError
+
+    def to_hex(self) -> str:
+        """The 24-hex-digit tag value (what a reader reports)."""
+        return f"{self.to_int():024X}"
+
+    def to_uri(self) -> str:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class Sgtin96(Epc):
+    """Serialized Global Trade Item Number, 96-bit encoding."""
+
+    filter_value: int
+    company_prefix: int
+    company_digits: int
+    item_reference: int
+    serial: int
+
+    HEADER: ClassVar[int] = 0x30
+    SCHEME: ClassVar[str] = "sgtin-96"
+
+    def __post_init__(self) -> None:
+        partition = _partition_for_company_digits(
+            _SGTIN_PARTITIONS, self.company_digits
+        )
+        company_bits, company_digits, item_bits, item_digits = _SGTIN_PARTITIONS[
+            partition
+        ]
+        _check_range("filter", self.filter_value, 3)
+        _check_digits("company_prefix", self.company_prefix, company_digits)
+        _check_range("company_prefix", self.company_prefix, company_bits)
+        _check_digits("item_reference", self.item_reference, item_digits)
+        _check_range("item_reference", self.item_reference, item_bits)
+        _check_range("serial", self.serial, 38)
+
+    @property
+    def partition(self) -> int:
+        return _partition_for_company_digits(_SGTIN_PARTITIONS, self.company_digits)
+
+    def to_int(self) -> int:
+        company_bits, _cd, item_bits, _id = _SGTIN_PARTITIONS[self.partition]
+        value = self.HEADER
+        value = (value << 3) | self.filter_value
+        value = (value << 3) | self.partition
+        value = (value << company_bits) | self.company_prefix
+        value = (value << item_bits) | self.item_reference
+        value = (value << 38) | self.serial
+        return value
+
+    def to_uri(self) -> str:
+        company = str(self.company_prefix).zfill(self.company_digits)
+        _cb, _cd, _ib, item_digits = _SGTIN_PARTITIONS[self.partition]
+        item = str(self.item_reference).zfill(item_digits)
+        return (
+            f"urn:epc:tag:sgtin-96:{self.filter_value}.{company}.{item}.{self.serial}"
+        )
+
+    @classmethod
+    def from_int(cls, value: int) -> "Sgtin96":
+        filter_value = (value >> 85) & 0x7
+        partition = (value >> 82) & 0x7
+        if partition not in _SGTIN_PARTITIONS:
+            raise EpcError(f"invalid SGTIN-96 partition {partition}")
+        company_bits, company_digits, item_bits, _item_digits = _SGTIN_PARTITIONS[
+            partition
+        ]
+        shift = 82 - company_bits
+        company = (value >> shift) & ((1 << company_bits) - 1)
+        shift -= item_bits
+        item = (value >> shift) & ((1 << item_bits) - 1)
+        serial = value & ((1 << 38) - 1)
+        return cls(filter_value, company, company_digits, item, serial)
+
+
+@dataclass(frozen=True)
+class Sscc96(Epc):
+    """Serial Shipping Container Code, 96-bit encoding (logistic units)."""
+
+    filter_value: int
+    company_prefix: int
+    company_digits: int
+    serial_reference: int
+
+    HEADER: ClassVar[int] = 0x31
+    SCHEME: ClassVar[str] = "sscc-96"
+
+    def __post_init__(self) -> None:
+        partition = _partition_for_company_digits(
+            _SSCC_PARTITIONS, self.company_digits
+        )
+        company_bits, company_digits, serial_bits, serial_digits = _SSCC_PARTITIONS[
+            partition
+        ]
+        _check_range("filter", self.filter_value, 3)
+        _check_digits("company_prefix", self.company_prefix, company_digits)
+        _check_range("company_prefix", self.company_prefix, company_bits)
+        _check_digits("serial_reference", self.serial_reference, serial_digits)
+        _check_range("serial_reference", self.serial_reference, serial_bits)
+
+    @property
+    def partition(self) -> int:
+        return _partition_for_company_digits(_SSCC_PARTITIONS, self.company_digits)
+
+    def to_int(self) -> int:
+        company_bits, _cd, serial_bits, _sd = _SSCC_PARTITIONS[self.partition]
+        value = self.HEADER
+        value = (value << 3) | self.filter_value
+        value = (value << 3) | self.partition
+        value = (value << company_bits) | self.company_prefix
+        value = (value << serial_bits) | self.serial_reference
+        value <<= 24  # unallocated tail bits
+        return value
+
+    def to_uri(self) -> str:
+        company = str(self.company_prefix).zfill(self.company_digits)
+        _cb, _cd, _sb, serial_digits = _SSCC_PARTITIONS[self.partition]
+        serial = str(self.serial_reference).zfill(serial_digits)
+        return f"urn:epc:tag:sscc-96:{self.filter_value}.{company}.{serial}"
+
+    @classmethod
+    def from_int(cls, value: int) -> "Sscc96":
+        filter_value = (value >> 85) & 0x7
+        partition = (value >> 82) & 0x7
+        if partition not in _SSCC_PARTITIONS:
+            raise EpcError(f"invalid SSCC-96 partition {partition}")
+        company_bits, company_digits, serial_bits, _sd = _SSCC_PARTITIONS[partition]
+        shift = 82 - company_bits
+        company = (value >> shift) & ((1 << company_bits) - 1)
+        shift -= serial_bits
+        serial = (value >> shift) & ((1 << serial_bits) - 1)
+        return cls(filter_value, company, company_digits, serial)
+
+
+@dataclass(frozen=True)
+class Grai96(Epc):
+    """Global Returnable Asset Identifier, 96-bit encoding."""
+
+    filter_value: int
+    company_prefix: int
+    company_digits: int
+    asset_type: int
+    serial: int
+
+    HEADER: ClassVar[int] = 0x33
+    SCHEME: ClassVar[str] = "grai-96"
+
+    def __post_init__(self) -> None:
+        partition = _partition_for_company_digits(
+            _GRAI_PARTITIONS, self.company_digits
+        )
+        company_bits, company_digits, type_bits, type_digits = _GRAI_PARTITIONS[
+            partition
+        ]
+        _check_range("filter", self.filter_value, 3)
+        _check_digits("company_prefix", self.company_prefix, company_digits)
+        _check_range("company_prefix", self.company_prefix, company_bits)
+        _check_digits("asset_type", self.asset_type, type_digits)
+        _check_range("asset_type", self.asset_type, type_bits)
+        _check_range("serial", self.serial, 38)
+
+    @property
+    def partition(self) -> int:
+        return _partition_for_company_digits(_GRAI_PARTITIONS, self.company_digits)
+
+    def to_int(self) -> int:
+        company_bits, _cd, type_bits, _td = _GRAI_PARTITIONS[self.partition]
+        value = self.HEADER
+        value = (value << 3) | self.filter_value
+        value = (value << 3) | self.partition
+        value = (value << company_bits) | self.company_prefix
+        value = (value << type_bits) | self.asset_type
+        value = (value << 38) | self.serial
+        return value
+
+    def to_uri(self) -> str:
+        company = str(self.company_prefix).zfill(self.company_digits)
+        _cb, _cd, _tb, type_digits = _GRAI_PARTITIONS[self.partition]
+        asset = str(self.asset_type).zfill(type_digits) if type_digits else "0"
+        return (
+            f"urn:epc:tag:grai-96:{self.filter_value}.{company}.{asset}.{self.serial}"
+        )
+
+    @classmethod
+    def from_int(cls, value: int) -> "Grai96":
+        filter_value = (value >> 85) & 0x7
+        partition = (value >> 82) & 0x7
+        if partition not in _GRAI_PARTITIONS:
+            raise EpcError(f"invalid GRAI-96 partition {partition}")
+        company_bits, company_digits, type_bits, _td = _GRAI_PARTITIONS[partition]
+        shift = 82 - company_bits
+        company = (value >> shift) & ((1 << company_bits) - 1)
+        shift -= type_bits
+        asset_type = (value >> shift) & ((1 << type_bits) - 1)
+        serial = value & ((1 << 38) - 1)
+        return cls(filter_value, company, company_digits, asset_type, serial)
+
+
+#: SGLN-96 partition table: value -> (company bits, company digits,
+#: location-reference bits, location-reference digits).
+_SGLN_PARTITIONS = {
+    0: (40, 12, 1, 0),
+    1: (37, 11, 4, 1),
+    2: (34, 10, 7, 2),
+    3: (30, 9, 11, 3),
+    4: (27, 8, 14, 4),
+    5: (24, 7, 17, 5),
+    6: (20, 6, 21, 6),
+}
+
+
+@dataclass(frozen=True)
+class Sgln96(Epc):
+    """Serialized Global Location Number, 96-bit encoding.
+
+    Physical locations — dock doors, store shelves, gate portals — are
+    themselves EPC-identified in deployed systems; readers report their
+    own SGLN as the reader EPC.
+    """
+
+    filter_value: int
+    company_prefix: int
+    company_digits: int
+    location_reference: int
+    extension: int
+
+    HEADER: ClassVar[int] = 0x32
+    SCHEME: ClassVar[str] = "sgln-96"
+
+    def __post_init__(self) -> None:
+        partition = _partition_for_company_digits(
+            _SGLN_PARTITIONS, self.company_digits
+        )
+        company_bits, company_digits, location_bits, location_digits = (
+            _SGLN_PARTITIONS[partition]
+        )
+        _check_range("filter", self.filter_value, 3)
+        _check_digits("company_prefix", self.company_prefix, company_digits)
+        _check_range("company_prefix", self.company_prefix, company_bits)
+        _check_digits(
+            "location_reference", self.location_reference, location_digits
+        )
+        _check_range("location_reference", self.location_reference, location_bits)
+        _check_range("extension", self.extension, 41)
+
+    @property
+    def partition(self) -> int:
+        return _partition_for_company_digits(_SGLN_PARTITIONS, self.company_digits)
+
+    def to_int(self) -> int:
+        company_bits, _cd, location_bits, _ld = _SGLN_PARTITIONS[self.partition]
+        value = self.HEADER
+        value = (value << 3) | self.filter_value
+        value = (value << 3) | self.partition
+        value = (value << company_bits) | self.company_prefix
+        value = (value << location_bits) | self.location_reference
+        value = (value << 41) | self.extension
+        return value
+
+    def to_uri(self) -> str:
+        company = str(self.company_prefix).zfill(self.company_digits)
+        _cb, _cd, _lb, location_digits = _SGLN_PARTITIONS[self.partition]
+        location = (
+            str(self.location_reference).zfill(location_digits)
+            if location_digits
+            else "0"
+        )
+        return (
+            f"urn:epc:tag:sgln-96:{self.filter_value}.{company}.{location}"
+            f".{self.extension}"
+        )
+
+    @classmethod
+    def from_int(cls, value: int) -> "Sgln96":
+        filter_value = (value >> 85) & 0x7
+        partition = (value >> 82) & 0x7
+        if partition not in _SGLN_PARTITIONS:
+            raise EpcError(f"invalid SGLN-96 partition {partition}")
+        company_bits, company_digits, location_bits, _ld = _SGLN_PARTITIONS[
+            partition
+        ]
+        shift = 82 - company_bits
+        company = (value >> shift) & ((1 << company_bits) - 1)
+        shift -= location_bits
+        location = (value >> shift) & ((1 << location_bits) - 1)
+        extension = value & ((1 << 41) - 1)
+        return cls(filter_value, company, company_digits, location, extension)
+
+
+@dataclass(frozen=True)
+class Gid96(Epc):
+    """General Identifier, 96-bit encoding (no company prefix structure)."""
+
+    manager: int
+    object_class: int
+    serial: int
+
+    HEADER: ClassVar[int] = 0x35
+    SCHEME: ClassVar[str] = "gid-96"
+
+    def __post_init__(self) -> None:
+        _check_range("manager", self.manager, 28)
+        _check_range("object_class", self.object_class, 24)
+        _check_range("serial", self.serial, 36)
+
+    def to_int(self) -> int:
+        value = self.HEADER
+        value = (value << 28) | self.manager
+        value = (value << 24) | self.object_class
+        value = (value << 36) | self.serial
+        return value
+
+    def to_uri(self) -> str:
+        return f"urn:epc:tag:gid-96:{self.manager}.{self.object_class}.{self.serial}"
+
+    @classmethod
+    def from_int(cls, value: int) -> "Gid96":
+        manager = (value >> 60) & ((1 << 28) - 1)
+        object_class = (value >> 36) & ((1 << 24) - 1)
+        serial = value & ((1 << 36) - 1)
+        return cls(manager, object_class, serial)
+
+
+_SCHEMES: dict[int, Type[Epc]] = {
+    Sgtin96.HEADER: Sgtin96,
+    Sscc96.HEADER: Sscc96,
+    Sgln96.HEADER: Sgln96,
+    Grai96.HEADER: Grai96,
+    Gid96.HEADER: Gid96,
+}
+
+
+def decode(epc: "str | int") -> Epc:
+    """Decode a 96-bit EPC from an int or 24-hex-digit string.
+
+    >>> tag = Sgtin96(3, 614141, 7, 812345, 6789)
+    >>> decode(tag.to_hex()) == tag
+    True
+    """
+    if isinstance(epc, str):
+        text = epc.strip()
+        if len(text) != 24:
+            raise EpcError(f"expected 24 hex digits, got {len(text)}: {epc!r}")
+        try:
+            value = int(text, 16)
+        except ValueError:
+            raise EpcError(f"not a hex EPC value: {epc!r}") from None
+    else:
+        value = epc
+    if value < 0 or value >= (1 << EPC_BITS):
+        raise EpcError(f"EPC value out of 96-bit range: {value}")
+    header = value >> 88
+    scheme = _SCHEMES.get(header)
+    if scheme is None:
+        raise EpcError(f"unknown EPC header 0x{header:02X}")
+    return scheme.from_int(value)
+
+
+def scheme_of(epc: "str | int") -> str:
+    """The scheme name (``'sgtin-96'`` …) of an encoded EPC."""
+    return decode(epc).SCHEME

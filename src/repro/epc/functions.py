@@ -1,0 +1,129 @@
+"""The user-defined ``type()`` and ``group()`` functions of paper §2.1.
+
+The paper defines primitive event types through two functions:
+
+* ``type(o)`` — the type of the object with EPC ``o``, "extracted from
+  its EPC value with a user-defined extraction function, or specified by
+  a user with a mapping function";
+* ``group(r)`` — the group the reader ``r`` belongs to ("readers are
+  often deployed into groups in which readers perform the same
+  functionality").
+
+:class:`TypeRegistry` implements both extraction styles: object-class
+rules decode the EPC and match on its structural fields (scheme,
+company prefix, item reference / object class), while explicit overrides
+map individual EPCs.  :class:`ReaderGroupRegistry` implements ``group``
+with per-reader assignment plus a default of the reader itself (the
+paper's default of a singleton group).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .codecs import Epc, EpcError, Gid96, Grai96, Sgtin96, Sscc96, decode
+
+
+class TypeRegistry:
+    """Maps object EPCs to application type names (``type(o)``).
+
+    Resolution order:
+
+    1. explicit per-EPC overrides (:meth:`register_epc`);
+    2. class rules keyed on the decoded EPC's structural identity
+       (:meth:`register_class`) — e.g. "SGTIN item reference 812345 of
+       company 614141 is a ``laptop``";
+    3. scheme defaults (:meth:`register_scheme_default`) — e.g. "every
+       SSCC is a ``pallet``";
+    4. ``None`` (or raw strings that fail to decode: the ``fallback``
+       mapping, for tests that use human-readable IDs).
+    """
+
+    def __init__(self, fallback: Optional[dict[str, str]] = None) -> None:
+        self._epc_overrides: dict[str, str] = {}
+        self._class_rules: dict[tuple, str] = {}
+        self._scheme_defaults: dict[str, str] = {}
+        self._fallback = dict(fallback or {})
+
+    # -- registration --------------------------------------------------------
+
+    def register_epc(self, epc: str, type_name: str) -> None:
+        """Pin one specific EPC to a type."""
+        self._epc_overrides[epc] = type_name
+
+    def register_class(self, identity: Epc, type_name: str) -> None:
+        """Register a class rule from a prototype identity.
+
+        The serial field is ignored: all tags of the same trade
+        item/object class share the type.
+        """
+        self._class_rules[self._class_key(identity)] = type_name
+
+    def register_scheme_default(self, scheme: str, type_name: str) -> None:
+        """Give every EPC of a scheme (e.g. ``'sscc-96'``) a default type."""
+        self._scheme_defaults[scheme] = type_name
+
+    def register_fallback(self, obj: str, type_name: str) -> None:
+        """Map a raw (non-EPC) object identifier to a type."""
+        self._fallback[obj] = type_name
+
+    # -- lookup ----------------------------------------------------------------
+
+    def type_of(self, obj: str) -> Optional[str]:
+        """Resolve ``type(o)``; returns None for unknown objects."""
+        override = self._epc_overrides.get(obj)
+        if override is not None:
+            return override
+        try:
+            identity = decode(obj)
+        except EpcError:
+            return self._fallback.get(obj)
+        by_class = self._class_rules.get(self._class_key(identity))
+        if by_class is not None:
+            return by_class
+        return self._scheme_defaults.get(identity.SCHEME)
+
+    def __call__(self, obj: str) -> Optional[str]:
+        return self.type_of(obj)
+
+    @staticmethod
+    def _class_key(identity: Epc) -> tuple:
+        if isinstance(identity, Sgtin96):
+            return ("sgtin-96", identity.company_prefix, identity.item_reference)
+        if isinstance(identity, Sscc96):
+            return ("sscc-96", identity.company_prefix)
+        if isinstance(identity, Grai96):
+            return ("grai-96", identity.company_prefix, identity.asset_type)
+        if isinstance(identity, Gid96):
+            return ("gid-96", identity.manager, identity.object_class)
+        raise EpcError(f"unsupported identity type {type(identity).__name__}")
+
+
+class ReaderGroupRegistry:
+    """Maps reader EPCs to deployment groups (``group(r)``).
+
+    Unassigned readers default to a singleton group named after the
+    reader itself, matching the paper's default semantics.
+    """
+
+    def __init__(self) -> None:
+        self._groups: dict[str, str] = {}
+
+    def assign(self, reader: str, group: str) -> None:
+        self._groups[reader] = group
+
+    def assign_all(self, readers: "list[str] | tuple[str, ...]", group: str) -> None:
+        for reader in readers:
+            self.assign(reader, group)
+
+    def group_of(self, reader: str) -> str:
+        return self._groups.get(reader, reader)
+
+    def __call__(self, reader: str) -> str:
+        return self.group_of(reader)
+
+    def members(self, group: str) -> list[str]:
+        """All readers explicitly assigned to ``group``."""
+        return sorted(
+            reader for reader, name in self._groups.items() if name == group
+        )

@@ -1,0 +1,12 @@
+"""RFID data filtering: duplicate suppression and infield/outfield events."""
+
+from .duplicates import DuplicateFilter, duplicate_detection_rule
+from .semantic import SmartShelfMonitor, infield_rule, outfield_rule
+
+__all__ = [
+    "duplicate_detection_rule",
+    "DuplicateFilter",
+    "infield_rule",
+    "outfield_rule",
+    "SmartShelfMonitor",
+]

@@ -1,0 +1,121 @@
+"""Low-level data filtering: duplicate detection (paper §3.1, Rule 1).
+
+Two interchangeable implementations:
+
+* :func:`duplicate_detection_rule` — the paper's declarative form: a
+  ``WITHIN(observation(r,o,t1); observation(r,o,t2), τ)`` rule whose
+  action marks the *earlier* reading as a duplicate (Rule 1 semantics);
+* :class:`DuplicateFilter` — a streaming pre-filter that suppresses
+  repeat readings of the same (group, object) inside the window before
+  they ever reach the engine, which is how a deployed edge box would
+  clean a dwell-heavy stream.
+
+Both support reader *groups* so duplicates across co-located readers
+(duplicate source ii) are caught, per the paper's note that a group of
+readers can be treated as one logical reader.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator, Optional
+
+from ..core.detector import ActivationContext
+from ..core.expressions import Seq, Var, Within, obs
+from ..core.instances import Observation
+from ..rules import CallableAction, Rule
+
+
+def duplicate_detection_rule(
+    window: float = 5.0,
+    group: Optional[str] = None,
+    on_duplicate: Optional[Callable[[Observation], None]] = None,
+    rule_id: str = "r1",
+) -> Rule:
+    """Build the paper's Rule 1.
+
+    The matched instance is (earlier reading ; later reading) of the same
+    reader — or the same *group* when ``group`` is given — and the same
+    object; ``on_duplicate`` receives the earlier (duplicate) reading.
+    """
+    reader_var, object_var = Var("r"), Var("o")
+    if group is None:
+        first = obs(reader_var, object_var, t=Var("t1"))
+        second = obs(reader_var, object_var, t=Var("t2"))
+    else:
+        first = obs(None, object_var, group=group, t=Var("t1"))
+        second = obs(None, object_var, group=group, t=Var("t2"))
+    event = Within(Seq(first, second), window)
+
+    def mark_duplicate(context: ActivationContext) -> None:
+        earlier = context.observations()[0]
+        if on_duplicate is not None:
+            on_duplicate(earlier)
+        elif context.store is not None:
+            context.store.send_alert(
+                context.rule.rule_id,
+                f"duplicate {earlier!r}",
+                context.time,
+            )
+
+    return Rule(
+        rule_id,
+        "duplicate detection rule",
+        event,
+        actions=[CallableAction(mark_duplicate)],
+    )
+
+
+class DuplicateFilter:
+    """Streaming duplicate suppression ahead of the engine.
+
+    A reading passes iff no reading of the same (group, object) passed
+    within the last ``window`` seconds.  Passing a reading *refreshes*
+    the suppression window (a tag dwelling in the field is reported once
+    per ``window``, not once ever).
+
+    >>> dup = DuplicateFilter(window=5.0)
+    >>> readings = [Observation("r1", "x", t) for t in (0.0, 2.0, 7.0)]
+    >>> [observation.timestamp for observation in dup.filter(readings)]
+    [0.0, 7.0]
+    """
+
+    def __init__(
+        self,
+        window: float = 5.0,
+        group_of: Optional[Callable[[str], str]] = None,
+    ) -> None:
+        if window <= 0:
+            raise ValueError("window must be positive")
+        self.window = window
+        self.group_of = group_of if group_of is not None else lambda reader: reader
+        self._last_passed: dict[tuple[str, str], float] = {}
+        self.suppressed = 0
+        self.passed = 0
+
+    def admit(self, observation: Observation) -> bool:
+        """Decide one reading; updates filter state."""
+        key = (self.group_of(observation.reader), observation.obj)
+        last = self._last_passed.get(key)
+        if last is not None and observation.timestamp - last < self.window:
+            self.suppressed += 1
+            return False
+        self._last_passed[key] = observation.timestamp
+        self.passed += 1
+        return True
+
+    def filter(self, stream: Iterable[Observation]) -> Iterator[Observation]:
+        """Lazily filter a time-ordered stream."""
+        for observation in stream:
+            if self.admit(observation):
+                yield observation
+
+    def prune(self, older_than: float) -> int:
+        """Drop suppression state last touched before ``older_than``."""
+        stale = [
+            key
+            for key, timestamp in self._last_passed.items()
+            if timestamp < older_than
+        ]
+        for key in stale:
+            del self._last_passed[key]
+        return len(stale)

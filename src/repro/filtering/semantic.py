@@ -1,0 +1,131 @@
+"""Semantic data filtering: infield/outfield events (paper §3.1, Rule 2).
+
+Smart-shelf readers report every tag in their field on every frame, but
+inventory applications only care about *infield* (an object newly placed
+on the shelf) and *outfield* (an object removed).  The rule builders
+below express both as the paper does — negated observations inside a
+``WITHIN`` window sized to the bulk-read period — and
+:class:`SmartShelfMonitor` packages them into a live inventory tracker.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..core.detector import ActivationContext, Engine
+from ..core.expressions import Not, Seq, Var, Within, obs
+from ..core.instances import Observation
+from ..rules import CallableAction, Rule
+
+FieldCallback = Callable[[str, str, float], None]  # (reader, object, time)
+
+
+def infield_rule(
+    period: float = 30.0,
+    reader: Optional[str] = None,
+    group: Optional[str] = None,
+    on_infield: Optional[FieldCallback] = None,
+    record_observation: bool = False,
+    rule_id: str = "r2",
+) -> Rule:
+    """Rule 2: first observation with no prior reading within ``period``.
+
+    With ``record_observation`` the action also inserts the reading into
+    the store's OBSERVATION table, exactly as the paper's Rule 2 does.
+    """
+    first, second = _shelf_pair(reader, group)
+    event = Within(Seq(Not(first), second), period)
+
+    def action(context: ActivationContext) -> None:
+        observation = context.observations()[0]
+        if on_infield is not None:
+            on_infield(observation.reader, observation.obj, observation.timestamp)
+        if record_observation and context.store is not None:
+            context.store.record_observation(
+                observation.reader, observation.obj, observation.timestamp
+            )
+
+    return Rule(rule_id, "infield filtering", event, actions=[CallableAction(action)])
+
+
+def outfield_rule(
+    period: float = 30.0,
+    reader: Optional[str] = None,
+    group: Optional[str] = None,
+    on_outfield: Optional[FieldCallback] = None,
+    rule_id: str = "r2b",
+) -> Rule:
+    """The symmetric rule: observed, then unseen for a full ``period``.
+
+    Per the paper, "outfield filtering can be defined similarly by
+    switching the order of the negated event."  The callback receives
+    the *last* reading of the object; the detection fires one period
+    after it.
+    """
+    first, second = _shelf_pair(reader, group)
+    event = Within(Seq(first, Not(second)), period)
+
+    def action(context: ActivationContext) -> None:
+        observation = context.observations()[0]
+        if on_outfield is not None:
+            on_outfield(observation.reader, observation.obj, context.time)
+
+    return Rule(rule_id, "outfield filtering", event, actions=[CallableAction(action)])
+
+
+def _shelf_pair(reader: Optional[str], group: Optional[str]):
+    reader_term = reader if reader is not None else Var("r")
+    first = obs(reader_term, Var("o"), group=group, t=Var("t1"))
+    second = obs(reader_term, Var("o"), group=group, t=Var("t2"))
+    return first, second
+
+
+class SmartShelfMonitor:
+    """Live shelf inventory built from infield/outfield rules.
+
+    >>> monitor = SmartShelfMonitor(period=30.0, reader="shelf1")
+    >>> for tick in (0.0, 30.0):
+    ...     _ = monitor.engine.submit(Observation("shelf1", "mug", tick))
+    >>> monitor.inventory()
+    ['mug']
+    """
+
+    def __init__(
+        self,
+        period: float = 30.0,
+        reader: Optional[str] = None,
+        group: Optional[str] = None,
+        engine: Optional[Engine] = None,
+    ) -> None:
+        self.period = period
+        self._present: dict[str, float] = {}
+        self.events: list[tuple[str, str, float]] = []  # (kind, obj, time)
+        self.engine = engine if engine is not None else Engine()
+        self.engine.add_rule(
+            infield_rule(
+                period, reader, group, on_infield=self._infield, rule_id="shelf-in"
+            )
+        )
+        self.engine.add_rule(
+            outfield_rule(
+                period, reader, group, on_outfield=self._outfield, rule_id="shelf-out"
+            )
+        )
+
+    def _infield(self, reader: str, obj: str, time: float) -> None:
+        self._present[obj] = time
+        self.events.append(("infield", obj, time))
+
+    def _outfield(self, reader: str, obj: str, time: float) -> None:
+        self._present.pop(obj, None)
+        self.events.append(("outfield", obj, time))
+
+    def inventory(self) -> list[str]:
+        """Objects currently believed to be on the shelf."""
+        return sorted(self._present)
+
+    def process(self, observations) -> None:
+        """Feed a stream and settle remaining expirations."""
+        for observation in observations:
+            self.engine.submit(observation)
+        self.engine.flush()

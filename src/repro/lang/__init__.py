@@ -1,0 +1,32 @@
+"""Declarative rule language: the paper's DEFINE / CREATE RULE syntax.
+
+Parses textual rule programs into :class:`repro.rules.Rule` objects and
+renders event expressions back to text::
+
+    from repro.lang import parse_rules
+
+    rules = parse_rules('''
+        DEFINE E1 = observation("r1", o1, t1)
+        DEFINE E2 = observation("r2", o2, t2)
+        CREATE RULE r4, containment rule
+        ON TSEQ(TSEQ+(E1, 0.1sec, 1sec); E2, 10sec, 20sec)
+        IF true
+        DO BULK INSERT INTO CONTAINMENT VALUES (o1, o2, t2, 'UC')
+    ''')
+"""
+
+from .events import parse_event
+from .parser import RuleProgram, parse_event_text, parse_program, parse_rules
+from .printer import format_event
+from .scanner import RuleSyntaxError, scan
+
+__all__ = [
+    "format_event",
+    "parse_event",
+    "parse_event_text",
+    "parse_program",
+    "parse_rules",
+    "RuleProgram",
+    "RuleSyntaxError",
+    "scan",
+]

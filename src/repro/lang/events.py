@@ -1,0 +1,320 @@
+"""Parser for event expressions in the declarative rule language.
+
+Accepts the paper's notation::
+
+    TSEQ(TSEQ+(E1, 0.1sec, 1sec); E2, 10sec, 20sec)
+    WITHIN(E4 ∧ ¬E5, 5sec)
+    WITHIN(¬observation(r, o, t1); observation(r, o, t2), 30sec)
+    observation(r, o, t), group(r)='g1', type(o)='case'
+
+Operator precedence (loosest to tightest): ``OR``, ``AND``, ``;``
+(sequence), ``NOT``.  The functional constructors (``SEQ`` ``TSEQ``
+``SEQ+`` ``TSEQ+`` ``WITHIN``) and parentheses are primaries.  In an
+``observation(r, o, t)`` spec, a quoted argument is a literal, a bare
+name is a variable (bindings unify across constituents), and ``_`` or
+``*`` is an anonymous wildcard.  Durations accept a unit suffix
+(``5sec``) or are plain numbers in seconds.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Sequence, Union
+
+from ..core.expressions import (
+    And,
+    EventExpr,
+    Not,
+    ObservationType,
+    Or,
+    Periodic,
+    Seq,
+    SeqPlus,
+    TSeq,
+    TSeqPlus,
+    Var,
+    Within,
+)
+from .scanner import DURATION, END, NAME, NUMBER, OP, STRING, RuleSyntaxError, Token, scan
+
+_CONSTRUCTORS = frozenset(
+    ("seq", "tseq", "seq+", "tseq+", "within", "all", "any", "periodic")
+)
+
+
+class EventParser:
+    """Recursive-descent parser over a token slice."""
+
+    def __init__(
+        self,
+        tokens: Sequence[Token],
+        text: str,
+        aliases: Optional[Mapping[str, EventExpr]] = None,
+    ) -> None:
+        self.tokens = list(tokens)
+        if not self.tokens or self.tokens[-1].kind != END:
+            self.tokens.append(Token(END, "", 0, 0))
+        self.text = text
+        self.aliases = dict(aliases or {})
+        self.position = 0
+
+    # -- token helpers -------------------------------------------------------
+
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.position]
+
+    def peek(self, offset: int = 1) -> Token:
+        index = min(self.position + offset, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def advance(self) -> Token:
+        token = self.current
+        if token.kind != END:
+            self.position += 1
+        return token
+
+    def accept_op(self, op: str) -> bool:
+        if self.current.kind == OP and self.current.value == op:
+            self.advance()
+            return True
+        return False
+
+    def accept_word(self, word: str) -> bool:
+        if self.current.is_keyword(word):
+            self.advance()
+            return True
+        return False
+
+    def expect_op(self, op: str) -> None:
+        if not self.accept_op(op):
+            self.fail(f"expected {op!r}")
+
+    def fail(self, message: str) -> None:
+        raise RuleSyntaxError(
+            f"{message}, found {self.current.value!r}", self.text, self.current.start
+        )
+
+    # -- grammar ---------------------------------------------------------------
+
+    def parse(self) -> EventExpr:
+        expr = self.expression()
+        if self.current.kind != END:
+            self.fail("unexpected trailing input in event expression")
+        return expr
+
+    def expression(self, allow_seq: bool = True) -> EventExpr:
+        """Parse an expression; ``allow_seq=False`` leaves a top-level ``;``
+        unconsumed (it then separates the operands of SEQ/TSEQ syntax)."""
+        return self.or_expression(allow_seq)
+
+    def or_expression(self, allow_seq: bool) -> EventExpr:
+        operands = [self.and_expression(allow_seq)]
+        while self.accept_word("or") or self.accept_op("|"):
+            operands.append(self.and_expression(allow_seq))
+        return operands[0] if len(operands) == 1 else Or(*operands)
+
+    def and_expression(self, allow_seq: bool) -> EventExpr:
+        operands = [self.seq_expression(allow_seq)]
+        while self.accept_word("and") or self.accept_op("&"):
+            operands.append(self.seq_expression(allow_seq))
+        return operands[0] if len(operands) == 1 else And(*operands)
+
+    def seq_expression(self, allow_seq: bool) -> EventExpr:
+        expr = self.not_expression()
+        while allow_seq and self.accept_op(";"):
+            expr = Seq(expr, self.not_expression())
+        return expr
+
+    def not_expression(self) -> EventExpr:
+        if self.accept_word("not") or self.accept_op("!"):
+            return Not(self.not_expression())
+        return self.primary()
+
+    def primary(self) -> EventExpr:
+        token = self.current
+        if token.kind == OP and token.value == "(":
+            self.advance()
+            inner = self.expression()
+            self.expect_op(")")
+            return inner
+        if token.kind == NAME:
+            word = str(token.value).lower()
+            if word in _CONSTRUCTORS and self.peek().kind == OP and self.peek().value == "(":
+                self.advance()
+                return self.constructor(word)
+            if word == "observation" and self.peek().kind == OP and self.peek().value == "(":
+                self.advance()
+                return self.observation()
+            self.advance()
+            alias = self.aliases.get(str(token.value))
+            if alias is None:
+                raise RuleSyntaxError(
+                    f"unknown event name {token.value!r} (no DEFINE in scope)",
+                    self.text,
+                    token.start,
+                )
+            return alias
+        self.fail("expected an event expression")
+        raise AssertionError  # pragma: no cover - fail() always raises
+
+    def constructor(self, word: str) -> EventExpr:
+        self.expect_op("(")
+        if word == "seq":
+            first = self.expression(allow_seq=False)
+            self.expect_op(";")
+            second = self.expression(allow_seq=False)
+            self.expect_op(")")
+            return Seq(first, second)
+        if word == "tseq":
+            first = self.expression(allow_seq=False)
+            self.expect_op(";")
+            second = self.expression(allow_seq=False)
+            self.expect_op(",")
+            lower = self.duration()
+            self.expect_op(",")
+            upper = self.duration()
+            self.expect_op(")")
+            return TSeq(first, second, lower, upper)
+        if word == "seq+":
+            inner = self.expression()
+            self.expect_op(")")
+            return SeqPlus(inner)
+        if word == "tseq+":
+            inner = self.expression()
+            self.expect_op(",")
+            lower = self.duration()
+            self.expect_op(",")
+            upper = self.duration()
+            self.expect_op(")")
+            return TSeqPlus(inner, lower, upper)
+        if word == "within":
+            inner = self.expression()
+            self.expect_op(",")
+            tau = self.duration()
+            self.expect_op(")")
+            return Within(inner, tau)
+        if word == "periodic":
+            inner = self.expression()
+            self.expect_op(",")
+            period = self.duration()
+            self.expect_op(")")
+            return Periodic(inner, period)
+        if word in ("all", "any"):
+            operands = [self.expression()]
+            while self.accept_op(","):
+                operands.append(self.expression())
+            self.expect_op(")")
+            if len(operands) == 1:
+                return operands[0]
+            return And(*operands) if word == "all" else Or(*operands)
+        raise AssertionError(word)  # pragma: no cover
+
+    def duration(self) -> float:
+        token = self.current
+        if token.kind in (DURATION, NUMBER):
+            self.advance()
+            return float(token.value)  # type: ignore[arg-type]
+        self.fail("expected a duration")
+        raise AssertionError  # pragma: no cover
+
+    # -- observation specs -----------------------------------------------------------
+
+    def observation(self) -> ObservationType:
+        self.expect_op("(")
+        reader = self.term()
+        self.expect_op(",")
+        obj = self.term()
+        self.expect_op(",")
+        time_term = self.term()
+        self.expect_op(")")
+        if isinstance(time_term, str):
+            raise RuleSyntaxError(
+                "the third observation argument is the timestamp variable "
+                "and cannot be a string literal",
+                self.text,
+                self.current.start,
+            )
+        group = None
+        obj_type = None
+        while self.predicate_follows():
+            self.advance()  # the comma
+            func = str(self.advance().value).lower()
+            self.expect_op("(")
+            argument = self.advance()
+            self.expect_op(")")
+            self.expect_op("=")
+            value_token = self.advance()
+            if value_token.kind != STRING:
+                self.fail("predicate value must be a quoted string")
+            value = str(value_token.value)
+            arg_name = str(argument.value)
+            if func == "group":
+                self.check_predicate_argument(arg_name, reader, "reader", argument)
+                if isinstance(reader, str):
+                    # group('r1')='r1' on a literal reader: normalize to a
+                    # variable-free group filter.
+                    reader = None
+                group = value
+            else:  # type
+                self.check_predicate_argument(arg_name, obj, "object", argument)
+                obj_type = value
+        return ObservationType(reader, obj, group, obj_type, t=time_term)
+
+    def predicate_follows(self) -> bool:
+        if not (self.current.kind == OP and self.current.value == ","):
+            return False
+        func = self.peek(1)
+        paren = self.peek(2)
+        return (
+            func.kind == NAME
+            and str(func.value).lower() in ("group", "type")
+            and paren.kind == OP
+            and paren.value == "("
+        )
+
+    def check_predicate_argument(
+        self,
+        arg_name: str,
+        declared: Union[str, Var, None],
+        role: str,
+        token: Token,
+    ) -> None:
+        if isinstance(declared, Var) and declared.name == arg_name:
+            return
+        if isinstance(declared, str) and declared == arg_name:
+            return
+        if arg_name == "_":
+            return  # anonymous predicate argument applies positionally
+        raise RuleSyntaxError(
+            f"predicate argument {arg_name!r} does not match the "
+            f"observation's {role} term ({declared!r})",
+            self.text,
+            token.start,
+        )
+
+    def term(self) -> Union[str, Var, None]:
+        token = self.advance()
+        if token.kind == STRING:
+            return str(token.value)
+        if token.kind == OP and token.value == "*":
+            return None
+        if token.kind == NAME:
+            name = str(token.value)
+            if name == "_":
+                return None
+            return Var(name)
+        self.fail("expected a reader/object/timestamp term")
+        raise AssertionError  # pragma: no cover
+
+
+def parse_event(
+    text: str, aliases: Optional[Mapping[str, EventExpr]] = None
+) -> EventExpr:
+    """Parse one event expression from source text.
+
+    >>> expr = parse_event("WITHIN(observation('r1', o, t1); "
+    ...                    "observation('r1', o, t2), 5sec)")
+    >>> type(expr).__name__
+    'Within'
+    """
+    return EventParser(scan(text), text, aliases).parse()

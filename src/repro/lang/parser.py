@@ -1,0 +1,249 @@
+"""Program-level parser: ``DEFINE`` and ``CREATE RULE`` statements.
+
+A rule program is a sequence of::
+
+    DEFINE <name> = <event specification>
+    CREATE RULE <id>, <free-text name>
+    ON <event>
+    IF <condition>
+    DO <action>; <action>; ...
+
+The ``ON`` event is parsed with :mod:`repro.lang.events`; the ``IF`` and
+``DO`` sections are sliced verbatim from the source (they are mini-SQL,
+handled by :mod:`repro.rules`), with two alert forms recognized in
+actions: ``ALERT '<template>'`` and the paper's ``send <anything>``.
+
+Statements are delimited structurally: a new statement starts at a
+top-level ``DEFINE``, or at ``CREATE`` immediately followed by ``RULE``
+(so SQL ``CREATE TABLE`` actions don't end a rule).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..core.expressions import EventExpr
+from ..rules import AlertAction, Rule
+from .events import EventParser
+from .scanner import END, NAME, OP, RuleSyntaxError, Token, scan
+
+
+@dataclass
+class RuleProgram:
+    """The result of parsing rule language source."""
+
+    aliases: dict[str, EventExpr] = field(default_factory=dict)
+    rules: list[Rule] = field(default_factory=list)
+
+    def rule(self, rule_id: str) -> Rule:
+        for rule in self.rules:
+            if rule.rule_id == rule_id:
+                return rule
+        raise KeyError(rule_id)
+
+
+def parse_program(
+    text: str, aliases: Optional[dict[str, EventExpr]] = None
+) -> RuleProgram:
+    """Parse a rule program; DEFINEd names accumulate across statements.
+
+    >>> program = parse_program('''
+    ...     DEFINE E1 = observation('r1', o, t)
+    ...     CREATE RULE r9, demo ON E1 IF true DO INSERT INTO T VALUES (o, t)
+    ... ''')
+    >>> [rule.rule_id for rule in program.rules]
+    ['r9']
+    """
+    tokens = scan(text)
+    program = RuleProgram(aliases=dict(aliases or {}))
+    position = 0
+    while tokens[position].kind != END:
+        token = tokens[position]
+        if token.is_keyword("define"):
+            position = _parse_define(tokens, position, text, program)
+        elif token.is_keyword("create") and tokens[position + 1].is_keyword("rule"):
+            position = _parse_rule(tokens, position, text, program)
+        else:
+            raise RuleSyntaxError(
+                f"expected DEFINE or CREATE RULE, found {token.value!r}",
+                text,
+                token.start,
+            )
+    return program
+
+
+def parse_rules(text: str) -> list[Rule]:
+    """Parse a program and return just its rules."""
+    return parse_program(text).rules
+
+
+def parse_event_text(
+    text: str, aliases: Optional[dict[str, EventExpr]] = None
+) -> EventExpr:
+    """Parse a bare event expression (exposed for tests and tooling)."""
+    return EventParser(scan(text), text, aliases).parse()
+
+
+# ---------------------------------------------------------------------------
+# statement parsers
+# ---------------------------------------------------------------------------
+
+
+def _parse_define(
+    tokens: list[Token], position: int, text: str, program: RuleProgram
+) -> int:
+    position += 1  # DEFINE
+    name_token = tokens[position]
+    if name_token.kind != NAME:
+        raise RuleSyntaxError("expected a name after DEFINE", text, name_token.start)
+    position += 1
+    if not (tokens[position].kind == OP and tokens[position].value == "="):
+        raise RuleSyntaxError(
+            "expected '=' in DEFINE", text, tokens[position].start
+        )
+    position += 1
+    end = _statement_end(tokens, position)
+    event_tokens = tokens[position:end]
+    expr = EventParser(event_tokens, text, program.aliases).parse()
+    expr_name = str(name_token.value)
+    if hasattr(expr, "alias"):
+        expr.alias = expr_name  # primitive events record it for diagnostics
+    program.aliases[expr_name] = expr
+    return end
+
+
+def _parse_rule(
+    tokens: list[Token], position: int, text: str, program: RuleProgram
+) -> int:
+    position += 2  # CREATE RULE
+    id_token = tokens[position]
+    if id_token.kind != NAME:
+        raise RuleSyntaxError(
+            "expected a rule id after CREATE RULE", text, id_token.start
+        )
+    rule_id = str(id_token.value)
+    position += 1
+    name = rule_id
+    if tokens[position].kind == OP and tokens[position].value == ",":
+        position += 1
+        name_start = tokens[position].start
+        while not tokens[position].is_keyword("on"):
+            if tokens[position].kind == END:
+                raise RuleSyntaxError(
+                    f"rule {rule_id!r} has no ON clause", text, id_token.start
+                )
+            position += 1
+        name = text[name_start : tokens[position - 1].end].strip() or rule_id
+    if not tokens[position].is_keyword("on"):
+        raise RuleSyntaxError(
+            f"expected ON in rule {rule_id!r}", text, tokens[position].start
+        )
+    position += 1
+
+    event_start = position
+    depth = 0
+    while True:
+        token = tokens[position]
+        if token.kind == END:
+            raise RuleSyntaxError(
+                f"rule {rule_id!r} has no IF clause", text, id_token.start
+            )
+        if token.kind == OP and token.value == "(":
+            depth += 1
+        elif token.kind == OP and token.value == ")":
+            depth -= 1
+        elif depth == 0 and token.is_keyword("if"):
+            break
+        position += 1
+    event_tokens = tokens[event_start:position]
+    event = EventParser(event_tokens, text, program.aliases).parse()
+    position += 1  # IF
+
+    condition_start_offset = tokens[position].start
+    depth = 0
+    while True:
+        token = tokens[position]
+        if token.kind == END:
+            raise RuleSyntaxError(
+                f"rule {rule_id!r} has no DO clause", text, id_token.start
+            )
+        if token.kind == OP and token.value == "(":
+            depth += 1
+        elif token.kind == OP and token.value == ")":
+            depth -= 1
+        elif depth == 0 and token.is_keyword("do"):
+            break
+        position += 1
+    condition_text = text[condition_start_offset : tokens[position - 1].end].strip()
+    position += 1  # DO
+
+    actions_start_offset = tokens[position].start if tokens[position].kind != END else len(text)
+    end = _statement_end(tokens, position)
+    actions_end_offset = tokens[end - 1].end if end > position else actions_start_offset
+    actions_text = text[actions_start_offset:actions_end_offset]
+    actions = [_make_action(chunk) for chunk in _split_actions(actions_text)]
+
+    program.rules.append(
+        Rule(rule_id, name, event, condition_text or None, actions)
+    )
+    return end
+
+
+def _statement_end(tokens: list[Token], position: int) -> int:
+    """Index of the first token starting the next statement (or END)."""
+    depth = 0
+    while True:
+        token = tokens[position]
+        if token.kind == END:
+            return position
+        if token.kind == OP and token.value == "(":
+            depth += 1
+        elif token.kind == OP and token.value == ")":
+            depth -= 1
+        elif depth == 0 and token.is_keyword("define"):
+            return position
+        elif (
+            depth == 0
+            and token.is_keyword("create")
+            and tokens[position + 1].is_keyword("rule")
+        ):
+            return position
+        position += 1
+
+
+def _split_actions(text: str) -> list[str]:
+    """Split the DO section on top-level semicolons, respecting strings."""
+    chunks: list[str] = []
+    current: list[str] = []
+    quote: Optional[str] = None
+    for char in text:
+        if quote is not None:
+            current.append(char)
+            if char == quote:
+                quote = None
+            continue
+        if char in ("'", '"'):
+            quote = char
+            current.append(char)
+            continue
+        if char == ";":
+            chunks.append("".join(current))
+            current = []
+            continue
+        current.append(char)
+    chunks.append("".join(current))
+    return [chunk.strip() for chunk in chunks if chunk.strip()]
+
+
+def _make_action(text: str):
+    """SQL by default; ``ALERT '<template>'`` / ``send ...`` become alerts."""
+    first_word = text.split(None, 1)[0].lower()
+    if first_word == "alert":
+        rest = text[len("alert") :].strip()
+        if rest and rest[0] in ("'", '"') and rest[-1] == rest[0]:
+            rest = rest[1:-1]
+        return AlertAction(rest or text)
+    if first_word == "send":
+        return AlertAction(text)
+    return text  # Rule() normalizes strings to SqlAction

@@ -1,0 +1,86 @@
+"""Pretty-printer: render event expressions back to rule language text.
+
+``format_event`` produces text that re-parses to a structurally equal
+expression (verified by a property test), which makes rules storable and
+diffable.  Durations are rendered with :func:`repro.core.temporal
+.format_duration`, matching the paper's ``0.1sec`` style.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from ..core.errors import ReproError
+from ..core.expressions import (
+    And,
+    EventExpr,
+    Not,
+    ObservationType,
+    Or,
+    Periodic,
+    Seq,
+    SeqPlus,
+    TSeq,
+    TSeqPlus,
+    Var,
+    Within,
+)
+from ..core.temporal import format_duration
+
+
+def _term(value: Union[str, Var, None]) -> str:
+    if value is None:
+        return "_"
+    if isinstance(value, Var):
+        return value.name
+    return f"'{value}'"
+
+
+def format_event(expr: EventExpr) -> str:
+    """Render an event expression as parseable rule language text.
+
+    >>> from repro import obs, Var, TSeq, TSeqPlus
+    >>> item = obs('r1', Var('o1'), t=Var('t1'))
+    >>> format_event(TSeqPlus(item, 0.1, 1))
+    "TSEQ+(observation('r1', o1, t1), 0.1sec, 1sec)"
+    """
+    if isinstance(expr, ObservationType):
+        reader = _term(expr.reader)
+        parts = [reader, _term(expr.obj), _term(expr.t)]
+        text = f"observation({', '.join(parts)})"
+        if expr.group is not None:
+            argument = expr.reader.name if isinstance(expr.reader, Var) else "_"
+            text += f", group({argument})='{expr.group}'"
+        if expr.obj_type is not None:
+            argument = expr.obj.name if isinstance(expr.obj, Var) else "_"
+            text += f", type({argument})='{expr.obj_type}'"
+        if expr.where is not None:
+            raise ReproError("callable predicates have no textual form")
+        return text
+    if isinstance(expr, Or):
+        return "(" + " OR ".join(format_event(child) for child in expr.children) + ")"
+    if isinstance(expr, And):
+        return "(" + " AND ".join(format_event(child) for child in expr.children) + ")"
+    if isinstance(expr, Not):
+        return f"NOT {format_event(expr.child)}"
+    if isinstance(expr, TSeq):
+        return (
+            f"TSEQ({format_event(expr.first)}; {format_event(expr.second)}, "
+            f"{format_duration(expr.lower)}, {format_duration(expr.upper)})"
+        )
+    if isinstance(expr, Seq):
+        return f"SEQ({format_event(expr.first)}; {format_event(expr.second)})"
+    if isinstance(expr, TSeqPlus):
+        return (
+            f"TSEQ+({format_event(expr.child)}, "
+            f"{format_duration(expr.lower)}, {format_duration(expr.upper)})"
+        )
+    if isinstance(expr, SeqPlus):
+        return f"SEQ+({format_event(expr.child)})"
+    if isinstance(expr, Within):
+        return f"WITHIN({format_event(expr.child)}, {format_duration(expr.tau)})"
+    if isinstance(expr, Periodic):
+        return (
+            f"PERIODIC({format_event(expr.child)}, {format_duration(expr.period)})"
+        )
+    raise ReproError(f"cannot print expression of type {type(expr).__name__}")

@@ -1,0 +1,145 @@
+"""Scanner for the declarative RFID rule language (paper §3 syntax).
+
+Handles the paper's notation faithfully, including the unicode operator
+spellings (``∨ ∧ ¬``), the ASCII equivalents (``OR AND NOT`` and
+``| & !``), attached duration literals (``5sec``, ``0.1sec``, ``10min``)
+and the ``SEQ+`` / ``TSEQ+`` constructor names (a trailing ``+`` glued
+to the preceding name).  Comments run from ``--`` or ``#`` to end of
+line.
+
+Tokens carry their source span so the program parser can slice the raw
+text of ``IF`` conditions and ``DO`` actions verbatim for the SQL layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.errors import ReproError
+from ..core.temporal import parse_duration
+
+
+class RuleSyntaxError(ReproError):
+    """A syntax error in rule language source text."""
+
+    def __init__(self, message: str, text: str = "", position: int = 0) -> None:
+        if text:
+            line = text.count("\n", 0, position) + 1
+            column = position - (text.rfind("\n", 0, position) + 1) + 1
+            message = f"{message} (line {line}, column {column})"
+        super().__init__(message)
+        self.position = position
+
+
+NAME = "NAME"
+STRING = "STRING"
+NUMBER = "NUMBER"
+DURATION = "DURATION"
+OP = "OP"
+END = "END"
+
+#: Keywords recognized case-insensitively at the program level; inside
+#: event expressions the constructor names are matched case-insensitively
+#: by the event parser itself.
+KEYWORDS = frozenset(
+    "define create rule on if do or and not".split()
+)
+
+_SINGLE_OPS = "(),;=+*"
+_UNICODE_OPS = {"∨": "|", "∧": "&", "¬": "!", "|": "|", "&": "&", "!": "!"}
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str
+    value: object
+    start: int
+    end: int
+
+    def is_keyword(self, word: str) -> bool:
+        return self.kind == NAME and str(self.value).lower() == word
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind}, {self.value!r})"
+
+
+def scan(text: str) -> list[Token]:
+    """Tokenize rule language source text."""
+    tokens: list[Token] = []
+    position = 0
+    length = len(text)
+    while position < length:
+        char = text[position]
+        if char.isspace():
+            position += 1
+            continue
+        if char == "#" or text.startswith("--", position):
+            newline = text.find("\n", position)
+            position = length if newline < 0 else newline + 1
+            continue
+        if char in ("'", '"'):
+            closing = text.find(char, position + 1)
+            if closing < 0:
+                raise RuleSyntaxError("unterminated string", text, position)
+            tokens.append(Token(STRING, text[position + 1 : closing], position, closing + 1))
+            position = closing + 1
+            continue
+        if char.isdigit() or (
+            char == "." and position + 1 < length and text[position + 1].isdigit()
+        ):
+            end = position + 1
+            seen_dot = char == "."
+            while end < length and (
+                text[end].isdigit() or (text[end] == "." and not seen_dot)
+            ):
+                if text[end] == ".":
+                    seen_dot = True
+                end += 1
+            number_text = text[position:end]
+            unit_end = end
+            while unit_end < length and text[unit_end].isalpha():
+                unit_end += 1
+            if unit_end > end:
+                literal = text[position:unit_end]
+                try:
+                    seconds = parse_duration(literal)
+                except ValueError as exc:
+                    raise RuleSyntaxError(str(exc), text, position) from exc
+                tokens.append(Token(DURATION, seconds, position, unit_end))
+                position = unit_end
+            else:
+                value = float(number_text) if "." in number_text else int(number_text)
+                tokens.append(Token(NUMBER, value, position, end))
+                position = end
+            continue
+        if char.isalpha() or char == "_":
+            end = position + 1
+            while end < length and (text[end].isalnum() or text[end] == "_"):
+                end += 1
+            word = text[position:end]
+            # Glue a trailing '+' onto SEQ/TSEQ constructor names.
+            if end < length and text[end] == "+" and word.lower() in ("seq", "tseq"):
+                word += "+"
+                end += 1
+            tokens.append(Token(NAME, word, position, end))
+            position = end
+            continue
+        if char in _UNICODE_OPS:
+            tokens.append(Token(OP, _UNICODE_OPS[char], position, position + 1))
+            position += 1
+            continue
+        if text.startswith("<>", position) or text.startswith("!=", position):
+            tokens.append(Token(OP, "<>", position, position + 2))
+            position += 2
+            continue
+        if char in "<>":
+            tokens.append(Token(OP, char, position, position + 1))
+            position += 1
+            continue
+        if char in _SINGLE_OPS:
+            tokens.append(Token(OP, char, position, position + 1))
+            position += 1
+            continue
+        raise RuleSyntaxError(f"unexpected character {char!r}", text, position)
+    tokens.append(Token(END, "", length, length))
+    return tokens

@@ -1,0 +1,120 @@
+"""Simulated RFID readers (substitution for physical hardware).
+
+A reader converts tags present in its field into
+:class:`~repro.core.instances.Observation` tuples — nothing more, which
+is precisely the interface the engine consumes.  The simulation models
+the physical effects that matter to the paper's data-cleaning story:
+
+* **miss rate** — a tag in the field is read with probability
+  ``1 − miss_rate`` per read attempt (RF reads are unreliable);
+* **dwell re-reads** — a tag sitting in the field across multiple read
+  frames is reported once per frame (duplicate source *i* of §3.1);
+* **bulk reads** — smart-shelf readers scan their whole field every
+  frame (the paper's "bulk-read all objects every 30 seconds").
+
+Readers are deterministic given their ``random.Random`` instance.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, Optional, Sequence
+
+from ..core.instances import Observation
+
+
+class Reader:
+    """One simulated RFID reader.
+
+    >>> reader = Reader("r1", location="dock", rng=random.Random(7))
+    >>> reader.observe("tag1", 3.5)
+    [observation('r1', 'tag1', 3.5)]
+    """
+
+    def __init__(
+        self,
+        epc: str,
+        location: Optional[str] = None,
+        miss_rate: float = 0.0,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        if not 0.0 <= miss_rate < 1.0:
+            raise ValueError(f"miss_rate must be in [0, 1): {miss_rate}")
+        self.epc = epc
+        self.location = location if location is not None else epc
+        self.miss_rate = miss_rate
+        self.rng = rng if rng is not None else random.Random()
+
+    def observe(self, obj: str, time: float) -> list[Observation]:
+        """One read attempt on one tag; [] when the read misses."""
+        if self.miss_rate and self.rng.random() < self.miss_rate:
+            return []
+        return [Observation(self.epc, obj, time)]
+
+    def observe_reliably(self, obj: str, time: float, attempts: int = 3) -> list[Observation]:
+        """Retry until a read succeeds (up to ``attempts``); dock doors
+        typically run several read frames while an object passes."""
+        for attempt in range(attempts):
+            result = self.observe(obj, time + attempt * 1e-3)
+            if result:
+                return result
+        return []
+
+    def bulk_read(self, objs: Iterable[str], time: float) -> list[Observation]:
+        """One read frame over every tag in the field (smart shelf)."""
+        observations = []
+        for obj in objs:
+            observations.extend(self.observe(obj, time))
+        return observations
+
+    def dwell(
+        self, obj: str, t_enter: float, t_exit: float, frame_period: float
+    ) -> list[Observation]:
+        """Read frames while a tag dwells in the field: duplicate source i.
+
+        The tag is reported once per frame from ``t_enter`` until it
+        leaves the field — exactly the repeated readings the paper's
+        duplicate-detection rule has to clean up.
+        """
+        if frame_period <= 0:
+            raise ValueError("frame_period must be positive")
+        observations = []
+        time = t_enter
+        while time <= t_exit:
+            observations.extend(self.observe(obj, time))
+            time += frame_period
+        return observations
+
+    def __repr__(self) -> str:
+        return f"<Reader {self.epc} at {self.location!r}>"
+
+
+class ReaderArray:
+    """Several readers covering one zone: duplicate source ii of §3.1.
+
+    Tags in the overlapped area are reported by every reader whose
+    coverage check passes; deployments use this to widen dock doors.
+    """
+
+    def __init__(
+        self,
+        readers: Sequence[Reader],
+        overlap: float = 1.0,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        if not readers:
+            raise ValueError("a reader array needs at least one reader")
+        if not 0.0 <= overlap <= 1.0:
+            raise ValueError(f"overlap must be in [0, 1]: {overlap}")
+        self.readers = list(readers)
+        self.overlap = overlap
+        self.rng = rng if rng is not None else random.Random()
+
+    def observe(self, obj: str, time: float) -> list[Observation]:
+        """The primary reader always tries; others fire with ``overlap``
+        probability, skewed a few milliseconds apart as real arrays are."""
+        observations = list(self.readers[0].observe(obj, time))
+        for index, reader in enumerate(self.readers[1:], start=1):
+            if self.rng.random() < self.overlap:
+                observations.extend(reader.observe(obj, time + index * 2e-3))
+        return observations

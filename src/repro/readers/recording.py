@@ -1,0 +1,62 @@
+"""Observation stream recording and replay (JSONL).
+
+Deployed middleware records raw reader streams for audit and replay;
+this module provides that capability for the simulator's streams too,
+so a workload can be generated once, shipped as a file, and replayed
+deterministically through any engine configuration (including the
+``python -m repro run`` CLI).
+
+Format: one JSON object per line, ``{"r": reader, "o": object, "t":
+timestamp}`` plus an optional ``"x"`` extra payload — append-friendly
+and diffable.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Iterable, Iterator
+
+from ..core.instances import Observation
+
+
+def write_stream(observations: Iterable[Observation], handle: IO[str]) -> int:
+    """Serialize observations to an open text handle; returns the count."""
+    count = 0
+    for observation in observations:
+        record = {"r": observation.reader, "o": observation.obj,
+                  "t": observation.timestamp}
+        if observation.extra is not None:
+            record["x"] = dict(observation.extra)
+        handle.write(json.dumps(record) + "\n")
+        count += 1
+    return count
+
+
+def save_stream(observations: Iterable[Observation], path: str) -> int:
+    """Serialize observations to a JSONL file; returns the count."""
+    with open(path, "w") as handle:
+        return write_stream(observations, handle)
+
+
+def read_stream(handle: IO[str]) -> Iterator[Observation]:
+    """Deserialize observations from an open text handle, lazily."""
+    for line_number, line in enumerate(handle, start=1):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        try:
+            record = json.loads(line)
+            observation = Observation(
+                record["r"], record["o"], float(record["t"]), record.get("x")
+            )
+        except (json.JSONDecodeError, KeyError, TypeError, ValueError) as exc:
+            raise ValueError(
+                f"malformed observation record on line {line_number}: {line!r}"
+            ) from exc
+        yield observation
+
+
+def load_stream(path: str) -> list[Observation]:
+    """Load a recorded stream from a JSONL file."""
+    with open(path) as handle:
+        return list(read_stream(handle))

@@ -1,0 +1,24 @@
+"""Declarative RFID rules: events, conditions and actions (paper §3)."""
+
+from .actions import (
+    Action,
+    AlertAction,
+    CallableAction,
+    SqlAction,
+    iter_sequence_members,
+    normalize_action,
+    sequence_member_rows,
+)
+from .rule import Rule, SqlCondition
+
+__all__ = [
+    "Action",
+    "AlertAction",
+    "CallableAction",
+    "iter_sequence_members",
+    "normalize_action",
+    "Rule",
+    "sequence_member_rows",
+    "SqlAction",
+    "SqlCondition",
+]

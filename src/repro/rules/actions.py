@@ -1,0 +1,181 @@
+"""Rule actions: what happens when a complex RFID event is detected.
+
+The paper's ``DO`` clause is an ordered list where "each action is either
+a SQL statement or a user-defined procedure, e.g., to send out alarms"
+(§3).  The implementations here:
+
+* :class:`SqlAction` — one or more mini-SQL statements, parsed once and
+  executed with the detection's variable bindings as parameters.  The
+  paper's ``BULK INSERT`` extension executes the insert once per member
+  of the matched aperiodic sequence (``SEQ+``/``TSEQ+``), with each
+  member's local bindings layered over the outer bindings — this is how
+  Rule 4 inserts one containment row per packed item.
+* :class:`CallableAction` — any Python callable over the activation
+  context.
+* :class:`AlertAction` — formats a message from the bindings and records
+  it in the store's alert table (the paper's ``send alarm``).
+
+Every action is itself a callable taking the
+:class:`~repro.core.detector.ActivationContext`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterator, Optional
+
+from ..core.detector import ActivationContext
+from ..core.errors import ActionError
+from ..core.instances import CompositeInstance, EventInstance
+from ..sql import Insert, Statement, parse_script
+
+_SEQUENCE_LABELS = ("TSEQ+", "SEQ+")
+
+
+def iter_sequence_members(instance: EventInstance) -> Optional[list[EventInstance]]:
+    """Find the members of the first aperiodic-sequence constituent.
+
+    Depth-first search over the instance tree for a ``SEQ+``/``TSEQ+``
+    composite; returns its member instances, or None when the match
+    contains no sequence.
+    """
+    if (
+        isinstance(instance, CompositeInstance)
+        and instance.label in _SEQUENCE_LABELS
+    ):
+        return list(instance.constituents)
+    for constituent in instance.constituents:
+        members = iter_sequence_members(constituent)
+        if members is not None:
+            return members
+    return None
+
+
+class Action:
+    """Base class for actions (callables over the activation context)."""
+
+    def __call__(self, context: ActivationContext) -> None:
+        raise NotImplementedError
+
+
+class SqlAction(Action):
+    """Execute mini-SQL statements against the store's database.
+
+    >>> action = SqlAction(
+    ...     "UPDATE OBJECTLOCATION SET tend = t WHERE object_epc = o AND tend = 'UC';"
+    ...     "INSERT INTO OBJECTLOCATION VALUES (o, loc, t, 'UC')"
+    ... )
+    """
+
+    def __init__(self, sql: str) -> None:
+        self.sql = sql
+        self.statements: list[Statement] = parse_script(sql)
+        if not self.statements:
+            raise ActionError(f"empty SQL action: {sql!r}")
+
+    def __call__(self, context: ActivationContext) -> None:
+        store = context.store
+        if store is None:
+            raise ActionError(
+                f"rule {context.rule.rule_id!r} has a SQL action but the "
+                "engine was built without a store"
+            )
+        database = store.database
+        params = dict(context.bindings)
+        for statement in self.statements:
+            if isinstance(statement, Insert) and statement.bulk:
+                self._execute_bulk(database, statement, params, context)
+            else:
+                database.execute(statement, params)
+
+    @staticmethod
+    def _execute_bulk(
+        database, statement: Insert, params: dict[str, Any], context: ActivationContext
+    ) -> None:
+        members = iter_sequence_members(context.instance)
+        if members is None:
+            raise ActionError(
+                f"BULK INSERT in rule {context.rule.rule_id!r} requires the "
+                "event to contain a SEQ+/TSEQ+ constituent"
+            )
+        plain = Insert(statement.table, statement.values, statement.columns, False)
+        for member in members:
+            row_params = dict(params)
+            row_params.update(member.bindings)
+            database.execute(plain, row_params)
+
+    def __repr__(self) -> str:
+        return f"SqlAction({self.sql!r})"
+
+
+class CallableAction(Action):
+    """Wrap a user-defined procedure."""
+
+    def __init__(self, function: Callable[[ActivationContext], None]) -> None:
+        self.function = function
+
+    def __call__(self, context: ActivationContext) -> None:
+        self.function(context)
+
+    def __repr__(self) -> str:
+        name = getattr(self.function, "__name__", repr(self.function))
+        return f"CallableAction({name})"
+
+
+class AlertAction(Action):
+    """Record an alert (the paper's ``send alarm`` / ``send duplicate msg``).
+
+    ``message`` is a ``str.format``-style template over the bindings plus
+    ``time``: ``AlertAction("laptop {o4} leaving at {time}")``.
+    """
+
+    def __init__(self, message: str) -> None:
+        self.message = message
+
+    def __call__(self, context: ActivationContext) -> None:
+        store = context.store
+        if store is None:
+            raise ActionError(
+                f"rule {context.rule.rule_id!r} sends alerts but the engine "
+                "was built without a store"
+            )
+        values: dict[str, Any] = dict(context.bindings)
+        values.setdefault("time", context.time)
+        try:
+            text = self.message.format(**values)
+        except (KeyError, IndexError) as exc:
+            raise ActionError(
+                f"alert template {self.message!r} references unknown field "
+                f"{exc}"
+            ) from exc
+        store.send_alert(context.rule.rule_id, text, context.time)
+
+    def __repr__(self) -> str:
+        return f"AlertAction({self.message!r})"
+
+
+def normalize_action(action: "Action | str | Callable") -> Action:
+    """Coerce strings to SQL actions and bare callables to CallableAction."""
+    if isinstance(action, Action):
+        return action
+    if isinstance(action, str):
+        return SqlAction(action)
+    if callable(action):
+        return CallableAction(action)
+    raise ActionError(f"cannot interpret {action!r} as an action")
+
+
+def sequence_member_rows(
+    context: ActivationContext,
+) -> Iterator[dict[str, Any]]:
+    """Outer bindings overlaid with each sequence member's bindings.
+
+    Convenience for callable actions that mirror BULK INSERT semantics.
+    """
+    members = iter_sequence_members(context.instance)
+    if members is None:
+        return
+    outer = dict(context.bindings)
+    for member in members:
+        row = dict(outer)
+        row.update(member.bindings)
+        yield row

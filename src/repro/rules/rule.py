@@ -1,0 +1,108 @@
+"""RFID rules: ``CREATE RULE id, name ON event IF condition DO actions``.
+
+:class:`Rule` is the full implementation of the engine's rule contract
+(paper §3): an event expression, a condition (boolean combination of
+user-defined functions and SQL queries) and an ordered action list.
+
+Conditions accept three forms:
+
+* ``None`` / ``True`` — the paper's ``IF true``;
+* a callable over the activation context returning truthiness;
+* a SQL ``SELECT`` string — true iff the query returns at least one row
+  (executed with the detection's bindings as parameters).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Optional, Union
+
+from ..core.detector import ActivationContext, RuleLike
+from ..core.errors import ConditionError
+from ..core.expressions import EventExpr
+from ..sql import Select, parse
+from .actions import Action, normalize_action
+
+ConditionLike = Union[None, bool, str, Callable[[ActivationContext], bool]]
+
+
+class SqlCondition:
+    """A condition that holds iff a SELECT returns at least one row."""
+
+    def __init__(self, sql: str) -> None:
+        self.sql = sql
+        statement = parse(sql)
+        if not isinstance(statement, Select):
+            raise ConditionError(f"condition must be a SELECT, got: {sql!r}")
+        self.statement = statement
+
+    def __call__(self, context: ActivationContext) -> bool:
+        store = context.store
+        if store is None:
+            raise ConditionError(
+                f"rule {context.rule.rule_id!r} has a SQL condition but the "
+                "engine was built without a store"
+            )
+        rows = store.database.execute(self.statement, context.bindings)
+        return bool(rows)
+
+    def __repr__(self) -> str:
+        return f"SqlCondition({self.sql!r})"
+
+
+class Rule(RuleLike):
+    """A declarative RFID rule.
+
+    >>> from repro import obs, Var
+    >>> rule = Rule("r3", "location change", obs(None, Var("o"), t=Var("t")),
+    ...             actions=["UPDATE OBJECTLOCATION SET tend = t "
+    ...                      "WHERE object_epc = o AND tend = 'UC'"])
+    """
+
+    def __init__(
+        self,
+        rule_id: str,
+        name: str,
+        event: EventExpr,
+        condition: ConditionLike = None,
+        actions: Iterable = (),
+        description: str = "",
+    ) -> None:
+        self.rule_id = rule_id
+        self.name = name
+        self.event = event
+        self.condition = self._normalize_condition(condition)
+        self.actions: list[Action] = [normalize_action(a) for a in actions]
+        self.description = description
+
+    @staticmethod
+    def _normalize_condition(
+        condition: ConditionLike,
+    ) -> Optional[Callable[[ActivationContext], bool]]:
+        if condition is None or condition is True:
+            return None
+        if condition is False:
+            return lambda _context: False
+        if isinstance(condition, str):
+            stripped = condition.strip()
+            if stripped.lower() == "true":
+                return None
+            if stripped.lower() == "false":
+                return lambda _context: False
+            return SqlCondition(stripped)
+        if callable(condition):
+            return condition
+        raise ConditionError(f"cannot interpret {condition!r} as a condition")
+
+    # -- RuleLike ------------------------------------------------------------
+
+    def evaluate_condition(self, context: ActivationContext) -> bool:
+        if self.condition is None:
+            return True
+        return bool(self.condition(context))
+
+    def execute_actions(self, context: ActivationContext) -> None:
+        for action in self.actions:
+            action(context)
+
+    def __repr__(self) -> str:
+        return f"<Rule {self.rule_id} {self.name!r} ON {self.event!r}>"

@@ -1,0 +1,64 @@
+"""Supply-chain workload simulator (the paper's §5 test harness).
+
+Scenario generators with ground truth:
+
+* :mod:`~repro.simulator.packing` — conveyor packing (Rule 4),
+* :mod:`~repro.simulator.movement` — location routes (Rule 3),
+* :mod:`~repro.simulator.shelf` — smart shelves (Rule 2),
+* :mod:`~repro.simulator.gate` — security gates (Rule 5),
+* :mod:`~repro.simulator.supply_chain` — the composed system and the
+  Fig. 9 scaling workloads.
+"""
+
+from .checkout import CheckoutConfig, CheckoutTrace, Sale, simulate_checkout
+from .gate import GateConfig, GateExit, GateTrace, gate_type_function, simulate_gate
+from .movement import (
+    MovementConfig,
+    MovementTrace,
+    Visit,
+    reader_placements,
+    simulate_movement,
+)
+from .network import NetworkTrace, SupplyNetwork, default_network
+from .packing import PackedCase, PackingConfig, PackingTrace, simulate_packing
+from .shelf import ShelfConfig, ShelfStay, ShelfTrace, simulate_shelf
+from .supply_chain import (
+    MultiPackingTrace,
+    SupplyChainConfig,
+    SupplyChainTrace,
+    simulate_multi_packing,
+    simulate_supply_chain,
+)
+
+__all__ = [
+    "CheckoutConfig",
+    "CheckoutTrace",
+    "Sale",
+    "simulate_checkout",
+    "gate_type_function",
+    "GateConfig",
+    "GateExit",
+    "GateTrace",
+    "default_network",
+    "MovementConfig",
+    "MovementTrace",
+    "MultiPackingTrace",
+    "NetworkTrace",
+    "SupplyNetwork",
+    "PackedCase",
+    "PackingConfig",
+    "PackingTrace",
+    "reader_placements",
+    "ShelfConfig",
+    "ShelfStay",
+    "ShelfTrace",
+    "simulate_gate",
+    "simulate_movement",
+    "simulate_multi_packing",
+    "simulate_packing",
+    "simulate_shelf",
+    "simulate_supply_chain",
+    "SupplyChainConfig",
+    "SupplyChainTrace",
+    "Visit",
+]

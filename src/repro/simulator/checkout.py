@@ -1,0 +1,79 @@
+"""Checkout scenario: point-of-sale readings closing the supply chain.
+
+The paper's simulator covers "retail stores and sale to customers"; this
+scenario generates point-of-sale readings for items that previously
+arrived at the store, with ground truth of what was sold when.  The
+matching application rule (:func:`repro.apps.sale_rule`) records the
+sale, moves the object to the ``sold`` location and closes any open
+containment (an item leaving in a customer's bag is no longer in its
+case).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from ..core.instances import Observation
+from ..epc import EpcFactory
+
+
+@dataclass(frozen=True)
+class Sale:
+    """Ground truth for one sold item."""
+
+    item_epc: str
+    pos_reader: str
+    time: float
+
+
+@dataclass
+class CheckoutTrace:
+    observations: list[Observation] = field(default_factory=list)
+    sales: list[Sale] = field(default_factory=list)
+    end_time: float = 0.0
+
+
+@dataclass
+class CheckoutConfig:
+    pos_readers: tuple[str, ...] = ("pos1", "pos2")
+    sales: int = 12
+    #: gap between consecutive sales across all lanes
+    sale_gap: tuple[float, float] = (5.0, 60.0)
+    item_reference: int = 660022
+
+    def __post_init__(self) -> None:
+        if not self.pos_readers:
+            raise ValueError("need at least one POS reader")
+        if self.sales < 0:
+            raise ValueError("sales must be >= 0")
+
+
+def simulate_checkout(
+    config: CheckoutConfig,
+    rng: Optional[random.Random] = None,
+    factory: Optional[EpcFactory] = None,
+    start_time: float = 0.0,
+    items: Optional[Sequence[str]] = None,
+) -> CheckoutTrace:
+    """Generate point-of-sale readings.
+
+    ``items`` optionally supplies the EPCs to sell (e.g. items that went
+    through the packing line earlier); fresh EPCs are minted otherwise.
+    """
+    rng = rng if rng is not None else random.Random()
+    factory = factory if factory is not None else EpcFactory()
+    trace = CheckoutTrace()
+    time = start_time
+    for index in range(config.sales):
+        time += rng.uniform(*config.sale_gap)
+        if items is not None and index < len(items):
+            item_epc = items[index]
+        else:
+            item_epc = factory.item(config.item_reference)
+        pos = config.pos_readers[rng.randrange(len(config.pos_readers))]
+        trace.observations.append(Observation(pos, item_epc, time))
+        trace.sales.append(Sale(item_epc, pos, time))
+    trace.end_time = time
+    return trace

@@ -1,0 +1,134 @@
+"""Security-gate scenario: the paper's Example 2 / Rule 5 workload.
+
+A reader at the building exit sees asset tags (laptops) and employee
+badges.  Taking a laptop out is authorized only when a superuser badge
+is seen within τ of the laptop on either side (the Fig. 8 operational
+semantics); otherwise the monitoring rule must raise an alarm.
+
+The generator emits a mix of authorized and unauthorized exits and
+records which laptops should alarm, at what detection time.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..core.instances import Observation
+from ..epc import EpcFactory
+
+
+@dataclass(frozen=True)
+class GateExit:
+    """Ground truth for one laptop exit event."""
+
+    laptop_epc: str
+    laptop_time: float
+    authorized: bool
+    badge_epc: Optional[str]
+    badge_time: Optional[float]
+    #: when the alarm fires for unauthorized exits (laptop_time + tau)
+    alarm_time: Optional[float]
+
+
+@dataclass
+class GateTrace:
+    observations: list[Observation] = field(default_factory=list)
+    exits: list[GateExit] = field(default_factory=list)
+    end_time: float = 0.0
+
+    def expected_alarms(self) -> list[tuple[str, float]]:
+        return [
+            (gate_exit.laptop_epc, gate_exit.alarm_time)
+            for gate_exit in self.exits
+            if not gate_exit.authorized and gate_exit.alarm_time is not None
+        ]
+
+
+@dataclass
+class GateConfig:
+    reader: str = "r4"
+    tau: float = 5.0
+    exits: int = 10
+    authorized_fraction: float = 0.6
+    #: gap between consecutive exits; must exceed 2*tau so that one
+    #: exit's badge cannot accidentally authorize the next laptop.
+    exit_gap: tuple[float, float] = (15.0, 40.0)
+    #: badge offset relative to the laptop for authorized exits
+    badge_offset: tuple[float, float] = (0.5, 4.0)
+    laptop_asset_type: int = 7001
+    badge_class: int = 42
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.authorized_fraction <= 1.0:
+            raise ValueError("authorized_fraction must be in [0, 1]")
+        if self.exit_gap[0] <= 2 * self.tau:
+            raise ValueError("exit_gap must exceed 2*tau to keep exits independent")
+        if not 0 < self.badge_offset[0] <= self.badge_offset[1] < self.tau:
+            raise ValueError("badge_offset must lie strictly inside (0, tau)")
+
+
+def simulate_gate(
+    config: GateConfig,
+    rng: Optional[random.Random] = None,
+    factory: Optional[EpcFactory] = None,
+    start_time: float = 0.0,
+) -> GateTrace:
+    """Generate a run of gate exits with authorization ground truth."""
+    rng = rng if rng is not None else random.Random()
+    factory = factory if factory is not None else EpcFactory()
+    trace = GateTrace()
+    time = start_time
+    for _ in range(config.exits):
+        time += rng.uniform(*config.exit_gap)
+        laptop = factory.asset(config.laptop_asset_type)
+        authorized = rng.random() < config.authorized_fraction
+        badge_epc: Optional[str] = None
+        badge_time: Optional[float] = None
+        if authorized:
+            badge_epc = factory.badge(config.badge_class)
+            offset = rng.uniform(*config.badge_offset)
+            # The badge may precede or follow the laptop reading; both are
+            # authorized under the two-sided negation window.
+            badge_time = time + offset if rng.random() < 0.5 else time - offset
+            trace.observations.append(
+                Observation(config.reader, badge_epc, badge_time)
+            )
+        trace.observations.append(Observation(config.reader, laptop, time))
+        trace.exits.append(
+            GateExit(
+                laptop_epc=laptop,
+                laptop_time=time,
+                authorized=authorized,
+                badge_epc=badge_epc,
+                badge_time=badge_time,
+                alarm_time=None if authorized else time + config.tau,
+            )
+        )
+    trace.observations.sort(key=lambda observation: observation.timestamp)
+    trace.end_time = time + config.tau
+    return trace
+
+
+def gate_type_function(config: GateConfig, factory_hint: Optional[EpcFactory] = None):
+    """A ``type()`` function mapping the gate's EPC schemes to type names.
+
+    GRAI assets of the configured asset type are ``'laptop'``; GID badges
+    of the configured class are ``'superuser'``.
+    """
+    from ..epc import Gid96, Grai96, TypeRegistry
+
+    registry = TypeRegistry()
+    prototype_company = (
+        factory_hint.company_prefix if factory_hint is not None else 614141
+    )
+    prototype_digits = (
+        factory_hint.company_digits if factory_hint is not None else 7
+    )
+    registry.register_class(
+        Grai96(0, prototype_company, prototype_digits, config.laptop_asset_type, 0),
+        "laptop",
+    )
+    registry.register_class(Gid96(0xBADE, config.badge_class, 0), "superuser")
+    return registry

@@ -1,0 +1,91 @@
+"""Object movement scenario: location transformation ground truth (Rule 3).
+
+Objects travel through a route of reader-equipped locations (factory →
+warehouse → truck → store …).  Each arrival produces a reading by that
+location's portal reader; the location-transformation rule must rebuild
+the exact location history in the RFID store.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from ..core.instances import Observation
+from ..epc import EpcFactory
+
+
+@dataclass(frozen=True)
+class Visit:
+    """Ground truth: one object at one location from ``arrive`` on."""
+
+    obj_epc: str
+    location: str
+    reader: str
+    arrive: float
+
+
+@dataclass
+class MovementTrace:
+    observations: list[Observation] = field(default_factory=list)
+    visits: list[Visit] = field(default_factory=list)
+    end_time: float = 0.0
+
+    def expected_history(self, obj_epc: str) -> list[tuple[str, float]]:
+        """(location, arrival time) per visit for one object, in order."""
+        return [
+            (visit.location, visit.arrive)
+            for visit in sorted(self.visits, key=lambda v: v.arrive)
+            if visit.obj_epc == obj_epc
+        ]
+
+
+@dataclass
+class MovementConfig:
+    #: (reader EPC, location id) pairs in route order.
+    route: tuple[tuple[str, str], ...] = (
+        ("dock_f", "factory"),
+        ("dock_w", "warehouse"),
+        ("dock_t", "truck"),
+        ("dock_s", "store"),
+    )
+    objects: int = 6
+    #: dwell time at each location before moving on
+    hop_time: tuple[float, float] = (30.0, 120.0)
+    #: stagger between object departures from the first location
+    launch_gap: tuple[float, float] = (5.0, 20.0)
+    item_reference: int = 550077
+
+    def __post_init__(self) -> None:
+        if len(self.route) < 2:
+            raise ValueError("a route needs at least two stops")
+
+
+def simulate_movement(
+    config: MovementConfig,
+    rng: Optional[random.Random] = None,
+    factory: Optional[EpcFactory] = None,
+    start_time: float = 0.0,
+) -> MovementTrace:
+    """Move ``objects`` tagged objects through the route."""
+    rng = rng if rng is not None else random.Random()
+    factory = factory if factory is not None else EpcFactory()
+    trace = MovementTrace()
+    launch = start_time
+    for _ in range(config.objects):
+        launch += rng.uniform(*config.launch_gap)
+        epc = factory.item(config.item_reference)
+        time = launch
+        for reader, location in config.route:
+            trace.observations.append(Observation(reader, epc, time))
+            trace.visits.append(Visit(epc, location, reader, time))
+            time += rng.uniform(*config.hop_time)
+        trace.end_time = max(trace.end_time, time)
+    trace.observations.sort(key=lambda observation: observation.timestamp)
+    return trace
+
+
+def reader_placements(config: MovementConfig) -> Sequence[tuple[str, str]]:
+    """(reader, location) pairs for :meth:`RfidStore.place_reader`."""
+    return list(config.route)

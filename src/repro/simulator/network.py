@@ -1,0 +1,145 @@
+"""Supply-network simulation: objects flowing through a site graph.
+
+The linear route of :mod:`repro.simulator.movement` covers the paper's
+experiments; real deployments are networks — factories, distribution
+centers, stores with multiple paths between them.  This module models
+the network as a directed graph (via :mod:`networkx`): nodes are sites
+with a portal reader each, edges carry transit-time ranges, and objects
+flow from a source site to a destination along the fastest route,
+producing portal readings plus ground truth at every hop.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Optional
+
+import networkx as nx
+
+from ..core.instances import Observation
+from ..epc import EpcFactory
+from .movement import Visit
+
+
+@dataclass
+class NetworkTrace:
+    observations: list[Observation] = field(default_factory=list)
+    visits: list[Visit] = field(default_factory=list)
+    #: object EPC -> list of site names along its realized route.
+    routes: dict[str, list[str]] = field(default_factory=dict)
+    end_time: float = 0.0
+
+
+class SupplyNetwork:
+    """A directed site graph with per-site portal readers.
+
+    >>> network = SupplyNetwork()
+    >>> network.add_site("factory")
+    >>> network.add_site("store")
+    >>> network.add_route("factory", "store", transit=(60, 120))
+    >>> trace = network.flow("factory", "store", objects=2,
+    ...                      rng=random.Random(1))
+    >>> sorted(set(o.reader for o in trace.observations))
+    ['portal_factory', 'portal_store']
+    """
+
+    def __init__(self) -> None:
+        self.graph = nx.DiGraph()
+        self._factory = EpcFactory()
+
+    # -- construction ---------------------------------------------------------
+
+    def add_site(self, name: str, reader: Optional[str] = None,
+                 dwell: tuple[float, float] = (10.0, 60.0)) -> None:
+        """A site with its portal reader and a dwell-time range."""
+        if dwell[0] < 0 or dwell[0] > dwell[1]:
+            raise ValueError(f"bad dwell range {dwell}")
+        self.graph.add_node(
+            name, reader=reader or f"portal_{name}", dwell=dwell
+        )
+
+    def add_route(
+        self, source: str, target: str, transit: tuple[float, float]
+    ) -> None:
+        """A directed leg with a transit-time range (seconds)."""
+        for site in (source, target):
+            if site not in self.graph:
+                raise ValueError(f"unknown site {site!r}")
+        if transit[0] <= 0 or transit[0] > transit[1]:
+            raise ValueError(f"bad transit range {transit}")
+        weight = (transit[0] + transit[1]) / 2.0
+        self.graph.add_edge(source, target, transit=transit, weight=weight)
+
+    def reader_of(self, site: str) -> str:
+        return self.graph.nodes[site]["reader"]
+
+    def reader_placements(self) -> list[tuple[str, str]]:
+        """(reader, site) pairs for :meth:`RfidStore.place_reader`."""
+        return [
+            (data["reader"], site) for site, data in self.graph.nodes(data=True)
+        ]
+
+    # -- flows -------------------------------------------------------------------
+
+    def route(self, source: str, destination: str) -> list[str]:
+        """The fastest route by expected transit time."""
+        try:
+            return nx.shortest_path(
+                self.graph, source, destination, weight="weight"
+            )
+        except (nx.NetworkXNoPath, nx.NodeNotFound) as exc:
+            raise ValueError(
+                f"no route from {source!r} to {destination!r}"
+            ) from exc
+
+    def flow(
+        self,
+        source: str,
+        destination: str,
+        objects: int,
+        rng: Optional[random.Random] = None,
+        start_time: float = 0.0,
+        launch_gap: tuple[float, float] = (5.0, 30.0),
+        item_reference: int = 770033,
+    ) -> NetworkTrace:
+        """Send ``objects`` tagged objects along the fastest route."""
+        rng = rng if rng is not None else random.Random()
+        path = self.route(source, destination)
+        trace = NetworkTrace()
+        launch = start_time
+        for _ in range(objects):
+            launch += rng.uniform(*launch_gap)
+            epc = self._factory.item(item_reference)
+            trace.routes[epc] = list(path)
+            time = launch
+            for index, site in enumerate(path):
+                reader = self.reader_of(site)
+                trace.observations.append(Observation(reader, epc, time))
+                trace.visits.append(Visit(epc, site, reader, time))
+                if index + 1 < len(path):
+                    dwell = rng.uniform(*self.graph.nodes[site]["dwell"])
+                    transit = rng.uniform(
+                        *self.graph.edges[site, path[index + 1]]["transit"]
+                    )
+                    time += dwell + transit
+            trace.end_time = max(trace.end_time, time)
+        trace.observations.sort(key=lambda observation: observation.timestamp)
+        return trace
+
+
+def default_network() -> SupplyNetwork:
+    """A small realistic network: factory → 2 DCs → 3 stores."""
+    network = SupplyNetwork()
+    network.add_site("factory", dwell=(30.0, 90.0))
+    network.add_site("dc-east", dwell=(60.0, 240.0))
+    network.add_site("dc-west", dwell=(60.0, 240.0))
+    for store in ("store-1", "store-2", "store-3"):
+        network.add_site(store, dwell=(30.0, 60.0))
+    network.add_route("factory", "dc-east", transit=(3600.0, 7200.0))
+    network.add_route("factory", "dc-west", transit=(7200.0, 10800.0))
+    network.add_route("dc-east", "store-1", transit=(1800.0, 3600.0))
+    network.add_route("dc-east", "store-2", transit=(1800.0, 3600.0))
+    network.add_route("dc-west", "store-2", transit=(3600.0, 5400.0))
+    network.add_route("dc-west", "store-3", transit=(1800.0, 3600.0))
+    return network

@@ -1,0 +1,118 @@
+"""Smart-shelf scenario: infield/outfield semantic filtering (Rule 2).
+
+A shelf reader bulk-reads every tag in its field on a fixed period (the
+paper assumes 30-second frames).  Items are placed on and removed from
+the shelf at arbitrary times; the application only cares about the
+*infield* event (first reading after placement) and the *outfield* event
+(no reading for a full period after removal).
+
+The generator computes the ground-truth infield/outfield times from the
+frame grid so tests can check the filtering rules exactly.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..core.instances import Observation
+from ..epc import EpcFactory
+
+
+@dataclass(frozen=True)
+class ShelfStay:
+    """Ground truth for one item's stay on the shelf."""
+
+    item_epc: str
+    placed_at: float
+    removed_at: float
+    #: first frame tick at which the item is read (infield detection time)
+    infield_time: float
+    #: frame tick by which the item has been missing for a full period
+    outfield_time: float
+
+    @property
+    def was_read(self) -> bool:
+        """False when the stay fell entirely between two frame ticks."""
+        return self.infield_time <= self.removed_at
+
+
+@dataclass
+class ShelfTrace:
+    observations: list[Observation] = field(default_factory=list)
+    stays: list[ShelfStay] = field(default_factory=list)
+    end_time: float = 0.0
+
+
+@dataclass
+class ShelfConfig:
+    reader: str = "shelf1"
+    read_period: float = 30.0
+    items: int = 8
+    #: each item appears at a uniform time in this window ...
+    arrival_window: tuple[float, float] = (0.0, 300.0)
+    #: ... and stays for a uniform duration in this range
+    stay_range: tuple[float, float] = (60.0, 240.0)
+    item_reference: int = 440011
+
+    def __post_init__(self) -> None:
+        if self.read_period <= 0:
+            raise ValueError("read_period must be positive")
+        if self.items < 0:
+            raise ValueError("items must be >= 0")
+
+
+def simulate_shelf(
+    config: ShelfConfig,
+    rng: Optional[random.Random] = None,
+    factory: Optional[EpcFactory] = None,
+    start_time: float = 0.0,
+) -> ShelfTrace:
+    """Generate bulk-read frames for a shelf with arriving/departing items."""
+    rng = rng if rng is not None else random.Random()
+    factory = factory if factory is not None else EpcFactory()
+    period = config.read_period
+
+    stays = []
+    for _ in range(config.items):
+        placed = start_time + rng.uniform(*config.arrival_window)
+        removed = placed + rng.uniform(*config.stay_range)
+        epc = factory.item(config.item_reference)
+        first_tick = _next_tick(placed, start_time, period)
+        last_tick = _last_tick(removed, start_time, period)
+        stays.append(
+            ShelfStay(
+                epc,
+                placed,
+                removed,
+                infield_time=first_tick,
+                outfield_time=last_tick + period,
+            )
+        )
+
+    trace = ShelfTrace(stays=stays)
+    if not stays:
+        return trace
+    horizon = max(stay.removed_at for stay in stays) + period
+    tick = start_time
+    while tick <= horizon:
+        for stay in stays:
+            if stay.placed_at <= tick <= stay.removed_at:
+                trace.observations.append(Observation(config.reader, stay.item_epc, tick))
+        tick += period
+    trace.end_time = horizon
+    return trace
+
+
+def _next_tick(time: float, origin: float, period: float) -> float:
+    """The first frame tick at or after ``time``."""
+    steps = math.ceil((time - origin) / period - 1e-9)
+    return origin + max(steps, 0) * period
+
+
+def _last_tick(time: float, origin: float, period: float) -> float:
+    """The last frame tick at or before ``time``."""
+    steps = math.floor((time - origin) / period + 1e-9)
+    return origin + max(steps, 0) * period

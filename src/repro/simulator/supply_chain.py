@@ -1,0 +1,182 @@
+"""The RFID-enabled supply chain simulator of the paper's §5.
+
+"To evaluate the performance of our approach, we developed a simulator
+of an RFID-enabled supply chain system with warehouses, shipping, retail
+stores and sale to customers."  This module rebuilds that generator by
+composing the scenario modules:
+
+* packing lines (items → cases, Rule 4),
+* movement through warehouse/shipping/store locations (Rule 3),
+* smart shelves at the store (Rule 2),
+* security gates (Rule 5),
+
+into one merged, time-ordered observation stream with full ground truth.
+:func:`simulate_multi_packing` additionally scales the workload along
+the two axes of Fig. 9 — number of primitive events and number of
+independent reader pairs (one per rule).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..core.instances import Observation
+from ..epc import EpcFactory
+from ..readers import merge_streams
+from .checkout import CheckoutConfig, CheckoutTrace, simulate_checkout
+from .gate import GateConfig, GateTrace, simulate_gate
+from .movement import MovementConfig, MovementTrace, simulate_movement
+from .packing import PackingConfig, PackingTrace, simulate_packing
+from .shelf import ShelfConfig, ShelfTrace, simulate_shelf
+
+
+@dataclass
+class SupplyChainConfig:
+    """Knobs for a full supply-chain run (deterministic per seed)."""
+
+    seed: int = 20060326  # EDBT 2006, Munich
+    packing: PackingConfig = field(default_factory=PackingConfig)
+    movement: MovementConfig = field(default_factory=MovementConfig)
+    shelf: ShelfConfig = field(default_factory=ShelfConfig)
+    gate: GateConfig = field(default_factory=GateConfig)
+    checkout: CheckoutConfig = field(default_factory=CheckoutConfig)
+    include_packing: bool = True
+    include_movement: bool = True
+    include_shelf: bool = True
+    include_gate: bool = True
+    include_checkout: bool = True
+
+
+@dataclass
+class SupplyChainTrace:
+    """Merged observations plus per-scenario ground truth."""
+
+    observations: list[Observation]
+    packing: Optional[PackingTrace]
+    movement: Optional[MovementTrace]
+    shelf: Optional[ShelfTrace]
+    gate: Optional[GateTrace]
+    checkout: Optional[CheckoutTrace] = None
+
+    def __len__(self) -> int:
+        return len(self.observations)
+
+
+def simulate_supply_chain(config: Optional[SupplyChainConfig] = None) -> SupplyChainTrace:
+    """Run the composed supply-chain simulation.
+
+    Scenarios share one EPC factory (no EPC collisions) but use
+    independent, seed-derived random streams so that toggling one
+    scenario does not perturb the others.
+    """
+    config = config if config is not None else SupplyChainConfig()
+    factory = EpcFactory()
+    seed = config.seed
+
+    packing_trace = (
+        simulate_packing(config.packing, random.Random(seed + 1), factory)
+        if config.include_packing
+        else None
+    )
+    movement_trace = (
+        simulate_movement(config.movement, random.Random(seed + 2), factory)
+        if config.include_movement
+        else None
+    )
+    shelf_trace = (
+        simulate_shelf(config.shelf, random.Random(seed + 3), factory)
+        if config.include_shelf
+        else None
+    )
+    gate_trace = (
+        simulate_gate(config.gate, random.Random(seed + 4), factory)
+        if config.include_gate
+        else None
+    )
+    checkout_trace = None
+    if config.include_checkout:
+        # Sell items that actually flowed through the packing line, after
+        # the last packing observation, so the whole chain is consistent.
+        sold_items: list[str] = []
+        start_time = 0.0
+        if packing_trace is not None:
+            for case in packing_trace.cases:
+                sold_items.extend(case.item_epcs)
+            start_time = packing_trace.end_time
+        checkout_trace = simulate_checkout(
+            config.checkout,
+            random.Random(seed + 5),
+            factory,
+            start_time=start_time,
+            items=sold_items or None,
+        )
+
+    streams = [
+        trace.observations
+        for trace in (
+            packing_trace,
+            movement_trace,
+            shelf_trace,
+            gate_trace,
+            checkout_trace,
+        )
+        if trace is not None
+    ]
+    observations = list(merge_streams(*streams))
+    return SupplyChainTrace(
+        observations,
+        packing_trace,
+        movement_trace,
+        shelf_trace,
+        gate_trace,
+        checkout_trace,
+    )
+
+
+@dataclass
+class MultiPackingTrace:
+    """Several independent packing lines (one per rule, Fig. 9b axis)."""
+
+    observations: list[Observation]
+    lines: list[PackingTrace]
+    #: reader pair (item reader, case reader) per line
+    reader_pairs: list[tuple[str, str]]
+
+
+def simulate_multi_packing(
+    lines: int,
+    cases_per_line: int,
+    items_per_case: int = 5,
+    seed: int = 7,
+    reader_prefix: str = "line",
+) -> MultiPackingTrace:
+    """Scale the packing workload along both axes of Fig. 9.
+
+    ``lines`` controls how many independent reader pairs exist (pair one
+    containment rule with each for the rules-axis sweep); ``cases_per_line``
+    times ``items_per_case + 1`` controls the primitive-event count.
+    Observation count is exact: ``lines * cases_per_line *
+    (items_per_case + 1)``.
+    """
+    if lines < 1:
+        raise ValueError("need at least one line")
+    factory = EpcFactory()
+    traces = []
+    pairs = []
+    for index in range(lines):
+        item_reader = f"{reader_prefix}{index}_A"
+        case_reader = f"{reader_prefix}{index}_B"
+        pairs.append((item_reader, case_reader))
+        config = PackingConfig(
+            cases=cases_per_line,
+            items_per_case=items_per_case,
+            item_reader=item_reader,
+            case_reader=case_reader,
+        )
+        traces.append(
+            simulate_packing(config, random.Random(seed + index), factory)
+        )
+    observations = list(merge_streams(*(trace.observations for trace in traces)))
+    return MultiPackingTrace(observations, traces, pairs)

@@ -1,0 +1,57 @@
+"""Mini-SQL substrate: the statement language of RFID rule actions.
+
+The paper's rule actions are SQL statements executed against the RFID
+data store (``INSERT INTO OBJECTLOCATION VALUES(o, "loc2", t, "UC")``).
+This package provides the lexer, parser, AST and an in-memory executor
+for exactly that dialect, including the paper's ``BULK INSERT``
+extension (applied once per member of a matched sequence).
+"""
+
+from .ast import (
+    Aggregate,
+    BoolOp,
+    Comparison,
+    CreateIndex,
+    CreateTable,
+    Delete,
+    Expr,
+    Insert,
+    Join,
+    Literal,
+    Name,
+    NotOp,
+    OrderItem,
+    Select,
+    Statement,
+    Update,
+)
+from .executor import Database, Row, Table
+from .lexer import SqlError, Token, tokenize
+from .parser import parse, parse_script
+
+__all__ = [
+    "Aggregate",
+    "BoolOp",
+    "Comparison",
+    "CreateIndex",
+    "CreateTable",
+    "Database",
+    "Delete",
+    "Expr",
+    "Insert",
+    "Join",
+    "Literal",
+    "Name",
+    "NotOp",
+    "OrderItem",
+    "parse",
+    "parse_script",
+    "Row",
+    "Select",
+    "SqlError",
+    "Statement",
+    "Table",
+    "Token",
+    "tokenize",
+    "Update",
+]

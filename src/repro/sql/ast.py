@@ -1,0 +1,199 @@
+"""AST node classes for the mini-SQL dialect.
+
+Expressions evaluate against a *row scope* (column values) plus a
+*parameter scope* (the rule's variable bindings) — the paper's actions
+freely mix both, e.g. ``WHERE object_epc = o AND tend = "UC"`` compares
+the ``object_epc`` column against the event variable ``o``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Optional
+
+from ..core.errors import UnknownVariableError
+from .lexer import SqlError
+
+
+class Expr:
+    """Base class for scalar/boolean expressions."""
+
+    def evaluate(self, row: Mapping[str, Any], params: Mapping[str, Any]) -> Any:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class Literal(Expr):
+    value: Any
+
+    def evaluate(self, row: Mapping[str, Any], params: Mapping[str, Any]) -> Any:
+        return self.value
+
+
+@dataclass(frozen=True)
+class Name(Expr):
+    """An identifier: a column of the current row, else a bound parameter.
+
+    Column resolution wins so that statements stay meaningful without
+    parameters; rule variables conventionally don't collide with column
+    names (the paper uses ``o``/``t`` vs ``object_epc``/``tstart``).
+    """
+
+    name: str
+
+    def evaluate(self, row: Mapping[str, Any], params: Mapping[str, Any]) -> Any:
+        if self.name in row:
+            return row[self.name]
+        if self.name in params:
+            return params[self.name]
+        raise UnknownVariableError(
+            f"{self.name!r} is neither a column nor a bound variable"
+        )
+
+
+@dataclass(frozen=True)
+class Comparison(Expr):
+    operator: str
+    left: Expr
+    right: Expr
+
+    def evaluate(self, row: Mapping[str, Any], params: Mapping[str, Any]) -> bool:
+        left = self.left.evaluate(row, params)
+        right = self.right.evaluate(row, params)
+        operator = self.operator
+        if operator == "=":
+            return left == right
+        if operator in ("<>", "!="):
+            return left != right
+        if left is None or right is None:
+            return False
+        if operator == "<":
+            return left < right
+        if operator == "<=":
+            return left <= right
+        if operator == ">":
+            return left > right
+        if operator == ">=":
+            return left >= right
+        raise SqlError(f"unknown comparison operator {operator!r}")
+
+
+@dataclass(frozen=True)
+class BoolOp(Expr):
+    operator: str  # "and" | "or"
+    operands: tuple[Expr, ...]
+
+    def evaluate(self, row: Mapping[str, Any], params: Mapping[str, Any]) -> bool:
+        if self.operator == "and":
+            return all(op.evaluate(row, params) for op in self.operands)
+        if self.operator == "or":
+            return any(op.evaluate(row, params) for op in self.operands)
+        raise SqlError(f"unknown boolean operator {self.operator!r}")
+
+
+@dataclass(frozen=True)
+class NotOp(Expr):
+    operand: Expr
+
+    def evaluate(self, row: Mapping[str, Any], params: Mapping[str, Any]) -> bool:
+        return not self.operand.evaluate(row, params)
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+
+
+class Statement:
+    """Base class for executable statements."""
+
+
+@dataclass(frozen=True)
+class CreateTable(Statement):
+    table: str
+    columns: tuple[str, ...]
+    if_not_exists: bool = False
+
+
+@dataclass(frozen=True)
+class CreateIndex(Statement):
+    table: str
+    column: str
+
+
+@dataclass(frozen=True)
+class Insert(Statement):
+    table: str
+    values: tuple[Expr, ...]
+    columns: Optional[tuple[str, ...]] = None
+    #: BULK INSERT: execute once per member of the matched sequence.
+    bulk: bool = False
+
+
+@dataclass(frozen=True)
+class Update(Statement):
+    table: str
+    assignments: tuple[tuple[str, Expr], ...]
+    where: Optional[Expr] = None
+
+
+@dataclass(frozen=True)
+class Delete(Statement):
+    table: str
+    where: Optional[Expr] = None
+
+
+@dataclass(frozen=True)
+class OrderItem:
+    column: str
+    descending: bool = False
+
+
+@dataclass(frozen=True)
+class Aggregate:
+    """An aggregate select item: ``COUNT(*)``, ``SUM(col)``, ...
+
+    ``column`` is None only for ``COUNT(*)``.
+    """
+
+    function: str  # count | sum | min | max | avg
+    column: Optional[str]
+
+    def label(self) -> str:
+        target = self.column if self.column is not None else "*"
+        return f"{self.function}({target})"
+
+
+#: A select-list item: a plain column name or an aggregate.
+SelectItem = "str | Aggregate"
+
+
+@dataclass(frozen=True)
+class Join:
+    """An inner equi-join: ``JOIN <table> ON <left_col> = <right_col>``.
+
+    Column references in the ON clause (and anywhere else in a joined
+    SELECT) may be qualified as ``table.column``; unqualified names work
+    when unambiguous.
+    """
+
+    table: str
+    left_column: str
+    right_column: str
+
+
+@dataclass(frozen=True)
+class Select(Statement):
+    table: str
+    columns: Optional[tuple]  # of str | Aggregate; None means ``*``
+    where: Optional[Expr] = None
+    order_by: tuple[OrderItem, ...] = field(default_factory=tuple)
+    limit: Optional[int] = None
+    distinct: bool = False
+    group_by: tuple[str, ...] = field(default_factory=tuple)
+    join: Optional[Join] = None
+
+    def has_aggregates(self) -> bool:
+        return self.columns is not None and any(
+            isinstance(item, Aggregate) for item in self.columns
+        )

@@ -1,0 +1,111 @@
+"""Tokenizer for the mini-SQL dialect used by RFID rule actions.
+
+The dialect covers exactly what the paper's rules need — CREATE TABLE,
+INSERT, BULK INSERT, UPDATE, DELETE and SELECT with conjunctive WHERE
+clauses — so the lexer is deliberately small: identifiers, single- or
+double-quoted string literals, numbers, comparison operators and
+punctuation.  Keywords are case-insensitive; identifiers preserve case.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from ..core.errors import ReproError
+
+
+class SqlError(ReproError):
+    """Any failure while parsing or executing a mini-SQL statement."""
+
+
+#: Token kinds.
+IDENT = "IDENT"
+KEYWORD = "KEYWORD"
+STRING = "STRING"
+NUMBER = "NUMBER"
+OP = "OP"
+PUNCT = "PUNCT"
+END = "END"
+
+KEYWORDS = frozenset(
+    """
+    create table index insert bulk into values update set delete select
+    from where and or not order by asc desc limit distinct null true false
+    primary key group join on
+    """.split()
+)
+
+_OPERATORS = ("<=", ">=", "<>", "!=", "=", "<", ">")
+_PUNCTUATION = "(),;*."
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str
+    value: str
+    position: int
+
+    def matches(self, kind: str, value: "str | None" = None) -> bool:
+        if self.kind != kind:
+            return False
+        return value is None or self.value == value
+
+
+def tokenize(text: str) -> list[Token]:
+    """Tokenize ``text``; raises :class:`SqlError` on stray characters."""
+    return list(_scan(text))
+
+
+def _scan(text: str) -> Iterator[Token]:
+    position = 0
+    length = len(text)
+    while position < length:
+        char = text[position]
+        if char.isspace():
+            position += 1
+            continue
+        if char in ("'", '"'):
+            end = text.find(char, position + 1)
+            if end < 0:
+                raise SqlError(f"unterminated string literal at offset {position}")
+            yield Token(STRING, text[position + 1 : end], position)
+            position = end + 1
+            continue
+        if char.isdigit() or (
+            char == "." and position + 1 < length and text[position + 1].isdigit()
+        ):
+            end = position + 1
+            seen_dot = char == "."
+            while end < length and (text[end].isdigit() or (text[end] == "." and not seen_dot)):
+                if text[end] == ".":
+                    seen_dot = True
+                end += 1
+            yield Token(NUMBER, text[position:end], position)
+            position = end
+            continue
+        if char.isalpha() or char == "_":
+            end = position + 1
+            while end < length and (text[end].isalnum() or text[end] == "_"):
+                end += 1
+            word = text[position:end]
+            kind = KEYWORD if word.lower() in KEYWORDS else IDENT
+            value = word.lower() if kind == KEYWORD else word
+            yield Token(kind, value, position)
+            position = end
+            continue
+        matched = False
+        for operator in _OPERATORS:
+            if text.startswith(operator, position):
+                yield Token(OP, operator, position)
+                position += len(operator)
+                matched = True
+                break
+        if matched:
+            continue
+        if char in _PUNCTUATION:
+            yield Token(PUNCT, char, position)
+            position += 1
+            continue
+        raise SqlError(f"unexpected character {char!r} at offset {position}")
+    yield Token(END, "", length)

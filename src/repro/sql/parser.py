@@ -1,0 +1,367 @@
+"""Recursive-descent parser for the mini-SQL dialect.
+
+Grammar (informal)::
+
+    statement   := create_table | create_index | insert | update
+                 | delete | select
+    create_table:= CREATE TABLE name '(' column (',' column)* ')'
+    create_index:= CREATE INDEX ON name '(' column ')'
+    insert      := [BULK] INSERT INTO name ['(' columns ')']
+                   VALUES '(' expr (',' expr)* ')'
+    update      := UPDATE name SET col '=' expr (',' col '=' expr)*
+                   [WHERE condition]
+    delete      := DELETE FROM name [WHERE condition]
+    select      := SELECT [DISTINCT] ('*' | columns) FROM name
+                   [WHERE condition] [ORDER BY col [ASC|DESC], ...]
+                   [LIMIT n]
+    condition   := or_expr ;  or_expr := and_expr (OR and_expr)*
+    and_expr    := unary (AND unary)* ; unary := [NOT] primary
+    primary     := '(' condition ')' | operand cmp operand
+    operand     := string | number | TRUE | FALSE | NULL | identifier
+
+Identifiers in value positions become :class:`~repro.sql.ast.Name`
+references, resolved at execution time against the row first and the
+rule's variable bindings second.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .ast import (
+    Aggregate,
+    BoolOp,
+    Comparison,
+    CreateIndex,
+    CreateTable,
+    Delete,
+    Expr,
+    Insert,
+    Join,
+    Literal,
+    Name,
+    NotOp,
+    OrderItem,
+    Select,
+    Statement,
+    Update,
+)
+
+_AGGREGATE_FUNCTIONS = ("count", "sum", "min", "max", "avg")
+from .lexer import END, IDENT, KEYWORD, NUMBER, OP, PUNCT, STRING, SqlError, Token, tokenize
+
+
+class _Parser:
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.tokens = tokenize(text)
+        self.position = 0
+
+    # -- token helpers ---------------------------------------------------------
+
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.position]
+
+    def advance(self) -> Token:
+        token = self.current
+        self.position += 1
+        return token
+
+    def accept(self, kind: str, value: Optional[str] = None) -> Optional[Token]:
+        if self.current.matches(kind, value):
+            return self.advance()
+        return None
+
+    def expect(self, kind: str, value: Optional[str] = None) -> Token:
+        token = self.accept(kind, value)
+        if token is None:
+            want = value or kind
+            found = self.current.value or self.current.kind
+            raise SqlError(
+                f"expected {want!r} but found {found!r} at offset "
+                f"{self.current.position} in: {self.text!r}"
+            )
+        return token
+
+    def expect_name(self) -> str:
+        token = self.current
+        if token.kind in (IDENT, KEYWORD):
+            self.advance()
+            return token.value
+        raise SqlError(
+            f"expected a name at offset {token.position} in: {self.text!r}"
+        )
+
+    def qualified_name(self) -> str:
+        """A column reference: ``col`` or ``table.col``."""
+        name = self.expect_name()
+        if self.accept(PUNCT, "."):
+            name = f"{name}.{self.expect_name()}"
+        return name
+
+    # -- statements ----------------------------------------------------------
+
+    def statement(self) -> Statement:
+        if self.accept(KEYWORD, "create"):
+            if self.accept(KEYWORD, "table"):
+                return self.create_table()
+            if self.accept(KEYWORD, "index"):
+                return self.create_index()
+            raise SqlError("expected TABLE or INDEX after CREATE")
+        if self.accept(KEYWORD, "bulk"):
+            self.expect(KEYWORD, "insert")
+            return self.insert(bulk=True)
+        if self.accept(KEYWORD, "insert"):
+            return self.insert(bulk=False)
+        if self.accept(KEYWORD, "update"):
+            return self.update()
+        if self.accept(KEYWORD, "delete"):
+            return self.delete()
+        if self.accept(KEYWORD, "select"):
+            return self.select()
+        raise SqlError(f"unrecognized statement: {self.text!r}")
+
+    def finish(self, statement: Statement) -> Statement:
+        self.accept(PUNCT, ";")
+        if not self.current.matches(END):
+            raise SqlError(
+                f"unexpected trailing input at offset {self.current.position} "
+                f"in: {self.text!r}"
+            )
+        return statement
+
+    def create_table(self) -> Statement:
+        table = self.expect_name()
+        self.expect(PUNCT, "(")
+        columns = [self.expect_name()]
+        while self.accept(PUNCT, ","):
+            columns.append(self.expect_name())
+        self.expect(PUNCT, ")")
+        return CreateTable(table, tuple(columns))
+
+    def create_index(self) -> Statement:
+        # CREATE INDEX [name] ON table (column)
+        if self.current.kind == IDENT:
+            self.advance()  # optional index name
+        self.expect(KEYWORD, "on")
+        table = self.expect_name()
+        self.expect(PUNCT, "(")
+        column = self.expect_name()
+        self.expect(PUNCT, ")")
+        return CreateIndex(table, column)
+
+    def insert(self, bulk: bool) -> Statement:
+        self.expect(KEYWORD, "into")
+        table = self.expect_name()
+        columns: Optional[tuple[str, ...]] = None
+        if self.accept(PUNCT, "("):
+            names = [self.expect_name()]
+            while self.accept(PUNCT, ","):
+                names.append(self.expect_name())
+            self.expect(PUNCT, ")")
+            columns = tuple(names)
+        self.expect(KEYWORD, "values")
+        self.expect(PUNCT, "(")
+        values = [self.operand()]
+        while self.accept(PUNCT, ","):
+            values.append(self.operand())
+        self.expect(PUNCT, ")")
+        return Insert(table, tuple(values), columns, bulk)
+
+    def update(self) -> Statement:
+        table = self.expect_name()
+        self.expect(KEYWORD, "set")
+        assignments = [self.assignment()]
+        while self.accept(PUNCT, ","):
+            assignments.append(self.assignment())
+        where = self.optional_where()
+        return Update(table, tuple(assignments), where)
+
+    def assignment(self) -> tuple[str, Expr]:
+        column = self.expect_name()
+        self.expect(OP, "=")
+        return column, self.operand()
+
+    def delete(self) -> Statement:
+        self.expect(KEYWORD, "from")
+        table = self.expect_name()
+        where = self.optional_where()
+        return Delete(table, where)
+
+    def select(self) -> Statement:
+        distinct = bool(self.accept(KEYWORD, "distinct"))
+        columns: Optional[tuple] = None
+        if not self.accept(PUNCT, "*"):
+            items = [self.select_item()]
+            while self.accept(PUNCT, ","):
+                items.append(self.select_item())
+            columns = tuple(items)
+        self.expect(KEYWORD, "from")
+        table = self.expect_name()
+        join = None
+        if self.accept(KEYWORD, "join"):
+            join_table = self.expect_name()
+            self.expect(KEYWORD, "on")
+            left = self.qualified_name()
+            self.expect(OP, "=")
+            right = self.qualified_name()
+            join = Join(join_table, left, right)
+        where = self.optional_where()
+        group_by: list[str] = []
+        if self.accept(KEYWORD, "group"):
+            self.expect(KEYWORD, "by")
+            group_by.append(self.qualified_name())
+            while self.accept(PUNCT, ","):
+                group_by.append(self.qualified_name())
+        order: list[OrderItem] = []
+        if self.accept(KEYWORD, "order"):
+            self.expect(KEYWORD, "by")
+            order.append(self.order_item())
+            while self.accept(PUNCT, ","):
+                order.append(self.order_item())
+        limit: Optional[int] = None
+        if self.accept(KEYWORD, "limit"):
+            token = self.expect(NUMBER)
+            limit = int(token.value)
+        return Select(
+            table,
+            columns,
+            where,
+            tuple(order),
+            limit,
+            distinct,
+            tuple(group_by),
+            join,
+        )
+
+    def select_item(self):
+        """A plain column or an aggregate: ``col`` | ``SUM(col)`` | ``COUNT(*)``."""
+        token = self.current
+        if (
+            token.kind in (IDENT, KEYWORD)
+            and token.value.lower() in _AGGREGATE_FUNCTIONS
+            and self.tokens[self.position + 1].matches(PUNCT, "(")
+        ):
+            function = token.value.lower()
+            self.advance()
+            self.expect(PUNCT, "(")
+            if self.accept(PUNCT, "*"):
+                if function != "count":
+                    raise SqlError(f"{function.upper()}(*) is not supported")
+                column = None
+            else:
+                column = self.qualified_name()
+            self.expect(PUNCT, ")")
+            return Aggregate(function, column)
+        return self.qualified_name()
+
+    def order_item(self) -> OrderItem:
+        column = self.qualified_name()
+        if self.accept(KEYWORD, "desc"):
+            return OrderItem(column, descending=True)
+        self.accept(KEYWORD, "asc")
+        return OrderItem(column)
+
+    def optional_where(self) -> Optional[Expr]:
+        if self.accept(KEYWORD, "where"):
+            return self.condition()
+        return None
+
+    # -- expressions -------------------------------------------------------------
+
+    def condition(self) -> Expr:
+        operands = [self.and_condition()]
+        while self.accept(KEYWORD, "or"):
+            operands.append(self.and_condition())
+        if len(operands) == 1:
+            return operands[0]
+        return BoolOp("or", tuple(operands))
+
+    def and_condition(self) -> Expr:
+        operands = [self.unary_condition()]
+        while self.accept(KEYWORD, "and"):
+            operands.append(self.unary_condition())
+        if len(operands) == 1:
+            return operands[0]
+        return BoolOp("and", tuple(operands))
+
+    def unary_condition(self) -> Expr:
+        if self.accept(KEYWORD, "not"):
+            return NotOp(self.unary_condition())
+        if self.accept(PUNCT, "("):
+            inner = self.condition()
+            self.expect(PUNCT, ")")
+            return inner
+        left = self.operand()
+        operator = self.expect(OP)
+        right = self.operand()
+        return Comparison(operator.value, left, right)
+
+    def operand(self) -> Expr:
+        token = self.current
+        if token.matches(STRING):
+            self.advance()
+            return Literal(token.value)
+        if token.matches(NUMBER):
+            self.advance()
+            text = token.value
+            return Literal(float(text) if "." in text else int(text))
+        if token.matches(KEYWORD, "null"):
+            self.advance()
+            return Literal(None)
+        if token.matches(KEYWORD, "true"):
+            self.advance()
+            return Literal(True)
+        if token.matches(KEYWORD, "false"):
+            self.advance()
+            return Literal(False)
+        if token.matches(IDENT):
+            return Name(self.qualified_name())
+        raise SqlError(
+            f"expected a value at offset {token.position} in: {self.text!r}"
+        )
+
+
+def parse(text: str) -> Statement:
+    """Parse one mini-SQL statement.
+
+    >>> stmt = parse("SELECT * FROM OBJECTLOCATION WHERE tend = 'UC'")
+    >>> stmt.table
+    'OBJECTLOCATION'
+    """
+    parser = _Parser(text)
+    return parser.finish(parser.statement())
+
+
+def parse_script(text: str) -> list[Statement]:
+    """Parse a semicolon-separated sequence of statements."""
+    statements = []
+    for chunk in _split_statements(text):
+        if chunk.strip():
+            statements.append(parse(chunk))
+    return statements
+
+
+def _split_statements(text: str) -> list[str]:
+    """Split on top-level semicolons, respecting string literals."""
+    chunks: list[str] = []
+    current: list[str] = []
+    quote: Optional[str] = None
+    for char in text:
+        if quote is not None:
+            current.append(char)
+            if char == quote:
+                quote = None
+            continue
+        if char in ("'", '"'):
+            quote = char
+            current.append(char)
+            continue
+        if char == ";":
+            chunks.append("".join(current))
+            current = []
+            continue
+        current.append(char)
+    chunks.append("".join(current))
+    return chunks

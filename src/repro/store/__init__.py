@@ -1,0 +1,23 @@
+"""RFID data store substrate: temporal tables for the virtual world.
+
+Holds location histories, containment relationships (with the paper's
+``"UC"`` until-changed convention), filtered observations and alerts,
+on top of the mini-SQL database in :mod:`repro.sql`.
+"""
+
+from .analytics import StoreAnalytics
+from .render import render_summary, render_timeline
+from .rfid_store import RfidStore
+from .schema import ALIASES, INDEXES, SCHEMA, UC, create_schema
+
+__all__ = [
+    "ALIASES",
+    "create_schema",
+    "INDEXES",
+    "render_summary",
+    "render_timeline",
+    "RfidStore",
+    "SCHEMA",
+    "StoreAnalytics",
+    "UC",
+]

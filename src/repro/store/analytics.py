@@ -1,0 +1,123 @@
+"""Analytics over the RFID store: history-oriented tracking queries.
+
+The paper's first application class is "history-oriented object
+tracking"; once the rules have transformed raw readings into temporal
+location/containment periods, these queries answer the questions such a
+deployment actually asks — trajectories, dwell times, throughput per
+location, inventory levels over time and sales summaries.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .rfid_store import RfidStore
+from .schema import UC
+
+
+class StoreAnalytics:
+    """Read-only analytical queries over one :class:`RfidStore`."""
+
+    def __init__(self, store: RfidStore) -> None:
+        self.store = store
+
+    # -- trajectories ------------------------------------------------------
+
+    def trajectory(self, obj: str) -> list[tuple[str, float, object]]:
+        """The object's (location, tstart, tend) periods, chronological."""
+        return self.store.location_history(obj)
+
+    def dwell_times(self, obj: str, now: Optional[float] = None) -> dict[str, float]:
+        """Total seconds the object spent per location.
+
+        Open periods are counted up to ``now`` (and skipped if ``now`` is
+        not given).
+        """
+        totals: dict[str, float] = {}
+        for location, tstart, tend in self.store.location_history(obj):
+            if tend == UC:
+                if now is None:
+                    continue
+                tend = now
+            totals[location] = totals.get(location, 0.0) + (tend - tstart)
+        return totals
+
+    def path_of(self, obj: str) -> list[str]:
+        """The sequence of locations the object visited."""
+        return [location for location, _s, _e in self.store.location_history(obj)]
+
+    # -- per-location statistics -----------------------------------------------
+
+    def objects_through(self, location: str) -> list[str]:
+        """Every object that ever had a period at the location."""
+        seen = {
+            row["object_epc"]
+            for row in self.store.database.table("OBJECTLOCATION").rows
+            if row["loc_id"] == location
+        }
+        return sorted(seen)
+
+    def average_dwell(self, location: str, now: Optional[float] = None) -> Optional[float]:
+        """Mean seconds spent at the location across closed (or ``now``-
+        clipped) periods; None when nothing ever dwelled there."""
+        durations = []
+        for row in self.store.database.table("OBJECTLOCATION").rows:
+            if row["loc_id"] != location:
+                continue
+            tend = row["tend"]
+            if tend == UC:
+                if now is None:
+                    continue
+                tend = now
+            durations.append(tend - row["tstart"])
+        if not durations:
+            return None
+        return sum(durations) / len(durations)
+
+    def inventory_at(self, location: str, at: float) -> int:
+        """How many objects were at the location at one instant."""
+        return len(self.store.objects_at(location, at=at))
+
+    def inventory_timeline(
+        self, location: str, times: list[float]
+    ) -> list[tuple[float, int]]:
+        """(time, inventory count) samples for charting."""
+        return [(time, self.inventory_at(location, time)) for time in times]
+
+    # -- containment statistics ---------------------------------------------------
+
+    def packing_summary(self) -> dict[str, int]:
+        """Items packed per container across all time."""
+        counts: dict[str, int] = {}
+        for row in self.store.database.table("OBJECTCONTAINMENT").rows:
+            parent = row["parent_epc"]
+            counts[parent] = counts.get(parent, 0) + 1
+        return counts
+
+    def open_containments(self) -> int:
+        """Currently open containment periods."""
+        rows = self.store.database.query(
+            "SELECT COUNT(*) FROM OBJECTCONTAINMENT WHERE tend = 'UC'"
+        )
+        return rows[0][0]
+
+    def container_history(self, obj: str) -> list[tuple[str, float, object]]:
+        """Every container the object was ever in, chronological."""
+        rows = [
+            (row["parent_epc"], row["tstart"], row["tend"])
+            for row in self.store.database.table("OBJECTCONTAINMENT").rows
+            if row["object_epc"] == obj
+        ]
+        return sorted(rows, key=lambda item: item[1])
+
+    # -- sales -------------------------------------------------------------------------
+
+    def sales_by_reader(self) -> list[tuple[str, int]]:
+        """(POS reader, sale count), busiest first."""
+        rows = self.store.database.query(
+            "SELECT pos_reader, COUNT(*) FROM SALE GROUP BY pos_reader"
+        )
+        return sorted(rows, key=lambda row: (-row[1], row[0]))
+
+    def total_sales(self) -> int:
+        return self.store.database.query("SELECT COUNT(*) FROM SALE")[0][0]

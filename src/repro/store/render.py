@@ -1,0 +1,67 @@
+"""Textual rendering of store state: timelines and summaries.
+
+Terminal-friendly views for debugging and the ``inspect`` CLI command:
+an object's location history as a scaled timeline bar, and a compact
+whole-store summary.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .rfid_store import RfidStore
+from .schema import UC
+
+
+def render_timeline(
+    store: RfidStore,
+    obj: str,
+    width: int = 60,
+    now: Optional[float] = None,
+) -> str:
+    """The object's location history as a proportional text timeline.
+
+    >>> store = RfidStore()
+    >>> store.update_location("box", "factory", 0.0)
+    >>> store.update_location("box", "store", 75.0)
+    >>> print(render_timeline(store, "box", width=20, now=100.0))
+    box
+      [factory          0.0 ..    75.0] ===============
+      [store           75.0 ..      UC] =====
+    """
+    history = store.location_history(obj)
+    if not history:
+        return f"{obj}\n  (no location history)"
+    start = history[0][1]
+    open_end = now if now is not None else max(
+        (end for _l, _s, end in history if end != UC), default=start
+    )
+    end = max(
+        open_end,
+        max((e for _l, _s, e in history if e != UC), default=start),
+    )
+    span = max(end - start, 1e-9)
+    lines = [obj]
+    for location, tstart, tend in history:
+        effective_end = open_end if tend == UC else tend
+        bar_length = max(
+            1, round((effective_end - tstart) / span * width)
+        ) if effective_end > tstart else 1
+        end_text = "UC" if tend == UC else f"{tend:.1f}"
+        lines.append(
+            f"  [{location:<12} {tstart:>7.1f} .. {end_text:>7}] "
+            + "=" * bar_length
+        )
+    return "\n".join(lines)
+
+
+def render_summary(store: RfidStore) -> str:
+    """A compact whole-store summary: table sizes and recent alerts."""
+    lines = ["store summary:"]
+    for name, count in sorted(store.counts().items()):
+        lines.append(f"  {name:<18} {count:>6} rows")
+    if store.alerts:
+        lines.append("recent alerts:")
+        for rule_id, message, timestamp in store.alerts[-5:]:
+            lines.append(f"  [{rule_id}] t={timestamp:g} {message}")
+    return "\n".join(lines)

@@ -1,0 +1,58 @@
+"""The RFID data store schema (paper §3.2 and reference [2]).
+
+Tables mirror the paper exactly:
+
+* ``OBSERVATION(reader_epc, object_epc, timestamp)`` — filtered raw
+  readings kept for history-oriented tracking;
+* ``OBJECTLOCATION(object_epc, loc_id, tstart, tend)`` — location
+  history with the open end marked ``"UC"`` (until changed);
+* ``OBJECTCONTAINMENT(object_epc, parent_epc, tstart, tend)`` —
+  containment relationships over time, same ``"UC"`` convention;
+* ``READERLOCATION(reader_epc, loc_id)`` — where each reader resides,
+  used by the location-transformation rule to resolve "the reader's new
+  location";
+* ``ALERT(rule_id, message, timestamp)`` — real-time monitoring output.
+
+``CONTAINMENT`` is registered as an alias of ``OBJECTCONTAINMENT``
+because the paper's Rule 4 abbreviates the name in its BULK INSERT.
+"""
+
+from __future__ import annotations
+
+from ..sql import Database
+
+#: The paper's "until changed" marker for open-ended periods.
+UC = "UC"
+
+SCHEMA: dict[str, tuple[str, ...]] = {
+    "OBSERVATION": ("reader_epc", "object_epc", "timestamp"),
+    "OBJECTLOCATION": ("object_epc", "loc_id", "tstart", "tend"),
+    "OBJECTCONTAINMENT": ("object_epc", "parent_epc", "tstart", "tend"),
+    "READERLOCATION": ("reader_epc", "loc_id"),
+    "ALERT": ("rule_id", "message", "timestamp"),
+    "SALE": ("object_epc", "pos_reader", "timestamp"),
+    # Detected complex events flowing back into the store (paper Fig. 2:
+    # "Semantic Data / New Events" feed the RFID data store).
+    "DETECTION": ("rule_id", "t_begin", "t_end", "detected_at", "primary_epc"),
+}
+
+INDEXES: tuple[tuple[str, str], ...] = (
+    ("OBSERVATION", "object_epc"),
+    ("OBJECTLOCATION", "object_epc"),
+    ("OBJECTCONTAINMENT", "object_epc"),
+    ("OBJECTCONTAINMENT", "parent_epc"),
+    ("READERLOCATION", "reader_epc"),
+)
+
+ALIASES: dict[str, str] = {"CONTAINMENT": "OBJECTCONTAINMENT"}
+
+
+def create_schema(database: Database) -> None:
+    """Create the standard tables, indexes and aliases in ``database``."""
+    for name, columns in SCHEMA.items():
+        table = database.create_table(name, columns)
+        for alias, target in ALIASES.items():
+            if target == name:
+                database.tables[alias] = table
+    for table_name, column in INDEXES:
+        database.table(table_name).create_index(column)

@@ -1,0 +1,91 @@
+"""Tests for the store analytics module."""
+
+import pytest
+
+from repro.store import RfidStore, StoreAnalytics
+
+
+@pytest.fixture
+def populated():
+    store = RfidStore()
+    # box1: factory 0-10, truck 10-30, store 30-...
+    store.update_location("box1", "factory", 0.0)
+    store.update_location("box1", "truck", 10.0)
+    store.update_location("box1", "store", 30.0)
+    # box2: factory 5-25, truck 25-...
+    store.update_location("box2", "factory", 5.0)
+    store.update_location("box2", "truck", 25.0)
+    # containment: items into case, case unpacked later
+    store.add_containment(["i1", "i2"], "case", 2.0)
+    store.end_containment("i1", 40.0)
+    # sales
+    store.database.table("SALE").insert(["i1", "pos1", 41.0])
+    store.database.table("SALE").insert(["i9", "pos2", 42.0])
+    store.database.table("SALE").insert(["i8", "pos2", 43.0])
+    return store, StoreAnalytics(store)
+
+
+class TestTrajectories:
+    def test_path_of(self, populated):
+        _store, analytics = populated
+        assert analytics.path_of("box1") == ["factory", "truck", "store"]
+
+    def test_dwell_times_closed_periods(self, populated):
+        _store, analytics = populated
+        dwell = analytics.dwell_times("box1")
+        assert dwell == {"factory": 10.0, "truck": 20.0}
+
+    def test_dwell_times_with_now(self, populated):
+        _store, analytics = populated
+        dwell = analytics.dwell_times("box1", now=50.0)
+        assert dwell["store"] == 20.0
+
+    def test_unknown_object(self, populated):
+        _store, analytics = populated
+        assert analytics.path_of("ghost") == []
+        assert analytics.dwell_times("ghost") == {}
+
+
+class TestLocationStats:
+    def test_objects_through(self, populated):
+        _store, analytics = populated
+        assert analytics.objects_through("factory") == ["box1", "box2"]
+        assert analytics.objects_through("store") == ["box1"]
+
+    def test_average_dwell(self, populated):
+        _store, analytics = populated
+        assert analytics.average_dwell("factory") == pytest.approx(15.0)
+        assert analytics.average_dwell("nowhere") is None
+
+    def test_average_dwell_clips_open_periods(self, populated):
+        _store, analytics = populated
+        assert analytics.average_dwell("store", now=40.0) == pytest.approx(10.0)
+
+    def test_inventory_timeline(self, populated):
+        _store, analytics = populated
+        timeline = analytics.inventory_timeline("factory", [1.0, 7.0, 20.0])
+        assert timeline == [(1.0, 1), (7.0, 2), (20.0, 1)]
+
+
+class TestContainmentStats:
+    def test_packing_summary(self, populated):
+        _store, analytics = populated
+        assert analytics.packing_summary() == {"case": 2}
+
+    def test_open_containments(self, populated):
+        _store, analytics = populated
+        assert analytics.open_containments() == 1
+
+    def test_container_history(self, populated):
+        _store, analytics = populated
+        assert analytics.container_history("i1") == [("case", 2.0, 40.0)]
+
+
+class TestSales:
+    def test_sales_by_reader_busiest_first(self, populated):
+        _store, analytics = populated
+        assert analytics.sales_by_reader() == [("pos2", 2), ("pos1", 1)]
+
+    def test_total_sales(self, populated):
+        _store, analytics = populated
+        assert analytics.total_sales() == 3

@@ -1,0 +1,282 @@
+"""Tests for the prebuilt applications and the middleware facade."""
+
+import random
+
+import pytest
+
+from repro import Engine, Observation
+from repro.apps import (
+    RfidMiddleware,
+    asset_monitoring_rule,
+    containment_rule,
+    location_rule,
+    unpacking_rule,
+)
+from repro.simulator import (
+    GateConfig,
+    MovementConfig,
+    PackingConfig,
+    gate_type_function,
+    reader_placements,
+    simulate_gate,
+    simulate_movement,
+    simulate_packing,
+)
+from repro.store import UC, RfidStore
+
+
+class TestContainmentApp:
+    def test_against_packing_truth(self):
+        trace = simulate_packing(PackingConfig(cases=15), rng=random.Random(2))
+        store = RfidStore()
+        engine = Engine([containment_rule()], store=store)
+        list(engine.run(trace.observations))
+        for case_epc, items in trace.expected_containments().items():
+            assert store.contents_of(case_epc) == sorted(items)
+
+    def test_unpacking_closes_periods(self):
+        store = RfidStore()
+        engine = Engine(
+            [containment_rule(), unpacking_rule("r9")], store=store
+        )
+        stream = [Observation("r1", f"i{k}", 0.5 * k) for k in range(1, 4)]
+        stream.append(Observation("r2", "case", 12.0))
+        stream.append(Observation("r9", "case", 100.0))
+        list(engine.run(stream))
+        assert store.contents_of("case") == []
+        assert store.contents_of("case", at=50.0) == ["i1", "i2", "i3"]
+        rows = store.database.query(
+            "SELECT DISTINCT tend FROM OBJECTCONTAINMENT"
+        )
+        assert rows == [(100.0,)]
+
+    def test_group_and_type_variant_compiles(self):
+        rule = containment_rule(
+            item_reader=None,
+            case_reader=None,
+            item_group="conveyor",
+            case_group="packing",
+            item_type="item",
+            case_type="case",
+        )
+        Engine([rule], store=RfidStore())  # compiles without error
+
+
+class TestLocationApp:
+    def test_against_movement_truth(self):
+        config = MovementConfig(objects=5)
+        trace = simulate_movement(config, rng=random.Random(3))
+        store = RfidStore()
+        for reader, location in reader_placements(config):
+            store.place_reader(reader, location)
+        engine = Engine([location_rule()], store=store)
+        list(engine.run(trace.observations))
+        for epc in {visit.obj_epc for visit in trace.visits}:
+            expected = trace.expected_history(epc)
+            got = store.location_history(epc)
+            assert [(loc, start) for loc, start, _end in got] == expected
+            assert got[-1][2] == UC
+
+    def test_unplaced_reader_ignored(self):
+        store = RfidStore()
+        engine = Engine([location_rule()], store=store)
+        list(engine.run([Observation("handheld", "x", 0.0)]))
+        assert store.location_of("x") is None
+
+    def test_record_observation_option(self):
+        store = RfidStore()
+        store.place_reader("r", "dock")
+        engine = Engine([location_rule(record_observation=True)], store=store)
+        list(engine.run([Observation("r", "x", 1.0)]))
+        assert store.observations_of("x") == [("r", 1.0)]
+
+
+class TestAssetMonitoringApp:
+    def test_against_gate_truth(self):
+        config = GateConfig(exits=40)
+        trace = simulate_gate(config, rng=random.Random(4))
+        alarms = []
+        rule = asset_monitoring_rule(
+            gate_reader=config.reader,
+            tau=config.tau,
+            on_alarm=lambda epc, time: alarms.append((epc, time)),
+        )
+        from repro import FunctionRegistry
+
+        engine = Engine(
+            [rule], functions=FunctionRegistry(obj_type=gate_type_function(config))
+        )
+        list(engine.run(trace.observations))
+        assert sorted(alarms) == sorted(trace.expected_alarms())
+
+    def test_default_action_uses_store_alert(self):
+        store = RfidStore()
+        from repro import FunctionRegistry
+
+        rule = asset_monitoring_rule(gate_reader="g", tau=5.0)
+        engine = Engine(
+            [rule],
+            store=store,
+            functions=FunctionRegistry(obj_type=lambda o: "laptop"),
+        )
+        list(engine.run([Observation("g", "L", 0.0)]))
+        assert len(store.alerts) == 1
+        assert "unauthorized laptop L" in store.alerts[0][1]
+
+
+class TestMiddleware:
+    def test_process_wires_everything(self):
+        middleware = RfidMiddleware()
+        middleware.store.place_reader("r1", "conveyor")
+        middleware.store.place_reader("r2", "packing")
+        middleware.add_rules([containment_rule(), location_rule()])
+        stream = [Observation("r1", f"i{k}", 0.4 * k) for k in range(1, 4)]
+        stream.append(Observation("r2", "case", 13.0))
+        detections = middleware.process(stream)
+        assert len(detections) == 1 + len(stream)  # containment + 4 locations
+        assert middleware.store.contents_of("case") == ["i1", "i2", "i3"]
+        assert middleware.store.location_of("case") == "packing"
+
+    def test_add_program_parses_and_registers(self):
+        middleware = RfidMiddleware()
+        rules = middleware.add_program(
+            "CREATE RULE rx, demo ON observation(r, o, t) IF true "
+            "DO INSERT INTO OBSERVATION VALUES (r, o, t)"
+        )
+        assert len(rules) == 1
+        middleware.process([Observation("r", "x", 0.0)])
+        assert middleware.store.observations_of("x") == [("r", 0.0)]
+
+    def test_group_registry_feeds_engine(self):
+        middleware = RfidMiddleware()
+        middleware.groups.assign_all(["d1", "d2"], "dock")
+        from repro import obs as obs_expr
+        from repro.core.expressions import Var
+
+        seen = []
+        middleware.engine.watch(
+            obs_expr(None, Var("o"), group="dock"),
+            callback=lambda context: seen.append(context.bindings["o"]),
+        )
+        middleware.process(
+            [Observation("d1", "a", 0.0), Observation("zz", "b", 1.0)]
+        )
+        assert seen == ["a"]
+
+    def test_type_registry_feeds_engine(self):
+        middleware = RfidMiddleware()
+        middleware.types.register_fallback("tagX", "laptop")
+        from repro import obs as obs_expr
+        from repro.core.expressions import Var
+
+        seen = []
+        middleware.engine.watch(
+            obs_expr(None, Var("o"), obj_type="laptop"),
+            callback=lambda context: seen.append(context.bindings["o"]),
+        )
+        middleware.process(
+            [Observation("r", "tagX", 0.0), Observation("r", "other", 1.0)]
+        )
+        assert seen == ["tagX"]
+
+
+class TestSaleApp:
+    def test_sale_records_and_relocates(self):
+        from repro.apps import SOLD_LOCATION, sale_rule
+
+        store = RfidStore()
+        store.add_containment(["item1"], "case", 0.0)
+        store.update_location("item1", "store", 0.0)
+        engine = Engine([sale_rule(("pos1",))], store=store)
+        list(engine.run([Observation("pos1", "item1", 100.0)]))
+        assert store.location_of("item1") == SOLD_LOCATION
+        assert store.parent_of("item1") is None
+        assert store.parent_of("item1", at=50.0) == "case"
+        assert store.database.query("SELECT object_epc FROM SALE") == [("item1",)]
+
+    def test_multiple_pos_readers(self):
+        from repro.apps import sale_rule
+
+        store = RfidStore()
+        engine = Engine([sale_rule(("pos1", "pos2"))], store=store)
+        list(
+            engine.run(
+                [
+                    Observation("pos1", "a", 0.0),
+                    Observation("pos2", "b", 1.0),
+                    Observation("door", "c", 2.0),  # not a POS reader
+                ]
+            )
+        )
+        rows = store.database.query("SELECT object_epc FROM SALE ORDER BY timestamp")
+        assert rows == [("a",), ("b",)]
+
+    def test_against_checkout_truth(self):
+        from repro.apps import sale_rule
+        from repro.simulator import CheckoutConfig, simulate_checkout
+
+        config = CheckoutConfig(sales=10)
+        trace = simulate_checkout(config, rng=random.Random(8))
+        store = RfidStore()
+        engine = Engine([sale_rule(config.pos_readers)], store=store)
+        list(engine.run(trace.observations))
+        rows = store.database.query(
+            "SELECT object_epc, pos_reader, timestamp FROM SALE"
+        )
+        assert sorted(rows) == sorted(
+            (sale.item_epc, sale.pos_reader, sale.time) for sale in trace.sales
+        )
+
+    def test_sales_per_lane_aggregate(self):
+        from repro.apps import sale_rule
+        from repro.simulator import CheckoutConfig, simulate_checkout
+
+        config = CheckoutConfig(sales=20)
+        trace = simulate_checkout(config, rng=random.Random(9))
+        store = RfidStore()
+        engine = Engine([sale_rule(config.pos_readers)], store=store)
+        list(engine.run(trace.observations))
+        rows = store.database.query(
+            "SELECT pos_reader, COUNT(*) FROM SALE GROUP BY pos_reader "
+            "ORDER BY pos_reader"
+        )
+        from collections import Counter
+
+        expected = Counter(sale.pos_reader for sale in trace.sales)
+        assert rows == sorted(expected.items())
+
+
+class TestDetectionRecording:
+    def test_detections_persisted_in_store(self):
+        middleware = RfidMiddleware(record_detections=True)
+        middleware.store.place_reader("r1", "conveyor")
+        middleware.store.place_reader("r2", "packing")
+        middleware.add_rule(containment_rule())
+        stream = [Observation("r1", f"i{k}", 0.4 * k) for k in range(1, 4)]
+        stream.append(Observation("r2", "case", 13.0))
+        middleware.process(stream)
+        rows = middleware.store.detections_of("r4")
+        assert len(rows) == 1
+        t_begin, t_end, detected_at, primary = rows[0]
+        assert primary == "i1"
+        assert t_begin == pytest.approx(0.4)
+        assert t_end == 13.0
+
+    def test_recording_off_by_default(self):
+        middleware = RfidMiddleware()
+        middleware.add_rule(containment_rule())
+        middleware.process([Observation("r1", "i1", 0.0)])
+        assert middleware.store.detections_of("r4") == []
+
+    def test_detection_table_queryable_with_aggregates(self):
+        middleware = RfidMiddleware(record_detections=True)
+        middleware.engine.watch(
+            __import__("repro").obs("g", __import__("repro").Var("o")),
+            name="gate-watch",
+        )
+        stream = [Observation("g", f"t{k}", float(k)) for k in range(5)]
+        middleware.process(stream)
+        rows = middleware.store.database.query(
+            "SELECT rule_id, COUNT(*) FROM DETECTION GROUP BY rule_id"
+        )
+        assert rows == [("gate-watch", 5)]

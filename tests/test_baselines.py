@@ -1,0 +1,115 @@
+"""Tests for the baseline detectors (type-level ECA, rescan)."""
+
+import random
+
+from repro import Engine, Observation, Var, obs
+from repro.baselines import RescanDetector, TypeLevelEcaDetector
+from repro.core.expressions import Seq, TSeq, TSeqPlus
+from repro.simulator import PackingConfig, simulate_packing
+
+
+class TestTypeLevelEca:
+    def _history(self):
+        return [
+            Observation("r1", "a", 1.0),
+            Observation("r1", "b", 2.0),
+            Observation("r2", "case", 9.0),
+        ]
+
+    def test_accepts_when_constraints_hold(self):
+        naive = TypeLevelEcaDetector("r1", "r2", (0.5, 1.5), (5.0, 10.0))
+        accepted = naive.run(self._history())
+        assert len(accepted) == 1
+        assert [o.obj for o in accepted[0].members] == ["a", "b"]
+
+    def test_rejects_whole_candidate_on_gap_violation(self):
+        history = [
+            Observation("r1", "a", 1.0),
+            Observation("r1", "b", 5.0),  # gap 4 > 1.5
+            Observation("r2", "case", 12.0),
+        ]
+        naive = TypeLevelEcaDetector("r1", "r2", (0.5, 1.5), (5.0, 10.0))
+        assert naive.run(history) == []
+        assert len(naive.rejected) == 1
+
+    def test_rejects_on_terminator_distance(self):
+        history = [Observation("r1", "a", 1.0), Observation("r2", "case", 30.0)]
+        naive = TypeLevelEcaDetector("r1", "r2", (0.5, 1.5), (5.0, 10.0))
+        assert naive.run(history) == []
+
+    def test_buffer_resets_after_terminator(self):
+        history = [
+            Observation("r1", "a", 1.0),
+            Observation("r2", "c1", 9.0),
+            Observation("r1", "b", 20.0),
+            Observation("r2", "c2", 28.0),
+        ]
+        naive = TypeLevelEcaDetector("r1", "r2", (0.5, 1.5), (5.0, 10.0))
+        accepted = naive.run(history)
+        assert len(accepted) == 2
+        assert [o.obj for o in accepted[1].members] == ["b"]
+
+    def test_callable_predicates(self):
+        naive = TypeLevelEcaDetector(
+            lambda o: o.obj.startswith("i"),
+            lambda o: o.obj.startswith("c"),
+            (0.0, 2.0),
+            (0.0, 100.0),
+        )
+        accepted = naive.run(
+            [Observation("x", "i1", 0.0), Observation("x", "c1", 5.0)]
+        )
+        assert len(accepted) == 1
+
+    def test_candidate_helpers(self):
+        naive = TypeLevelEcaDetector("r1", "r2", (0.0, 5.0), (0.0, 100.0))
+        naive.run(
+            [
+                Observation("r1", "a", 0.0),
+                Observation("r1", "b", 3.0),
+                Observation("r2", "c", 10.0),
+            ]
+        )
+        candidate = naive.accepted[0]
+        assert candidate.adjacent_gaps() == [3.0]
+        assert candidate.terminator_distance() == 7.0
+
+    def test_underperforms_on_overlap(self):
+        trace = simulate_packing(PackingConfig(cases=20), rng=random.Random(1))
+        naive = TypeLevelEcaDetector("r1", "r2", (0.1, 1.0), (10.0, 20.0))
+        accepted = naive.run(trace.observations)
+        assert len(accepted) < len(trace.cases)
+
+
+class TestRescanDetector:
+    def test_matches_incremental_engine(self):
+        event = TSeq(TSeqPlus(obs("r1", Var("o1")), 0.1, 1.0), obs("r2", Var("o2")), 10, 20)
+        trace = simulate_packing(PackingConfig(cases=8), rng=random.Random(2))
+
+        engine = Engine()
+        engine.watch(event)
+        incremental = sum(1 for _ in engine.run(trace.observations))
+
+        rescan = RescanDetector(event)
+        assert rescan.run(trace.observations) == incremental
+
+    def test_seq_equivalence(self):
+        event = Seq(obs("A", Var("o")), obs("B", Var("o"))).within(100)
+        stream = [
+            Observation("A", "x", 0.0),
+            Observation("B", "x", 1.0),
+            Observation("A", "y", 2.0),
+            Observation("B", "y", 3.0),
+        ]
+        engine = Engine()
+        engine.watch(event)
+        incremental = sum(1 for _ in engine.run(stream))
+        assert RescanDetector(event).run(stream) == incremental == 2
+
+    def test_submit_returns_new_detections(self):
+        event = obs("A")
+        rescan = RescanDetector(event)
+        assert rescan.submit(Observation("A", "x", 0.0)) == 1
+        assert rescan.submit(Observation("B", "x", 1.0)) == 0
+        assert rescan.submit(Observation("A", "y", 2.0)) == 1
+        assert rescan.detections == 2

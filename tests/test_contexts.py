@@ -1,0 +1,172 @@
+"""Tests for parameter contexts: policy units plus engine-level pairing.
+
+The engine-level cases mirror the paper's §4.2 discussion: with
+overlapping instances only the chronicle context pairs initiators and
+terminators as the application intends.
+"""
+
+from collections import deque
+
+import pytest
+
+from repro import CompileError, Engine, Observation, Var, obs
+from repro.core.contexts import (
+    ChronicleContext,
+    ContinuousContext,
+    CumulativeContext,
+    RecentContext,
+    UnrestrictedContext,
+    available_contexts,
+    get_context,
+)
+from repro.core.instances import PrimitiveInstance
+
+
+def prim(t, obj="x"):
+    return PrimitiveInstance(Observation("r", obj, t))
+
+
+def accept_all(_instance):
+    return True
+
+
+def accept_after(threshold):
+    return lambda instance: instance.t_end >= threshold
+
+
+class TestRegistry:
+    def test_all_contexts_available(self):
+        assert set(available_contexts()) == {
+            "chronicle",
+            "recent",
+            "continuous",
+            "cumulative",
+            "unrestricted",
+        }
+
+    def test_get_by_name(self):
+        assert get_context("recent").name == "recent"
+
+    def test_get_passthrough(self):
+        context = ChronicleContext()
+        assert get_context(context) is context
+
+    def test_unknown_name(self):
+        with pytest.raises(CompileError):
+            get_context("quantum")
+
+    def test_consumes_flags(self):
+        assert get_context("chronicle").consumes
+        assert get_context("continuous").consumes
+        assert get_context("cumulative").consumes
+        assert not get_context("recent").consumes
+        assert not get_context("unrestricted").consumes
+
+
+class TestChronicle:
+    def test_oldest_accepted(self):
+        buffer = deque([prim(1), prim(2), prim(3)])
+        groups, consumed = ChronicleContext().select(buffer, accept_all)
+        assert [group[0].t_end for group in groups] == [1]
+        assert consumed == [buffer[0]]
+
+    def test_skips_unacceptable(self):
+        buffer = deque([prim(1), prim(2), prim(3)])
+        groups, consumed = ChronicleContext().select(buffer, accept_after(2))
+        assert groups[0][0].t_end == 2
+
+    def test_no_match(self):
+        groups, consumed = ChronicleContext().select(deque([prim(1)]), lambda i: False)
+        assert groups == [] and consumed == []
+
+
+class TestRecent:
+    def test_newest_accepted(self):
+        buffer = deque([prim(1), prim(2), prim(3)])
+        groups, consumed = RecentContext().select(buffer, accept_all)
+        assert groups[0][0].t_end == 3
+        assert consumed == []
+
+    def test_insert_displaces(self):
+        buffer = deque([prim(1), prim(2)])
+        RecentContext().on_insert(buffer, prim(3))
+        assert [instance.t_end for instance in buffer] == [3]
+
+
+class TestContinuous:
+    def test_each_accepted_matches(self):
+        buffer = deque([prim(1), prim(2), prim(3)])
+        groups, consumed = ContinuousContext().select(buffer, accept_after(2))
+        assert [group[0].t_end for group in groups] == [2, 3]
+        assert [instance.t_end for instance in consumed] == [2, 3]
+
+
+class TestCumulative:
+    def test_all_accepted_in_one_group(self):
+        buffer = deque([prim(1), prim(2), prim(3)])
+        groups, consumed = CumulativeContext().select(buffer, accept_all)
+        assert len(groups) == 1
+        assert [instance.t_end for instance in groups[0]] == [1, 2, 3]
+        assert len(consumed) == 3
+
+    def test_empty_when_nothing_accepted(self):
+        groups, consumed = CumulativeContext().select(deque([prim(1)]), lambda i: False)
+        assert groups == []
+
+
+class TestUnrestricted:
+    def test_all_combinations_no_consumption(self):
+        buffer = deque([prim(1), prim(2)])
+        groups, consumed = UnrestrictedContext().select(buffer, accept_all)
+        assert len(groups) == 2
+        assert consumed == []
+
+
+class TestEngineLevelPairing:
+    """SEQ(A; B) over interleaved instances a1 a2 b1 b2."""
+
+    def _run(self, context):
+        engine = Engine(context=context)
+        engine.watch(obs("A", Var("x")) >> obs("B", Var("y")))
+        stream = [
+            Observation("A", "a1", 1.0),
+            Observation("A", "a2", 2.0),
+            Observation("B", "b1", 3.0),
+            Observation("B", "b2", 4.0),
+        ]
+        pairs = []
+        for detection in engine.run(stream):
+            observations = detection.instance.observations()
+            pairs.append(tuple(observation.obj for observation in observations))
+        return pairs
+
+    def test_chronicle_pairs_in_order(self):
+        assert self._run("chronicle") == [("a1", "b1"), ("a2", "b2")]
+
+    def test_recent_reuses_newest(self):
+        assert self._run("recent") == [("a2", "b1"), ("a2", "b2")]
+
+    def test_continuous_terminates_all(self):
+        assert self._run("continuous") == [("a1", "b1"), ("a2", "b1")]
+
+    def test_cumulative_accumulates(self):
+        assert self._run("cumulative") == [("a1", "a2", "b1")]
+
+    def test_unrestricted_all_pairs(self):
+        assert self._run("unrestricted") == [
+            ("a1", "b1"),
+            ("a2", "b1"),
+            ("a1", "b2"),
+            ("a2", "b2"),
+        ]
+
+    def test_chronicle_consumption_prevents_reuse(self):
+        engine = Engine(context="chronicle")
+        engine.watch(obs("A") >> obs("B"))
+        stream = [
+            Observation("A", "a1", 1.0),
+            Observation("B", "b1", 2.0),
+            Observation("B", "b2", 3.0),
+        ]
+        detections = list(engine.run(stream))
+        assert len(detections) == 1  # a1 consumed by b1; b2 finds nothing

@@ -1,0 +1,237 @@
+"""Negation semantics: pseudo events, pending kills, window boundaries.
+
+Grounded in the paper's Fig. 8 walk-through and the infield/outfield
+filtering rules of §3.1.
+"""
+
+import pytest
+
+from repro import Engine, Observation, Var, Within, obs
+from repro.core.expressions import And, Not, Seq, TSeq
+
+
+class TestAndWithNegation:
+    """WITHIN(E1 AND NOT E2, tau): two-sided negation window."""
+
+    def _engine(self, tau=10.0):
+        engine = Engine()
+        engine.watch(Within(And(obs("A"), Not(obs("B"))), tau))
+        return engine
+
+    def test_clean_occurrence_confirms_at_expiration(self):
+        engine = self._engine()
+        assert engine.submit(Observation("A", "x", 20)) == []
+        detections = engine.flush()
+        assert len(detections) == 1
+        assert detections[0].time == 30
+        assert engine.stats.pseudo_fired == 1
+
+    def test_lookback_kills(self):
+        engine = self._engine()
+        engine.submit(Observation("B", "u", 2))
+        engine.submit(Observation("A", "x", 10))  # B@2 inside [0, 10]
+        assert engine.flush() == []
+        assert engine.stats.pending_killed >= 1
+
+    def test_lookahead_kills(self):
+        engine = self._engine()
+        engine.submit(Observation("A", "x", 10))
+        engine.submit(Observation("B", "u", 15))  # inside (10, 20]
+        assert engine.flush() == []
+
+    def test_lookback_boundary_inclusive(self):
+        engine = self._engine()
+        engine.submit(Observation("B", "u", 0))
+        engine.submit(Observation("A", "x", 10))  # B exactly tau before
+        assert engine.flush() == []
+
+    def test_lookahead_boundary_inclusive(self):
+        engine = self._engine()
+        engine.submit(Observation("A", "x", 10))
+        engine.submit(Observation("B", "u", 20))  # exactly at window end
+        assert engine.flush() == []
+
+    def test_negative_after_window_is_harmless(self):
+        engine = self._engine()
+        detections = list(
+            engine.run([Observation("A", "x", 10), Observation("B", "u", 21)])
+        )
+        # The pseudo event at 20 fires before B@21 is processed, so the
+        # match is confirmed mid-stream, not at flush.
+        assert len(detections) == 1
+
+    def test_negation_respects_bindings(self):
+        engine = Engine()
+        engine.watch(
+            Within(And(obs("A", Var("o")), Not(obs("B", Var("o")))), 10)
+        )
+        engine.submit(Observation("A", "x", 10))
+        engine.submit(Observation("B", "other", 12))  # different object
+        detections = engine.flush()
+        assert len(detections) == 1
+        assert detections[0].bindings == {"o": "x"}
+
+    def test_multiple_pendings_independent(self):
+        engine = self._engine(tau=5.0)
+        detections = list(
+            engine.run(
+                [
+                    Observation("A", "x", 0),
+                    Observation("A", "y", 2),
+                    # B@6 is past x's window (0,5] (confirmed when the
+                    # pseudo at 5 fires) but inside y's window (2,7].
+                    Observation("B", "u", 6),
+                ]
+            )
+        )
+        assert len(detections) == 1
+        assert detections[0].time == 5
+
+
+class TestInfield:
+    """WITHIN(NOT obs(r,o); obs(r,o), period): push-mode negation."""
+
+    def _engine(self, period=30.0):
+        engine = Engine()
+        r, o = Var("r"), Var("o")
+        engine.watch(Within(Seq(Not(obs(r, o)), obs(r, o)), period))
+        return engine
+
+    def test_first_sighting_is_infield(self):
+        engine = self._engine()
+        detections = engine.submit(Observation("s", "x", 100))
+        assert len(detections) == 1
+
+    def test_periodic_rereads_are_not_infield(self):
+        engine = self._engine()
+        engine.submit(Observation("s", "x", 0))
+        assert engine.submit(Observation("s", "x", 30)) == []
+        assert engine.submit(Observation("s", "x", 60)) == []
+
+    def test_gap_larger_than_period_is_new_infield(self):
+        engine = self._engine()
+        engine.submit(Observation("s", "x", 0))
+        detections = engine.submit(Observation("s", "x", 31))
+        assert len(detections) == 1
+
+    def test_per_object_windows(self):
+        engine = self._engine()
+        engine.submit(Observation("s", "x", 0))
+        detections = engine.submit(Observation("s", "y", 10))
+        assert len(detections) == 1  # y's first sighting despite x nearby
+
+    def test_per_reader_windows(self):
+        engine = self._engine()
+        engine.submit(Observation("s1", "x", 0))
+        detections = engine.submit(Observation("s2", "x", 10))
+        assert len(detections) == 1  # same object, different shelf
+
+    def test_no_pseudo_events_needed(self):
+        # The paper: push-mode events need no pseudo events (§4.5).
+        engine = self._engine()
+        engine.submit(Observation("s", "x", 0))
+        engine.submit(Observation("s", "x", 30))
+        engine.flush()
+        assert engine.stats.pseudo_scheduled == 0
+
+
+class TestOutfield:
+    """WITHIN(obs(r,o); NOT obs(r,o), period): pending + pseudo event."""
+
+    def _engine(self, period=30.0):
+        engine = Engine()
+        r, o = Var("r"), Var("o")
+        engine.watch(Within(Seq(obs(r, o), Not(obs(r, o))), period))
+        return engine
+
+    def test_removal_detected_one_period_after_last_read(self):
+        engine = self._engine()
+        engine.submit(Observation("s", "x", 0))
+        engine.submit(Observation("s", "x", 30))
+        detections = engine.flush()
+        assert len(detections) == 1
+        assert detections[0].time == 60  # 30 + period
+
+    def test_continuous_presence_never_outfield(self):
+        engine = self._engine()
+        for tick in (0, 30, 60, 90):
+            engine.submit(Observation("s", "x", tick))
+        engine.submit(Observation("s", "x", 120))
+        # Only the last read's pending survives the stream...
+        detections = engine.flush()
+        assert len(detections) == 1 and detections[0].time == 150
+
+    def test_reread_at_exact_period_kills(self):
+        engine = self._engine()
+        detections = [
+            detection
+            for detection in engine.run(
+                [
+                    Observation("s", "x", 0),
+                    Observation("s", "x", 30),  # boundary: still present
+                    Observation("s", "y", 100),
+                ]
+            )
+            if detection.bindings["o"] == "x"
+        ]
+        # x@0's pending is killed by the boundary re-read; x@30's pending
+        # expires cleanly at 60 (fired while processing y@100).
+        assert len(detections) == 1
+        assert detections[0].time == 60
+
+    def test_other_objects_do_not_kill(self):
+        engine = self._engine()
+        engine.submit(Observation("s", "x", 0))
+        engine.submit(Observation("s", "y", 10))
+        detections = [d for d in engine.flush() if d.bindings["o"] == "x"]
+        assert detections and detections[0].time == 30
+
+
+class TestTSeqNegation:
+    def test_tseq_negated_initiator_window(self):
+        # TSEQ(NOT A; B, 2, 5): no A in [t_end(b)-5, t_end(b)-2].
+        engine = Engine()
+        engine.watch(TSeq(Not(obs("A")), obs("B"), 2, 5))
+        engine.submit(Observation("A", "x", 7))   # inside [5, 8] for B@10
+        assert engine.submit(Observation("B", "y", 10)) == []
+
+        engine2 = Engine()
+        engine2.watch(TSeq(Not(obs("A")), obs("B"), 2, 5))
+        engine2.submit(Observation("A", "x", 9))  # outside [5, 8]
+        detections = engine2.submit(Observation("B", "y", 10))
+        assert len(detections) == 1
+
+    def test_tseq_negated_terminator_window(self):
+        # TSEQ(A; NOT B, 2, 5): no B in (t+2, t+5].
+        engine = Engine()
+        engine.watch(TSeq(obs("A"), Not(obs("B")), 2, 5))
+        engine.submit(Observation("A", "x", 0))
+        engine.submit(Observation("B", "y", 1))   # before window start: harmless
+        detections = engine.flush()
+        assert len(detections) == 1 and detections[0].time == 5
+
+        engine2 = Engine()
+        engine2.watch(TSeq(obs("A"), Not(obs("B")), 2, 5))
+        engine2.submit(Observation("A", "x", 0))
+        engine2.submit(Observation("B", "y", 4))  # inside (2, 5]
+        assert engine2.flush() == []
+
+
+class TestPaperFig8StepByStep:
+    def test_full_walkthrough(self):
+        engine = Engine()
+        engine.watch(Within(And(obs("rA"), Not(obs("rB"))), 10))
+
+        # e2@2 buffered by the NOT child; nothing propagates.
+        assert engine.submit(Observation("rB", "e2", 2)) == []
+        # e1@10: lookback [0,10] contains e2@2 -> e1 deleted.
+        assert engine.submit(Observation("rA", "e1", 10)) == []
+        assert engine.stats.pending_killed == 1
+        # e1@20: lookback [10,20] clean -> pseudo event at 30.
+        assert engine.submit(Observation("rA", "e1", 20)) == []
+        assert engine.stats.pseudo_scheduled == 1
+        # Pseudo event fires at 30: non-occurrence over [20,30] -> detect.
+        detections = engine.advance_to(30)
+        assert len(detections) == 1
+        instance = detections[0].instance
+        assert (instance.t_begin, instance.t_end) == (20, 30)

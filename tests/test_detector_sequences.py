@@ -1,0 +1,259 @@
+"""Sequence semantics: SEQ, TSEQ distance bounds, TSEQ+/SEQ+ chains."""
+
+import pytest
+
+from repro import Engine, Observation, Var, Within, obs
+from repro.core.expressions import Or, Seq, SeqPlus, TSeq, TSeqPlus
+
+
+def run(engine, stream):
+    return list(engine.run(stream))
+
+
+class TestTSeqBounds:
+    def _engine(self, lower=2.0, upper=5.0):
+        engine = Engine()
+        engine.watch(TSeq(obs("A"), obs("B"), lower, upper))
+        return engine
+
+    @pytest.mark.parametrize("distance, expected", [
+        (1.9, 0),   # below lower bound
+        (2.0, 1),   # at lower bound (inclusive)
+        (3.5, 1),
+        (5.0, 1),   # at upper bound (inclusive)
+        (5.1, 0),   # above upper bound
+    ])
+    def test_distance_window(self, distance, expected):
+        engine = self._engine()
+        detections = run(
+            engine, [Observation("A", "x", 10), Observation("B", "y", 10 + distance)]
+        )
+        assert len(detections) == expected
+
+    def test_expired_initiator_skipped_for_fresh_one(self):
+        engine = self._engine()
+        detections = run(
+            engine,
+            [
+                Observation("A", "old", 0),
+                Observation("A", "new", 10),
+                Observation("B", "y", 13),  # dist(old)=13 >5; dist(new)=3 ok
+            ],
+        )
+        assert len(detections) == 1
+        assert [o.obj for o in detections[0].instance.observations()] == ["new", "y"]
+
+    def test_zero_lower_bound_allows_immediate(self):
+        engine = self._engine(lower=0.0)
+        detections = run(
+            engine, [Observation("A", "x", 0), Observation("B", "y", 0.5)]
+        )
+        assert len(detections) == 1
+
+
+class TestSeqJoins:
+    def test_join_on_object(self):
+        engine = Engine()
+        engine.watch(Within(Seq(obs("A", Var("o")), obs("B", Var("o"))), 100))
+        detections = run(
+            engine,
+            [
+                Observation("A", "x", 0),
+                Observation("A", "y", 1),
+                Observation("B", "y", 2),  # pairs with A/y, not A/x
+                Observation("B", "x", 3),
+            ],
+        )
+        assert [d.bindings["o"] for d in detections] == ["y", "x"]
+
+    def test_join_key_bucketing_many_objects(self):
+        engine = Engine()
+        engine.watch(Within(Seq(obs("A", Var("o")), obs("B", Var("o"))), 1000))
+        stream = []
+        for index in range(50):
+            stream.append(Observation("A", f"tag{index}", float(index)))
+        for index in range(50):
+            stream.append(Observation("B", f"tag{index}", 100.0 + index))
+        detections = run(engine, stream)
+        assert len(detections) == 50
+        assert all(
+            d.bindings["o"] == f"tag{i}" for i, d in enumerate(detections)
+        )
+
+    def test_or_initiator_with_partial_variables(self):
+        # OR branches export different variables; the join key falls back
+        # to a single bucket and unification filters pairs.
+        left = obs("A1", Var("o"))
+        right = obs("A2")  # binds nothing
+        engine = Engine()
+        engine.watch(Within(Seq(Or(left, right), obs("B", Var("o"))), 100))
+        detections = run(
+            engine,
+            [
+                Observation("A1", "x", 0),
+                Observation("B", "x", 1),
+                Observation("A2", "anything", 2),
+                Observation("B", "y", 3),
+            ],
+        )
+        assert len(detections) == 2
+
+
+class TestTSeqPlusChains:
+    def _engine(self, lower=0.0, upper=1.0, group_by=()):
+        engine = Engine()
+        engine.watch(TSeqPlus(obs("R", Var("o")), lower, upper, group_by=group_by))
+        return engine
+
+    def test_single_occurrence_is_a_chain(self):
+        engine = self._engine()
+        detections = run(engine, [Observation("R", "a", 0)])
+        assert len(detections) == 1
+        assert len(detections[0].instance.constituents) == 1
+
+    def test_gap_within_bounds_extends(self):
+        engine = self._engine()
+        detections = run(
+            engine,
+            [Observation("R", "a", 0), Observation("R", "b", 0.5),
+             Observation("R", "c", 1.4)],
+        )
+        assert len(detections) == 1
+        assert len(detections[0].instance.constituents) == 3
+
+    def test_gap_above_upper_splits(self):
+        engine = self._engine()
+        detections = run(
+            engine, [Observation("R", "a", 0), Observation("R", "b", 2.0)]
+        )
+        assert len(detections) == 2
+
+    def test_gap_below_lower_splits(self):
+        engine = self._engine(lower=0.5, upper=1.0)
+        detections = run(
+            engine, [Observation("R", "a", 0), Observation("R", "b", 0.1)]
+        )
+        assert len(detections) == 2
+
+    def test_gap_at_exact_upper_extends(self):
+        engine = self._engine()
+        detections = run(
+            engine, [Observation("R", "a", 0), Observation("R", "b", 1.0)]
+        )
+        assert len(detections) == 1
+        assert len(detections[0].instance.constituents) == 2
+
+    def test_chain_closes_via_pseudo_event_mid_stream(self):
+        engine = self._engine()
+        detections = []
+        detections += engine.submit(Observation("R", "a", 0))
+        detections += engine.submit(Observation("R", "b", 0.5))
+        assert detections == []
+        # An unrelated event at t=5 advances the clock past 0.5 + 1.
+        detections += engine.submit(Observation("other", "z", 5))
+        assert len(detections) == 1
+
+    def test_group_by_partitions_chains(self):
+        engine = Engine()
+        engine.watch(
+            TSeqPlus(obs(Var("r"), Var("o")), 0.0, 1.0, group_by=("r",))
+        )
+        detections = run(
+            engine,
+            [
+                Observation("R1", "a", 0.0),
+                Observation("R2", "b", 0.4),
+                Observation("R1", "c", 0.8),
+                Observation("R2", "d", 1.2),
+            ],
+        )
+        by_reader = {d.bindings["r"]: d for d in detections}
+        assert len(detections) == 2
+        assert len(by_reader["R1"].instance.constituents) == 2
+        assert len(by_reader["R2"].instance.constituents) == 2
+
+    def test_member_variables_are_local(self):
+        engine = self._engine()
+        detections = run(
+            engine, [Observation("R", "a", 0), Observation("R", "b", 0.5)]
+        )
+        # Chain bindings do not include the member-local variable o.
+        assert "o" not in detections[0].bindings
+        members = detections[0].instance.constituents
+        assert [m.bindings["o"] for m in members] == ["a", "b"]
+
+
+class TestTSeqOfChain:
+    """The paper's Rule 4 composition, beyond the Fig. 4 fixture."""
+
+    def _engine(self):
+        engine = Engine()
+        event = TSeq(TSeqPlus(obs("A", Var("o1")), 0.1, 1.0), obs("B", Var("o2")), 10, 20)
+        engine.watch(event)
+        return engine
+
+    def test_chain_then_case(self):
+        engine = self._engine()
+        stream = [Observation("A", f"i{k}", k * 0.5) for k in range(4)]
+        stream.append(Observation("B", "case", 13.0))
+        detections = run(engine, stream)
+        assert len(detections) == 1
+        observations = detections[0].instance.observations()
+        assert [o.obj for o in observations] == ["i0", "i1", "i2", "i3", "case"]
+
+    def test_case_too_early_rejected(self):
+        engine = self._engine()
+        stream = [Observation("A", "i", 0.0), Observation("B", "case", 5.0)]
+        assert run(engine, stream) == []
+
+    def test_case_too_late_rejected(self):
+        engine = self._engine()
+        stream = [Observation("A", "i", 0.0), Observation("B", "case", 25.0)]
+        assert run(engine, stream) == []
+
+    def test_chronicle_pairs_overlapping_chains(self):
+        engine = self._engine()
+        stream = [
+            Observation("A", "x1", 0.0),
+            Observation("A", "x2", 0.5),
+            # second chain starts while first case reading is pending
+            Observation("A", "y1", 4.0),
+            Observation("A", "y2", 4.5),
+            Observation("B", "caseX", 12.0),   # dist to x2: 11.5
+            Observation("B", "caseY", 16.0),   # dist to y2: 11.5
+        ]
+        detections = run(engine, stream)
+        assert len(detections) == 2
+        first, second = detections
+        assert [o.obj for o in first.instance.observations()] == ["x1", "x2", "caseX"]
+        assert [o.obj for o in second.instance.observations()] == ["y1", "y2", "caseY"]
+
+
+class TestSeqPlusWithin:
+    def test_run_collects_window(self):
+        engine = Engine()
+        engine.watch(Within(SeqPlus(obs("R")), 10))
+        detections = run(
+            engine,
+            [Observation("R", "a", 0), Observation("R", "b", 5),
+             Observation("R", "c", 9)],
+        )
+        assert len(detections) == 1
+        assert len(detections[0].instance.constituents) == 3
+
+    def test_occurrence_past_window_starts_new_run(self):
+        engine = Engine()
+        engine.watch(Within(SeqPlus(obs("R")), 10))
+        detections = run(
+            engine, [Observation("R", "a", 0), Observation("R", "b", 15)]
+        )
+        assert len(detections) == 2
+
+    def test_run_closes_at_expiry_even_mid_stream(self):
+        engine = Engine()
+        engine.watch(Within(SeqPlus(obs("R")), 10))
+        collected = []
+        collected += engine.submit(Observation("R", "a", 0))
+        collected += engine.submit(Observation("other", "z", 50))
+        assert len(collected) == 1
+        assert collected[0].time == 10

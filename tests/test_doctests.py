@@ -1,0 +1,70 @@
+"""Run the documentation examples embedded in module docstrings.
+
+Doc examples are part of the public contract; a drifting docstring is a
+bug.  Every module with ``>>>`` examples is listed here explicitly so a
+new doctest can't silently go unexecuted.
+"""
+
+import doctest
+
+import pytest
+
+import repro.core.contexts
+import repro.core.expressions
+import repro.core.instances
+import repro.core.temporal
+import repro.core.visualize
+import repro.epc.codecs
+import repro.epc.generator
+import repro.filtering.duplicates
+import repro.filtering.semantic
+import repro.lang.events
+import repro.lang.parser
+import repro.lang.printer
+import repro.readers.reader
+import repro.readers.streams
+import repro.rules.rule
+import repro.simulator.network
+import repro.simulator.packing
+import repro.sql.executor
+import repro.sql.parser
+import repro.store.render
+
+MODULES = [
+    repro.core.contexts,
+    repro.core.expressions,
+    repro.core.instances,
+    repro.core.temporal,
+    repro.core.visualize,
+    repro.epc.codecs,
+    repro.epc.generator,
+    repro.filtering.duplicates,
+    repro.filtering.semantic,
+    repro.lang.events,
+    repro.lang.parser,
+    repro.lang.printer,
+    repro.readers.reader,
+    repro.readers.streams,
+    repro.rules.rule,
+    repro.simulator.network,
+    repro.simulator.packing,
+    repro.sql.executor,
+    repro.sql.parser,
+    repro.store.render,
+]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_module_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, f"{results.failed} doctest failures in {module.__name__}"
+
+
+def test_modules_with_examples_have_them_run():
+    """Sanity: at least half the listed modules actually contain examples."""
+    with_examples = 0
+    for module in MODULES:
+        finder = doctest.DocTestFinder()
+        if any(test.examples for test in finder.find(module)):
+            with_examples += 1
+    assert with_examples >= len(MODULES) // 2

@@ -1,0 +1,108 @@
+"""Cross-configuration equivalence properties of the engine.
+
+Structural optimizations (sub-graph merging) and operational knobs (GC
+cadence) must never change detection results; these properties pin that
+down on randomized streams and rule sets.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Engine, Observation, Var, Within, obs
+from repro.core.expressions import And, Not, Seq, TSeq, TSeqPlus
+
+
+@st.composite
+def streams(draw, max_size=35):
+    entries = draw(
+        st.lists(
+            st.tuples(
+                st.sampled_from(("A", "B", "C")),
+                st.sampled_from(("o1", "o2")),
+                st.integers(0, 8),
+            ),
+            max_size=max_size,
+        )
+    )
+    stream = []
+    time = 0.0
+    for reader, obj, gap in entries:
+        time += gap * 0.5
+        stream.append(Observation(reader, obj, time))
+    return stream
+
+
+def rule_set():
+    """Three rules with a shared sub-event (the obs('A') leaf)."""
+    shared = obs("A", Var("o"))
+    return [
+        Within(Seq(shared, obs("B", Var("o"))), 10),
+        TSeq(TSeqPlus(shared, 0.5, 2.0), obs("C", Var("o2")), 1.0, 6.0),
+        Within(And(shared, Not(obs("C", Var("o")))), 4),
+    ]
+
+
+def detect(stream, **engine_kwargs):
+    engine = Engine(**engine_kwargs)
+    for index, event in enumerate(rule_set()):
+        engine.watch(event, name=f"rule-{index}")
+    return [
+        (detection.rule.rule_id, round(detection.time, 6),
+         round(detection.instance.t_begin, 6))
+        for detection in engine.run(stream)
+    ]
+
+
+@given(streams())
+@settings(max_examples=100, deadline=None)
+def test_merge_flag_does_not_change_results(stream):
+    merged = detect(stream, merge_common_subgraphs=True)
+    unmerged = detect(stream, merge_common_subgraphs=False)
+    assert merged == unmerged
+
+
+@given(streams())
+@settings(max_examples=100, deadline=None)
+def test_gc_cadence_does_not_change_results(stream):
+    eager = detect(stream, gc_every=1)
+    lazy = detect(stream, gc_every=10**9)
+    assert eager == lazy
+
+
+@given(streams())
+@settings(max_examples=75, deadline=None)
+def test_chronicle_detections_subset_of_unrestricted(stream):
+    """Chronicle restricts unrestricted: every chronicle SEQ match exists
+    among the unrestricted matches of the same event."""
+    event = Within(Seq(obs("A", Var("o")), obs("B", Var("o"))), 10)
+
+    def pairs(context_name):
+        engine = Engine(context=context_name)
+        engine.watch(event)
+        found = set()
+        for detection in engine.run(stream):
+            observations = detection.instance.observations()
+            found.add(tuple((o.reader, o.obj, o.timestamp) for o in observations))
+        return found
+
+    assert pairs("chronicle") <= pairs("unrestricted")
+
+
+@given(streams())
+@settings(max_examples=75, deadline=None)
+def test_submit_batching_is_irrelevant(stream):
+    """Detections are identical whether results are drained per-submit
+    or all at once through run()."""
+    engine_a = Engine()
+    engine_a.watch(rule_set()[0])
+    collected = []
+    for observation in stream:
+        collected.extend(engine_a.submit(observation))
+    collected.extend(engine_a.flush())
+
+    engine_b = Engine()
+    engine_b.watch(rule_set()[0])
+    streamed = list(engine_b.run(stream))
+
+    key = lambda d: (d.time, d.instance.t_begin, d.instance.t_end)  # noqa: E731
+    assert [key(d) for d in collected] == [key(d) for d in streamed]

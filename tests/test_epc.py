@@ -1,0 +1,261 @@
+"""Unit tests for the EPC substrate: codecs, registries, factory."""
+
+import pytest
+
+from repro.epc import (
+    EpcError,
+    EpcFactory,
+    Gid96,
+    Grai96,
+    ReaderGroupRegistry,
+    Sgtin96,
+    Sscc96,
+    TypeRegistry,
+    decode,
+    scheme_of,
+)
+
+
+class TestSgtin96:
+    def test_tds_reference_example(self):
+        # The canonical SGTIN-96 example from the EPC Tag Data Standard.
+        tag = Sgtin96(3, 614141, 7, 812345, 6789)
+        assert tag.to_hex() == "3074257BF7194E4000001A85"
+        assert tag.to_uri() == "urn:epc:tag:sgtin-96:3.0614141.812345.6789"
+
+    def test_roundtrip(self):
+        tag = Sgtin96(1, 12345, 6, 7777777, 123456789)
+        assert decode(tag.to_hex()) == tag
+        assert decode(tag.to_int()) == tag
+
+    @pytest.mark.parametrize("digits", [6, 7, 8, 9, 10, 11, 12])
+    def test_all_partitions(self, digits):
+        tag = Sgtin96(0, 10 ** (digits - 1), digits, 1, 1)
+        assert decode(tag.to_hex()) == tag
+        assert tag.partition == 12 - digits
+
+    def test_filter_out_of_range(self):
+        with pytest.raises(EpcError):
+            Sgtin96(8, 614141, 7, 812345, 1)
+
+    def test_company_prefix_too_long(self):
+        with pytest.raises(EpcError):
+            Sgtin96(1, 12345678, 7, 1, 1)
+
+    def test_item_reference_too_long(self):
+        with pytest.raises(EpcError):
+            Sgtin96(1, 614141, 7, 12345678, 1)  # 7 digits > 6 allowed
+
+    def test_serial_38_bits(self):
+        Sgtin96(1, 614141, 7, 1, (1 << 38) - 1)
+        with pytest.raises(EpcError):
+            Sgtin96(1, 614141, 7, 1, 1 << 38)
+
+    def test_invalid_company_digits(self):
+        with pytest.raises(EpcError):
+            Sgtin96(1, 1, 5, 1, 1)
+
+
+class TestOtherSchemes:
+    def test_sscc_roundtrip(self):
+        tag = Sscc96(2, 614141, 7, 1234567890)
+        assert decode(tag.to_hex()) == tag
+        assert tag.to_hex().startswith("31")
+
+    def test_sscc_uri(self):
+        tag = Sscc96(0, 614141, 7, 12)
+        assert tag.to_uri() == "urn:epc:tag:sscc-96:0.0614141.0000000012"
+
+    def test_grai_roundtrip(self):
+        tag = Grai96(1, 614141, 7, 54321, 99)
+        assert decode(tag.to_hex()) == tag
+        assert tag.to_hex().startswith("33")
+
+    def test_gid_roundtrip(self):
+        tag = Gid96(0xBADE, 42, 123456)
+        assert decode(tag.to_hex()) == tag
+        assert tag.to_hex().startswith("35")
+
+    def test_gid_field_limits(self):
+        Gid96((1 << 28) - 1, (1 << 24) - 1, (1 << 36) - 1)
+        with pytest.raises(EpcError):
+            Gid96(1 << 28, 0, 0)
+        with pytest.raises(EpcError):
+            Gid96(0, 1 << 24, 0)
+        with pytest.raises(EpcError):
+            Gid96(0, 0, 1 << 36)
+
+    def test_scheme_of(self):
+        assert scheme_of(Sscc96(0, 614141, 7, 1).to_hex()) == "sscc-96"
+        assert scheme_of(Gid96(1, 2, 3).to_hex()) == "gid-96"
+
+
+class TestDecodeErrors:
+    def test_wrong_length(self):
+        with pytest.raises(EpcError):
+            decode("3074")
+
+    def test_not_hex(self):
+        with pytest.raises(EpcError):
+            decode("Z" * 24)
+
+    def test_unknown_header(self):
+        with pytest.raises(EpcError):
+            decode("FF" + "0" * 22)
+
+    def test_negative_int(self):
+        with pytest.raises(EpcError):
+            decode(-1)
+
+    def test_too_large_int(self):
+        with pytest.raises(EpcError):
+            decode(1 << 96)
+
+    def test_invalid_partition(self):
+        # header sgtin (0x30), filter 0, partition 7 (invalid)
+        value = (0x30 << 88) | (7 << 82)
+        with pytest.raises(EpcError):
+            decode(value)
+
+
+class TestTypeRegistry:
+    def setup_method(self):
+        self.registry = TypeRegistry()
+        self.laptop_class = Sgtin96(1, 614141, 7, 812345, 0)
+        self.registry.register_class(self.laptop_class, "laptop")
+        self.registry.register_scheme_default("sscc-96", "pallet")
+
+    def test_class_rule_ignores_serial(self):
+        tag = Sgtin96(1, 614141, 7, 812345, 424242)
+        assert self.registry.type_of(tag.to_hex()) == "laptop"
+
+    def test_other_item_reference_unknown(self):
+        tag = Sgtin96(1, 614141, 7, 999999, 1)
+        assert self.registry.type_of(tag.to_hex()) is None
+
+    def test_scheme_default(self):
+        tag = Sscc96(0, 614141, 7, 5)
+        assert self.registry.type_of(tag.to_hex()) == "pallet"
+
+    def test_epc_override_wins(self):
+        tag = Sgtin96(1, 614141, 7, 812345, 7).to_hex()
+        self.registry.register_epc(tag, "demo-unit")
+        assert self.registry.type_of(tag) == "demo-unit"
+
+    def test_fallback_for_raw_strings(self):
+        self.registry.register_fallback("plainid", "widget")
+        assert self.registry.type_of("plainid") == "widget"
+        assert self.registry.type_of("unknownid") is None
+
+    def test_callable_protocol(self):
+        tag = Sscc96(0, 614141, 7, 5).to_hex()
+        assert self.registry(tag) == "pallet"
+
+    def test_grai_and_gid_class_rules(self):
+        self.registry.register_class(Grai96(0, 614141, 7, 7001, 0), "laptop")
+        self.registry.register_class(Gid96(1, 42, 0), "superuser")
+        assert self.registry.type_of(Grai96(0, 614141, 7, 7001, 9).to_hex()) == "laptop"
+        assert self.registry.type_of(Gid96(1, 42, 9).to_hex()) == "superuser"
+
+
+class TestReaderGroups:
+    def test_default_singleton_group(self):
+        registry = ReaderGroupRegistry()
+        assert registry.group_of("r77") == "r77"
+
+    def test_assignment(self):
+        registry = ReaderGroupRegistry()
+        registry.assign("r1", "dock")
+        registry.assign_all(["r2", "r3"], "dock")
+        assert registry("r2") == "dock"
+        assert registry.members("dock") == ["r1", "r2", "r3"]
+
+    def test_reassignment(self):
+        registry = ReaderGroupRegistry()
+        registry.assign("r1", "dock")
+        registry.assign("r1", "gate")
+        assert registry.group_of("r1") == "gate"
+        assert registry.members("dock") == []
+
+
+class TestEpcFactory:
+    def test_uniqueness_within_class(self):
+        factory = EpcFactory()
+        tags = {factory.item(812345) for _ in range(100)}
+        assert len(tags) == 100
+
+    def test_item_type_stable(self):
+        factory = EpcFactory()
+        decoded = decode(factory.item(812345))
+        assert isinstance(decoded, Sgtin96)
+        assert decoded.item_reference == 812345
+
+    def test_case_is_sscc(self):
+        assert isinstance(decode(EpcFactory().case()), Sscc96)
+
+    def test_asset_is_grai(self):
+        decoded = decode(EpcFactory().asset(7001))
+        assert isinstance(decoded, Grai96)
+        assert decoded.asset_type == 7001
+
+    def test_badge_is_gid(self):
+        decoded = decode(EpcFactory().badge(42))
+        assert isinstance(decoded, Gid96)
+        assert decoded.object_class == 42
+
+    def test_items_generator(self):
+        factory = EpcFactory()
+        batch = list(factory.items(812345, 5))
+        assert len(set(batch)) == 5
+
+    def test_determinism(self):
+        assert [EpcFactory().item(1) for _ in range(1)] == [
+            EpcFactory().item(1) for _ in range(1)
+        ]
+
+
+class TestSgln96:
+    def test_roundtrip(self):
+        from repro.epc import Sgln96
+
+        tag = Sgln96(1, 614141, 7, 12345, 400)
+        assert decode(tag.to_hex()) == tag
+        assert tag.to_hex().startswith("32")
+
+    def test_uri(self):
+        from repro.epc import Sgln96
+
+        tag = Sgln96(0, 614141, 7, 7, 0)
+        assert tag.to_uri() == "urn:epc:tag:sgln-96:0.0614141.00007.0"
+
+    @pytest.mark.parametrize("digits", [6, 7, 8, 9, 10, 11, 12])
+    def test_all_partitions(self, digits):
+        from repro.epc import Sgln96
+
+        location_digits = {12: 0, 11: 1, 10: 2, 9: 3, 8: 4, 7: 5, 6: 6}[digits]
+        location = 10 ** location_digits - 1 if location_digits else 0
+        tag = Sgln96(2, 10 ** (digits - 1), digits, location, 99)
+        assert decode(tag.to_hex()) == tag
+
+    def test_extension_41_bits(self):
+        from repro.epc import Sgln96
+
+        Sgln96(0, 614141, 7, 1, (1 << 41) - 1)
+        with pytest.raises(EpcError):
+            Sgln96(0, 614141, 7, 1, 1 << 41)
+
+    def test_scheme_of(self):
+        from repro.epc import Sgln96
+
+        assert scheme_of(Sgln96(0, 614141, 7, 1, 1).to_hex()) == "sgln-96"
+
+    def test_reader_identity_use(self):
+        """Readers can be SGLN-identified and still work as reader EPCs."""
+        from repro import Engine, Observation, obs
+        from repro.epc import Sgln96
+
+        portal = Sgln96(1, 614141, 7, 42, 1).to_hex()
+        engine = Engine()
+        engine.watch(obs(portal))
+        detections = list(engine.run([Observation(portal, "tag", 0.0)]))
+        assert len(detections) == 1

@@ -1,0 +1,120 @@
+"""Property-based tests: EPC encode/decode round-trips for every scheme."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.epc import Gid96, Grai96, Sgtin96, Sscc96, decode
+
+_SGTIN_PARTITIONS = {
+    0: (12, 1),
+    1: (11, 2),
+    2: (10, 3),
+    3: (9, 4),
+    4: (8, 5),
+    5: (7, 6),
+    6: (6, 7),
+}
+_SSCC_PARTITIONS = {
+    0: (12, 5),
+    1: (11, 6),
+    2: (10, 7),
+    3: (9, 8),
+    4: (8, 9),
+    5: (7, 10),
+    6: (6, 11),
+}
+_GRAI_PARTITIONS = {
+    0: (12, 0),
+    1: (11, 1),
+    2: (10, 2),
+    3: (9, 3),
+    4: (8, 4),
+    5: (7, 5),
+    6: (6, 6),
+}
+
+
+def _digits_strategy(digits):
+    return st.integers(min_value=0, max_value=10 ** digits - 1)
+
+
+@st.composite
+def sgtin_tags(draw):
+    partition = draw(st.integers(0, 6))
+    company_digits, item_digits = _SGTIN_PARTITIONS[partition]
+    return Sgtin96(
+        draw(st.integers(0, 7)),
+        draw(_digits_strategy(company_digits)),
+        company_digits,
+        draw(_digits_strategy(item_digits)),
+        draw(st.integers(0, (1 << 38) - 1)),
+    )
+
+
+@st.composite
+def sscc_tags(draw):
+    partition = draw(st.integers(0, 6))
+    company_digits, serial_digits = _SSCC_PARTITIONS[partition]
+    return Sscc96(
+        draw(st.integers(0, 7)),
+        draw(_digits_strategy(company_digits)),
+        company_digits,
+        draw(_digits_strategy(serial_digits)),
+    )
+
+
+@st.composite
+def grai_tags(draw):
+    partition = draw(st.integers(0, 6))
+    company_digits, type_digits = _GRAI_PARTITIONS[partition]
+    asset_type = draw(_digits_strategy(type_digits)) if type_digits else 0
+    return Grai96(
+        draw(st.integers(0, 7)),
+        draw(_digits_strategy(company_digits)),
+        company_digits,
+        asset_type,
+        draw(st.integers(0, (1 << 38) - 1)),
+    )
+
+
+@st.composite
+def gid_tags(draw):
+    return Gid96(
+        draw(st.integers(0, (1 << 28) - 1)),
+        draw(st.integers(0, (1 << 24) - 1)),
+        draw(st.integers(0, (1 << 36) - 1)),
+    )
+
+
+@given(sgtin_tags())
+def test_sgtin_roundtrip(tag):
+    assert decode(tag.to_hex()) == tag
+
+
+@given(sscc_tags())
+def test_sscc_roundtrip(tag):
+    assert decode(tag.to_hex()) == tag
+
+
+@given(grai_tags())
+def test_grai_roundtrip(tag):
+    assert decode(tag.to_hex()) == tag
+
+
+@given(gid_tags())
+def test_gid_roundtrip(tag):
+    assert decode(tag.to_hex()) == tag
+
+
+@given(st.one_of(sgtin_tags(), sscc_tags(), grai_tags(), gid_tags()))
+def test_hex_is_24_digits_and_stable(tag):
+    payload = tag.to_hex()
+    assert len(payload) == 24
+    assert payload == tag.to_hex()
+    assert decode(payload).to_hex() == payload
+
+
+@given(sgtin_tags(), sgtin_tags())
+def test_distinct_tags_distinct_hex(first, second):
+    if first != second:
+        assert first.to_hex() != second.to_hex()

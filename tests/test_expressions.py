@@ -1,0 +1,188 @@
+"""Unit tests for the event type algebra (repro.core.expressions)."""
+
+import pytest
+
+from repro import ExpressionError
+from repro.core.expressions import (
+    And,
+    Not,
+    ObservationType,
+    Or,
+    Seq,
+    SeqPlus,
+    TSeq,
+    TSeqPlus,
+    Var,
+    Within,
+    obs,
+)
+
+
+class TestVar:
+    def test_equality_by_name(self):
+        assert Var("o") == Var("o")
+        assert Var("o") != Var("p")
+        assert hash(Var("o")) == hash(Var("o"))
+
+    @pytest.mark.parametrize("bad", ["", "1abc", "a-b", "a b"])
+    def test_invalid_names(self, bad):
+        with pytest.raises(ExpressionError):
+            Var(bad)
+
+
+class TestObservationType:
+    def test_defaults_are_wildcards(self):
+        event = obs()
+        assert event.reader is None and event.obj is None
+        assert event.own_variables() == ()
+
+    def test_variables_collected(self):
+        event = obs(Var("r"), Var("o"), t=Var("t"))
+        assert event.own_variables() == ("r", "o", "t")
+        assert event.variables() == {"r", "o", "t"}
+
+    def test_literal_reader_with_group_rejected(self):
+        with pytest.raises(ExpressionError):
+            obs("r1", group="g1")
+
+    def test_var_reader_with_group_allowed(self):
+        event = obs(Var("r"), group="g1")
+        assert event.group == "g1"
+
+    def test_key_distinguishes_fields(self):
+        assert obs("r1").key() != obs("r2").key()
+        assert obs("r1").key() != obs(Var("r1")).key()
+        assert obs("r1", obj_type="case").key() != obs("r1").key()
+        assert obs("r1", t=Var("t")).key() != obs("r1").key()
+
+    def test_key_equal_for_equal_structure(self):
+        assert obs(Var("r"), Var("o")).key() == obs(Var("r"), Var("o")).key()
+
+    def test_where_identity_in_key(self):
+        predicate = lambda observation: True  # noqa: E731
+        assert obs("r", where=predicate).key() == obs("r", where=predicate).key()
+        assert obs("r", where=predicate).key() != obs("r", where=lambda o: True).key()
+
+    def test_repr(self):
+        text = repr(obs("r1", Var("o"), obj_type="case"))
+        assert "r1" in text and "case" in text
+
+
+class TestOperatorSugar:
+    def test_or(self):
+        assert isinstance(obs("a") | obs("b"), Or)
+
+    def test_and(self):
+        assert isinstance(obs("a") & obs("b"), And)
+
+    def test_invert(self):
+        assert isinstance(~obs("a"), Not)
+
+    def test_rshift_is_seq(self):
+        event = obs("a") >> obs("b")
+        assert isinstance(event, Seq)
+        assert event.first.reader == "a"
+
+    def test_within_method(self):
+        event = obs("a").within("5sec")
+        assert isinstance(event, Within)
+        assert event.tau == 5.0
+
+
+class TestConstructors:
+    def test_or_flattens(self):
+        event = Or(Or(obs("a"), obs("b")), obs("c"))
+        assert len(event.children) == 3
+
+    def test_and_flattens(self):
+        event = And(obs("a"), And(obs("b"), obs("c")))
+        assert len(event.children) == 3
+
+    def test_or_requires_two(self):
+        with pytest.raises(ExpressionError):
+            Or(obs("a"))
+
+    def test_and_of_only_negations_rejected(self):
+        with pytest.raises(ExpressionError):
+            And(Not(obs("a")), Not(obs("b")))
+
+    def test_double_negation_rejected(self):
+        with pytest.raises(ExpressionError):
+            Not(Not(obs("a")))
+
+    def test_seq_of_two_negations_rejected(self):
+        with pytest.raises(ExpressionError):
+            Seq(Not(obs("a")), Not(obs("b")))
+        with pytest.raises(ExpressionError):
+            TSeq(Not(obs("a")), Not(obs("b")), 0, 1)
+
+    def test_tseq_bounds_validation(self):
+        with pytest.raises(ExpressionError):
+            TSeq(obs("a"), obs("b"), 5, 1)
+        with pytest.raises(ExpressionError):
+            TSeq(obs("a"), obs("b"), -1, 1)
+
+    def test_tseq_parses_duration_strings(self):
+        event = TSeq(obs("a"), obs("b"), "0.1sec", "1sec")
+        assert event.lower == 0.1 and event.upper == 1.0
+
+    def test_tseqplus_requires_finite_upper(self):
+        with pytest.raises(ExpressionError):
+            TSeqPlus(obs("a"), 0, float("inf"))
+
+    def test_tseqplus_rejects_negation(self):
+        with pytest.raises(ExpressionError):
+            TSeqPlus(Not(obs("a")), 0, 1)
+        with pytest.raises(ExpressionError):
+            SeqPlus(Not(obs("a")))
+
+    def test_within_positive(self):
+        with pytest.raises(ExpressionError):
+            Within(obs("a"), 0)
+        with pytest.raises(ExpressionError):
+            Within(obs("a"), -3)
+
+
+class TestIntrospection:
+    def test_walk_preorder(self):
+        event = Seq(obs("a", alias="A"), Or(obs("b"), obs("c")))
+        kinds = [type(node).__name__ for node in event.walk()]
+        assert kinds == [
+            "Seq",
+            "ObservationType",
+            "Or",
+            "ObservationType",
+            "ObservationType",
+        ]
+
+    def test_variables_aggregate(self):
+        event = Seq(obs(Var("r"), Var("o")), obs(Var("r"), Var("p")))
+        assert event.variables() == {"r", "o", "p"}
+
+    def test_seqplus_hides_member_variables(self):
+        chain = TSeqPlus(obs("r1", Var("o1")), 0, 1)
+        assert chain.exported_variables() == frozenset()
+        assert chain.variables() == {"o1"}
+
+    def test_seqplus_exports_group_by(self):
+        chain = TSeqPlus(obs(Var("r"), Var("o1")), 0, 1, group_by=("r",))
+        assert chain.exported_variables() == {"r"}
+
+    def test_contains_negation(self):
+        assert Within(And(obs("a"), Not(obs("b"))), 5).contains_negation()
+        assert not (obs("a") | obs("b")).contains_negation()
+
+    def test_structural_keys_for_composites(self):
+        first = TSeq(TSeqPlus(obs("r1", Var("o")), 0, 1), obs("r2"), 5, 10)
+        second = TSeq(TSeqPlus(obs("r1", Var("o")), 0, 1), obs("r2"), 5, 10)
+        assert first.key() == second.key()
+        third = TSeq(TSeqPlus(obs("r1", Var("o")), 0, 1), obs("r2"), 5, 11)
+        assert first.key() != third.key()
+
+    def test_within_key_includes_tau(self):
+        assert Within(obs("a"), 5).key() != Within(obs("a"), 6).key()
+
+    def test_reprs_are_informative(self):
+        event = Within(TSeq(SeqPlus(obs("a")), Not(obs("b")), 1, 2), 60)
+        text = repr(event)
+        assert "WITHIN" in text and "TSEQ" in text and "NOT" in text

@@ -1,0 +1,154 @@
+"""Tests for duplicate and infield/outfield filtering, against simulator truth."""
+
+import random
+
+import pytest
+
+from repro import Engine, Observation
+from repro.filtering import (
+    DuplicateFilter,
+    SmartShelfMonitor,
+    duplicate_detection_rule,
+    infield_rule,
+    outfield_rule,
+)
+from repro.readers import Reader
+from repro.simulator import ShelfConfig, simulate_shelf
+from repro.store import RfidStore
+
+
+class TestDuplicateFilter:
+    def test_suppresses_within_window(self):
+        dup = DuplicateFilter(window=5.0)
+        stream = [Observation("r", "x", t) for t in (0.0, 1.0, 4.9, 5.0)]
+        passed = list(dup.filter(stream))
+        assert [o.timestamp for o in passed] == [0.0, 5.0]
+        assert dup.suppressed == 2 and dup.passed == 2
+
+    def test_distinct_objects_independent(self):
+        dup = DuplicateFilter(window=5.0)
+        stream = [Observation("r", "x", 0.0), Observation("r", "y", 0.1)]
+        assert len(list(dup.filter(stream))) == 2
+
+    def test_group_function_merges_readers(self):
+        dup = DuplicateFilter(window=5.0, group_of=lambda reader: "dock")
+        stream = [Observation("r1", "x", 0.0), Observation("r2", "x", 1.0)]
+        assert len(list(dup.filter(stream))) == 1
+
+    def test_dwell_stream_cleaned(self):
+        reader = Reader("r1")
+        stream = reader.dwell("tag", 0.0, 20.0, frame_period=0.5)
+        dup = DuplicateFilter(window=5.0)
+        passed = list(dup.filter(stream))
+        assert [o.timestamp for o in passed] == [0.0, 5.0, 10.0, 15.0, 20.0]
+
+    def test_prune(self):
+        dup = DuplicateFilter(window=5.0)
+        list(dup.filter([Observation("r", "x", 0.0), Observation("r", "y", 100.0)]))
+        assert dup.prune(older_than=50.0) == 1
+
+    def test_window_validation(self):
+        with pytest.raises(ValueError):
+            DuplicateFilter(window=0)
+
+
+class TestDuplicateRule:
+    def test_marks_earlier_reading(self):
+        marked = []
+        rule = duplicate_detection_rule(window=5.0, on_duplicate=marked.append)
+        engine = Engine([rule])
+        list(engine.run([Observation("r", "x", 0.0), Observation("r", "x", 2.0)]))
+        assert [o.timestamp for o in marked] == [0.0]
+
+    def test_default_action_alerts_store(self):
+        store = RfidStore()
+        engine = Engine([duplicate_detection_rule(window=5.0)], store=store)
+        list(engine.run([Observation("r", "x", 0.0), Observation("r", "x", 2.0)]))
+        assert len(store.alerts) == 1
+
+    def test_group_variant(self):
+        from repro import FunctionRegistry
+
+        marked = []
+        rule = duplicate_detection_rule(
+            window=5.0, group="dock", on_duplicate=marked.append
+        )
+        functions = FunctionRegistry(group=lambda reader: "dock")
+        engine = Engine([rule], functions=functions)
+        list(engine.run([Observation("r1", "x", 0.0), Observation("r2", "x", 2.0)]))
+        assert len(marked) == 1
+
+
+class TestShelfRulesAgainstSimulator:
+    def test_infield_outfield_match_ground_truth(self):
+        config = ShelfConfig(items=12, read_period=30.0)
+        trace = simulate_shelf(config, rng=random.Random(5))
+        infields, outfields = [], []
+        engine = Engine()
+        engine.add_rule(
+            infield_rule(
+                30.0,
+                reader=config.reader,
+                on_infield=lambda r, o, t: infields.append((o, t)),
+                rule_id="in",
+            )
+        )
+        engine.add_rule(
+            outfield_rule(
+                30.0,
+                reader=config.reader,
+                on_outfield=lambda r, o, t: outfields.append((o, t)),
+                rule_id="out",
+            )
+        )
+        for observation in trace.observations:
+            engine.submit(observation)
+        engine.flush()
+
+        expected_in = sorted(
+            (stay.item_epc, stay.infield_time)
+            for stay in trace.stays
+            if stay.was_read
+        )
+        expected_out = sorted(
+            (stay.item_epc, stay.outfield_time)
+            for stay in trace.stays
+            if stay.was_read
+        )
+        assert sorted(infields) == expected_in
+        assert sorted(outfields) == expected_out
+
+    def test_infield_records_into_store(self):
+        store = RfidStore()
+        engine = Engine(
+            [infield_rule(30.0, reader="s", record_observation=True)], store=store
+        )
+        list(engine.run([Observation("s", "x", 0.0), Observation("s", "x", 30.0)]))
+        rows = store.database.query("SELECT object_epc FROM OBSERVATION")
+        assert rows == [("x",)]
+
+
+class TestSmartShelfMonitor:
+    def test_inventory_tracks_presence(self):
+        monitor = SmartShelfMonitor(period=30.0, reader="s1")
+        monitor.process(
+            [
+                Observation("s1", "cup", 0.0),
+                Observation("s1", "cup", 30.0),
+                Observation("s1", "pen", 30.0),
+                Observation("s1", "cup", 60.0),
+                Observation("s1", "pen", 60.0),
+                # pen removed; cup keeps being read
+                Observation("s1", "cup", 90.0),
+                Observation("s1", "cup", 120.0),
+            ]
+        )
+        events = [event for event in monitor.events if event[0] == "outfield"]
+        # pen leaves at 90 (last seen 60 + period); cup leaves at stream end.
+        assert ("outfield", "pen", 90.0) in events
+        assert monitor.inventory() == []  # flush expired everything
+
+    def test_inventory_mid_stream(self):
+        monitor = SmartShelfMonitor(period=30.0, reader="s1")
+        monitor.engine.submit(Observation("s1", "cup", 0.0))
+        assert monitor.inventory() == ["cup"]

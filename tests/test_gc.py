@@ -1,0 +1,72 @@
+"""Garbage collection of expired detection state."""
+
+from repro import Engine, Observation, Var, Within, obs
+from repro.core.expressions import And, Not, Seq, TSeq
+
+
+def feed(engine, stream):
+    detections = []
+    for observation in stream:
+        detections.extend(engine.submit(observation))
+    detections.extend(engine.flush())
+    return detections
+
+
+class TestGcPruning:
+    def test_expired_initiators_pruned(self):
+        engine = Engine(gc_every=10)
+        engine.watch(TSeq(obs("A", Var("o")), obs("B", Var("o")), 0, 5))
+        # 100 unmatched initiators spread over a long timeline.
+        for index in range(100):
+            engine.submit(Observation("A", f"tag{index}", index * 10.0))
+        state = engine.states[engine.graph.roots[0].node_id]
+        buffered = sum(len(bucket) for bucket in state.buckets.values())
+        assert buffered < 100  # old ones collected
+        assert engine.stats.gc_removed > 0
+
+    def test_history_pruned(self):
+        engine = Engine(gc_every=10)
+        engine.watch(Within(And(obs("A"), Not(obs("B"))), 5))
+        for index in range(200):
+            engine.submit(Observation("B", "x", index * 1.0))
+        negated_leaf = next(
+            node for node in engine.graph.nodes
+            if node.kind == "obs" and node.expr.reader == "B"
+        )
+        history_length = len(engine.states[negated_leaf.node_id].history)
+        assert history_length < 200
+
+    def test_unbounded_seq_buffers_exempt(self):
+        engine = Engine(gc_every=10)
+        engine.watch(Seq(obs("A", Var("o")), obs("B", Var("o"))))
+        # A second bounded rule gives the graph a finite GC horizon.
+        engine.watch(TSeq(obs("C"), obs("D"), 0, 5))
+        for index in range(100):
+            engine.submit(Observation("A", f"tag{index}", index * 10.0))
+        seq_root = engine.graph.roots[0]
+        state = engine.states[seq_root.node_id]
+        buffered = sum(len(bucket) for bucket in state.buckets.values())
+        assert buffered == 100  # unbounded SEQ keeps everything
+
+    def test_gc_preserves_correctness(self):
+        """Detections with GC on (aggressive cadence) match GC nearly off."""
+        stream = []
+        time = 0.0
+        for index in range(300):
+            stream.append(Observation("A", f"t{index}", time))
+            stream.append(Observation("B", f"t{index}", time + 2.0))
+            time += 20.0
+
+        event = TSeq(obs("A", Var("o")), obs("B", Var("o")), 0, 5)
+        aggressive = Engine(gc_every=1)
+        aggressive.watch(event)
+        lazy = Engine(gc_every=10**9)
+        lazy.watch(event)
+        assert len(feed(aggressive, stream)) == len(feed(lazy, stream)) == 300
+
+    def test_gc_skipped_without_bounds(self):
+        engine = Engine(gc_every=1)
+        engine.watch(Seq(obs("A"), obs("B")))
+        for index in range(20):
+            engine.submit(Observation("A", "x", float(index)))
+        assert engine.stats.gc_removed == 0

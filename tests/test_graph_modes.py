@@ -1,0 +1,269 @@
+"""Tests for event graph compilation and detection-mode assignment.
+
+Covers interval-constraint propagation (paper Figs. 6-7), common
+sub-graph merging, the push/pull/mixed mode lattice (§4.4) and the
+compile-time rejection of invalid rules.
+"""
+
+import pytest
+
+from repro import CompileError, InvalidRuleError
+from repro.core.expressions import (
+    And,
+    Not,
+    Or,
+    Seq,
+    SeqPlus,
+    TSeq,
+    TSeqPlus,
+    Var,
+    Within,
+    obs,
+)
+from repro.core.graph import EventGraph, compile_graph, node_for
+from repro.core.modes import Mode
+from repro.core.temporal import INFINITY
+
+
+class TestCompilation:
+    def test_primitive_graph(self):
+        node = node_for(obs("r1"))
+        assert node.kind == "obs"
+        assert node.mode is Mode.PUSH
+        assert node.within == INFINITY
+
+    def test_within_becomes_annotation(self):
+        node = node_for(Within(And(obs("a"), obs("b")), 10))
+        assert node.kind == "and"
+        assert node.within == 10.0
+
+    def test_within_propagates_to_descendants(self):
+        # WITHIN(TSEQ+(E1 OR E2, ...) ; E3, 10min) -- the paper's Fig. 7.
+        event = Within(
+            Seq(TSeqPlus(Or(obs("e1"), obs("e2")), 0.1, 1.0), obs("e3")), 600
+        )
+        graph = EventGraph()
+        root = graph.add_root(event)
+        assert root.within == 600.0
+        for node in graph.nodes:
+            assert node.within == 600.0
+
+    def test_nested_within_takes_minimum(self):
+        event = Within(And(Within(obs("a"), 5), obs("b")), 10)
+        graph = EventGraph()
+        root = graph.add_root(event)
+        leaf_a = next(
+            node for node in graph.nodes
+            if node.kind == "obs" and node.expr.reader == "a"
+        )
+        leaf_b = next(
+            node for node in graph.nodes
+            if node.kind == "obs" and node.expr.reader == "b"
+        )
+        assert root.within == 10.0
+        assert leaf_a.within == 5.0
+        assert leaf_b.within == 10.0
+
+    def test_parents_recorded(self):
+        graph = EventGraph()
+        root = graph.add_root(obs("a") >> obs("b"))
+        for index, child in enumerate(root.children):
+            assert (root, index) in child.parents
+
+
+class TestMerging:
+    def test_identical_roots_merge(self):
+        graph, roots = compile_graph([obs("r1"), obs("r1")])
+        assert roots[0] is roots[1]
+
+    def test_shared_subexpression_merges(self):
+        shared = obs("r1", Var("o"))
+        graph, roots = compile_graph(
+            [Seq(shared, obs("r2")), Seq(shared, obs("r3"))]
+        )
+        leaf_nodes = [node for node in graph.nodes if node.kind == "obs"]
+        readers = sorted(
+            node.expr.reader for node in leaf_nodes if node.expr.reader
+        )
+        assert readers == ["r1", "r2", "r3"]  # r1 compiled once
+
+    def test_different_within_does_not_merge(self):
+        graph, roots = compile_graph(
+            [Within(obs("r1") >> obs("r2"), 5), Within(obs("r1") >> obs("r2"), 9)]
+        )
+        assert roots[0] is not roots[1]
+
+    def test_merging_can_be_disabled(self):
+        graph, roots = compile_graph([obs("r1"), obs("r1")], merge_common_subgraphs=False)
+        assert roots[0] is not roots[1]
+
+    def test_dispatch_index(self):
+        graph, _ = compile_graph(
+            [obs("r1"), obs(Var("r"), group="dock"), obs(Var("r"))]
+        )
+        assert len(graph.primitives_by_reader["r1"]) == 1
+        assert len(graph.primitives_by_group["dock"]) == 1
+        assert len(graph.primitive_wildcards) == 1
+
+    def test_gc_horizon_doubles_largest_bound(self):
+        graph, _ = compile_graph([Within(obs("a") >> obs("b"), 30)])
+        assert graph.gc_horizon == 60.0
+
+    def test_describe_lists_nodes(self):
+        graph, _ = compile_graph([obs("a") >> obs("b")])
+        text = graph.describe()
+        assert "seq" in text and "obs" in text
+
+
+class TestModes:
+    def test_primitive_push(self):
+        assert node_for(obs("a")).mode is Mode.PUSH
+
+    def test_or_of_push(self):
+        assert node_for(obs("a") | obs("b")).mode is Mode.PUSH
+
+    def test_and_of_push(self):
+        assert node_for(obs("a") & obs("b")).mode is Mode.PUSH
+
+    def test_seq_of_push(self):
+        assert node_for(obs("a") >> obs("b")).mode is Mode.PUSH
+
+    def test_and_with_negation_bounded_is_mixed(self):
+        node = node_for(Within(And(obs("a"), Not(obs("b"))), 10))
+        assert node.mode is Mode.MIXED
+
+    def test_and_with_negation_unbounded_invalid(self):
+        with pytest.raises(InvalidRuleError):
+            node_for(And(obs("a"), Not(obs("b"))))
+
+    def test_seq_with_negated_initiator_bounded_is_push(self):
+        # The paper: WITHIN(NOT E1; E2, tau) needs no pseudo events.
+        node = node_for(Within(Seq(Not(obs("a")), obs("b")), 30))
+        assert node.mode is Mode.PUSH
+
+    def test_seq_with_negated_terminator_bounded_is_mixed(self):
+        node = node_for(Within(Seq(obs("a"), Not(obs("b"))), 30))
+        assert node.mode is Mode.MIXED
+
+    def test_tseq_distance_bound_suffices_for_negated_initiator(self):
+        node = node_for(TSeq(Not(obs("a")), obs("b"), 0, 10))
+        assert node.mode is Mode.PUSH
+
+    def test_seqplus_unbounded_invalid(self):
+        with pytest.raises(InvalidRuleError):
+            node_for(SeqPlus(obs("a")))
+
+    def test_seqplus_with_within_mixed(self):
+        node = node_for(Within(SeqPlus(obs("a")), 60))
+        assert node.mode is Mode.MIXED
+
+    def test_tseqplus_mixed(self):
+        node = node_for(TSeqPlus(obs("a"), 0, 1))
+        assert node.mode is Mode.MIXED
+
+    def test_top_level_not_invalid(self):
+        with pytest.raises(InvalidRuleError):
+            node_for(Not(obs("a")))
+
+    def test_seq_with_unbounded_negated_initiator_invalid(self):
+        with pytest.raises(InvalidRuleError):
+            node_for(Seq(Not(obs("a")), obs("b")))
+
+    def test_tseqplus_composes_under_tseq(self):
+        node = node_for(TSeq(TSeqPlus(obs("a"), 0, 1), obs("b"), 5, 10))
+        assert node.mode is Mode.MIXED
+
+
+class TestCompileRejections:
+    def test_pull_positive_child_of_seq_rejected(self):
+        with pytest.raises(CompileError):
+            node_for(Seq(SeqPlus(obs("a")), obs("b")))
+
+    def test_pull_positive_child_of_and_rejected(self):
+        with pytest.raises(CompileError):
+            node_for(And(SeqPlus(obs("a")), obs("b")))
+
+    def test_within_upgrades_and_child_to_mixed(self):
+        # Inside a WITHIN the SEQ+ gains an expiration, so the same shape
+        # becomes detectable (mixed) instead of being rejected.
+        node = node_for(Within(And(SeqPlus(obs("a")), obs("b")), 100))
+        assert node.mode is Mode.MIXED
+
+    def test_not_over_pull_rejected(self):
+        with pytest.raises(CompileError):
+            node_for(Seq(obs("x"), Not(SeqPlus(obs("a")))))
+
+    def test_not_over_bounded_seqplus_allowed(self):
+        node = node_for(Within(Seq(obs("x"), Not(SeqPlus(obs("a")))), 10))
+        assert node.mode is Mode.MIXED
+
+    def test_history_flag_for_negated_children(self):
+        graph = EventGraph()
+        graph.add_root(Within(And(obs("a"), Not(obs("b"))), 10))
+        negated_leaf = next(
+            node for node in graph.nodes
+            if node.kind == "obs" and node.expr.reader == "b"
+        )
+        positive_leaf = next(
+            node for node in graph.nodes
+            if node.kind == "obs" and node.expr.reader == "a"
+        )
+        assert negated_leaf.keeps_history
+        assert not positive_leaf.keeps_history
+
+
+class TestSharedVariables:
+    def test_join_variables_detected(self):
+        node = node_for(
+            Within(Seq(obs(Var("r"), Var("o")), obs(Var("r"), Var("o"))), 5)
+        )
+        assert node.shared_variables == ("o", "r")
+
+    def test_no_sharing(self):
+        node = node_for(Seq(obs("a", Var("x")), obs("b", Var("y"))))
+        assert node.shared_variables == ()
+
+    def test_chain_members_not_shared(self):
+        node = node_for(
+            TSeq(TSeqPlus(obs("r1", Var("o1")), 0, 1), obs("r2", Var("o2")), 5, 10)
+        )
+        assert node.shared_variables == ()
+
+
+class TestCompilationRollback:
+    """A rejected rule must leave the shared graph untouched (regression:
+    orphan nodes from failed compilations crashed later dispatch)."""
+
+    def test_failed_rule_leaves_no_orphans(self):
+        from repro import Engine, Observation
+        from repro.core.expressions import SeqPlus, Within
+
+        engine = Engine()
+        engine.watch(Within(SeqPlus(obs("A")), 30))       # shares the A leaf
+        before_nodes = len(engine.graph.nodes)
+        with pytest.raises(CompileError):
+            # outer SEQ+ over a mixed child is pull-mode: rejected.
+            engine.watch(SeqPlus(Within(SeqPlus(obs("A")), 30)))
+        assert len(engine.graph.nodes) == before_nodes
+        leaf = engine.graph.primitives_by_reader["A"][0]
+        assert all(
+            parent.node_id < before_nodes for parent, _i in leaf.parents
+        )
+        # The engine still runs cleanly over the shared leaf.
+        detections = list(engine.run([Observation("A", "x", 0.0)]))
+        assert len(detections) == 1
+
+    def test_rollback_restores_dispatch_indexes(self):
+        graph = EventGraph()
+        with pytest.raises(InvalidRuleError):
+            graph.add_root(Not(obs("zzz")))
+        assert "zzz" not in graph.primitives_by_reader
+        assert graph.nodes == []
+
+    def test_rollback_allows_clean_recompile(self):
+        graph = EventGraph()
+        with pytest.raises(InvalidRuleError):
+            graph.add_root(SeqPlus(obs("A")))
+        root = graph.add_root(Within(SeqPlus(obs("A")), 10))
+        assert root.mode is Mode.MIXED
+        assert [node.node_id for node in graph.nodes] == [0, 1]

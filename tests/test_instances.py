@@ -1,0 +1,124 @@
+"""Unit tests for repro.core.instances: observations, instances, unify."""
+
+import pytest
+
+from repro.core.instances import (
+    CompositeInstance,
+    NegationInstance,
+    Observation,
+    PrimitiveInstance,
+    unify,
+)
+
+
+class TestObservation:
+    def test_fields(self):
+        observation = Observation("r1", "tag", 3.0)
+        assert observation.reader == "r1"
+        assert observation.obj == "tag"
+        assert observation.timestamp == 3.0
+        assert observation.extra is None
+
+    def test_equality_and_hash(self):
+        a = Observation("r1", "tag", 3.0)
+        b = Observation("r1", "tag", 3.0)
+        c = Observation("r1", "tag", 4.0)
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != c
+        assert a != "not an observation"
+
+    def test_extra_payload(self):
+        observation = Observation("r1", "tag", 0.0, extra={"rssi": -40})
+        assert observation.extra["rssi"] == -40
+
+    def test_repr_mentions_fields(self):
+        text = repr(Observation("r1", "tag", 3.0))
+        assert "r1" in text and "tag" in text and "3" in text
+
+    def test_timestamp_coerced_to_float(self):
+        assert isinstance(Observation("r", "o", 3).timestamp, float)
+
+
+class TestUnify:
+    def test_disjoint(self):
+        assert unify({"a": 1}, {"b": 2}) == {"a": 1, "b": 2}
+
+    def test_agreeing_overlap(self):
+        assert unify({"a": 1, "b": 2}, {"a": 1}) == {"a": 1, "b": 2}
+
+    def test_conflict(self):
+        assert unify({"a": 1}, {"a": 2}) is None
+
+    def test_empty_sides(self):
+        assert unify({}, {"a": 1}) == {"a": 1}
+        assert unify({"a": 1}, {}) == {"a": 1}
+        assert unify({}, {}) == {}
+
+    def test_result_is_a_copy(self):
+        left = {"a": 1}
+        merged = unify(left, {"b": 2})
+        merged["c"] = 3
+        assert "c" not in left
+
+
+class TestPrimitiveInstance:
+    def test_is_instantaneous(self):
+        instance = PrimitiveInstance(Observation("r", "o", 5.0))
+        assert instance.t_begin == instance.t_end == 5.0
+
+    def test_bindings_default_empty(self):
+        instance = PrimitiveInstance(Observation("r", "o", 5.0))
+        assert dict(instance.bindings) == {}
+
+    def test_observations_yields_self(self):
+        observation = Observation("r", "o", 5.0)
+        instance = PrimitiveInstance(observation, {"o": "o"})
+        assert list(instance.observations()) == [observation]
+        assert instance.constituents == ()
+
+
+class TestCompositeInstance:
+    def _prim(self, t, obj="x"):
+        return PrimitiveInstance(Observation("r", obj, t))
+
+    def test_times_span_constituents(self):
+        composite = CompositeInstance("SEQ", [self._prim(1.0), self._prim(4.0)])
+        assert composite.t_begin == 1.0
+        assert composite.t_end == 4.0
+
+    def test_explicit_times_override(self):
+        composite = CompositeInstance(
+            "AND", [self._prim(2.0)], t_begin=1.0, t_end=9.0
+        )
+        assert composite.t_begin == 1.0 and composite.t_end == 9.0
+
+    def test_requires_constituents_or_times(self):
+        with pytest.raises(ValueError):
+            CompositeInstance("AND", [])
+
+    def test_observations_flatten_in_order(self):
+        inner = CompositeInstance("SEQ", [self._prim(1.0, "a"), self._prim(2.0, "b")])
+        outer = CompositeInstance("AND", [inner, self._prim(3.0, "c")])
+        assert [o.obj for o in outer.observations()] == ["a", "b", "c"]
+
+    def test_constituents_are_tuple(self):
+        composite = CompositeInstance("OR", [self._prim(1.0)])
+        assert isinstance(composite.constituents, tuple)
+
+    def test_repr_contains_label(self):
+        assert "SEQ" in repr(CompositeInstance("SEQ", [self._prim(0.0)]))
+
+
+class TestNegationInstance:
+    def test_window_becomes_span(self):
+        certificate = NegationInstance(3.0, 8.0)
+        assert certificate.t_begin == 3.0
+        assert certificate.t_end == 8.0
+
+    def test_no_observations(self):
+        assert list(NegationInstance(0.0, 1.0).observations()) == []
+
+    def test_carries_bindings(self):
+        certificate = NegationInstance(0.0, 1.0, {"o": "x"})
+        assert certificate.bindings == {"o": "x"}

@@ -1,0 +1,146 @@
+"""The flagship integration test: the entire supply chain, one engine.
+
+Simulates every scenario (packing, movement, smart shelf, security gate,
+checkout), registers every application rule on one middleware instance,
+streams the merged observations once, and verifies the full derived
+state of the virtual world against all four ground truths — the paper's
+"bridge between the physical and virtual worlds" in one test.
+"""
+
+import pytest
+
+from repro import FunctionRegistry
+from repro.apps import (
+    RfidMiddleware,
+    SOLD_LOCATION,
+    asset_monitoring_rule,
+    containment_rule,
+    location_rule,
+    sale_rule,
+)
+from repro.core.detector import Engine
+from repro.epc import ReaderGroupRegistry
+from repro.filtering import infield_rule, outfield_rule
+from repro.simulator import (
+    SupplyChainConfig,
+    gate_type_function,
+    reader_placements,
+    simulate_supply_chain,
+)
+from repro.store import RfidStore
+
+
+@pytest.fixture(scope="module")
+def world():
+    config = SupplyChainConfig(seed=99)
+    trace = simulate_supply_chain(config)
+
+    store = RfidStore()
+    store.place_reader(config.packing.item_reader, "conveyor")
+    store.place_reader(config.packing.case_reader, "packing-station")
+    for reader, location in reader_placements(config.movement):
+        store.place_reader(reader, location)
+    for pos in config.checkout.pos_readers:
+        store.place_reader(pos, "checkout")
+
+    groups = ReaderGroupRegistry()
+    types = gate_type_function(config.gate)
+
+    shelf_events = []
+    alarms = []
+    rules = [
+        containment_rule(config.packing.item_reader, config.packing.case_reader),
+        # Location tracking only for the movement route's portal readers;
+        # conveyor/packing readers are placed too, so they also count.
+        location_rule(rule_id="r3"),
+        asset_monitoring_rule(
+            config.gate.reader,
+            config.gate.tau,
+            on_alarm=lambda epc, time: alarms.append((epc, time)),
+        ),
+        infield_rule(
+            config.shelf.read_period,
+            reader=config.shelf.reader,
+            on_infield=lambda r, o, t: shelf_events.append(("in", o, t)),
+            rule_id="shelf-in",
+        ),
+        outfield_rule(
+            config.shelf.read_period,
+            reader=config.shelf.reader,
+            on_outfield=lambda r, o, t: shelf_events.append(("out", o, t)),
+            rule_id="shelf-out",
+        ),
+        sale_rule(config.checkout.pos_readers),
+    ]
+    engine = Engine(
+        rules,
+        store=store,
+        functions=FunctionRegistry(group=groups, obj_type=types),
+    )
+    detections = []
+    for observation in trace.observations:
+        detections.extend(engine.submit(observation))
+    detections.extend(engine.flush())
+    return config, trace, store, detections, shelf_events, alarms
+
+
+class TestWholeChain:
+    def test_stream_was_substantial(self, world):
+        _config, trace, _store, detections, _shelf, _alarms = world
+        assert len(trace.observations) > 100
+        assert len(detections) > 50
+
+    def test_containment_truth(self, world):
+        _config, trace, store, *_ = world
+        sold = {sale.item_epc for sale in trace.checkout.sales}
+        for case in trace.packing.cases:
+            expected = sorted(set(case.item_epcs) - sold)
+            assert store.contents_of(case.case_epc) == expected
+            # And historically (before any sale) the full case contents.
+            just_packed = case.case_time + 0.001
+            assert store.contents_of(case.case_epc, at=just_packed) == sorted(
+                case.item_epcs
+            )
+
+    def test_location_truth_for_route_objects(self, world):
+        config, trace, store, *_ = world
+        route_locations = [location for _reader, location in config.movement.route]
+        for epc in {visit.obj_epc for visit in trace.movement.visits}:
+            history = [loc for loc, _s, _e in store.location_history(epc)]
+            assert history == route_locations
+
+    def test_sales_recorded_and_located(self, world):
+        _config, trace, store, *_ = world
+        rows = store.database.query("SELECT object_epc, timestamp FROM SALE")
+        assert len(rows) == len(trace.checkout.sales)
+        for sale in trace.checkout.sales:
+            assert store.location_of(sale.item_epc) == SOLD_LOCATION
+
+    def test_gate_alarm_truth(self, world):
+        _config, trace, _store, _detections, _shelf, alarms = world
+        assert sorted(alarms) == sorted(trace.gate.expected_alarms())
+
+    def test_shelf_truth(self, world):
+        _config, trace, _store, _detections, shelf_events, _alarms = world
+        read_stays = [stay for stay in trace.shelf.stays if stay.was_read]
+        infields = {(o, t) for kind, o, t in shelf_events if kind == "in"}
+        outfields = {(o, t) for kind, o, t in shelf_events if kind == "out"}
+        assert infields == {(s.item_epc, s.infield_time) for s in read_stays}
+        assert outfields == {(s.item_epc, s.outfield_time) for s in read_stays}
+
+    def test_store_counts_consistent(self, world):
+        _config, trace, store, *_ = world
+        counts = store.counts()
+        assert counts["SALE"] == len(trace.checkout.sales)
+        assert counts["OBJECTCONTAINMENT"] == sum(
+            len(case.item_epcs) for case in trace.packing.cases
+        )
+
+    def test_no_cross_scenario_interference(self, world):
+        """Rules only fire on their own scenario's readers."""
+        _config, trace, store, detections, _shelf, _alarms = world
+        containments = [
+            detection for detection in detections
+            if detection.rule.rule_id == "r4"
+        ]
+        assert len(containments) == len(trace.packing.cases)

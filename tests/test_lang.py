@@ -1,0 +1,290 @@
+"""Tests for the rule language: scanner, event parser, programs, printer."""
+
+import pytest
+
+from repro.core.expressions import (
+    And,
+    Not,
+    ObservationType,
+    Or,
+    Seq,
+    SeqPlus,
+    TSeq,
+    TSeqPlus,
+    Var,
+    Within,
+    obs,
+)
+from repro.lang import (
+    RuleSyntaxError,
+    format_event,
+    parse_event,
+    parse_program,
+    parse_rules,
+    scan,
+)
+from repro.rules import AlertAction, SqlAction
+
+
+class TestScanner:
+    def test_duration_literals(self):
+        tokens = scan("0.1sec 10min 5 sec")
+        assert tokens[0].kind == "DURATION" and tokens[0].value == 0.1
+        assert tokens[1].value == 600.0
+        # "5 sec" with a space is a NUMBER then a NAME.
+        assert tokens[2].kind == "NUMBER"
+
+    def test_seqplus_glued(self):
+        tokens = scan("TSEQ+(E1)")
+        assert tokens[0].value == "TSEQ+"
+
+    def test_plus_not_glued_to_other_names(self):
+        tokens = scan("E1+")
+        assert tokens[0].value == "E1"
+        assert tokens[1].value == "+"
+
+    def test_unicode_operators(self):
+        tokens = scan("A ∧ ¬B ∨ C")
+        assert [t.value for t in tokens if t.kind == "OP"] == ["&", "!", "|"]
+
+    def test_comments_stripped(self):
+        tokens = scan("A -- a comment\nB # another\nC")
+        assert [t.value for t in tokens[:3]] == ["A", "B", "C"]
+
+    def test_error_reports_line_and_column(self):
+        with pytest.raises(RuleSyntaxError) as excinfo:
+            scan("ok\n  €")
+        assert "line 2" in str(excinfo.value)
+
+    def test_unterminated_string(self):
+        with pytest.raises(RuleSyntaxError):
+            scan("'oops")
+
+
+class TestEventParser:
+    def test_observation_terms(self):
+        event = parse_event("observation('r1', o, t)")
+        assert isinstance(event, ObservationType)
+        assert event.reader == "r1"
+        assert event.obj == Var("o")
+        assert event.t == Var("t")
+
+    def test_wildcards(self):
+        event = parse_event("observation(_, *, _)")
+        assert event.reader is None and event.obj is None and event.t is None
+
+    def test_predicates(self):
+        event = parse_event("observation(r, o, t), group(r)='g1', type(o)='case'")
+        assert event.group == "g1" and event.obj_type == "case"
+
+    def test_predicate_argument_mismatch(self):
+        with pytest.raises(RuleSyntaxError):
+            parse_event("observation(r, o, t), type(zzz)='case'")
+
+    def test_timestamp_cannot_be_literal(self):
+        with pytest.raises(RuleSyntaxError):
+            parse_event("observation(r, o, '5')")
+
+    def test_group_on_literal_reader_normalized(self):
+        event = parse_event("observation('r1', o, t), group('r1')='r1'")
+        assert event.reader is None and event.group == "r1"
+
+    @pytest.mark.parametrize("text, expected_type", [
+        ("A OR B", Or),
+        ("A | B", Or),
+        ("A AND B", And),
+        ("A ∧ B", And),
+        ("NOT A AND B", And),
+        ("A ; B", Seq),
+        ("SEQ(A; B)", Seq),
+        ("TSEQ(A; B, 1sec, 2sec)", TSeq),
+        ("SEQ+(A)", SeqPlus),
+        ("TSEQ+(A, 1sec, 2sec)", TSeqPlus),
+        ("WITHIN(A, 5sec)", Within),
+    ])
+    def test_constructors(self, text, expected_type):
+        aliases = {"A": obs("a"), "B": obs("b")}
+        assert isinstance(parse_event(text, aliases), expected_type)
+
+    def test_precedence_not_binds_tighter_than_seq(self):
+        aliases = {"A": obs("a"), "B": obs("b")}
+        event = parse_event("NOT A ; B", aliases)
+        assert isinstance(event, Seq)
+        assert isinstance(event.first, Not)
+
+    def test_precedence_seq_binds_tighter_than_and(self):
+        aliases = {"A": obs("a"), "B": obs("b"), "C": obs("c")}
+        event = parse_event("A ; B AND C", aliases)
+        assert isinstance(event, And)
+        assert isinstance(event.children[0], Seq)
+
+    def test_parentheses_override(self):
+        aliases = {"A": obs("a"), "B": obs("b"), "C": obs("c")}
+        event = parse_event("A ; (B AND C)", aliases)
+        assert isinstance(event, Seq)
+
+    def test_plain_numbers_as_durations(self):
+        event = parse_event("TSEQ+(observation(r, o, t), 0.1, 1)")
+        assert event.lower == 0.1 and event.upper == 1.0
+
+    def test_unknown_alias(self):
+        with pytest.raises(RuleSyntaxError):
+            parse_event("MYSTERY")
+
+    def test_trailing_input_rejected(self):
+        with pytest.raises(RuleSyntaxError):
+            parse_event("observation(r, o, t) observation(r, o, t)")
+
+    def test_nested_constructors(self):
+        event = parse_event(
+            "WITHIN(TSEQ+(observation(r, o, t) | observation('x', p, t2), "
+            "0.1sec, 1sec); observation('y', q, t3), 10min)"
+        )
+        assert isinstance(event, Within)
+        assert isinstance(event.child, Seq)
+
+
+class TestPrograms:
+    def test_define_then_rule(self):
+        program = parse_program(
+            """
+            DEFINE E1 = observation('r1', o, t)
+            CREATE RULE r7, my rule ON E1 IF true DO INSERT INTO T VALUES (o)
+            """
+        )
+        assert program.aliases["E1"].alias == "E1"
+        rule = program.rule("r7")
+        assert rule.name == "my rule"
+        assert rule.condition is None
+        assert isinstance(rule.actions[0], SqlAction)
+
+    def test_rule_without_name(self):
+        rules = parse_rules("CREATE RULE r1 ON observation(r, o, t) IF true DO ALERT 'x'")
+        assert rules[0].name == "r1"
+
+    def test_condition_text_preserved(self):
+        program = parse_program(
+            """
+            CREATE RULE r1, c ON observation(r, o, t)
+            IF SELECT * FROM OBJECTLOCATION WHERE object_epc = o
+            DO ALERT 'x'
+            """
+        )
+        rule = program.rule("r1")
+        assert rule.condition is not None
+
+    def test_multiple_actions_split(self):
+        program = parse_program(
+            """
+            CREATE RULE r1, c ON observation(r, o, t) IF true
+            DO INSERT INTO A VALUES (o); INSERT INTO B VALUES (o); ALERT 'hi {o}'
+            """
+        )
+        rule = program.rule("r1")
+        assert len(rule.actions) == 3
+        assert isinstance(rule.actions[2], AlertAction)
+
+    def test_send_becomes_alert(self):
+        rules = parse_rules(
+            "CREATE RULE r1, c ON observation(r, o, t) IF true DO send duplicate msg"
+        )
+        assert isinstance(rules[0].actions[0], AlertAction)
+
+    def test_create_table_action_does_not_break_statement(self):
+        program = parse_program(
+            """
+            CREATE RULE r1, c ON observation(r, o, t) IF true
+            DO CREATE TABLE SCRATCH (x)
+            CREATE RULE r2, d ON observation(r, o, t) IF true DO ALERT 'y'
+            """
+        )
+        assert [rule.rule_id for rule in program.rules] == ["r1", "r2"]
+
+    def test_aliases_accumulate_across_statements(self):
+        program = parse_program(
+            """
+            DEFINE E1 = observation('r1', o1, t1)
+            DEFINE E2 = E1 ; observation('r2', o2, t2)
+            CREATE RULE r1, c ON WITHIN(E2, 1min) IF true DO ALERT 'z'
+            """
+        )
+        assert isinstance(program.aliases["E2"], Seq)
+
+    @pytest.mark.parametrize("bad", [
+        "CREATE RULE",                                        # truncated
+        "CREATE RULE r1, name",                               # no ON
+        "CREATE RULE r1, name ON observation(r, o, t)",       # no IF
+        "CREATE RULE r1, n ON observation(r, o, t) IF true",  # no DO
+        "DEFINE = observation(r, o, t)",                      # missing name
+        "DEFINE X observation(r, o, t)",                      # missing '='
+        "BOGUS STATEMENT",
+    ])
+    def test_malformed_programs(self, bad):
+        with pytest.raises(RuleSyntaxError):
+            parse_program(bad)
+
+    def test_unknown_rule_lookup(self):
+        program = parse_program(
+            "CREATE RULE r1, c ON observation(r, o, t) IF true DO ALERT 'x'"
+        )
+        with pytest.raises(KeyError):
+            program.rule("missing")
+
+
+class TestPrinter:
+    CASES = [
+        obs("r1", Var("o"), t=Var("t")),
+        obs(Var("r"), Var("o"), group="g1", obj_type="case", t=Var("t")),
+        obs(None, None),
+        Or(obs("a"), obs("b"), obs("c")),
+        And(obs("a"), Not(obs("b"))),
+        Seq(obs("a"), obs("b")),
+        TSeq(obs("a"), obs("b"), 0.1, 1.0),
+        SeqPlus(obs("a", Var("o"))),
+        TSeqPlus(obs("a", Var("o")), 0.5, 2.0),
+        Within(Seq(Not(obs("a", Var("o"))), obs("a", Var("o"))), 30.0),
+        Within(TSeq(TSeqPlus(obs("r1", Var("o1")), 0.1, 1.0), obs("r2", Var("o2")), 10, 20), 600),
+    ]
+
+    @pytest.mark.parametrize("event", CASES, ids=range(len(CASES)))
+    def test_roundtrip_structural_equality(self, event):
+        text = format_event(event)
+        parsed = parse_event(text)
+        assert parsed.key() == event.key()
+
+    def test_callable_predicate_unprintable(self):
+        from repro.core.errors import ReproError
+
+        with pytest.raises(ReproError):
+            format_event(obs("a", where=lambda o: True))
+
+
+class TestParserRobustness:
+    """Fuzz: arbitrary text must raise RuleSyntaxError (or parse), never
+    crash with an unrelated exception."""
+
+    def test_random_token_soup(self):
+        import random
+
+        from repro.core.errors import ReproError
+
+        rng = random.Random(42)
+        vocabulary = [
+            "CREATE", "RULE", "DEFINE", "ON", "IF", "DO", "observation",
+            "TSEQ+", "WITHIN", "(", ")", ",", ";", "=", "'x'", "o", "t",
+            "5sec", "AND", "NOT", "|", "0.1", "r4", "¬",
+        ]
+        crashes = []
+        for _ in range(300):
+            text = " ".join(
+                rng.choice(vocabulary) for _ in range(rng.randrange(1, 25))
+            )
+            try:
+                parse_program(text)
+            except ReproError:
+                pass  # expected failure mode
+            except RecursionError:
+                pass  # deep nesting from '(' soup is acceptable too
+            except Exception as exc:  # pragma: no cover - the assertion
+                crashes.append((text, repr(exc)))
+        assert not crashes, crashes[:3]

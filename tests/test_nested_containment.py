@@ -1,0 +1,108 @@
+"""Nested containment: items → cases → pallets, two aggregation rules.
+
+The paper's containment model is hierarchical (items in cases, cases on
+pallets); this integration test runs two containment rules at different
+granularities on one engine and verifies the full tree, the temporal
+queries across unpacking, and the interaction with the sale rule.
+"""
+
+import random
+
+import pytest
+
+from repro import Engine, Observation
+from repro.apps import containment_rule, sale_rule, unpacking_rule
+from repro.simulator import PackingConfig, simulate_packing
+from repro.store import RfidStore
+
+
+@pytest.fixture
+def packed_world():
+    """Items packed into cases (simulated), cases packed onto a pallet
+    (derived second-stage stream), with both rules on one engine."""
+    trace = simulate_packing(
+        PackingConfig(cases=4, items_per_case=3), rng=random.Random(12)
+    )
+    # Second stage: the four cases ride a pallet conveyor (reader r3)
+    # 0.5s apart, then the pallet tag is read by r4 fifteen seconds on.
+    stage_start = trace.end_time + 30.0
+    second_stage = [
+        Observation("r3", case.case_epc, stage_start + index * 0.5)
+        for index, case in enumerate(trace.cases)
+    ]
+    pallet_time = stage_start + 1.5 + 15.0
+    second_stage.append(Observation("r4", "PALLET-1", pallet_time))
+
+    store = RfidStore()
+    engine = Engine(
+        [
+            containment_rule("r1", "r2", rule_id="items-into-cases"),
+            containment_rule("r3", "r4", rule_id="cases-onto-pallet"),
+        ],
+        store=store,
+    )
+    stream = trace.observations + second_stage
+    for observation in stream:
+        engine.submit(observation)
+    engine.flush()
+    return trace, store, engine, pallet_time
+
+
+class TestNestedContainment:
+    def test_two_level_tree(self, packed_world):
+        trace, store, _engine, _pallet_time = packed_world
+        tree = store.containment_tree("PALLET-1")
+        assert set(tree) == {case.case_epc for case in trace.cases}
+        for case in trace.cases:
+            assert set(tree[case.case_epc]) == set(case.item_epcs)
+
+    def test_item_grandparent_via_parents(self, packed_world):
+        trace, store, _engine, _pallet_time = packed_world
+        item = trace.cases[0].item_epcs[0]
+        case = store.parent_of(item)
+        assert case == trace.cases[0].case_epc
+        assert store.parent_of(case) == "PALLET-1"
+
+    def test_rules_counted_separately(self, packed_world):
+        trace, _store, engine, _pallet_time = packed_world
+        assert engine.stats.per_rule["items-into-cases"] == len(trace.cases)
+        assert engine.stats.per_rule["cases-onto-pallet"] == 1
+
+    def test_temporal_tree_before_pallet(self, packed_world):
+        trace, store, _engine, pallet_time = packed_world
+        before = pallet_time - 1.0
+        assert store.containment_tree("PALLET-1", at=before) == {}
+        case = trace.cases[0].case_epc
+        assert store.parent_of(case, at=before) is None
+
+
+class TestUnpackAndSell:
+    def test_unpacking_pallet_keeps_case_contents(self, packed_world):
+        trace, store, _engine, pallet_time = packed_world
+        store.unpack("PALLET-1", pallet_time + 100.0)
+        assert store.containment_tree("PALLET-1") == {}
+        case = trace.cases[0]
+        assert store.contents_of(case.case_epc) == sorted(case.item_epcs)
+
+    def test_sale_removes_item_from_case_only(self, packed_world):
+        trace, store, _engine, pallet_time = packed_world
+        # A separate engine sells one item later.
+        seller = Engine([sale_rule(("pos1",))], store=store)
+        sold = trace.cases[0].item_epcs[0]
+        list(seller.run([Observation("pos1", sold, pallet_time + 500.0)]))
+        case = trace.cases[0].case_epc
+        assert sold not in store.contents_of(case)
+        assert store.parent_of(case) == "PALLET-1"  # pallet level untouched
+
+
+class TestUnpackingRuleAtPalletLevel:
+    def test_pallet_unpack_station(self, packed_world):
+        trace, store, _engine, pallet_time = packed_world
+        unpack_engine = Engine([unpacking_rule("r9")], store=store)
+        list(unpack_engine.run([Observation("r9", "PALLET-1", pallet_time + 50.0)]))
+        assert store.containment_tree("PALLET-1") == {}
+        # History preserved: the tree still exists in the past.
+        past = pallet_time + 10.0
+        assert set(store.containment_tree("PALLET-1", at=past)) == {
+            case.case_epc for case in trace.cases
+        }

@@ -1,0 +1,118 @@
+"""Tests for the networkx-based supply network simulator and rendering."""
+
+import random
+
+import pytest
+
+from repro import Engine
+from repro.apps import location_rule
+from repro.simulator import SupplyNetwork, default_network
+from repro.store import RfidStore, render_summary, render_timeline
+
+
+class TestNetworkConstruction:
+    def test_sites_and_routes(self):
+        network = default_network()
+        assert network.reader_of("factory") == "portal_factory"
+        placements = dict(network.reader_placements())
+        assert placements["portal_dc-east"] == "dc-east"
+
+    def test_route_prefers_fastest(self):
+        network = default_network()
+        # store-2 is reachable via both DCs; east is faster.
+        assert network.route("factory", "store-2") == [
+            "factory",
+            "dc-east",
+            "store-2",
+        ]
+
+    def test_unreachable_route(self):
+        network = SupplyNetwork()
+        network.add_site("a")
+        network.add_site("b")
+        with pytest.raises(ValueError):
+            network.route("a", "b")
+
+    def test_validation(self):
+        network = SupplyNetwork()
+        network.add_site("a")
+        with pytest.raises(ValueError):
+            network.add_route("a", "missing", transit=(1, 2))
+        with pytest.raises(ValueError):
+            network.add_site("bad", dwell=(5.0, 1.0))
+        network.add_site("b")
+        with pytest.raises(ValueError):
+            network.add_route("a", "b", transit=(0, 1))
+
+
+class TestFlows:
+    def test_flow_visits_route_in_order(self):
+        network = default_network()
+        trace = network.flow("factory", "store-3", objects=3,
+                             rng=random.Random(2))
+        for epc, route in trace.routes.items():
+            assert route == ["factory", "dc-west", "store-3"]
+            visits = [v for v in trace.visits if v.obj_epc == epc]
+            assert [v.location for v in visits] == route
+            times = [v.arrive for v in visits]
+            assert times == sorted(times)
+
+    def test_observations_ordered(self):
+        from repro.readers import assert_ordered
+
+        network = default_network()
+        trace = network.flow("factory", "store-1", objects=5,
+                             rng=random.Random(3))
+        assert_ordered(trace.observations)
+        assert len(trace.observations) == 5 * 3
+
+    def test_end_to_end_with_location_rule(self):
+        network = default_network()
+        trace = network.flow("factory", "store-2", objects=4,
+                             rng=random.Random(4))
+        store = RfidStore()
+        for reader, site in network.reader_placements():
+            store.place_reader(reader, site)
+        engine = Engine([location_rule()], store=store)
+        for observation in trace.observations:
+            engine.submit(observation)
+        engine.flush()
+        for epc, route in trace.routes.items():
+            history = [loc for loc, _s, _e in store.location_history(epc)]
+            assert history == route
+
+
+class TestRendering:
+    def test_timeline_bar_lengths(self):
+        store = RfidStore()
+        store.update_location("box", "factory", 0.0)
+        store.update_location("box", "store", 75.0)
+        text = render_timeline(store, "box", width=20, now=100.0)
+        lines = text.splitlines()
+        assert "factory" in lines[1] and "store" in lines[2]
+        factory_bar = lines[1].count("=")
+        store_bar = lines[2].count("=")
+        assert factory_bar > store_bar  # 75s vs 25s
+
+    def test_timeline_no_history(self):
+        store = RfidStore()
+        assert "no location history" in render_timeline(store, "ghost")
+
+    def test_summary_lists_tables_and_alerts(self):
+        store = RfidStore()
+        store.send_alert("r5", "boom", 1.0)
+        text = render_summary(store)
+        assert "OBJECTLOCATION" in text
+        assert "boom" in text
+
+    def test_inspect_cli(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        store = RfidStore()
+        store.update_location("box", "dock", 1.0)
+        store.add_containment(["box"], "pallet", 2.0)
+        path = str(tmp_path / "store.json")
+        store.save_json(path)
+        assert main(["inspect", "--store", path, "--object", "box"]) == 0
+        output = capsys.readouterr().out
+        assert "dock" in output and "pallet" in output

@@ -1,0 +1,132 @@
+"""Tests for the NFA baseline, including differential validation against
+the graph engine's unrestricted context."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Engine, Observation, Var, Within, obs
+from repro.baselines import NfaSequenceDetector, PatternStep
+from repro.core.expressions import Seq
+
+
+class TestNfaUnit:
+    def _ab(self, window=10.0, correlate=False):
+        return NfaSequenceDetector(
+            [PatternStep(reader="A"), PatternStep(reader="B")],
+            window=window,
+            correlate_object=correlate,
+        )
+
+    def test_simple_match(self):
+        detector = self._ab()
+        detector.submit(Observation("A", "x", 0.0))
+        matches = detector.submit(Observation("B", "x", 1.0))
+        assert len(matches) == 1
+
+    def test_all_matches_semantics(self):
+        detector = self._ab()
+        detector.submit(Observation("A", "x", 0.0))
+        detector.submit(Observation("A", "y", 1.0))
+        matches = detector.submit(Observation("B", "z", 2.0))
+        assert len(matches) == 2  # both As pair with the B
+
+    def test_partial_runs_not_consumed(self):
+        detector = self._ab()
+        detector.submit(Observation("A", "x", 0.0))
+        detector.submit(Observation("B", "x", 1.0))
+        matches = detector.submit(Observation("B", "x", 2.0))
+        assert len(matches) == 1  # the same A matches the second B too
+
+    def test_window_expiry(self):
+        detector = self._ab(window=5.0)
+        detector.submit(Observation("A", "x", 0.0))
+        assert detector.submit(Observation("B", "x", 6.0)) == []
+        assert detector.runs == []  # expired run pruned
+
+    def test_strict_order(self):
+        detector = self._ab()
+        detector.submit(Observation("A", "x", 5.0))
+        assert detector.submit(Observation("B", "x", 5.0)) == []
+
+    def test_object_correlation(self):
+        detector = self._ab(correlate=True)
+        detector.submit(Observation("A", "x", 0.0))
+        assert detector.submit(Observation("B", "other", 1.0)) == []
+        assert len(detector.submit(Observation("B", "x", 2.0))) == 1
+
+    def test_three_step_pattern(self):
+        detector = NfaSequenceDetector(
+            [PatternStep(reader=r) for r in ("A", "B", "C")], window=10.0
+        )
+        matches = detector.run(
+            [Observation(r, "x", float(i)) for i, r in enumerate("ABC")]
+        )
+        assert len(matches) == 1
+
+    def test_predicate_step(self):
+        detector = NfaSequenceDetector(
+            [PatternStep(predicate=lambda o: o.obj.startswith("special"))],
+            window=5.0,
+        )
+        assert detector.run([Observation("r", "special-1", 0.0),
+                             Observation("r", "plain", 1.0)]) != []
+        assert len(detector.matches) == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NfaSequenceDetector([], window=1.0)
+        with pytest.raises(ValueError):
+            NfaSequenceDetector([PatternStep()], window=0.0)
+
+    def test_peak_runs_tracks_blowup(self):
+        detector = self._ab(window=100.0)
+        for index in range(20):
+            detector.submit(Observation("A", f"t{index}", float(index)))
+        assert detector.peak_runs == 20
+
+
+@st.composite
+def abc_streams(draw):
+    entries = draw(
+        st.lists(
+            st.tuples(st.sampled_from("ABC"), st.integers(1, 6)),
+            max_size=25,
+        )
+    )
+    stream = []
+    time = 0.0
+    for reader, gap in entries:
+        time += gap * 0.5
+        stream.append(Observation(reader, f"o{len(stream)}", time))
+    return stream
+
+
+class TestDifferentialAgainstEngine:
+    @staticmethod
+    def engine_matches(stream, window):
+        engine = Engine(context="unrestricted")
+        engine.watch(Within(Seq(Seq(obs("A"), obs("B")), obs("C")), window))
+        found = set()
+        for detection in engine.run(stream):
+            observations = detection.instance.observations()
+            found.add(tuple(o.timestamp for o in observations))
+        return found
+
+    @staticmethod
+    def nfa_matches(stream, window):
+        detector = NfaSequenceDetector(
+            [PatternStep(reader=r) for r in "ABC"], window=window
+        )
+        detector.run(stream)
+        return {
+            tuple(o.timestamp for o in match) for match in detector.matches
+        }
+
+    @given(abc_streams(), st.integers(2, 12))
+    @settings(max_examples=150, deadline=None)
+    def test_nfa_equals_unrestricted_engine(self, stream, window_halves):
+        window = window_halves * 0.5
+        assert self.nfa_matches(stream, window) == self.engine_matches(
+            stream, window
+        )

@@ -1,0 +1,165 @@
+"""The paper's worked examples as exact fixtures.
+
+* Fig. 4 — the event history that breaks type-level ECA detection;
+* Fig. 8 — the pseudo-event walk-through for WITHIN(E1 ∧ ¬E2, 10s);
+* Examples 1 and 2 of the introduction, end to end.
+"""
+
+from repro import Engine, FunctionRegistry, Observation, Var, Within, obs
+from repro.baselines import TypeLevelEcaDetector
+from repro.core.expressions import And, Not, TSeq, TSeqPlus
+
+FIG4_HISTORY = [
+    Observation("r1", "item@1", 1.0),
+    Observation("r1", "item@2", 2.0),
+    Observation("r1", "item@3", 3.0),
+    Observation("r1", "item@5", 5.0),
+    Observation("r1", "item@6", 6.0),
+    Observation("r1", "item@7", 7.0),
+    Observation("r2", "case@12", 12.0),
+    Observation("r2", "case@15", 15.0),
+]
+
+FIG4_EVENT = TSeq(
+    TSeqPlus(obs("r1", Var("o1")), 0.0, 1.0), obs("r2", Var("o2")), 5.0, 10.0
+)
+
+
+class TestFig4:
+    def test_rceda_finds_both_instances(self):
+        engine = Engine()
+        engine.watch(FIG4_EVENT)
+        detections = list(engine.run(FIG4_HISTORY))
+        assert len(detections) == 2
+        first = [o.timestamp for o in detections[0].instance.observations()]
+        second = [o.timestamp for o in detections[1].instance.observations()]
+        # The paper: {e1@1, e1@2, e1@3, e2@12} and {e1@5, e1@6, e1@7, e2@15}.
+        assert first == [1.0, 2.0, 3.0, 12.0]
+        assert second == [5.0, 6.0, 7.0, 15.0]
+
+    def test_type_level_eca_finds_nothing(self):
+        naive = TypeLevelEcaDetector("r1", "r2", (0.0, 1.0), (5.0, 10.0))
+        accepted = naive.run(FIG4_HISTORY)
+        assert accepted == []
+        # Its single type-level candidate is the paper's
+        # {e1@1..e1@7} ; e2@12, rejected because dist(e1@3, e1@5) > 1s.
+        assert len(naive.candidates) >= 1
+        rejected = naive.rejected[0]
+        assert [o.timestamp for o in rejected.members] == [1, 2, 3, 5, 6, 7]
+        assert rejected.terminator.timestamp == 12.0
+
+    def test_chain_split_is_where_the_paper_says(self):
+        engine = Engine()
+        engine.watch(TSeqPlus(obs("r1", Var("o")), 0.0, 1.0))
+        detections = list(engine.run(FIG4_HISTORY[:6]))
+        assert [len(d.instance.constituents) for d in detections] == [3, 3]
+
+
+class TestFig8:
+    def _engine(self):
+        engine = Engine()
+        engine.watch(Within(And(obs("rA"), Not(obs("rB"))), 10.0))
+        return engine
+
+    def test_walkthrough_detects_once_at_30(self):
+        engine = self._engine()
+        history = [
+            Observation("rB", "e2", 2.0),
+            Observation("rA", "e1", 10.0),
+            Observation("rA", "e1b", 20.0),
+        ]
+        detections = list(engine.run(history))
+        assert len(detections) == 1
+        assert detections[0].time == 30.0
+        instance = detections[0].instance
+        assert (instance.t_begin, instance.t_end) == (20.0, 30.0)
+
+    def test_step_counts_match_the_figure(self):
+        engine = self._engine()
+        engine.submit(Observation("rB", "e2", 2.0))
+        engine.submit(Observation("rA", "e1", 10.0))
+        # Fig. 8d: e1@10 deleted because e2@2 in [0, 10].
+        assert engine.stats.pending_killed == 1
+        assert engine.stats.pseudo_scheduled == 0
+        engine.submit(Observation("rA", "e1b", 20.0))
+        # Fig. 8f: pseudo event e'[20,30] scheduled.
+        assert engine.stats.pseudo_scheduled == 1
+        detections = engine.flush()
+        # Fig. 8h: occurrence detected after the pseudo event fires.
+        assert engine.stats.pseudo_fired == 1
+        assert len(detections) == 1
+
+
+class TestExample1Packing:
+    """Intro Example 1: items through reader A, case through reader B."""
+
+    def test_containment_complex_event(self):
+        engine = Engine()
+        event = TSeq(
+            TSeqPlus(obs(None, Var("o1"), group="A"), 0.1, 1.0),
+            obs(None, Var("o2"), group="B"),
+            10.0,
+            20.0,
+        )
+        functions = FunctionRegistry(
+            group=lambda reader: "A" if reader.startswith("a") else "B"
+        )
+        engine = Engine(functions=functions)
+        engine.watch(event)
+        stream = [
+            Observation("a1", "item1", 0.0),
+            Observation("a2", "item2", 0.4),  # another reader of group A
+            Observation("a1", "item3", 0.8),
+            Observation("b1", "case", 12.0),
+        ]
+        detections = list(engine.run(stream))
+        assert len(detections) == 1
+        assert [o.obj for o in detections[0].instance.observations()] == [
+            "item1",
+            "item2",
+            "item3",
+            "case",
+        ]
+
+
+class TestExample2AssetMonitoring:
+    """Intro Example 2: laptop leaves without a superuser within 5s."""
+
+    def _engine(self):
+        types = {"laptop1": "laptop", "boss": "superuser"}
+        functions = FunctionRegistry(obj_type=types.get)
+        engine = Engine(functions=functions)
+        laptop = obs("exit", Var("o4"), obj_type="laptop")
+        badge = obs("exit", Var("o5"), obj_type="superuser")
+        engine.watch(Within(And(laptop, Not(badge)), 5.0))
+        return engine
+
+    def test_unauthorized_alarm(self):
+        engine = self._engine()
+        detections = list(engine.run([Observation("exit", "laptop1", 100.0)]))
+        assert len(detections) == 1
+        assert detections[0].time == 105.0
+
+    def test_authorized_no_alarm(self):
+        engine = self._engine()
+        detections = list(
+            engine.run(
+                [
+                    Observation("exit", "laptop1", 100.0),
+                    Observation("exit", "boss", 103.0),
+                ]
+            )
+        )
+        assert detections == []
+
+    def test_badge_before_laptop_also_authorizes(self):
+        engine = self._engine()
+        detections = list(
+            engine.run(
+                [
+                    Observation("exit", "boss", 98.0),
+                    Observation("exit", "laptop1", 100.0),
+                ]
+            )
+        )
+        assert detections == []

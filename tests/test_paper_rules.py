@@ -1,0 +1,164 @@
+"""The paper's Rules 1-5, written in the rule language, run end to end."""
+
+import pytest
+
+from repro import Engine, FunctionRegistry, Observation
+from repro.lang import parse_program
+from repro.store import UC, RfidStore
+
+
+def make_engine(source, store=None, functions=None):
+    program = parse_program(source)
+    store = store if store is not None else RfidStore()
+    engine = Engine(program.rules, store=store, functions=functions)
+    return engine, store, program
+
+
+class TestRule1Duplicates:
+    SOURCE = """
+    CREATE RULE r1, duplicate detection rule
+    ON WITHIN(observation(r, o, t1); observation(r, o, t2), 5sec)
+    IF true
+    DO ALERT 'duplicate of {o} at reader {r}'
+    """
+
+    def test_duplicate_marked(self):
+        engine, store, _ = make_engine(self.SOURCE)
+        list(engine.run([Observation("r1", "x", 0.0), Observation("r1", "x", 2.0)]))
+        assert store.alerts == [("r1", "duplicate of x at reader r1", 2.0)]
+
+    def test_different_reader_not_duplicate(self):
+        engine, store, _ = make_engine(self.SOURCE)
+        list(engine.run([Observation("r1", "x", 0.0), Observation("r2", "x", 2.0)]))
+        assert store.alerts == []
+
+    def test_outside_window_not_duplicate(self):
+        engine, store, _ = make_engine(self.SOURCE)
+        list(engine.run([Observation("r1", "x", 0.0), Observation("r1", "x", 7.0)]))
+        assert store.alerts == []
+
+
+class TestRule2Infield:
+    SOURCE = """
+    CREATE RULE r2, infield filtering
+    ON WITHIN(¬observation(r, o, t1); observation(r, o, t2), 30sec)
+    IF true
+    DO INSERT INTO OBSERVATION VALUES (r, o, t2)
+    """
+
+    def test_only_first_readings_stored(self):
+        engine, store, _ = make_engine(self.SOURCE)
+        stream = [
+            Observation("shelf", "mug", 0.0),
+            Observation("shelf", "mug", 30.0),
+            Observation("shelf", "pen", 45.0),
+            Observation("shelf", "mug", 60.0),
+        ]
+        list(engine.run(stream))
+        rows = store.database.query(
+            "SELECT object_epc, timestamp FROM OBSERVATION ORDER BY timestamp"
+        )
+        assert rows == [("mug", 0.0), ("pen", 45.0)]
+
+
+class TestRule3Location:
+    SOURCE = """
+    CREATE RULE r3, location change rule
+    ON observation(r, o, t)
+    IF true
+    DO UPDATE OBJECTLOCATION SET tend = t WHERE object_epc = o AND tend = 'UC';
+       INSERT INTO OBJECTLOCATION VALUES (o, r, t, 'UC')
+    """
+
+    def test_location_periods(self):
+        # The textual rule uses the reader id as the location id, exactly
+        # as the paper's Rule 3 sketch hard-codes "loc2".
+        engine, store, _ = make_engine(self.SOURCE)
+        list(engine.run([
+            Observation("dockA", "box", 10.0),
+            Observation("dockB", "box", 50.0),
+        ]))
+        history = store.database.query(
+            "SELECT loc_id, tstart, tend FROM OBJECTLOCATION "
+            "WHERE object_epc = 'box' ORDER BY tstart"
+        )
+        assert history == [("dockA", 10.0, 50.0), ("dockB", 50.0, UC)]
+
+
+class TestRule4Containment:
+    SOURCE = """
+    DEFINE E1 = observation("r1", o1, t1)
+    DEFINE E2 = observation("r2", o2, t2)
+    CREATE RULE r4, containment rule
+    ON TSEQ(TSEQ+(E1, 0.1sec, 1sec); E2, 10sec, 20sec)
+    IF true
+    DO BULK INSERT INTO CONTAINMENT VALUES (o1, o2, t2, 'UC')
+    """
+
+    def test_bulk_containment(self):
+        engine, store, _ = make_engine(self.SOURCE)
+        stream = [Observation("r1", f"item{k}", 0.5 * k) for k in range(1, 4)]
+        stream.append(Observation("r2", "case", 12.0))
+        list(engine.run(stream))
+        assert store.contents_of("case") == ["item1", "item2", "item3"]
+        rows = store.database.query(
+            "SELECT tstart, tend FROM OBJECTCONTAINMENT WHERE parent_epc = 'case'"
+        )
+        assert rows == [(12.0, UC)] * 3
+
+    def test_no_case_no_containment(self):
+        engine, store, _ = make_engine(self.SOURCE)
+        list(engine.run([Observation("r1", "item1", 0.0)]))
+        assert store.database.query("SELECT * FROM OBJECTCONTAINMENT") == []
+
+
+class TestRule5AssetMonitoring:
+    SOURCE = """
+    DEFINE E4 = observation("r4", o4, t4), type(o4) = "laptop"
+    DEFINE E5 = observation("r4", o5, t5), type(o5) = "superuser"
+    CREATE RULE r5, asset monitoring rule
+    ON WITHIN(E4 ∧ ¬E5, 5sec)
+    IF true
+    DO ALERT 'unauthorized laptop {o4}'
+    """
+
+    @pytest.fixture
+    def functions(self):
+        types = {"laptop9": "laptop", "badge7": "superuser"}
+        return FunctionRegistry(obj_type=types.get)
+
+    def test_alarm_for_unescorted_laptop(self, functions):
+        engine, store, _ = make_engine(self.SOURCE, functions=functions)
+        list(engine.run([Observation("r4", "laptop9", 10.0)]))
+        assert store.alerts == [("r5", "unauthorized laptop laptop9", 15.0)]
+
+    def test_superuser_suppresses_alarm(self, functions):
+        engine, store, _ = make_engine(self.SOURCE, functions=functions)
+        list(
+            engine.run(
+                [Observation("r4", "laptop9", 10.0), Observation("r4", "badge7", 12.0)]
+            )
+        )
+        assert store.alerts == []
+
+    def test_unrelated_objects_ignored(self, functions):
+        engine, store, _ = make_engine(self.SOURCE, functions=functions)
+        list(engine.run([Observation("r4", "pallet", 10.0)]))
+        assert store.alerts == []
+
+
+class TestAllRulesTogether:
+    def test_one_engine_many_rules(self):
+        source = (
+            TestRule1Duplicates.SOURCE
+            + TestRule4Containment.SOURCE
+        )
+        program = parse_program(source)
+        store = RfidStore()
+        engine = Engine(program.rules, store=store)
+        stream = [Observation("r1", f"item{k}", 0.5 * k) for k in range(1, 4)]
+        stream.append(Observation("r1", "item3", 1.6))  # duplicate of item3@1.5
+        stream.append(Observation("r2", "case", 12.0))
+        list(engine.run(stream))
+        assert store.contents_of("case") == ["item1", "item2", "item3"]
+        assert any("duplicate" in message for _r, message, _t in store.alerts)

@@ -1,0 +1,205 @@
+"""Property-based tests: the engine against independent oracles.
+
+Each property implements the intended semantics a second time, directly
+over the raw event list (no incremental state, no pseudo events), and
+checks the streaming engine agrees on randomized inputs.  Timestamps are
+drawn from a 0.5-second grid so boundary conditions (distances exactly
+at a bound) are exercised constantly.
+"""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Engine, Observation, Var, Within, obs
+from repro.core.expressions import And, Not, Seq, TSeq, TSeqPlus
+
+OBJECTS = ("o1", "o2", "o3")
+
+
+@st.composite
+def observation_streams(draw, readers=("A", "B"), max_size=40):
+    """A time-ordered stream over a small reader/object space."""
+    entries = draw(
+        st.lists(
+            st.tuples(
+                st.sampled_from(readers),
+                st.sampled_from(OBJECTS),
+                st.integers(min_value=0, max_value=8),  # gap in half-seconds
+            ),
+            max_size=max_size,
+        )
+    )
+    stream = []
+    time = 0.0
+    for reader, object_epc, gap in entries:
+        time += gap * 0.5
+        stream.append(Observation(reader, object_epc, time))
+    return stream
+
+
+def tseq_oracle(stream, lower, upper, within=math.inf):
+    """Chronicle TSEQ(A;B) with object correlation, directly computed."""
+    buffers = {}
+    matches = []
+    for observation in stream:
+        if observation.reader == "A":
+            buffers.setdefault(observation.obj, []).append(observation.timestamp)
+        elif observation.reader == "B":
+            bucket = buffers.get(observation.obj, [])
+            for index, t_init in enumerate(bucket):
+                distance = observation.timestamp - t_init
+                if (
+                    t_init < observation.timestamp
+                    and lower <= distance <= upper
+                    and observation.timestamp - t_init <= within
+                ):
+                    matches.append((observation.obj, t_init, observation.timestamp))
+                    del bucket[index]
+                    break
+    return matches
+
+
+@given(observation_streams(), st.integers(0, 4), st.integers(0, 8))
+@settings(max_examples=200, deadline=None)
+def test_tseq_matches_oracle(stream, lower_halves, extra_halves):
+    lower = lower_halves * 0.5
+    upper = lower + extra_halves * 0.5
+    engine = Engine()
+    engine.watch(TSeq(obs("A", Var("o")), obs("B", Var("o")), lower, upper))
+    detections = list(engine.run(stream))
+    got = [
+        (
+            detection.bindings["o"],
+            detection.instance.t_begin,
+            detection.instance.t_end,
+        )
+        for detection in detections
+    ]
+    assert got == tseq_oracle(stream, lower, upper)
+
+
+def chain_oracle(times, lower, upper):
+    """Maximal-chain partition of a time sequence."""
+    chains = []
+    for time in times:
+        if chains and lower <= time - chains[-1][-1] <= upper:
+            chains[-1].append(time)
+        else:
+            chains.append([time])
+    return chains
+
+
+@given(
+    st.lists(st.integers(0, 6), max_size=30),
+    st.integers(0, 2),
+    st.integers(0, 6),
+)
+@settings(max_examples=200, deadline=None)
+def test_tseqplus_partitions_like_oracle(gaps, lower_halves, extra_halves):
+    lower = lower_halves * 0.5
+    upper = lower + extra_halves * 0.5
+    times = []
+    current = 0.0
+    for gap in gaps:
+        current += gap * 0.5
+        times.append(current)
+    stream = [Observation("R", f"t{i}", t) for i, t in enumerate(times)]
+
+    engine = Engine()
+    engine.watch(TSeqPlus(obs("R", Var("o")), lower, upper))
+    detections = list(engine.run(stream))
+    got = [
+        [member.t_end for member in detection.instance.constituents]
+        for detection in detections
+    ]
+    assert got == chain_oracle(times, lower, upper)
+    # Chains partition the stream: every occurrence in exactly one chain.
+    assert sorted(t for chain in got for t in chain) == sorted(times)
+
+
+def dedup_oracle(stream, window):
+    """Chronicle pairing of same-(reader, object) readings within the window.
+
+    Each reading first tries to terminate the oldest unconsumed earlier
+    reading of its key (strictly earlier, within the window), then joins
+    the buffer itself; the terminated reading's time is the duplicate.
+    """
+    buffers = {}
+    duplicates = []
+    for observation in stream:
+        key = (observation.reader, observation.obj)
+        bucket = buffers.setdefault(key, [])
+        for index, earlier in enumerate(bucket):
+            if earlier < observation.timestamp <= earlier + window:
+                duplicates.append(earlier)
+                del bucket[index]
+                break
+        bucket.append(observation.timestamp)
+    return sorted(duplicates)
+
+
+@given(observation_streams(readers=("A",)), st.integers(1, 10))
+@settings(max_examples=150, deadline=None)
+def test_duplicate_rule_matches_oracle(stream, window_halves):
+    window = window_halves * 0.5
+    reader_var, object_var = Var("r"), Var("o")
+    engine = Engine()
+    engine.watch(
+        Within(Seq(obs(reader_var, object_var), obs(reader_var, object_var)), window)
+    )
+    detections = list(engine.run(stream))
+    got = sorted(detection.instance.t_begin for detection in detections)
+    assert got == dedup_oracle(stream, window)
+
+
+def negation_oracle(stream, tau):
+    """Alarm iff no B within tau of an A on either side."""
+    a_times = [o.timestamp for o in stream if o.reader == "A"]
+    b_times = [o.timestamp for o in stream if o.reader == "B"]
+    alarms = []
+    for t in a_times:
+        if not any(t - tau <= tb <= t + tau for tb in b_times):
+            alarms.append(t + tau)
+    return sorted(alarms)
+
+
+@given(observation_streams(), st.integers(1, 8))
+@settings(max_examples=150, deadline=None)
+def test_negation_matches_oracle(stream, tau_halves):
+    tau = tau_halves * 0.5
+    engine = Engine()
+    engine.watch(Within(And(obs("A"), Not(obs("B"))), tau))
+    detections = list(engine.run(stream))
+    got = sorted(detection.time for detection in detections)
+    assert got == negation_oracle(stream, tau)
+
+
+@given(observation_streams())
+@settings(max_examples=50, deadline=None)
+def test_engine_is_deterministic(stream):
+    def run_once():
+        engine = Engine()
+        engine.watch(TSeq(obs("A", Var("o")), obs("B", Var("o")), 0.5, 2.0))
+        engine.watch(Within(And(obs("A"), Not(obs("B"))), 1.5))
+        return [
+            (detection.rule.rule_id, detection.time, detection.instance.t_begin)
+            for detection in engine.run(stream)
+        ]
+
+    assert run_once() == run_once()
+
+
+@given(observation_streams(max_size=25))
+@settings(max_examples=50, deadline=None)
+def test_chronicle_never_reuses_constituents(stream):
+    engine = Engine()
+    engine.watch(TSeq(obs("A", Var("o")), obs("B", Var("o")), 0.0, 5.0))
+    # Hold references while comparing ids: CPython reuses addresses of
+    # collected objects, so ids are only unique among *live* instances.
+    members = []
+    for detection in engine.run(stream):
+        members.extend(detection.instance.constituents)
+    identities = [id(member) for member in members]
+    assert len(identities) == len(set(identities))

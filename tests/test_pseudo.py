@@ -1,0 +1,70 @@
+"""Unit tests for pseudo events and their scheduling queue."""
+
+import pytest
+
+from repro.core.pseudo import PseudoEvent, PseudoQueue
+
+
+def make(t_execute, t_create=0.0, kind="close-chain"):
+    return PseudoEvent(0, t_create, t_execute, kind)
+
+
+class TestPseudoEvent:
+    def test_fields(self):
+        event = PseudoEvent(3, 1.0, 5.0, "confirm-negation", {"pending": 7})
+        assert event.target_node_id == 3
+        assert event.t_create == 1.0
+        assert event.t_execute == 5.0
+        assert event.payload == {"pending": 7}
+
+    def test_execution_before_creation_rejected(self):
+        with pytest.raises(ValueError):
+            PseudoEvent(0, 5.0, 4.0, "close-chain")
+
+    def test_repr(self):
+        assert "close-chain" in repr(make(2.0))
+
+
+class TestPseudoQueue:
+    def test_orders_by_execution_time(self):
+        queue = PseudoQueue()
+        for t in (5.0, 1.0, 3.0):
+            queue.schedule(make(t))
+        times = [event.t_execute for event in queue.drain()]
+        assert times == [1.0, 3.0, 5.0]
+
+    def test_ties_fire_in_schedule_order(self):
+        queue = PseudoQueue()
+        first, second = make(2.0, kind="a"), make(2.0, kind="b")
+        queue.schedule(first)
+        queue.schedule(second)
+        drained = queue.drain()
+        assert drained == [first, second]
+
+    def test_pop_due_inclusive(self):
+        queue = PseudoQueue()
+        queue.schedule(make(2.0))
+        assert queue.pop_due(1.9) is None
+        assert queue.pop_due(2.0) is not None
+
+    def test_pop_due_exclusive(self):
+        queue = PseudoQueue()
+        queue.schedule(make(2.0))
+        assert queue.pop_due(2.0, inclusive=False) is None
+        assert queue.pop_due(2.1, inclusive=False) is not None
+
+    def test_peek_time(self):
+        queue = PseudoQueue()
+        assert queue.peek_time() is None
+        queue.schedule(make(4.0))
+        queue.schedule(make(2.0))
+        assert queue.peek_time() == 2.0
+
+    def test_len_and_bool(self):
+        queue = PseudoQueue()
+        assert not queue and len(queue) == 0
+        queue.schedule(make(1.0))
+        assert queue and len(queue) == 1
+
+    def test_pop_from_empty(self):
+        assert PseudoQueue().pop_due(100.0) is None

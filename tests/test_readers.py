@@ -1,0 +1,133 @@
+"""Tests for the reader simulation substrate."""
+
+import random
+
+import pytest
+
+from repro import Observation
+from repro.readers import (
+    Reader,
+    ReaderArray,
+    assert_ordered,
+    inject_duplicates,
+    merge_streams,
+    sort_stream,
+)
+
+
+class TestReader:
+    def test_reliable_read(self):
+        reader = Reader("r1", location="dock")
+        assert reader.observe("tag", 1.0) == [Observation("r1", "tag", 1.0)]
+
+    def test_miss_rate(self):
+        reader = Reader("r1", miss_rate=0.5, rng=random.Random(1))
+        results = [bool(reader.observe("tag", t)) for t in range(200)]
+        hits = sum(results)
+        assert 60 < hits < 140  # roughly half
+
+    def test_miss_rate_validation(self):
+        with pytest.raises(ValueError):
+            Reader("r1", miss_rate=1.0)
+        with pytest.raises(ValueError):
+            Reader("r1", miss_rate=-0.1)
+
+    def test_observe_reliably_retries(self):
+        reader = Reader("r1", miss_rate=0.9, rng=random.Random(7))
+        result = reader.observe_reliably("tag", 0.0, attempts=100)
+        assert len(result) == 1
+
+    def test_bulk_read(self):
+        reader = Reader("shelf")
+        observations = reader.bulk_read(["a", "b", "c"], 30.0)
+        assert [o.obj for o in observations] == ["a", "b", "c"]
+        assert all(o.timestamp == 30.0 for o in observations)
+
+    def test_dwell_reports_once_per_frame(self):
+        reader = Reader("r1")
+        observations = reader.dwell("tag", 0.0, 2.0, frame_period=0.5)
+        assert [o.timestamp for o in observations] == [0.0, 0.5, 1.0, 1.5, 2.0]
+
+    def test_dwell_validates_period(self):
+        with pytest.raises(ValueError):
+            Reader("r1").dwell("tag", 0.0, 1.0, frame_period=0.0)
+
+    def test_location_defaults_to_epc(self):
+        assert Reader("r9").location == "r9"
+
+
+class TestReaderArray:
+    def test_full_overlap_duplicates(self):
+        array = ReaderArray([Reader("a"), Reader("b")], overlap=1.0,
+                            rng=random.Random(1))
+        observations = array.observe("tag", 0.0)
+        assert [o.reader for o in observations] == ["a", "b"]
+        assert observations[1].timestamp > observations[0].timestamp
+
+    def test_zero_overlap_single_reading(self):
+        array = ReaderArray([Reader("a"), Reader("b")], overlap=0.0,
+                            rng=random.Random(1))
+        assert [o.reader for o in array.observe("tag", 0.0)] == ["a"]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ReaderArray([])
+        with pytest.raises(ValueError):
+            ReaderArray([Reader("a")], overlap=1.5)
+
+
+class TestStreams:
+    def test_merge_preserves_order(self):
+        left = [Observation("a", "x", t) for t in (0.0, 2.0, 4.0)]
+        right = [Observation("b", "y", t) for t in (1.0, 3.0)]
+        merged = list(merge_streams(left, right))
+        assert [o.timestamp for o in merged] == [0.0, 1.0, 2.0, 3.0, 4.0]
+
+    def test_merge_is_lazy(self):
+        def infinite():
+            t = 0.0
+            while True:
+                yield Observation("a", "x", t)
+                t += 1.0
+
+        merged = merge_streams(infinite())
+        assert next(iter(merged)).timestamp == 0.0
+
+    def test_sort_stream(self):
+        shuffled = [Observation("a", "x", t) for t in (3.0, 1.0, 2.0)]
+        assert [o.timestamp for o in sort_stream(shuffled)] == [1.0, 2.0, 3.0]
+
+    def test_assert_ordered_accepts_sorted(self):
+        assert_ordered([Observation("a", "x", 0.0), Observation("a", "x", 1.0)])
+
+    def test_assert_ordered_rejects_regression(self):
+        with pytest.raises(ValueError):
+            assert_ordered([Observation("a", "x", 1.0), Observation("a", "x", 0.0)])
+
+
+class TestDuplicateInjection:
+    def _stream(self, gap=1.0, count=50):
+        return [Observation("r", f"tag{i}", i * gap) for i in range(count)]
+
+    def test_zero_rate_is_identity(self):
+        stream = self._stream()
+        assert list(inject_duplicates(stream, 0.0)) == stream
+
+    def test_duplicates_share_reader_and_object(self):
+        stream = self._stream()
+        output = list(inject_duplicates(stream, 1.0, random.Random(1)))
+        assert len(output) > len(stream)
+        by_key = {}
+        for observation in output:
+            by_key.setdefault((observation.reader, observation.obj), []).append(
+                observation
+            )
+        assert all(len(group) >= 2 for group in by_key.values())
+
+    def test_output_stays_ordered(self):
+        output = list(inject_duplicates(self._stream(), 0.5, random.Random(3)))
+        assert_ordered(output)
+
+    def test_rate_validation(self):
+        with pytest.raises(ValueError):
+            list(inject_duplicates(self._stream(), 1.5))

@@ -1,0 +1,216 @@
+"""Tests for rules, conditions and actions (repro.rules)."""
+
+import pytest
+
+from repro import Engine, Observation, Var, obs
+from repro.core.errors import ActionError, ConditionError
+from repro.core.expressions import TSeq, TSeqPlus
+from repro.rules import (
+    AlertAction,
+    CallableAction,
+    Rule,
+    SqlAction,
+    SqlCondition,
+    iter_sequence_members,
+    normalize_action,
+    sequence_member_rows,
+)
+from repro.store import RfidStore
+
+
+def chain_rule(actions=(), condition=None):
+    event = TSeq(
+        TSeqPlus(obs("A", Var("o1"), t=Var("t1")), 0, 1),
+        obs("B", Var("o2"), t=Var("t2")),
+        5,
+        10,
+    )
+    return Rule("rc", "chain", event, condition=condition, actions=actions)
+
+
+def chain_stream():
+    return [
+        Observation("A", "i1", 0.0),
+        Observation("A", "i2", 0.5),
+        Observation("B", "case", 7.0),
+    ]
+
+
+class TestNormalization:
+    def test_string_becomes_sql_action(self):
+        action = normalize_action("INSERT INTO ALERT VALUES ('r', 'm', 0)")
+        assert isinstance(action, SqlAction)
+
+    def test_callable_wrapped(self):
+        action = normalize_action(lambda context: None)
+        assert isinstance(action, CallableAction)
+
+    def test_action_passthrough(self):
+        action = AlertAction("x")
+        assert normalize_action(action) is action
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ActionError):
+            normalize_action(42)
+
+    def test_empty_sql_rejected(self):
+        with pytest.raises(ActionError):
+            SqlAction("   ")
+
+
+class TestConditions:
+    def test_true_strings_and_none(self):
+        for condition in (None, True, "true", "TRUE"):
+            assert Rule("r", "n", obs("a"), condition=condition).condition is None
+
+    def test_false_condition(self):
+        rule = Rule("r", "n", obs("a"), condition=False)
+        engine = Engine([rule])
+        assert engine.submit(Observation("a", "x", 0)) == []
+
+    def test_sql_condition_true_when_rows(self):
+        store = RfidStore()
+        store.update_location("x", "dock", 0.0)
+        rule = Rule(
+            "r",
+            "n",
+            obs("a", Var("o")),
+            condition="SELECT * FROM OBJECTLOCATION WHERE object_epc = o",
+        )
+        engine = Engine([rule], store=store)
+        assert len(engine.submit(Observation("a", "x", 1))) == 1
+        assert engine.submit(Observation("a", "unknown", 2)) == []
+
+    def test_sql_condition_must_be_select(self):
+        with pytest.raises(ConditionError):
+            Rule("r", "n", obs("a"), condition="DELETE FROM ALERT")
+
+    def test_sql_condition_requires_store(self):
+        rule = Rule("r", "n", obs("a"), condition="SELECT * FROM ALERT")
+        engine = Engine([rule])
+        with pytest.raises(ConditionError):
+            engine.submit(Observation("a", "x", 0))
+
+    def test_callable_condition_receives_context(self):
+        rule = Rule(
+            "r", "n", obs("a", Var("o")),
+            condition=lambda context: context.bindings["o"] == "wanted",
+        )
+        engine = Engine([rule])
+        assert engine.submit(Observation("a", "other", 0)) == []
+        assert len(engine.submit(Observation("a", "wanted", 1))) == 1
+
+    def test_invalid_condition_type(self):
+        with pytest.raises(ConditionError):
+            Rule("r", "n", obs("a"), condition=3.14)
+
+
+class TestSqlActions:
+    def test_multi_statement_script(self):
+        store = RfidStore()
+        rule = Rule(
+            "r",
+            "n",
+            obs("a", Var("o"), t=Var("t")),
+            actions=[
+                "INSERT INTO OBSERVATION VALUES ('a', o, t);"
+                "INSERT INTO ALERT VALUES ('r', o, t)"
+            ],
+        )
+        engine = Engine([rule], store=store)
+        engine.submit(Observation("a", "x", 5))
+        assert len(store.database.table("OBSERVATION")) == 1
+        assert len(store.database.table("ALERT")) == 1
+
+    def test_sql_action_without_store(self):
+        rule = Rule("r", "n", obs("a"), actions=["INSERT INTO T VALUES (1)"])
+        engine = Engine([rule])
+        with pytest.raises(ActionError):
+            engine.submit(Observation("a", "x", 0))
+
+    def test_bulk_insert_per_member(self):
+        store = RfidStore()
+        rule = chain_rule(
+            actions=["BULK INSERT INTO CONTAINMENT VALUES (o1, o2, t2, 'UC')"]
+        )
+        engine = Engine([rule], store=store)
+        list(engine.run(chain_stream()))
+        assert store.contents_of("case") == ["i1", "i2"]
+
+    def test_bulk_insert_without_sequence_fails(self):
+        store = RfidStore()
+        rule = Rule(
+            "r",
+            "n",
+            obs("a", Var("o")),
+            actions=["BULK INSERT INTO ALERT VALUES ('r', o, 0)"],
+        )
+        engine = Engine([rule], store=store)
+        with pytest.raises(ActionError):
+            engine.submit(Observation("a", "x", 0))
+
+
+class TestAlertAction:
+    def test_template_formatting(self):
+        store = RfidStore()
+        rule = Rule(
+            "r9", "n", obs("a", Var("o")),
+            actions=[AlertAction("saw {o} at {time}")],
+        )
+        engine = Engine([rule], store=store)
+        engine.submit(Observation("a", "x", 4.0))
+        assert store.alerts == [("r9", "saw x at 4.0", 4.0)]
+
+    def test_unknown_field_raises(self):
+        store = RfidStore()
+        rule = Rule("r", "n", obs("a"), actions=[AlertAction("bad {missing}")])
+        engine = Engine([rule], store=store)
+        with pytest.raises(ActionError):
+            engine.submit(Observation("a", "x", 0))
+
+    def test_requires_store(self):
+        rule = Rule("r", "n", obs("a"), actions=[AlertAction("m")])
+        engine = Engine([rule])
+        with pytest.raises(ActionError):
+            engine.submit(Observation("a", "x", 0))
+
+
+class TestSequenceHelpers:
+    def _detection(self):
+        collected = []
+        rule = chain_rule(actions=[lambda context: collected.append(context)])
+        engine = Engine([rule])
+        list(engine.run(chain_stream()))
+        return collected[0]
+
+    def test_iter_sequence_members(self):
+        context = self._detection()
+        members = iter_sequence_members(context.instance)
+        assert [m.bindings["o1"] for m in members] == ["i1", "i2"]
+
+    def test_sequence_member_rows_merge_outer(self):
+        context = self._detection()
+        rows = list(sequence_member_rows(context))
+        assert rows[0]["o1"] == "i1" and rows[0]["o2"] == "case"
+        assert rows[1]["o1"] == "i2"
+        assert rows[0]["t2"] == 7.0
+
+    def test_no_sequence_returns_none(self):
+        engine = Engine()
+        collected = []
+        engine.watch(obs("a"), callback=collected.append)
+        engine.submit(Observation("a", "x", 0))
+        assert iter_sequence_members(collected[0].instance) is None
+
+    def test_actions_run_in_order(self):
+        order = []
+        rule = Rule(
+            "r", "n", obs("a"),
+            actions=[lambda c: order.append(1), lambda c: order.append(2)],
+        )
+        engine = Engine([rule])
+        engine.submit(Observation("a", "x", 0))
+        assert order == [1, 2]
+
+    def test_rule_repr(self):
+        assert "rc" in repr(chain_rule())

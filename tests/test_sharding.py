@@ -1,0 +1,140 @@
+"""Tests for sharded detection: placement, routing, and equivalence."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Engine, Observation, Var, Within, obs
+from repro.core.expressions import Seq, TSeq, TSeqPlus
+from repro.core.sharding import CATCH_ALL, ShardedEngine, rule_reader_literals
+from repro.rules import Rule
+
+
+def containment(rule_id, item_reader, case_reader):
+    return Rule(
+        rule_id,
+        rule_id,
+        TSeq(
+            TSeqPlus(obs(item_reader, Var("o1")), 0.1, 1.0),
+            obs(case_reader, Var("o2")),
+            10,
+            20,
+        ),
+    )
+
+
+class TestPlacement:
+    def test_reader_literals_extracted(self):
+        rule = containment("r", "a", "b")
+        assert rule_reader_literals(rule) == {"a", "b"}
+
+    def test_wildcard_rule_has_no_literals(self):
+        rule = Rule("w", "w", obs(Var("r"), Var("o")))
+        assert rule_reader_literals(rule) is None
+
+    def test_disjoint_rules_spread_across_shards(self):
+        rules = [containment(f"r{i}", f"a{i}", f"b{i}") for i in range(4)]
+        sharded = ShardedEngine(rules, max_shards=4)
+        placement = sharded.placement()
+        assert len(placement) == 4
+        assert sorted(sum(placement.values(), [])) == [f"r{i}" for i in range(4)]
+
+    def test_rules_sharing_a_reader_colocate(self):
+        rules = [
+            containment("r1", "a", "shared"),
+            containment("r2", "shared", "c"),
+            containment("r3", "x", "y"),
+        ]
+        sharded = ShardedEngine(rules, max_shards=4)
+        placement = sharded.placement()
+        together = next(ids for ids in placement.values() if "r1" in ids)
+        assert "r2" in together and "r3" not in together
+
+    def test_wildcards_go_to_catch_all(self):
+        rules = [
+            containment("r1", "a", "b"),
+            Rule("w", "w", obs(Var("r"), Var("o"))),
+        ]
+        sharded = ShardedEngine(rules, max_shards=2)
+        assert sharded.placement()[CATCH_ALL] == ["w"]
+
+    def test_group_members_enable_placement(self):
+        rule = Rule(
+            "g", "g", Within(Seq(obs(None, Var("o"), group="dock"),
+                                 obs("exit", Var("o"))), 60)
+        )
+        sharded = ShardedEngine(
+            [rule], max_shards=2, group_members={"dock": {"d1", "d2"}}
+        )
+        assert CATCH_ALL not in sharded.placement()
+
+    def test_max_shards_validated(self):
+        with pytest.raises(ValueError):
+            ShardedEngine([], max_shards=0)
+
+
+class TestRouting:
+    def test_observations_only_reach_their_shard(self):
+        rules = [containment("r1", "a1", "b1"), containment("r2", "a2", "b2")]
+        sharded = ShardedEngine(rules, max_shards=2)
+        stream = [
+            Observation("a1", "x", 0.0),
+            Observation("a2", "y", 0.5),
+            Observation("b1", "c1", 12.0),
+            Observation("b2", "c2", 12.5),
+            Observation("unknown", "z", 13.0),
+        ]
+        detections = list(sharded.run(stream))
+        assert len(detections) == 2
+        traffic = sharded.traffic_summary()
+        assert sum(traffic.values()) == 4  # 'unknown' reached no shard
+        assert sharded.multicast == 0
+
+    def test_catch_all_sees_everything(self):
+        rules = [Rule("w", "w", obs(Var("r"), Var("o")))]
+        sharded = ShardedEngine(rules, max_shards=2)
+        stream = [Observation(f"r{i}", "x", float(i)) for i in range(5)]
+        detections = list(sharded.run(stream))
+        assert len(detections) == 5
+
+
+@st.composite
+def shard_streams(draw):
+    entries = draw(
+        st.lists(
+            st.tuples(
+                st.sampled_from(("a1", "b1", "a2", "b2", "zz")),
+                st.integers(1, 8),
+            ),
+            max_size=30,
+        )
+    )
+    stream = []
+    time = 0.0
+    for reader, gap in entries:
+        time += gap * 0.5
+        stream.append(Observation(reader, f"o{len(stream)}", time))
+    return stream
+
+
+class TestEquivalence:
+    @given(shard_streams())
+    @settings(max_examples=100, deadline=None)
+    def test_sharded_equals_single_engine(self, stream):
+        rules = [containment("r1", "a1", "b1"), containment("r2", "a2", "b2")]
+
+        single = Engine(rules)
+        single_detections = sorted(
+            (d.rule.rule_id, d.time, d.instance.t_begin)
+            for d in single.run(stream)
+        )
+
+        sharded = ShardedEngine(
+            [containment("r1", "a1", "b1"), containment("r2", "a2", "b2")],
+            max_shards=2,
+        )
+        sharded_detections = sorted(
+            (d.rule.rule_id, d.time, d.instance.t_begin)
+            for d in sharded.run(stream)
+        )
+        assert sharded_detections == single_detections

@@ -1,0 +1,213 @@
+"""Tests for the supply-chain simulator: trace shape, truth, determinism."""
+
+import random
+
+import pytest
+
+from repro.epc import decode
+from repro.readers import assert_ordered
+from repro.simulator import (
+    GateConfig,
+    MovementConfig,
+    PackingConfig,
+    ShelfConfig,
+    SupplyChainConfig,
+    simulate_gate,
+    simulate_movement,
+    simulate_multi_packing,
+    simulate_packing,
+    simulate_shelf,
+    simulate_supply_chain,
+)
+
+
+class TestPacking:
+    def test_observation_count(self):
+        trace = simulate_packing(
+            PackingConfig(cases=4, items_per_case=3), rng=random.Random(1)
+        )
+        assert len(trace.observations) == 4 * (3 + 1)
+        assert len(trace.cases) == 4
+
+    def test_stream_ordered(self):
+        trace = simulate_packing(PackingConfig(cases=10), rng=random.Random(2))
+        assert_ordered(trace.observations)
+
+    def test_timing_bounds_hold(self):
+        config = PackingConfig(cases=10, items_per_case=4)
+        trace = simulate_packing(config, rng=random.Random(3))
+        by_case = {case.case_epc: case for case in trace.cases}
+        times = {o.obj: o.timestamp for o in trace.observations}
+        for case in by_case.values():
+            item_times = [times[item] for item in case.item_epcs]
+            for first, second in zip(item_times, item_times[1:]):
+                assert config.item_gap[0] <= second - first <= config.item_gap[1]
+            delay = case.case_time - item_times[-1]
+            assert config.case_delay[0] <= delay <= config.case_delay[1]
+
+    def test_epcs_decode(self):
+        trace = simulate_packing(PackingConfig(cases=2), rng=random.Random(4))
+        for observation in trace.observations:
+            decode(observation.obj)  # raises if malformed
+
+    def test_items_jitter(self):
+        config = PackingConfig(cases=20, items_per_case=5, items_jitter=2)
+        trace = simulate_packing(config, rng=random.Random(5))
+        sizes = {len(case.item_epcs) for case in trace.cases}
+        assert len(sizes) > 1
+        assert all(3 <= size <= 7 for size in sizes)
+
+    def test_determinism(self):
+        first = simulate_packing(PackingConfig(cases=5), rng=random.Random(9))
+        second = simulate_packing(PackingConfig(cases=5), rng=random.Random(9))
+        assert first.observations == second.observations
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            PackingConfig(cases=-1)
+        with pytest.raises(ValueError):
+            PackingConfig(item_gap=(2.0, 1.0))
+
+    def test_zero_cases(self):
+        trace = simulate_packing(PackingConfig(cases=0), rng=random.Random(1))
+        assert trace.observations == [] and trace.cases == []
+
+
+class TestShelf:
+    def test_stays_have_consistent_truth(self):
+        config = ShelfConfig(items=10)
+        trace = simulate_shelf(config, rng=random.Random(11))
+        for stay in trace.stays:
+            assert stay.placed_at <= stay.removed_at
+            if stay.was_read:
+                assert stay.infield_time >= stay.placed_at
+                assert stay.outfield_time > stay.removed_at
+
+    def test_readings_only_while_present(self):
+        config = ShelfConfig(items=6)
+        trace = simulate_shelf(config, rng=random.Random(12))
+        windows = {
+            stay.item_epc: (stay.placed_at, stay.removed_at) for stay in trace.stays
+        }
+        for observation in trace.observations:
+            placed, removed = windows[observation.obj]
+            assert placed <= observation.timestamp <= removed
+
+    def test_frame_grid(self):
+        config = ShelfConfig(items=5, read_period=30.0)
+        trace = simulate_shelf(config, rng=random.Random(13))
+        for observation in trace.observations:
+            assert observation.timestamp % 30.0 == pytest.approx(0.0)
+
+    def test_empty_shelf(self):
+        trace = simulate_shelf(ShelfConfig(items=0), rng=random.Random(1))
+        assert trace.observations == []
+
+
+class TestGate:
+    def test_alarm_truth_partition(self):
+        config = GateConfig(exits=30)
+        trace = simulate_gate(config, rng=random.Random(21))
+        alarms = trace.expected_alarms()
+        authorized = [e for e in trace.exits if e.authorized]
+        assert len(alarms) + len(authorized) == 30
+        for gate_exit in authorized:
+            assert abs(gate_exit.badge_time - gate_exit.laptop_time) < config.tau
+
+    def test_exits_isolated(self):
+        config = GateConfig(exits=20)
+        trace = simulate_gate(config, rng=random.Random(22))
+        laptop_times = sorted(e.laptop_time for e in trace.exits)
+        for first, second in zip(laptop_times, laptop_times[1:]):
+            assert second - first > 2 * config.tau
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            GateConfig(exit_gap=(5.0, 10.0))  # must exceed 2*tau
+        with pytest.raises(ValueError):
+            GateConfig(badge_offset=(0.5, 6.0))  # inside (0, tau)
+        with pytest.raises(ValueError):
+            GateConfig(authorized_fraction=1.5)
+
+
+class TestMovement:
+    def test_every_object_visits_full_route(self):
+        config = MovementConfig(objects=4)
+        trace = simulate_movement(config, rng=random.Random(31))
+        for epc in {visit.obj_epc for visit in trace.visits}:
+            history = trace.expected_history(epc)
+            assert [location for location, _ in history] == [
+                location for _reader, location in config.route
+            ]
+
+    def test_observations_match_visits(self):
+        trace = simulate_movement(MovementConfig(objects=3), rng=random.Random(32))
+        assert len(trace.observations) == len(trace.visits)
+        assert_ordered(trace.observations)
+
+    def test_route_validation(self):
+        with pytest.raises(ValueError):
+            MovementConfig(route=(("r", "loc"),))
+
+
+class TestComposition:
+    def test_supply_chain_merges_ordered(self):
+        trace = simulate_supply_chain()
+        assert_ordered(trace.observations)
+        assert len(trace.observations) == (
+            len(trace.packing.observations)
+            + len(trace.movement.observations)
+            + len(trace.shelf.observations)
+            + len(trace.gate.observations)
+            + len(trace.checkout.observations)
+        )
+
+    def test_checkout_sells_packed_items(self):
+        trace = simulate_supply_chain()
+        packed = {
+            item for case in trace.packing.cases for item in case.item_epcs
+        }
+        sold = {sale.item_epc for sale in trace.checkout.sales}
+        assert sold <= packed
+        # Sales happen after the packing line finished.
+        first_sale = min(sale.time for sale in trace.checkout.sales)
+        assert first_sale > trace.packing.end_time
+
+    def test_scenarios_toggle(self):
+        config = SupplyChainConfig(
+            include_movement=False, include_shelf=False, include_gate=False
+        )
+        trace = simulate_supply_chain(config)
+        assert trace.movement is None and trace.shelf is None and trace.gate is None
+        assert trace.packing is not None
+
+    def test_deterministic_by_seed(self):
+        first = simulate_supply_chain(SupplyChainConfig(seed=5))
+        second = simulate_supply_chain(SupplyChainConfig(seed=5))
+        assert first.observations == second.observations
+        third = simulate_supply_chain(SupplyChainConfig(seed=6))
+        assert first.observations != third.observations
+
+    def test_no_epc_collisions_across_scenarios(self):
+        trace = simulate_supply_chain()
+        packing_epcs = {o.obj for o in trace.packing.observations}
+        shelf_epcs = {o.obj for o in trace.shelf.observations}
+        gate_epcs = {o.obj for o in trace.gate.observations}
+        assert not (packing_epcs & shelf_epcs)
+        assert not (packing_epcs & gate_epcs)
+
+
+class TestMultiPacking:
+    def test_exact_event_count(self):
+        trace = simulate_multi_packing(lines=3, cases_per_line=7, items_per_case=4)
+        assert len(trace.observations) == 3 * 7 * 5
+        assert len(trace.reader_pairs) == 3
+
+    def test_distinct_reader_pairs(self):
+        trace = simulate_multi_packing(lines=5, cases_per_line=1)
+        readers = [reader for pair in trace.reader_pairs for reader in pair]
+        assert len(set(readers)) == 10
+
+    def test_requires_a_line(self):
+        with pytest.raises(ValueError):
+            simulate_multi_packing(lines=0, cases_per_line=1)

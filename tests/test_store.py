@@ -1,0 +1,169 @@
+"""Tests for the RFID data store: temporal tables with UC semantics."""
+
+import pytest
+
+from repro.sql import SqlError
+from repro.store import SCHEMA, UC, RfidStore, create_schema
+
+
+class TestSchema:
+    def test_standard_tables_exist(self):
+        store = RfidStore()
+        for name in SCHEMA:
+            assert name in store.database.tables
+
+    def test_containment_alias(self):
+        store = RfidStore()
+        assert store.database.table("CONTAINMENT") is store.database.table(
+            "OBJECTCONTAINMENT"
+        )
+
+    def test_create_schema_twice_fails(self):
+        store = RfidStore()
+        with pytest.raises(SqlError):
+            create_schema(store.database)
+
+    def test_counts_excludes_alias(self):
+        counts = RfidStore().counts()
+        assert "CONTAINMENT" not in counts
+        assert counts["OBSERVATION"] == 0
+
+
+class TestReaders:
+    def test_place_and_lookup(self):
+        store = RfidStore()
+        store.place_reader("r1", "dock")
+        assert store.reader_location("r1") == "dock"
+        assert store.reader_location("r2") is None
+
+    def test_move_reader(self):
+        store = RfidStore()
+        store.place_reader("r1", "dock")
+        store.place_reader("r1", "gate")
+        assert store.reader_location("r1") == "gate"
+        assert len(store.database.table("READERLOCATION")) == 1
+
+
+class TestLocations:
+    def test_history_and_current(self):
+        store = RfidStore()
+        store.update_location("box", "factory", 0.0)
+        store.update_location("box", "truck", 10.0)
+        store.update_location("box", "store", 25.0)
+        assert store.location_history("box") == [
+            ("factory", 0.0, 10.0),
+            ("truck", 10.0, 25.0),
+            ("store", 25.0, UC),
+        ]
+        assert store.location_of("box") == "store"
+
+    def test_location_at_time(self):
+        store = RfidStore()
+        store.update_location("box", "factory", 0.0)
+        store.update_location("box", "truck", 10.0)
+        assert store.location_of("box", at=5.0) == "factory"
+        assert store.location_of("box", at=10.0) == "truck"
+        assert store.location_of("box", at=999.0) == "truck"
+
+    def test_before_first_sighting(self):
+        store = RfidStore()
+        store.update_location("box", "factory", 10.0)
+        assert store.location_of("box", at=5.0) is None
+
+    def test_reobservation_at_same_location_is_noop(self):
+        store = RfidStore()
+        store.update_location("box", "factory", 0.0)
+        store.update_location("box", "factory", 5.0)
+        assert store.location_history("box") == [("factory", 0.0, UC)]
+
+    def test_objects_at(self):
+        store = RfidStore()
+        store.update_location("a", "dock", 0.0)
+        store.update_location("b", "dock", 1.0)
+        store.update_location("a", "gate", 5.0)
+        assert store.objects_at("dock") == ["b"]
+        assert store.objects_at("dock", at=3.0) == ["a", "b"]
+
+    def test_unknown_object(self):
+        assert RfidStore().location_of("ghost") is None
+
+
+class TestContainment:
+    def test_add_and_query(self):
+        store = RfidStore()
+        store.add_containment(["i1", "i2"], "case", 10.0)
+        assert store.contents_of("case") == ["i1", "i2"]
+        assert store.parent_of("i1") == "case"
+
+    def test_end_containment(self):
+        store = RfidStore()
+        store.add_containment(["i1"], "case", 10.0)
+        assert store.end_containment("i1", 20.0)
+        assert store.parent_of("i1") is None
+        assert store.parent_of("i1", at=15.0) == "case"
+        assert not store.end_containment("i1", 30.0)  # already closed
+
+    def test_unpack_closes_all(self):
+        store = RfidStore()
+        store.add_containment(["i1", "i2", "i3"], "case", 10.0)
+        assert store.unpack("case", 50.0) == 3
+        assert store.contents_of("case") == []
+        assert store.contents_of("case", at=20.0) == ["i1", "i2", "i3"]
+
+    def test_nested_containment_tree(self):
+        store = RfidStore()
+        store.add_containment(["i1", "i2"], "case", 0.0)
+        store.add_containment(["case"], "pallet", 5.0)
+        assert store.containment_tree("pallet") == {"case": {"i1": {}, "i2": {}}}
+
+    def test_repacking_history(self):
+        store = RfidStore()
+        store.add_containment(["i1"], "caseA", 0.0)
+        store.end_containment("i1", 10.0)
+        store.add_containment(["i1"], "caseB", 12.0)
+        assert store.parent_of("i1", at=5.0) == "caseA"
+        assert store.parent_of("i1", at=11.0) is None
+        assert store.parent_of("i1") == "caseB"
+
+
+class TestObservationsAndAlerts:
+    def test_record_and_read_observations(self):
+        store = RfidStore()
+        store.record_observation("r1", "x", 1.0)
+        store.record_observation("r2", "x", 2.0)
+        assert store.observations_of("x") == [("r1", 1.0), ("r2", 2.0)]
+
+    def test_alerts_in_table_and_list(self):
+        store = RfidStore()
+        store.send_alert("r5", "laptop walking away", 42.0)
+        assert store.alerts == [("r5", "laptop walking away", 42.0)]
+        rows = store.database.query("SELECT rule_id, timestamp FROM ALERT")
+        assert rows == [("r5", 42.0)]
+
+    def test_sql_interface_sees_typed_writes(self):
+        store = RfidStore()
+        store.update_location("box", "dock", 3.0)
+        rows = store.database.query(
+            "SELECT loc_id FROM OBJECTLOCATION WHERE object_epc = 'box' "
+            "AND tend = 'UC'"
+        )
+        assert rows == [("dock",)]
+
+
+class TestSqlJoinOverStore:
+    def test_cookbook_join_query(self):
+        """The join+aggregate query documented in docs/cookbook.md."""
+        store = RfidStore()
+        store.add_containment(["i1", "i2"], "caseA", 0.0)
+        store.add_containment(["i3"], "caseB", 0.0)
+        store.update_location("i1", "warehouse", 1.0)
+        store.update_location("i2", "warehouse", 1.0)
+        store.update_location("i3", "shop", 1.0)
+        rows = store.database.query(
+            "SELECT parent_epc, COUNT(*) FROM OBJECTCONTAINMENT "
+            "JOIN OBJECTLOCATION "
+            "ON OBJECTCONTAINMENT.object_epc = OBJECTLOCATION.object_epc "
+            "WHERE loc_id = 'warehouse' AND OBJECTCONTAINMENT.tend = 'UC' "
+            "GROUP BY parent_epc"
+        )
+        assert rows == [("caseA", 2)]

@@ -1,0 +1,109 @@
+"""Unit tests for repro.core.temporal: durations and temporal functions."""
+
+import math
+
+import pytest
+
+from repro.core.temporal import (
+    INFINITY,
+    TIME_EPSILON,
+    dist,
+    format_duration,
+    interval,
+    parse_duration,
+    span,
+)
+
+
+class Span:
+    """Minimal object satisfying the HasSpan protocol."""
+
+    def __init__(self, t_begin, t_end):
+        self.t_begin = t_begin
+        self.t_end = t_end
+
+
+class TestParseDuration:
+    @pytest.mark.parametrize(
+        "text, expected",
+        [
+            ("5sec", 5.0),
+            ("5 sec", 5.0),
+            ("0.1sec", 0.1),
+            (".5sec", 0.5),
+            ("10min", 600.0),
+            ("2hour", 7200.0),
+            ("1h", 3600.0),
+            ("3days", 259200.0),
+            ("250ms", 0.25),
+            ("100msec", 0.1),
+            ("42", 42.0),
+            ("1.5", 1.5),
+            ("7seconds", 7.0),
+            ("2minutes", 120.0),
+        ],
+    )
+    def test_literals(self, text, expected):
+        assert parse_duration(text) == pytest.approx(expected)
+
+    def test_numbers_pass_through(self):
+        assert parse_duration(3) == 3.0
+        assert parse_duration(2.5) == 2.5
+
+    @pytest.mark.parametrize("bad", ["", "sec", "5lightyears", "-5sec", "1.2.3sec"])
+    def test_malformed(self, bad):
+        with pytest.raises(ValueError):
+            parse_duration(bad)
+
+    def test_whitespace_tolerated(self):
+        assert parse_duration("  5 sec  ") == 5.0
+
+
+class TestFormatDuration:
+    @pytest.mark.parametrize(
+        "seconds, expected",
+        [
+            (5.0, "5sec"),
+            (0.1, "0.1sec"),
+            (600.0, "10min"),
+            (7200.0, "2hour"),
+            (86400.0, "1day"),
+            (90.0, "90sec"),  # not a whole number of minutes
+            (INFINITY, "inf"),
+            (0.0, "0sec"),
+        ],
+    )
+    def test_rendering(self, seconds, expected):
+        assert format_duration(seconds) == expected
+
+    def test_roundtrip(self):
+        for seconds in (0.05, 0.1, 1, 5, 42, 60, 90, 600, 3600, 86400):
+            assert parse_duration(format_duration(seconds)) == pytest.approx(seconds)
+
+
+class TestTemporalFunctions:
+    def test_interval(self):
+        assert interval(Span(2.0, 5.0)) == 3.0
+        assert interval(Span(4.0, 4.0)) == 0.0
+
+    def test_dist_is_end_to_end(self):
+        first, second = Span(0.0, 2.0), Span(1.0, 7.0)
+        assert dist(first, second) == 5.0
+        assert dist(second, first) == -5.0
+
+    def test_span_covers_both(self):
+        first, second = Span(1.0, 3.0), Span(2.0, 10.0)
+        assert span(first, second) == 9.0
+        assert span(second, first) == 9.0
+
+    def test_span_disjoint(self):
+        assert span(Span(0.0, 1.0), Span(5.0, 6.0)) == 6.0
+
+    def test_span_nested(self):
+        assert span(Span(0.0, 10.0), Span(3.0, 4.0)) == 10.0
+
+    def test_epsilon_is_small_but_positive(self):
+        assert 0 < TIME_EPSILON < 1e-3
+
+    def test_infinity(self):
+        assert math.isinf(INFINITY)
