@@ -11,6 +11,17 @@ import pytest
 from repro.bench import build_events_axis_workload
 
 
+def pytest_collection_modifyitems(items):
+    """Every test under benchmarks/ carries the ``benchmarks`` marker.
+
+    The default run (``pytest -x -q``) only collects ``tests/`` (see
+    ``testpaths``); when benchmarks are collected explicitly they can
+    still be filtered with ``-m "not benchmarks"``.
+    """
+    for item in items:
+        item.add_marker(pytest.mark.benchmarks)
+
+
 @pytest.fixture(scope="session")
 def small_workload():
     """~10k observations with 10 rules (Fig. 9a smallest point)."""

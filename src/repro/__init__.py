@@ -30,6 +30,7 @@ from .core import (
     Not,
     Observation,
     Or,
+    OutOfOrderPolicy,
     Periodic,
     PrimitiveInstance,
     ReproError,
@@ -72,6 +73,7 @@ __all__ = [
     "obs",
     "Observation",
     "Or",
+    "OutOfOrderPolicy",
     "parse_duration",
     "Periodic",
     "PrimitiveInstance",

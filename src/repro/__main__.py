@@ -4,6 +4,8 @@ Usage::
 
     python -m repro record --scenario supply-chain --out stream.jsonl
     python -m repro run --rules rules.txt --stream stream.jsonl [--store out.json]
+    python -m repro run ... --metrics - --metrics-format prom   # instrumented
+    python -m repro metrics --rules rules.txt --stream stream.jsonl
     python -m repro graph --rules rules.txt            # DOT to stdout
     python -m repro demo                                # end-to-end demo
 
@@ -51,14 +53,36 @@ def _load_rules(path: str):
         return parse_program(handle.read())
 
 
+def _write_metrics(registry, destination: str, format: str) -> None:
+    """Dump a registry snapshot to a file, or stdout for ``-``."""
+    if format == "prom":
+        text = registry.render_prometheus()
+    else:
+        import json
+
+        text = json.dumps(registry.snapshot(), indent=2, sort_keys=True) + "\n"
+    if destination == "-":
+        print(text, end="")
+    else:
+        with open(destination, "w") as handle:
+            handle.write(text)
+        print(f"metrics snapshot written to {destination}")
+
+
 def _cmd_run(arguments: argparse.Namespace) -> int:
+    from .obs import MetricsRegistry
+
     program = _load_rules(arguments.rules)
     observations = load_stream(arguments.stream)
     store = RfidStore()
-    engine = Engine(program.rules, store=store, functions=FunctionRegistry())
-    detections = 0
-    for observation in observations:
-        detections += len(engine.submit(observation))
+    registry = MetricsRegistry() if getattr(arguments, "metrics", None) else None
+    engine = Engine(
+        program.rules,
+        store=store,
+        functions=FunctionRegistry(),
+        metrics=registry,
+    )
+    detections = len(engine.submit_many(observations))
     detections += len(engine.flush())
     print(f"{len(observations)} observations, {detections} detections")
     for rule_id, count in sorted(engine.stats.per_rule.items()):
@@ -70,6 +94,27 @@ def _cmd_run(arguments: argparse.Namespace) -> int:
     if arguments.store:
         store.save_json(arguments.store)
         print(f"store snapshot written to {arguments.store}")
+    if registry is not None:
+        _write_metrics(registry, arguments.metrics, arguments.metrics_format)
+    return 0
+
+
+def _cmd_metrics(arguments: argparse.Namespace) -> int:
+    """Run instrumented and print the snapshot — nothing else."""
+    from .obs import MetricsRegistry
+
+    program = _load_rules(arguments.rules)
+    observations = load_stream(arguments.stream)
+    registry = MetricsRegistry()
+    engine = Engine(
+        program.rules,
+        store=RfidStore(),  # rule actions may need one; output is discarded
+        functions=FunctionRegistry(),
+        metrics=registry,
+    )
+    engine.submit_many(observations)
+    engine.flush()
+    _write_metrics(registry, arguments.out, arguments.format)
     return 0
 
 
@@ -134,7 +179,31 @@ def main(argv: "list[str] | None" = None) -> int:
     run.add_argument("--rules", required=True, help="rule program file")
     run.add_argument("--stream", required=True, help="JSONL observation file")
     run.add_argument("--store", help="write the resulting store snapshot here")
+    run.add_argument(
+        "--metrics",
+        help="run instrumented and dump a metrics snapshot here ('-' = stdout)",
+    )
+    run.add_argument(
+        "--metrics-format",
+        choices=("json", "prom"),
+        default="json",
+        help="snapshot format for --metrics (default: json)",
+    )
     run.set_defaults(handler=_cmd_run)
+
+    metrics = commands.add_parser(
+        "metrics", help="run a rule program instrumented; print metrics only"
+    )
+    metrics.add_argument("--rules", required=True, help="rule program file")
+    metrics.add_argument("--stream", required=True, help="JSONL observation file")
+    metrics.add_argument(
+        "--out", default="-", help="snapshot destination (default: stdout)"
+    )
+    metrics.add_argument(
+        "--format", choices=("json", "prom"), default="prom",
+        help="snapshot format (default: prom)",
+    )
+    metrics.set_defaults(handler=_cmd_metrics)
 
     graph = commands.add_parser("graph", help="print a rule program's event graph as DOT")
     graph.add_argument("--rules", required=True)

@@ -8,6 +8,7 @@ Usage::
     python -m repro.bench contexts
     python -m repro.bench merge
     python -m repro.bench incremental
+    python -m repro.bench metrics [--full]   # instrumented run, Prometheus dump
     python -m repro.bench all [--full]
 
 ``--full`` runs the paper-scale axes (250k events / 500 rules); the
@@ -98,6 +99,22 @@ def _cmd_latency(full: bool) -> None:
     print(f"  mean {result.mean_us:8.1f} us")
 
 
+def _cmd_metrics(full: bool) -> None:
+    from ..obs import MetricsRegistry
+    from .harness import run_detection
+    from .workloads import build_events_axis_workload
+
+    n_events = 100_000 if full else 10_000
+    workload = build_events_axis_workload(n_events, n_rules=10)
+    registry = MetricsRegistry()
+    result = run_detection(
+        workload.rules, workload.observations, label="bench", registry=registry
+    )
+    print(f"# instrumented run: {result.n_events:,} events, "
+          f"{result.detections:,} detections, {result.total_ms:.1f} ms")
+    print(registry.render_prometheus(), end="")
+
+
 def _cmd_report(full: bool, out: "str | None" = None) -> None:
     from .report import generate_report
 
@@ -118,6 +135,7 @@ _COMMANDS = {
     "merge": _cmd_merge,
     "incremental": _cmd_incremental,
     "latency": _cmd_latency,
+    "metrics": _cmd_metrics,
 }
 
 

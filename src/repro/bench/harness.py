@@ -9,11 +9,12 @@ times ``submit`` over the whole stream plus the final ``flush``.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
-from typing import Iterable, Sequence
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence
 
 from ..core.detector import Engine
 from ..core.instances import Observation
+from ..obs import MetricsRegistry
 from ..rules import Rule
 
 
@@ -26,6 +27,8 @@ class BenchResult:
     n_rules: int
     detections: int
     elapsed_seconds: float
+    #: registry snapshot taken right after the run, when metrics were on.
+    metrics: Optional[dict] = field(default=None, compare=False)
 
     @property
     def events_per_second(self) -> float:
@@ -44,19 +47,30 @@ def run_detection(
     label: str = "",
     context: str = "chronicle",
     merge_common_subgraphs: bool = True,
+    registry: Optional[MetricsRegistry] = None,
 ) -> BenchResult:
-    """Build an engine, stream the observations, time detection only."""
+    """Build an engine, stream the observations, time detection only.
+
+    Pass a :class:`repro.obs.MetricsRegistry` to run instrumented; the
+    result then carries the registry's JSON snapshot.  Note that
+    instrumentation itself costs time (two clock reads per node
+    propagation), so compare instrumented timings only with each other.
+    """
     engine = Engine(
-        rules, context=context, merge_common_subgraphs=merge_common_subgraphs
+        rules,
+        context=context,
+        merge_common_subgraphs=merge_common_subgraphs,
+        metrics=registry,
+        metrics_label=label or "bench",
     )
-    detections = 0
     started = time.perf_counter()
-    submit = engine.submit
-    for observation in observations:
-        detections += len(submit(observation))
+    detections = len(engine.submit_many(observations))
     detections += len(engine.flush())
     elapsed = time.perf_counter() - started
-    return BenchResult(label, len(observations), len(rules), detections, elapsed)
+    snapshot = registry.snapshot() if registry is not None else None
+    return BenchResult(
+        label, len(observations), len(rules), detections, elapsed, snapshot
+    )
 
 
 @dataclass(frozen=True)

@@ -8,6 +8,7 @@ measured numbers, suitable for updating EXPERIMENTS.md after a change.
 
 from __future__ import annotations
 
+from ..obs import MetricsRegistry, rollup
 from .ablations import (
     context_ablation,
     fig4_comparison,
@@ -15,7 +16,7 @@ from .ablations import (
     merge_ablation,
 )
 from .fig9 import linearity_ratio, run_fig9a, run_fig9b
-from .harness import run_with_latency
+from .harness import run_detection, run_with_latency
 from .workloads import build_events_axis_workload
 
 
@@ -123,6 +124,47 @@ def generate_report(full_scale: bool = False) -> str:
         f"Over {latency.n_events:,} events: p50 {latency.p50_us:.1f} µs, "
         f"p95 {latency.p95_us:.1f} µs, p99 {latency.p99_us:.1f} µs, "
         f"max {latency.max_us / 1000:.2f} ms.",
+        "",
+    ]
+
+    registry = MetricsRegistry()
+    instrumented = run_detection(
+        workload.rules,
+        workload.observations,
+        label="report",
+        registry=registry,
+    )
+    match = registry.get("rceda_node_match_seconds")
+    sections += [
+        "## Engine metrics (instrumented run)",
+        "",
+        f"Same workload re-run with a `repro.obs` registry attached "
+        f"({instrumented.total_ms:.1f} ms; instrumentation adds clock reads, "
+        f"so do not compare with the timings above).",
+        "",
+        "| node kind | matches | total ms | mean µs |",
+        "|---|---:|---:|---:|",
+    ]
+    for child in sorted(
+        match.children(), key=lambda entry: -entry.sum
+    ):
+        if child.count == 0:
+            continue
+        sections.append(
+            f"| {child.labels_map['kind']} | {child.count:,} | "
+            f"{child.sum * 1000:.1f} | "
+            f"{child.sum / child.count * 1e6:.1f} |"
+        )
+    sections += [
+        "",
+        f"* pseudo events: {rollup(registry, 'rceda_pseudo_scheduled_total'):,.0f} "
+        f"scheduled, {rollup(registry, 'rceda_pseudo_fired_total'):,.0f} fired; "
+        f"queue depth after last submit "
+        f"{rollup(registry, 'rceda_pseudo_queue_depth'):,.0f}",
+        f"* GC reclaimed: {rollup(registry, 'rceda_gc_reclaimed_total'):,.0f} "
+        f"state items",
+        f"* kills (negation/lookback): "
+        f"{rollup(registry, 'rceda_kills_total'):,.0f}",
         "",
     ]
     return "\n".join(sections)

@@ -30,8 +30,13 @@ the stand-in for the wall-clock timers of a deployed middleware.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from enum import Enum
+from time import perf_counter
 from typing import Any, Callable, Iterable, Iterator, Optional
 
+from ..obs.instrument import EngineInstruments, ReorderInstruments
+from ..obs.metrics import MetricsRegistry
+from ..obs.tracing import CallableObserver, EngineObserver, as_observer
 from .contexts import ParameterContext, get_context
 from .errors import ActionError, ConditionError, TimeOrderError
 from .expressions import EventExpr
@@ -40,6 +45,37 @@ from .instances import EventInstance, Observation, PrimitiveInstance
 from .nodes import RuntimeNode, create_state
 from .pseudo import PseudoEvent, PseudoQueue
 from .temporal import TIME_EPSILON, interval
+
+
+class OutOfOrderPolicy(str, Enum):
+    """What :class:`Engine` does with observations older than its clock.
+
+    ``RAISE`` (the default) treats disorder as a caller bug; ``DROP``
+    mirrors a watermark-style late-data policy; ``ACCEPT`` processes the
+    stale observation anyway and exists for experimentation only —
+    pseudo-event correctness assumes time order.
+
+    A :class:`str` subclass, so the legacy string spellings
+    (``"raise"``/``"drop"``/``"accept"``) compare equal and both forms
+    are accepted by ``Engine(out_of_order=...)``.
+    """
+
+    RAISE = "raise"
+    DROP = "drop"
+    ACCEPT = "accept"
+
+    @classmethod
+    def coerce(cls, value: "str | OutOfOrderPolicy") -> "OutOfOrderPolicy":
+        """Normalise a policy or its string spelling; ValueError otherwise."""
+        if isinstance(value, cls):
+            return value
+        try:
+            return cls(value)
+        except ValueError:
+            raise ValueError(
+                f"bad out_of_order policy: {value!r} "
+                f"(expected one of {[policy.value for policy in cls]})"
+            ) from None
 
 
 class FunctionRegistry:
@@ -185,9 +221,10 @@ class Engine:
         Share identical sub-events across rules (paper §4.3); disabling
         this exists for the merge ablation benchmark.
     out_of_order:
-        ``"raise"`` (default), ``"drop"`` or ``"accept"`` for observations
-        older than the engine clock.  ``"accept"`` exists for
-        experimentation only — pseudo-event correctness assumes order.
+        An :class:`OutOfOrderPolicy` (or its string spelling,
+        ``"raise"``/``"drop"``/``"accept"``) for observations older than
+        the engine clock.  ``ACCEPT`` exists for experimentation only —
+        pseudo-event correctness assumes order.
     reorder_delay:
         When set, arrivals pass through a watermark reorder buffer of
         this many seconds before detection: readings up to that late are
@@ -195,11 +232,24 @@ class Engine:
         reading surface once the watermark passes it (or at flush).
     gc_every:
         Run expired-state garbage collection every N observations.
+    observer:
+        Optional :class:`repro.obs.EngineObserver` receiving typed
+        callbacks (``on_observation``, ``on_emit``, ``on_pseudo``,
+        ``on_kill``, ``on_detection``, ``on_gc``) as engine internals
+        happen.  Keep hooks fast; they run on the hot path.
+    metrics:
+        Optional :class:`repro.obs.MetricsRegistry`.  When attached, the
+        engine reports per-observation latency, per-node-kind match
+        time, emit/kill/detection counts, pseudo-queue depth and GC
+        reclaim into it (see ``docs/observability.md``).  When absent,
+        instrumentation costs one pointer check per site.
+    metrics_label:
+        The ``engine`` label value for this engine's metrics — distinct
+        per shard when several engines share a registry.
     trace:
-        Optional callable ``(event_kind, payload)`` receiving engine
-        internals as they happen: ``"observation"``, ``"emit"``,
-        ``"pseudo"``, ``"kill"``, ``"detection"``.  For debugging and
-        instrumentation; keep it fast.
+        Deprecated: a bare ``(event_kind, payload)`` callable, the
+        pre-observer API.  Wrapped in a back-compat shim that emits a
+        ``DeprecationWarning``; implement ``EngineObserver`` instead.
     """
 
     def __init__(
@@ -210,13 +260,14 @@ class Engine:
         functions: Optional[FunctionRegistry] = None,
         store: Any = None,
         merge_common_subgraphs: bool = True,
-        out_of_order: str = "raise",
+        out_of_order: "str | OutOfOrderPolicy" = OutOfOrderPolicy.RAISE,
         reorder_delay: Optional[float] = None,
         gc_every: int = 1024,
+        observer: Optional[EngineObserver] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        metrics_label: str = "main",
         trace: Optional[Callable[[str, dict], None]] = None,
     ) -> None:
-        if out_of_order not in ("raise", "drop", "accept"):
-            raise ValueError(f"bad out_of_order policy: {out_of_order!r}")
         self.context = get_context(context)
         self.functions = functions if functions is not None else FunctionRegistry()
         self.store = store
@@ -227,20 +278,72 @@ class Engine:
         self._pseudo_queue = PseudoQueue()
         self._clock = float("-inf")
         self._out: list[Detection] = []
-        self._out_of_order = out_of_order
+        self._out_of_order = OutOfOrderPolicy.coerce(out_of_order)
         self._gc_every = max(1, int(gc_every))
         self._started = False
         self._watch_counter = 0
-        self.trace = trace
+        if trace is not None and observer is not None:
+            raise ValueError("pass either observer or the deprecated trace")
+        self._observer = as_observer(observer if observer is not None else trace)
+        self._instr: Optional[EngineInstruments] = None
         self._reorder = None
         if reorder_delay is not None:
             from ..readers.streams import ReorderBuffer
 
             self._reorder = ReorderBuffer(delay=reorder_delay)
+        if metrics is not None:
+            self.attach_metrics(metrics, label=metrics_label)
         for rule in rules:
             self.add_rule(rule)
 
     # -- configuration --------------------------------------------------------
+
+    def attach_metrics(
+        self, registry: MetricsRegistry, label: str = "main"
+    ) -> EngineInstruments:
+        """Report this engine's internals into ``registry``.
+
+        Metric children are resolved once, here, so the per-observation
+        cost is bound-handle updates only.  Several engines may share a
+        registry under distinct ``label`` values (sharding rollups).
+        Returns the bound instruments (mostly for tests).
+        """
+        self._instr = EngineInstruments(registry, engine_label=label)
+        if self._reorder is not None:
+            self._reorder.attach_instruments(
+                ReorderInstruments(registry, engine_label=label)
+            )
+        return self._instr
+
+    def detach_metrics(self) -> None:
+        """Stop reporting metrics; already-recorded values stay in place."""
+        self._instr = None
+        if self._reorder is not None:
+            self._reorder.attach_instruments(None)
+
+    @property
+    def metrics(self) -> Optional[MetricsRegistry]:
+        """The attached registry, or None."""
+        return self._instr.registry if self._instr is not None else None
+
+    @property
+    def observer(self) -> Optional[EngineObserver]:
+        return self._observer
+
+    @observer.setter
+    def observer(self, value: Optional[EngineObserver]) -> None:
+        self._observer = as_observer(value)
+
+    @property
+    def trace(self) -> Optional[Callable[[str, dict], None]]:
+        """Deprecated accessor for a legacy trace callable (shim-wrapped)."""
+        if isinstance(self._observer, CallableObserver):
+            return self._observer.callback
+        return None
+
+    @trace.setter
+    def trace(self, value: Optional[Callable[[str, dict], None]]) -> None:
+        self._observer = as_observer(value)
 
     def add_rule(self, rule: RuleLike) -> None:
         """Compile a rule's event into the graph and register the rule."""
@@ -274,11 +377,12 @@ class Engine:
         """Discard all runtime state, keeping the compiled rule graph.
 
         Buffers, histories, chains, pending matches, scheduled pseudo
-        events, statistics and the clock all return to their initial
-        state; the (expensive-to-compile) event graph and rule set are
-        reused.  More rules may be added again until the next
-        observation.  Benchmarks use this to re-run a workload without
-        recompiling.
+        events, statistics, the clock, any buffered reorder state and
+        this engine's slice of an attached metrics registry all return
+        to their initial state; the (expensive-to-compile) event graph
+        and rule set are reused.  More rules may be added again until
+        the next observation.  Benchmarks use this to re-run a workload
+        without recompiling.
         """
         self.states = []
         self._sync_states()
@@ -290,7 +394,15 @@ class Engine:
         if self._reorder is not None:
             from ..readers.streams import ReorderBuffer
 
+            instruments = self._reorder.instruments
             self._reorder = ReorderBuffer(delay=self._reorder.delay)
+            self._reorder.attach_instruments(instruments)
+            if instruments is not None:
+                instruments.reset()
+        if self._instr is not None:
+            # Zero only this engine's label slice: registry co-tenants
+            # (other shards) keep their values.
+            self._instr.reset()
 
     # -- the main loop ----------------------------------------------------------
 
@@ -318,6 +430,25 @@ class Engine:
             return self._take_output()
         return self._process_and_take(observation)
 
+    def submit_many(self, observations: Iterable[Observation]) -> list[Detection]:
+        """Process a whole batch; returns the flat detection list.
+
+        The batch equivalent of per-observation ``submit`` loops that
+        callers (and the bench harness) used to hand-roll; detections
+        arrive in occurrence order.  End-of-stream expiration still
+        requires a final :meth:`flush`.
+        """
+        self._started = True
+        reorder = self._reorder
+        if reorder is not None:
+            for observation in observations:
+                for released in reorder.push(observation):
+                    self._process(released)
+        else:
+            for observation in observations:
+                self._process(observation)
+        return self._take_output()
+
     def _process_and_take(self, observation: Observation) -> list[Detection]:
         self._process(observation)
         return self._take_output()
@@ -325,22 +456,31 @@ class Engine:
     def _process(self, observation: Observation) -> None:
         timestamp = observation.timestamp
         if timestamp < self._clock:
-            if self._out_of_order == "raise":
+            if self._out_of_order is OutOfOrderPolicy.RAISE:
                 raise TimeOrderError(
                     f"observation at {timestamp} is older than engine clock "
                     f"{self._clock}"
                 )
-            if self._out_of_order == "drop":
+            if self._out_of_order is OutOfOrderPolicy.DROP:
                 self.stats.dropped_out_of_order += 1
+                if self._instr is not None:
+                    self._instr.dropped_out_of_order.inc()
                 return
-        if self.trace is not None:
-            self.trace("observation", {"observation": observation})
+        observer = self._observer
+        if observer is not None:
+            observer.on_observation(observation)
+        instr = self._instr
+        started = perf_counter() if instr is not None else 0.0
         self._fire_due_pseudo(timestamp, inclusive=False)
         self._clock = max(self._clock, timestamp)
         self.stats.observations += 1
         self._dispatch(observation)
         if self.stats.observations % self._gc_every == 0:
             self._collect_garbage()
+        if instr is not None:
+            instr.observations.inc()
+            instr.observation_latency.observe(perf_counter() - started)
+            instr.pseudo_depth.set(len(self._pseudo_queue))
 
     def advance_to(self, time: float) -> list[Detection]:
         """Advance the logical clock, firing pseudo events due by ``time``."""
@@ -381,26 +521,40 @@ class Engine:
         if interval(instance) - node.within > TIME_EPSILON:
             self.stats.interval_violations += 1
             return
-        if self.trace is not None:
-            self.trace("emit", {"node": node.node_id, "instance": instance})
+        observer = self._observer
+        if observer is not None:
+            observer.on_emit(node, instance)
+        instr = self._instr
+        if instr is not None:
+            instr.count_emit(node.kind)
         if not node.is_primitive:
             self.stats.composites += 1
         if node.keeps_history:
             self.states[node.node_id].record(instance)
         for rule in node.rules:
             self._fire_rule(rule, instance)
-        for parent, child_index in node.parents:
-            self.states[parent.node_id].on_child(child_index, instance)
+        if instr is None:
+            for parent, child_index in node.parents:
+                self.states[parent.node_id].on_child(child_index, instance)
+        else:
+            for parent, child_index in node.parents:
+                started = perf_counter()
+                self.states[parent.node_id].on_child(child_index, instance)
+                instr.observe_match(parent.kind, perf_counter() - started)
 
     def schedule(self, event: PseudoEvent) -> None:
         self.stats.pseudo_scheduled += 1
+        if self._instr is not None:
+            self._instr.pseudo_scheduled.inc()
         self._pseudo_queue.schedule(event)
 
     def record_kill(self, node) -> None:
         """A pending match or candidate died (negation kill, lookback)."""
         self.stats.pending_killed += 1
-        if self.trace is not None:
-            self.trace("kill", {"node": node.node_id})
+        if self._observer is not None:
+            self._observer.on_kill(node)
+        if self._instr is not None:
+            self._instr.kills.inc()
 
     # -- introspection -----------------------------------------------------------
 
@@ -451,7 +605,13 @@ class Engine:
 
     def _try_primitive(self, node, observation: Observation) -> None:
         state = self.states[node.node_id]
-        bindings = state.match(observation)
+        instr = self._instr
+        if instr is None:
+            bindings = state.match(observation)
+        else:
+            started = perf_counter()
+            bindings = state.match(observation)
+            instr.observe_match("obs", perf_counter() - started)
         if bindings is None:
             return
         self.stats.primitive_matches += 1
@@ -467,8 +627,10 @@ class Engine:
     def _execute_pseudo(self, event: PseudoEvent) -> None:
         self._clock = max(self._clock, event.t_execute)
         self.stats.pseudo_fired += 1
-        if self.trace is not None:
-            self.trace("pseudo", {"event": event})
+        if self._observer is not None:
+            self._observer.on_pseudo(event)
+        if self._instr is not None:
+            self._instr.pseudo_fired.inc()
         self.states[event.target_node_id].on_pseudo(event)
 
     def rule(self, rule_id: str) -> RuleLike:
@@ -499,8 +661,10 @@ class Engine:
         self.stats.detections += 1
         self.stats.count_rule(rule.rule_id)
         detection = Detection(rule, instance, self._clock)
-        if self.trace is not None:
-            self.trace("detection", {"detection": detection})
+        if self._observer is not None:
+            self._observer.on_detection(detection)
+        if self._instr is not None:
+            self._instr.detections.inc()
         self._out.append(detection)
 
     def _collect_garbage(self) -> None:
@@ -512,6 +676,10 @@ class Engine:
         for state in self.states:
             removed += state.gc(cutoff)
         self.stats.gc_removed += removed
+        if self._observer is not None:
+            self._observer.on_gc(removed, cutoff)
+        if self._instr is not None:
+            self._instr.gc_reclaimed.inc(removed)
 
     def _take_output(self) -> list[Detection]:
         output, self._out = self._out, []

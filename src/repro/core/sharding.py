@@ -29,6 +29,8 @@ from __future__ import annotations
 
 from typing import Any, Iterable, Optional
 
+from ..obs.metrics import MetricsRegistry
+from ..obs.tracing import EngineObserver
 from .detector import Detection, Engine, FunctionRegistry, RuleLike
 from .expressions import ObservationType
 from .instances import Observation
@@ -76,7 +78,10 @@ class ShardedEngine:
     Parameters mirror :class:`Engine` where they apply to every shard.
     ``group_members`` optionally maps group names to their reader sets so
     group-filtered rules can be placed instead of falling to the
-    catch-all shard.
+    catch-all shard.  A single ``metrics`` registry is shared by every
+    shard: each shard reports under its own ``engine`` label value, so
+    fleet-wide values are per-family rollups (``repro.obs.rollup``).
+    ``observer`` likewise receives the typed events of every shard.
     """
 
     def __init__(
@@ -88,6 +93,8 @@ class ShardedEngine:
         functions: Optional[FunctionRegistry] = None,
         store: Any = None,
         group_members: Optional[dict[str, set[str]]] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        observer: Optional[EngineObserver] = None,
     ) -> None:
         if max_shards < 1:
             raise ValueError("need at least one shard")
@@ -99,7 +106,13 @@ class ShardedEngine:
         self._has_catch_all = False
         for shard_name, (shard_rules, readers) in placements.items():
             engine = Engine(
-                shard_rules, context=context, functions=functions, store=store
+                shard_rules,
+                context=context,
+                functions=functions,
+                store=store,
+                observer=observer,
+                metrics=metrics,
+                metrics_label=shard_name,
             )
             self.shards[shard_name] = engine
             if shard_name == CATCH_ALL:
@@ -185,6 +198,13 @@ class ShardedEngine:
         fan_out = len(targets) + (1 if self._has_catch_all else 0)
         self.routed += 1
         self.multicast += max(0, fan_out - 1)
+        return detections
+
+    def submit_many(self, observations: Iterable[Observation]) -> list[Detection]:
+        """Route a whole batch; returns the flat detection list."""
+        detections: list[Detection] = []
+        for observation in observations:
+            detections.extend(self.submit(observation))
         return detections
 
     def flush(self) -> list[Detection]:

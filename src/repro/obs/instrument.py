@@ -1,0 +1,244 @@
+"""Pre-bound metric handles for the engine's hot path.
+
+The engine must stay allocation-free per observation when nobody is
+watching, and close to it when somebody is.  :class:`EngineInstruments`
+therefore resolves every metric child *once*, at attach time — the hot
+path sees plain attribute access on bound :class:`~repro.obs.metrics.
+Counter`/:class:`~repro.obs.metrics.Histogram` objects, never a registry
+or label lookup.
+
+All engine metrics carry an ``engine`` label so several engines (the
+shards of a :class:`~repro.core.sharding.ShardedEngine`) can share one
+registry: each shard reports under its own label value and a rollup is a
+sum over label values of the same family.
+
+Metric catalogue (all prefixed ``rceda_``):
+
+==============================================  =========  ====================
+name                                            type       labels
+==============================================  =========  ====================
+``rceda_observations_total``                    counter    engine
+``rceda_observation_latency_seconds``           histogram  engine
+``rceda_node_match_seconds``                    histogram  engine, kind
+``rceda_emits_total``                           counter    engine, kind
+``rceda_kills_total``                           counter    engine
+``rceda_detections_total``                      counter    engine
+``rceda_pseudo_scheduled_total``                counter    engine
+``rceda_pseudo_fired_total``                    counter    engine
+``rceda_pseudo_queue_depth``                    gauge      engine
+``rceda_gc_reclaimed_total``                    counter    engine
+``rceda_dropped_out_of_order_total``            counter    engine
+``rceda_reorder_occupancy``                     gauge      engine
+``rceda_reorder_lateness_seconds``              histogram  engine
+``rceda_reorder_dropped_late_total``            counter    engine
+==============================================  =========  ====================
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from .metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Histogram,
+    MetricsRegistry,
+)
+
+__all__ = ["EngineInstruments", "ReorderInstruments", "NODE_KINDS"]
+
+#: Every node kind the event-graph compiler can produce (graph._expr_kind).
+NODE_KINDS = (
+    "obs", "or", "and", "not", "seq", "tseq", "seq+", "tseq+", "periodic",
+)
+
+#: Reorder-buffer lateness is stream time, not wall time: coarser buckets.
+LATENESS_BUCKETS = (
+    0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 30.0, 60.0, 300.0,
+)
+
+
+class EngineInstruments:
+    """One engine's bound metric handles inside a shared registry."""
+
+    __slots__ = (
+        "registry",
+        "engine_label",
+        "observations",
+        "observation_latency",
+        "match_seconds",
+        "emits",
+        "kills",
+        "detections",
+        "pseudo_scheduled",
+        "pseudo_fired",
+        "pseudo_depth",
+        "gc_reclaimed",
+        "dropped_out_of_order",
+        "_match_family",
+        "_emit_family",
+    )
+
+    def __init__(self, registry: MetricsRegistry, engine_label: str = "main") -> None:
+        self.registry = registry
+        self.engine_label = engine_label
+        label = engine_label
+
+        self.observations = registry.counter(
+            "rceda_observations_total",
+            "Observations processed by the engine main loop.",
+            labelnames=("engine",),
+        ).labels(engine=label)
+        self.observation_latency = registry.histogram(
+            "rceda_observation_latency_seconds",
+            "Wall-clock seconds spent processing one observation.",
+            labelnames=("engine",),
+            buckets=DEFAULT_LATENCY_BUCKETS,
+        ).labels(engine=label)
+
+        self._match_family = registry.histogram(
+            "rceda_node_match_seconds",
+            "Seconds spent matching/propagating per event-graph node kind.",
+            labelnames=("engine", "kind"),
+            buckets=DEFAULT_LATENCY_BUCKETS,
+        )
+        self._emit_family = registry.counter(
+            "rceda_emits_total",
+            "Event occurrences emitted, per node kind.",
+            labelnames=("engine", "kind"),
+        )
+        #: kind -> bound child, resolved eagerly for every compilable kind.
+        self.match_seconds: dict[str, Histogram] = {
+            kind: self._match_family.labels(engine=label, kind=kind)
+            for kind in NODE_KINDS
+        }
+        self.emits: dict[str, Counter] = {
+            kind: self._emit_family.labels(engine=label, kind=kind)
+            for kind in NODE_KINDS
+        }
+
+        self.kills = registry.counter(
+            "rceda_kills_total",
+            "Pending matches and candidates killed (negation, lookback).",
+            labelnames=("engine",),
+        ).labels(engine=label)
+        self.detections = registry.counter(
+            "rceda_detections_total",
+            "Rule firings.",
+            labelnames=("engine",),
+        ).labels(engine=label)
+        self.pseudo_scheduled = registry.counter(
+            "rceda_pseudo_scheduled_total",
+            "Pseudo events scheduled.",
+            labelnames=("engine",),
+        ).labels(engine=label)
+        self.pseudo_fired = registry.counter(
+            "rceda_pseudo_fired_total",
+            "Pseudo events fired.",
+            labelnames=("engine",),
+        ).labels(engine=label)
+        self.pseudo_depth = registry.gauge(
+            "rceda_pseudo_queue_depth",
+            "Pending pseudo events after the latest submit.",
+            labelnames=("engine",),
+        ).labels(engine=label)
+        self.gc_reclaimed = registry.counter(
+            "rceda_gc_reclaimed_total",
+            "Expired state items reclaimed by garbage collection.",
+            labelnames=("engine",),
+        ).labels(engine=label)
+        self.dropped_out_of_order = registry.counter(
+            "rceda_dropped_out_of_order_total",
+            "Observations dropped for arriving older than the clock.",
+            labelnames=("engine",),
+        ).labels(engine=label)
+
+    def observe_match(self, kind: str, seconds: float) -> None:
+        """Record match time for a node kind (lazy-binding fallback path)."""
+        child = self.match_seconds.get(kind)
+        if child is None:
+            child = self._match_family.labels(engine=self.engine_label, kind=kind)
+            self.match_seconds[kind] = child
+        child.observe(seconds)
+
+    def count_emit(self, kind: str) -> None:
+        child = self.emits.get(kind)
+        if child is None:
+            child = self._emit_family.labels(engine=self.engine_label, kind=kind)
+            self.emits[kind] = child
+        child.inc()
+
+    def reset(self) -> None:
+        """Zero this engine's children only — co-tenants keep their values."""
+        for handle in (
+            self.observations,
+            self.observation_latency,
+            self.kills,
+            self.detections,
+            self.pseudo_scheduled,
+            self.pseudo_fired,
+            self.pseudo_depth,
+            self.gc_reclaimed,
+            self.dropped_out_of_order,
+        ):
+            handle.reset()
+        for child in self.match_seconds.values():
+            child.reset()
+        for child in self.emits.values():
+            child.reset()
+
+
+class ReorderInstruments:
+    """Bound handles for a reorder buffer feeding one engine."""
+
+    __slots__ = ("occupancy", "lateness", "dropped_late")
+
+    def __init__(self, registry: MetricsRegistry, engine_label: str = "main") -> None:
+        self.occupancy = registry.gauge(
+            "rceda_reorder_occupancy",
+            "Readings currently held by the reorder buffer.",
+            labelnames=("engine",),
+        ).labels(engine=engine_label)
+        self.lateness = registry.histogram(
+            "rceda_reorder_lateness_seconds",
+            "Stream-time lateness of arrivals vs the max timestamp seen.",
+            labelnames=("engine",),
+            buckets=LATENESS_BUCKETS,
+        ).labels(engine=engine_label)
+        self.dropped_late = registry.counter(
+            "rceda_reorder_dropped_late_total",
+            "Arrivals older than the watermark, dropped.",
+            labelnames=("engine",),
+        ).labels(engine=engine_label)
+
+    def reset(self) -> None:
+        self.occupancy.reset()
+        self.lateness.reset()
+        self.dropped_late.reset()
+
+
+def rollup(
+    registry: MetricsRegistry, name: str
+) -> Union[float, dict, None]:
+    """Aggregate a family across all label values.
+
+    Counters and gauges sum to a float; histograms merge into one
+    ``{"buckets": ..., "sum": ..., "count": ...}`` dict (bucket layouts
+    within one family are identical by construction).  Returns ``None``
+    for unknown names.
+    """
+    family = registry.get(name)
+    if family is None:
+        return None
+    children = list(family.children())
+    if family.kind in ("counter", "gauge"):
+        return sum(child.value for child in children)
+    merged_buckets: dict[str, int] = {}
+    total_sum = 0.0
+    total_count = 0
+    for child in children:
+        for edge, cumulative_count in child.cumulative():
+            merged_buckets[edge] = merged_buckets.get(edge, 0) + cumulative_count
+        total_sum += child.sum
+        total_count += child.count
+    return {"buckets": merged_buckets, "sum": total_sum, "count": total_count}

@@ -88,21 +88,43 @@ class ReorderBuffer:
     [8.0, 10.0]
     >>> [observation.timestamp for observation in buffer.drain()]
     [20.0]
+
+    With ``instruments`` attached (see
+    :class:`repro.obs.ReorderInstruments`), the buffer reports its
+    occupancy as a gauge, each arrival's stream-time lateness (how far
+    behind the maximum timestamp seen it arrived; 0 for in-order) into a
+    histogram, and late drops as a counter.
     """
 
-    def __init__(self, delay: float) -> None:
+    def __init__(
+        self, delay: float, instruments: "Optional[object]" = None
+    ) -> None:
         if delay < 0:
             raise ValueError("delay must be >= 0")
         self.delay = delay
         self.dropped_late = 0
+        self.instruments = instruments
         self._heap: list[tuple[float, int, Observation]] = []
         self._counter = 0
         self._watermark = float("-inf")
+        self._max_seen = float("-inf")
+
+    def attach_instruments(self, instruments: "Optional[object]") -> None:
+        """Attach (or detach, with None) reorder metric handles."""
+        self.instruments = instruments
 
     def push(self, observation: Observation) -> Iterator[Observation]:
         """Insert one arrival; yield everything now safely ordered."""
+        instruments = self.instruments
+        if instruments is not None:
+            lateness = self._max_seen - observation.timestamp
+            instruments.lateness.observe(lateness if lateness > 0 else 0.0)
+        if observation.timestamp > self._max_seen:
+            self._max_seen = observation.timestamp
         if observation.timestamp < self._watermark:
             self.dropped_late += 1
+            if instruments is not None:
+                instruments.dropped_late.inc()
             return
         self._counter += 1
         heapq.heappush(
@@ -111,13 +133,22 @@ class ReorderBuffer:
         self._watermark = max(
             self._watermark, observation.timestamp - self.delay
         )
+        if instruments is not None:
+            instruments.occupancy.set(len(self._heap))
         while self._heap and self._heap[0][0] <= self._watermark:
-            yield heapq.heappop(self._heap)[2]
+            released = heapq.heappop(self._heap)[2]
+            if instruments is not None:
+                instruments.occupancy.set(len(self._heap))
+            yield released
 
     def drain(self) -> Iterator[Observation]:
         """Release everything still buffered (end of stream)."""
+        instruments = self.instruments
         while self._heap:
-            yield heapq.heappop(self._heap)[2]
+            released = heapq.heappop(self._heap)[2]
+            if instruments is not None:
+                instruments.occupancy.set(len(self._heap))
+            yield released
 
     def reorder(self, arrivals: Iterable[Observation]) -> Iterator[Observation]:
         """Filter a whole arrival sequence into a time-ordered stream."""

@@ -290,7 +290,8 @@ class TestTrace:
         from repro.core.expressions import And, Not, Within
 
         events = []
-        engine = Engine(trace=lambda kind, payload: events.append(kind))
+        with pytest.warns(DeprecationWarning):
+            engine = Engine(trace=lambda kind, payload: events.append(kind))
         engine.watch(Within(And(obs("A"), Not(obs("B"))), 10))
         engine.submit(Observation("B", "x", 0.0))
         engine.submit(Observation("A", "y", 5.0))   # killed by lookback
@@ -301,9 +302,10 @@ class TestTrace:
 
     def test_trace_detection_payload(self):
         captured = []
-        engine = Engine(
-            trace=lambda kind, payload: captured.append((kind, payload))
-        )
+        with pytest.warns(DeprecationWarning):
+            engine = Engine(
+                trace=lambda kind, payload: captured.append((kind, payload))
+            )
         engine.watch(obs("r"))
         engine.submit(Observation("r", "a", 1.0))
         detections = [p for k, p in captured if k == "detection"]

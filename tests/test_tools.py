@@ -153,3 +153,30 @@ class TestCli:
 
         assert main(["demo"]) == 0
         assert "containment" in capsys.readouterr().out
+
+    def test_run_with_metrics_dump(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        stream_path = str(tmp_path / "stream.jsonl")
+        metrics_path = str(tmp_path / "metrics.json")
+        assert main(["record", "--scenario", "packing", "--out", stream_path,
+                     "--cases", "4", "--seed", "3"]) == 0
+        assert main(["run", "--rules", self._rules_file(tmp_path),
+                     "--stream", stream_path, "--metrics", metrics_path]) == 0
+        capsys.readouterr()
+        snapshot = json.loads(open(metrics_path).read())
+        assert snapshot["rceda_detections_total"]["samples"][0]["value"] == 4
+        assert "rceda_observation_latency_seconds" in snapshot
+
+    def test_metrics_command_prometheus_stdout(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        stream_path = str(tmp_path / "stream.jsonl")
+        assert main(["record", "--scenario", "packing", "--out", stream_path,
+                     "--cases", "4", "--seed", "3"]) == 0
+        capsys.readouterr()
+        assert main(["metrics", "--rules", self._rules_file(tmp_path),
+                     "--stream", stream_path]) == 0
+        output = capsys.readouterr().out
+        assert "# TYPE rceda_detections_total counter" in output
+        assert 'rceda_node_match_seconds_bucket{engine="main",kind="obs"' in output
