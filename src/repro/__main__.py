@@ -6,6 +6,8 @@ Usage::
     python -m repro run --rules rules.txt --stream stream.jsonl [--store out.json]
     python -m repro run ... --metrics - --metrics-format prom   # instrumented
     python -m repro metrics --rules rules.txt --stream stream.jsonl
+    python -m repro chaos --rules rules.txt --stream stream.jsonl \
+        --seed 7 --kill-at 500     # fault injection + crash-recovery drill
     python -m repro graph --rules rules.txt            # DOT to stdout
     python -m repro demo                                # end-to-end demo
 
@@ -118,6 +120,83 @@ def _cmd_metrics(arguments: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos(arguments: argparse.Namespace) -> int:
+    """Run a rule program under fault injection, supervised.
+
+    The stream is perturbed by a seeded :class:`ChaosInjector`
+    (malformed frames, duplicate bursts, out-of-order spikes, reader
+    dropout, clock skew); a :class:`SupervisedEngine` absorbs every
+    failure.  With ``--kill-at N`` the engine is checkpointed and
+    discarded after N perturbed readings and a fresh engine restores the
+    snapshot (JSON round-tripped) and finishes the stream — a one-line
+    crash-recovery drill.
+    """
+    import json
+
+    from .obs import MetricsRegistry
+    from .resilience import ChaosConfig, ChaosInjector, SupervisedEngine
+
+    program = _load_rules(arguments.rules)
+    observations = load_stream(arguments.stream)
+    injector = ChaosInjector(
+        ChaosConfig(
+            seed=arguments.seed,
+            malformed_rate=arguments.malformed_rate,
+            duplicate_rate=arguments.duplicate_rate,
+            disorder_rate=arguments.disorder_rate,
+            max_lateness=arguments.max_lateness,
+            dropout_rate=arguments.dropout_rate,
+            dropout_duration=arguments.dropout_duration,
+            skew_rate=arguments.skew_rate,
+        )
+    )
+    perturbed = list(injector.inject(observations))
+    registry = MetricsRegistry() if getattr(arguments, "metrics", None) else None
+    store = RfidStore()
+
+    def build() -> SupervisedEngine:
+        return SupervisedEngine(
+            program.rules,
+            store=store,
+            functions=FunctionRegistry(),
+            metrics=registry,
+            out_of_order=arguments.out_of_order,
+        )
+
+    detections = 0
+    if arguments.kill_at is not None:
+        engine = build()
+        for observation in perturbed[: arguments.kill_at]:
+            detections += len(engine.submit(observation))
+        snapshot = json.loads(json.dumps(engine.checkpoint()))
+        print(f"killed after {arguments.kill_at} readings; restoring from snapshot")
+        engine = build()
+        engine.restore(snapshot)
+        remaining = perturbed[arguments.kill_at :]
+    else:
+        engine = build()
+        remaining = perturbed
+    for observation in remaining:
+        detections += len(engine.submit(observation))
+    detections += len(engine.flush())
+
+    print(
+        f"{len(observations)} readings in, {len(perturbed)} after chaos, "
+        f"{detections} detections"
+    )
+    print(f"chaos: {injector.counts}")
+    print("supervision report:")
+    for key, value in engine.report().items():
+        print(f"  {key}: {value}")
+    if engine.quarantine:
+        print("quarantined (first 5):")
+        for entry in list(engine.quarantine)[:5]:
+            print(f"  t={entry.time:g} {entry.error_type}: {entry.observation!r}")
+    if registry is not None:
+        _write_metrics(registry, arguments.metrics, arguments.metrics_format)
+    return 0
+
+
 def _cmd_graph(arguments: argparse.Namespace) -> int:
     program = _load_rules(arguments.rules)
     engine = Engine(program.rules)
@@ -204,6 +283,41 @@ def main(argv: "list[str] | None" = None) -> int:
         help="snapshot format (default: prom)",
     )
     metrics.set_defaults(handler=_cmd_metrics)
+
+    chaos = commands.add_parser(
+        "chaos",
+        help="run a rule program under seeded fault injection, supervised",
+    )
+    chaos.add_argument("--rules", required=True, help="rule program file")
+    chaos.add_argument("--stream", required=True, help="JSONL observation file")
+    chaos.add_argument("--seed", type=int, default=0, help="fault-schedule seed")
+    chaos.add_argument("--malformed-rate", type=float, default=0.02)
+    chaos.add_argument("--duplicate-rate", type=float, default=0.05)
+    chaos.add_argument("--disorder-rate", type=float, default=0.05)
+    chaos.add_argument("--max-lateness", type=float, default=2.0)
+    chaos.add_argument("--dropout-rate", type=float, default=0.0)
+    chaos.add_argument("--dropout-duration", type=float, default=5.0)
+    chaos.add_argument("--skew-rate", type=float, default=0.0)
+    chaos.add_argument(
+        "--out-of-order",
+        choices=("raise", "drop", "accept"),
+        default="accept",
+        help="engine policy for late readings (default: accept)",
+    )
+    chaos.add_argument(
+        "--kill-at",
+        type=int,
+        help="checkpoint + discard the engine after N perturbed readings, "
+        "then restore into a fresh engine and finish",
+    )
+    chaos.add_argument(
+        "--metrics",
+        help="dump a metrics snapshot here ('-' = stdout)",
+    )
+    chaos.add_argument(
+        "--metrics-format", choices=("json", "prom"), default="json"
+    )
+    chaos.set_defaults(handler=_cmd_chaos)
 
     graph = commands.add_parser("graph", help="print a rule program's event graph as DOT")
     graph.add_argument("--rules", required=True)

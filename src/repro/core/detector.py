@@ -404,6 +404,38 @@ class Engine:
             # (other shards) keep their values.
             self._instr.reset()
 
+    # -- checkpoint/restore ----------------------------------------------------
+
+    def checkpoint(self) -> dict:
+        """Serialize the full runtime state to a plain-data snapshot.
+
+        The snapshot is versioned, dependency-free (dicts/lists/scalars,
+        ``json`` round-trippable via ``repro.resilience.save_checkpoint``)
+        and covers the clock, statistics, every node's buffers/chains/
+        pending matches, the pseudo-event queue and any reorder-buffer
+        state — everything a crash would destroy.  The compiled rule
+        graph and the store are *not* included; restore into an engine
+        rebuilt from the same rules (see :meth:`restore` and
+        ``docs/resilience.md``).
+        """
+        from ..resilience.checkpoint import checkpoint_engine
+
+        return checkpoint_engine(self)
+
+    def restore(self, snapshot: dict) -> None:
+        """Load a :meth:`checkpoint` snapshot into this (fresh) engine.
+
+        The engine must have been built from the same rules, in the same
+        order, under the same context (validated by a structural
+        fingerprint) and must not have processed any observations yet.
+        After restore, feeding the remainder of the interrupted stream
+        yields detections identical to an uninterrupted run.  Raises
+        :class:`~repro.core.errors.CheckpointError` on any mismatch.
+        """
+        from ..resilience.checkpoint import restore_engine
+
+        restore_engine(self, snapshot)
+
     # -- the main loop ----------------------------------------------------------
 
     @property

@@ -45,6 +45,36 @@ class TimeOrderError(ReproError):
     """
 
 
+class ShardError(ReproError):
+    """A shard's engine failed while processing routed traffic.
+
+    Raised by :class:`~repro.core.sharding.ShardedEngine` so a failure
+    inside one shard identifies the shard and the rules it hosts instead
+    of surfacing as an anonymous error from an unknown engine.  The
+    original exception is attached as ``__cause__`` and as
+    :attr:`original`.
+    """
+
+    def __init__(self, shard: str, rule_ids: "list[str]", original: BaseException):
+        self.shard = shard
+        self.rule_ids = list(rule_ids)
+        self.original = original
+        rules = ", ".join(self.rule_ids) or "<no rules>"
+        super().__init__(
+            f"shard {shard!r} (rules: {rules}) failed: "
+            f"{type(original).__name__}: {original}"
+        )
+
+
+class CheckpointError(ReproError):
+    """A checkpoint could not be produced or restored.
+
+    Raised on format/version mismatches, on restoring into an engine
+    whose compiled rule graph differs from the checkpointed one, or on
+    restoring into an engine that has already processed observations.
+    """
+
+
 class ActionError(ReproError):
     """A rule action failed to execute."""
 

@@ -32,6 +32,7 @@ from typing import Any, Iterable, Optional
 from ..obs.metrics import MetricsRegistry
 from ..obs.tracing import EngineObserver
 from .detector import Detection, Engine, FunctionRegistry, RuleLike
+from .errors import CheckpointError, ShardError
 from .expressions import ObservationType
 from .instances import Observation
 
@@ -187,21 +188,47 @@ class ShardedEngine:
 
     # -- streaming -----------------------------------------------------------
 
+    def _shard_submit(self, shard_name: str, observation: Observation) -> list[Detection]:
+        """One shard's submit, with failures labeled by shard and rules.
+
+        A raise inside one shard used to abort the whole coordinator with
+        no indication of where it came from; wrapping it as
+        :class:`~repro.core.errors.ShardError` names the shard and the
+        rule ids it hosts (the original exception is ``__cause__``).
+        """
+        engine = self.shards[shard_name]
+        try:
+            return engine.submit(observation)
+        except ShardError:
+            raise
+        except Exception as exc:
+            raise ShardError(
+                shard_name, [rule.rule_id for rule in engine.rules], exc
+            ) from exc
+
     def submit(self, observation: Observation) -> list[Detection]:
-        """Route one observation to the shards that need it."""
+        """Route one observation to the shards that need it.
+
+        A failure inside any shard surfaces as
+        :class:`~repro.core.errors.ShardError` identifying the shard and
+        the rule ids involved.
+        """
         detections: list[Detection] = []
         targets = self._routes.get(observation.reader, ())
         for shard_name in targets:
-            detections.extend(self.shards[shard_name].submit(observation))
+            detections.extend(self._shard_submit(shard_name, observation))
         if self._has_catch_all:
-            detections.extend(self.shards[CATCH_ALL].submit(observation))
+            detections.extend(self._shard_submit(CATCH_ALL, observation))
         fan_out = len(targets) + (1 if self._has_catch_all else 0)
         self.routed += 1
         self.multicast += max(0, fan_out - 1)
         return detections
 
     def submit_many(self, observations: Iterable[Observation]) -> list[Detection]:
-        """Route a whole batch; returns the flat detection list."""
+        """Route a whole batch; returns the flat detection list.
+
+        Shard failures carry shard/rule context, as in :meth:`submit`.
+        """
         detections: list[Detection] = []
         for observation in observations:
             detections.extend(self.submit(observation))
@@ -209,10 +236,64 @@ class ShardedEngine:
 
     def flush(self) -> list[Detection]:
         detections: list[Detection] = []
-        for engine in self.shards.values():
-            detections.extend(engine.flush())
+        for shard_name, engine in self.shards.items():
+            try:
+                detections.extend(engine.flush())
+            except ShardError:
+                raise
+            except Exception as exc:
+                raise ShardError(
+                    shard_name, [rule.rule_id for rule in engine.rules], exc
+                ) from exc
         detections.sort(key=lambda detection: detection.time)
         return detections
+
+    # -- checkpoint/restore ----------------------------------------------------
+
+    def checkpoint(self) -> dict:
+        """Snapshot every shard plus the coordinator's routing counters.
+
+        The same versioned plain-data contract as
+        :meth:`~repro.core.detector.Engine.checkpoint`, with one engine
+        snapshot per shard keyed by shard name.
+        """
+        from ..resilience.checkpoint import SHARDED_FORMAT, VERSION
+
+        return {
+            "format": SHARDED_FORMAT,
+            "version": VERSION,
+            "shards": {
+                name: engine.checkpoint() for name, engine in self.shards.items()
+            },
+            "routed": self.routed,
+            "multicast": self.multicast,
+        }
+
+    def restore(self, snapshot: dict) -> None:
+        """Load a :meth:`checkpoint` snapshot into freshly built shards.
+
+        The coordinator must have been constructed from the same rules
+        with the same ``max_shards`` (so placement — and therefore the
+        shard set — is identical).
+        """
+        from ..resilience.checkpoint import SHARDED_FORMAT, VERSION
+
+        if not isinstance(snapshot, dict) or snapshot.get("format") != SHARDED_FORMAT:
+            raise CheckpointError("not a sharded-engine checkpoint")
+        if snapshot.get("version") != VERSION:
+            raise CheckpointError(
+                f"checkpoint version {snapshot.get('version')!r} not supported"
+            )
+        if set(snapshot["shards"]) != set(self.shards):
+            raise CheckpointError(
+                f"shard layout mismatch: checkpoint has "
+                f"{sorted(snapshot['shards'])}, this coordinator has "
+                f"{sorted(self.shards)}"
+            )
+        for name, engine in self.shards.items():
+            engine.restore(snapshot["shards"][name])
+        self.routed = snapshot["routed"]
+        self.multicast = snapshot["multicast"]
 
     def run(self, observations: Iterable[Observation]):
         for observation in observations:

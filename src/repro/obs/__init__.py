@@ -28,6 +28,7 @@ from .instrument import (
     NODE_KINDS,
     EngineInstruments,
     ReorderInstruments,
+    ResilienceInstruments,
     rollup,
 )
 from .metrics import (
@@ -63,6 +64,7 @@ __all__ = [
     "NODE_KINDS",
     "RecordingObserver",
     "ReorderInstruments",
+    "ResilienceInstruments",
     "Span",
     "as_observer",
     "rollup",

@@ -45,7 +45,12 @@ from .metrics import (
     MetricsRegistry,
 )
 
-__all__ = ["EngineInstruments", "ReorderInstruments", "NODE_KINDS"]
+__all__ = [
+    "EngineInstruments",
+    "ReorderInstruments",
+    "ResilienceInstruments",
+    "NODE_KINDS",
+]
 
 #: Every node kind the event-graph compiler can produce (graph._expr_kind).
 NODE_KINDS = (
@@ -185,6 +190,134 @@ class EngineInstruments:
         for child in self.match_seconds.values():
             child.reset()
         for child in self.emits.values():
+            child.reset()
+
+
+#: Retry-attempt counts per delivered/abandoned activation (small ints).
+RETRY_ATTEMPT_BUCKETS = (1, 2, 3, 4, 5, 8, 13, 21)
+
+
+class ResilienceInstruments:
+    """Bound handles for a supervised engine's failure-path metrics.
+
+    Catalogue (labels as noted; ``engine`` distinguishes shards sharing a
+    registry):
+
+    ==========================================  =========  ================
+    name                                        type       labels
+    ==========================================  =========  ================
+    ``rceda_quarantined_total``                 counter    engine
+    ``rceda_rule_failures_total``               counter    engine, rule, stage
+    ``rceda_action_retries_total``              counter    engine
+    ``rceda_action_retry_attempts``             histogram  engine
+    ``rceda_action_dead_letters_total``         counter    engine
+    ``rceda_breaker_state``                     gauge      engine, rule
+    ``rceda_breaker_opens_total``               counter    engine
+    ``rceda_breaker_skips_total``               counter    engine
+    ==========================================  =========  ================
+
+    ``rceda_breaker_state`` encodes closed = 0, half-open = 0.5,
+    open = 1, so a fleet dashboard can alert on ``max() > 0``.
+    """
+
+    __slots__ = (
+        "registry",
+        "engine_label",
+        "quarantined",
+        "retries",
+        "retry_attempts",
+        "action_dead_letters",
+        "breaker_opens",
+        "breaker_skips",
+        "_failure_family",
+        "_breaker_family",
+        "failures",
+        "breaker_states",
+    )
+
+    def __init__(self, registry: MetricsRegistry, engine_label: str = "main") -> None:
+        self.registry = registry
+        self.engine_label = engine_label
+        self.quarantined = registry.counter(
+            "rceda_quarantined_total",
+            "Poison observations quarantined to the dead-letter queue.",
+            labelnames=("engine",),
+        ).labels(engine=engine_label)
+        self.retries = registry.counter(
+            "rceda_action_retries_total",
+            "Action executions retried after a failure.",
+            labelnames=("engine",),
+        ).labels(engine=engine_label)
+        self.retry_attempts = registry.histogram(
+            "rceda_action_retry_attempts",
+            "Attempts used per activation whose actions did not succeed "
+            "first try (delivered or dead-lettered).",
+            labelnames=("engine",),
+            buckets=RETRY_ATTEMPT_BUCKETS,
+        ).labels(engine=engine_label)
+        self.action_dead_letters = registry.counter(
+            "rceda_action_dead_letters_total",
+            "Activations whose actions failed every retry attempt.",
+            labelnames=("engine",),
+        ).labels(engine=engine_label)
+        self.breaker_opens = registry.counter(
+            "rceda_breaker_opens_total",
+            "Circuit-breaker trips (rule isolated after repeated failures).",
+            labelnames=("engine",),
+        ).labels(engine=engine_label)
+        self.breaker_skips = registry.counter(
+            "rceda_breaker_skips_total",
+            "Activations skipped because the rule's breaker was open.",
+            labelnames=("engine",),
+        ).labels(engine=engine_label)
+        self._failure_family = registry.counter(
+            "rceda_rule_failures_total",
+            "Rule condition/action failures caught by supervision.",
+            labelnames=("engine", "rule", "stage"),
+        )
+        self._breaker_family = registry.gauge(
+            "rceda_breaker_state",
+            "Per-rule circuit breaker state: 0 closed, 0.5 half-open, 1 open.",
+            labelnames=("engine", "rule"),
+        )
+        #: (rule, stage) -> bound counter; resolved lazily per rule.
+        self.failures: dict[tuple[str, str], Counter] = {}
+        #: rule -> bound gauge.
+        self.breaker_states: dict = {}
+
+    def count_failure(self, rule_id: str, stage: str) -> None:
+        key = (rule_id, stage)
+        child = self.failures.get(key)
+        if child is None:
+            child = self._failure_family.labels(
+                engine=self.engine_label, rule=rule_id, stage=stage
+            )
+            self.failures[key] = child
+        child.inc()
+
+    def set_breaker_state(self, rule_id: str, value: float) -> None:
+        child = self.breaker_states.get(rule_id)
+        if child is None:
+            child = self._breaker_family.labels(
+                engine=self.engine_label, rule=rule_id
+            )
+            self.breaker_states[rule_id] = child
+        child.set(value)
+
+    def reset(self) -> None:
+        """Zero this engine's children only — co-tenants keep their values."""
+        for handle in (
+            self.quarantined,
+            self.retries,
+            self.retry_attempts,
+            self.action_dead_letters,
+            self.breaker_opens,
+            self.breaker_skips,
+        ):
+            handle.reset()
+        for child in self.failures.values():
+            child.reset()
+        for child in self.breaker_states.values():
             child.reset()
 
 

@@ -156,6 +156,55 @@ class ReorderBuffer:
             yield from self.push(observation)
         yield from self.drain()
 
+    # -- checkpoint support (see repro.resilience.checkpoint) -------------
+
+    def state_dict(self) -> dict:
+        """Plain-data snapshot of the buffer: heap, watermark, drop count."""
+        entries = [
+            {
+                "tie": tie,
+                "r": observation.reader,
+                "o": observation.obj,
+                "t": observation.timestamp,
+                "x": dict(observation.extra) if observation.extra is not None
+                else None,
+            }
+            for _timestamp, tie, observation in sorted(
+                self._heap, key=lambda entry: entry[:2]
+            )
+        ]
+        return {
+            "delay": self.delay,
+            "entries": entries,
+            "next_tie": max((entry["tie"] for entry in entries), default=-1) + 1,
+            "watermark": self._watermark,
+            "max_seen": self._max_seen,
+            "dropped_late": self.dropped_late,
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot (same ``delay`` required)."""
+        if state["delay"] != self.delay:
+            raise ValueError(
+                f"reorder snapshot was taken with delay={state['delay']}, "
+                f"this buffer uses delay={self.delay}"
+            )
+        # Entries were written sorted, which is a valid heap layout.
+        self._heap = [
+            (
+                entry["t"],
+                entry["tie"],
+                Observation(entry["r"], entry["o"], entry["t"], entry.get("x")),
+            )
+            for entry in state["entries"]
+        ]
+        self._counter = state["next_tie"]
+        self._watermark = state["watermark"]
+        self._max_seen = state["max_seen"]
+        self.dropped_late = state["dropped_late"]
+        if self.instruments is not None:
+            self.instruments.occupancy.set(len(self._heap))
+
 
 def assert_ordered(observations: Sequence[Observation]) -> None:
     """Raise ValueError at the first timestamp regression (test helper)."""

@@ -154,14 +154,23 @@ class AlertAction(Action):
 
 
 def normalize_action(action: "Action | str | Callable") -> Action:
-    """Coerce strings to SQL actions and bare callables to CallableAction."""
+    """Coerce strings to SQL actions and bare callables to CallableAction.
+
+    Anything else is a programming error at rule-definition time, so it
+    raises ``TypeError`` (not :class:`ActionError`, which is reserved
+    for failures while *executing* an action), naming the offending
+    value and its type.
+    """
     if isinstance(action, Action):
         return action
     if isinstance(action, str):
         return SqlAction(action)
     if callable(action):
         return CallableAction(action)
-    raise ActionError(f"cannot interpret {action!r} as an action")
+    raise TypeError(
+        f"cannot interpret {action!r} (type {type(action).__name__}) as an "
+        "action: expected an Action instance, a SQL string, or a callable"
+    )
 
 
 def sequence_member_rows(

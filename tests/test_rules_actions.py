@@ -50,8 +50,20 @@ class TestNormalization:
         assert normalize_action(action) is action
 
     def test_garbage_rejected(self):
-        with pytest.raises(ActionError):
+        with pytest.raises(TypeError, match=r"cannot interpret 42 \(type int\)"):
             normalize_action(42)
+
+    def test_garbage_error_names_value_and_type(self):
+        class Opaque:
+            def __repr__(self):
+                return "<opaque>"
+
+        with pytest.raises(TypeError) as excinfo:
+            normalize_action(Opaque())
+        message = str(excinfo.value)
+        assert "<opaque>" in message
+        assert "Opaque" in message
+        assert "callable" in message
 
     def test_empty_sql_rejected(self):
         with pytest.raises(ActionError):

@@ -138,3 +138,51 @@ class TestEquivalence:
             for d in sharded.run(stream)
         )
         assert sharded_detections == single_detections
+
+
+class TestShardErrors:
+    def _sharded_with_bomb(self):
+        def bomb(context):
+            raise RuntimeError("action exploded")
+
+        return ShardedEngine(
+            [
+                Rule("boom", "boom", obs("a1", Var("o")), actions=[bomb]),
+                Rule("fine", "fine", obs("a2", Var("o"))),
+            ],
+            max_shards=2,
+        )
+
+    def test_submit_failure_names_shard_and_rules(self):
+        from repro.core.errors import ShardError
+
+        sharded = self._sharded_with_bomb()
+        with pytest.raises(ShardError) as excinfo:
+            sharded.submit(Observation("a1", "x", 0.0))
+        error = excinfo.value
+        assert error.shard in sharded.shards
+        assert error.rule_ids == ["boom"]
+        assert "boom" in str(error)
+        assert error.shard in str(error)
+        assert isinstance(error.original, Exception)
+        assert error.__cause__ is error.original
+
+    def test_submit_many_failure_names_shard_and_rules(self):
+        from repro.core.errors import ShardError
+
+        sharded = self._sharded_with_bomb()
+        observations = [
+            Observation("a2", "ok", 0.0),
+            Observation("a1", "poison", 1.0),
+        ]
+        with pytest.raises(ShardError, match="boom"):
+            sharded.submit_many(observations)
+
+    def test_healthy_shard_unaffected_by_failing_shard(self):
+        from repro.core.errors import ShardError
+
+        sharded = self._sharded_with_bomb()
+        assert len(sharded.submit(Observation("a2", "x", 0.0))) == 1
+        with pytest.raises(ShardError):
+            sharded.submit(Observation("a1", "y", 1.0))
+        assert len(sharded.submit(Observation("a2", "z", 2.0))) == 1
