@@ -197,6 +197,195 @@ def _cmd_chaos(arguments: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_wal_inspect(arguments: argparse.Namespace) -> int:
+    """Describe a durable directory: segments, checkpoints, outbox."""
+    import os
+
+    from .resilience.durability import checkpoint_files, read_journal, scan_wal
+    from .resilience.durability.engine import WAL_SUBDIR
+    from .resilience.durability.outbox import JOURNAL_NAME
+
+    directory = arguments.dir
+    wal_dir = os.path.join(directory, WAL_SUBDIR)
+    infos = scan_wal(wal_dir)
+    print(f"write-ahead log: {wal_dir}")
+    if not infos:
+        print("  (no segments)")
+    for info in infos:
+        line = (
+            f"  {info.name}: {info.records} records, "
+            f"seq {info.first_seq}..{info.last_seq}, {info.valid_bytes} bytes"
+        )
+        if info.torn_bytes:
+            line += f" (+{info.torn_bytes} torn tail bytes)"
+        print(line)
+    checkpoints = checkpoint_files(directory)
+    print(f"checkpoints: {len(checkpoints)}")
+    for name in checkpoints:
+        print(f"  {name}")
+    journal = os.path.join(directory, JOURNAL_NAME)
+    entries = read_journal(journal)
+    if entries:
+        by_op = {"i": 0, "a": 0, "d": 0}
+        for entry in entries:
+            by_op[entry.op] = by_op.get(entry.op, 0) + 1
+        unresolved = by_op["i"] - by_op["a"] - by_op["d"]
+        print(
+            f"outbox: {by_op['i']} intents, {by_op['a']} acked, "
+            f"{by_op['d']} dead, {unresolved} in flight"
+        )
+    else:
+        print("outbox: (empty)")
+    return 0
+
+
+def _cmd_wal_recover(arguments: argparse.Namespace) -> int:
+    """Recover a durable engine from a directory and report what happened."""
+    from .resilience.durability import DurableEngine
+
+    program = _load_rules(arguments.rules)
+    store = RfidStore()
+
+    def build() -> Engine:
+        return Engine(program.rules, store=store, functions=FunctionRegistry())
+
+    durable, report = DurableEngine.recover(
+        build, arguments.dir, fsync=arguments.fsync
+    )
+    print(f"recovered {arguments.dir}")
+    print(f"  checkpoint seq:        {report.checkpoint_seq}")
+    print(f"  checkpoints tried:     {report.checkpoints_tried}")
+    print(f"  records replayed:      {report.replayed_records}")
+    print(f"  deliveries suppressed: {report.suppressed_deliveries}")
+    print(f"  deliveries re-run:     {report.redelivered}")
+    print(f"  torn bytes truncated:  {report.torn_bytes_truncated}")
+    print(f"  next sequence number:  {report.next_seq}")
+    durable.close()
+    return 0
+
+
+def _cmd_wal_drill(arguments: argparse.Namespace) -> int:
+    """Self-contained crash drill: log, kill, recover, verify equality.
+
+    Simulates a packing scenario, runs the containment/location rules
+    durably to completion for a baseline, then repeats the run but kills
+    the engine (optionally tearing the WAL tail) and recovers.  Exits 0
+    only when the interrupted run's detections *and* sink deliveries
+    match the baseline exactly — the durability contract, end to end.
+    """
+    import random
+    import shutil
+    import tempfile
+
+    from .apps import containment_rule, location_rule
+    from .resilience import tear_wal_tail
+    from .resilience.durability import DurableEngine
+    from .resilience.durability.engine import WAL_SUBDIR
+    from .simulator import PackingConfig, simulate_packing
+
+    trace = simulate_packing(
+        PackingConfig(cases=arguments.cases), rng=random.Random(arguments.seed)
+    )
+    observations = trace.observations
+    kill_at = (
+        len(observations) // 2
+        if arguments.kill_at == "mid"
+        else int(arguments.kill_at)
+    )
+    if not 0 <= kill_at <= len(observations):
+        print(f"--kill-at {kill_at} outside stream (0..{len(observations)})")
+        return 2
+
+    def canon(detections):
+        return [
+            (d.rule.rule_id, d.time, sorted(d.bindings.items())) for d in detections
+        ]
+
+    def build():
+        store = RfidStore()
+        return Engine(
+            [containment_rule(), location_rule()],
+            store=store,
+            functions=FunctionRegistry(),
+        )
+
+    def run_one(directory, kill):
+        deliveries: list = []
+        sink = lambda det, seq, ordinal: deliveries.append(  # noqa: E731
+            (seq, ordinal, det.rule.rule_id, det.time)
+        )
+        options = dict(
+            fsync=arguments.fsync,
+            checkpoint_every=arguments.checkpoint_every,
+            sink=sink,
+            segment_max_bytes=arguments.segment_bytes,
+        )
+        durable = DurableEngine(build, directory, **options)
+        # Detections are keyed by sequence number: a torn tail rolls
+        # next_seq back below the kill point, and the lost observations
+        # are re-submitted under their original numbers — replay then
+        # overwrites those keys with identical output instead of
+        # double-counting it.
+        per_seq: dict[int, list] = {}
+        for observation in observations[:kill]:
+            seq = durable.next_seq
+            per_seq[seq] = canon(durable.submit(observation))
+        if kill < len(observations):  # the crash: drop without close
+            del durable
+            if arguments.tear_tail:
+                import os
+
+                tear_wal_tail(
+                    os.path.join(directory, WAL_SUBDIR), seed=arguments.seed
+                )
+            durable, report = DurableEngine.recover(build, directory, **options)
+            print(
+                f"recovered: checkpoint seq {report.checkpoint_seq}, "
+                f"{report.replayed_records} replayed, "
+                f"{report.suppressed_deliveries} suppressed, "
+                f"{report.torn_bytes_truncated} torn bytes truncated"
+            )
+            for observation in observations[report.next_seq :]:
+                seq = durable.next_seq
+                per_seq[seq] = canon(durable.submit(observation))
+        final_seq = durable.next_seq
+        per_seq[final_seq] = canon(durable.flush())
+        durable.close()
+        detections = [item for seq in sorted(per_seq) for item in per_seq[seq]]
+        return detections, deliveries
+
+    workdir = tempfile.mkdtemp(prefix="rceda-wal-drill-")
+    try:
+        baseline_dir = f"{workdir}/baseline"
+        drill_dir = f"{workdir}/drill"
+        expected_detections, expected_deliveries = run_one(
+            baseline_dir, len(observations)
+        )
+        print(
+            f"baseline: {len(observations)} observations, "
+            f"{len(expected_detections)} detections, "
+            f"{len(expected_deliveries)} deliveries"
+        )
+        got_detections, got_deliveries = run_one(drill_dir, kill_at)
+        ok = (
+            got_detections == expected_detections
+            and sorted(got_deliveries) == sorted(expected_deliveries)
+        )
+    finally:
+        if arguments.keep:
+            print(f"durable directories kept under {workdir}")
+        else:
+            shutil.rmtree(workdir, ignore_errors=True)
+    if ok:
+        print(
+            f"drill PASSED: kill at {kill_at}/{len(observations)} — detections "
+            "and deliveries identical to the uninterrupted run"
+        )
+        return 0
+    print("drill FAILED: recovered run diverged from baseline")
+    return 1
+
+
 def _cmd_graph(arguments: argparse.Namespace) -> int:
     program = _load_rules(arguments.rules)
     engine = Engine(program.rules)
@@ -318,6 +507,53 @@ def main(argv: "list[str] | None" = None) -> int:
         "--metrics-format", choices=("json", "prom"), default="json"
     )
     chaos.set_defaults(handler=_cmd_chaos)
+
+    wal = commands.add_parser(
+        "wal", help="write-ahead log tools: inspect, recover, crash drill"
+    )
+    wal_commands = wal.add_subparsers(dest="wal_command", required=True)
+
+    wal_inspect = wal_commands.add_parser(
+        "inspect", help="describe a durable directory (segments, checkpoints, outbox)"
+    )
+    wal_inspect.add_argument("--dir", required=True, help="durable engine directory")
+    wal_inspect.set_defaults(handler=_cmd_wal_inspect)
+
+    wal_recover = wal_commands.add_parser(
+        "recover", help="recover a durable engine directory and print the report"
+    )
+    wal_recover.add_argument("--dir", required=True, help="durable engine directory")
+    wal_recover.add_argument("--rules", required=True, help="rule program file")
+    wal_recover.add_argument(
+        "--fsync", default="never", help="fsync policy: always, never or batch:N"
+    )
+    wal_recover.set_defaults(handler=_cmd_wal_recover)
+
+    wal_drill = wal_commands.add_parser(
+        "drill",
+        help="self-contained crash drill: log, kill, recover, verify equality",
+    )
+    wal_drill.add_argument(
+        "--kill-at",
+        default="mid",
+        help="observation index to kill after, or 'mid' (default)",
+    )
+    wal_drill.add_argument(
+        "--fsync", default="never", help="fsync policy: always, never or batch:N"
+    )
+    wal_drill.add_argument("--seed", type=int, default=7)
+    wal_drill.add_argument("--cases", type=int, default=8)
+    wal_drill.add_argument("--checkpoint-every", type=int, default=25)
+    wal_drill.add_argument("--segment-bytes", type=int, default=4096)
+    wal_drill.add_argument(
+        "--tear-tail",
+        action="store_true",
+        help="additionally tear the WAL tail mid-record before recovering",
+    )
+    wal_drill.add_argument(
+        "--keep", action="store_true", help="keep the durable directories"
+    )
+    wal_drill.set_defaults(handler=_cmd_wal_drill)
 
     graph = commands.add_parser("graph", help="print a rule program's event graph as DOT")
     graph.add_argument("--rules", required=True)

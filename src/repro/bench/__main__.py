@@ -9,6 +9,7 @@ Usage::
     python -m repro.bench merge
     python -m repro.bench incremental
     python -m repro.bench metrics [--full]   # instrumented run, Prometheus dump
+    python -m repro.bench wal [--full]       # WAL durability overhead per fsync policy
     python -m repro.bench all [--full]
 
 ``--full`` runs the paper-scale axes (250k events / 500 rules); the
@@ -115,6 +116,17 @@ def _cmd_metrics(full: bool) -> None:
     print(registry.render_prometheus(), end="")
 
 
+def _cmd_wal(full: bool) -> None:
+    from .wal import run_wal_bench, wal_table
+
+    results = run_wal_bench(full_scale=full)
+    print(
+        f"WAL durability overhead over {results[0].n_events:,} events "
+        f"(baseline: bare engine, {results[0].baseline_seconds * 1000:.1f} ms)"
+    )
+    print(wal_table(results))
+
+
 def _cmd_report(full: bool, out: "str | None" = None) -> None:
     from .report import generate_report
 
@@ -136,6 +148,7 @@ _COMMANDS = {
     "incremental": _cmd_incremental,
     "latency": _cmd_latency,
     "metrics": _cmd_metrics,
+    "wal": _cmd_wal,
 }
 
 
@@ -170,6 +183,7 @@ def main(argv: "list[str] | None" = None) -> int:
             "merge",
             "incremental",
             "latency",
+            "wal",
         ):
             _COMMANDS[name](arguments.full)
             print()

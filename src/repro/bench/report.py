@@ -17,6 +17,7 @@ from .ablations import (
 )
 from .fig9 import linearity_ratio, run_fig9a, run_fig9b
 from .harness import run_detection, run_with_latency
+from .wal import run_wal_bench
 from .workloads import build_events_axis_workload
 
 
@@ -126,6 +127,27 @@ def generate_report(full_scale: bool = False) -> str:
         f"max {latency.max_us / 1000:.2f} ms.",
         "",
     ]
+
+    wal_results = run_wal_bench(full_scale=full_scale)
+    sections += [
+        "## WAL durability overhead",
+        "",
+        f"Same detection workload ({wal_results[0].n_events:,} events) run "
+        f"through `DurableEngine` (log-ahead + periodic checkpoints) per "
+        f"fsync policy; baseline is the bare engine at "
+        f"{wal_results[0].baseline_seconds * 1000:.1f} ms.",
+        "",
+        "| fsync policy | total ms | overhead | bytes logged | rotations "
+        "| fsyncs |",
+        "|---|---:|---:|---:|---:|---:|",
+    ]
+    for result in wal_results:
+        sections.append(
+            f"| {result.policy} | {result.total_ms:.1f} | "
+            f"{result.overhead_pct:.1f}% | {result.bytes_logged:,} | "
+            f"{result.rotations} | {result.fsyncs} |"
+        )
+    sections.append("")
 
     registry = MetricsRegistry()
     instrumented = run_detection(

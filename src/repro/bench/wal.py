@@ -1,0 +1,131 @@
+"""WAL durability overhead benchmark.
+
+``python -m repro.bench wal [--full]`` measures what logging every
+observation ahead of detection costs, per fsync policy: a bare
+:class:`~repro.core.detector.Engine` run is the baseline, then the same
+workload goes through a :class:`~repro.resilience.durability.DurableEngine`
+under ``never``, ``batch:64`` and ``always`` fsync.  The durable runs
+must produce the same detection count as the baseline — the benchmark
+raises if they diverge.
+"""
+
+from __future__ import annotations
+
+import tempfile
+import time
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from ..core.detector import Engine
+from ..core.instances import Observation
+from ..resilience.durability import DurableEngine, FsyncPolicy
+from ..rules import Rule
+from .harness import run_detection
+from .workloads import build_events_axis_workload
+
+
+@dataclass(frozen=True)
+class WalBenchResult:
+    """One fsync-policy point against the shared bare-engine baseline."""
+
+    policy: str
+    n_events: int
+    detections: int
+    elapsed_seconds: float
+    baseline_seconds: float
+    bytes_logged: int
+    appends: int
+    rotations: int
+    fsyncs: int
+    checkpoints: int
+
+    @property
+    def total_ms(self) -> float:
+        return self.elapsed_seconds * 1000.0
+
+    @property
+    def overhead_pct(self) -> float:
+        if self.baseline_seconds <= 0:
+            return float("inf")
+        return (self.elapsed_seconds / self.baseline_seconds - 1.0) * 100.0
+
+
+def _run_durable(
+    rules: Sequence[Rule],
+    observations: Sequence[Observation],
+    fsync: FsyncPolicy,
+    baseline_seconds: float,
+    checkpoint_every: int,
+) -> WalBenchResult:
+    def factory() -> Engine:
+        return Engine(rules, context="chronicle")
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-wal-") as directory:
+        with DurableEngine(
+            factory,
+            directory,
+            fsync=fsync,
+            checkpoint_every=checkpoint_every,
+        ) as durable:
+            started = time.perf_counter()
+            detections = len(durable.submit_many(observations))
+            detections += len(durable.flush())
+            elapsed = time.perf_counter() - started
+            wal = durable.wal
+            return WalBenchResult(
+                policy=str(fsync),
+                n_events=len(observations),
+                detections=detections,
+                elapsed_seconds=elapsed,
+                baseline_seconds=baseline_seconds,
+                bytes_logged=wal.bytes_written,
+                appends=wal.appended,
+                rotations=wal.rotations,
+                fsyncs=wal.fsyncs,
+                checkpoints=durable.checkpoints_written,
+            )
+
+
+def run_wal_bench(full_scale: bool = False) -> List[WalBenchResult]:
+    """Measure durable-engine overhead per fsync policy.
+
+    Returns one :class:`WalBenchResult` per policy (``never``,
+    ``batch:64``, ``always``), each carrying the shared baseline time.
+    The event count stays modest because ``always`` pays one fsync per
+    observation.
+    """
+    n_events = 20_000 if full_scale else 2_000
+    workload = build_events_axis_workload(n_events, n_rules=10)
+    baseline = run_detection(workload.rules, workload.observations, label="bare")
+    results = []
+    for fsync in (FsyncPolicy.NEVER, FsyncPolicy.BATCH(64), FsyncPolicy.ALWAYS):
+        result = _run_durable(
+            workload.rules,
+            workload.observations,
+            fsync,
+            baseline.elapsed_seconds,
+            checkpoint_every=max(1, n_events // 4),
+        )
+        if result.detections != baseline.detections:
+            raise AssertionError(
+                f"durable run under {result.policy} found {result.detections} "
+                f"detections, baseline found {baseline.detections}"
+            )
+        results.append(result)
+    return results
+
+
+def wal_table(results: Sequence[WalBenchResult]) -> str:
+    """Render the per-policy series as an aligned text table."""
+    lines = [
+        f"{'fsync policy':>14} | {'total ms':>10} | {'overhead':>9} | "
+        f"{'bytes logged':>12} | {'rotations':>9} | {'fsyncs':>7}"
+    ]
+    lines.append("-" * len(lines[0]))
+    for result in results:
+        lines.append(
+            f"{result.policy:>14} | {result.total_ms:>10.1f} | "
+            f"{result.overhead_pct:>8.1f}% | {result.bytes_logged:>12,} | "
+            f"{result.rotations:>9} | {result.fsyncs:>7}"
+        )
+    return "\n".join(lines)

@@ -277,6 +277,7 @@ class Engine:
         self.stats = EngineStats()
         self._pseudo_queue = PseudoQueue()
         self._clock = float("-inf")
+        self._last_seq = -1
         self._out: list[Detection] = []
         self._out_of_order = OutOfOrderPolicy.coerce(out_of_order)
         self._gc_every = max(1, int(gc_every))
@@ -389,6 +390,7 @@ class Engine:
         self.stats = EngineStats()
         self._pseudo_queue = PseudoQueue()
         self._clock = float("-inf")
+        self._last_seq = -1
         self._out = []
         self._started = False
         if self._reorder is not None:
@@ -443,7 +445,20 @@ class Engine:
         """Logical time: the latest processed observation/pseudo timestamp."""
         return self._clock
 
-    def submit(self, observation: Observation) -> list[Detection]:
+    @property
+    def last_seq(self) -> int:
+        """Sequence number of the latest observation submitted with one.
+
+        ``-1`` until a caller passes ``submit(..., seq=...)``.  The value
+        rides inside checkpoints so a durable layer (see
+        :mod:`repro.resilience.durability`) knows exactly which prefix of
+        its write-ahead log a snapshot already covers.
+        """
+        return self._last_seq
+
+    def submit(
+        self, observation: Observation, seq: Optional[int] = None
+    ) -> list[Detection]:
         """Process one observation; returns the detections it triggered.
 
         Pseudo events scheduled strictly before the observation's
@@ -454,30 +469,49 @@ class Engine:
 
         With ``reorder_delay`` set, the arrival enters the reorder buffer
         and the readings the watermark releases are processed instead.
+
+        ``seq`` optionally tags the observation with a durable sequence
+        number (recorded as :attr:`last_seq`, checkpointed, and used by
+        write-ahead-log replay to find the resume point).
         """
         self._started = True
+        if seq is not None:
+            self._last_seq = seq
         if self._reorder is not None:
             for released in self._reorder.push(observation):
                 self._process(released)
             return self._take_output()
         return self._process_and_take(observation)
 
-    def submit_many(self, observations: Iterable[Observation]) -> list[Detection]:
+    def submit_many(
+        self,
+        observations: Iterable[Observation],
+        first_seq: Optional[int] = None,
+    ) -> list[Detection]:
         """Process a whole batch; returns the flat detection list.
 
         The batch equivalent of per-observation ``submit`` loops that
         callers (and the bench harness) used to hand-roll; detections
         arrive in occurrence order.  End-of-stream expiration still
-        requires a final :meth:`flush`.
+        requires a final :meth:`flush`.  With ``first_seq`` given, the
+        batch is numbered ``first_seq, first_seq + 1, ...`` and
+        :attr:`last_seq` advances accordingly.
         """
         self._started = True
+        seq = first_seq
         reorder = self._reorder
         if reorder is not None:
             for observation in observations:
+                if seq is not None:
+                    self._last_seq = seq
+                    seq += 1
                 for released in reorder.push(observation):
                     self._process(released)
         else:
             for observation in observations:
+                if seq is not None:
+                    self._last_seq = seq
+                    seq += 1
                 self._process(observation)
         return self._take_output()
 

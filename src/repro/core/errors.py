@@ -75,6 +75,19 @@ class CheckpointError(ReproError):
     """
 
 
+class WalError(ReproError):
+    """A write-ahead log could not be written, read or recovered.
+
+    A *torn tail* — an incomplete or checksum-failing record at the very
+    end of the newest segment, the signature of a crash mid-append — is
+    not an error: readers silently truncate there.  ``WalError`` marks
+    the conditions recovery must not paper over: corruption in the
+    middle of the log, non-monotonic sequence numbers, appending to a
+    directory that already holds another engine's log, or observations
+    that cannot be encoded.
+    """
+
+
 class ActionError(ReproError):
     """A rule action failed to execute."""
 

@@ -123,6 +123,7 @@ class ShardedEngine:
                 self._routes.setdefault(reader, []).append(shard_name)
         self.routed = 0
         self.multicast = 0
+        self._last_seq = -1
 
     # -- placement ------------------------------------------------------------
 
@@ -188,7 +189,12 @@ class ShardedEngine:
 
     # -- streaming -----------------------------------------------------------
 
-    def _shard_submit(self, shard_name: str, observation: Observation) -> list[Detection]:
+    def _shard_submit(
+        self,
+        shard_name: str,
+        observation: Observation,
+        seq: Optional[int] = None,
+    ) -> list[Detection]:
         """One shard's submit, with failures labeled by shard and rules.
 
         A raise inside one shard used to abort the whole coordinator with
@@ -198,7 +204,7 @@ class ShardedEngine:
         """
         engine = self.shards[shard_name]
         try:
-            return engine.submit(observation)
+            return engine.submit(observation, seq=seq)
         except ShardError:
             raise
         except Exception as exc:
@@ -206,32 +212,60 @@ class ShardedEngine:
                 shard_name, [rule.rule_id for rule in engine.rules], exc
             ) from exc
 
-    def submit(self, observation: Observation) -> list[Detection]:
+    def routes_for(self, observation: Observation) -> list[str]:
+        """The shard names one observation fans out to, in submit order.
+
+        Reader-pinned shards first (routing-table order), then the
+        catch-all shard when one exists.  The durable sharded engine uses
+        this to append each observation to exactly the per-shard
+        write-ahead logs that will process it.
+        """
+        targets = list(self._routes.get(observation.reader, ()))
+        if self._has_catch_all:
+            targets.append(CATCH_ALL)
+        return targets
+
+    @property
+    def last_seq(self) -> int:
+        """Sequence number of the latest observation submitted with one."""
+        return self._last_seq
+
+    def submit(
+        self, observation: Observation, seq: Optional[int] = None
+    ) -> list[Detection]:
         """Route one observation to the shards that need it.
 
         A failure inside any shard surfaces as
         :class:`~repro.core.errors.ShardError` identifying the shard and
-        the rule ids involved.
+        the rule ids involved.  ``seq`` optionally tags the observation
+        with a durable sequence number, forwarded to every target shard
+        (see :meth:`repro.core.detector.Engine.submit`).
         """
+        if seq is not None:
+            self._last_seq = seq
         detections: list[Detection] = []
-        targets = self._routes.get(observation.reader, ())
+        targets = self.routes_for(observation)
         for shard_name in targets:
-            detections.extend(self._shard_submit(shard_name, observation))
-        if self._has_catch_all:
-            detections.extend(self._shard_submit(CATCH_ALL, observation))
-        fan_out = len(targets) + (1 if self._has_catch_all else 0)
+            detections.extend(self._shard_submit(shard_name, observation, seq))
         self.routed += 1
-        self.multicast += max(0, fan_out - 1)
+        self.multicast += max(0, len(targets) - 1)
         return detections
 
-    def submit_many(self, observations: Iterable[Observation]) -> list[Detection]:
+    def submit_many(
+        self,
+        observations: Iterable[Observation],
+        first_seq: Optional[int] = None,
+    ) -> list[Detection]:
         """Route a whole batch; returns the flat detection list.
 
         Shard failures carry shard/rule context, as in :meth:`submit`.
         """
         detections: list[Detection] = []
+        seq = first_seq
         for observation in observations:
-            detections.extend(self.submit(observation))
+            detections.extend(self.submit(observation, seq=seq))
+            if seq is not None:
+                seq += 1
         return detections
 
     def flush(self) -> list[Detection]:
@@ -267,6 +301,7 @@ class ShardedEngine:
             },
             "routed": self.routed,
             "multicast": self.multicast,
+            "last_seq": self._last_seq,
         }
 
     def restore(self, snapshot: dict) -> None:
@@ -294,6 +329,7 @@ class ShardedEngine:
             engine.restore(snapshot["shards"][name])
         self.routed = snapshot["routed"]
         self.multicast = snapshot["multicast"]
+        self._last_seq = snapshot.get("last_seq", -1)
 
     def run(self, observations: Iterable[Observation]):
         for observation in observations:

@@ -26,6 +26,7 @@ See ``docs/observability.md`` for the full tour.
 
 from .instrument import (
     NODE_KINDS,
+    DurabilityInstruments,
     EngineInstruments,
     ReorderInstruments,
     ResilienceInstruments,
@@ -54,6 +55,7 @@ __all__ = [
     "Counter",
     "DEFAULT_LATENCY_BUCKETS",
     "DEFAULT_SIZE_BUCKETS",
+    "DurabilityInstruments",
     "EngineInstruments",
     "EngineObserver",
     "Gauge",

@@ -46,6 +46,7 @@ from .metrics import (
 )
 
 __all__ = [
+    "DurabilityInstruments",
     "EngineInstruments",
     "ReorderInstruments",
     "ResilienceInstruments",
@@ -319,6 +320,118 @@ class ResilienceInstruments:
             child.reset()
         for child in self.breaker_states.values():
             child.reset()
+
+
+#: WAL fsync latency: storage-bound, so finer sub-millisecond buckets.
+FSYNC_BUCKETS = (
+    0.00005, 0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+    0.05, 0.1, 0.25, 0.5, 1.0,
+)
+
+
+class DurabilityInstruments:
+    """Bound handles for one durable engine's WAL/checkpoint/outbox path.
+
+    Catalogue (all carry the ``engine`` label so durable shards can share
+    a registry):
+
+    ==========================================  =========  ================
+    name                                        type       labels
+    ==========================================  =========  ================
+    ``rceda_wal_appends_total``                 counter    engine
+    ``rceda_wal_bytes_total``                   counter    engine
+    ``rceda_wal_fsync_seconds``                 histogram  engine
+    ``rceda_wal_segment_rotations_total``       counter    engine
+    ``rceda_wal_replayed_records_total``        counter    engine
+    ``rceda_checkpoints_written_total``         counter    engine
+    ``rceda_outbox_delivered_total``            counter    engine
+    ``rceda_outbox_suppressed_total``           counter    engine
+    ``rceda_outbox_dead_letters_total``         counter    engine
+    ==========================================  =========  ================
+
+    ``rceda_outbox_suppressed_total`` is the exactly-once guarantee made
+    visible: each suppression is a side effect that WAL replay would have
+    duplicated without the outbox journal.
+    """
+
+    __slots__ = (
+        "registry",
+        "engine_label",
+        "wal_appends",
+        "wal_bytes",
+        "wal_fsync_seconds",
+        "wal_rotations",
+        "wal_replayed",
+        "checkpoints",
+        "outbox_delivered",
+        "outbox_suppressed",
+        "outbox_dead_letters",
+    )
+
+    def __init__(self, registry: MetricsRegistry, engine_label: str = "main") -> None:
+        self.registry = registry
+        self.engine_label = engine_label
+        self.wal_appends = registry.counter(
+            "rceda_wal_appends_total",
+            "Records appended to the write-ahead observation log.",
+            labelnames=("engine",),
+        ).labels(engine=engine_label)
+        self.wal_bytes = registry.counter(
+            "rceda_wal_bytes_total",
+            "Bytes written to the write-ahead log (headers included).",
+            labelnames=("engine",),
+        ).labels(engine=engine_label)
+        self.wal_fsync_seconds = registry.histogram(
+            "rceda_wal_fsync_seconds",
+            "Wall-clock seconds per WAL fsync.",
+            labelnames=("engine",),
+            buckets=FSYNC_BUCKETS,
+        ).labels(engine=engine_label)
+        self.wal_rotations = registry.counter(
+            "rceda_wal_segment_rotations_total",
+            "WAL segment rotations (segment reached its size bound).",
+            labelnames=("engine",),
+        ).labels(engine=engine_label)
+        self.wal_replayed = registry.counter(
+            "rceda_wal_replayed_records_total",
+            "WAL records replayed into the engine during recovery.",
+            labelnames=("engine",),
+        ).labels(engine=engine_label)
+        self.checkpoints = registry.counter(
+            "rceda_checkpoints_written_total",
+            "Durable checkpoints written (automatic and explicit).",
+            labelnames=("engine",),
+        ).labels(engine=engine_label)
+        self.outbox_delivered = registry.counter(
+            "rceda_outbox_delivered_total",
+            "Detections delivered to the external sink and acknowledged.",
+            labelnames=("engine",),
+        ).labels(engine=engine_label)
+        self.outbox_suppressed = registry.counter(
+            "rceda_outbox_suppressed_total",
+            "Replayed deliveries suppressed because they were already acked.",
+            labelnames=("engine",),
+        ).labels(engine=engine_label)
+        self.outbox_dead_letters = registry.counter(
+            "rceda_outbox_dead_letters_total",
+            "Deliveries that exhausted their retries and were dead-lettered.",
+            labelnames=("engine",),
+        ).labels(engine=engine_label)
+
+    def reset(self) -> None:
+        """Zero this engine's children only — co-tenants keep their values."""
+        for handle in (
+            self.wal_appends,
+            self.wal_bytes,
+            self.wal_fsync_seconds,
+            self.wal_rotations,
+            self.wal_replayed,
+            self.checkpoints,
+            self.outbox_delivered,
+            self.outbox_suppressed,
+            self.outbox_dead_letters,
+        ):
+            handle.reset()
 
 
 class ReorderInstruments:

@@ -183,21 +183,81 @@ class ReorderBuffer:
         }
 
     def load_state(self, state: dict) -> None:
-        """Restore a :meth:`state_dict` snapshot (same ``delay`` required)."""
+        """Restore a :meth:`state_dict` snapshot (same ``delay`` required).
+
+        The payload is validated up front: a malformed snapshot (wrong
+        type, missing keys, non-numeric entry fields) raises
+        :class:`~repro.core.errors.CheckpointError` with the offending
+        field named, instead of failing later deep inside ``heapq``
+        comparisons.
+        """
+        from ..core.errors import CheckpointError
+
+        if not isinstance(state, dict):
+            raise CheckpointError(
+                "reorder snapshot must be a dict, got "
+                f"{type(state).__name__}"
+            )
+        missing = [
+            key
+            for key in (
+                "delay", "entries", "next_tie", "watermark", "max_seen",
+                "dropped_late",
+            )
+            if key not in state
+        ]
+        if missing:
+            raise CheckpointError(
+                f"reorder snapshot is missing keys: {', '.join(missing)}"
+            )
         if state["delay"] != self.delay:
-            raise ValueError(
+            raise CheckpointError(
                 f"reorder snapshot was taken with delay={state['delay']}, "
                 f"this buffer uses delay={self.delay}"
             )
-        # Entries were written sorted, which is a valid heap layout.
-        self._heap = [
-            (
-                entry["t"],
-                entry["tie"],
-                Observation(entry["r"], entry["o"], entry["t"], entry.get("x")),
+        entries = state["entries"]
+        if not isinstance(entries, list):
+            raise CheckpointError(
+                "reorder snapshot entries must be a list, got "
+                f"{type(entries).__name__}"
             )
-            for entry in state["entries"]
-        ]
+        heap: list[tuple[float, int, Observation]] = []
+        for index, entry in enumerate(entries):
+            if not isinstance(entry, dict):
+                raise CheckpointError(
+                    f"reorder snapshot entry {index} is not a dict"
+                )
+            try:
+                timestamp = entry["t"]
+                tie = entry["tie"]
+                observation = Observation(
+                    entry["r"], entry["o"], timestamp, entry.get("x")
+                )
+            except (KeyError, TypeError, ValueError) as exc:
+                raise CheckpointError(
+                    f"reorder snapshot entry {index} is malformed: {exc!r}"
+                ) from exc
+            if not isinstance(tie, int):
+                raise CheckpointError(
+                    f"reorder snapshot entry {index} has a non-integer tie "
+                    f"break: {tie!r}"
+                )
+            heap.append((timestamp, tie, observation))
+        for name in ("watermark", "max_seen"):
+            if not isinstance(state[name], (int, float)):
+                raise CheckpointError(
+                    f"reorder snapshot field {name!r} must be a number, got "
+                    f"{state[name]!r}"
+                )
+        if not isinstance(state["next_tie"], int) or not isinstance(
+            state["dropped_late"], int
+        ):
+            raise CheckpointError(
+                "reorder snapshot counters (next_tie, dropped_late) must be "
+                "integers"
+            )
+        # Entries were written sorted, which is a valid heap layout.
+        self._heap = heap
         self._counter = state["next_tie"]
         self._watermark = state["watermark"]
         self._max_seen = state["max_seen"]

@@ -28,7 +28,27 @@ Three independent pieces, designed to compose:
 See ``docs/resilience.md`` for the full tour.
 """
 
-from .chaos import ChaosConfig, ChaosInjector, MalformedObservation, kill_and_restore_run
+from .chaos import (
+    ChaosConfig,
+    ChaosInjector,
+    MalformedObservation,
+    SimulatedCrash,
+    corrupt_checkpoint,
+    crash_failpoint,
+    kill_and_restore_run,
+    kill_at_byte,
+    tear_wal_tail,
+)
+from .durability import (
+    ActionOutbox,
+    DurableEngine,
+    DurableShardedEngine,
+    FsyncPolicy,
+    RecoveryReport,
+    WalWriter,
+    read_wal,
+    scan_wal,
+)
 from .checkpoint import (
     FORMAT,
     SHARDED_FORMAT,
@@ -50,23 +70,36 @@ from .supervise import (
 )
 
 __all__ = [
+    "ActionOutbox",
     "BreakerState",
     "ChaosConfig",
     "ChaosInjector",
     "CircuitBreaker",
     "DeadLetterEntry",
     "DeadLetterQueue",
+    "DurableEngine",
+    "DurableShardedEngine",
     "FORMAT",
+    "FsyncPolicy",
     "MalformedObservation",
+    "RecoveryReport",
     "ResilienceStats",
     "RetryPolicy",
     "SHARDED_FORMAT",
+    "SimulatedCrash",
     "SupervisedEngine",
     "VERSION",
+    "WalWriter",
+    "corrupt_checkpoint",
+    "crash_failpoint",
+    "kill_at_byte",
+    "tear_wal_tail",
     "checkpoint_engine",
     "engine_fingerprint",
     "kill_and_restore_run",
     "load_checkpoint",
+    "read_wal",
     "restore_engine",
     "save_checkpoint",
+    "scan_wal",
 ]

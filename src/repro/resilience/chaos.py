@@ -40,8 +40,104 @@ __all__ = [
     "ChaosConfig",
     "ChaosInjector",
     "MalformedObservation",
+    "SimulatedCrash",
+    "corrupt_checkpoint",
+    "crash_failpoint",
     "kill_and_restore_run",
+    "kill_at_byte",
+    "tear_wal_tail",
 ]
+
+
+class SimulatedCrash(RuntimeError):
+    """The chaos harness's ``kill -9``: raised from a durable engine's
+    failpoint to abandon it between two protocol steps.  Tests catch it,
+    drop the engine without any cleanup, and drive
+    :meth:`~repro.resilience.durability.engine.DurableEngine.recover`."""
+
+
+def crash_failpoint(stage: str, seq: int) -> Callable[[str, int], None]:
+    """A failpoint that raises :class:`SimulatedCrash` at one exact step.
+
+    Assign to :attr:`DurableEngine.failpoint`; fires when the engine
+    reaches ``stage`` ("append", "detect", "deliver" or "checkpoint")
+    for sequence number ``seq``.
+    """
+
+    def failpoint(at_stage: str, at_seq: int) -> None:
+        if at_stage == stage and at_seq == seq:
+            raise SimulatedCrash(f"simulated crash at {stage} seq={seq}")
+
+    return failpoint
+
+
+def kill_at_byte(path: str, offset: int) -> int:
+    """Truncate ``path`` at ``offset`` bytes — a write cut off mid-record.
+
+    Deterministic by construction; returns the number of bytes removed.
+    """
+    import os
+
+    size = os.path.getsize(path)
+    if not 0 <= offset <= size:
+        raise ValueError(f"offset {offset} outside file (0..{size})")
+    with open(path, "r+b") as handle:
+        handle.truncate(offset)
+    return size - offset
+
+
+def tear_wal_tail(directory: str, *, seed: int = 0) -> tuple[str, int]:
+    """Tear the newest WAL segment mid-record, as a crash during append would.
+
+    Picks a deterministic (seeded) truncation point strictly inside the
+    final record — after its first byte, before its last — so the torn
+    record fails its length or checksum validation and a reader must
+    stop at the previous record.  Returns ``(segment_path, bytes_torn)``.
+    Raises ``ValueError`` when the log is empty (nothing to tear).
+    """
+    import os
+
+    from .durability.wal import scan_segment, segment_files, segment_path
+
+    names = segment_files(directory)
+    if not names:
+        raise ValueError(f"no WAL segments under {directory!r}")
+    path = segment_path(directory, names[-1])
+    records, valid, total = scan_segment(path, with_payload=False)
+    if not records:
+        raise ValueError(f"segment {path!r} holds no complete record to tear")
+    last_offset = records[-1].offset
+    span = total - last_offset
+    if span < 2:  # pragma: no cover - records are always header + body
+        raise ValueError(f"final record of {path!r} is too small to tear")
+    cut = last_offset + 1 + random.Random(seed).randrange(span - 1)
+    return path, kill_at_byte(path, cut)
+
+
+def corrupt_checkpoint(path: str, *, mode: str = "truncate", seed: int = 0) -> None:
+    """Damage a checkpoint file the way real crashes and bitrot do.
+
+    ``mode="truncate"`` cuts the file at a seeded interior offset (the
+    pre-atomic-write failure this subsystem's ``save_checkpoint``
+    prevents — and recovery must still survive when it meets one);
+    ``mode="garble"`` overwrites one seeded interior byte with ``0x00``,
+    which breaks JSON decoding without changing the length.
+    """
+    import os
+
+    size = os.path.getsize(path)
+    if size < 2:
+        raise ValueError(f"checkpoint {path!r} too small to corrupt")
+    rng = random.Random(seed)
+    offset = 1 + rng.randrange(size - 1)
+    if mode == "truncate":
+        kill_at_byte(path, offset)
+    elif mode == "garble":
+        with open(path, "r+b") as handle:
+            handle.seek(offset)
+            handle.write(b"\x00")
+    else:
+        raise ValueError(f"unknown corruption mode {mode!r}")
 
 
 class MalformedObservation:
@@ -214,6 +310,7 @@ def kill_and_restore_run(
     *,
     flush: bool = True,
     via_json: bool = True,
+    recover: "Callable[[], Any] | None" = None,
 ) -> tuple[list, Any]:
     """Run an engine, kill it after ``kill_at`` observations, restore, finish.
 
@@ -226,6 +323,14 @@ def kill_and_restore_run(
     round-trips through ``json.dumps``/``loads``, proving it survives
     serialization to disk.  A second engine from the same factory
     restores the snapshot and processes the rest.
+
+    With ``recover`` given, the harness drives *durable* recovery
+    instead: the first engine is dropped **without** being checkpointed
+    (the kill takes whatever its directory holds — a proper crash, not a
+    graceful shutdown) and ``recover()`` must hand back the revived
+    engine, typically a closure over
+    :meth:`~repro.resilience.durability.engine.DurableEngine.recover`.
+    ``via_json`` is meaningless in that mode and ignored.
 
     Returns ``(detections, revived_engine)`` where ``detections`` is the
     concatenated output of both engine lives — which recovery tests
@@ -240,13 +345,17 @@ def kill_and_restore_run(
     detections: list = []
     for observation in sequence[:kill_at]:
         detections.extend(first.submit(observation))
-    snapshot = first.checkpoint()
-    if via_json:
-        snapshot = json.loads(json.dumps(snapshot))
-    del first  # the "kill": nothing of the first life survives but the snapshot
-
-    revived = factory()
-    revived.restore(snapshot)
+    if recover is None:
+        snapshot = first.checkpoint()
+        if via_json:
+            snapshot = json.loads(json.dumps(snapshot))
+        # the "kill": nothing of the first life survives but the snapshot
+        del first
+        revived = factory()
+        revived.restore(snapshot)
+    else:
+        del first  # the "kill": only the durable directory survives
+        revived = recover()
     for observation in sequence[kill_at:]:
         detections.extend(revived.submit(observation))
     if flush:

@@ -416,6 +416,7 @@ def checkpoint_engine(engine: "Engine") -> dict:
         "fingerprint": engine_fingerprint(engine),
         "clock": engine._clock,
         "started": engine._started,
+        "last_seq": engine._last_seq,
         "watch_counter": engine._watch_counter,
         "stats": asdict(engine.stats),
         "nodes": nodes,
@@ -478,6 +479,7 @@ def restore_engine(engine: "Engine", snapshot: dict) -> None:
 
     engine._clock = snapshot["clock"]
     engine._started = snapshot["started"]
+    engine._last_seq = snapshot.get("last_seq", -1)
     engine._watch_counter = snapshot["watch_counter"]
     engine._out = [
         Detection(engine.rule(record["rule"]), instances[record["inst"]],
@@ -492,14 +494,63 @@ def restore_engine(engine: "Engine", snapshot: dict) -> None:
 
 
 def save_checkpoint(snapshot: dict, path: str) -> None:
-    """Write a snapshot as JSON (non-finite floats use JSON-extension
+    """Atomically write a snapshot as JSON.
+
+    The bytes go to a temporary file in the target directory, are
+    fsynced, and only then renamed over ``path`` (``os.replace``), so a
+    crash mid-write leaves either the previous checkpoint or the new one
+    — never a truncated hybrid.  Non-finite floats use JSON-extension
     literals ``Infinity``/``-Infinity``, which :func:`load_checkpoint`
-    reads back)."""
-    with open(path, "w") as handle:
-        json.dump(snapshot, handle, separators=(",", ":"))
+    reads back.
+    """
+    import os
+    import tempfile
+
+    directory = os.path.dirname(os.path.abspath(path)) or "."
+    descriptor, temp_path = tempfile.mkstemp(
+        dir=directory, prefix=os.path.basename(path) + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(descriptor, "w") as handle:
+            json.dump(snapshot, handle, separators=(",", ":"))
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(temp_path, path)
+    except BaseException:
+        try:
+            os.unlink(temp_path)
+        except OSError:
+            pass
+        raise
+    try:  # make the rename itself durable where the platform allows
+        dir_fd = os.open(directory, os.O_RDONLY)
+        try:
+            os.fsync(dir_fd)
+        finally:
+            os.close(dir_fd)
+    except OSError:  # pragma: no cover - e.g. directories not fsyncable
+        pass
 
 
 def load_checkpoint(path: str) -> dict:
-    """Read a snapshot written by :func:`save_checkpoint`."""
-    with open(path) as handle:
-        return json.load(handle)
+    """Read a snapshot written by :func:`save_checkpoint`.
+
+    Truncated, empty or otherwise undecodable files raise
+    :class:`~repro.core.errors.CheckpointError` (so recovery code can
+    fall back to an older checkpoint) instead of leaking raw
+    ``json``/decode exceptions.  A missing file still raises
+    ``FileNotFoundError`` — "not there" and "there but unreadable" are
+    different recovery situations.
+    """
+    try:
+        with open(path) as handle:
+            snapshot = json.load(handle)
+    except (json.JSONDecodeError, UnicodeDecodeError, ValueError) as exc:
+        raise CheckpointError(
+            f"checkpoint file {path!r} is corrupt or truncated: {exc}"
+        ) from exc
+    if not isinstance(snapshot, dict):
+        raise CheckpointError(
+            f"checkpoint file {path!r} does not contain a snapshot object"
+        )
+    return snapshot

@@ -1,0 +1,807 @@
+"""Durable engines: log-ahead detection with recover-anywhere semantics.
+
+:class:`DurableEngine` wraps any checkpointable engine (bare
+:class:`~repro.core.detector.Engine` or
+:class:`~repro.resilience.supervise.SupervisedEngine`) behind three
+cooperating pieces of storage under one directory::
+
+    <dir>/wal/wal-*.seg          the write-ahead observation log
+    <dir>/checkpoint-<seq>.json  periodic engine snapshots (atomic)
+    <dir>/outbox.log             the action-delivery journal
+
+The protocol per observation is *log, then detect, then deliver*:
+
+1. the observation is appended to the WAL under a fresh sequence number
+   (durable per the :class:`~repro.resilience.durability.wal.FsyncPolicy`);
+2. the engine processes it (``submit(obs, seq=seq)``, so the engine's
+   own checkpoints know how far the log has been consumed);
+3. each resulting detection is delivered through the
+   :class:`~repro.resilience.durability.outbox.ActionOutbox` keyed by
+   ``(seq, ordinal)``.
+
+Kill the process at *any* point and :meth:`DurableEngine.recover`
+rebuilds exactly the pre-crash behaviour: newest restorable checkpoint,
+WAL tail replayed on top (detection is deterministic, so replay re-derives
+the same detections), already-acked deliveries suppressed by the outbox.
+The recovery tests assert the strong form — for a kill after *any*
+observation, detections plus external deliveries equal the uninterrupted
+run's, exactly once each.
+
+:class:`DurableShardedEngine` extends the same protocol to a
+:class:`~repro.core.sharding.ShardedEngine`: each observation is logged
+to the WAL of *every* shard it routes to (same global sequence number),
+checkpoints snapshot every shard and become visible atomically through a
+``manifest.json`` replace — the manifest entry is the commit point, so
+recovery always sees a consistent cut across shards.  Replay merges the
+per-shard logs by sequence number (multicast copies deduplicate) and
+re-submits through the coordinator, which re-routes deterministically.
+
+Test hook: assign :attr:`DurableEngine.failpoint` a callable
+``(stage, seq)`` and it is invoked at ``"append"`` (logged, not yet
+detected), ``"detect"`` (detected, not yet delivered), ``"deliver"``
+and ``"checkpoint"`` — raising
+:class:`~repro.resilience.chaos.SimulatedCrash` there is how the crash
+matrix kills the engine between any two protocol steps.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Iterator, Optional
+
+from ...core.errors import CheckpointError, WalError
+from ...core.instances import Observation
+from ...obs.instrument import DurabilityInstruments
+from ...obs.metrics import MetricsRegistry
+from ..chaos import MalformedObservation
+from ..checkpoint import load_checkpoint, save_checkpoint
+from ..supervise import RetryPolicy
+from .outbox import JOURNAL_NAME, ActionOutbox
+from .wal import FsyncPolicy, WalWriter, read_wal, segment_files
+
+__all__ = [
+    "DurableEngine",
+    "DurableShardedEngine",
+    "RecoveryReport",
+    "checkpoint_files",
+    "checkpoint_seq",
+]
+
+CHECKPOINT_PATTERN = re.compile(r"^checkpoint-(\d{16})\.json$")
+MANIFEST_NAME = "manifest.json"
+MANIFEST_FORMAT = "rceda-durable-manifest"
+MANIFEST_VERSION = 1
+
+WAL_SUBDIR = "wal"
+
+
+# -- observation payloads ------------------------------------------------------
+
+
+def encode_observation(observation: Any) -> dict:
+    """WAL payload for one submitted object.
+
+    Well-typed readings become ``{"k": "o", ...}``; anything else that is
+    at least observation-shaped (``reader``/``obj``/``timestamp``
+    attributes — e.g. the chaos harness's poison frames) is preserved as
+    ``{"k": "m", ...}`` so replay re-poisons the engine identically and
+    quarantine behaviour reproduces.  Objects without that shape cannot
+    be made durable: :class:`~repro.core.errors.WalError`.
+    """
+    if isinstance(observation, Observation):
+        payload: dict = {
+            "k": "o",
+            "r": observation.reader,
+            "o": observation.obj,
+            "t": observation.timestamp,
+        }
+        if observation.extra is not None:
+            payload["x"] = dict(observation.extra)
+        return payload
+    try:
+        return {
+            "k": "m",
+            "r": observation.reader,
+            "o": observation.obj,
+            "t": observation.timestamp,
+        }
+    except AttributeError as exc:
+        raise WalError(
+            f"cannot log {type(observation).__name__!r}: not observation-shaped"
+        ) from exc
+
+
+FLUSH_MARKER = {"k": "f"}
+
+
+def decode_payload(payload: dict) -> Optional[Any]:
+    """Inverse of :func:`encode_observation`; ``None`` for flush markers."""
+    kind = payload.get("k")
+    if kind == "o":
+        return Observation(
+            payload["r"], payload["o"], payload["t"], payload.get("x")
+        )
+    if kind == "m":
+        return MalformedObservation(
+            payload.get("r"), payload.get("o"), payload.get("t")
+        )
+    if kind == "f":
+        return None
+    raise WalError(f"unknown WAL payload kind {kind!r}")
+
+
+# -- checkpoint directory helpers ----------------------------------------------
+
+
+def checkpoint_files(directory: str) -> list[str]:
+    """Checkpoint file names in ``directory``, oldest first."""
+    try:
+        names = os.listdir(directory)
+    except FileNotFoundError:
+        return []
+    return sorted(name for name in names if CHECKPOINT_PATTERN.match(name))
+
+
+def checkpoint_seq(name: str) -> int:
+    match = CHECKPOINT_PATTERN.match(name)
+    if match is None:
+        raise WalError(f"not a checkpoint file name: {name!r}")
+    return int(match.group(1))
+
+
+def _checkpoint_name(seq: int) -> str:
+    return f"checkpoint-{seq:016d}.json"
+
+
+@dataclass(frozen=True)
+class RecoveryReport:
+    """What :meth:`DurableEngine.recover` did, for logs and assertions."""
+
+    #: Sequence number the restored checkpoint covered (-1: none usable).
+    checkpoint_seq: int
+    #: Checkpoints attempted before one restored (0 when starting cold).
+    checkpoints_tried: int
+    #: WAL records replayed on top of the checkpoint.
+    replayed_records: int
+    #: Replayed deliveries skipped because their ack was already journaled.
+    suppressed_deliveries: int
+    #: Replayed deliveries actually (re-)run — the at-least-once window.
+    redelivered: int
+    #: Torn bytes truncated from the WAL tail on open.
+    torn_bytes_truncated: int
+    #: First sequence number the revived engine will assign.
+    next_seq: int
+
+
+class DurableEngine:
+    """Crash-consistent wrapper around one detection engine.
+
+    ``factory`` builds the underlying engine from scratch (same rules,
+    same order — the checkpoint fingerprint enforces it); the wrapper
+    owns ``directory``.  A fresh ``DurableEngine`` refuses a directory
+    that already holds a log or checkpoints: that state belongs to a
+    previous life and silently appending to it would corrupt sequence
+    numbering — call :meth:`recover` instead.
+
+    ``sink(detection, seq, ordinal)``, when given, is the external
+    effect; it runs under ``retry`` with exactly-once replay protection
+    (see :mod:`repro.resilience.durability.outbox`).  Without a sink,
+    detections are only returned to the caller and replay re-derives
+    engine state without re-running anything external.
+
+    ``checkpoint_every`` observations triggers an automatic
+    :meth:`checkpoint_now` (0 disables); the newest ``keep_checkpoints``
+    snapshots are retained and the WAL is pruned to the *oldest* retained
+    one, so recovery can still fall back past a corrupt newest snapshot.
+    """
+
+    def __init__(
+        self,
+        factory: Callable[[], Any],
+        directory: str,
+        *,
+        fsync: "FsyncPolicy | str" = FsyncPolicy.NEVER,
+        checkpoint_every: int = 100,
+        keep_checkpoints: int = 2,
+        segment_max_bytes: int = 1 << 20,
+        sink: Optional[Callable[[Any, int, int], None]] = None,
+        retry: Optional[RetryPolicy] = None,
+        dead_letter_capacity: int = 1000,
+        metrics: Optional[MetricsRegistry] = None,
+        metrics_label: str = "durable",
+        _existing: bool = False,
+    ) -> None:
+        if keep_checkpoints < 1:
+            raise ValueError("keep_checkpoints must be >= 1")
+        if checkpoint_every < 0:
+            raise ValueError("checkpoint_every must be >= 0 (0 disables)")
+        self._factory = factory
+        self.directory = directory
+        self.checkpoint_every = checkpoint_every
+        self.keep_checkpoints = keep_checkpoints
+        os.makedirs(directory, exist_ok=True)
+        wal_dir = os.path.join(directory, WAL_SUBDIR)
+        if not _existing and (
+            checkpoint_files(directory)
+            or segment_files(wal_dir)
+            or os.path.exists(os.path.join(directory, JOURNAL_NAME))
+        ):
+            raise WalError(
+                f"directory {directory!r} already holds durable state; "
+                "use DurableEngine.recover() to resume it"
+            )
+        self.instruments: Optional[DurabilityInstruments] = (
+            DurabilityInstruments(metrics, engine_label=metrics_label)
+            if metrics is not None
+            else None
+        )
+        self.engine = factory()
+        self.wal = WalWriter(
+            wal_dir,
+            fsync=FsyncPolicy.parse(fsync),
+            segment_max_bytes=segment_max_bytes,
+            instruments=self.instruments,
+        )
+        self.outbox: Optional[ActionOutbox] = (
+            ActionOutbox(
+                directory,
+                sink,
+                retry=retry,
+                dead_letter_capacity=dead_letter_capacity,
+                fsync=FsyncPolicy.parse(fsync).mode == "always",
+                instruments=self.instruments,
+            )
+            if sink is not None
+            else None
+        )
+        self._next_seq = self.wal.last_seq + 1
+        self._since_checkpoint = 0
+        self.checkpoints_written = 0
+        #: Test hook: ``callable(stage, seq)`` fired between protocol steps.
+        self.failpoint: Optional[Callable[[str, int], None]] = None
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def close(self) -> None:
+        self.wal.close()
+        if self.outbox is not None:
+            self.outbox.close()
+
+    def __enter__(self) -> "DurableEngine":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    def _fire(self, stage: str, seq: int) -> None:
+        if self.failpoint is not None:
+            self.failpoint(stage, seq)
+
+    # -- streaming ----------------------------------------------------------
+
+    @property
+    def next_seq(self) -> int:
+        return self._next_seq
+
+    def submit(self, observation: Any) -> list:
+        """Log one observation, detect, deliver; returns the detections."""
+        seq = self._next_seq
+        self.wal.append(seq, encode_observation(observation))
+        self._next_seq = seq + 1
+        self._fire("append", seq)
+        detections = self.engine.submit(observation, seq=seq)
+        self._fire("detect", seq)
+        self._deliver(detections, seq)
+        self._fire("deliver", seq)
+        self._since_checkpoint += 1
+        if self.checkpoint_every and self._since_checkpoint >= self.checkpoint_every:
+            self.checkpoint_now()
+        return detections
+
+    def submit_many(self, observations: Iterable[Any]) -> list:
+        detections: list = []
+        for observation in observations:
+            detections.extend(self.submit(observation))
+        return detections
+
+    def flush(self) -> list:
+        """Fire end-of-stream expirations — durably.
+
+        The flush itself is a logged event (a marker record), so a crash
+        after a flush replays the flush and post-flush deliveries keep
+        their exactly-once keys.
+        """
+        seq = self._next_seq
+        self.wal.append(seq, FLUSH_MARKER)
+        self._next_seq = seq + 1
+        self._fire("append", seq)
+        detections = self.engine.flush()
+        self._fire("detect", seq)
+        self._deliver(detections, seq)
+        self._fire("deliver", seq)
+        return detections
+
+    def run(self, observations: Iterable[Any], flush: bool = True) -> Iterator:
+        for observation in observations:
+            yield from self.submit(observation)
+        if flush:
+            yield from self.flush()
+
+    def _deliver(self, detections: list, seq: int) -> None:
+        if self.outbox is None:
+            return
+        for ordinal, detection in enumerate(detections):
+            self.outbox.deliver(detection, seq, ordinal)
+
+    # -- checkpointing ------------------------------------------------------
+
+    def checkpoint_now(self) -> Optional[str]:
+        """Snapshot the engine and prune log/journal behind it.
+
+        Returns the checkpoint path, or ``None`` when nothing has been
+        logged yet.  Ordering is load-bearing: the WAL is synced *before*
+        the snapshot is written (a checkpoint must never claim coverage
+        the log cannot back), and pruning happens only after the rename
+        that makes the snapshot visible.
+        """
+        seq = self._next_seq - 1
+        if seq < 0:
+            return None
+        self.wal.sync()
+        path = os.path.join(self.directory, _checkpoint_name(seq))
+        save_checkpoint(self.engine.checkpoint(), path)
+        self._since_checkpoint = 0
+        self.checkpoints_written += 1
+        if self.instruments is not None:
+            self.instruments.checkpoints.inc()
+        self._fire("checkpoint", seq)
+        names = checkpoint_files(self.directory)
+        for stale in names[: -self.keep_checkpoints]:
+            os.unlink(os.path.join(self.directory, stale))
+        retained = names[-self.keep_checkpoints :]
+        oldest_covered = checkpoint_seq(retained[0])
+        self.wal.prune(oldest_covered)
+        if self.outbox is not None:
+            self.outbox.compact(oldest_covered)
+        return path
+
+    # -- recovery -----------------------------------------------------------
+
+    @classmethod
+    def recover(
+        cls,
+        factory: Callable[[], Any],
+        directory: str,
+        **kwargs: Any,
+    ) -> tuple["DurableEngine", RecoveryReport]:
+        """Rebuild a durable engine from whatever a crash left behind.
+
+        Restores the newest checkpoint that loads *and* restores cleanly
+        (corrupt or truncated ones are skipped — that is why several are
+        kept), truncates the WAL's torn tail, replays every record past
+        the checkpoint, and routes replayed detections through the outbox
+        so acked deliveries are suppressed and un-acked ones run now.
+        Replay output is *not* returned to the caller: the first life
+        already returned it.
+
+        Safe to run repeatedly — a second recovery of the same directory
+        replays the same records against the same acks and delivers
+        nothing twice.
+        """
+        durable = cls(factory, directory, _existing=True, **kwargs)
+        report = durable._replay()
+        return durable, report
+
+    def _replay(self) -> RecoveryReport:
+        wal_dir = os.path.join(self.directory, WAL_SUBDIR)
+        ckpt_seq = -1
+        tried = 0
+        for name in reversed(checkpoint_files(self.directory)):
+            tried += 1
+            engine = self._factory()
+            try:
+                engine.restore(load_checkpoint(os.path.join(self.directory, name)))
+            except (CheckpointError, FileNotFoundError):
+                continue
+            self.engine = engine
+            ckpt_seq = checkpoint_seq(name)
+            break
+        replayed = 0
+        suppressed_before = (
+            self.outbox.suppressed if self.outbox is not None else 0
+        )
+        redelivered = 0
+        first_record = True
+        for record in read_wal(wal_dir, start_after=ckpt_seq):
+            if first_record and ckpt_seq == -1 and record.seq > 0:
+                raise WalError(
+                    f"log starts at sequence {record.seq} (earlier segments "
+                    "were pruned) but no checkpoint could be restored; the "
+                    "stream prefix is unrecoverable"
+                )
+            first_record = False
+            observation = decode_payload(record.payload)
+            if observation is None:
+                detections = self.engine.flush()
+            else:
+                detections = self.engine.submit(observation, seq=record.seq)
+            replayed += 1
+            if self.instruments is not None:
+                self.instruments.wal_replayed.inc()
+            if self.outbox is not None:
+                for ordinal, detection in enumerate(detections):
+                    if self.outbox.deliver(detection, record.seq, ordinal):
+                        redelivered += 1
+        self._next_seq = max(ckpt_seq, self.wal.last_seq) + 1
+        self._since_checkpoint = 0
+        suppressed = (
+            self.outbox.suppressed - suppressed_before
+            if self.outbox is not None
+            else 0
+        )
+        return RecoveryReport(
+            checkpoint_seq=ckpt_seq,
+            checkpoints_tried=tried,
+            replayed_records=replayed,
+            suppressed_deliveries=suppressed,
+            redelivered=redelivered,
+            torn_bytes_truncated=self.wal.truncated_tail_bytes,
+            next_seq=self._next_seq,
+        )
+
+    # -- passthrough --------------------------------------------------------
+
+    @property
+    def stats(self):
+        return self.engine.stats
+
+    @property
+    def clock(self) -> float:
+        return self.engine.clock
+
+
+class DurableShardedEngine:
+    """Consistent-cut durability for a sharded deployment.
+
+    ``factory`` builds the :class:`~repro.core.sharding.ShardedEngine`
+    (placement is deterministic, so every life sees the same shard set).
+    Each observation is appended — under one global sequence number — to
+    the WAL of every shard it routes to, *then* submitted through the
+    coordinator.  A checkpoint snapshots every shard to its own file and
+    commits them together by atomically replacing ``manifest.json``; a
+    crash between the snapshot writes and the manifest replace leaves
+    orphan files and a manifest still pointing at the previous complete
+    cut, which is exactly what recovery uses.
+
+    Replay merges all per-shard logs by sequence number.  Multicast
+    observations appear once per target shard; the merge deduplicates
+    them and re-submits once through the coordinator, whose routing
+    re-derives the same fan-out.  Deliveries share one outbox keyed by
+    global sequence, so the exactly-once guarantee is fleet-wide.
+    """
+
+    def __init__(
+        self,
+        factory: Callable[[], Any],
+        directory: str,
+        *,
+        fsync: "FsyncPolicy | str" = FsyncPolicy.NEVER,
+        checkpoint_every: int = 100,
+        keep_checkpoints: int = 2,
+        segment_max_bytes: int = 1 << 20,
+        sink: Optional[Callable[[Any, int, int], None]] = None,
+        retry: Optional[RetryPolicy] = None,
+        dead_letter_capacity: int = 1000,
+        metrics: Optional[MetricsRegistry] = None,
+        metrics_label: str = "durable-fleet",
+        _existing: bool = False,
+    ) -> None:
+        if keep_checkpoints < 1:
+            raise ValueError("keep_checkpoints must be >= 1")
+        self._factory = factory
+        self.directory = directory
+        self.checkpoint_every = checkpoint_every
+        self.keep_checkpoints = keep_checkpoints
+        os.makedirs(directory, exist_ok=True)
+        manifest_path = os.path.join(directory, MANIFEST_NAME)
+        if not _existing and (
+            os.path.exists(manifest_path)
+            or os.path.isdir(os.path.join(directory, WAL_SUBDIR))
+            or os.path.exists(os.path.join(directory, JOURNAL_NAME))
+        ):
+            raise WalError(
+                f"directory {directory!r} already holds durable state; "
+                "use DurableShardedEngine.recover() to resume it"
+            )
+        self.instruments: Optional[DurabilityInstruments] = (
+            DurabilityInstruments(metrics, engine_label=metrics_label)
+            if metrics is not None
+            else None
+        )
+        self.coordinator = factory()
+        policy = FsyncPolicy.parse(fsync)
+        self.wals: dict[str, WalWriter] = {
+            name: WalWriter(
+                os.path.join(directory, WAL_SUBDIR, name),
+                fsync=policy,
+                segment_max_bytes=segment_max_bytes,
+                instruments=self.instruments,
+            )
+            for name in self.coordinator.shards
+        }
+        self.outbox: Optional[ActionOutbox] = (
+            ActionOutbox(
+                directory,
+                sink,
+                retry=retry,
+                dead_letter_capacity=dead_letter_capacity,
+                fsync=policy.mode == "always",
+                instruments=self.instruments,
+            )
+            if sink is not None
+            else None
+        )
+        self._manifest_path = manifest_path
+        self._history: list[dict] = []
+        self._next_seq = (
+            max(wal.last_seq for wal in self.wals.values()) + 1
+            if self.wals
+            else 0
+        )
+        self._since_checkpoint = 0
+        self.checkpoints_written = 0
+        self.failpoint: Optional[Callable[[str, int], None]] = None
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def close(self) -> None:
+        for wal in self.wals.values():
+            wal.close()
+        if self.outbox is not None:
+            self.outbox.close()
+
+    def __enter__(self) -> "DurableShardedEngine":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    def _fire(self, stage: str, seq: int) -> None:
+        if self.failpoint is not None:
+            self.failpoint(stage, seq)
+
+    # -- streaming ----------------------------------------------------------
+
+    @property
+    def next_seq(self) -> int:
+        return self._next_seq
+
+    def submit(self, observation: Any) -> list:
+        """Log to every target shard's WAL, then route through them."""
+        seq = self._next_seq
+        targets = self.coordinator.routes_for(observation)
+        if targets:
+            payload = encode_observation(observation)
+            for name in targets:
+                self.wals[name].append(seq, payload)
+        # An unrouted observation consumes its sequence number with no
+        # record anywhere — it touched no shard state, so replay skipping
+        # it is exact (the merge tolerates the gap).
+        self._next_seq = seq + 1
+        self._fire("append", seq)
+        detections = self.coordinator.submit(observation, seq=seq)
+        self._fire("detect", seq)
+        self._deliver(detections, seq)
+        self._fire("deliver", seq)
+        self._since_checkpoint += 1
+        if self.checkpoint_every and self._since_checkpoint >= self.checkpoint_every:
+            self.checkpoint_now()
+        return detections
+
+    def submit_many(self, observations: Iterable[Any]) -> list:
+        detections: list = []
+        for observation in observations:
+            detections.extend(self.submit(observation))
+        return detections
+
+    def flush(self) -> list:
+        seq = self._next_seq
+        for wal in self.wals.values():
+            wal.append(seq, FLUSH_MARKER)
+        self._next_seq = seq + 1
+        self._fire("append", seq)
+        detections = self.coordinator.flush()
+        self._fire("detect", seq)
+        self._deliver(detections, seq)
+        self._fire("deliver", seq)
+        return detections
+
+    def run(self, observations: Iterable[Any], flush: bool = True) -> Iterator:
+        for observation in observations:
+            yield from self.submit(observation)
+        if flush:
+            yield from self.flush()
+
+    def _deliver(self, detections: list, seq: int) -> None:
+        if self.outbox is None:
+            return
+        for ordinal, detection in enumerate(detections):
+            self.outbox.deliver(detection, seq, ordinal)
+
+    # -- checkpointing ------------------------------------------------------
+
+    def checkpoint_now(self) -> Optional[dict]:
+        """Write a consistent cut: all shard snapshots, one manifest commit."""
+        seq = self._next_seq - 1
+        if seq < 0:
+            return None
+        for wal in self.wals.values():
+            wal.sync()
+        ckpt_dir = os.path.join(self.directory, "checkpoints")
+        os.makedirs(ckpt_dir, exist_ok=True)
+        paths: dict[str, str] = {}
+        for name, engine in self.coordinator.shards.items():
+            file_name = f"{name}-{seq:016d}.json"
+            save_checkpoint(
+                engine.checkpoint(), os.path.join(ckpt_dir, file_name)
+            )
+            paths[name] = file_name
+        if self.instruments is not None:
+            self.instruments.checkpoints.inc()
+        self._fire("checkpoint", seq)
+        entry = {
+            "seq": seq,
+            "checkpoints": paths,
+            "routed": self.coordinator.routed,
+            "multicast": self.coordinator.multicast,
+        }
+        history = (self._history + [entry])[-self.keep_checkpoints :]
+        save_checkpoint(
+            {
+                "format": MANIFEST_FORMAT,
+                "version": MANIFEST_VERSION,
+                "history": history,
+            },
+            self._manifest_path,
+        )
+        self._history = history
+        self._since_checkpoint = 0
+        self.checkpoints_written += 1
+        # Prune: the manifest replace above made the new cut durable.
+        oldest_covered = history[0]["seq"]
+        for wal in self.wals.values():
+            wal.prune(oldest_covered)
+        if self.outbox is not None:
+            self.outbox.compact(oldest_covered)
+        referenced = {
+            file_name
+            for item in history
+            for file_name in item["checkpoints"].values()
+        }
+        for name in os.listdir(ckpt_dir):
+            if name.endswith(".json") and name not in referenced:
+                os.unlink(os.path.join(ckpt_dir, name))
+        return entry
+
+    # -- recovery -----------------------------------------------------------
+
+    @classmethod
+    def recover(
+        cls,
+        factory: Callable[[], Any],
+        directory: str,
+        **kwargs: Any,
+    ) -> tuple["DurableShardedEngine", RecoveryReport]:
+        """Resume a sharded deployment from its newest consistent cut."""
+        durable = cls(factory, directory, _existing=True, **kwargs)
+        report = durable._replay()
+        return durable, report
+
+    def _load_manifest(self) -> list[dict]:
+        try:
+            manifest = load_checkpoint(self._manifest_path)
+        except FileNotFoundError:
+            return []
+        except CheckpointError:
+            # A torn manifest write never happens (atomic replace), but a
+            # corrupted file reduces to "no usable cuts": cold replay.
+            return []
+        if manifest.get("format") != MANIFEST_FORMAT:
+            raise CheckpointError(
+                f"{self._manifest_path!r} is not a durable-fleet manifest"
+            )
+        history = manifest.get("history", [])
+        return history if isinstance(history, list) else []
+
+    def _replay(self) -> RecoveryReport:
+        ckpt_dir = os.path.join(self.directory, "checkpoints")
+        history = self._load_manifest()
+        ckpt_seq = -1
+        tried = 0
+        restored_index = -1
+        for index in range(len(history) - 1, -1, -1):
+            entry = history[index]
+            tried += 1
+            coordinator = self._factory()
+            try:
+                if set(entry["checkpoints"]) != set(coordinator.shards):
+                    raise CheckpointError("manifest shard set mismatch")
+                for name, engine in coordinator.shards.items():
+                    engine.restore(
+                        load_checkpoint(
+                            os.path.join(ckpt_dir, entry["checkpoints"][name])
+                        )
+                    )
+            except (CheckpointError, FileNotFoundError, KeyError, TypeError):
+                continue
+            self.coordinator = coordinator
+            self.coordinator.routed = entry.get("routed", 0)
+            self.coordinator.multicast = entry.get("multicast", 0)
+            self.coordinator._last_seq = entry["seq"]
+            ckpt_seq = entry["seq"]
+            restored_index = index
+            break
+        self._history = history[: restored_index + 1] if restored_index >= 0 else []
+
+        # Merge per-shard logs by global sequence (multicast deduplicates).
+        merged: dict[int, dict] = {}
+        torn = 0
+        for name, wal in self.wals.items():
+            torn += wal.truncated_tail_bytes
+            for record in read_wal(
+                os.path.join(self.directory, WAL_SUBDIR, name),
+                start_after=ckpt_seq,
+            ):
+                merged.setdefault(record.seq, record.payload)
+        if merged and ckpt_seq == -1 and min(merged) > 0:
+            raise WalError(
+                f"logs start at sequence {min(merged)} but no manifest cut "
+                "could be restored; the stream prefix is unrecoverable"
+            )
+        replayed = 0
+        suppressed_before = (
+            self.outbox.suppressed if self.outbox is not None else 0
+        )
+        redelivered = 0
+        for seq in sorted(merged):
+            observation = decode_payload(merged[seq])
+            if observation is None:
+                detections = self.coordinator.flush()
+            else:
+                detections = self.coordinator.submit(observation, seq=seq)
+            replayed += 1
+            if self.instruments is not None:
+                self.instruments.wal_replayed.inc()
+            if self.outbox is not None:
+                for ordinal, detection in enumerate(detections):
+                    if self.outbox.deliver(detection, seq, ordinal):
+                        redelivered += 1
+        floor = max(
+            (wal.last_seq for wal in self.wals.values()), default=-1
+        )
+        self._next_seq = max(ckpt_seq, floor) + 1
+        self._since_checkpoint = 0
+        suppressed = (
+            self.outbox.suppressed - suppressed_before
+            if self.outbox is not None
+            else 0
+        )
+        return RecoveryReport(
+            checkpoint_seq=ckpt_seq,
+            checkpoints_tried=tried,
+            replayed_records=replayed,
+            suppressed_deliveries=suppressed,
+            redelivered=redelivered,
+            torn_bytes_truncated=torn,
+            next_seq=self._next_seq,
+        )
+
+    # -- passthrough --------------------------------------------------------
+
+    def placement(self) -> dict[str, list[str]]:
+        return self.coordinator.placement()
+
+    def traffic_summary(self) -> dict[str, int]:
+        return self.coordinator.traffic_summary()

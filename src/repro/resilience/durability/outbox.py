@@ -1,0 +1,316 @@
+"""Action outbox: exactly-once delivery of detection side effects.
+
+Replaying a write-ahead log re-detects every complex event the first
+life already detected — correct for engine state, catastrophic for
+external effects (the paper's motivating actions are database writes and
+alerts; re-running ``BULK INSERT`` per recovery is not "recovery").  The
+transactional-outbox pattern closes the gap: every delivery is journaled
+*before* it runs and *acknowledged* after it succeeds, so recovery can
+tell "already delivered" from "was about to deliver" and act accordingly.
+
+Journal format: one line per entry, ``<crc32hex> <json>\\n``.  The CRC
+covers the JSON bytes; a torn final line fails its checksum and is
+dropped on load (the same torn-tail contract as the WAL).  Entry
+operations:
+
+* ``i`` — *intent*: delivery ``(seq, ordinal)`` is about to run;
+* ``a`` — *ack*: it succeeded;
+* ``d`` — *dead*: it exhausted its retries and went to the dead-letter
+  queue (counts as resolved — recovery does not retry dead entries).
+
+The delivery key is ``(seq, ordinal)``: the durable sequence number of
+the observation (or flush marker) that produced the detection, plus the
+detection's position within that submission's output.  Detection is
+deterministic, so the key is stable across replays.
+
+The guarantee, precisely: a delivery whose ack reached the journal runs
+exactly once; a crash *between* intent and ack makes that one delivery
+at-least-once (recovery re-runs it, as it cannot know whether the effect
+landed).  Keep sinks idempotent — the journal narrows the duplicate
+window to single in-flight deliveries; it cannot erase it without
+two-phase commit against the sink.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zlib
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Optional
+
+from ..supervise import DeadLetterEntry, DeadLetterQueue, RetryPolicy
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ...obs.instrument import DurabilityInstruments
+
+__all__ = ["ActionOutbox", "OutboxEntry", "read_journal"]
+
+JOURNAL_NAME = "outbox.log"
+
+
+@dataclass(frozen=True)
+class OutboxEntry:
+    """One decoded journal line."""
+
+    op: str  # "i" intent, "a" ack, "d" dead
+    seq: int
+    ordinal: int
+    detail: dict
+
+
+def _format_line(record: dict) -> bytes:
+    body = json.dumps(record, separators=(",", ":")).encode()
+    return b"%08x %s\n" % (zlib.crc32(body), body)
+
+
+def read_journal(path: str) -> list[OutboxEntry]:
+    """Decode a journal's valid prefix (read-only; used by ``wal inspect``).
+
+    Stops silently at the first torn or checksum-failing line, mirroring
+    what :class:`ActionOutbox` accepts when it re-opens the journal.
+    """
+    entries: list[OutboxEntry] = []
+    try:
+        with open(path, "rb") as handle:
+            lines = handle.readlines()
+    except FileNotFoundError:
+        return entries
+    for line in lines:
+        if not line.endswith(b"\n") or len(line) < 10:
+            break
+        crc_hex, _, body = line[:-1].partition(b" ")
+        try:
+            if zlib.crc32(body) != int(crc_hex, 16):
+                break
+        except ValueError:
+            break
+        record = json.loads(body.decode())
+        entries.append(
+            OutboxEntry(record["op"], record["seq"], record["ord"], record)
+        )
+    return entries
+
+
+class ActionOutbox:
+    """Journaled, retried, exactly-once delivery of detections to a sink.
+
+    ``sink`` receives ``(detection, seq, ordinal)`` and performs the
+    external effect.  Failures retry under ``retry``
+    (:class:`~repro.resilience.supervise.RetryPolicy`); a delivery that
+    exhausts its attempts is journaled dead and captured into
+    :attr:`dead_letters` with full context — resolved, never lost, never
+    blocking the stream.
+
+    Re-opening an outbox on an existing journal restores the resolved
+    set, so :meth:`deliver` called again for an acked key is a no-op
+    (counted as *suppressed*) — this is what makes WAL replay safe.
+    """
+
+    def __init__(
+        self,
+        directory: str,
+        sink: Callable[[object, int, int], None],
+        *,
+        retry: Optional[RetryPolicy] = None,
+        dead_letter_capacity: int = 1000,
+        fsync: bool = False,
+        instruments: "Optional[DurabilityInstruments]" = None,
+    ) -> None:
+        os.makedirs(directory, exist_ok=True)
+        self.path = os.path.join(directory, JOURNAL_NAME)
+        self.sink = sink
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.dead_letters = DeadLetterQueue(dead_letter_capacity)
+        self.fsync = fsync
+        self.instruments = instruments
+        self.delivered = 0
+        self.suppressed = 0
+        self.retries = 0
+        #: (seq, ordinal) -> op of the entry that resolved it ("a" or "d").
+        self._resolved: dict[tuple[int, int], str] = {}
+        #: intents without a resolution (crash left them in flight).
+        self._in_flight: set[tuple[int, int]] = set()
+        self._load()
+        self._handle = open(self.path, "ab")
+
+    # -- journal ------------------------------------------------------------
+
+    def _load(self) -> None:
+        try:
+            with open(self.path, "rb") as handle:
+                lines = handle.readlines()
+        except FileNotFoundError:
+            return
+        valid_bytes = 0
+        for line in lines:
+            if not line.endswith(b"\n") or len(line) < 10:
+                break  # torn tail
+            crc_hex, _, body = line[:-1].partition(b" ")
+            try:
+                expected = int(crc_hex, 16)
+            except ValueError:
+                break
+            if zlib.crc32(body) != expected:
+                break
+            record = json.loads(body.decode())
+            key = (record["seq"], record["ord"])
+            if record["op"] == "i":
+                self._in_flight.add(key)
+            else:
+                self._resolved[key] = record["op"]
+                self._in_flight.discard(key)
+            valid_bytes += len(line)
+        total = sum(len(line) for line in lines)
+        if valid_bytes < total:
+            # Self-heal the torn tail so appends start on a clean line.
+            with open(self.path, "r+b") as handle:
+                handle.truncate(valid_bytes)
+
+    def _append(self, record: dict) -> None:
+        self._handle.write(_format_line(record))
+        self._handle.flush()
+        if self.fsync:
+            os.fsync(self._handle.fileno())
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.flush()
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "ActionOutbox":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    # -- delivery -----------------------------------------------------------
+
+    def is_resolved(self, seq: int, ordinal: int) -> bool:
+        return (seq, ordinal) in self._resolved
+
+    @property
+    def in_flight(self) -> set[tuple[int, int]]:
+        """Intents with no ack/dead marker (interrupted deliveries)."""
+        return set(self._in_flight)
+
+    def deliver(self, detection: object, seq: int, ordinal: int) -> bool:
+        """Run the sink for one detection, exactly once per key.
+
+        Returns True when the sink ran (successfully or into the
+        dead-letter queue), False when the key was already resolved and
+        the delivery was suppressed.
+        """
+        key = (seq, ordinal)
+        if key in self._resolved:
+            self.suppressed += 1
+            if self.instruments is not None:
+                self.instruments.outbox_suppressed.inc()
+            return False
+        rule_id = getattr(getattr(detection, "rule", None), "rule_id", None)
+        if key not in self._in_flight:
+            self._append(
+                {"op": "i", "seq": seq, "ord": ordinal, "rule": rule_id}
+            )
+            self._in_flight.add(key)
+        policy = self.retry
+        attempt = 0
+        while True:
+            attempt += 1
+            try:
+                self.sink(detection, seq, ordinal)
+            except Exception as exc:
+                if attempt >= policy.attempts:
+                    self._append(
+                        {
+                            "op": "d",
+                            "seq": seq,
+                            "ord": ordinal,
+                            "rule": rule_id,
+                            "error": f"{type(exc).__name__}: {exc}",
+                        }
+                    )
+                    self._resolve(key, "d")
+                    self.dead_letters.push(
+                        DeadLetterEntry(
+                            kind="delivery",
+                            observation=None,
+                            rule_id=rule_id,
+                            bindings=dict(
+                                getattr(
+                                    getattr(detection, "instance", None),
+                                    "bindings",
+                                    {},
+                                )
+                            ),
+                            error_type=type(exc).__name__,
+                            error=str(exc),
+                            traceback="",
+                            time=getattr(detection, "time", float("nan")),
+                            attempts=attempt,
+                        )
+                    )
+                    if self.instruments is not None:
+                        self.instruments.outbox_dead_letters.inc()
+                    return True
+                self.retries += 1
+                policy.sleep(policy.delay(attempt))
+                continue
+            break
+        self._append({"op": "a", "seq": seq, "ord": ordinal})
+        self._resolve(key, "a")
+        self.delivered += 1
+        if self.instruments is not None:
+            self.instruments.outbox_delivered.inc()
+        return True
+
+    def _resolve(self, key: tuple[int, int], op: str) -> None:
+        self._resolved[key] = op
+        self._in_flight.discard(key)
+
+    # -- maintenance --------------------------------------------------------
+
+    def compact(self, up_to_seq: int) -> int:
+        """Rewrite the journal keeping only entries with ``seq > up_to_seq``.
+
+        Checkpoint pruning makes resolutions at or below the checkpoint
+        sequence unreachable by any future replay, so their journal lines
+        are dead weight.  Returns the number of entries dropped.  The
+        rewrite is atomic (temp file + ``os.replace``).
+        """
+        kept_resolved = {
+            key: op for key, op in self._resolved.items() if key[0] > up_to_seq
+        }
+        kept_in_flight = {key for key in self._in_flight if key[0] > up_to_seq}
+        dropped = (len(self._resolved) - len(kept_resolved)) + (
+            len(self._in_flight) - len(kept_in_flight)
+        )
+        if not dropped:
+            return 0
+        temp_path = self.path + ".compact"
+        with open(temp_path, "wb") as handle:
+            for seq, ordinal in sorted(kept_in_flight):
+                handle.write(
+                    _format_line({"op": "i", "seq": seq, "ord": ordinal})
+                )
+            for (seq, ordinal), op in sorted(kept_resolved.items()):
+                handle.write(
+                    _format_line({"op": "i", "seq": seq, "ord": ordinal})
+                )
+                handle.write(
+                    _format_line({"op": op, "seq": seq, "ord": ordinal})
+                )
+            handle.flush()
+            os.fsync(handle.fileno())
+        self._handle.close()
+        os.replace(temp_path, self.path)
+        self._handle = open(self.path, "ab")
+        self._resolved = kept_resolved
+        self._in_flight = kept_in_flight
+        return dropped
+
+    def entries(self) -> list[OutboxEntry]:
+        """Decode the whole journal (diagnostics / ``wal inspect``)."""
+        self._handle.flush()
+        return read_journal(self.path)

@@ -464,16 +464,19 @@ class SupervisedEngine:
 
     # -- streaming -------------------------------------------------------------
 
-    def submit(self, observation: Observation) -> list[Detection]:
+    def submit(
+        self, observation: Observation, seq: "Optional[int]" = None
+    ) -> list[Detection]:
         """Process one observation; poison input is quarantined, not raised.
 
         Detections the engine produced before the failure point are
         still returned.  Quarantine is best-effort isolation: state the
         observation mutated before raising stays mutated (the same
-        guarantee a crash-and-restore cycle would give).
+        guarantee a crash-and-restore cycle would give).  ``seq`` is
+        forwarded to the wrapped engine (durable sequence plumbing).
         """
         try:
-            return self.engine.submit(observation)
+            return self.engine.submit(observation, seq=seq)
         except Exception as exc:
             self._quarantine_observation(observation, exc)
             return self.engine._take_output()
@@ -517,6 +520,10 @@ class SupervisedEngine:
     @property
     def clock(self) -> float:
         return self.engine.clock
+
+    @property
+    def last_seq(self) -> int:
+        return self.engine.last_seq
 
     @property
     def metrics(self):

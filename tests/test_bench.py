@@ -131,6 +131,30 @@ class TestLatency:
         assert "p99" in capsys.readouterr().out
 
 
+class TestWalBench:
+    def test_wal_bench_matches_baseline_detections(self):
+        from repro.bench.wal import run_wal_bench
+
+        results = run_wal_bench(full_scale=False)
+        assert [result.policy for result in results] == [
+            "never",
+            "batch:64",
+            "always",
+        ]
+        first = results[0]
+        assert first.appends > first.n_events  # observations + flush marker
+        assert first.bytes_logged > 0
+        assert results[-1].fsyncs >= first.n_events  # always: one per append
+
+    def test_wal_cli(self, capsys):
+        from repro.bench.__main__ import main
+
+        assert main(["wal"]) == 0
+        out = capsys.readouterr().out
+        assert "fsync policy" in out
+        assert "batch:64" in out
+
+
 class TestReport:
     def test_generate_report_contains_all_sections(self):
         from repro.bench.report import generate_report
@@ -144,6 +168,7 @@ class TestReport:
             "sub-graph merging",
             "re-evaluation",
             "latency",
+            "WAL durability overhead",
         ):
             assert heading in text, heading
         assert "RCEDA matches: **2**" in text

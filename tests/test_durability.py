@@ -1,0 +1,553 @@
+"""Crash matrix for the durable layer: WAL + checkpoints + outbox.
+
+The contract under test: for ANY crash point — between any two protocol
+steps, at any stream position, with or without a checkpoint on disk —
+``DurableEngine.recover()`` resumes so that total detections AND total
+external deliveries equal an uninterrupted run's, exactly once each.
+
+The quick matrix here runs on the small pair workload; the exhaustive
+dirty-stream sweep (every index × every protocol stage on a
+duplicate-injected simulator trace, supervised engine, sharded variant)
+is marked ``slow`` and runs via ``pytest -m slow`` in CI.
+"""
+
+import random
+
+import pytest
+
+from repro import Engine, Observation, Var, obs
+from repro.core.errors import CheckpointError, WalError
+from repro.core.expressions import TSeq, TSeqPlus
+from repro.core.sharding import ShardedEngine
+from repro.readers import inject_duplicates, sort_stream
+from repro.resilience import (
+    DurableEngine,
+    DurableShardedEngine,
+    RetryPolicy,
+    SimulatedCrash,
+    SupervisedEngine,
+    corrupt_checkpoint,
+    crash_failpoint,
+    kill_and_restore_run,
+    tear_wal_tail,
+)
+from repro.resilience.durability import checkpoint_files
+from repro.rules import Rule
+from repro.simulator import PackingConfig, simulate_packing
+
+STAGES = ("append", "detect", "deliver")
+
+
+def is_ordered_subset(candidate, reference):
+    """True when ``candidate`` is a subsequence of ``reference``.
+
+    Mid-protocol crashes lose the crashed submission's *return value*
+    (recovery re-detects it and routes it through the outbox, but replay
+    output is deliberately not returned), so the detections a caller
+    collects across lives are an ordered subset of an uninterrupted
+    run's — while deliveries must match exactly.
+    """
+    iterator = iter(reference)
+    return all(item in iterator for item in candidate)
+
+
+def canon(detections):
+    """Order-preserving canonical form: rule, time, bindings, leaf readings."""
+    return [
+        (
+            detection.rule.rule_id,
+            detection.time,
+            sorted(detection.bindings.items(), key=lambda item: item[0]),
+            [
+                (reading.reader, reading.obj, reading.timestamp)
+                for reading in detection.instance.observations()
+            ],
+        )
+        for detection in detections
+    ]
+
+
+def pair_rules():
+    return [
+        Rule(
+            "pair",
+            "pair",
+            TSeq(obs("a", Var("x")), obs("b", Var("x")), 0.0, 10.0),
+            actions=[],
+        )
+    ]
+
+
+def pair_stream():
+    observations = [Observation("a", f"o{i}", float(i)) for i in range(6)]
+    observations += [Observation("b", f"o{i}", float(i) + 4.0) for i in range(6)]
+    observations.sort(key=lambda observation: observation.timestamp)
+    return observations
+
+
+def make_sink(deliveries):
+    def sink(detection, seq, ordinal):
+        deliveries.append((seq, ordinal, detection.rule.rule_id))
+
+    return sink
+
+
+def baseline_run(factory, stream, directory):
+    """One uninterrupted durable run; returns (canon detections, deliveries)."""
+    deliveries = []
+    with DurableEngine(
+        factory, directory, sink=make_sink(deliveries), checkpoint_every=3
+    ) as durable:
+        detections = list(durable.run(stream))
+    return canon(detections), sorted(deliveries)
+
+
+class TestDurableMatchesPlainEngine:
+    def test_same_detections_as_bare_engine(self, tmp_path):
+        stream = pair_stream()
+        expected = canon(list(Engine(pair_rules()).run(stream)))
+        with DurableEngine(
+            lambda: Engine(pair_rules()), str(tmp_path / "d")
+        ) as durable:
+            found = list(durable.run(stream))
+        assert canon(found) == expected
+
+    def test_fresh_engine_refuses_dirty_directory(self, tmp_path):
+        directory = str(tmp_path / "d")
+        with DurableEngine(lambda: Engine(pair_rules()), directory) as durable:
+            durable.submit(pair_stream()[0])
+        with pytest.raises(WalError, match="already holds durable state"):
+            DurableEngine(lambda: Engine(pair_rules()), directory)
+
+
+class TestCrashMatrix:
+    def test_boundary_kill_at_every_index(self, tmp_path):
+        """Kill between observations at every position, via the chaos
+        harness's durable-recovery mode."""
+        stream = pair_stream()
+        factory = lambda: Engine(pair_rules())  # noqa: E731
+        expected, expected_deliveries = baseline_run(
+            factory, stream, str(tmp_path / "base")
+        )
+        for kill_at in range(len(stream) + 1):
+            directory = str(tmp_path / f"kill{kill_at}")
+            deliveries = []
+            sink = make_sink(deliveries)
+            detections, revived = kill_and_restore_run(
+                lambda: DurableEngine(
+                    factory, directory, sink=sink, checkpoint_every=3
+                ),
+                stream,
+                kill_at,
+                recover=lambda: DurableEngine.recover(
+                    factory, directory, sink=sink, checkpoint_every=3
+                )[0],
+            )
+            revived.close()
+            assert canon(detections) == expected, f"kill_at={kill_at}"
+            assert sorted(deliveries) == expected_deliveries, f"kill_at={kill_at}"
+
+    def test_failpoint_kill_at_every_stage_and_seq(self, tmp_path):
+        """Crash *inside* the protocol — after append, after detect,
+        after deliver — at every sequence number; deliveries must come
+        out exactly once regardless."""
+        stream = pair_stream()
+        factory = lambda: Engine(pair_rules())  # noqa: E731
+        expected, expected_deliveries = baseline_run(
+            factory, stream, str(tmp_path / "base")
+        )
+        for stage in STAGES:
+            for crash_seq in range(len(stream)):
+                directory = str(tmp_path / f"{stage}{crash_seq}")
+                deliveries = []
+                sink = make_sink(deliveries)
+                detections = []
+                durable = DurableEngine(
+                    factory, directory, sink=sink, checkpoint_every=3
+                )
+                durable.failpoint = crash_failpoint(stage, crash_seq)
+                with pytest.raises(SimulatedCrash):
+                    for observation in stream:
+                        detections.extend(durable.submit(observation))
+                del durable  # the kill: no close, no checkpoint
+                revived, report = DurableEngine.recover(
+                    factory, directory, sink=sink, checkpoint_every=3
+                )
+                for observation in stream[report.next_seq :]:
+                    detections.extend(revived.submit(observation))
+                detections.extend(revived.flush())
+                revived.close()
+                key = f"stage={stage} seq={crash_seq}"
+                assert sorted(deliveries) == expected_deliveries, key
+                assert is_ordered_subset(canon(detections), expected), key
+
+    def test_double_crash_during_recovery_tail(self, tmp_path):
+        """Crash, recover, crash again before the next checkpoint — the
+        second recovery must still converge."""
+        stream = pair_stream()
+        factory = lambda: Engine(pair_rules())  # noqa: E731
+        expected, expected_deliveries = baseline_run(
+            factory, stream, str(tmp_path / "base")
+        )
+        directory = str(tmp_path / "d")
+        deliveries = []
+        sink = make_sink(deliveries)
+        detections = []
+        durable = DurableEngine(factory, directory, sink=sink, checkpoint_every=4)
+        durable.failpoint = crash_failpoint("detect", 5)
+        with pytest.raises(SimulatedCrash):
+            for observation in stream:
+                detections.extend(durable.submit(observation))
+        del durable
+        revived, report = DurableEngine.recover(
+            factory, directory, sink=sink, checkpoint_every=4
+        )
+        revived.failpoint = crash_failpoint("deliver", 8)
+        with pytest.raises(SimulatedCrash):
+            for observation in stream[report.next_seq :]:
+                detections.extend(revived.submit(observation))
+        del revived
+        final, report = DurableEngine.recover(
+            factory, directory, sink=sink, checkpoint_every=4
+        )
+        for observation in stream[report.next_seq :]:
+            detections.extend(final.submit(observation))
+        detections.extend(final.flush())
+        final.close()
+        assert sorted(deliveries) == expected_deliveries
+        assert is_ordered_subset(canon(detections), expected)
+
+
+class TestDamagedState:
+    def _crashed_dir(self, tmp_path, kill_at=9, checkpoint_every=3, **kwargs):
+        stream = pair_stream()
+        factory = lambda: Engine(pair_rules())  # noqa: E731
+        directory = str(tmp_path / "d")
+        durable = DurableEngine(
+            factory, directory, checkpoint_every=checkpoint_every, **kwargs
+        )
+        for observation in stream[:kill_at]:
+            durable.submit(observation)
+        del durable
+        return factory, directory, stream, kill_at
+
+    def test_torn_wal_tail_truncated_and_resubmittable(self, tmp_path):
+        # kill_at=8: the newest checkpoint (seq 5) does NOT cover the
+        # torn final record (seq 7), so the tear genuinely loses it.
+        factory, directory, stream, kill_at = self._crashed_dir(tmp_path, kill_at=8)
+        import os
+
+        _path, torn = tear_wal_tail(os.path.join(directory, "wal"), seed=3)
+        assert torn > 0
+        revived, report = DurableEngine.recover(factory, directory)
+        assert report.torn_bytes_truncated > 0
+        # The torn record's observation was lost; recovery hands back the
+        # sequence to resume from and resubmission converges.
+        assert report.next_seq == kill_at - 1
+        detections = canon(
+            [
+                detection
+                for observation in stream[report.next_seq :]
+                for detection in revived.submit(observation)
+            ]
+            + revived.flush()
+        )
+        revived.close()
+        # Suffix of the uninterrupted run's detections.
+        full = canon(list(Engine(pair_rules()).run(stream)))
+        assert detections == full[len(full) - len(detections) :]
+
+    def test_corrupt_newest_checkpoint_falls_back(self, tmp_path):
+        import os
+
+        factory, directory, stream, kill_at = self._crashed_dir(tmp_path)
+        names = checkpoint_files(directory)
+        assert len(names) == 2
+        corrupt_checkpoint(os.path.join(directory, names[-1]), mode="garble")
+        revived, report = DurableEngine.recover(factory, directory)
+        assert report.checkpoints_tried == 2
+        assert report.checkpoint_seq < kill_at
+        assert report.next_seq == kill_at
+        expected = canon(list(Engine(pair_rules()).run(stream)))
+        tail = canon(
+            [
+                detection
+                for observation in stream[kill_at:]
+                for detection in revived.submit(observation)
+            ]
+            + revived.flush()
+        )
+        revived.close()
+        assert tail == expected[len(expected) - len(tail) :]
+
+    def test_recovery_is_idempotent(self, tmp_path):
+        factory, directory, stream, kill_at = self._crashed_dir(tmp_path)
+        first, report1 = DurableEngine.recover(factory, directory)
+        first.close()
+        second, report2 = DurableEngine.recover(factory, directory)
+        assert report2.next_seq == report1.next_seq
+        detections = canon(
+            [
+                detection
+                for observation in stream[report2.next_seq :]
+                for detection in second.submit(observation)
+            ]
+            + second.flush()
+        )
+        second.close()
+        expected = canon(list(Engine(pair_rules()).run(stream)))
+        assert detections == expected[len(expected) - len(detections) :]
+
+    def test_cold_replay_of_pruned_prefix_refused(self, tmp_path):
+        """Checkpoints gone but the WAL pruned behind them: replaying
+        from nothing would silently skip the pruned prefix."""
+        import os
+
+        factory, directory, _stream, _kill_at = self._crashed_dir(
+            tmp_path, segment_max_bytes=120
+        )
+        assert not os.path.exists(
+            os.path.join(directory, "wal", "wal-0000000000000000.seg")
+        )  # pruning really happened
+        for name in checkpoint_files(directory):
+            os.unlink(os.path.join(directory, name))
+        with pytest.raises(WalError, match="unrecoverable"):
+            DurableEngine.recover(factory, directory)
+
+
+class TestDurableSharded:
+    def _rules(self):
+        return [
+            Rule(
+                "pair",
+                "pair",
+                TSeq(obs("a", Var("x")), obs("b", Var("x")), 0.0, 10.0),
+                actions=[],
+            ),
+            Rule(
+                "cd",
+                "cd",
+                TSeq(obs("c", Var("x")), obs("d", Var("x")), 0.0, 10.0),
+                actions=[],
+            ),
+            Rule(
+                "any",
+                "any",
+                TSeq(obs(None, Var("x")), obs("b", Var("x")), 0.0, 10.0),
+                actions=[],
+            ),
+        ]
+
+    def _factory(self):
+        return ShardedEngine(self._rules(), max_shards=3)
+
+    def _stream(self):
+        observations = [Observation("a", f"o{i}", float(i)) for i in range(4)]
+        observations += [
+            Observation("c", f"o{i}", float(i) + 0.5) for i in range(4)
+        ]
+        observations += [
+            Observation("b", f"o{i}", float(i) + 4.0) for i in range(4)
+        ]
+        observations += [
+            Observation("d", f"o{i}", float(i) + 4.5) for i in range(4)
+        ]
+        observations.sort(key=lambda observation: observation.timestamp)
+        return observations
+
+    def test_multiple_shards_exist(self):
+        assert len(self._factory().shards) > 1
+
+    def test_boundary_kill_at_every_index(self, tmp_path):
+        stream = self._stream()
+        deliveries0 = []
+        with DurableShardedEngine(
+            self._factory,
+            str(tmp_path / "base"),
+            sink=make_sink(deliveries0),
+            checkpoint_every=3,
+        ) as base:
+            expected = canon(list(base.run(stream)))
+        expected_deliveries = sorted(deliveries0)
+        for kill_at in range(0, len(stream) + 1, 3):
+            directory = str(tmp_path / f"kill{kill_at}")
+            deliveries = []
+            sink = make_sink(deliveries)
+            detections, revived = kill_and_restore_run(
+                lambda: DurableShardedEngine(
+                    self._factory, directory, sink=sink, checkpoint_every=3
+                ),
+                stream,
+                kill_at,
+                recover=lambda: DurableShardedEngine.recover(
+                    self._factory, directory, sink=sink, checkpoint_every=3
+                )[0],
+            )
+            revived.close()
+            assert canon(detections) == expected, f"kill_at={kill_at}"
+            assert sorted(deliveries) == expected_deliveries, f"kill_at={kill_at}"
+
+    def test_crash_between_shard_snapshots_and_manifest(self, tmp_path):
+        """The manifest replace is the commit point: a crash after the
+        shard snapshot files are written but before the manifest points
+        at them must recover from the PREVIOUS cut, not the torso."""
+        stream = self._stream()
+        expected = canon(
+            list(
+                DurableShardedEngine(
+                    self._factory, str(tmp_path / "base")
+                ).run(stream)
+            )
+        )
+        directory = str(tmp_path / "d")
+        durable = DurableShardedEngine(
+            self._factory, directory, checkpoint_every=3
+        )
+        crashed_at = None
+        calls = 0
+
+        def failpoint(stage, seq):
+            nonlocal crashed_at, calls
+            if stage == "checkpoint":
+                calls += 1
+                if calls == 2:  # let the first checkpoint commit
+                    crashed_at = seq
+                    raise SimulatedCrash(f"checkpoint at seq {seq}")
+
+        durable.failpoint = failpoint
+        detections = []
+        with pytest.raises(SimulatedCrash):
+            for observation in stream:
+                detections.extend(durable.submit(observation))
+        del durable
+        revived, report = DurableShardedEngine.recover(
+            self._factory, directory, checkpoint_every=3
+        )
+        # The aborted second cut was not committed...
+        assert report.checkpoint_seq < crashed_at
+        # ...but the WAL still covers everything that was submitted.
+        assert report.next_seq == crashed_at + 1
+        for observation in stream[report.next_seq :]:
+            detections.extend(revived.submit(observation))
+        detections.extend(revived.flush())
+        revived.close()
+        assert canon(detections) == expected
+
+
+def containment_rule_raw():
+    item = obs("r1", Var("o1"), t=Var("t1"))
+    case = obs("r2", Var("o2"), t=Var("t2"))
+    return Rule(
+        "r4",
+        "containment",
+        TSeq(TSeqPlus(item, 0.0, 1.0), case, 10, 20),
+        actions=[],
+    )
+
+
+@pytest.mark.slow
+class TestExhaustiveDirtyStreamMatrix:
+    """Every protocol stage × every sequence number, on a realistic
+    duplicate-injected simulator trace behind a SupervisedEngine."""
+
+    def _workload(self):
+        trace = simulate_packing(PackingConfig(cases=4), rng=random.Random(11))
+        dirty = sort_stream(
+            inject_duplicates(
+                trace.observations, rate=0.3, rng=random.Random(12), delta=0.05
+            )
+        )
+        return dirty
+
+    def _factory(self):
+        return SupervisedEngine([containment_rule_raw()])
+
+    def test_failpoint_kill_everywhere(self, tmp_path):
+        stream = self._workload()
+        expected, expected_deliveries = None, None
+        deliveries0 = []
+        with DurableEngine(
+            self._factory,
+            str(tmp_path / "base"),
+            sink=make_sink(deliveries0),
+            checkpoint_every=5,
+            retry=RetryPolicy(attempts=1, base_delay=0.0),
+        ) as base:
+            expected = canon(list(base.run(stream)))
+        expected_deliveries = sorted(deliveries0)
+
+        for stage in STAGES:
+            for crash_seq in range(len(stream)):
+                directory = str(tmp_path / f"{stage}{crash_seq}")
+                deliveries = []
+                sink = make_sink(deliveries)
+                detections = []
+                durable = DurableEngine(
+                    self._factory,
+                    directory,
+                    sink=sink,
+                    checkpoint_every=5,
+                    retry=RetryPolicy(attempts=1, base_delay=0.0),
+                )
+                durable.failpoint = crash_failpoint(stage, crash_seq)
+                with pytest.raises(SimulatedCrash):
+                    for observation in stream:
+                        detections.extend(durable.submit(observation))
+                del durable
+                revived, report = DurableEngine.recover(
+                    self._factory,
+                    directory,
+                    sink=sink,
+                    checkpoint_every=5,
+                    retry=RetryPolicy(attempts=1, base_delay=0.0),
+                )
+                for observation in stream[report.next_seq :]:
+                    detections.extend(revived.submit(observation))
+                detections.extend(revived.flush())
+                revived.close()
+                key = f"stage={stage} seq={crash_seq}"
+                assert sorted(deliveries) == expected_deliveries, key
+                assert is_ordered_subset(canon(detections), expected), key
+
+    def test_checkpoint_corruption_sweep(self, tmp_path):
+        """Garble or truncate the newest checkpoint at several kill
+        points; recovery must fall back and still converge."""
+        import os
+
+        stream = self._workload()
+        with DurableEngine(
+            self._factory, str(tmp_path / "base"), checkpoint_every=5
+        ) as base:
+            expected = canon(list(base.run(stream)))
+        for mode in ("truncate", "garble"):
+            for kill_at in range(12, len(stream), 7):
+                directory = str(tmp_path / f"{mode}{kill_at}")
+                durable = DurableEngine(
+                    self._factory, directory, checkpoint_every=5
+                )
+                detections = []
+                for observation in stream[:kill_at]:
+                    detections.extend(durable.submit(observation))
+                del durable
+                names = checkpoint_files(directory)
+                if names:
+                    corrupt_checkpoint(
+                        os.path.join(directory, names[-1]), mode=mode, seed=kill_at
+                    )
+                revived, report = DurableEngine.recover(self._factory, directory)
+                for observation in stream[report.next_seq :]:
+                    detections.extend(revived.submit(observation))
+                detections.extend(revived.flush())
+                revived.close()
+                assert canon(detections) == expected, f"{mode} kill_at={kill_at}"
+
+
+class TestCheckpointErrorType:
+    def test_corrupt_checkpoint_load_raises_checkpoint_error(self, tmp_path):
+        from repro.resilience import load_checkpoint, save_checkpoint
+
+        path = str(tmp_path / "c.json")
+        save_checkpoint({"format": "x", "version": 1}, path)
+        corrupt_checkpoint(path, mode="garble")
+        with pytest.raises(CheckpointError):
+            load_checkpoint(path)
