@@ -8,6 +8,7 @@ Usage::
     python -m repro metrics --rules rules.txt --stream stream.jsonl
     python -m repro chaos --rules rules.txt --stream stream.jsonl \
         --seed 7 --kill-at 500     # fault injection + crash-recovery drill
+    python -m repro serve --rules rules.txt --port 7007  # network server
     python -m repro graph --rules rules.txt            # DOT to stdout
     python -m repro demo                                # end-to-end demo
 
@@ -26,23 +27,22 @@ from .readers import load_stream, save_stream
 from .store import RfidStore
 
 
+def _packing_stream(cases: int, seed: int):
+    """Simulate the packing scenario; shared by record and the wal drill."""
+    import random
+
+    from .simulator import PackingConfig, simulate_packing
+
+    trace = simulate_packing(PackingConfig(cases=cases), rng=random.Random(seed))
+    return trace.observations
+
+
 def _cmd_record(arguments: argparse.Namespace) -> int:
-    from .simulator import (
-        PackingConfig,
-        SupplyChainConfig,
-        simulate_packing,
-        simulate_supply_chain,
-    )
-
     if arguments.scenario == "packing":
-        import random
-
-        trace = simulate_packing(
-            PackingConfig(cases=arguments.cases),
-            rng=random.Random(arguments.seed),
-        )
-        observations = trace.observations
+        observations = _packing_stream(arguments.cases, arguments.seed)
     else:
+        from .simulator import SupplyChainConfig, simulate_supply_chain
+
         config = SupplyChainConfig(seed=arguments.seed)
         observations = simulate_supply_chain(config).observations
     count = save_stream(observations, arguments.out)
@@ -53,6 +53,41 @@ def _cmd_record(arguments: argparse.Namespace) -> int:
 def _load_rules(path: str):
     with open(path) as handle:
         return parse_program(handle.read())
+
+
+def _load_inputs(arguments: argparse.Namespace):
+    """Load the ``--rules`` program and ``--stream`` observations together.
+
+    Every command that replays a recorded stream through a rule program
+    (run, metrics, chaos) starts exactly this way.
+    """
+    return _load_rules(arguments.rules), load_stream(arguments.stream)
+
+
+def _build_engine(rules, *, store=None, metrics=None) -> Engine:
+    """One canonical way to stand up an engine for CLI commands.
+
+    Rule actions may touch the store, so commands always provide one
+    (callers that care about its contents pass their own).
+    """
+    return Engine(
+        rules,
+        store=RfidStore() if store is None else store,
+        functions=FunctionRegistry(),
+        metrics=metrics,
+    )
+
+
+def _package_version() -> str:
+    """The installed distribution version, falling back to the source tree."""
+    try:
+        from importlib.metadata import version
+
+        return version("repro")
+    except Exception:
+        from . import __version__
+
+        return __version__
 
 
 def _write_metrics(registry, destination: str, format: str) -> None:
@@ -74,16 +109,10 @@ def _write_metrics(registry, destination: str, format: str) -> None:
 def _cmd_run(arguments: argparse.Namespace) -> int:
     from .obs import MetricsRegistry
 
-    program = _load_rules(arguments.rules)
-    observations = load_stream(arguments.stream)
+    program, observations = _load_inputs(arguments)
     store = RfidStore()
     registry = MetricsRegistry() if getattr(arguments, "metrics", None) else None
-    engine = Engine(
-        program.rules,
-        store=store,
-        functions=FunctionRegistry(),
-        metrics=registry,
-    )
+    engine = _build_engine(program.rules, store=store, metrics=registry)
     detections = len(engine.submit_many(observations))
     detections += len(engine.flush())
     print(f"{len(observations)} observations, {detections} detections")
@@ -105,15 +134,9 @@ def _cmd_metrics(arguments: argparse.Namespace) -> int:
     """Run instrumented and print the snapshot — nothing else."""
     from .obs import MetricsRegistry
 
-    program = _load_rules(arguments.rules)
-    observations = load_stream(arguments.stream)
+    program, observations = _load_inputs(arguments)
     registry = MetricsRegistry()
-    engine = Engine(
-        program.rules,
-        store=RfidStore(),  # rule actions may need one; output is discarded
-        functions=FunctionRegistry(),
-        metrics=registry,
-    )
+    engine = _build_engine(program.rules, metrics=registry)
     engine.submit_many(observations)
     engine.flush()
     _write_metrics(registry, arguments.out, arguments.format)
@@ -136,8 +159,7 @@ def _cmd_chaos(arguments: argparse.Namespace) -> int:
     from .obs import MetricsRegistry
     from .resilience import ChaosConfig, ChaosInjector, SupervisedEngine
 
-    program = _load_rules(arguments.rules)
-    observations = load_stream(arguments.stream)
+    program, observations = _load_inputs(arguments)
     injector = ChaosInjector(
         ChaosConfig(
             seed=arguments.seed,
@@ -247,7 +269,7 @@ def _cmd_wal_recover(arguments: argparse.Namespace) -> int:
     store = RfidStore()
 
     def build() -> Engine:
-        return Engine(program.rules, store=store, functions=FunctionRegistry())
+        return _build_engine(program.rules, store=store)
 
     durable, report = DurableEngine.recover(
         build, arguments.dir, fsync=arguments.fsync
@@ -273,7 +295,6 @@ def _cmd_wal_drill(arguments: argparse.Namespace) -> int:
     only when the interrupted run's detections *and* sink deliveries
     match the baseline exactly — the durability contract, end to end.
     """
-    import random
     import shutil
     import tempfile
 
@@ -281,12 +302,8 @@ def _cmd_wal_drill(arguments: argparse.Namespace) -> int:
     from .resilience import tear_wal_tail
     from .resilience.durability import DurableEngine
     from .resilience.durability.engine import WAL_SUBDIR
-    from .simulator import PackingConfig, simulate_packing
 
-    trace = simulate_packing(
-        PackingConfig(cases=arguments.cases), rng=random.Random(arguments.seed)
-    )
-    observations = trace.observations
+    observations = _packing_stream(arguments.cases, arguments.seed)
     kill_at = (
         len(observations) // 2
         if arguments.kill_at == "mid"
@@ -302,12 +319,7 @@ def _cmd_wal_drill(arguments: argparse.Namespace) -> int:
         ]
 
     def build():
-        store = RfidStore()
-        return Engine(
-            [containment_rule(), location_rule()],
-            store=store,
-            functions=FunctionRegistry(),
-        )
+        return _build_engine([containment_rule(), location_rule()])
 
     def run_one(directory, kill):
         deliveries: list = []
@@ -386,6 +398,89 @@ def _cmd_wal_drill(arguments: argparse.Namespace) -> int:
     return 1
 
 
+def _cmd_serve(arguments: argparse.Namespace) -> int:
+    """Serve a rule program over TCP (see ``docs/serving.md``).
+
+    Prints ``serving on HOST:PORT`` once the socket is bound (``--port 0``
+    picks an ephemeral port, so scripts can parse the line), then runs
+    until interrupted or ``--max-seconds`` elapses.  ``--backend durable``
+    recovers ``--dir`` first, so restarting the server resumes the WAL
+    and reconnecting clients continue from their last acked sequence.
+    """
+    import asyncio
+
+    from .obs import MetricsRegistry
+    from .serve import CepServer, ServeConfig, SlowConsumerPolicy
+
+    program = _load_rules(arguments.rules)
+    registry = MetricsRegistry() if arguments.metrics else None
+
+    durable = None
+    if arguments.backend == "durable":
+        if not arguments.dir:
+            print("--backend durable requires --dir")
+            return 2
+        from .resilience.durability import DurableEngine
+
+        durable, report = DurableEngine.recover(
+            lambda: _build_engine(program.rules, metrics=registry),
+            arguments.dir,
+            fsync=arguments.fsync,
+        )
+        backend = durable
+        print(
+            f"durable backend: {arguments.dir} "
+            f"(replayed {report.replayed_records}, next seq {report.next_seq})"
+        )
+    elif arguments.backend == "sharded":
+        from .core.sharding import ShardedEngine
+
+        backend = ShardedEngine(
+            program.rules,
+            max_shards=arguments.shards,
+            store=RfidStore(),
+            functions=FunctionRegistry(),
+            metrics=registry,
+        )
+    else:
+        backend = _build_engine(program.rules, metrics=registry)
+
+    config = ServeConfig(
+        submit_queue=arguments.submit_queue,
+        push_queue=arguments.push_queue,
+        push_policy=SlowConsumerPolicy.coerce(arguments.push_policy),
+    )
+
+    async def _serve() -> None:
+        server = CepServer(backend, config=config, metrics=registry)
+        async with server:
+            port = await server.serve_tcp(arguments.host, arguments.port)
+            print(f"serving on {arguments.host}:{port}", flush=True)
+            try:
+                if arguments.max_seconds is not None:
+                    await asyncio.sleep(arguments.max_seconds)
+                else:
+                    await asyncio.Event().wait()
+            finally:
+                stats = server.stats
+                print(
+                    f"served {stats.sessions_opened} sessions, "
+                    f"{stats.submitted} observations, "
+                    f"{stats.detections_pushed} detections pushed"
+                )
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        print("interrupted")
+    finally:
+        if durable is not None:
+            durable.close()
+    if registry is not None:
+        _write_metrics(registry, arguments.metrics, arguments.metrics_format)
+    return 0
+
+
 def _cmd_graph(arguments: argparse.Namespace) -> int:
     program = _load_rules(arguments.rules)
     engine = Engine(program.rules)
@@ -432,6 +527,11 @@ def main(argv: "list[str] | None" = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="RCEDA: complex event processing for RFID data streams.",
+    )
+    parser.add_argument(
+        "--version",
+        action="version",
+        version=f"%(prog)s {_package_version()}",
     )
     commands = parser.add_subparsers(dest="command", required=True)
 
@@ -554,6 +654,48 @@ def main(argv: "list[str] | None" = None) -> int:
         "--keep", action="store_true", help="keep the durable directories"
     )
     wal_drill.set_defaults(handler=_cmd_wal_drill)
+
+    serve = commands.add_parser(
+        "serve", help="serve a rule program over TCP (repro.serve)"
+    )
+    serve.add_argument("--rules", required=True, help="rule program file")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=7007, help="0 picks an ephemeral port"
+    )
+    serve.add_argument(
+        "--backend",
+        choices=("plain", "sharded", "durable"),
+        default="plain",
+        help="detection backend behind the server (default: plain)",
+    )
+    serve.add_argument(
+        "--shards", type=int, default=4, help="max shards for --backend sharded"
+    )
+    serve.add_argument("--dir", help="durable directory for --backend durable")
+    serve.add_argument(
+        "--fsync", default="never", help="fsync policy: always, never or batch:N"
+    )
+    serve.add_argument("--submit-queue", type=int, default=1024)
+    serve.add_argument("--push-queue", type=int, default=256)
+    serve.add_argument(
+        "--push-policy",
+        choices=("drop", "disconnect"),
+        default="drop",
+        help="slow detection consumers: drop oldest or disconnect",
+    )
+    serve.add_argument(
+        "--max-seconds",
+        type=float,
+        help="stop after this many seconds (default: run until interrupted)",
+    )
+    serve.add_argument(
+        "--metrics", help="dump a metrics snapshot here on exit ('-' = stdout)"
+    )
+    serve.add_argument(
+        "--metrics-format", choices=("json", "prom"), default="json"
+    )
+    serve.set_defaults(handler=_cmd_serve)
 
     graph = commands.add_parser("graph", help="print a rule program's event graph as DOT")
     graph.add_argument("--rules", required=True)

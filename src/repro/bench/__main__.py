@@ -10,6 +10,7 @@ Usage::
     python -m repro.bench incremental
     python -m repro.bench metrics [--full]   # instrumented run, Prometheus dump
     python -m repro.bench wal [--full]       # WAL durability overhead per fsync policy
+    python -m repro.bench serve [--full]     # serving layer vs direct submit
     python -m repro.bench all [--full]
 
 ``--full`` runs the paper-scale axes (250k events / 500 rules); the
@@ -127,6 +128,20 @@ def _cmd_wal(full: bool) -> None:
     print(wal_table(results))
 
 
+def _cmd_serve(full: bool) -> None:
+    from .serve import run_serve_bench, serve_table, write_serve_json
+
+    results = run_serve_bench(full_scale=full)
+    print(
+        f"Serving layer overhead over {results[0].n_events:,} events "
+        f"(baseline: direct submit_many, "
+        f"{results[0].baseline_seconds * 1000:.1f} ms)"
+    )
+    print(serve_table(results))
+    write_serve_json(results, "BENCH_serve.json", full_scale=full)
+    print("machine-readable results written to BENCH_serve.json")
+
+
 def _cmd_report(full: bool, out: "str | None" = None) -> None:
     from .report import generate_report
 
@@ -149,6 +164,7 @@ _COMMANDS = {
     "latency": _cmd_latency,
     "metrics": _cmd_metrics,
     "wal": _cmd_wal,
+    "serve": _cmd_serve,
 }
 
 
@@ -184,6 +200,7 @@ def main(argv: "list[str] | None" = None) -> int:
             "incremental",
             "latency",
             "wal",
+            "serve",
         ):
             _COMMANDS[name](arguments.full)
             print()

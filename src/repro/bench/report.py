@@ -17,6 +17,7 @@ from .ablations import (
 )
 from .fig9 import linearity_ratio, run_fig9a, run_fig9b
 from .harness import run_detection, run_with_latency
+from .serve import run_serve_bench
 from .wal import run_wal_bench
 from .workloads import build_events_axis_workload
 
@@ -146,6 +147,29 @@ def generate_report(full_scale: bool = False) -> str:
             f"| {result.policy} | {result.total_ms:.1f} | "
             f"{result.overhead_pct:.1f}% | {result.bytes_logged:,} | "
             f"{result.rotations} | {result.fsyncs} |"
+        )
+    sections.append("")
+
+    serve_results = run_serve_bench(full_scale=full_scale)
+    sections += [
+        "## Serving layer overhead",
+        "",
+        f"Same detection workload ({serve_results[0].n_events:,} events) "
+        f"streamed through `repro.serve` (`CepServer` + `AsyncClient`, "
+        f"batched SUBMITs, detection push) per transport; baseline is "
+        f"direct `submit_many` at "
+        f"{serve_results[0].baseline_seconds * 1000:.1f} ms.  Every "
+        f"transport received exactly the baseline's detections.",
+        "",
+        "| transport | total ms | events/s | overhead | frames out "
+        "| bytes in |",
+        "|---|---:|---:|---:|---:|---:|",
+    ]
+    for result in serve_results:
+        sections.append(
+            f"| {result.transport} | {result.total_ms:.1f} | "
+            f"{result.events_per_second:,.0f} | {result.overhead_pct:.1f}% | "
+            f"{result.frames_out:,} | {result.bytes_in:,} |"
         )
     sections.append("")
 

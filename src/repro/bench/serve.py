@@ -1,0 +1,239 @@
+"""Serving-layer throughput benchmark: wire protocol vs direct submit.
+
+``python -m repro.bench serve [--full]`` measures what the network
+boundary costs: the same detection workload is run three ways —
+
+* ``direct``: plain in-process ``Engine.submit_many`` (the baseline);
+* ``loopback``: through :class:`~repro.serve.CepServer` over the
+  in-memory loopback transport (protocol framing + session machinery,
+  no kernel sockets);
+* ``tcp``: through a real ``127.0.0.1`` TCP socket.
+
+Each networked run subscribes to detections and must receive exactly as
+many as the baseline found — the benchmark raises if they diverge, so
+the numbers are only ever reported for *correct* runs.
+
+Machine-readable output: :func:`write_serve_json` emits
+``BENCH_serve.json``.  Schema (also embedded in the file itself under
+the ``"schema"`` key)::
+
+    {
+      "schema": {"name": "repro-bench-serve", "version": 1},
+      "scale": "quick" | "full",
+      "results": [
+        {
+          "transport": "direct" | "loopback" | "tcp",
+          "n_events": int,        # observations submitted
+          "n_rules": int,
+          "detections": int,      # == baseline for every transport
+          "elapsed_seconds": float,   # submit of first obs → flush acked
+          "baseline_seconds": float,  # the direct run's elapsed_seconds
+          "events_per_second": float,
+          "overhead_pct": float,  # vs baseline; 0.0 for the direct row
+          "frames_in": int,       # server-side frame/byte counters,
+          "frames_out": int,      # zero for the direct row
+          "bytes_in": int,
+          "bytes_out": int
+        }, ...
+      ]
+    }
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from ..core.detector import Engine
+from ..core.instances import Observation
+from ..rules import Rule
+from ..serve import (
+    AsyncClient,
+    CepServer,
+    ServeConfig,
+    loopback_connector,
+    tcp_connector,
+)
+from .harness import run_detection
+from .workloads import build_events_axis_workload
+
+
+@dataclass(frozen=True)
+class ServeBenchResult:
+    """One transport's timing against the shared direct baseline."""
+
+    transport: str
+    n_events: int
+    n_rules: int
+    detections: int
+    elapsed_seconds: float
+    baseline_seconds: float
+    frames_in: int = 0
+    frames_out: int = 0
+    bytes_in: int = 0
+    bytes_out: int = 0
+
+    @property
+    def total_ms(self) -> float:
+        return self.elapsed_seconds * 1000.0
+
+    @property
+    def events_per_second(self) -> float:
+        if self.elapsed_seconds <= 0:
+            return float("inf")
+        return self.n_events / self.elapsed_seconds
+
+    @property
+    def overhead_pct(self) -> float:
+        if self.baseline_seconds <= 0:
+            return float("inf")
+        return (self.elapsed_seconds / self.baseline_seconds - 1.0) * 100.0
+
+
+async def _run_through_server(
+    rules: Sequence[Rule],
+    observations: Sequence[Observation],
+    transport: str,
+    expected_detections: int,
+    batch_size: int,
+) -> tuple[int, float, tuple[int, int, int, int]]:
+    """Stream the workload through a server; return what the wire saw.
+
+    The push queue is sized past the expected detection count so the
+    slow-consumer policy never fires — this benchmark measures framing
+    and session cost, not drop behaviour.
+    """
+    engine = Engine(rules, context="chronicle")
+    config = ServeConfig(push_queue=expected_detections + 64)
+    server = CepServer(engine, config=config)
+    async with server:
+        if transport == "tcp":
+            port = await server.serve_tcp("127.0.0.1", 0)
+            connector = tcp_connector("127.0.0.1", port)
+        else:
+            connector = loopback_connector(server)
+        client = AsyncClient(connector, subscribe=True, batch_size=batch_size)
+        async with client:
+            started = time.perf_counter()
+            await client.submit_many(observations)
+            await client.flush(timeout=300.0)
+            elapsed = time.perf_counter() - started
+            # The flush ack guarantees every observation was applied;
+            # detection push is asynchronous, so drain the tail.
+            deadline = time.monotonic() + 60.0
+            while (
+                len(client.detections) < expected_detections
+                and time.monotonic() < deadline
+            ):
+                await asyncio.sleep(0.01)
+            received = len(client.detections)
+        stats = server.stats
+        wire = (stats.frames_in, stats.frames_out, stats.bytes_in, stats.bytes_out)
+    return received, elapsed, wire
+
+
+def run_serve_bench(
+    full_scale: bool = False, batch_size: int = 128
+) -> List[ServeBenchResult]:
+    """Measure serving overhead per transport.
+
+    Returns the ``direct`` baseline first, then ``loopback`` and
+    ``tcp``.  Raises if any networked run's received detections differ
+    from the baseline — correctness is a precondition of the numbers.
+    """
+    n_events = 20_000 if full_scale else 2_000
+    n_rules = 10
+    workload = build_events_axis_workload(n_events, n_rules=n_rules)
+    baseline = run_detection(workload.rules, workload.observations, label="direct")
+    results = [
+        ServeBenchResult(
+            transport="direct",
+            n_events=baseline.n_events,
+            n_rules=n_rules,
+            detections=baseline.detections,
+            elapsed_seconds=baseline.elapsed_seconds,
+            baseline_seconds=baseline.elapsed_seconds,
+        )
+    ]
+    for transport in ("loopback", "tcp"):
+        received, elapsed, wire = asyncio.run(
+            _run_through_server(
+                workload.rules,
+                workload.observations,
+                transport,
+                baseline.detections,
+                batch_size,
+            )
+        )
+        if received != baseline.detections:
+            raise AssertionError(
+                f"{transport} run received {received} detections, "
+                f"direct run found {baseline.detections}"
+            )
+        results.append(
+            ServeBenchResult(
+                transport=transport,
+                n_events=n_events,
+                n_rules=n_rules,
+                detections=received,
+                elapsed_seconds=elapsed,
+                baseline_seconds=baseline.elapsed_seconds,
+                frames_in=wire[0],
+                frames_out=wire[1],
+                bytes_in=wire[2],
+                bytes_out=wire[3],
+            )
+        )
+    return results
+
+
+def serve_table(results: Sequence[ServeBenchResult]) -> str:
+    """Render the per-transport series as an aligned text table."""
+    lines = [
+        f"{'transport':>10} | {'total ms':>10} | {'events/s':>10} | "
+        f"{'overhead':>9} | {'frames out':>10} | {'bytes in':>10}"
+    ]
+    lines.append("-" * len(lines[0]))
+    for result in results:
+        lines.append(
+            f"{result.transport:>10} | {result.total_ms:>10.1f} | "
+            f"{result.events_per_second:>10,.0f} | "
+            f"{result.overhead_pct:>8.1f}% | {result.frames_out:>10,} | "
+            f"{result.bytes_in:>10,}"
+        )
+    return "\n".join(lines)
+
+
+def write_serve_json(
+    results: Sequence[ServeBenchResult],
+    path: str,
+    full_scale: bool = False,
+) -> None:
+    """Write the machine-readable results (schema in module docstring)."""
+    document = {
+        "schema": {"name": "repro-bench-serve", "version": 1},
+        "scale": "full" if full_scale else "quick",
+        "results": [
+            {
+                "transport": result.transport,
+                "n_events": result.n_events,
+                "n_rules": result.n_rules,
+                "detections": result.detections,
+                "elapsed_seconds": result.elapsed_seconds,
+                "baseline_seconds": result.baseline_seconds,
+                "events_per_second": result.events_per_second,
+                "overhead_pct": result.overhead_pct,
+                "frames_in": result.frames_in,
+                "frames_out": result.frames_out,
+                "bytes_in": result.bytes_in,
+                "bytes_out": result.bytes_out,
+            }
+            for result in results
+        ],
+    }
+    with open(path, "w") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")

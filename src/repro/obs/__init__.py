@@ -30,6 +30,7 @@ from .instrument import (
     EngineInstruments,
     ReorderInstruments,
     ResilienceInstruments,
+    ServeInstruments,
     rollup,
 )
 from .metrics import (
@@ -67,6 +68,7 @@ __all__ = [
     "RecordingObserver",
     "ReorderInstruments",
     "ResilienceInstruments",
+    "ServeInstruments",
     "Span",
     "as_observer",
     "rollup",

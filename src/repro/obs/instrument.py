@@ -50,6 +50,7 @@ __all__ = [
     "EngineInstruments",
     "ReorderInstruments",
     "ResilienceInstruments",
+    "ServeInstruments",
     "NODE_KINDS",
 ]
 
@@ -430,6 +431,131 @@ class DurabilityInstruments:
             self.outbox_delivered,
             self.outbox_suppressed,
             self.outbox_dead_letters,
+        ):
+            handle.reset()
+
+
+class ServeInstruments:
+    """Bound handles for one :class:`~repro.serve.CepServer`.
+
+    Catalogue (all carry the ``server`` label so several servers — e.g.
+    a bench harness running loopback and socket servers side by side —
+    can share a registry):
+
+    ==============================================  =========  ========
+    name                                            type       labels
+    ==============================================  =========  ========
+    ``rceda_serve_sessions_active``                 gauge      server
+    ``rceda_serve_frames_total``                    counter    server, direction
+    ``rceda_serve_bytes_total``                     counter    server, direction
+    ``rceda_serve_submitted_total``                 counter    server
+    ``rceda_serve_duplicates_skipped_total``        counter    server
+    ``rceda_serve_acks_total``                      counter    server
+    ``rceda_serve_detections_pushed_total``         counter    server
+    ``rceda_serve_push_queue_depth``                gauge      server
+    ``rceda_serve_detections_dropped_total``        counter    server
+    ``rceda_serve_disconnects_total``               counter    server
+    ==============================================  =========  ========
+
+    ``rceda_serve_duplicates_skipped_total`` is the resume contract made
+    visible: each skip is a resent observation the ack frontier kept
+    from being applied twice.  ``rceda_serve_detections_dropped_total``
+    counts slow-subscriber drops under the ``DROP`` policy;
+    ``rceda_serve_push_queue_depth`` tracks the most recently touched
+    session's buffer (fleet dashboards alert on the drop counter, not
+    the gauge).
+    """
+
+    __slots__ = (
+        "registry",
+        "server_label",
+        "sessions",
+        "frames_in",
+        "frames_out",
+        "bytes_in",
+        "bytes_out",
+        "submitted",
+        "duplicates",
+        "acks",
+        "pushed",
+        "push_depth",
+        "dropped",
+        "disconnects",
+    )
+
+    def __init__(self, registry: MetricsRegistry, server_label: str = "serve") -> None:
+        self.registry = registry
+        self.server_label = server_label
+        self.sessions = registry.gauge(
+            "rceda_serve_sessions_active",
+            "Live ingestion/subscription sessions.",
+            labelnames=("server",),
+        ).labels(server=server_label)
+        frames = registry.counter(
+            "rceda_serve_frames_total",
+            "Protocol frames, by direction (in = received, out = sent).",
+            labelnames=("server", "direction"),
+        )
+        self.frames_in = frames.labels(server=server_label, direction="in")
+        self.frames_out = frames.labels(server=server_label, direction="out")
+        wire_bytes = registry.counter(
+            "rceda_serve_bytes_total",
+            "Wire bytes, by direction (framing included).",
+            labelnames=("server", "direction"),
+        )
+        self.bytes_in = wire_bytes.labels(server=server_label, direction="in")
+        self.bytes_out = wire_bytes.labels(server=server_label, direction="out")
+        self.submitted = registry.counter(
+            "rceda_serve_submitted_total",
+            "Observations applied to the backend via the writer task.",
+            labelnames=("server",),
+        ).labels(server=server_label)
+        self.duplicates = registry.counter(
+            "rceda_serve_duplicates_skipped_total",
+            "Resent observations skipped below the client's ack frontier.",
+            labelnames=("server",),
+        ).labels(server=server_label)
+        self.acks = registry.counter(
+            "rceda_serve_acks_total",
+            "Cumulative ACK frames sent (coalesced, one in flight max).",
+            labelnames=("server",),
+        ).labels(server=server_label)
+        self.pushed = registry.counter(
+            "rceda_serve_detections_pushed_total",
+            "DETECTION frames handed to session senders.",
+            labelnames=("server",),
+        ).labels(server=server_label)
+        self.push_depth = registry.gauge(
+            "rceda_serve_push_queue_depth",
+            "Detections buffered for the most recently touched session.",
+            labelnames=("server",),
+        ).labels(server=server_label)
+        self.dropped = registry.counter(
+            "rceda_serve_detections_dropped_total",
+            "Detections discarded for slow subscribers (DROP policy).",
+            labelnames=("server",),
+        ).labels(server=server_label)
+        self.disconnects = registry.counter(
+            "rceda_serve_disconnects_total",
+            "Sessions force-closed (slow-consumer DISCONNECT policy).",
+            labelnames=("server",),
+        ).labels(server=server_label)
+
+    def reset(self) -> None:
+        """Zero this server's children only — co-tenants keep their values."""
+        for handle in (
+            self.sessions,
+            self.frames_in,
+            self.frames_out,
+            self.bytes_in,
+            self.bytes_out,
+            self.submitted,
+            self.duplicates,
+            self.acks,
+            self.pushed,
+            self.push_depth,
+            self.dropped,
+            self.disconnects,
         ):
             handle.reset()
 

@@ -1,0 +1,97 @@
+"""repro.serve — the network serving layer for RCEDA detection.
+
+The paper's DRER engine consumes "streams collected from multiple
+readers at distributed locations"; this package is the network boundary
+that makes the repo an actual *server* for those streams:
+
+* :mod:`repro.serve.protocol` — a length-prefixed, versioned, CRC'd
+  binary wire protocol (HELLO/WELCOME/SUBMIT/BATCH/ACK/FLUSH/
+  SUBSCRIBE/DETECTION/ERROR/BYE);
+* :mod:`repro.serve.server` — :class:`CepServer`, an asyncio server
+  multiplexing many ingestion sessions onto one detection backend
+  (plain, sharded or durable) behind a single writer task with bounded
+  queues, explicit backpressure and per-client resume-from-seq;
+* :mod:`repro.serve.client` — :class:`AsyncClient` / :class:`Client`
+  with batching, cumulative acks and retry/backoff reconnect;
+* :mod:`repro.serve.loopback` — an in-memory transport with real flow
+  control, so every protocol/session/backpressure path is testable
+  without sockets.
+
+Quickstart (see ``docs/serving.md`` for the full tour)::
+
+    # server process
+    engine = Engine(rules)
+    server = CepServer(engine)
+    port = await server.serve_tcp("0.0.0.0", 7007)
+
+    # client process
+    with Client(host="server", port=7007, subscribe=True) as client:
+        client.submit_many(observations)
+        client.flush()
+        detections = client.detections()
+
+Or from the command line: ``python -m repro serve --rules rules.txt``.
+"""
+
+from .client import (
+    AsyncClient,
+    Client,
+    ClientError,
+    RetryConfig,
+    loopback_connector,
+    tcp_connector,
+)
+from .loopback import LoopbackReader, LoopbackWriter, loopback_pair
+from .protocol import (
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    Ack,
+    Batch,
+    Bye,
+    DetectionFrame,
+    ErrorFrame,
+    Flush,
+    Frame,
+    FrameDecoder,
+    FrameError,
+    Hello,
+    Submit,
+    Subscribe,
+    Welcome,
+    decode_frame,
+    encode_frame,
+)
+from .server import CepServer, ServeConfig, ServeError, SlowConsumerPolicy
+
+__all__ = [
+    "Ack",
+    "AsyncClient",
+    "Batch",
+    "Bye",
+    "CepServer",
+    "Client",
+    "ClientError",
+    "DetectionFrame",
+    "ErrorFrame",
+    "Flush",
+    "Frame",
+    "FrameDecoder",
+    "FrameError",
+    "Hello",
+    "LoopbackReader",
+    "LoopbackWriter",
+    "MAX_FRAME_BYTES",
+    "PROTOCOL_VERSION",
+    "RetryConfig",
+    "ServeConfig",
+    "ServeError",
+    "SlowConsumerPolicy",
+    "Submit",
+    "Subscribe",
+    "Welcome",
+    "decode_frame",
+    "encode_frame",
+    "loopback_connector",
+    "loopback_pair",
+    "tcp_connector",
+]

@@ -1,0 +1,520 @@
+"""Client SDK for the RCEDA serve protocol: async core, sync facade.
+
+:class:`AsyncClient` is the full implementation — batching, cumulative
+ack tracking, retry/backoff reconnect with resume-from-seq, detection
+subscription.  :class:`Client` wraps it for synchronous callers by
+running a private event loop on a background thread (TCP transports
+only; loopback connections live inside the server's own loop, so drive
+those with :class:`AsyncClient`).
+
+Delivery contract: every observation a client submits is assigned the
+next client sequence number and kept in an unacked buffer until the
+server's cumulative ACK covers it.  On connection loss the client
+reconnects (exponential backoff), offers its last acked seq in HELLO,
+learns from WELCOME which seq the server still needs, discards the
+prefix the server already applied and resends the rest — so a flaky
+network costs retransmits, never duplicates or gaps.  A *new* client
+process resuming an old stream passes ``resume_from`` (the previous
+life's ``last_acked``, which the caller persisted) and continues
+numbering where the server says.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import threading
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Optional
+
+from ..core.errors import ReproError
+from ..core.instances import Observation
+from .protocol import (
+    Ack,
+    Batch,
+    Bye,
+    DetectionFrame,
+    ErrorFrame,
+    Flush,
+    FrameDecoder,
+    FrameError,
+    Hello,
+    Submit,
+    Subscribe,
+    Welcome,
+    encode_frame,
+)
+
+__all__ = [
+    "AsyncClient",
+    "Client",
+    "ClientError",
+    "RetryConfig",
+    "tcp_connector",
+    "loopback_connector",
+]
+
+_client_ids = itertools.count(1)
+
+
+class ClientError(ReproError):
+    """The server rejected the session, or the connection is beyond retry."""
+
+
+@dataclass(frozen=True)
+class RetryConfig:
+    """Reconnect/backoff policy for one client."""
+
+    #: Connection attempts per (re)connect before giving up.
+    max_attempts: int = 5
+    #: First backoff delay; doubles per failed attempt.
+    backoff_base: float = 0.05
+    #: Backoff ceiling.
+    backoff_max: float = 2.0
+
+
+def tcp_connector(host: str, port: int) -> Callable:
+    """An async connector for a real socket (``asyncio.open_connection``)."""
+
+    async def connect():
+        return await asyncio.open_connection(host, port)
+
+    return connect
+
+
+def loopback_connector(server: Any) -> Callable:
+    """An async connector for a :class:`~repro.serve.CepServer` loopback."""
+
+    async def connect():
+        return server.connect_loopback()
+
+    return connect
+
+
+_FLUSH = object()  # pending-buffer marker for a sequenced FLUSH
+
+
+class AsyncClient:
+    """One ingestion/subscription session with reconnect and resume.
+
+    Parameters
+    ----------
+    connector:
+        Async callable returning a connected ``(reader, writer)`` pair —
+        :func:`tcp_connector` or :func:`loopback_connector`.
+    client_id:
+        Stable identity for resume; generated when omitted (a generated
+        id cannot resume across client processes).
+    subscribe:
+        Ask the server to push DETECTION frames; they accumulate in
+        :attr:`detections` and feed ``on_detection`` when given.
+    rules:
+        Optional rule-id filter for the subscription.
+    batch_size:
+        Observations buffered per BATCH frame (1 = SUBMIT per call).
+    resume_from:
+        Last acked seq of a previous client life (-1 = fresh stream).
+    """
+
+    def __init__(
+        self,
+        connector: Callable,
+        *,
+        client_id: Optional[str] = None,
+        subscribe: bool = False,
+        rules: Optional[Iterable[str]] = None,
+        batch_size: int = 64,
+        resume_from: int = -1,
+        retry: Optional[RetryConfig] = None,
+        on_detection: Optional[Callable[[DetectionFrame], None]] = None,
+    ) -> None:
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        self._connector = connector
+        self.client_id = client_id or f"client-{next(_client_ids)}"
+        self._subscribe = subscribe
+        self._rules = tuple(rules) if rules is not None else None
+        self._batch_size = batch_size
+        self._retry = retry or RetryConfig()
+        self._on_detection = on_detection
+
+        self.last_acked = resume_from
+        self._next_seq = resume_from + 1
+        #: (seq, Observation | _FLUSH) not yet covered by an ack.
+        self._pending: list = []
+        self._batch: list[tuple[int, Observation]] = []
+        self.detections: list[DetectionFrame] = []
+        self.reconnects = 0
+
+        self._reader: Any = None
+        self._writer: Any = None
+        self._receiver: Optional[asyncio.Task] = None
+        self._cond = asyncio.Condition()
+        self._connected = False
+        self._closed = False
+        self._error: Optional[ErrorFrame] = None
+
+    # -- connection management ----------------------------------------------
+
+    async def connect(self) -> None:
+        """Establish (or re-establish) the session, resending unacked data."""
+        retry = self._retry
+        delay = retry.backoff_base
+        last_exc: Optional[BaseException] = None
+        for attempt in range(retry.max_attempts):
+            if attempt:
+                await asyncio.sleep(min(delay, retry.backoff_max))
+                delay *= 2
+            try:
+                await self._connect_once()
+                return
+            except (ConnectionError, OSError, asyncio.IncompleteReadError) as exc:
+                last_exc = exc
+                self._teardown_transport()
+        raise ClientError(
+            f"could not connect after {retry.max_attempts} attempts"
+        ) from last_exc
+
+    async def _connect_once(self) -> None:
+        reader, writer = await self._connector()
+        self._reader = reader
+        self._writer = writer
+        await self._send_raw(
+            Hello(client_id=self.client_id, resume_from=self.last_acked)
+        )
+        welcome = await self._read_welcome(reader)
+        async with self._cond:
+            # The server's frontier may be ahead of our ack record (acks
+            # lost in flight): everything below next_seq is applied.
+            self._advance_acks(welcome.next_seq - 1)
+        self._next_seq = max(self._next_seq, welcome.next_seq)
+        if self._subscribe:
+            await self._send_raw(Subscribe(rules=self._rules))
+        self._connected = True
+        self._receiver = asyncio.ensure_future(self._receiver_loop(reader))
+        await self._resend_pending()
+
+    async def _read_welcome(self, reader: Any) -> Welcome:
+        decoder = FrameDecoder()
+        while True:
+            data = await reader.read(65536)
+            if not data:
+                raise ConnectionResetError("server closed during handshake")
+            for frame in decoder.feed(data):
+                if isinstance(frame, Welcome):
+                    return frame
+                if isinstance(frame, ErrorFrame):
+                    raise ClientError(
+                        f"server refused session: [{frame.code}] {frame.message}"
+                    )
+                raise ClientError(
+                    f"expected WELCOME, got {type(frame).__name__}"
+                )
+
+    async def _resend_pending(self) -> None:
+        if not self._pending:
+            return
+        for seq, item in list(self._pending):
+            if item is _FLUSH:
+                await self._send_raw(Flush(seq=seq))
+            else:
+                await self._send_raw(Submit(seq=seq, observation=item))
+
+    def _teardown_transport(self) -> None:
+        self._connected = False
+        if self._receiver is not None:
+            self._receiver.cancel()
+            self._receiver = None
+        if self._writer is not None:
+            try:
+                self._writer.close()
+            except Exception:
+                pass
+        self._reader = None
+        self._writer = None
+
+    async def close(self) -> None:
+        """Say goodbye and drop the connection (unacked data is kept)."""
+        if self._closed:
+            return
+        self._closed = True
+        receiver = self._receiver
+        self._receiver = None
+        if self._writer is not None:
+            try:
+                await self._send_raw(Bye())
+            except (ConnectionError, OSError, RuntimeError):
+                pass
+            try:
+                self._writer.close()
+            except Exception:
+                pass
+        if receiver is not None:
+            receiver.cancel()
+            try:
+                await receiver
+            except (asyncio.CancelledError, Exception):
+                pass
+        self._connected = False
+        async with self._cond:
+            self._cond.notify_all()
+
+    async def __aenter__(self) -> "AsyncClient":
+        await self.connect()
+        return self
+
+    async def __aexit__(self, *_exc) -> None:
+        await self.close()
+
+    # -- submission -----------------------------------------------------------
+
+    async def submit(self, observation: Observation) -> int:
+        """Buffer one observation; returns its client seq.
+
+        The observation goes on the wire when the batch fills (or at
+        :meth:`drain`/:meth:`flush`); it is resent automatically across
+        reconnects until acked.
+        """
+        self._check_usable()
+        seq = self._next_seq
+        self._next_seq += 1
+        self._pending.append((seq, observation))
+        self._batch.append((seq, observation))
+        if len(self._batch) >= self._batch_size:
+            await self._send_batch()
+        return seq
+
+    async def submit_many(self, observations: Iterable[Observation]) -> int:
+        """Submit a whole stream; returns the last assigned seq."""
+        seq = self.last_acked
+        for observation in observations:
+            seq = await self.submit(observation)
+        return seq
+
+    async def _send_batch(self) -> None:
+        if not self._batch:
+            return
+        first_seq = self._batch[0][0]
+        observations = tuple(item for _seq, item in self._batch)
+        self._batch.clear()
+        if len(observations) == 1:
+            frame: Any = Submit(seq=first_seq, observation=observations[0])
+        else:
+            frame = Batch(seq=first_seq, observations=observations)
+        await self._send_with_retry(frame)
+
+    async def drain(self, timeout: Optional[float] = None) -> None:
+        """Push any partial batch and wait until everything sent is acked."""
+        await self._send_batch()
+        await self._wait_for_ack(self._next_seq - 1, timeout)
+
+    async def flush(self, timeout: Optional[float] = None) -> int:
+        """Sequence an end-of-stream FLUSH and wait for its ack.
+
+        Returns the flush's seq.  Detections triggered by the flush
+        reach this client's subscription before the returned await
+        completes only if the server pushed them first — callers
+        comparing detection sets should wait on the ack (this method
+        does) and then read :attr:`detections`.
+        """
+        await self._send_batch()
+        seq = self._next_seq
+        self._next_seq += 1
+        self._pending.append((seq, _FLUSH))
+        await self._send_with_retry(Flush(seq=seq))
+        await self._wait_for_ack(seq, timeout)
+        return seq
+
+    # -- receiving -------------------------------------------------------------
+
+    async def _receiver_loop(self, reader: Any) -> None:
+        decoder = FrameDecoder()
+        try:
+            while True:
+                data = await reader.read(65536)
+                if not data:
+                    break
+                for frame in decoder.feed(data):
+                    await self._handle_frame(frame)
+        except (ConnectionError, OSError, asyncio.CancelledError, FrameError):
+            pass
+        finally:
+            self._connected = False
+            async with self._cond:
+                self._cond.notify_all()
+
+    async def _handle_frame(self, frame: Any) -> None:
+        if isinstance(frame, Ack):
+            async with self._cond:
+                self._advance_acks(frame.seq)
+                self._cond.notify_all()
+        elif isinstance(frame, DetectionFrame):
+            self.detections.append(frame)
+            if self._on_detection is not None:
+                self._on_detection(frame)
+        elif isinstance(frame, ErrorFrame):
+            self._error = frame
+            async with self._cond:
+                self._cond.notify_all()
+        elif isinstance(frame, Bye):
+            pass
+
+    def _advance_acks(self, seq: int) -> None:
+        if seq <= self.last_acked:
+            return
+        self.last_acked = seq
+        self._pending = [item for item in self._pending if item[0] > seq]
+
+    # -- plumbing ---------------------------------------------------------------
+
+    def _check_usable(self) -> None:
+        if self._closed:
+            raise ClientError("client is closed")
+        if self._error is not None:
+            raise ClientError(
+                f"server error: [{self._error.code}] {self._error.message}"
+            )
+
+    async def _send_raw(self, frame: Any) -> None:
+        writer = self._writer
+        if writer is None:
+            raise ConnectionResetError("not connected")
+        writer.write(encode_frame(frame))
+        await writer.drain()
+
+    async def _send_with_retry(self, frame: Any) -> None:
+        self._check_usable()
+        try:
+            await self._send_raw(frame)
+        except (ConnectionError, OSError, RuntimeError):
+            await self._reconnect_and_resend()
+
+    async def _reconnect_and_resend(self) -> None:
+        # connect() replays the entire unacked buffer — the frame that
+        # failed is still in it, so nothing is lost.
+        self._teardown_transport()
+        self.reconnects += 1
+        await self.connect()
+
+    async def _wait_for_ack(
+        self, seq: int, timeout: Optional[float] = None
+    ) -> None:
+        async def wait() -> None:
+            while self.last_acked < seq:
+                self._check_usable()
+                if not self._connected:
+                    await self._reconnect_and_resend()
+                    continue
+                async with self._cond:
+                    if self.last_acked >= seq or self._error is not None:
+                        continue
+                    if not self._connected:
+                        continue
+                    await self._cond.wait()
+            self._check_usable()
+
+        if timeout is None:
+            await wait()
+        else:
+            await asyncio.wait_for(wait(), timeout)
+
+
+class Client:
+    """Synchronous facade over :class:`AsyncClient` (TCP transports).
+
+    Runs a private event loop on a daemon thread and forwards every call
+    with ``run_coroutine_threadsafe``.  Use as a context manager::
+
+        with Client(host="127.0.0.1", port=7007, subscribe=True) as client:
+            for observation in stream:
+                client.submit(observation)
+            client.flush()
+            print(len(client.detections()))
+    """
+
+    def __init__(
+        self,
+        *,
+        host: str = "127.0.0.1",
+        port: int,
+        client_id: Optional[str] = None,
+        subscribe: bool = False,
+        rules: Optional[Iterable[str]] = None,
+        batch_size: int = 64,
+        resume_from: int = -1,
+        retry: Optional[RetryConfig] = None,
+        call_timeout: float = 60.0,
+    ) -> None:
+        self._call_timeout = call_timeout
+        self._loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(
+            target=self._loop.run_forever, name="repro-serve-client", daemon=True
+        )
+        self._thread.start()
+        self._async = AsyncClient(
+            tcp_connector(host, port),
+            client_id=client_id,
+            subscribe=subscribe,
+            rules=rules,
+            batch_size=batch_size,
+            resume_from=resume_from,
+            retry=retry,
+        )
+        try:
+            self._call(self._async.connect())
+        except BaseException:
+            self._stop_loop()
+            raise
+
+    def _call(self, coro):
+        future = asyncio.run_coroutine_threadsafe(coro, self._loop)
+        return future.result(timeout=self._call_timeout)
+
+    def _stop_loop(self) -> None:
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout=5)
+        if not self._loop.is_running():
+            self._loop.close()
+
+    # -- public surface -------------------------------------------------------
+
+    @property
+    def client_id(self) -> str:
+        return self._async.client_id
+
+    @property
+    def last_acked(self) -> int:
+        """Persist this across client lives to resume with ``resume_from``."""
+        return self._async.last_acked
+
+    @property
+    def reconnects(self) -> int:
+        return self._async.reconnects
+
+    def submit(self, observation: Observation) -> int:
+        return self._call(self._async.submit(observation))
+
+    def submit_many(self, observations: Iterable[Observation]) -> int:
+        return self._call(self._async.submit_many(list(observations)))
+
+    def drain(self, timeout: Optional[float] = None) -> None:
+        self._call(self._async.drain(timeout))
+
+    def flush(self, timeout: Optional[float] = None) -> int:
+        return self._call(self._async.flush(timeout))
+
+    def detections(self) -> list[DetectionFrame]:
+        """Snapshot of the detections pushed so far (subscribe=True)."""
+        return list(self._async.detections)
+
+    def close(self) -> None:
+        try:
+            self._call(self._async.close())
+        finally:
+            self._stop_loop()
+
+    def __enter__(self) -> "Client":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()

@@ -1,0 +1,156 @@
+"""In-memory duplex transport with real flow control, no sockets.
+
+Every protocol, session, backpressure and resume path of
+:mod:`repro.serve` is testable without opening a port:
+:func:`loopback_pair` builds two connected endpoints whose reader/writer
+halves expose the same duck-typed surface the server and client use on
+top of asyncio TCP streams (``read``/``readexactly`` on the reader;
+``write``/``drain``/``close``/``wait_closed``/``is_closing`` on the
+writer).
+
+Flow control is credit-based and real: each direction carries at most
+``max_buffer`` un-read bytes.  ``write`` always accepts the chunk (like
+``StreamWriter.write``), but ``drain`` blocks while the peer is more
+than ``max_buffer`` bytes behind — so a slow loopback consumer exerts
+exactly the pressure a slow TCP consumer would, and the server's
+slow-subscriber drop/disconnect policies can be exercised
+deterministically in tests.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Optional
+
+__all__ = ["LoopbackReader", "LoopbackWriter", "loopback_pair"]
+
+#: Default per-direction buffer bound (bytes) before ``drain`` blocks.
+DEFAULT_MAX_BUFFER = 256 * 1024
+
+
+class _Channel:
+    """One direction of the pipe: a byte buffer with credit accounting."""
+
+    def __init__(self, max_buffer: int) -> None:
+        self.buffer = bytearray()
+        self.max_buffer = max_buffer
+        self.eof = False
+        self.data_ready = asyncio.Event()
+        self.space_ready = asyncio.Event()
+        self.space_ready.set()
+
+    def feed(self, data: bytes) -> None:
+        self.buffer.extend(data)
+        self.data_ready.set()
+        if len(self.buffer) > self.max_buffer:
+            self.space_ready.clear()
+
+    def feed_eof(self) -> None:
+        self.eof = True
+        self.data_ready.set()
+        self.space_ready.set()
+
+    def consume(self, n: int) -> bytes:
+        chunk = bytes(self.buffer[:n])
+        del self.buffer[:n]
+        if not self.buffer and not self.eof:
+            self.data_ready.clear()
+        if len(self.buffer) <= self.max_buffer:
+            self.space_ready.set()
+        return chunk
+
+
+class LoopbackReader:
+    """Reading half of a loopback endpoint (``read``/``readexactly``)."""
+
+    def __init__(self, channel: _Channel) -> None:
+        self._channel = channel
+
+    async def read(self, n: int = -1) -> bytes:
+        channel = self._channel
+        while not channel.buffer and not channel.eof:
+            await channel.data_ready.wait()
+        if not channel.buffer:
+            return b""
+        if n < 0:
+            n = len(channel.buffer)
+        return channel.consume(min(n, len(channel.buffer)))
+
+    async def readexactly(self, n: int) -> bytes:
+        channel = self._channel
+        while len(channel.buffer) < n:
+            if channel.eof:
+                raise asyncio.IncompleteReadError(
+                    bytes(channel.buffer), n
+                )
+            channel.data_ready.clear()
+            if len(channel.buffer) >= n:
+                continue
+            await channel.data_ready.wait()
+        return channel.consume(n)
+
+    def at_eof(self) -> bool:
+        return self._channel.eof and not self._channel.buffer
+
+
+class LoopbackWriter:
+    """Writing half of a loopback endpoint, feeding the peer's reader."""
+
+    def __init__(self, channel: _Channel) -> None:
+        self._channel = channel
+        self._closed = False
+        self._close_waiter: Optional[asyncio.Event] = None
+
+    def write(self, data: bytes) -> None:
+        if self._closed:
+            raise ConnectionResetError("loopback endpoint is closed")
+        self._channel.feed(data)
+
+    async def drain(self) -> None:
+        if self._closed:
+            raise ConnectionResetError("loopback endpoint is closed")
+        await self._channel.space_ready.wait()
+        if self._closed:
+            raise ConnectionResetError("loopback endpoint is closed")
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self._channel.feed_eof()
+        if self._close_waiter is not None:
+            self._close_waiter.set()
+
+    def is_closing(self) -> bool:
+        return self._closed
+
+    async def wait_closed(self) -> None:
+        if self._closed:
+            return
+        if self._close_waiter is None:
+            self._close_waiter = asyncio.Event()
+        await self._close_waiter.wait()
+
+    def get_extra_info(self, name: str, default=None):
+        if name == "peername":
+            return ("loopback", 0)
+        return default
+
+
+def loopback_pair(
+    max_buffer: int = DEFAULT_MAX_BUFFER,
+) -> tuple[
+    tuple[LoopbackReader, LoopbackWriter],
+    tuple[LoopbackReader, LoopbackWriter],
+]:
+    """Two connected endpoints: ``((a_reader, a_writer), (b_reader, b_writer))``.
+
+    Bytes written on ``a_writer`` arrive on ``b_reader`` and vice versa.
+    Both directions enforce the ``max_buffer`` credit bound via
+    ``drain``.
+    """
+    a_to_b = _Channel(max_buffer)
+    b_to_a = _Channel(max_buffer)
+    a_end = (LoopbackReader(b_to_a), LoopbackWriter(a_to_b))
+    b_end = (LoopbackReader(a_to_b), LoopbackWriter(b_to_a))
+    return a_end, b_end

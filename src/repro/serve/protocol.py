@@ -1,0 +1,492 @@
+"""The RCEDA wire protocol: length-prefixed, versioned, CRC-checked frames.
+
+Every message on a serve connection is one *frame*::
+
+    +----------------+------------+------------------+----------------+
+    | length u32 BE  | type u8    | payload bytes    | crc32 u32 BE   |
+    +----------------+------------+------------------+----------------+
+
+``length`` counts the type byte plus the payload (not itself, not the
+CRC); ``crc32`` covers the same bytes, so a torn or bit-flipped frame is
+rejected before any payload parsing.  Payloads are compact JSON — the
+framing is binary and version-gated, the payload stays debuggable with
+``tcpdump``-level tooling.
+
+Frame vocabulary (client → server unless noted):
+
+=============  ====  ======================================================
+frame          type  meaning
+=============  ====  ======================================================
+``HELLO``      0x01  open a session: protocol version, client id, resume seq
+``WELCOME``    0x02  (server) session accepted: next expected client seq
+``SUBMIT``     0x03  one observation under a client sequence number
+``BATCH``      0x04  a run of observations numbered ``seq, seq+1, ...``
+``ACK``        0x05  (server) cumulative: all client seqs ≤ ``seq`` applied
+``FLUSH``      0x06  end-of-stream expirations, itself sequenced and acked
+``SUBSCRIBE``  0x07  push DETECTION frames to this session (optional filter)
+``DETECTION``  0x08  (server) one rule firing: rule id, time, bindings
+``ERROR``      0x09  (server) protocol/processing failure, then close
+``BYE``        0x0A  orderly close (either side)
+=============  ====  ======================================================
+
+Client sequence numbers start at 0 and increase by one per ``SUBMIT``
+(or per observation inside a ``BATCH``, or per ``FLUSH``).  The server
+acks cumulatively after the backend has accepted the observation —
+when the backend is durable the ack therefore implies the observation
+reached the write-ahead log.  A reconnecting client offers its last
+acked seq in ``HELLO``; ``WELCOME`` answers with the first seq the
+server still needs, and the client resends exactly from there — this is
+what makes delivery exactly-once across client crashes and reconnects
+(see ``docs/serving.md``).
+
+:class:`FrameDecoder` is the incremental parser: feed it arbitrary byte
+chunks, get complete frames out.  :func:`encode_frame` /
+:func:`decode_frame` round-trip every frame type (property-tested in
+``tests/test_serve_protocol.py``).
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+import zlib
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Optional
+
+from ..core.errors import ReproError
+from ..core.instances import Observation
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "MAX_FRAME_BYTES",
+    "FrameError",
+    "Frame",
+    "Hello",
+    "Welcome",
+    "Submit",
+    "Batch",
+    "Ack",
+    "Flush",
+    "Subscribe",
+    "DetectionFrame",
+    "ErrorFrame",
+    "Bye",
+    "encode_frame",
+    "decode_frame",
+    "FrameDecoder",
+    "encode_observation_payload",
+    "decode_observation_payload",
+    "detection_payload",
+]
+
+#: Bumped on any incompatible framing/payload change; HELLO carries it
+#: and the server refuses mismatches with an ERROR frame.
+PROTOCOL_VERSION = 1
+
+#: Upper bound on ``length``; anything larger is a corrupt or hostile
+#: header and the connection is dropped before allocating a buffer.
+MAX_FRAME_BYTES = 16 * 1024 * 1024
+
+_HEADER = struct.Struct("!I")
+_CRC = struct.Struct("!I")
+
+
+class FrameError(ReproError):
+    """A frame could not be encoded, decoded or checksummed."""
+
+
+# -- observation payloads ------------------------------------------------------
+
+
+def encode_observation_payload(observation: Observation) -> dict:
+    """JSON-safe dict for one observation (same keys as the WAL codec)."""
+    payload: dict = {
+        "r": observation.reader,
+        "o": observation.obj,
+        "t": observation.timestamp,
+    }
+    if observation.extra is not None:
+        payload["x"] = dict(observation.extra)
+    return payload
+
+
+def decode_observation_payload(payload: dict) -> Observation:
+    try:
+        return Observation(
+            payload["r"], payload["o"], payload["t"], payload.get("x")
+        )
+    except (KeyError, TypeError) as exc:
+        raise FrameError(f"malformed observation payload: {payload!r}") from exc
+
+
+def detection_payload(detection: Any) -> dict:
+    """JSON-safe dict for one :class:`~repro.core.detector.Detection`.
+
+    Bindings are passed through as-is; rule authors who bind non-JSON
+    values and want them pushed over the wire must keep them
+    JSON-serializable (EPC strings always are).
+    """
+    return {
+        "rule": detection.rule.rule_id,
+        "time": detection.time,
+        "bindings": dict(detection.instance.bindings),
+    }
+
+
+# -- frame types ---------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Frame:
+    """Base for everything that crosses the wire."""
+
+    TYPE = 0x00
+
+    def to_payload(self) -> dict:
+        raise NotImplementedError
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "Frame":
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class Hello(Frame):
+    """Session open: who is calling, speaking which protocol version.
+
+    ``resume_from`` is the client's last acked sequence number (``-1``
+    for a fresh stream); the server answers with the first seq it still
+    needs, taking the maximum of the client's claim and its own session
+    record — whichever side remembers more wins, so nothing is applied
+    twice and nothing is skipped.
+    """
+
+    TYPE = 0x01
+
+    client_id: str
+    version: int = PROTOCOL_VERSION
+    resume_from: int = -1
+
+    def to_payload(self) -> dict:
+        return {
+            "client_id": self.client_id,
+            "version": self.version,
+            "resume_from": self.resume_from,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "Hello":
+        return cls(
+            client_id=payload["client_id"],
+            version=payload["version"],
+            resume_from=payload.get("resume_from", -1),
+        )
+
+
+@dataclass(frozen=True)
+class Welcome(Frame):
+    """Server accepts the session; ``next_seq`` is where to (re)start."""
+
+    TYPE = 0x02
+
+    session_id: str
+    next_seq: int
+
+    def to_payload(self) -> dict:
+        return {"session_id": self.session_id, "next_seq": self.next_seq}
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "Welcome":
+        return cls(
+            session_id=payload["session_id"], next_seq=payload["next_seq"]
+        )
+
+
+@dataclass(frozen=True)
+class Submit(Frame):
+    """One observation under client sequence number ``seq``."""
+
+    TYPE = 0x03
+
+    seq: int
+    observation: Observation
+
+    def to_payload(self) -> dict:
+        return {
+            "seq": self.seq,
+            "obs": encode_observation_payload(self.observation),
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "Submit":
+        return cls(
+            seq=payload["seq"],
+            observation=decode_observation_payload(payload["obs"]),
+        )
+
+
+@dataclass(frozen=True)
+class Batch(Frame):
+    """Observations numbered ``seq, seq + 1, ...`` — one frame, one ack."""
+
+    TYPE = 0x04
+
+    seq: int
+    observations: tuple = ()
+
+    def to_payload(self) -> dict:
+        return {
+            "seq": self.seq,
+            "obs": [encode_observation_payload(o) for o in self.observations],
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "Batch":
+        return cls(
+            seq=payload["seq"],
+            observations=tuple(
+                decode_observation_payload(item) for item in payload["obs"]
+            ),
+        )
+
+    @property
+    def last_seq(self) -> int:
+        return self.seq + len(self.observations) - 1
+
+
+@dataclass(frozen=True)
+class Ack(Frame):
+    """Cumulative acknowledgement: every client seq ≤ ``seq`` is applied."""
+
+    TYPE = 0x05
+
+    seq: int
+
+    def to_payload(self) -> dict:
+        return {"seq": self.seq}
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "Ack":
+        return cls(seq=payload["seq"])
+
+
+@dataclass(frozen=True)
+class Flush(Frame):
+    """Fire end-of-stream expirations; sequenced so the ack is unambiguous."""
+
+    TYPE = 0x06
+
+    seq: int
+
+    def to_payload(self) -> dict:
+        return {"seq": self.seq}
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "Flush":
+        return cls(seq=payload["seq"])
+
+
+@dataclass(frozen=True)
+class Subscribe(Frame):
+    """Ask for DETECTION pushes; ``rules`` optionally filters by rule id."""
+
+    TYPE = 0x07
+
+    rules: Optional[tuple] = None
+
+    def to_payload(self) -> dict:
+        return {"rules": list(self.rules) if self.rules is not None else None}
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "Subscribe":
+        rules = payload.get("rules")
+        return cls(rules=tuple(rules) if rules is not None else None)
+
+
+@dataclass(frozen=True)
+class DetectionFrame(Frame):
+    """One rule firing pushed to a subscriber.
+
+    ``seq`` is the client sequence number of the submission that
+    triggered it (``-1`` for flush-triggered expirations of another
+    session's traffic); ``ordinal`` disambiguates several detections off
+    one observation.
+    """
+
+    TYPE = 0x08
+
+    rule: str
+    time: float
+    bindings: dict = field(default_factory=dict)
+    seq: int = -1
+    ordinal: int = 0
+
+    def to_payload(self) -> dict:
+        return {
+            "rule": self.rule,
+            "time": self.time,
+            "bindings": self.bindings,
+            "seq": self.seq,
+            "ordinal": self.ordinal,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "DetectionFrame":
+        return cls(
+            rule=payload["rule"],
+            time=payload["time"],
+            bindings=payload.get("bindings", {}),
+            seq=payload.get("seq", -1),
+            ordinal=payload.get("ordinal", 0),
+        )
+
+
+@dataclass(frozen=True)
+class ErrorFrame(Frame):
+    """Protocol or processing failure; the server closes after sending it."""
+
+    TYPE = 0x09
+
+    code: str
+    message: str
+
+    def to_payload(self) -> dict:
+        return {"code": self.code, "message": self.message}
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "ErrorFrame":
+        return cls(code=payload["code"], message=payload["message"])
+
+
+@dataclass(frozen=True)
+class Bye(Frame):
+    """Orderly goodbye."""
+
+    TYPE = 0x0A
+
+    def to_payload(self) -> dict:
+        return {}
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "Bye":
+        return cls()
+
+
+_FRAME_TYPES: dict[int, type] = {
+    cls.TYPE: cls
+    for cls in (
+        Hello,
+        Welcome,
+        Submit,
+        Batch,
+        Ack,
+        Flush,
+        Subscribe,
+        DetectionFrame,
+        ErrorFrame,
+        Bye,
+    )
+}
+
+
+# -- encode / decode -----------------------------------------------------------
+
+
+def encode_frame(frame: Frame) -> bytes:
+    """Serialize one frame to its wire bytes (header + body + CRC)."""
+    try:
+        payload = json.dumps(
+            frame.to_payload(), separators=(",", ":"), allow_nan=True
+        ).encode("utf-8")
+    except (TypeError, ValueError) as exc:
+        raise FrameError(
+            f"{type(frame).__name__} payload is not JSON-serializable: {exc}"
+        ) from exc
+    body = bytes((frame.TYPE,)) + payload
+    if len(body) > MAX_FRAME_BYTES:
+        raise FrameError(
+            f"frame of {len(body)} bytes exceeds MAX_FRAME_BYTES"
+        )
+    return _HEADER.pack(len(body)) + body + _CRC.pack(zlib.crc32(body))
+
+
+def decode_frame(data: bytes) -> tuple[Frame, int]:
+    """Decode one frame from the head of ``data``.
+
+    Returns ``(frame, consumed_bytes)``.  Raises :class:`FrameError` on
+    a corrupt header, CRC mismatch, unknown type or malformed payload —
+    and also when ``data`` does not yet hold a complete frame (stream
+    callers should use :class:`FrameDecoder`, which buffers partial
+    frames instead of raising).
+    """
+    if len(data) < _HEADER.size:
+        raise FrameError("incomplete frame header")
+    (length,) = _HEADER.unpack_from(data)
+    if length < 1 or length > MAX_FRAME_BYTES:
+        raise FrameError(f"frame length {length} out of bounds")
+    total = _HEADER.size + length + _CRC.size
+    if len(data) < total:
+        raise FrameError("incomplete frame body")
+    body = data[_HEADER.size : _HEADER.size + length]
+    (crc,) = _CRC.unpack_from(data, _HEADER.size + length)
+    if zlib.crc32(body) != crc:
+        raise FrameError("frame CRC mismatch")
+    frame_type = body[0]
+    cls = _FRAME_TYPES.get(frame_type)
+    if cls is None:
+        raise FrameError(f"unknown frame type 0x{frame_type:02x}")
+    try:
+        payload = json.loads(body[1:].decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise FrameError(f"undecodable frame payload: {exc}") from exc
+    try:
+        return cls.from_payload(payload), total
+    except (KeyError, TypeError) as exc:
+        raise FrameError(
+            f"malformed {cls.__name__} payload: {payload!r}"
+        ) from exc
+
+
+class FrameDecoder:
+    """Incremental frame parser for a byte stream.
+
+    Feed it whatever chunk sizes the transport produces; it buffers
+    partial frames and yields each complete one exactly once::
+
+        decoder = FrameDecoder()
+        for frame in decoder.feed(chunk):
+            handle(frame)
+
+    Corruption (bad CRC, bogus length, unknown type) raises
+    :class:`FrameError` — framing is lost at that point, so the caller
+    must drop the connection.
+    """
+
+    __slots__ = ("_buffer", "frames_decoded", "bytes_consumed")
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+        self.frames_decoded = 0
+        self.bytes_consumed = 0
+
+    def feed(self, data: bytes) -> Iterator[Frame]:
+        self._buffer.extend(data)
+        while True:
+            if len(self._buffer) < _HEADER.size:
+                return
+            (length,) = _HEADER.unpack_from(self._buffer)
+            if length < 1 or length > MAX_FRAME_BYTES:
+                raise FrameError(f"frame length {length} out of bounds")
+            total = _HEADER.size + length + _CRC.size
+            if len(self._buffer) < total:
+                return
+            frame, consumed = decode_frame(bytes(self._buffer[:total]))
+            del self._buffer[:consumed]
+            self.frames_decoded += 1
+            self.bytes_consumed += consumed
+            yield frame
+
+    @property
+    def pending_bytes(self) -> int:
+        """Bytes buffered toward the next (incomplete) frame."""
+        return len(self._buffer)

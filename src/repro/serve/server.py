@@ -1,0 +1,656 @@
+"""The asyncio CEP server: many ingestion sessions, one detection backend.
+
+:class:`CepServer` multiplexes any number of client sessions onto a
+single detection backend — a plain :class:`~repro.core.detector.Engine`,
+a :class:`~repro.core.sharding.ShardedEngine`, or a durable engine from
+:mod:`repro.resilience.durability` (detected by its ``next_seq``
+attribute).  The paper's engine is single-threaded and order-sensitive,
+so the server funnels every submission through **one writer task**
+consuming a bounded queue:
+
+* per-connection *reader tasks* parse frames and ``await put()`` into
+  the submit queue — when the queue is full the reader stops reading
+  its transport, which is exactly TCP backpressure on the client;
+* the *writer task* applies observations to the backend strictly in
+  arrival order, advances the per-client acked sequence number, and
+  fans resulting detections out to subscribers;
+* per-connection *sender tasks* drain each session's outbound buffers
+  onto the transport, so one slow consumer can never stall the writer.
+
+Detection push to a slow subscriber is bounded by a per-session buffer
+(``ServeConfig.push_queue``); overflow follows
+:class:`SlowConsumerPolicy` — ``DROP`` discards the *oldest* buffered
+detection (newest data wins, drops are counted and exported), while
+``DISCONNECT`` closes the offending session.  Acks are cumulative and
+coalesced (at most one in flight per session), so a client that submits
+faster than it reads acks costs O(1) memory, not O(stream).
+
+Resume: the server keeps one :class:`_ClientRecord` per ``client_id``
+with the highest applied client sequence number.  A reconnecting client
+offers its own last ack in HELLO; the server answers WELCOME with
+``max(server record, client claim) + 1`` and silently skips any
+re-sent duplicates below that — combined with ack-after-apply (for a
+durable backend: ack-after-WAL-append), every observation is applied
+exactly once across client crashes, reconnects and server recoveries
+(see ``docs/serving.md``).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import deque
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Optional
+
+from ..core.errors import ReproError
+from ..obs.metrics import MetricsRegistry
+from .loopback import DEFAULT_MAX_BUFFER, LoopbackReader, LoopbackWriter, loopback_pair
+from .protocol import (
+    PROTOCOL_VERSION,
+    Ack,
+    Batch,
+    Bye,
+    DetectionFrame,
+    ErrorFrame,
+    Flush,
+    Frame,
+    FrameDecoder,
+    FrameError,
+    Hello,
+    Submit,
+    Subscribe,
+    Welcome,
+    detection_payload,
+    encode_frame,
+)
+
+__all__ = ["CepServer", "ServeConfig", "SlowConsumerPolicy", "ServeError"]
+
+
+class ServeError(ReproError):
+    """The serving layer was misused or hit an unrecoverable state."""
+
+
+class SlowConsumerPolicy(str, Enum):
+    """What to do when a subscriber's push buffer is full.
+
+    ``DROP`` discards the oldest buffered detection (the subscriber
+    keeps receiving the freshest data, and the drop is counted);
+    ``DISCONNECT`` closes the session — the client's reconnect logic
+    can then resubscribe and resume.
+    """
+
+    DROP = "drop"
+    DISCONNECT = "disconnect"
+
+    @classmethod
+    def coerce(cls, value: "str | SlowConsumerPolicy") -> "SlowConsumerPolicy":
+        if isinstance(value, cls):
+            return value
+        try:
+            return cls(value)
+        except ValueError:
+            raise ValueError(
+                f"bad slow-consumer policy: {value!r} "
+                f"(expected one of {[policy.value for policy in cls]})"
+            ) from None
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Queue bounds and policies for one server."""
+
+    #: Bound on the central submit queue (frames, not observations);
+    #: readers block here, which is the ingestion backpressure point.
+    submit_queue: int = 1024
+    #: Per-session detection push buffer bound.
+    push_queue: int = 256
+    #: Overflow policy for the push buffer.
+    push_policy: "str | SlowConsumerPolicy" = SlowConsumerPolicy.DROP
+    #: Transport read chunk size.
+    read_chunk: int = 64 * 1024
+
+
+@dataclass
+class ServeStats:
+    """Always-on counters (mirrored into metrics when attached)."""
+
+    sessions_opened: int = 0
+    sessions_closed: int = 0
+    frames_in: int = 0
+    frames_out: int = 0
+    bytes_in: int = 0
+    bytes_out: int = 0
+    submitted: int = 0
+    duplicates_skipped: int = 0
+    acks_sent: int = 0
+    detections_pushed: int = 0
+    detections_dropped: int = 0
+    disconnects: int = 0
+    errors_sent: int = 0
+
+    @property
+    def sessions_active(self) -> int:
+        return self.sessions_opened - self.sessions_closed
+
+
+class _ClientRecord:
+    """Durable-across-reconnects per-client state: the ack frontier."""
+
+    __slots__ = ("client_id", "last_acked", "active_session")
+
+    def __init__(self, client_id: str) -> None:
+        self.client_id = client_id
+        #: Highest client sequence number applied to the backend.
+        self.last_acked = -1
+        self.active_session: Optional["_Session"] = None
+
+
+class _Session:
+    """One live connection: transport halves, outbound buffers, tasks."""
+
+    def __init__(
+        self,
+        session_id: str,
+        reader: Any,
+        writer: Any,
+    ) -> None:
+        self.session_id = session_id
+        self.reader = reader
+        self.writer = writer
+        self.record: Optional[_ClientRecord] = None
+        self.subscribed = False
+        self.rule_filter: Optional[frozenset] = None
+        self.alive = True
+        #: Sentinels/control frames for the sender task ("ack", "push",
+        #: "close", or a Frame instance to send verbatim).
+        self.outbound: asyncio.Queue = asyncio.Queue()
+        #: Bounded detection buffer (policy applies on overflow).
+        self.push_buffer: deque = deque()
+        #: Coalesced cumulative ack (at most one sentinel in flight).
+        self.pending_ack: Optional[int] = None
+        self.tasks: list[asyncio.Task] = []
+
+    @property
+    def client_id(self) -> Optional[str]:
+        return self.record.client_id if self.record is not None else None
+
+
+@dataclass
+class _SubmitItem:
+    session: _Session
+    seq: int
+    observations: list = field(default_factory=list)
+    flush: bool = False
+
+
+class CepServer:
+    """Serve a detection backend to remote ingestion/subscription clients.
+
+    Parameters
+    ----------
+    backend:
+        ``Engine``, ``ShardedEngine``, ``SupervisedEngine``,
+        ``DurableEngine`` or ``DurableShardedEngine`` — anything with
+        ``submit(observation) -> list[Detection]`` and ``flush()``.
+        With a durable backend, acks imply the observation reached the
+        write-ahead log (``DurableEngine.submit`` appends before it
+        detects).
+    config:
+        Queue bounds and slow-consumer policy (:class:`ServeConfig`).
+    metrics:
+        Optional :class:`repro.obs.MetricsRegistry`; attaches a
+        :class:`repro.obs.ServeInstruments` under ``metrics_label``.
+    """
+
+    def __init__(
+        self,
+        backend: Any,
+        *,
+        config: Optional[ServeConfig] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        metrics_label: str = "serve",
+    ) -> None:
+        self.backend = backend
+        self.config = config or ServeConfig()
+        self._push_policy = SlowConsumerPolicy.coerce(self.config.push_policy)
+        self.stats = ServeStats()
+        self._instr = None
+        if metrics is not None:
+            from ..obs.instrument import ServeInstruments
+
+            self._instr = ServeInstruments(metrics, server_label=metrics_label)
+        self._queue: asyncio.Queue = asyncio.Queue(
+            maxsize=self.config.submit_queue
+        )
+        self._clients: dict[str, _ClientRecord] = {}
+        self._sessions: set[_Session] = set()
+        self._writer_task: Optional[asyncio.Task] = None
+        self._tcp_server: Optional[asyncio.AbstractServer] = None
+        self._connection_tasks: set[asyncio.Task] = set()
+        self._sender_tasks: set[asyncio.Task] = set()
+        self._session_counter = 0
+        self._closed = False
+
+    # -- lifecycle ----------------------------------------------------------
+
+    async def start(self) -> None:
+        """Start the single writer task (idempotent)."""
+        if self._closed:
+            raise ServeError("server is closed")
+        if self._writer_task is None:
+            self._writer_task = asyncio.ensure_future(self._writer_loop())
+
+    async def close(self) -> None:
+        """Stop accepting, close every session, stop the writer."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._tcp_server is not None:
+            self._tcp_server.close()
+            await self._tcp_server.wait_closed()
+        for session in list(self._sessions):
+            self._disconnect(session)
+        if self._writer_task is not None:
+            await self._queue.put(None)
+            await self._writer_task
+            self._writer_task = None
+        for task in list(self._connection_tasks):
+            task.cancel()
+        # A sender can be parked in ``drain()`` forever when its peer
+        # stopped reading; cancel them so shutdown cannot hang on a
+        # slow consumer.
+        for task in list(self._sender_tasks):
+            task.cancel()
+        for task in list(self._connection_tasks):
+            try:
+                await task
+            except (asyncio.CancelledError, Exception):
+                pass
+
+    async def __aenter__(self) -> "CepServer":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *_exc) -> None:
+        await self.close()
+
+    # -- transports ---------------------------------------------------------
+
+    async def serve_tcp(self, host: str = "127.0.0.1", port: int = 0) -> int:
+        """Listen on ``host:port`` (0 = ephemeral); returns the bound port."""
+        await self.start()
+        self._tcp_server = await asyncio.start_server(
+            self._accept_tcp, host, port
+        )
+        return self._tcp_server.sockets[0].getsockname()[1]
+
+    async def _accept_tcp(self, reader: Any, writer: Any) -> None:
+        # Track the handler task so close() can cancel readers that are
+        # blocked on clients which never hang up.
+        task = asyncio.current_task()
+        if task is not None:
+            self._connection_tasks.add(task)
+        try:
+            await self.handle_connection(reader, writer)
+        finally:
+            if task is not None:
+                self._connection_tasks.discard(task)
+
+    def connect_loopback(
+        self, max_buffer: int = DEFAULT_MAX_BUFFER
+    ) -> tuple[LoopbackReader, LoopbackWriter]:
+        """Open an in-memory connection; returns the *client* endpoint.
+
+        Must be called with the server's event loop running; the server
+        side of the pair is handled exactly like a TCP connection.
+        """
+        if self._closed:
+            raise ServeError("server is closed")
+        client_end, server_end = loopback_pair(max_buffer)
+        task = asyncio.ensure_future(self.handle_connection(*server_end))
+        self._connection_tasks.add(task)
+        task.add_done_callback(self._connection_tasks.discard)
+        return client_end
+
+    # -- connection handling ------------------------------------------------
+
+    async def handle_connection(self, reader: Any, writer: Any) -> None:
+        """Run one session to completion (also the TCP accept callback)."""
+        await self.start()
+        self._session_counter += 1
+        session = _Session(f"s{self._session_counter}", reader, writer)
+        self._sessions.add(session)
+        self.stats.sessions_opened += 1
+        if self._instr is not None:
+            self._instr.sessions.set(self.stats.sessions_active)
+        sender = asyncio.ensure_future(self._sender_loop(session))
+        session.tasks.append(sender)
+        self._sender_tasks.add(sender)
+        sender.add_done_callback(self._sender_tasks.discard)
+        try:
+            await self._reader_loop(session)
+        finally:
+            self._disconnect(session)
+            try:
+                await sender
+            except asyncio.CancelledError:
+                pass
+
+    async def _reader_loop(self, session: _Session) -> None:
+        decoder = FrameDecoder()
+        reader = session.reader
+        greeted = False
+        try:
+            while session.alive:
+                data = await reader.read(self.config.read_chunk)
+                if not data:
+                    return
+                self.stats.bytes_in += len(data)
+                if self._instr is not None:
+                    self._instr.bytes_in.inc(len(data))
+                for frame in decoder.feed(data):
+                    self.stats.frames_in += 1
+                    if self._instr is not None:
+                        self._instr.frames_in.inc()
+                    if not greeted:
+                        if not isinstance(frame, Hello):
+                            self._send_error(
+                                session, "protocol", "expected HELLO first"
+                            )
+                            return
+                        if not self._handshake(session, frame):
+                            return
+                        greeted = True
+                        continue
+                    if not await self._handle_frame(session, frame):
+                        return
+        except FrameError as exc:
+            self._send_error(session, "frame", str(exc))
+        except (
+            ConnectionError,
+            asyncio.IncompleteReadError,
+        ):
+            return
+
+    def _handshake(self, session: _Session, hello: Hello) -> bool:
+        if hello.version != PROTOCOL_VERSION:
+            self._send_error(
+                session,
+                "version",
+                f"server speaks protocol {PROTOCOL_VERSION}, "
+                f"client spoke {hello.version}",
+            )
+            return False
+        record = self._clients.get(hello.client_id)
+        if record is None:
+            record = _ClientRecord(hello.client_id)
+            self._clients[hello.client_id] = record
+        if record.active_session is not None:
+            self._send_error(
+                session,
+                "busy",
+                f"client id {hello.client_id!r} already has a live session",
+            )
+            return False
+        # Whoever remembers more wins: the server's applied frontier or
+        # the client's own ack record (authoritative after a server
+        # restart, when the in-memory record starts empty but the WAL
+        # already holds everything that was ever acked).
+        record.last_acked = max(record.last_acked, hello.resume_from)
+        record.active_session = session
+        session.record = record
+        self._send_control(
+            session,
+            Welcome(session_id=session.session_id, next_seq=record.last_acked + 1),
+        )
+        return True
+
+    async def _handle_frame(self, session: _Session, frame: Frame) -> bool:
+        """Dispatch one post-handshake frame; False ends the session."""
+        if isinstance(frame, Submit):
+            await self._queue.put(
+                _SubmitItem(session, frame.seq, [frame.observation])
+            )
+            return True
+        if isinstance(frame, Batch):
+            await self._queue.put(
+                _SubmitItem(session, frame.seq, list(frame.observations))
+            )
+            return True
+        if isinstance(frame, Flush):
+            await self._queue.put(_SubmitItem(session, frame.seq, flush=True))
+            return True
+        if isinstance(frame, Subscribe):
+            session.subscribed = True
+            session.rule_filter = (
+                frozenset(frame.rules) if frame.rules is not None else None
+            )
+            return True
+        if isinstance(frame, Bye):
+            return False
+        self._send_error(
+            session, "protocol", f"unexpected {type(frame).__name__} frame"
+        )
+        return False
+
+    # -- the single writer --------------------------------------------------
+
+    async def _writer_loop(self) -> None:
+        while True:
+            item = await self._queue.get()
+            if item is None:
+                return
+            session = item.session
+            record = session.record
+            if record is None or not session.alive:
+                continue
+            try:
+                if item.flush:
+                    self._apply_flush(session, record, item.seq)
+                else:
+                    self._apply_submit(session, record, item)
+            except Exception as exc:  # backend failure: isolate the session
+                self._send_error(
+                    session, "backend", f"{type(exc).__name__}: {exc}"
+                )
+                self._disconnect(session)
+
+    def _apply_submit(
+        self, session: _Session, record: _ClientRecord, item: _SubmitItem
+    ) -> None:
+        for index, observation in enumerate(item.observations):
+            seq = item.seq + index
+            if seq <= record.last_acked:
+                self.stats.duplicates_skipped += 1
+                if self._instr is not None:
+                    self._instr.duplicates.inc()
+                continue
+            if seq != record.last_acked + 1:
+                self._send_error(
+                    session,
+                    "sequence",
+                    f"got seq {seq}, expected {record.last_acked + 1}",
+                )
+                self._disconnect(session)
+                return
+            detections = self.backend.submit(observation)
+            record.last_acked = seq
+            self.stats.submitted += 1
+            if self._instr is not None:
+                self._instr.submitted.inc()
+            self._fan_out(detections, seq)
+        self._queue_ack(session, record.last_acked)
+
+    def _apply_flush(
+        self, session: _Session, record: _ClientRecord, seq: int
+    ) -> None:
+        if seq > record.last_acked:
+            if seq != record.last_acked + 1:
+                self._send_error(
+                    session,
+                    "sequence",
+                    f"got flush seq {seq}, expected {record.last_acked + 1}",
+                )
+                self._disconnect(session)
+                return
+            detections = self.backend.flush()
+            record.last_acked = seq
+            self._fan_out(detections, seq)
+        self._queue_ack(session, record.last_acked)
+
+    def _fan_out(self, detections: list, seq: int) -> None:
+        if not detections:
+            return
+        subscribers = [s for s in self._sessions if s.alive and s.subscribed]
+        if not subscribers:
+            return
+        for ordinal, detection in enumerate(detections):
+            payload = detection_payload(detection)
+            frame = DetectionFrame(
+                rule=payload["rule"],
+                time=payload["time"],
+                bindings=payload["bindings"],
+                seq=seq,
+                ordinal=ordinal,
+            )
+            for subscriber in subscribers:
+                if (
+                    subscriber.rule_filter is not None
+                    and frame.rule not in subscriber.rule_filter
+                ):
+                    continue
+                self._push_detection(subscriber, frame)
+
+    def _push_detection(self, session: _Session, frame: DetectionFrame) -> None:
+        if len(session.push_buffer) >= self.config.push_queue:
+            if self._push_policy is SlowConsumerPolicy.DISCONNECT:
+                self.stats.disconnects += 1
+                if self._instr is not None:
+                    self._instr.disconnects.inc()
+                self._disconnect(session)
+                # The consumer is too far behind to receive anything
+                # more (its sender may be parked in drain); close the
+                # transport so that sender wakes up and exits.
+                try:
+                    session.writer.close()
+                except Exception:
+                    pass
+                return
+            # DROP: oldest out, newest in — buffer size and the number
+            # of outstanding "push" sentinels both stay unchanged.
+            session.push_buffer.popleft()
+            session.push_buffer.append(frame)
+            self.stats.detections_dropped += 1
+            if self._instr is not None:
+                self._instr.dropped.inc()
+            return
+        session.push_buffer.append(frame)
+        session.outbound.put_nowait("push")
+        if self._instr is not None:
+            self._instr.push_depth.set(len(session.push_buffer))
+
+    def _queue_ack(self, session: _Session, seq: int) -> None:
+        if not session.alive:
+            return
+        first = session.pending_ack is None
+        session.pending_ack = seq
+        if first:
+            session.outbound.put_nowait("ack")
+
+    def _send_control(self, session: _Session, frame: Frame) -> None:
+        if session.alive:
+            session.outbound.put_nowait(frame)
+
+    def _send_error(self, session: _Session, code: str, message: str) -> None:
+        self.stats.errors_sent += 1
+        self._send_control(session, ErrorFrame(code=code, message=message))
+
+    # -- per-session sender --------------------------------------------------
+
+    async def _sender_loop(self, session: _Session) -> None:
+        writer = session.writer
+        try:
+            while True:
+                item = await session.outbound.get()
+                if item == "close":
+                    break
+                if item == "ack":
+                    seq = session.pending_ack
+                    session.pending_ack = None
+                    if seq is None:
+                        continue
+                    frame: Frame = Ack(seq=seq)
+                    self.stats.acks_sent += 1
+                    if self._instr is not None:
+                        self._instr.acks.inc()
+                elif item == "push":
+                    if not session.push_buffer:
+                        continue
+                    frame = session.push_buffer.popleft()
+                    self.stats.detections_pushed += 1
+                    if self._instr is not None:
+                        self._instr.pushed.inc()
+                        self._instr.push_depth.set(len(session.push_buffer))
+                else:
+                    frame = item
+                data = encode_frame(frame)
+                writer.write(data)
+                await writer.drain()
+                self.stats.frames_out += 1
+                self.stats.bytes_out += len(data)
+                if self._instr is not None:
+                    self._instr.frames_out.inc()
+                    self._instr.bytes_out.inc(len(data))
+        except (ConnectionError, RuntimeError):
+            pass
+        finally:
+            self._disconnect(session)
+            try:
+                writer.close()
+            except Exception:
+                pass
+
+    # -- teardown ------------------------------------------------------------
+
+    def _disconnect(self, session: _Session) -> None:
+        if not session.alive:
+            return
+        session.alive = False
+        self._sessions.discard(session)
+        record = session.record
+        if record is not None and record.active_session is session:
+            record.active_session = None
+        session.outbound.put_nowait("close")
+        self.stats.sessions_closed += 1
+        if self._instr is not None:
+            self._instr.sessions.set(self.stats.sessions_active)
+
+    # -- introspection --------------------------------------------------------
+
+    def client_frontier(self, client_id: str) -> int:
+        """The highest applied client seq for ``client_id`` (-1 unknown)."""
+        record = self._clients.get(client_id)
+        return record.last_acked if record is not None else -1
+
+    def session_summary(self) -> dict:
+        """Live serving state, one entry per active session."""
+        return {
+            "sessions": [
+                {
+                    "id": session.session_id,
+                    "client": session.client_id,
+                    "subscribed": session.subscribed,
+                    "push_buffered": len(session.push_buffer),
+                    "last_acked": (
+                        session.record.last_acked
+                        if session.record is not None
+                        else -1
+                    ),
+                }
+                for session in self._sessions
+            ],
+            "submit_queue_depth": self._queue.qsize(),
+            "stats": self.stats.__dict__.copy(),
+        }

@@ -155,6 +155,42 @@ class TestWalBench:
         assert "batch:64" in out
 
 
+class TestServeBench:
+    def test_serve_bench_matches_baseline_detections(self):
+        from repro.bench.serve import run_serve_bench
+
+        results = run_serve_bench(full_scale=False)
+        assert [result.transport for result in results] == [
+            "direct",
+            "loopback",
+            "tcp",
+        ]
+        direct = results[0]
+        assert direct.detections > 0
+        assert all(r.detections == direct.detections for r in results)
+        assert direct.frames_in == 0 and direct.overhead_pct == 0.0
+        assert results[1].frames_in > 0 and results[1].bytes_in > 0
+
+    def test_serve_cli_writes_json(self, tmp_path, capsys, monkeypatch):
+        import json
+
+        from repro.bench.__main__ import main
+
+        monkeypatch.chdir(tmp_path)
+        assert main(["serve"]) == 0
+        out = capsys.readouterr().out
+        assert "transport" in out and "loopback" in out
+        with open(tmp_path / "BENCH_serve.json") as handle:
+            document = json.load(handle)
+        assert document["schema"] == {"name": "repro-bench-serve", "version": 1}
+        assert document["scale"] == "quick"
+        assert [r["transport"] for r in document["results"]] == [
+            "direct",
+            "loopback",
+            "tcp",
+        ]
+
+
 class TestReport:
     def test_generate_report_contains_all_sections(self):
         from repro.bench.report import generate_report
@@ -169,6 +205,7 @@ class TestReport:
             "re-evaluation",
             "latency",
             "WAL durability overhead",
+            "Serving layer overhead",
         ):
             assert heading in text, heading
         assert "RCEDA matches: **2**" in text

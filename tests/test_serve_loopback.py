@@ -1,0 +1,512 @@
+"""End-to-end serving tests over the in-memory loopback transport.
+
+The correctness bar for the serving layer: detections observed over the
+wire must equal an in-process run of the same rules over the same
+stream — for every backend (plain, sharded, durable) — and the
+resume-from-seq contract must hold across client crashes and server
+restarts (durable backend, WAL tail).
+"""
+
+import asyncio
+import random
+
+import pytest
+
+from repro import Engine, Observation
+from repro.apps import containment_rule, location_rule
+from repro.core.detector import FunctionRegistry
+from repro.core.sharding import ShardedEngine
+from repro.obs import MetricsRegistry, rollup
+from repro.resilience.durability import DurableEngine
+from repro.serve import (
+    Ack,
+    AsyncClient,
+    Bye,
+    CepServer,
+    ClientError,
+    ErrorFrame,
+    FrameDecoder,
+    Hello,
+    RetryConfig,
+    ServeConfig,
+    SlowConsumerPolicy,
+    Submit,
+    Subscribe,
+    Welcome,
+    encode_frame,
+    loopback_connector,
+)
+from repro.simulator import PackingConfig, simulate_packing
+from repro.store import RfidStore
+
+
+def packing_stream(cases=5, seed=3):
+    trace = simulate_packing(PackingConfig(cases=cases), rng=random.Random(seed))
+    return trace.observations
+
+
+def build_rules():
+    return [containment_rule(), location_rule()]
+
+
+def plain_engine():
+    return Engine(build_rules(), store=RfidStore(), functions=FunctionRegistry())
+
+
+def expected_detections(stream):
+    return canon_engine(plain_engine().run(stream))
+
+
+def canon_engine(detections):
+    return [
+        (d.rule.rule_id, round(d.time, 9), tuple(sorted(d.bindings.items())))
+        for d in detections
+    ]
+
+
+def canon_frames(frames):
+    return [
+        (f.rule, round(f.time, 9), tuple(sorted(f.bindings.items())))
+        for f in frames
+    ]
+
+
+async def eventually(predicate, timeout=5.0, message="condition not reached"):
+    loop = asyncio.get_running_loop()
+    deadline = loop.time() + timeout
+    while not predicate():
+        if loop.time() > deadline:
+            raise AssertionError(message)
+        await asyncio.sleep(0.01)
+
+
+class Raw:
+    """A frame-level loopback client for poking at the protocol directly."""
+
+    def __init__(self, server, max_buffer=None):
+        if max_buffer is None:
+            self.reader, self.writer = server.connect_loopback()
+        else:
+            self.reader, self.writer = server.connect_loopback(max_buffer)
+        self._decoder = FrameDecoder()
+        self._frames = []
+
+    async def send(self, frame):
+        self.writer.write(encode_frame(frame))
+        await self.writer.drain()
+
+    async def recv(self, timeout=2.0):
+        while not self._frames:
+            data = await asyncio.wait_for(self.reader.read(65536), timeout)
+            if not data:
+                raise AssertionError("peer closed while waiting for a frame")
+            self._frames.extend(self._decoder.feed(data))
+        return self._frames.pop(0)
+
+    async def recv_until(self, frame_type, timeout=2.0):
+        while True:
+            frame = await self.recv(timeout)
+            if isinstance(frame, frame_type):
+                return frame
+
+
+def make_backend(kind, tmp_path):
+    """Returns ``(backend, closer)`` for one parametrized backend kind."""
+    if kind == "plain":
+        return plain_engine(), lambda: None
+    if kind == "sharded":
+        backend = ShardedEngine(
+            build_rules(),
+            max_shards=3,
+            store=RfidStore(),
+            functions=FunctionRegistry(),
+        )
+        return backend, lambda: None
+    durable = DurableEngine(plain_engine, str(tmp_path / "durable"))
+    return durable, durable.close
+
+
+class TestWireEquivalence:
+    @pytest.mark.parametrize("kind", ["plain", "sharded", "durable"])
+    def test_detections_over_wire_match_in_process(self, kind, tmp_path):
+        stream = packing_stream()
+        expected = expected_detections(stream)
+        assert expected  # the workload must actually detect something
+
+        async def scenario():
+            backend, closer = make_backend(kind, tmp_path)
+            try:
+                async with CepServer(backend) as server:
+                    client = AsyncClient(
+                        loopback_connector(server), subscribe=True, batch_size=7
+                    )
+                    async with client:
+                        await client.submit_many(stream)
+                        await client.flush(timeout=10)
+                        await eventually(
+                            lambda: len(client.detections) >= len(expected)
+                        )
+                        return canon_frames(client.detections), server.stats
+            finally:
+                closer()
+
+        got, stats = asyncio.run(scenario())
+        assert got == expected
+        assert stats.submitted == len(stream)
+        assert stats.duplicates_skipped == 0
+
+    def test_separate_subscriber_sees_ingestors_detections(self):
+        stream = packing_stream()
+        expected = expected_detections(stream)
+
+        async def scenario():
+            async with CepServer(plain_engine()) as server:
+                watcher = AsyncClient(
+                    loopback_connector(server), client_id="watcher", subscribe=True
+                )
+                ingest = AsyncClient(
+                    loopback_connector(server), client_id="ingest", batch_size=16
+                )
+                async with watcher, ingest:
+                    await ingest.submit_many(stream)
+                    await ingest.flush(timeout=10)
+                    await eventually(
+                        lambda: len(watcher.detections) >= len(expected)
+                    )
+                    return (
+                        canon_frames(watcher.detections),
+                        list(ingest.detections),
+                    )
+
+        watched, ingested = asyncio.run(scenario())
+        assert watched == expected
+        assert ingested == []  # no subscription, no pushes
+
+    def test_rule_filter_limits_pushes(self):
+        stream = packing_stream()
+        expected = expected_detections(stream)
+        rule_ids = {entry[0] for entry in expected}
+        assert len(rule_ids) > 1, "need a multi-rule workload to filter"
+        chosen = sorted(rule_ids)[0]
+
+        async def scenario():
+            async with CepServer(plain_engine()) as server:
+                client = AsyncClient(
+                    loopback_connector(server),
+                    subscribe=True,
+                    rules=[chosen],
+                    batch_size=8,
+                )
+                async with client:
+                    await client.submit_many(stream)
+                    await client.flush(timeout=10)
+                    wanted = [e for e in expected if e[0] == chosen]
+                    await eventually(
+                        lambda: len(client.detections) >= len(wanted)
+                    )
+                    await asyncio.sleep(0.05)  # would catch over-delivery
+                    return canon_frames(client.detections)
+
+        got = asyncio.run(scenario())
+        assert got == [entry for entry in expected if entry[0] == chosen]
+
+
+class TestProtocolEnforcement:
+    def test_hello_must_come_first(self):
+        async def scenario():
+            async with CepServer(plain_engine()) as server:
+                raw = Raw(server)
+                await raw.send(Submit(seq=0, observation=Observation("r", "o", 0)))
+                frame = await raw.recv()
+                assert isinstance(frame, ErrorFrame)
+                assert frame.code == "protocol"
+
+        asyncio.run(scenario())
+
+    def test_version_mismatch_refused(self):
+        async def scenario():
+            async with CepServer(plain_engine()) as server:
+                raw = Raw(server)
+                await raw.send(Hello(client_id="c", version=99))
+                frame = await raw.recv()
+                assert isinstance(frame, ErrorFrame)
+                assert frame.code == "version"
+
+        asyncio.run(scenario())
+
+    def test_second_session_for_live_client_refused(self):
+        async def scenario():
+            async with CepServer(plain_engine()) as server:
+                first = Raw(server)
+                await first.send(Hello(client_id="dup"))
+                assert isinstance(await first.recv(), Welcome)
+                second = Raw(server)
+                await second.send(Hello(client_id="dup"))
+                frame = await second.recv()
+                assert isinstance(frame, ErrorFrame)
+                assert frame.code == "busy"
+                # ...but once the first disconnects the id is free again.
+                await first.send(Bye())
+                await eventually(lambda: server.stats.sessions_active < 2)
+                third = Raw(server)
+                await third.send(Hello(client_id="dup"))
+                assert isinstance(await third.recv(), Welcome)
+
+        asyncio.run(scenario())
+
+    def test_sequence_gap_errors_and_disconnects(self):
+        async def scenario():
+            async with CepServer(plain_engine()) as server:
+                raw = Raw(server)
+                await raw.send(Hello(client_id="gap"))
+                assert isinstance(await raw.recv(), Welcome)
+                await raw.send(Submit(seq=5, observation=Observation("r", "o", 0)))
+                frame = await raw.recv_until(ErrorFrame)
+                assert frame.code == "sequence"
+                await eventually(lambda: server.stats.sessions_active == 0)
+                assert server.stats.submitted == 0
+
+        asyncio.run(scenario())
+
+    def test_duplicates_below_frontier_are_skipped(self):
+        async def scenario():
+            async with CepServer(plain_engine()) as server:
+                raw = Raw(server)
+                await raw.send(Hello(client_id="dups"))
+                welcome = await raw.recv()
+                assert welcome.next_seq == 0
+                await raw.send(Submit(seq=0, observation=Observation("r", "a", 0)))
+                ack = await raw.recv_until(Ack)
+                assert ack.seq == 0
+                # Retransmit seq 0 (as a crashed client would), then continue.
+                await raw.send(Submit(seq=0, observation=Observation("r", "a", 0)))
+                await raw.send(Submit(seq=1, observation=Observation("r", "b", 1)))
+                ack = await raw.recv_until(Ack)
+                assert ack.seq == 1
+                assert server.stats.duplicates_skipped == 1
+                assert server.stats.submitted == 2
+                assert server.client_frontier("dups") == 1
+
+        asyncio.run(scenario())
+
+
+class TestResume:
+    def test_client_crash_and_resume_is_exactly_once(self):
+        stream = packing_stream(cases=6, seed=11)
+        expected = expected_detections(stream)
+        half = len(stream) // 2
+
+        async def scenario():
+            async with CepServer(plain_engine()) as server:
+                first = AsyncClient(
+                    loopback_connector(server),
+                    client_id="station-1",
+                    subscribe=True,
+                    batch_size=4,
+                )
+                await first.connect()
+                await first.submit_many(stream[:half])
+                await first.drain(timeout=10)
+                early = list(first.detections)
+                acked = first.last_acked
+                assert acked == half - 1
+                # The crash: the transport dies without a BYE.
+                first._teardown_transport()
+                await eventually(lambda: server.stats.sessions_active == 0)
+
+                # New client life; it persisted nothing but its last ack
+                # (and here even under-reports it — the server record wins).
+                second = AsyncClient(
+                    loopback_connector(server),
+                    client_id="station-1",
+                    subscribe=True,
+                    resume_from=acked - 2,
+                    batch_size=4,
+                )
+                async with second:
+                    assert second.last_acked == acked  # learned from WELCOME
+                    await second.submit_many(stream[half:])
+                    await second.flush(timeout=10)
+                    remaining = len(expected) - len(early)
+                    await eventually(
+                        lambda: len(second.detections) >= remaining
+                    )
+                    assert server.stats.duplicates_skipped == 0
+                    assert server.stats.submitted == len(stream)
+                    return canon_frames(early) + canon_frames(second.detections)
+
+        assert asyncio.run(scenario()) == expected
+
+    def test_durable_server_restart_resume_via_wal(self, tmp_path):
+        stream = packing_stream(cases=6, seed=5)
+        expected = expected_detections(stream)
+        directory = str(tmp_path / "serve-durable")
+        half = len(stream) // 2
+
+        async def first_life():
+            durable = DurableEngine(plain_engine, directory)
+            try:
+                async with CepServer(durable) as server:
+                    client = AsyncClient(
+                        loopback_connector(server),
+                        client_id="station-1",
+                        subscribe=True,
+                        batch_size=5,
+                    )
+                    async with client:
+                        await client.submit_many(stream[:half])
+                        await client.drain(timeout=10)
+                        # Acked ⇒ in the WAL: the durable backend appends
+                        # before detecting, and the server acks after.
+                        return client.last_acked, list(client.detections)
+            finally:
+                durable.close()
+
+        async def second_life(resume_from, already):
+            durable, report = DurableEngine.recover(plain_engine, directory)
+            assert report.replayed_records >= half
+            try:
+                async with CepServer(durable) as server:  # fresh: no records
+                    client = AsyncClient(
+                        loopback_connector(server),
+                        client_id="station-1",
+                        subscribe=True,
+                        resume_from=resume_from,
+                        batch_size=5,
+                    )
+                    async with client:
+                        # The restarted server knows nothing; the client's
+                        # persisted ack is authoritative.
+                        assert client.last_acked == resume_from
+                        await client.submit_many(stream[half:])
+                        await client.flush(timeout=10)
+                        remaining = len(expected) - already
+                        await eventually(
+                            lambda: len(client.detections) >= remaining
+                        )
+                        assert server.stats.duplicates_skipped == 0
+                        return list(client.detections)
+            finally:
+                durable.close()
+
+        acked, early = asyncio.run(first_life())
+        assert acked == half - 1
+        late = asyncio.run(second_life(acked, len(early)))
+        assert canon_frames(early) + canon_frames(late) == expected
+
+    def test_connect_gives_up_after_retries(self):
+        async def refuse():
+            raise ConnectionRefusedError("nobody home")
+
+        async def scenario():
+            client = AsyncClient(
+                refuse,
+                retry=RetryConfig(max_attempts=3, backoff_base=0.001),
+            )
+            with pytest.raises(ClientError, match="3 attempts"):
+                await client.connect()
+
+        asyncio.run(scenario())
+
+
+class TestSlowConsumers:
+    def _congest(self, policy):
+        """Run a never-reading subscriber against a small push buffer."""
+        stream = packing_stream()
+
+        async def scenario():
+            config = ServeConfig(push_queue=4, push_policy=policy)
+            async with CepServer(plain_engine(), config=config) as server:
+                slow = Raw(server, max_buffer=64)
+                await slow.send(Hello(client_id="slow"))
+                assert isinstance(await slow.recv(), Welcome)
+                await slow.send(Subscribe())
+                await asyncio.sleep(0)  # let the subscription register
+                async with AsyncClient(
+                    loopback_connector(server), client_id="ingest", batch_size=16
+                ) as ingest:
+                    await ingest.submit_many(stream)
+                    await ingest.flush(timeout=10)
+                summary = server.session_summary()
+                return server.stats, summary
+
+        return asyncio.run(scenario())
+
+    def test_drop_policy_sheds_oldest_and_keeps_session(self):
+        stats, summary = self._congest(SlowConsumerPolicy.DROP)
+        assert stats.detections_dropped > 0
+        assert stats.disconnects == 0
+        clients = [entry["client"] for entry in summary["sessions"]]
+        assert "slow" in clients  # still connected, just shedding
+
+    def test_disconnect_policy_closes_the_session(self):
+        stats, summary = self._congest(SlowConsumerPolicy.DISCONNECT)
+        assert stats.disconnects >= 1
+        clients = [entry["client"] for entry in summary["sessions"]]
+        assert "slow" not in clients
+
+    def test_bad_policy_rejected(self):
+        with pytest.raises(ValueError, match="bad slow-consumer policy"):
+            SlowConsumerPolicy.coerce("shrug")
+
+
+class TestServeMetrics:
+    def test_instruments_mirror_stats(self):
+        stream = packing_stream()
+        expected = expected_detections(stream)
+        registry = MetricsRegistry()
+
+        async def scenario():
+            server = CepServer(plain_engine(), metrics=registry)
+            async with server:
+                client = AsyncClient(
+                    loopback_connector(server), subscribe=True, batch_size=8
+                )
+                async with client:
+                    await client.submit_many(stream)
+                    await client.flush(timeout=10)
+                    await eventually(
+                        lambda: len(client.detections) >= len(expected)
+                    )
+                return server.stats
+
+        stats = asyncio.run(scenario())
+        assert rollup(registry, "rceda_serve_submitted_total") == len(stream)
+        assert (
+            rollup(registry, "rceda_serve_detections_pushed_total")
+            == stats.detections_pushed
+            == len(expected)
+        )
+        assert rollup(registry, "rceda_serve_frames_total") == (
+            stats.frames_in + stats.frames_out
+        )
+        assert rollup(registry, "rceda_serve_bytes_total") == (
+            stats.bytes_in + stats.bytes_out
+        )
+        assert rollup(registry, "rceda_serve_acks_total") == stats.acks_sent
+        assert rollup(registry, "rceda_serve_sessions_active") == 0
+
+
+class TestAckCoalescing:
+    def test_ack_ignoring_client_gets_cumulative_ack(self):
+        async def scenario():
+            async with CepServer(plain_engine()) as server:
+                raw = Raw(server)
+                await raw.send(Hello(client_id="burst"))
+                assert isinstance(await raw.recv(), Welcome)
+                for seq in range(50):
+                    await raw.send(
+                        Submit(seq=seq, observation=Observation("r", f"o{seq}", seq))
+                    )
+                await eventually(lambda: server.client_frontier("burst") == 49)
+                final = await raw.recv_until(Ack)
+                while True:  # drain any interleaved smaller acks
+                    try:
+                        final = await raw.recv_until(Ack, timeout=0.1)
+                    except asyncio.TimeoutError:
+                        break
+                assert final.seq == 49
+                # Coalescing: far fewer ack frames than submissions.
+                assert server.stats.acks_sent <= 50
+
+        asyncio.run(scenario())

@@ -1,0 +1,137 @@
+"""Real-socket smoke tests: ``python -m repro serve`` + the sync client.
+
+These cross a process boundary and open real TCP ports, so they carry
+the ``slow`` marker (run by CI's slow job; excluded from the default
+``pytest -q`` run by ``addopts``).
+"""
+
+import os
+import re
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro import Engine, Observation
+from repro.lang import parse_program
+
+RULES_TEXT = (
+    'DEFINE E1 = observation("r1", o1, t1)\n'
+    'DEFINE E2 = observation("r2", o2, t2)\n'
+    "CREATE RULE contain, containment ON "
+    "TSEQ(TSEQ+(E1, 0.1sec, 1sec); E2, 10sec, 20sec) IF true "
+    "DO BULK INSERT INTO CONTAINMENT VALUES (o1, o2, t2, 'UC')\n"
+)
+
+
+def sample_stream():
+    stream = [Observation("r1", f"item-{k}", 0.2 * k) for k in range(6)]
+    stream.append(Observation("r2", "case-1", 12.0))
+    return stream
+
+
+def expected_detections():
+    from repro.core.detector import FunctionRegistry
+    from repro.store import RfidStore
+
+    program = parse_program(RULES_TEXT)
+    engine = Engine(
+        program.rules, store=RfidStore(), functions=FunctionRegistry()
+    )
+    return [
+        (d.rule.rule_id, round(d.time, 9), tuple(sorted(d.bindings.items())))
+        for d in engine.run(sample_stream())
+    ]
+
+
+@pytest.fixture()
+def serve_process(tmp_path):
+    """A ``python -m repro serve`` subprocess on an ephemeral port."""
+    rules_path = tmp_path / "rules.txt"
+    rules_path.write_text(RULES_TEXT)
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(__file__), os.pardir, "src")
+    env["PYTHONPATH"] = os.path.abspath(src) + os.pathsep + env.get(
+        "PYTHONPATH", ""
+    )
+    process = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "serve",
+            "--rules",
+            str(rules_path),
+            "--port",
+            "0",
+            "--max-seconds",
+            "60",
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=env,
+    )
+    try:
+        line = process.stdout.readline()
+        match = re.search(r"serving on .*:(\d+)", line)
+        assert match, f"no bound-port banner, got: {line!r}"
+        yield process, int(match.group(1))
+    finally:
+        process.terminate()
+        process.wait(timeout=10)
+
+
+@pytest.mark.slow
+class TestSocketSmoke:
+    def test_round_trip_matches_in_process_run(self, serve_process):
+        from repro.serve import Client
+
+        _process, port = serve_process
+        expected = expected_detections()
+        assert expected
+        with Client(host="127.0.0.1", port=port, subscribe=True) as client:
+            client.submit_many(sample_stream())
+            client.flush(timeout=30)
+            deadline = time.monotonic() + 20
+            while (
+                len(client.detections()) < len(expected)
+                and time.monotonic() < deadline
+            ):
+                time.sleep(0.05)
+            got = [
+                (f.rule, round(f.time, 9), tuple(sorted(f.bindings.items())))
+                for f in client.detections()
+            ]
+        assert got == expected
+
+    def test_sync_client_resume_across_lives(self, serve_process):
+        from repro.serve import Client
+
+        _process, port = serve_process
+        stream = sample_stream()
+        first = Client(
+            host="127.0.0.1", port=port, client_id="sync-station", batch_size=2
+        )
+        try:
+            first.submit_many(stream[:3])
+            first.drain(timeout=30)
+            acked = first.last_acked
+            assert acked == 2
+        finally:
+            first.close()
+        with Client(
+            host="127.0.0.1",
+            port=port,
+            client_id="sync-station",
+            subscribe=True,
+            resume_from=acked,
+        ) as second:
+            assert second.last_acked == acked
+            second.submit_many(stream[3:])
+            second.flush(timeout=30)
+            deadline = time.monotonic() + 20
+            while not second.detections() and time.monotonic() < deadline:
+                time.sleep(0.05)
+            assert second.detections()

@@ -186,3 +186,65 @@ class TestShardErrors:
         with pytest.raises(ShardError):
             sharded.submit(Observation("a1", "y", 1.0))
         assert len(sharded.submit(Observation("a2", "z", 2.0))) == 1
+
+
+class TestIntrospection:
+    """Direct coverage for routes_for / placement / traffic_summary."""
+
+    def _sharded(self):
+        return ShardedEngine(
+            [
+                containment("r1", "a1", "b1"),
+                containment("r2", "a2", "b2"),
+            ],
+            max_shards=2,
+        )
+
+    def test_routes_for_pins_reader_to_its_shard(self):
+        sharded = self._sharded()
+        placement = sharded.placement()
+        routes = sharded.routes_for(Observation("a1", "x", 0.0))
+        assert len(routes) == 1
+        assert placement[routes[0]] == ["r1"]
+
+    def test_routes_for_unknown_reader_without_catch_all_is_empty(self):
+        sharded = self._sharded()
+        assert sharded.routes_for(Observation("nobody", "x", 0.0)) == []
+
+    def test_routes_for_appends_catch_all_last(self):
+        sharded = ShardedEngine(
+            [
+                containment("r1", "a1", "b1"),
+                Rule("w", "w", obs(Var("r"), Var("o"))),
+            ],
+            max_shards=2,
+        )
+        pinned = sharded.routes_for(Observation("a1", "x", 0.0))
+        assert pinned[-1] == CATCH_ALL and len(pinned) == 2
+        # A reader no shard claimed still reaches the catch-all.
+        assert sharded.routes_for(Observation("nobody", "x", 0.0)) == [CATCH_ALL]
+
+    def test_placement_covers_every_rule_exactly_once(self):
+        sharded = self._sharded()
+        placement = sharded.placement()
+        assert sorted(sum(placement.values(), [])) == ["r1", "r2"]
+        assert set(placement) == set(sharded.shards)
+
+    def test_traffic_summary_counts_per_shard_observations(self):
+        sharded = self._sharded()
+        sharded.submit(Observation("a1", "x", 0.0))
+        sharded.submit(Observation("a1", "y", 0.2))
+        sharded.submit(Observation("a2", "z", 0.4))
+        sharded.submit(Observation("nobody", "q", 0.6))  # matches no shard
+        traffic = sharded.traffic_summary()
+        assert sum(traffic.values()) == 3
+        assert sorted(traffic.values()) == [1, 2]
+        assert set(traffic) == set(sharded.shards)
+
+    def test_traffic_summary_with_catch_all_counts_everything(self):
+        sharded = ShardedEngine(
+            [Rule("w", "w", obs(Var("r"), Var("o")))], max_shards=2
+        )
+        for index in range(4):
+            sharded.submit(Observation(f"r{index}", "x", float(index)))
+        assert sharded.traffic_summary() == {CATCH_ALL: 4}
