@@ -115,9 +115,40 @@ def encode_observation(observation: Any) -> dict:
 
 FLUSH_MARKER = {"k": "f"}
 
+#: WAL payload kind for a record that carries *only* client provenance —
+#: written when a serving client's observation routed to no shard, so the
+#: client's ack frontier is still durable.  Replay applies nothing for it.
+NOOP_KIND = "n"
+
+#: Reserved payload key for client provenance: ``[client_id, client_seq]``.
+#: The serving layer passes it via ``submit(..., client=...)`` so that a
+#: recovered engine can tell every client how far its stream got — the
+#: frontier is committed in the *same* WAL append as the observation, so
+#: there is no crash window in which the observation is durable but its
+#: provenance is not.
+CLIENT_KEY = "c"
+
+
+def _frontier_name(seq: int) -> str:
+    return f"clients-{seq:016d}.json"
+
+
+def _note_client(frontiers: dict, payload: dict) -> None:
+    """Fold one WAL payload's client provenance into a frontier map."""
+    client = payload.get(CLIENT_KEY)
+    if client:
+        client_id, client_seq = client
+        if frontiers.get(client_id, -1) < client_seq:
+            frontiers[client_id] = client_seq
+
 
 def decode_payload(payload: dict) -> Optional[Any]:
-    """Inverse of :func:`encode_observation`; ``None`` for flush markers."""
+    """Inverse of :func:`encode_observation`.
+
+    Returns ``None`` for the two markers that carry no observation:
+    flush records and frontier-only no-ops (distinguish them by
+    ``payload["k"]`` — ``"f"`` vs ``"n"`` — when it matters).
+    """
     kind = payload.get("k")
     if kind == "o":
         return Observation(
@@ -127,7 +158,7 @@ def decode_payload(payload: dict) -> Optional[Any]:
         return MalformedObservation(
             payload.get("r"), payload.get("o"), payload.get("t")
         )
-    if kind == "f":
+    if kind in ("f", NOOP_KIND):
         return None
     raise WalError(f"unknown WAL payload kind {kind!r}")
 
@@ -259,6 +290,10 @@ class DurableEngine:
         self._next_seq = self.wal.last_seq + 1
         self._since_checkpoint = 0
         self.checkpoints_written = 0
+        #: Highest client sequence applied, per serving client id — fed by
+        #: ``submit(..., client=...)``, made durable with every WAL append
+        #: and every checkpoint, rebuilt by :meth:`recover`.
+        self.client_frontiers: dict[str, int] = {}
         #: Test hook: ``callable(stage, seq)`` fired between protocol steps.
         self.failpoint: Optional[Callable[[str, int], None]] = None
 
@@ -285,10 +320,23 @@ class DurableEngine:
     def next_seq(self) -> int:
         return self._next_seq
 
-    def submit(self, observation: Any) -> list:
-        """Log one observation, detect, deliver; returns the detections."""
+    def submit(
+        self, observation: Any, *, client: Optional[tuple[str, int]] = None
+    ) -> list:
+        """Log one observation, detect, deliver; returns the detections.
+
+        ``client`` is optional ``(client_id, client_seq)`` provenance from
+        the serving layer; it rides in the same WAL record as the
+        observation, so an ack derived from this call's return is durable
+        exactly when the observation is.
+        """
         seq = self._next_seq
-        self.wal.append(seq, encode_observation(observation))
+        payload = encode_observation(observation)
+        if client is not None:
+            payload[CLIENT_KEY] = list(client)
+        self.wal.append(seq, payload)
+        if client is not None:
+            _note_client(self.client_frontiers, payload)
         self._next_seq = seq + 1
         self._fire("append", seq)
         detections = self.engine.submit(observation, seq=seq)
@@ -306,15 +354,21 @@ class DurableEngine:
             detections.extend(self.submit(observation))
         return detections
 
-    def flush(self) -> list:
+    def flush(self, *, client: Optional[tuple[str, int]] = None) -> list:
         """Fire end-of-stream expirations — durably.
 
         The flush itself is a logged event (a marker record), so a crash
         after a flush replays the flush and post-flush deliveries keep
-        their exactly-once keys.
+        their exactly-once keys.  ``client`` provenance works exactly as
+        in :meth:`submit`.
         """
         seq = self._next_seq
-        self.wal.append(seq, FLUSH_MARKER)
+        marker = dict(FLUSH_MARKER)
+        if client is not None:
+            marker[CLIENT_KEY] = list(client)
+        self.wal.append(seq, marker)
+        if client is not None:
+            _note_client(self.client_frontiers, marker)
         self._next_seq = seq + 1
         self._fire("append", seq)
         detections = self.engine.flush()
@@ -350,6 +404,14 @@ class DurableEngine:
         if seq < 0:
             return None
         self.wal.sync()
+        # The frontier sidecar goes first: once the checkpoint exists (and
+        # the WAL behind it may be pruned), the client frontiers it covers
+        # must already be on disk.  A crash between the two writes leaves
+        # an orphan sidecar and no checkpoint — harmless.
+        save_checkpoint(
+            {"clients": dict(self.client_frontiers)},
+            os.path.join(self.directory, _frontier_name(seq)),
+        )
         path = os.path.join(self.directory, _checkpoint_name(seq))
         save_checkpoint(self.engine.checkpoint(), path)
         self._since_checkpoint = 0
@@ -360,6 +422,11 @@ class DurableEngine:
         names = checkpoint_files(self.directory)
         for stale in names[: -self.keep_checkpoints]:
             os.unlink(os.path.join(self.directory, stale))
+            sidecar = os.path.join(
+                self.directory, _frontier_name(checkpoint_seq(stale))
+            )
+            if os.path.exists(sidecar):
+                os.unlink(sidecar)
         retained = names[-self.keep_checkpoints :]
         oldest_covered = checkpoint_seq(retained[0])
         self.wal.prune(oldest_covered)
@@ -394,6 +461,25 @@ class DurableEngine:
         report = durable._replay()
         return durable, report
 
+    def _load_frontiers(self, ckpt_seq: int) -> dict[str, int]:
+        """Client frontiers covered by the checkpoint at ``ckpt_seq``.
+
+        The sidecar is written before its checkpoint, so it exists for any
+        restorable checkpoint from this code; a missing or corrupt one
+        (e.g. a pre-provenance directory) degrades to an empty map — WAL
+        replay past the checkpoint fills in what it can.
+        """
+        try:
+            sidecar = load_checkpoint(
+                os.path.join(self.directory, _frontier_name(ckpt_seq))
+            )
+        except (FileNotFoundError, CheckpointError):
+            return {}
+        clients = sidecar.get("clients")
+        if not isinstance(clients, dict):
+            return {}
+        return {str(key): int(value) for key, value in clients.items()}
+
     def _replay(self) -> RecoveryReport:
         wal_dir = os.path.join(self.directory, WAL_SUBDIR)
         ckpt_seq = -1
@@ -408,6 +494,9 @@ class DurableEngine:
             self.engine = engine
             ckpt_seq = checkpoint_seq(name)
             break
+        self.client_frontiers = (
+            self._load_frontiers(ckpt_seq) if ckpt_seq >= 0 else {}
+        )
         replayed = 0
         suppressed_before = (
             self.outbox.suppressed if self.outbox is not None else 0
@@ -422,11 +511,15 @@ class DurableEngine:
                     "stream prefix is unrecoverable"
                 )
             first_record = False
-            observation = decode_payload(record.payload)
-            if observation is None:
-                detections = self.engine.flush()
+            _note_client(self.client_frontiers, record.payload)
+            if record.payload.get("k") == NOOP_KIND:
+                detections = []
             else:
-                detections = self.engine.submit(observation, seq=record.seq)
+                observation = decode_payload(record.payload)
+                if observation is None:
+                    detections = self.engine.flush()
+                else:
+                    detections = self.engine.submit(observation, seq=record.seq)
             replayed += 1
             if self.instruments is not None:
                 self.instruments.wal_replayed.inc()
@@ -552,6 +645,9 @@ class DurableShardedEngine:
         )
         self._since_checkpoint = 0
         self.checkpoints_written = 0
+        #: Per serving client id, as in :attr:`DurableEngine.client_frontiers`
+        #: — committed with every WAL append and every manifest cut.
+        self.client_frontiers: dict[str, int] = {}
         self.failpoint: Optional[Callable[[str, int], None]] = None
 
     # -- lifecycle ----------------------------------------------------------
@@ -578,17 +674,32 @@ class DurableShardedEngine:
     def next_seq(self) -> int:
         return self._next_seq
 
-    def submit(self, observation: Any) -> list:
+    def submit(
+        self, observation: Any, *, client: Optional[tuple[str, int]] = None
+    ) -> list:
         """Log to every target shard's WAL, then route through them."""
         seq = self._next_seq
         targets = self.coordinator.routes_for(observation)
         if targets:
             payload = encode_observation(observation)
+            if client is not None:
+                payload[CLIENT_KEY] = list(client)
             for name in targets:
                 self.wals[name].append(seq, payload)
-        # An unrouted observation consumes its sequence number with no
-        # record anywhere — it touched no shard state, so replay skipping
-        # it is exact (the merge tolerates the gap).
+        elif client is not None and self.wals:
+            # An unrouted observation touches no shard state, but its
+            # client's ack frontier must still survive a crash: log a
+            # frontier-only no-op (replay applies nothing for it).
+            self.wals[next(iter(self.wals))].append(
+                seq, {"k": NOOP_KIND, CLIENT_KEY: list(client)}
+            )
+        # An unrouted observation without provenance consumes its sequence
+        # number with no record anywhere — it touched no shard state, so
+        # replay skipping it is exact (the merge tolerates the gap).
+        if client is not None:
+            _note_client(
+                self.client_frontiers, {CLIENT_KEY: list(client)}
+            )
         self._next_seq = seq + 1
         self._fire("append", seq)
         detections = self.coordinator.submit(observation, seq=seq)
@@ -606,10 +717,15 @@ class DurableShardedEngine:
             detections.extend(self.submit(observation))
         return detections
 
-    def flush(self) -> list:
+    def flush(self, *, client: Optional[tuple[str, int]] = None) -> list:
         seq = self._next_seq
+        marker = dict(FLUSH_MARKER)
+        if client is not None:
+            marker[CLIENT_KEY] = list(client)
         for wal in self.wals.values():
-            wal.append(seq, FLUSH_MARKER)
+            wal.append(seq, marker)
+        if client is not None:
+            _note_client(self.client_frontiers, marker)
         self._next_seq = seq + 1
         self._fire("append", seq)
         detections = self.coordinator.flush()
@@ -656,6 +772,7 @@ class DurableShardedEngine:
             "checkpoints": paths,
             "routed": self.coordinator.routed,
             "multicast": self.coordinator.multicast,
+            "clients": dict(self.client_frontiers),
         }
         history = (self._history + [entry])[-self.keep_checkpoints :]
         save_checkpoint(
@@ -742,6 +859,11 @@ class DurableShardedEngine:
             self.coordinator._last_seq = entry["seq"]
             ckpt_seq = entry["seq"]
             restored_index = index
+            clients = entry.get("clients")
+            if isinstance(clients, dict):
+                self.client_frontiers = {
+                    str(key): int(value) for key, value in clients.items()
+                }
             break
         self._history = history[: restored_index + 1] if restored_index >= 0 else []
 
@@ -766,11 +888,15 @@ class DurableShardedEngine:
         )
         redelivered = 0
         for seq in sorted(merged):
-            observation = decode_payload(merged[seq])
-            if observation is None:
-                detections = self.coordinator.flush()
+            _note_client(self.client_frontiers, merged[seq])
+            if merged[seq].get("k") == NOOP_KIND:
+                detections = []
             else:
-                detections = self.coordinator.submit(observation, seq=seq)
+                observation = decode_payload(merged[seq])
+                if observation is None:
+                    detections = self.coordinator.flush()
+                else:
+                    detections = self.coordinator.submit(observation, seq=seq)
             replayed += 1
             if self.instruments is not None:
                 self.instruments.wal_replayed.inc()

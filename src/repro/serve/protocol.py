@@ -393,10 +393,16 @@ _FRAME_TYPES: dict[int, type] = {
 
 
 def encode_frame(frame: Frame) -> bytes:
-    """Serialize one frame to its wire bytes (header + body + CRC)."""
+    """Serialize one frame to its wire bytes (header + body + CRC).
+
+    Payloads are strict JSON: non-finite floats (``nan``/``inf``) would
+    serialize to Python-only ``NaN``/``Infinity`` tokens that non-Python
+    peers cannot parse, so they are rejected with :class:`FrameError` at
+    encode time rather than poisoning the wire.
+    """
     try:
         payload = json.dumps(
-            frame.to_payload(), separators=(",", ":"), allow_nan=True
+            frame.to_payload(), separators=(",", ":"), allow_nan=False
         ).encode("utf-8")
     except (TypeError, ValueError) as exc:
         raise FrameError(

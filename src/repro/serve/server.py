@@ -3,10 +3,10 @@
 :class:`CepServer` multiplexes any number of client sessions onto a
 single detection backend — a plain :class:`~repro.core.detector.Engine`,
 a :class:`~repro.core.sharding.ShardedEngine`, or a durable engine from
-:mod:`repro.resilience.durability` (detected by its ``next_seq``
-attribute).  The paper's engine is single-threaded and order-sensitive,
-so the server funnels every submission through **one writer task**
-consuming a bounded queue:
+:mod:`repro.resilience.durability` (detected by its
+``client_frontiers`` attribute).  The paper's engine is single-threaded
+and order-sensitive, so the server funnels every submission through
+**one writer task** consuming a bounded queue:
 
 * per-connection *reader tasks* parse frames and ``await put()`` into
   the submit queue — when the queue is full the reader stops reading
@@ -29,10 +29,29 @@ Resume: the server keeps one :class:`_ClientRecord` per ``client_id``
 with the highest applied client sequence number.  A reconnecting client
 offers its own last ack in HELLO; the server answers WELCOME with
 ``max(server record, client claim) + 1`` and silently skips any
-re-sent duplicates below that — combined with ack-after-apply (for a
-durable backend: ack-after-WAL-append), every observation is applied
-exactly once across client crashes, reconnects and server recoveries
-(see ``docs/serving.md``).
+re-sent duplicates below that.  A HELLO for a client id that still has
+a live session *supersedes* it (newest wins): the stale session — a
+peer that died without a FIN and is waiting out a TCP timeout — is
+sent an ``ERROR superseded`` and evicted, so resume is never blocked
+behind a dead connection.
+
+With a durable backend the frontier itself is durable: the writer
+passes ``(client_id, seq)`` provenance into ``submit``/``flush``, the
+durability layer commits it inside the *same* WAL record as the
+observation, and a recovered backend exposes the rebuilt map as
+``client_frontiers`` — which this server consults whenever it sees a
+client id it has no in-memory record for.  Combined with
+ack-after-apply (for a durable backend: ack-after-WAL-append), every
+observation is applied exactly once across client crashes, reconnects
+and server recoveries (see ``docs/serving.md``).  Without a durable
+backend the in-memory record is all there is, and a server restart
+downgrades the guarantee to whatever the clients' own ``resume_from``
+claims make true.
+
+The per-client record map is bounded by ``ServeConfig.client_record_cap``:
+past the cap, records without a live session are evicted
+least-recently-connected first (a durable backend loses nothing — the
+WAL-backed frontier is re-read on the next HELLO).
 """
 
 from __future__ import annotations
@@ -110,6 +129,11 @@ class ServeConfig:
     push_policy: "str | SlowConsumerPolicy" = SlowConsumerPolicy.DROP
     #: Transport read chunk size.
     read_chunk: int = 64 * 1024
+    #: Bound on retained per-client ack records; past it, records with no
+    #: live session are evicted least-recently-connected first (0 = no
+    #: bound).  With a durable backend eviction loses nothing — the
+    #: frontier is re-read from ``backend.client_frontiers`` on HELLO.
+    client_record_cap: int = 10_000
 
 
 @dataclass
@@ -129,6 +153,8 @@ class ServeStats:
     detections_dropped: int = 0
     disconnects: int = 0
     errors_sent: int = 0
+    sessions_superseded: int = 0
+    client_records_evicted: int = 0
 
     @property
     def sessions_active(self) -> int:
@@ -136,15 +162,17 @@ class ServeStats:
 
 
 class _ClientRecord:
-    """Durable-across-reconnects per-client state: the ack frontier."""
+    """Across-reconnects per-client state: the ack frontier."""
 
-    __slots__ = ("client_id", "last_acked", "active_session")
+    __slots__ = ("client_id", "last_acked", "active_session", "last_hello")
 
     def __init__(self, client_id: str) -> None:
         self.client_id = client_id
         #: Highest client sequence number applied to the backend.
         self.last_acked = -1
         self.active_session: Optional["_Session"] = None
+        #: Monotonic handshake tick, for least-recently-connected eviction.
+        self.last_hello = 0
 
 
 class _Session:
@@ -214,6 +242,10 @@ class CepServer:
     ) -> None:
         self.backend = backend
         self.config = config or ServeConfig()
+        # A durable backend keeps per-client ack frontiers in its WAL and
+        # exposes the recovered map; consult it so exactly-once survives
+        # server restarts, not just client reconnects.
+        self._durable = hasattr(backend, "client_frontiers")
         self._push_policy = SlowConsumerPolicy.coerce(self.config.push_policy)
         self.stats = ServeStats()
         self._instr = None
@@ -231,6 +263,7 @@ class CepServer:
         self._connection_tasks: set[asyncio.Task] = set()
         self._sender_tasks: set[asyncio.Task] = set()
         self._session_counter = 0
+        self._hello_tick = 0
         self._closed = False
 
     # -- lifecycle ----------------------------------------------------------
@@ -386,26 +419,64 @@ class CepServer:
         record = self._clients.get(hello.client_id)
         if record is None:
             record = _ClientRecord(hello.client_id)
+            if self._durable:
+                # A restarted server starts with an empty record map, but
+                # the durable backend rebuilt the true frontier from WAL
+                # provenance — without this, a client whose final ack was
+                # lost in the crash would resend an already-applied seq
+                # and the backend would apply it twice.
+                record.last_acked = self.backend.client_frontiers.get(
+                    hello.client_id, -1
+                )
             self._clients[hello.client_id] = record
-        if record.active_session is not None:
+        stale = record.active_session
+        if stale is not None:
+            # Newest wins: the previous session is usually a peer that
+            # died without a FIN and would otherwise block resume until
+            # TCP times the corpse out.
+            self.stats.sessions_superseded += 1
             self._send_error(
-                session,
-                "busy",
-                f"client id {hello.client_id!r} already has a live session",
+                stale,
+                "superseded",
+                f"client id {hello.client_id!r} opened a newer session",
             )
-            return False
+            self._disconnect(stale)
         # Whoever remembers more wins: the server's applied frontier or
-        # the client's own ack record (authoritative after a server
-        # restart, when the in-memory record starts empty but the WAL
-        # already holds everything that was ever acked).
+        # the client's own ack record.
         record.last_acked = max(record.last_acked, hello.resume_from)
         record.active_session = session
+        self._hello_tick += 1
+        record.last_hello = self._hello_tick
         session.record = record
+        self._prune_client_records()
         self._send_control(
             session,
             Welcome(session_id=session.session_id, next_seq=record.last_acked + 1),
         )
         return True
+
+    def _prune_client_records(self) -> None:
+        """Keep ``_clients`` bounded: drop idle, least-recently-seen records.
+
+        Short-lived auto-id clients would otherwise leak one record each
+        for the life of the server.  Only records without a live session
+        are candidates; if every record is live the map may exceed the
+        cap (each live record is pinned by a real connection).
+        """
+        cap = self.config.client_record_cap
+        if cap <= 0 or len(self._clients) <= cap:
+            return
+        idle = sorted(
+            (
+                record
+                for record in self._clients.values()
+                if record.active_session is None
+            ),
+            key=lambda record: record.last_hello,
+        )
+        for record in idle[: len(self._clients) - cap]:
+            del self._clients[record.client_id]
+            self.stats.client_records_evicted += 1
 
     async def _handle_frame(self, session: _Session, frame: Frame) -> bool:
         """Dispatch one post-handshake frame; False ends the session."""
@@ -475,7 +546,14 @@ class CepServer:
                 )
                 self._disconnect(session)
                 return
-            detections = self.backend.submit(observation)
+            if self._durable:
+                # Provenance rides in the WAL record itself, so the ack
+                # frontier is durable exactly when the observation is.
+                detections = self.backend.submit(
+                    observation, client=(record.client_id, seq)
+                )
+            else:
+                detections = self.backend.submit(observation)
             record.last_acked = seq
             self.stats.submitted += 1
             if self._instr is not None:
@@ -495,7 +573,12 @@ class CepServer:
                 )
                 self._disconnect(session)
                 return
-            detections = self.backend.flush()
+            if self._durable:
+                detections = self.backend.flush(
+                    client=(record.client_id, seq)
+                )
+            else:
+                detections = self.backend.flush()
             record.last_acked = seq
             self._fan_out(detections, seq)
         self._queue_ack(session, record.last_acked)
@@ -632,7 +715,11 @@ class CepServer:
     def client_frontier(self, client_id: str) -> int:
         """The highest applied client seq for ``client_id`` (-1 unknown)."""
         record = self._clients.get(client_id)
-        return record.last_acked if record is not None else -1
+        if record is not None:
+            return record.last_acked
+        if self._durable:
+            return self.backend.client_frontiers.get(client_id, -1)
+        return -1
 
     def session_summary(self) -> dict:
         """Live serving state, one entry per active session."""
@@ -652,5 +739,6 @@ class CepServer:
                 for session in self._sessions
             ],
             "submit_queue_depth": self._queue.qsize(),
+            "client_records": len(self._clients),
             "stats": self.stats.__dict__.copy(),
         }

@@ -551,3 +551,135 @@ class TestCheckpointErrorType:
         corrupt_checkpoint(path, mode="garble")
         with pytest.raises(CheckpointError):
             load_checkpoint(path)
+
+
+class TestClientFrontiers:
+    """WAL-backed client ack frontiers: the serving layer's provenance.
+
+    ``submit(..., client=(id, seq))`` commits the frontier inside the
+    same WAL record as the observation, so an ack derived from it is
+    durable exactly when the observation is — ``recover()`` must rebuild
+    the map from checkpoints plus WAL tail, in every pruning scenario.
+    """
+
+    def _factory(self):
+        return Engine(pair_rules())
+
+    def test_frontiers_rebuilt_from_wal_tail(self, tmp_path):
+        directory = str(tmp_path / "frontier")
+        stream = pair_stream()
+        with DurableEngine(self._factory, directory) as durable:
+            for index, observation in enumerate(stream):
+                durable.submit(observation, client=("station-1", index))
+            durable.flush(client=("station-1", len(stream)))
+            assert durable.client_frontiers == {"station-1": len(stream)}
+        revived, _report = DurableEngine.recover(self._factory, directory)
+        assert revived.client_frontiers == {"station-1": len(stream)}
+        revived.close()
+
+    def test_frontiers_survive_wal_pruning_via_checkpoint_sidecar(
+        self, tmp_path
+    ):
+        directory = str(tmp_path / "pruned")
+        stream = pair_stream()
+        with DurableEngine(
+            self._factory, directory, checkpoint_every=4, keep_checkpoints=1
+        ) as durable:
+            for index, observation in enumerate(stream):
+                durable.submit(observation, client=("station-1", index))
+            # Force a final cut so every WAL record is behind a checkpoint:
+            # the frontier must come from the sidecar alone.
+            durable.checkpoint_now()
+        revived, report = DurableEngine.recover(self._factory, directory)
+        assert report.replayed_records == 0
+        assert revived.client_frontiers == {"station-1": len(stream) - 1}
+        revived.close()
+
+    def test_frontiers_track_multiple_clients(self, tmp_path):
+        directory = str(tmp_path / "multi")
+        stream = pair_stream()
+        with DurableEngine(self._factory, directory) as durable:
+            for index, observation in enumerate(stream):
+                client_id = f"station-{index % 2}"
+                durable.submit(observation, client=(client_id, index // 2))
+        revived, _report = DurableEngine.recover(self._factory, directory)
+        half = len(stream) // 2
+        assert revived.client_frontiers == {
+            "station-0": half - 1,
+            "station-1": half - 1,
+        }
+        revived.close()
+
+    def test_sharded_frontiers_rebuilt_including_unrouted_noop(self, tmp_path):
+        directory = str(tmp_path / "sharded")
+
+        def factory():
+            # No catch-all rule: reader "nobody" routes to no shard.
+            return ShardedEngine(
+                [
+                    Rule(
+                        "p1",
+                        "p1",
+                        TSeq(obs("a", Var("x")), obs("b", Var("x")), 0.0, 10.0),
+                        actions=[],
+                    ),
+                    Rule(
+                        "p2",
+                        "p2",
+                        TSeq(obs("c", Var("x")), obs("d", Var("x")), 0.0, 10.0),
+                        actions=[],
+                    ),
+                ],
+                max_shards=2,
+            )
+
+        durable = DurableShardedEngine(factory, directory)
+        assert durable.coordinator.routes_for(
+            Observation("nobody", "x", 0.0)
+        ) == []
+        durable.submit(Observation("a", "o1", 0.0), client=("edge", 0))
+        # Routes nowhere — a frontier-only no-op record must keep the
+        # client's ack durable anyway.
+        durable.submit(Observation("nobody", "x", 1.0), client=("edge", 1))
+        durable.submit(Observation("b", "o1", 2.0), client=("edge", 2))
+        assert durable.client_frontiers == {"edge": 2}
+        durable.close()
+        revived, _report = DurableShardedEngine.recover(factory, directory)
+        assert revived.client_frontiers == {"edge": 2}
+        revived.close()
+
+    def test_sharded_frontiers_survive_manifest_cut(self, tmp_path):
+        directory = str(tmp_path / "sharded-cut")
+
+        def factory():
+            return ShardedEngine(
+                [
+                    Rule(
+                        "p1",
+                        "p1",
+                        TSeq(obs("a", Var("x")), obs("b", Var("x")), 0.0, 10.0),
+                        actions=[],
+                    ),
+                    Rule(
+                        "p2",
+                        "p2",
+                        TSeq(obs("c", Var("x")), obs("d", Var("x")), 0.0, 10.0),
+                        actions=[],
+                    ),
+                ],
+                max_shards=2,
+            )
+
+        durable = DurableShardedEngine(
+            factory, directory, keep_checkpoints=1
+        )
+        for index, reader in enumerate(("a", "c", "b", "d")):
+            durable.submit(
+                Observation(reader, "o1", float(index)), client=("edge", index)
+            )
+        durable.checkpoint_now()  # prunes the per-shard WALs behind the cut
+        durable.close()
+        revived, report = DurableShardedEngine.recover(factory, directory)
+        assert report.replayed_records == 0
+        assert revived.client_frontiers == {"edge": 3}
+        revived.close()

@@ -234,23 +234,32 @@ class TestProtocolEnforcement:
 
         asyncio.run(scenario())
 
-    def test_second_session_for_live_client_refused(self):
+    def test_second_session_for_live_client_supersedes_first(self):
+        # A client that died without a FIN (power loss, partition) leaves
+        # its old session dangling until TCP times out; its reconnect
+        # must not be refused behind that corpse — newest wins.
         async def scenario():
             async with CepServer(plain_engine()) as server:
                 first = Raw(server)
                 await first.send(Hello(client_id="dup"))
                 assert isinstance(await first.recv(), Welcome)
+                await first.send(Submit(seq=0, observation=Observation("r", "a", 0)))
+                await first.recv_until(Ack)
                 second = Raw(server)
                 await second.send(Hello(client_id="dup"))
-                frame = await second.recv()
-                assert isinstance(frame, ErrorFrame)
-                assert frame.code == "busy"
-                # ...but once the first disconnects the id is free again.
-                await first.send(Bye())
-                await eventually(lambda: server.stats.sessions_active < 2)
-                third = Raw(server)
-                await third.send(Hello(client_id="dup"))
-                assert isinstance(await third.recv(), Welcome)
+                welcome = await second.recv()
+                assert isinstance(welcome, Welcome)
+                # The frontier carries over: seq 0 is already applied.
+                assert welcome.next_seq == 1
+                assert server.stats.sessions_superseded == 1
+                # The stale session is told why and then closed.
+                frame = await first.recv_until(ErrorFrame)
+                assert frame.code == "superseded"
+                await eventually(lambda: server.stats.sessions_active == 1)
+                # The survivor keeps working.
+                await second.send(Submit(seq=1, observation=Observation("r", "b", 1)))
+                ack = await second.recv_until(Ack)
+                assert ack.seq == 1
 
         asyncio.run(scenario())
 
@@ -366,7 +375,7 @@ class TestResume:
             durable, report = DurableEngine.recover(plain_engine, directory)
             assert report.replayed_records >= half
             try:
-                async with CepServer(durable) as server:  # fresh: no records
+                async with CepServer(durable) as server:
                     client = AsyncClient(
                         loopback_connector(server),
                         client_id="station-1",
@@ -375,8 +384,10 @@ class TestResume:
                         batch_size=5,
                     )
                     async with client:
-                        # The restarted server knows nothing; the client's
-                        # persisted ack is authoritative.
+                        # The restarted server rebuilt this client's
+                        # frontier from WAL provenance; here it agrees
+                        # with the client's own persisted ack.
+                        assert server.client_frontier("station-1") == resume_from
                         assert client.last_acked == resume_from
                         await client.submit_many(stream[half:])
                         await client.flush(timeout=10)
@@ -394,6 +405,75 @@ class TestResume:
         late = asyncio.run(second_life(acked, len(early)))
         assert canon_frames(early) + canon_frames(late) == expected
 
+    def test_durable_restart_with_lost_acks_is_exactly_once(self, tmp_path):
+        """Server crashes after WAL-appending observations whose ACKs
+        never reached the client.
+
+        The reconnecting client then under-reports ``resume_from`` and
+        resends observations the WAL already holds; the restarted server
+        must recognise them via the frontier it rebuilt from WAL
+        provenance — not apply them a second time.
+        """
+        stream = packing_stream(cases=6, seed=5)
+        directory = str(tmp_path / "serve-durable-lostack")
+        half = len(stream) // 2
+        lost = 3  # applied + logged, but their ACKs never arrive
+        assert len(stream) > half + lost
+
+        async def scenario():
+            current = {}
+
+            async def connector():
+                return current["server"].connect_loopback()
+
+            durable = DurableEngine(plain_engine, directory)
+            server = CepServer(durable)
+            await server.start()
+            current["server"] = server
+            client = AsyncClient(connector, client_id="station-1", batch_size=1)
+            await client.connect()
+            await client.submit_many(stream[:half])
+            await client.drain(timeout=10)
+            assert client.last_acked == half - 1
+            # Ack loss: the client stops reading; the next submissions
+            # are applied and WAL-appended, but their acks are lost.
+            client._receiver.cancel()
+            for observation in stream[half : half + lost]:
+                await client.submit(observation)
+            await eventually(
+                lambda: server.client_frontier("station-1") == half + lost - 1
+            )
+            # The crash: both the transport and the server process die.
+            client._teardown_transport()
+            await server.close()
+            durable.close()
+
+            durable2, _report = DurableEngine.recover(plain_engine, directory)
+            # The frontier was rebuilt from WAL provenance — ahead of the
+            # client's own ack record.
+            assert durable2.client_frontiers == {"station-1": half + lost - 1}
+            server2 = CepServer(durable2)
+            await server2.start()
+            current["server"] = server2
+            try:
+                # Reconnect resends the unacked tail; the server must
+                # recognise it as already applied, not apply it again.
+                await client.connect()
+                assert client.last_acked == half + lost - 1
+                await client.submit_many(stream[half + lost :])
+                await client.flush(timeout=10)
+                assert server2.stats.submitted == len(stream) - half - lost
+                await client.close()
+                return durable2.next_seq
+            finally:
+                await server2.close()
+                durable2.close()
+
+        next_seq = asyncio.run(scenario())
+        # One WAL record per observation plus the flush — a duplicate
+        # application would have appended extra records.
+        assert next_seq == len(stream) + 1
+
     def test_connect_gives_up_after_retries(self):
         async def refuse():
             raise ConnectionRefusedError("nobody home")
@@ -405,6 +485,26 @@ class TestResume:
             )
             with pytest.raises(ClientError, match="3 attempts"):
                 await client.connect()
+
+        asyncio.run(scenario())
+
+
+class TestClientRecordCap:
+    def test_idle_client_records_are_bounded(self):
+        # Auto-id clients get a fresh id per process; without a cap the
+        # server would keep one frontier record per dead client forever.
+        async def scenario():
+            config = ServeConfig(client_record_cap=3)
+            async with CepServer(plain_engine(), config=config) as server:
+                for index in range(6):
+                    raw = Raw(server)
+                    await raw.send(Hello(client_id=f"ephemeral-{index}"))
+                    assert isinstance(await raw.recv(), Welcome)
+                    await raw.send(Bye())
+                    await eventually(lambda: server.stats.sessions_active == 0)
+                summary = server.session_summary()
+                assert summary["client_records"] == 3
+                assert server.stats.client_records_evicted == 3
 
         asyncio.run(scenario())
 

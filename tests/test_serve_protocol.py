@@ -130,6 +130,15 @@ class TestCorruption:
         with pytest.raises(FrameError, match="not JSON-serializable"):
             encode_frame(frame)
 
+    @pytest.mark.parametrize("value", [float("nan"), float("inf"), float("-inf")])
+    def test_non_finite_floats_refused_at_encode(self, value):
+        # json.dumps would emit NaN/Infinity tokens only Python's parser
+        # accepts, breaking the debuggable-JSON wire contract for other
+        # peers — reject them before they reach the wire.
+        frame = Submit(seq=0, observation=Observation("r", "o", value))
+        with pytest.raises(FrameError, match="not JSON-serializable"):
+            encode_frame(frame)
+
     def test_malformed_payload_rejected(self):
         body = bytes((Ack.TYPE,)) + json.dumps({"wrong": 1}).encode()
         data = (
