@@ -36,6 +36,7 @@ from .core import (
     ReproError,
     Seq,
     SeqPlus,
+    SubmitResult,
     TimeOrderError,
     TSeq,
     TSeqPlus,
@@ -81,6 +82,7 @@ __all__ = [
     "Seq",
     "SeqPlus",
     "span",
+    "SubmitResult",
     "TimeOrderError",
     "TSeq",
     "TSeqPlus",

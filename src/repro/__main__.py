@@ -445,10 +445,25 @@ def _cmd_serve(arguments: argparse.Namespace) -> int:
     else:
         backend = _build_engine(program.rules, metrics=registry)
 
+    codecs = None
+    if arguments.codecs:
+        from .serve import get_codec
+
+        codecs = tuple(
+            name.strip() for name in arguments.codecs.split(",") if name.strip()
+        )
+        for name in codecs:
+            try:
+                get_codec(name)
+            except Exception:
+                print(f"unknown wire codec {name!r}")
+                return 2
+
     config = ServeConfig(
         submit_queue=arguments.submit_queue,
         push_queue=arguments.push_queue,
         push_policy=SlowConsumerPolicy.coerce(arguments.push_policy),
+        codecs=codecs,
     )
 
     async def _serve() -> None:
@@ -683,6 +698,14 @@ def main(argv: "list[str] | None" = None) -> int:
         choices=("drop", "disconnect"),
         default="drop",
         help="slow detection consumers: drop oldest or disconnect",
+    )
+    serve.add_argument(
+        "--codecs",
+        help=(
+            "comma-separated wire codecs to offer at HELLO, preference "
+            "first (e.g. 'binary,json' or 'json'; default: all "
+            "registered, binary preferred)"
+        ),
     )
     serve.add_argument(
         "--max-seconds",

@@ -10,7 +10,8 @@ Usage::
     python -m repro.bench incremental
     python -m repro.bench metrics [--full]   # instrumented run, Prometheus dump
     python -m repro.bench wal [--full]       # WAL durability overhead per fsync policy
-    python -m repro.bench serve [--full]     # serving layer vs direct submit
+    python -m repro.bench serve [--scale quick|full|large] [--max-overhead PCT]
+                                             # serving layer vs direct, per codec
     python -m repro.bench all [--full]
 
 ``--full`` runs the paper-scale axes (250k events / 500 rules); the
@@ -128,18 +129,31 @@ def _cmd_wal(full: bool) -> None:
     print(wal_table(results))
 
 
-def _cmd_serve(full: bool) -> None:
-    from .serve import run_serve_bench, serve_table, write_serve_json
+def _cmd_serve(
+    full: bool,
+    scale: "str | None" = None,
+    max_overhead: "float | None" = None,
+) -> int:
+    from .serve import check_overhead, run_serve_bench, serve_table, write_serve_json
 
-    results = run_serve_bench(full_scale=full)
+    if scale is None:
+        scale = "full" if full else "quick"
+    results = run_serve_bench(scale=scale)
     print(
         f"Serving layer overhead over {results[0].n_events:,} events "
         f"(baseline: direct submit_many, "
         f"{results[0].baseline_seconds * 1000:.1f} ms)"
     )
     print(serve_table(results))
-    write_serve_json(results, "BENCH_serve.json", full_scale=full)
+    write_serve_json(results, "BENCH_serve.json", scale=scale)
     print("machine-readable results written to BENCH_serve.json")
+    if max_overhead is not None:
+        failure = check_overhead(results, max_overhead)
+        if failure is not None:
+            print(f"FAIL: {failure}", file=sys.stderr)
+            return 1
+        print(f"overhead gate passed (binary loopback <= {max_overhead:.0f}%)")
+    return 0
 
 
 def _cmd_report(full: bool, out: "str | None" = None) -> None:
@@ -186,10 +200,29 @@ def main(argv: "list[str] | None" = None) -> int:
     parser.add_argument(
         "--out", help="(report only) write the markdown report to this file"
     )
+    parser.add_argument(
+        "--scale",
+        choices=("quick", "full", "large"),
+        help="(serve only) workload size; overrides --full "
+        "(quick=2k, full=20k, large=100k events)",
+    )
+    parser.add_argument(
+        "--max-overhead",
+        type=float,
+        metavar="PCT",
+        help="(serve only) fail with exit code 1 if binary-codec loopback "
+        "overhead vs direct exceeds this percentage",
+    )
     arguments = parser.parse_args(argv)
     if arguments.command == "report":
         _cmd_report(arguments.full, arguments.out)
         return 0
+    if arguments.command == "serve":
+        return _cmd_serve(
+            arguments.full,
+            scale=arguments.scale,
+            max_overhead=arguments.max_overhead,
+        )
     if arguments.command == "all":
         for name in (
             "fig4",

@@ -159,15 +159,15 @@ def generate_report(full_scale: bool = False) -> str:
         f"batched SUBMITs, detection push) per transport; baseline is "
         f"direct `submit_many` at "
         f"{serve_results[0].baseline_seconds * 1000:.1f} ms.  Every "
-        f"transport received exactly the baseline's detections.",
+        f"transport/codec run received exactly the baseline's detections.",
         "",
-        "| transport | total ms | events/s | overhead | frames out "
+        "| transport | codec | total ms | events/s | overhead | frames out "
         "| bytes in |",
-        "|---|---:|---:|---:|---:|---:|",
+        "|---|---|---:|---:|---:|---:|---:|",
     ]
     for result in serve_results:
         sections.append(
-            f"| {result.transport} | {result.total_ms:.1f} | "
+            f"| {result.transport} | {result.codec} | {result.total_ms:.1f} | "
             f"{result.events_per_second:,.0f} | {result.overhead_pct:.1f}% | "
             f"{result.frames_out:,} | {result.bytes_in:,} |"
         )

@@ -68,7 +68,12 @@ def _run_durable(
             checkpoint_every=checkpoint_every,
         ) as durable:
             started = time.perf_counter()
-            detections = len(durable.submit_many(observations))
+            # Deliberately per-observation: this bench measures the cost
+            # an FsyncPolicy charges each append (submit_many would
+            # amortize the whole run into one fsync and hide it).
+            detections = 0
+            for observation in observations:
+                detections += len(durable.submit(observation))
             detections += len(durable.flush())
             elapsed = time.perf_counter() - started
             wal = durable.wal

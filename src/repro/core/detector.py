@@ -136,6 +136,59 @@ class Detection:
         return f"<detection rule={self.rule.rule_id!r} at {self.time:g}>"
 
 
+class SubmitResult(list):
+    """The unified return of every engine-side ``submit_many``.
+
+    Historically each layer returned a bare ``list[Detection]`` with no
+    way to tell how much of the batch was actually applied.  The
+    contract now: engine-side ``submit_many`` (:class:`Engine`,
+    ``ShardedEngine``, ``SupervisedEngine``, ``DurableEngine``,
+    ``DurableShardedEngine``) returns a :class:`SubmitResult` carrying
+    batch accounting —
+
+    - :attr:`accepted` — observations the engine processed;
+    - :attr:`dropped` — rejected by the out-of-order policy;
+    - :attr:`quarantined` — poison isolated by supervision.
+
+    Serve *clients* keep their distinct semantics: their
+    ``submit_many`` returns the last assigned client sequence number
+    (an ``int``), because over the wire the detections flow back
+    asynchronously via SUBSCRIBE pushes, not as a return value.
+
+    The deprecation shim is the type itself: ``SubmitResult`` *is* a
+    ``list`` of :class:`Detection`, so call sites that iterate,
+    ``extend``, concatenate or ``len()`` the old return keep working
+    unchanged; new code reads the counters or the explicit
+    :attr:`detections` alias.
+    """
+
+    __slots__ = ("accepted", "dropped", "quarantined")
+
+    def __init__(
+        self,
+        detections: Iterable["Detection"] = (),
+        *,
+        accepted: int = 0,
+        dropped: int = 0,
+        quarantined: int = 0,
+    ) -> None:
+        super().__init__(detections)
+        self.accepted = accepted
+        self.dropped = dropped
+        self.quarantined = quarantined
+
+    @property
+    def detections(self) -> list["Detection"]:
+        """The detections themselves (this object; it is the list)."""
+        return self
+
+    def __repr__(self) -> str:
+        return (
+            f"SubmitResult(accepted={self.accepted}, dropped={self.dropped}, "
+            f"quarantined={self.quarantined}, detections={list.__repr__(self)})"
+        )
+
+
 class ActivationContext:
     """Everything a rule's condition and actions can see when it fires."""
 
@@ -487,8 +540,8 @@ class Engine:
         self,
         observations: Iterable[Observation],
         first_seq: Optional[int] = None,
-    ) -> list[Detection]:
-        """Process a whole batch; returns the flat detection list.
+    ) -> SubmitResult:
+        """Process a whole batch; returns a :class:`SubmitResult`.
 
         The batch equivalent of per-observation ``submit`` loops that
         callers (and the bench harness) used to hand-roll; detections
@@ -496,15 +549,22 @@ class Engine:
         requires a final :meth:`flush`.  With ``first_seq`` given, the
         batch is numbered ``first_seq, first_seq + 1, ...`` and
         :attr:`last_seq` advances accordingly.
+
+        The result is a ``list`` of detections (unchanged call sites
+        keep working) that also carries ``accepted``/``dropped``
+        counts — see :class:`SubmitResult` for the contract.
         """
         self._started = True
         seq = first_seq
+        count = 0
+        dropped_before = self.stats.dropped_out_of_order
         reorder = self._reorder
         if reorder is not None:
             for observation in observations:
                 if seq is not None:
                     self._last_seq = seq
                     seq += 1
+                count += 1
                 for released in reorder.push(observation):
                     self._process(released)
         else:
@@ -512,8 +572,12 @@ class Engine:
                 if seq is not None:
                     self._last_seq = seq
                     seq += 1
+                count += 1
                 self._process(observation)
-        return self._take_output()
+        dropped = self.stats.dropped_out_of_order - dropped_before
+        return SubmitResult(
+            self._take_output(), accepted=count - dropped, dropped=dropped
+        )
 
     def _process_and_take(self, observation: Observation) -> list[Detection]:
         self._process(observation)

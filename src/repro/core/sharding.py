@@ -31,7 +31,7 @@ from typing import Any, Iterable, Optional
 
 from ..obs.metrics import MetricsRegistry
 from ..obs.tracing import EngineObserver
-from .detector import Detection, Engine, FunctionRegistry, RuleLike
+from .detector import Detection, Engine, FunctionRegistry, RuleLike, SubmitResult
 from .errors import CheckpointError, ShardError
 from .expressions import ObservationType
 from .instances import Observation
@@ -255,18 +255,34 @@ class ShardedEngine:
         self,
         observations: Iterable[Observation],
         first_seq: Optional[int] = None,
-    ) -> list[Detection]:
-        """Route a whole batch; returns the flat detection list.
+    ) -> SubmitResult:
+        """Route a whole batch; returns a :class:`SubmitResult`.
 
         Shard failures carry shard/rule context, as in :meth:`submit`.
+        The result is still a ``list`` of detections — see
+        :class:`~repro.core.detector.SubmitResult`.
         """
+        dropped_before = sum(
+            engine.stats.dropped_out_of_order for engine in self.shards.values()
+        )
         detections: list[Detection] = []
         seq = first_seq
+        count = 0
         for observation in observations:
             detections.extend(self.submit(observation, seq=seq))
+            count += 1
             if seq is not None:
                 seq += 1
-        return detections
+        dropped = (
+            sum(
+                engine.stats.dropped_out_of_order
+                for engine in self.shards.values()
+            )
+            - dropped_before
+        )
+        return SubmitResult(
+            detections, accepted=count - dropped, dropped=dropped
+        )
 
     def flush(self) -> list[Detection]:
         detections: list[Detection] = []

@@ -51,6 +51,7 @@ import re
 from dataclasses import dataclass
 from typing import Any, Callable, Iterable, Iterator, Optional
 
+from ...core.detector import SubmitResult
 from ...core.errors import CheckpointError, WalError
 from ...core.instances import Observation
 from ...obs.instrument import DurabilityInstruments
@@ -348,10 +349,54 @@ class DurableEngine:
             self.checkpoint_now()
         return detections
 
-    def submit_many(self, observations: Iterable[Any]) -> list:
-        detections: list = []
-        for observation in observations:
-            detections.extend(self.submit(observation))
+    def submit_many(
+        self,
+        observations: Iterable[Any],
+        *,
+        client: Optional[tuple[str, int]] = None,
+    ) -> SubmitResult:
+        """Log a whole batch with one WAL call, then detect per record.
+
+        The vectorized form of :meth:`submit`: every observation's WAL
+        record — including its per-observation ``(client_id,
+        client_seq)`` provenance when ``client`` names the batch's
+        *first* client seq — is identical to what a submit loop would
+        have written, but the batch is committed with one
+        ``append_many`` (one write + one fsync under
+        ``FsyncPolicy.ALWAYS``) instead of one fsync per observation.
+        Detection and outbox delivery still run per record, so
+        exactly-once keys ``(seq, ordinal)`` match replay precisely.
+
+        Returns a :class:`~repro.core.detector.SubmitResult` (a
+        ``list`` of detections).
+        """
+        observations = list(observations)
+        if not observations:
+            return SubmitResult()
+        first_seq = self._next_seq
+        records = []
+        for index, observation in enumerate(observations):
+            payload = encode_observation(observation)
+            if client is not None:
+                payload[CLIENT_KEY] = [client[0], client[1] + index]
+            records.append((first_seq + index, payload))
+        self.wal.append_many(records)
+        if client is not None:
+            _note_client(self.client_frontiers, records[-1][1])
+        self._next_seq = first_seq + len(records)
+        for seq, _payload in records:
+            self._fire("append", seq)
+        detections = SubmitResult(accepted=len(records))
+        for index, observation in enumerate(observations):
+            seq = first_seq + index
+            batch_out = self.engine.submit(observation, seq=seq)
+            self._fire("detect", seq)
+            self._deliver(batch_out, seq)
+            self._fire("deliver", seq)
+            detections.extend(batch_out)
+        self._since_checkpoint += len(records)
+        if self.checkpoint_every and self._since_checkpoint >= self.checkpoint_every:
+            self.checkpoint_now()
         return detections
 
     def flush(self, *, client: Optional[tuple[str, int]] = None) -> list:
@@ -711,10 +756,67 @@ class DurableShardedEngine:
             self.checkpoint_now()
         return detections
 
-    def submit_many(self, observations: Iterable[Any]) -> list:
-        detections: list = []
-        for observation in observations:
-            detections.extend(self.submit(observation))
+    def submit_many(
+        self,
+        observations: Iterable[Any],
+        *,
+        client: Optional[tuple[str, int]] = None,
+    ) -> SubmitResult:
+        """Log a whole batch with one WAL call per shard, then route.
+
+        The multicast analogue of :meth:`DurableEngine.submit_many`:
+        each observation still reaches the WAL of every shard it routes
+        to (same global seq, same record bytes as a submit loop — an
+        unrouted observation with provenance becomes the usual
+        frontier no-op), but each shard's records for the batch are
+        committed with one ``append_many``, so the fsync count per
+        batch is the number of *touched shards*, not the number of
+        observations.  ``client`` names the first client seq;
+        observation ``i`` carries ``(client_id, client_seq + i)``.
+        """
+        observations = list(observations)
+        if not observations:
+            return SubmitResult()
+        first_seq = self._next_seq
+        per_wal: dict[str, list[tuple[int, dict]]] = {}
+        routed_targets: list[tuple[int, Any]] = []
+        for index, observation in enumerate(observations):
+            seq = first_seq + index
+            provenance = (
+                None if client is None else [client[0], client[1] + index]
+            )
+            targets = self.coordinator.routes_for(observation)
+            routed_targets.append((seq, observation))
+            if targets:
+                payload = encode_observation(observation)
+                if provenance is not None:
+                    payload[CLIENT_KEY] = provenance
+                for name in targets:
+                    per_wal.setdefault(name, []).append((seq, payload))
+            elif provenance is not None and self.wals:
+                per_wal.setdefault(next(iter(self.wals)), []).append(
+                    (seq, {"k": NOOP_KIND, CLIENT_KEY: provenance})
+                )
+        for name, records in per_wal.items():
+            self.wals[name].append_many(records)
+        if client is not None:
+            _note_client(
+                self.client_frontiers,
+                {CLIENT_KEY: [client[0], client[1] + len(observations) - 1]},
+            )
+        self._next_seq = first_seq + len(observations)
+        for seq, _observation in routed_targets:
+            self._fire("append", seq)
+        detections = SubmitResult(accepted=len(observations))
+        for seq, observation in routed_targets:
+            batch_out = self.coordinator.submit(observation, seq=seq)
+            self._fire("detect", seq)
+            self._deliver(batch_out, seq)
+            self._fire("deliver", seq)
+            detections.extend(batch_out)
+        self._since_checkpoint += len(observations)
+        if self.checkpoint_every and self._since_checkpoint >= self.checkpoint_every:
+            self.checkpoint_now()
         return detections
 
     def flush(self, *, client: Optional[tuple[str, int]] = None) -> list:

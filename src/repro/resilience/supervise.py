@@ -39,7 +39,13 @@ from dataclasses import dataclass
 from enum import Enum
 from typing import Any, Callable, Iterable, Iterator, Optional
 
-from ..core.detector import ActivationContext, Detection, Engine, RuleLike
+from ..core.detector import (
+    ActivationContext,
+    Detection,
+    Engine,
+    RuleLike,
+    SubmitResult,
+)
 from ..core.instances import Observation
 from ..obs.instrument import ResilienceInstruments
 from ..obs.metrics import MetricsRegistry
@@ -481,16 +487,27 @@ class SupervisedEngine:
             self._quarantine_observation(observation, exc)
             return self.engine._take_output()
 
-    def submit_many(self, observations: Iterable[Any]) -> list[Detection]:
+    def submit_many(self, observations: Iterable[Any]) -> SubmitResult:
         """Batch submit with per-observation isolation.
 
         Unlike ``Engine.submit_many``, one poison observation does not
-        abort the rest of the batch.
+        abort the rest of the batch.  Returns a
+        :class:`~repro.core.detector.SubmitResult` (a ``list`` of
+        detections) whose ``quarantined`` counter says how many of the
+        batch were poison.
         """
+        quarantined_before = self.failures.quarantined
         detections: list[Detection] = []
+        count = 0
         for observation in observations:
             detections.extend(self.submit(observation))
-        return detections
+            count += 1
+        quarantined = self.failures.quarantined - quarantined_before
+        return SubmitResult(
+            detections,
+            accepted=count - quarantined,
+            quarantined=quarantined,
+        )
 
     def advance_to(self, time: float) -> list[Detection]:
         return self.engine.advance_to(time)

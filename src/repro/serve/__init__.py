@@ -44,10 +44,14 @@ from .client import (
 from .loopback import LoopbackReader, LoopbackWriter, loopback_pair
 from .protocol import (
     MAX_FRAME_BYTES,
+    MIN_PROTOCOL_VERSION,
     PROTOCOL_VERSION,
     Ack,
     Batch,
+    BinaryBatch,
+    BinaryCodec,
     Bye,
+    DetectionBatch,
     DetectionFrame,
     ErrorFrame,
     Flush,
@@ -55,22 +59,34 @@ from .protocol import (
     FrameDecoder,
     FrameError,
     Hello,
+    JsonCodec,
     Submit,
     Subscribe,
     Welcome,
+    WireCodec,
+    codec_names,
     decode_frame,
     encode_frame,
+    encode_frame_into,
+    get_codec,
+    negotiate_codec,
+    register_codec,
 )
 from .server import CepServer, ServeConfig, ServeError, SlowConsumerPolicy
 
+#: The curated public surface of the serving layer; anything not listed
+#: here is an implementation detail that may change between releases.
 __all__ = [
     "Ack",
     "AsyncClient",
     "Batch",
+    "BinaryBatch",
+    "BinaryCodec",
     "Bye",
     "CepServer",
     "Client",
     "ClientError",
+    "DetectionBatch",
     "DetectionFrame",
     "ErrorFrame",
     "Flush",
@@ -78,9 +94,11 @@ __all__ = [
     "FrameDecoder",
     "FrameError",
     "Hello",
+    "JsonCodec",
     "LoopbackReader",
     "LoopbackWriter",
     "MAX_FRAME_BYTES",
+    "MIN_PROTOCOL_VERSION",
     "PROTOCOL_VERSION",
     "RetryConfig",
     "ServeConfig",
@@ -89,9 +107,15 @@ __all__ = [
     "Submit",
     "Subscribe",
     "Welcome",
+    "WireCodec",
+    "codec_names",
     "decode_frame",
     "encode_frame",
+    "encode_frame_into",
+    "get_codec",
     "loopback_connector",
     "loopback_pair",
+    "negotiate_codec",
+    "register_codec",
     "tcp_connector",
 ]

@@ -31,18 +31,19 @@ from ..core.errors import ReproError
 from ..core.instances import Observation
 from .protocol import (
     Ack,
-    Batch,
     Bye,
+    DetectionBatch,
     DetectionFrame,
     ErrorFrame,
     Flush,
     FrameDecoder,
     FrameError,
     Hello,
-    Submit,
     Subscribe,
     Welcome,
+    codec_names,
     encode_frame,
+    get_codec,
 )
 
 __all__ = [
@@ -93,6 +94,11 @@ def loopback_connector(server: Any) -> Callable:
 
 _FLUSH = object()  # pending-buffer marker for a sequenced FLUSH
 
+#: ``submit_many`` packs encoded batch frames into its reusable buffer
+#: and writes once per this many bytes — one syscall/drain per stretch
+#: instead of per chunk, which is most of the TCP win at small scales.
+_WRITE_COALESCE_BYTES = 64 * 1024
+
 
 class AsyncClient:
     """One ingestion/subscription session with reconnect and resume.
@@ -114,6 +120,11 @@ class AsyncClient:
         Observations buffered per BATCH frame (1 = SUBMIT per call).
     resume_from:
         Last acked seq of a previous client life (-1 = fresh stream).
+    codec:
+        Wire codec to offer — a registered name (``"binary"``,
+        ``"json"``), or ``None`` to offer everything registered with
+        binary preferred.  The *server* picks from the offer at HELLO;
+        :attr:`codec` reports the negotiated choice after connect.
     """
 
     def __init__(
@@ -127,6 +138,7 @@ class AsyncClient:
         resume_from: int = -1,
         retry: Optional[RetryConfig] = None,
         on_detection: Optional[Callable[[DetectionFrame], None]] = None,
+        codec: Optional[str] = None,
     ) -> None:
         if batch_size < 1:
             raise ValueError("batch_size must be >= 1")
@@ -137,10 +149,28 @@ class AsyncClient:
         self._batch_size = batch_size
         self._retry = retry or RetryConfig()
         self._on_detection = on_detection
+        if codec is not None:
+            get_codec(codec)  # fail fast on a typo
+            self._offered_codecs = [codec]
+        else:
+            registered = codec_names()
+            self._offered_codecs = sorted(
+                registered, key=lambda name: (name != "binary", name)
+            )
+        #: Until WELCOME answers, speak the universally-understood v1 layout.
+        self._codec = get_codec("json")
+        self._server_max_batch: Optional[int] = None
+        #: Reused across batches: frames are packed here, then written
+        #: as one buffer, instead of allocating bytes per frame.
+        self._encode_buffer = bytearray()
 
         self.last_acked = resume_from
         self._next_seq = resume_from + 1
-        #: (seq, Observation | _FLUSH) not yet covered by an ack.
+        #: Unacked runs, chunk-granular: ``(first_seq, [Observation, ...])``
+        #: entries in seq order (one per wire batch, registered at send
+        #: time) plus ``(seq, _FLUSH)`` markers.  Chunk granularity keeps
+        #: both ack trimming and reconnect replay O(batches), not
+        #: O(observations).
         self._pending: list = []
         self._batch: list[tuple[int, Observation]] = []
         self.detections: list[DetectionFrame] = []
@@ -175,14 +205,39 @@ class AsyncClient:
             f"could not connect after {retry.max_attempts} attempts"
         ) from last_exc
 
+    @property
+    def codec(self) -> str:
+        """The negotiated wire codec name (``"json"`` until WELCOME)."""
+        return self._codec.name
+
     async def _connect_once(self) -> None:
         reader, writer = await self._connector()
         self._reader = reader
         self._writer = writer
         await self._send_raw(
-            Hello(client_id=self.client_id, resume_from=self.last_acked)
+            Hello(
+                client_id=self.client_id,
+                resume_from=self.last_acked,
+                capabilities={
+                    "codecs": list(self._offered_codecs),
+                    "resume": True,
+                    "batch_push": True,
+                    "max_batch": self._batch_size,
+                },
+            )
         )
         welcome = await self._read_welcome(reader)
+        chosen = welcome.capabilities.get("codec")
+        if chosen:
+            try:
+                self._codec = get_codec(str(chosen))
+            except FrameError as exc:
+                raise ClientError(
+                    f"server negotiated a codec this client lacks: {exc}"
+                ) from exc
+        max_batch = welcome.capabilities.get("max_batch")
+        if isinstance(max_batch, int) and max_batch > 0:
+            self._server_max_batch = max_batch
         async with self._cond:
             # The server's frontier may be ahead of our ack record (acks
             # lost in flight): everything below next_seq is applied.
@@ -212,13 +267,33 @@ class AsyncClient:
                 )
 
     async def _resend_pending(self) -> None:
+        """Replay the unacked buffer as full batches, not per-obs frames."""
         if not self._pending:
             return
-        for seq, item in list(self._pending):
-            if item is _FLUSH:
-                await self._send_raw(Flush(seq=seq))
-            else:
-                await self._send_raw(Submit(seq=seq, observation=item))
+        limit = self._chunk_limit()
+        run: list[Observation] = []
+        run_first = -1
+        for first, items in list(self._pending):
+            if items is _FLUSH:
+                if run:
+                    await self._write_chunk(run_first, run)
+                    run = []
+                await self._send_raw(Flush(seq=first))
+                continue
+            if run and first != run_first + len(run):
+                await self._write_chunk(run_first, run)
+                run = []
+            if not run:
+                run_first = first
+            run.extend(items)
+            # The server's max_batch can shrink across reconnects;
+            # re-split merged runs to the currently negotiated limit.
+            while len(run) >= limit:
+                await self._write_chunk(run_first, run[:limit])
+                run = run[limit:]
+                run_first += limit
+        if run:
+            await self._write_chunk(run_first, run)
 
     def _teardown_transport(self) -> None:
         self._connected = False
@@ -278,30 +353,115 @@ class AsyncClient:
         self._check_usable()
         seq = self._next_seq
         self._next_seq += 1
-        self._pending.append((seq, observation))
         self._batch.append((seq, observation))
         if len(self._batch) >= self._batch_size:
             await self._send_batch()
         return seq
 
     async def submit_many(self, observations: Iterable[Observation]) -> int:
-        """Submit a whole stream; returns the last assigned seq."""
-        seq = self.last_acked
-        for observation in observations:
-            seq = await self.submit(observation)
-        return seq
+        """Submit a whole stream; returns the last assigned client seq.
+
+        This is the wire-client contract, distinct from engine-side
+        ``submit_many``: detections flow back asynchronously over the
+        subscription (:attr:`detections`), so the useful return here is
+        the last sequence number — persist it (with
+        :attr:`last_acked`) to resume the stream in a later client
+        life.  Engine-side ``submit_many`` returns a
+        :class:`~repro.core.detector.SubmitResult` instead.
+
+        The fast path: observations are chunked to the negotiated
+        batch limit, each chunk encoded through the session codec into
+        a reused buffer, and the buffer is written out in
+        ~:data:`_WRITE_COALESCE_BYTES` stretches — one transport
+        write/drain per stretch, not per chunk or per observation.
+        """
+        self._check_usable()
+        observations = (
+            observations if isinstance(observations, list) else list(observations)
+        )
+        if not observations:
+            return self.last_acked
+        # Push out any partial per-submit batch first so every chunk
+        # below owns a contiguous seq run.
+        await self._send_batch()
+        limit = self._chunk_limit()
+        last = self.last_acked
+        index = 0
+        total = len(observations)
+        buffer = self._encode_buffer
+        buffer.clear()
+        while index < total:
+            chunk = observations[index : index + limit]
+            index += limit
+            first = self._next_seq
+            self._next_seq += len(chunk)
+            # Registered before the write: a failed send reconnects and
+            # replays the unacked buffer, which must include this chunk.
+            self._pending.append((first, chunk))
+            self._codec.encode_batch_into(buffer, first, chunk)
+            last = first + len(chunk) - 1
+            if len(buffer) >= _WRITE_COALESCE_BYTES:
+                await self._flush_encode_buffer()
+        await self._flush_encode_buffer()
+        return last
+
+    async def _flush_encode_buffer(self) -> None:
+        """Write out coalesced frames; on failure, reconnect and replay.
+
+        The buffer is cleared before the write: everything encoded into
+        it is already registered in the unacked buffer, so a failed
+        write loses nothing — reconnect replays it from ``_pending``.
+        """
+        buffer = self._encode_buffer
+        if not buffer:
+            return
+        data = bytes(buffer)
+        buffer.clear()
+        writer = self._writer
+        try:
+            if writer is None:
+                raise ConnectionResetError("not connected")
+            writer.write(data)
+            await writer.drain()
+        except (ConnectionError, OSError, RuntimeError):
+            await self._reconnect_and_resend()
+
+    def _chunk_limit(self) -> int:
+        if self._server_max_batch is not None:
+            return max(1, min(self._batch_size, self._server_max_batch))
+        return self._batch_size
 
     async def _send_batch(self) -> None:
         if not self._batch:
             return
         first_seq = self._batch[0][0]
-        observations = tuple(item for _seq, item in self._batch)
+        observations = [item for _seq, item in self._batch]
         self._batch.clear()
-        if len(observations) == 1:
-            frame: Any = Submit(seq=first_seq, observation=observations[0])
-        else:
-            frame = Batch(seq=first_seq, observations=observations)
-        await self._send_with_retry(frame)
+        self._pending.append((first_seq, observations))
+        await self._send_chunk(first_seq, observations)
+
+    async def _send_chunk(
+        self, first_seq: int, chunk: list[Observation]
+    ) -> None:
+        self._check_usable()
+        try:
+            await self._write_chunk(first_seq, chunk)
+        except (ConnectionError, OSError, RuntimeError):
+            # connect() replays the entire unacked buffer — the chunk
+            # that failed is still in it, so nothing is lost.
+            await self._reconnect_and_resend()
+
+    async def _write_chunk(
+        self, first_seq: int, chunk: list[Observation]
+    ) -> None:
+        buffer = self._encode_buffer
+        buffer.clear()
+        self._codec.encode_batch_into(buffer, first_seq, chunk)
+        writer = self._writer
+        if writer is None:
+            raise ConnectionResetError("not connected")
+        writer.write(bytes(buffer))
+        await writer.drain()
 
     async def drain(self, timeout: Optional[float] = None) -> None:
         """Push any partial batch and wait until everything sent is acked."""
@@ -352,6 +512,15 @@ class AsyncClient:
             self.detections.append(frame)
             if self._on_detection is not None:
                 self._on_detection(frame)
+        elif isinstance(frame, DetectionBatch):
+            unpacked = [
+                DetectionFrame.from_payload(payload)
+                for payload in frame.detections
+            ]
+            self.detections.extend(unpacked)
+            if self._on_detection is not None:
+                for detection in unpacked:
+                    self._on_detection(detection)
         elif isinstance(frame, ErrorFrame):
             self._error = frame
             async with self._cond:
@@ -363,7 +532,25 @@ class AsyncClient:
         if seq <= self.last_acked:
             return
         self.last_acked = seq
-        self._pending = [item for item in self._pending if item[0] > seq]
+        pending = self._pending
+        cut = 0
+        for first, items in pending:
+            if items is _FLUSH:
+                if first > seq:
+                    break
+                cut += 1
+                continue
+            last = first + len(items) - 1
+            if last <= seq:
+                cut += 1
+                continue
+            if first <= seq:
+                # Cumulative ack landed inside this run: keep the
+                # unacked suffix.
+                pending[cut] = (seq + 1, items[seq + 1 - first :])
+            break
+        if cut:
+            del pending[:cut]
 
     # -- plumbing ---------------------------------------------------------------
 
@@ -444,6 +631,7 @@ class Client:
         resume_from: int = -1,
         retry: Optional[RetryConfig] = None,
         call_timeout: float = 60.0,
+        codec: Optional[str] = None,
     ) -> None:
         self._call_timeout = call_timeout
         self._loop = asyncio.new_event_loop()
@@ -459,6 +647,7 @@ class Client:
             batch_size=batch_size,
             resume_from=resume_from,
             retry=retry,
+            codec=codec,
         )
         try:
             self._call(self._async.connect())
@@ -490,6 +679,11 @@ class Client:
     @property
     def reconnects(self) -> int:
         return self._async.reconnects
+
+    @property
+    def codec(self) -> str:
+        """The negotiated wire codec name."""
+        return self._async.codec
 
     def submit(self, observation: Observation) -> int:
         return self._call(self._async.submit(observation))

@@ -51,8 +51,14 @@ class _Channel:
         self.space_ready.set()
 
     def consume(self, n: int) -> bytes:
-        chunk = bytes(self.buffer[:n])
-        del self.buffer[:n]
+        if n >= len(self.buffer):
+            # Whole-buffer reads dominate (readers drain as fast as the
+            # writer fills): one copy + clear beats slice-then-delete.
+            chunk = bytes(self.buffer)
+            self.buffer.clear()
+        else:
+            chunk = bytes(self.buffer[:n])
+            del self.buffer[:n]
         if not self.buffer and not self.eof:
             self.data_ready.clear()
         if len(self.buffer) <= self.max_buffer:

@@ -66,10 +66,12 @@ from ..core.errors import ReproError
 from ..obs.metrics import MetricsRegistry
 from .loopback import DEFAULT_MAX_BUFFER, LoopbackReader, LoopbackWriter, loopback_pair
 from .protocol import (
+    MIN_PROTOCOL_VERSION,
     PROTOCOL_VERSION,
     Ack,
     Batch,
     Bye,
+    DetectionBatch,
     DetectionFrame,
     ErrorFrame,
     Flush,
@@ -80,8 +82,10 @@ from .protocol import (
     Submit,
     Subscribe,
     Welcome,
+    codec_names,
     detection_payload,
-    encode_frame,
+    encode_frame_into,
+    negotiate_codec,
 )
 
 __all__ = ["CepServer", "ServeConfig", "SlowConsumerPolicy", "ServeError"]
@@ -134,6 +138,23 @@ class ServeConfig:
     #: bound).  With a durable backend eviction loses nothing — the
     #: frontier is re-read from ``backend.client_frontiers`` on HELLO.
     client_record_cap: int = 10_000
+    #: Wire codecs offered at HELLO, server preference first; ``None``
+    #: means every registered codec (binary preferred).  v1 clients
+    #: always get ``json`` regardless.
+    codecs: Optional[tuple] = None
+    #: Advertised per-batch observation cap (``capabilities.max_batch``);
+    #: cooperating v2 clients chunk their batches to it.
+    max_batch: int = 8192
+
+    def codec_preference(self) -> tuple:
+        if self.codecs is not None:
+            return tuple(self.codecs)
+        names = codec_names()
+        # Binary first when available: negotiation picks the earliest
+        # server-side entry the client also offers.
+        return tuple(
+            sorted(names, key=lambda name: (name != "binary", name))
+        )
 
 
 @dataclass
@@ -188,6 +209,12 @@ class _Session:
         self.reader = reader
         self.writer = writer
         self.record: Optional[_ClientRecord] = None
+        #: Wire codec negotiated at HELLO (what the client *sends*;
+        #: the server parses every batch shape regardless).
+        self.codec = "json"
+        #: Whether the peer understands DetectionBatch push frames
+        #: (HELLO capability ``batch_push``); v1 peers never set it.
+        self.batch_push = False
         self.subscribed = False
         self.rule_filter: Optional[frozenset] = None
         self.alive = True
@@ -246,6 +273,20 @@ class CepServer:
         # exposes the recovered map; consult it so exactly-once survives
         # server restarts, not just client reconnects.
         self._durable = hasattr(backend, "client_frontiers")
+        # The vectorized apply path needs a submit_many — and, when the
+        # backend is durable, one that accepts per-batch client
+        # provenance; anything else falls back to the per-observation
+        # loop (same semantics, one backend call per observation).
+        self._batch_submit = callable(getattr(backend, "submit_many", None))
+        if self._durable and self._batch_submit:
+            import inspect
+
+            try:
+                parameters = inspect.signature(backend.submit_many).parameters
+            except (TypeError, ValueError):  # pragma: no cover - C callables
+                self._batch_submit = False
+            else:
+                self._batch_submit = "client" in parameters
         self._push_policy = SlowConsumerPolicy.coerce(self.config.push_policy)
         self.stats = ServeStats()
         self._instr = None
@@ -408,12 +449,12 @@ class CepServer:
             return
 
     def _handshake(self, session: _Session, hello: Hello) -> bool:
-        if hello.version != PROTOCOL_VERSION:
+        if not MIN_PROTOCOL_VERSION <= hello.version <= PROTOCOL_VERSION:
             self._send_error(
                 session,
                 "version",
-                f"server speaks protocol {PROTOCOL_VERSION}, "
-                f"client spoke {hello.version}",
+                f"server speaks protocols {MIN_PROTOCOL_VERSION}"
+                f"..{PROTOCOL_VERSION}, client spoke {hello.version}",
             )
             return False
         record = self._clients.get(hello.client_id)
@@ -448,10 +489,23 @@ class CepServer:
         self._hello_tick += 1
         record.last_hello = self._hello_tick
         session.record = record
+        codecs = self.config.codec_preference()
+        session.codec = negotiate_codec(hello, codecs)
+        session.batch_push = bool(hello.capabilities.get("batch_push"))
         self._prune_client_records()
         self._send_control(
             session,
-            Welcome(session_id=session.session_id, next_seq=record.last_acked + 1),
+            Welcome(
+                session_id=session.session_id,
+                next_seq=record.last_acked + 1,
+                capabilities={
+                    "codec": session.codec,
+                    "codecs": list(codecs),
+                    "resume": True,
+                    "batch_push": True,
+                    "max_batch": self.config.max_batch,
+                },
+            ),
         )
         return True
 
@@ -531,34 +585,58 @@ class CepServer:
     def _apply_submit(
         self, session: _Session, record: _ClientRecord, item: _SubmitItem
     ) -> None:
-        for index, observation in enumerate(item.observations):
-            seq = item.seq + index
-            if seq <= record.last_acked:
-                self.stats.duplicates_skipped += 1
-                if self._instr is not None:
-                    self._instr.duplicates.inc()
-                continue
-            if seq != record.last_acked + 1:
-                self._send_error(
-                    session,
-                    "sequence",
-                    f"got seq {seq}, expected {record.last_acked + 1}",
-                )
-                self._disconnect(session)
-                return
-            if self._durable:
-                # Provenance rides in the WAL record itself, so the ack
-                # frontier is durable exactly when the observation is.
-                detections = self.backend.submit(
-                    observation, client=(record.client_id, seq)
-                )
-            else:
-                detections = self.backend.submit(observation)
-            record.last_acked = seq
-            self.stats.submitted += 1
+        observations = item.observations
+        first = item.seq
+        expected = record.last_acked + 1
+        if first > expected:
+            self._send_error(
+                session,
+                "sequence",
+                f"got seq {first}, expected {expected}",
+            )
+            self._disconnect(session)
+            return
+        # A batch is contiguous, so a resend overlap is always a prefix:
+        # trim it in one step instead of testing every observation.
+        skip = min(expected - first, len(observations))
+        if skip:
+            self.stats.duplicates_skipped += skip
             if self._instr is not None:
-                self._instr.submitted.inc()
-            self._fan_out(detections, seq)
+                self._instr.duplicates.inc(skip)
+            observations = observations[skip:]
+            first += skip
+        if observations:
+            count = len(observations)
+            if self._batch_submit:
+                if self._durable:
+                    # Provenance rides in the WAL records themselves, so
+                    # the ack frontier is durable exactly when the
+                    # observations are — and the whole batch commits
+                    # under one fsync.
+                    detections = self.backend.submit_many(
+                        observations, client=(record.client_id, first)
+                    )
+                else:
+                    detections = self.backend.submit_many(observations)
+                record.last_acked = first + count - 1
+                self.stats.submitted += count
+                if self._instr is not None:
+                    self._instr.submitted.inc(count)
+                self._fan_out(detections, record.last_acked)
+            else:
+                for index, observation in enumerate(observations):
+                    seq = first + index
+                    if self._durable:
+                        detections = self.backend.submit(
+                            observation, client=(record.client_id, seq)
+                        )
+                    else:
+                        detections = self.backend.submit(observation)
+                    record.last_acked = seq
+                    self.stats.submitted += 1
+                    if self._instr is not None:
+                        self._instr.submitted.inc()
+                    self._fan_out(detections, seq)
         self._queue_ack(session, record.last_acked)
 
     def _apply_flush(
@@ -589,24 +667,37 @@ class CepServer:
         subscribers = [s for s in self._sessions if s.alive and s.subscribed]
         if not subscribers:
             return
+        # Work in payload dicts, not DetectionFrame objects: a batch
+        # frame carries the dicts verbatim, so frozen-dataclass
+        # construction only happens for legacy per-frame subscribers.
+        payloads = []
         for ordinal, detection in enumerate(detections):
             payload = detection_payload(detection)
-            frame = DetectionFrame(
-                rule=payload["rule"],
-                time=payload["time"],
-                bindings=payload["bindings"],
-                seq=seq,
-                ordinal=ordinal,
-            )
-            for subscriber in subscribers:
-                if (
-                    subscriber.rule_filter is not None
-                    and frame.rule not in subscriber.rule_filter
-                ):
-                    continue
-                self._push_detection(subscriber, frame)
+            payload["seq"] = seq
+            payload["ordinal"] = ordinal
+            payloads.append(payload)
+        for subscriber in subscribers:
+            if subscriber.rule_filter is None:
+                wanted = payloads
+            else:
+                wanted = [
+                    payload
+                    for payload in payloads
+                    if payload["rule"] in subscriber.rule_filter
+                ]
+            if not wanted:
+                continue
+            if subscriber.batch_push and len(wanted) > 1:
+                self._push_detection(
+                    subscriber, DetectionBatch(detections=tuple(wanted))
+                )
+            else:
+                for payload in wanted:
+                    self._push_detection(
+                        subscriber, DetectionFrame.from_payload(payload)
+                    )
 
-    def _push_detection(self, session: _Session, frame: DetectionFrame) -> None:
+    def _push_detection(self, session: _Session, frame: Frame) -> None:
         if len(session.push_buffer) >= self.config.push_queue:
             if self._push_policy is SlowConsumerPolicy.DISCONNECT:
                 self.stats.disconnects += 1
@@ -623,11 +714,16 @@ class CepServer:
                 return
             # DROP: oldest out, newest in — buffer size and the number
             # of outstanding "push" sentinels both stay unchanged.
-            session.push_buffer.popleft()
+            victim = session.push_buffer.popleft()
             session.push_buffer.append(frame)
-            self.stats.detections_dropped += 1
+            dropped = (
+                len(victim.detections)
+                if isinstance(victim, DetectionBatch)
+                else 1
+            )
+            self.stats.detections_dropped += dropped
             if self._instr is not None:
-                self._instr.dropped.inc()
+                self._instr.dropped.inc(dropped)
             return
         session.push_buffer.append(frame)
         session.outbound.put_nowait("push")
@@ -652,40 +748,72 @@ class CepServer:
 
     # -- per-session sender --------------------------------------------------
 
+    #: Coalescing budget for the sender loop: once a single write buffer
+    #: grows past this many bytes it is flushed before more queue items
+    #: are drained, bounding per-write latency and memory.
+    _SEND_COALESCE_BYTES = 64 * 1024
+
     async def _sender_loop(self, session: _Session) -> None:
         writer = session.writer
+        buffer = bytearray()
         try:
             while True:
                 item = await session.outbound.get()
-                if item == "close":
+                # Coalesce everything already queued into one write +
+                # drain: a burst of detection pushes costs one transport
+                # round trip instead of one per frame.
+                buffer.clear()
+                frames = 0
+                closing = False
+                while True:
+                    if item == "close":
+                        closing = True
+                    elif item == "ack":
+                        seq = session.pending_ack
+                        session.pending_ack = None
+                        if seq is not None:
+                            encode_frame_into(Ack(seq=seq), buffer)
+                            frames += 1
+                            self.stats.acks_sent += 1
+                            if self._instr is not None:
+                                self._instr.acks.inc()
+                    elif item == "push":
+                        if session.push_buffer:
+                            frame = session.push_buffer.popleft()
+                            encode_frame_into(frame, buffer)
+                            frames += 1
+                            # Count detections, not frames: a batch
+                            # carries several firings.
+                            pushed = (
+                                len(frame.detections)
+                                if isinstance(frame, DetectionBatch)
+                                else 1
+                            )
+                            self.stats.detections_pushed += pushed
+                            if self._instr is not None:
+                                self._instr.pushed.inc(pushed)
+                                self._instr.push_depth.set(
+                                    len(session.push_buffer)
+                                )
+                    else:
+                        encode_frame_into(item, buffer)
+                        frames += 1
+                    if closing or len(buffer) >= self._SEND_COALESCE_BYTES:
+                        break
+                    try:
+                        item = session.outbound.get_nowait()
+                    except asyncio.QueueEmpty:
+                        break
+                if buffer:
+                    writer.write(bytes(buffer))
+                    await writer.drain()
+                    self.stats.frames_out += frames
+                    self.stats.bytes_out += len(buffer)
+                    if self._instr is not None:
+                        self._instr.frames_out.inc(frames)
+                        self._instr.bytes_out.inc(len(buffer))
+                if closing:
                     break
-                if item == "ack":
-                    seq = session.pending_ack
-                    session.pending_ack = None
-                    if seq is None:
-                        continue
-                    frame: Frame = Ack(seq=seq)
-                    self.stats.acks_sent += 1
-                    if self._instr is not None:
-                        self._instr.acks.inc()
-                elif item == "push":
-                    if not session.push_buffer:
-                        continue
-                    frame = session.push_buffer.popleft()
-                    self.stats.detections_pushed += 1
-                    if self._instr is not None:
-                        self._instr.pushed.inc()
-                        self._instr.push_depth.set(len(session.push_buffer))
-                else:
-                    frame = item
-                data = encode_frame(frame)
-                writer.write(data)
-                await writer.drain()
-                self.stats.frames_out += 1
-                self.stats.bytes_out += len(data)
-                if self._instr is not None:
-                    self._instr.frames_out.inc()
-                    self._instr.bytes_out.inc(len(data))
         except (ConnectionError, RuntimeError):
             pass
         finally:
@@ -728,6 +856,7 @@ class CepServer:
                 {
                     "id": session.session_id,
                     "client": session.client_id,
+                    "codec": session.codec,
                     "subscribed": session.subscribed,
                     "push_buffered": len(session.push_buffer),
                     "last_acked": (

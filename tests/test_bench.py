@@ -160,16 +160,48 @@ class TestServeBench:
         from repro.bench.serve import run_serve_bench
 
         results = run_serve_bench(full_scale=False)
-        assert [result.transport for result in results] == [
-            "direct",
-            "loopback",
-            "tcp",
+        assert [(r.transport, r.codec) for r in results] == [
+            ("direct", "-"),
+            ("loopback", "json"),
+            ("tcp", "json"),
+            ("loopback", "binary"),
+            ("tcp", "binary"),
         ]
         direct = results[0]
         assert direct.detections > 0
         assert all(r.detections == direct.detections for r in results)
         assert direct.frames_in == 0 and direct.overhead_pct == 0.0
-        assert results[1].frames_in > 0 and results[1].bytes_in > 0
+        assert all(r.frames_in > 0 and r.bytes_in > 0 for r in results[1:])
+        by_key = {(r.transport, r.codec): r for r in results}
+        # The binary codec's whole point: fewer bytes on the wire than
+        # the JSON layout for the same workload.
+        assert (
+            by_key[("loopback", "binary")].bytes_in
+            < by_key[("loopback", "json")].bytes_in
+        )
+
+    def test_serve_bench_single_codec_and_overhead_gate(self):
+        from repro.bench.serve import check_overhead, run_serve_bench
+
+        results = run_serve_bench(codecs=("binary",))
+        assert [(r.transport, r.codec) for r in results] == [
+            ("direct", "-"),
+            ("loopback", "binary"),
+            ("tcp", "binary"),
+        ]
+        # A generous bound always passes; an impossible one always fails.
+        assert check_overhead(results, 1e9) is None
+        failure = check_overhead(results, -200.0)
+        assert failure is not None and "loopback/binary" in failure
+        assert "no loopback/binary row" in check_overhead(results[:1], 1e9)
+
+    def test_serve_bench_rejects_unknown_scale(self):
+        import pytest
+
+        from repro.bench.serve import run_serve_bench
+
+        with pytest.raises(ValueError, match="unknown scale"):
+            run_serve_bench(scale="galactic")
 
     def test_serve_cli_writes_json(self, tmp_path, capsys, monkeypatch):
         import json
@@ -179,16 +211,47 @@ class TestServeBench:
         monkeypatch.chdir(tmp_path)
         assert main(["serve"]) == 0
         out = capsys.readouterr().out
-        assert "transport" in out and "loopback" in out
+        assert "transport" in out and "loopback" in out and "binary" in out
         with open(tmp_path / "BENCH_serve.json") as handle:
             document = json.load(handle)
-        assert document["schema"] == {"name": "repro-bench-serve", "version": 1}
+        assert document["schema"] == {"name": "repro-bench-serve", "version": 2}
         assert document["scale"] == "quick"
-        assert [r["transport"] for r in document["results"]] == [
-            "direct",
-            "loopback",
-            "tcp",
+        assert [(r["transport"], r["codec"]) for r in document["results"]] == [
+            ("direct", "-"),
+            ("loopback", "json"),
+            ("tcp", "json"),
+            ("loopback", "binary"),
+            ("tcp", "binary"),
         ]
+
+    def test_serve_cli_overhead_gate_exit_code(self, tmp_path, capsys, monkeypatch):
+        import repro.bench.serve as serve_bench
+        from repro.bench.__main__ import main
+        from repro.bench.serve import ServeBenchResult
+
+        def fake_bench(*args, **kwargs):
+            rows = [("direct", "-", 1.0), ("loopback", "binary", 2.0)]
+            return [
+                ServeBenchResult(
+                    transport=transport,
+                    codec=codec,
+                    n_events=100,
+                    n_rules=1,
+                    detections=5,
+                    elapsed_seconds=elapsed,
+                    baseline_seconds=1.0,
+                )
+                for transport, codec, elapsed in rows
+            ]
+
+        monkeypatch.setattr(serve_bench, "run_serve_bench", fake_bench)
+        monkeypatch.chdir(tmp_path)
+        # Fake binary loopback overhead is 100%: over a 40% bound it
+        # must fail with exit code 1, under a 150% bound it must pass.
+        assert main(["serve", "--max-overhead", "40"]) == 1
+        assert "exceeds the 40% bound" in capsys.readouterr().err
+        assert main(["serve", "--max-overhead", "150"]) == 0
+        assert "overhead gate passed" in capsys.readouterr().out
 
 
 class TestReport:

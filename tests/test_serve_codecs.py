@@ -1,0 +1,754 @@
+"""Wire-codec tests: negotiation, binary layout, mixed-version serving.
+
+Covers the protocol-v2 codec surface end to end:
+
+* codec registry and HELLO/WELCOME negotiation (v1 peers keep JSON);
+* ``BBATCH`` round-trips for arbitrary unicode ids (property-style),
+  the JSON fallback for unpackable batches, and decode hardening;
+* ``DETBATCH`` push batching gated on the ``batch_push`` capability;
+* a mixed-version soak: a raw protocol-v1 JSON peer and a v2 binary
+  client sharing one durable server across a crash/recover cycle, with
+  identical detections and exactly-once frontiers for both;
+* the engine-side :class:`SubmitResult` compatibility contract and the
+  client's chunk-granular unacked buffer.
+"""
+
+import asyncio
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Engine, Observation
+from repro.apps import containment_rule, location_rule
+from repro.core.detector import FunctionRegistry, SubmitResult
+from repro.core.sharding import ShardedEngine
+from repro.resilience.durability import DurableEngine
+from repro.serve import (
+    Ack,
+    AsyncClient,
+    Batch,
+    BinaryBatch,
+    CepServer,
+    DetectionBatch,
+    DetectionFrame,
+    Flush,
+    FrameDecoder,
+    FrameError,
+    Hello,
+    ServeConfig,
+    Submit,
+    Subscribe,
+    Welcome,
+    codec_names,
+    encode_frame,
+    get_codec,
+    loopback_connector,
+    negotiate_codec,
+    register_codec,
+)
+from repro.serve.client import _FLUSH
+from repro.serve.protocol import WireCodec
+from repro.simulator import PackingConfig, simulate_packing
+from repro.store import RfidStore
+
+
+def packing_stream(cases=5, seed=3):
+    trace = simulate_packing(PackingConfig(cases=cases), rng=random.Random(seed))
+    return trace.observations
+
+
+def build_rules():
+    return [containment_rule(), location_rule()]
+
+
+def plain_engine():
+    return Engine(build_rules(), store=RfidStore(), functions=FunctionRegistry())
+
+
+def canon_engine(detections):
+    return [
+        (d.rule.rule_id, round(d.time, 9), tuple(sorted(d.bindings.items())))
+        for d in detections
+    ]
+
+
+def canon_frames(frames):
+    return [
+        (f.rule, round(f.time, 9), tuple(sorted(f.bindings.items())))
+        for f in frames
+    ]
+
+
+def decode_one(data: bytes):
+    frames = list(FrameDecoder().feed(data))
+    assert len(frames) == 1, frames
+    return frames[0]
+
+
+async def eventually(predicate, timeout=5.0, message="condition not reached"):
+    loop = asyncio.get_running_loop()
+    deadline = loop.time() + timeout
+    while not predicate():
+        if loop.time() > deadline:
+            raise AssertionError(message)
+        await asyncio.sleep(0.01)
+
+
+# -- negotiation ---------------------------------------------------------------
+
+
+class TestCodecRegistry:
+    def test_builtin_codecs_registered(self):
+        assert {"json", "binary"} <= set(codec_names())
+        assert get_codec("json").name == "json"
+        assert get_codec("binary").name == "binary"
+
+    def test_unknown_codec_rejected(self):
+        with pytest.raises(FrameError, match="unknown wire codec"):
+            get_codec("brotli-ultra")
+
+    def test_nameless_codec_rejected(self):
+        with pytest.raises(ValueError):
+            register_codec(WireCodec())
+
+    def test_client_rejects_typo_codec_at_construction(self):
+        with pytest.raises(FrameError, match="unknown wire codec"):
+            AsyncClient(lambda: None, codec="binray")
+
+
+class TestNegotiation:
+    def test_v1_peer_always_gets_json(self):
+        hello = Hello(client_id="legacy", version=1)
+        assert negotiate_codec(hello, ["binary", "json"]) == "json"
+
+    def test_v2_peer_without_offer_gets_json(self):
+        hello = Hello(client_id="quiet", version=2)
+        assert negotiate_codec(hello, ["binary", "json"]) == "json"
+
+    def test_server_preference_order_wins(self):
+        hello = Hello(
+            client_id="c",
+            version=2,
+            capabilities={"codecs": ["json", "binary"]},
+        )
+        assert negotiate_codec(hello, ["binary", "json"]) == "binary"
+
+    def test_unknown_offers_fall_back_to_json(self):
+        hello = Hello(
+            client_id="c", version=2, capabilities={"codecs": ["zstd-frames"]}
+        )
+        assert negotiate_codec(hello, ["binary", "json"]) == "json"
+
+    def test_garbage_offer_shape_falls_back_to_json(self):
+        hello = Hello(
+            client_id="c", version=2, capabilities={"codecs": "binary"}
+        )
+        assert negotiate_codec(hello, ["binary", "json"]) == "json"
+
+    @pytest.mark.parametrize("asked,negotiated", [
+        (None, "binary"),
+        ("binary", "binary"),
+        ("json", "json"),
+    ])
+    def test_live_handshake_negotiates(self, asked, negotiated):
+        async def scenario():
+            async with CepServer(plain_engine()) as server:
+                client = AsyncClient(loopback_connector(server), codec=asked)
+                async with client:
+                    assert client.codec == negotiated
+                    await client.submit_many(packing_stream(cases=1))
+                    await client.flush(timeout=10)
+
+        asyncio.run(scenario())
+
+
+# -- the binary layout ---------------------------------------------------------
+
+
+ids = st.text(
+    alphabet=st.characters(blacklist_characters="\0", blacklist_categories=("Cs",)),
+    min_size=1,
+    max_size=24,
+)
+
+
+class TestBinaryBatchRoundTrip:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        rows=st.lists(
+            st.tuples(
+                ids,
+                ids,
+                st.floats(
+                    allow_nan=False, allow_infinity=False, width=64
+                ),
+            ),
+            min_size=1,
+            max_size=20,
+        ),
+        seq=st.integers(min_value=0, max_value=2**63),
+        codec_name=st.sampled_from(["json", "binary"]),
+    )
+    def test_any_unicode_ids_round_trip(self, rows, seq, codec_name):
+        """Reader/object ids — ASCII, CJK, emoji, whatever — survive the
+        wire bit-exactly under both codecs (satellite: the non-ASCII id
+        round-trip fix)."""
+        observations = [Observation(r, o, t) for r, o, t in rows]
+        codec = get_codec(codec_name)
+        frame = decode_one(codec.encode_batch(seq, observations))
+        decoded = list(frame.observations) if hasattr(frame, "observations") else [
+            frame.observation
+        ]
+        assert [(d.reader, d.obj) for d in decoded] == [
+            (r, o) for r, o, _t in rows
+        ]
+        assert [d.timestamp for d in decoded] == [t for _r, _o, t in rows]
+        assert frame.seq == seq
+
+    def test_non_ascii_ids_end_to_end(self):
+        """The same ids through a live server: what is acked is what the
+        engine saw, for both codecs."""
+        exotic = [
+            Observation("читатель-1", "objé-α", 1.0),
+            Observation("読み取り機", "🏷️-tag", 2.0),
+            Observation("reader‮bidi", "obßject", 3.0),
+        ]
+
+        async def scenario(codec):
+            engine = plain_engine()
+            seen = []
+            original = engine.submit_many
+
+            def spy(observations, *args, **kwargs):
+                seen.extend(observations)
+                return original(observations, *args, **kwargs)
+
+            engine.submit_many = spy
+            async with CepServer(engine) as server:
+                client = AsyncClient(loopback_connector(server), codec=codec)
+                async with client:
+                    await client.submit_many(exotic)
+                    await client.flush(timeout=10)
+            return [(o.reader, o.obj, o.timestamp) for o in seen]
+
+        want = [(o.reader, o.obj, o.timestamp) for o in exotic]
+        assert asyncio.run(scenario("binary")) == want
+        assert asyncio.run(scenario("json")) == want
+
+    def test_binary_is_smaller_than_json(self):
+        # Unique tags: the id strings dominate, but the framing still wins.
+        unique = [
+            Observation(f"dock-{i % 3}", f"urn:epc:id:sgtin:{i:012d}", float(i))
+            for i in range(200)
+        ]
+        binary = get_codec("binary").encode_batch(0, unique)
+        as_json = get_codec("json").encode_batch(0, unique)
+        assert isinstance(decode_one(binary), BinaryBatch)
+        assert len(binary) < len(as_json)
+        # Re-read tags (portals see the same cases repeatedly): interning
+        # ships each id once and the batch shrinks by multiples.
+        reread = [
+            Observation(f"dock-{i % 3}", f"urn:epc:id:sgtin:{i % 8:012d}", float(i))
+            for i in range(200)
+        ]
+        binary = get_codec("binary").encode_batch(0, reread)
+        as_json = get_codec("json").encode_batch(0, reread)
+        assert len(binary) < len(as_json) // 3
+
+
+class TestBinaryFallback:
+    def test_nul_id_falls_back_to_json_batch(self):
+        observations = [
+            Observation("r\0eader", "o1", 1.0),
+            Observation("r2", "o2", 2.0),
+        ]
+        frame = decode_one(get_codec("binary").encode_batch(5, observations))
+        assert type(frame) is Batch
+        assert frame.seq == 5
+        assert [o.reader for o in frame.observations] == ["r\0eader", "r2"]
+
+    def test_single_unpackable_falls_back_to_submit(self):
+        frame = decode_one(
+            get_codec("binary").encode_batch(
+                9, [Observation("r", "o", 1.0, {"weight": 3})]
+            )
+        )
+        assert type(frame) is Submit
+        assert frame.seq == 9
+        assert frame.observation.extra == {"weight": 3}
+
+    def test_extra_payload_falls_back_and_survives(self):
+        observations = [
+            Observation("r1", "o1", 1.0, {"rssi": -40}),
+            Observation("r2", "o2", 2.0),
+        ]
+        frame = decode_one(get_codec("binary").encode_batch(0, observations))
+        assert type(frame) is Batch
+        assert frame.observations[0].extra == {"rssi": -40}
+
+    def test_non_finite_timestamp_fails_like_json(self):
+        bad = [Observation("r", "o", math.inf), Observation("r", "o", 1.0)]
+        with pytest.raises(FrameError):
+            get_codec("binary").encode_batch(0, bad)
+        with pytest.raises(FrameError):
+            get_codec("json").encode_batch(0, bad)
+
+
+class TestBinaryBatchDecodeHardening:
+    def valid_body(self, n=3):
+        observations = [
+            Observation(f"r{i}", f"o{i}", float(i)) for i in range(n)
+        ]
+        return BinaryBatch(seq=0, observations=tuple(observations)).encode_body()
+
+    def test_round_trip_of_reference_body(self):
+        frame = BinaryBatch.decode_body(self.valid_body())
+        assert len(frame.observations) == 3
+
+    def test_truncated_body_rejected(self):
+        body = self.valid_body()
+        with pytest.raises(FrameError):
+            BinaryBatch.decode_body(body[: len(body) - 4])
+
+    def test_trailing_bytes_rejected(self):
+        with pytest.raises(FrameError, match="trailing"):
+            BinaryBatch.decode_body(self.valid_body() + b"\x00")
+
+    def test_truncated_string_table_rejected(self):
+        # Lie about the reader-blob length: points past the body end.
+        # Layout: 12 header bytes + 6 table-count bytes, then the
+        # 4-byte reader-blob length.
+        body = bytearray(self.valid_body())
+        body[18:22] = (2**31).to_bytes(4, "big")
+        with pytest.raises(FrameError, match="truncated|malformed"):
+            BinaryBatch.decode_body(bytes(body))
+
+    def test_table_count_mismatch_rejected(self):
+        # Claim one more reader than the blob actually holds.
+        body = bytearray(self.valid_body())
+        body[12:14] = (4).to_bytes(2, "big")
+        with pytest.raises(FrameError):
+            BinaryBatch.decode_body(bytes(body))
+
+    def test_invalid_utf8_in_table_rejected(self):
+        body = bytearray(self.valid_body())
+        body[22] = 0xFF  # first byte of the reader blob
+        with pytest.raises(FrameError, match="malformed"):
+            BinaryBatch.decode_body(bytes(body))
+
+    def test_empty_batch_round_trips(self):
+        frame = BinaryBatch.decode_body(
+            BinaryBatch(seq=7, observations=()).encode_body()
+        )
+        assert frame.seq == 7
+        assert frame.observations == ()
+
+
+# -- detection push batching ---------------------------------------------------
+
+
+class RawPeer:
+    """A frame-level loopback peer with an explicit HELLO of our choosing."""
+
+    def __init__(self, server):
+        self.reader, self.writer = server.connect_loopback()
+        self._decoder = FrameDecoder()
+        self.frames = []
+        self.detections = []
+        self.acked = -1
+
+    async def send(self, frame):
+        self.writer.write(encode_frame(frame))
+        await self.writer.drain()
+
+    async def pump(self, timeout=0.2):
+        """Read whatever is available, sorting frames into buckets."""
+        try:
+            data = await asyncio.wait_for(self.reader.read(65536), timeout)
+        except asyncio.TimeoutError:
+            return
+        for frame in self._decoder.feed(data):
+            if isinstance(frame, Ack):
+                self.acked = max(self.acked, frame.seq)
+            elif isinstance(frame, DetectionFrame):
+                self.detections.append(frame)
+            elif isinstance(frame, DetectionBatch):
+                self.frames.append(frame)
+                self.detections.extend(
+                    DetectionFrame.from_payload(p) for p in frame.detections
+                )
+            else:
+                self.frames.append(frame)
+
+    async def pump_until(self, predicate, timeout=5.0):
+        deadline = asyncio.get_running_loop().time() + timeout
+        while not predicate():
+            if asyncio.get_running_loop().time() > deadline:
+                raise AssertionError("raw peer timed out")
+            await self.pump()
+
+    def batch_frames(self):
+        return [f for f in self.frames if isinstance(f, DetectionBatch)]
+
+
+class TestDetectionBatchPush:
+    def run_with_subscriber(self, capabilities):
+        stream = packing_stream(cases=4, seed=9)
+        expected = canon_engine(plain_engine().run(stream))
+
+        async def scenario():
+            async with CepServer(plain_engine()) as server:
+                watcher = RawPeer(server)
+                await watcher.send(
+                    Hello(client_id="watcher", capabilities=capabilities)
+                )
+                await watcher.pump_until(
+                    lambda: any(isinstance(f, Welcome) for f in watcher.frames)
+                )
+                await watcher.send(Subscribe())
+                ingest = AsyncClient(
+                    loopback_connector(server), codec="binary", batch_size=256
+                )
+                async with ingest:
+                    await ingest.submit_many(stream)
+                    await ingest.flush(timeout=10)
+                await watcher.pump_until(
+                    lambda: len(watcher.detections) >= len(expected)
+                )
+                return watcher
+
+        watcher = asyncio.run(scenario())
+        assert canon_frames(watcher.detections) == expected
+        return watcher
+
+    def test_batch_push_peer_gets_coalesced_frames(self):
+        watcher = self.run_with_subscriber({"batch_push": True})
+        batches = watcher.batch_frames()
+        assert batches, "batch_push subscriber never saw a DETBATCH"
+        assert any(len(b.detections) > 1 for b in batches)
+        # Ordinals disambiguate same-seq detections within a batch.
+        for batch in batches:
+            seqs = [(p["seq"], p["ordinal"]) for p in batch.detections]
+            assert seqs == sorted(seqs)
+
+    def test_peer_without_capability_gets_single_frames(self):
+        watcher = self.run_with_subscriber({})
+        assert watcher.batch_frames() == []
+
+
+# -- mixed-version soak --------------------------------------------------------
+
+
+class V1Peer(RawPeer):
+    """A strict protocol-v1 JSON peer: no capabilities, SUBMIT per obs.
+
+    This is what a pre-codec checkout speaks; the soak test asserts it
+    keeps working, byte-for-byte, against a v2 server sharing its
+    backend with binary-codec sessions.
+    """
+
+    def __init__(self, server, client_id, resume_from=-1):
+        super().__init__(server)
+        self.client_id = client_id
+        self.next_seq = resume_from + 1
+        self.acked = resume_from
+
+    async def handshake(self, subscribe=False):
+        await self.send(
+            Hello(
+                client_id=self.client_id,
+                version=1,
+                resume_from=self.acked,
+            )
+        )
+        await self.pump_until(
+            lambda: any(isinstance(f, Welcome) for f in self.frames)
+        )
+        welcome = next(f for f in self.frames if isinstance(f, Welcome))
+        self.next_seq = max(self.next_seq, welcome.next_seq)
+        if subscribe:
+            await self.send(Subscribe())
+        return welcome
+
+    async def submit_stream(self, observations):
+        for observation in observations:
+            await self.send(Submit(seq=self.next_seq, observation=observation))
+            self.next_seq += 1
+
+    async def drain(self):
+        await self.pump_until(lambda: self.acked >= self.next_seq - 1)
+
+    async def flush(self):
+        seq = self.next_seq
+        self.next_seq += 1
+        await self.send(Flush(seq=seq))
+        await self.pump_until(lambda: self.acked >= seq)
+
+    def assert_never_saw_v2_frames(self):
+        assert not self.batch_frames(), "v1 peer received a DETBATCH"
+
+
+class TestMixedVersionSoak:
+    def test_v1_and_binary_clients_share_a_durable_server(self, tmp_path):
+        """A legacy JSON peer and a binary v2 client interleave on one
+        durable server, survive a crash/recover, and both end with the
+        full, identical detection stream and exactly-once frontiers."""
+        stream = packing_stream(cases=8, seed=21)
+        expected = canon_engine(plain_engine().run(stream))
+        directory = str(tmp_path / "mixed-durable")
+        quarter = len(stream) // 4
+        cuts = [quarter, 2 * quarter, 3 * quarter]
+        # Detections the first two quarters fire *without* an
+        # end-of-stream flush — what subscribers see mid-stream.
+        prefix = canon_engine(plain_engine().submit_many(stream[: cuts[1]]))
+
+        async def first_life():
+            durable = DurableEngine(plain_engine, directory)
+            try:
+                async with CepServer(durable) as server:
+                    legacy = V1Peer(server, "legacy-dock")
+                    await legacy.handshake(subscribe=True)
+                    modern = AsyncClient(
+                        loopback_connector(server),
+                        client_id="modern-dock",
+                        codec="binary",
+                        subscribe=True,
+                        batch_size=32,
+                    )
+                    async with modern:
+                        assert modern.codec == "binary"
+                        # Interleaved, strictly ordered ingest:
+                        # v1 takes the first quarter, v2 the second.
+                        await legacy.submit_stream(stream[: cuts[0]])
+                        await legacy.drain()
+                        await modern.submit_many(stream[cuts[0] : cuts[1]])
+                        await modern.drain(timeout=10)
+                        await legacy.pump_until(
+                            lambda: len(legacy.detections) >= len(prefix)
+                        )
+                        await eventually(
+                            lambda: len(modern.detections) >= len(prefix)
+                        )
+                        assert canon_frames(legacy.detections) == prefix
+                        assert canon_frames(modern.detections) == prefix
+                        legacy.assert_never_saw_v2_frames()
+                        return legacy.acked, modern.last_acked
+            finally:
+                durable.close()
+
+        async def second_life(legacy_acked, modern_acked):
+            durable, _report = DurableEngine.recover(plain_engine, directory)
+            try:
+                async with CepServer(durable) as server:
+                    # Frontiers rebuilt from WAL provenance for *both*
+                    # protocol generations.
+                    assert server.client_frontier("legacy-dock") == legacy_acked
+                    assert server.client_frontier("modern-dock") == modern_acked
+                    legacy = V1Peer(
+                        server, "legacy-dock", resume_from=legacy_acked - 2
+                    )
+                    welcome = await legacy.handshake(subscribe=True)
+                    # The server's record wins over the under-reported ack.
+                    assert welcome.next_seq == legacy_acked + 1
+                    modern = AsyncClient(
+                        loopback_connector(server),
+                        client_id="modern-dock",
+                        codec="binary",
+                        subscribe=True,
+                        resume_from=modern_acked,
+                        batch_size=32,
+                    )
+                    async with modern:
+                        await legacy.submit_stream(stream[cuts[1] : cuts[2]])
+                        await legacy.drain()
+                        await modern.submit_many(stream[cuts[2] :])
+                        await modern.flush(timeout=10)
+                        late = len(expected) - len(prefix)
+                        await legacy.pump_until(
+                            lambda: len(legacy.detections) >= late
+                        )
+                        await eventually(
+                            lambda: len(modern.detections) >= late
+                        )
+                        assert server.stats.duplicates_skipped == 0
+                        legacy.assert_never_saw_v2_frames()
+                        return (
+                            canon_frames(legacy.detections),
+                            canon_frames(modern.detections),
+                        )
+            finally:
+                durable.close()
+
+        legacy_acked, modern_acked = asyncio.run(first_life())
+        assert legacy_acked == cuts[0] - 1
+        legacy_late, modern_late = asyncio.run(
+            second_life(legacy_acked, modern_acked)
+        )
+        assert prefix + legacy_late == expected
+        assert prefix + modern_late == expected
+
+
+# -- CLI plumbing --------------------------------------------------------------
+
+
+class TestServeCliCodecs:
+    def rules_file(self, tmp_path):
+        path = tmp_path / "rules.txt"
+        path.write_text(
+            'DEFINE E1 = observation("r1", o1, t1)\n'
+            'DEFINE E2 = observation("r2", o2, t2)\n'
+            "CREATE RULE contain, containment ON "
+            "TSEQ(TSEQ+(E1, 0.1sec, 1sec); E2, 10sec, 20sec) IF true "
+            "DO BULK INSERT INTO CONTAINMENT VALUES (o1, o2, t2, 'UC')\n"
+        )
+        return str(path)
+
+    def test_unknown_codec_rejected_before_binding(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        code = main(
+            [
+                "serve",
+                "--rules",
+                self.rules_file(tmp_path),
+                "--port",
+                "0",
+                "--codecs",
+                "binary,zstd-frames",
+                "--max-seconds",
+                "0.1",
+            ]
+        )
+        assert code == 2
+        assert "unknown wire codec" in capsys.readouterr().out
+
+    def test_codecs_option_restricts_negotiation(self, tmp_path):
+        """A json-only server makes every v2 client fall back to JSON."""
+        async def scenario():
+            config_server = CepServer(
+                plain_engine(), config=ServeConfig(codecs=("json",))
+            )
+            async with config_server as server:
+                client = AsyncClient(loopback_connector(server), codec=None)
+                async with client:
+                    assert client.codec == "json"
+
+        asyncio.run(scenario())
+
+
+# -- engine-side SubmitResult contract ----------------------------------------
+
+
+class TestSubmitResultContract:
+    def make_backend(self, kind, tmp_path):
+        if kind == "plain":
+            return plain_engine(), lambda: None
+        if kind == "sharded":
+            backend = ShardedEngine(
+                build_rules(),
+                max_shards=3,
+                store=RfidStore(),
+                functions=FunctionRegistry(),
+            )
+            return backend, lambda: None
+        durable = DurableEngine(plain_engine, str(tmp_path / "d"))
+        return durable, durable.close
+
+    @pytest.mark.parametrize("kind", ["plain", "sharded", "durable"])
+    def test_submit_many_returns_submit_result(self, kind, tmp_path):
+        backend, closer = self.make_backend(kind, tmp_path)
+        try:
+            stream = packing_stream(cases=3, seed=7)
+            result = backend.submit_many(stream)
+            assert isinstance(result, SubmitResult)
+            # The legacy contract: it IS the detection list.
+            assert isinstance(result, list)
+            assert result.detections is result
+            assert result.accepted == len(stream)
+            assert result.dropped == 0
+            assert result.quarantined == 0
+            assert canon_engine(result) == canon_engine(
+                plain_engine().run(stream)
+            )
+            assert "accepted=" in repr(result)
+        finally:
+            closer()
+
+    def test_empty_batch_is_an_empty_result(self):
+        result = plain_engine().submit_many([])
+        assert isinstance(result, SubmitResult)
+        assert list(result) == []
+        assert (result.accepted, result.dropped) == (0, 0)
+
+
+# -- chunk-granular unacked buffer --------------------------------------------
+
+
+class TestPendingChunks:
+    def make_client(self):
+        return AsyncClient(lambda: None, batch_size=10)
+
+    def obs(self, n, start=0):
+        return [Observation("r", f"o{start + i}", float(start + i)) for i in range(n)]
+
+    def test_full_runs_are_dropped_whole(self):
+        client = self.make_client()
+        client._pending = [(0, self.obs(4)), (4, self.obs(4, 4))]
+        client._advance_acks(3)
+        assert client.last_acked == 3
+        assert [entry[0] for entry in client._pending] == [4]
+
+    def test_partial_ack_trims_the_head_run(self):
+        client = self.make_client()
+        run = self.obs(6)
+        client._pending = [(0, run)]
+        client._advance_acks(3)
+        first, rest = client._pending[0]
+        assert first == 4
+        assert rest == run[4:]
+
+    def test_flush_markers_are_acked_away(self):
+        client = self.make_client()
+        client._pending = [(0, self.obs(3)), (3, _FLUSH), (4, self.obs(2, 4))]
+        client._advance_acks(3)
+        assert [entry[0] for entry in client._pending] == [4]
+        client._advance_acks(5)
+        assert client._pending == []
+
+    def test_stale_ack_is_ignored(self):
+        client = self.make_client()
+        client._pending = [(5, self.obs(2, 5))]
+        client._advance_acks(6)
+        client._advance_acks(4)  # out-of-order duplicate ack
+        assert client.last_acked == 6
+        assert client._pending == []
+
+    def test_resend_merges_and_resplits_to_the_limit(self):
+        client = self.make_client()
+        client._server_max_batch = 4
+        sent = []
+
+        async def record_chunk(first, chunk):
+            sent.append(("chunk", first, len(chunk)))
+
+        async def record_raw(frame):
+            sent.append(("flush", frame.seq))
+
+        client._write_chunk = record_chunk
+        client._send_raw = record_raw
+        client._pending = [
+            (0, self.obs(6)),
+            (6, _FLUSH),
+            (7, self.obs(2, 7)),
+            (9, self.obs(1, 9)),
+        ]
+        asyncio.run(client._resend_pending())
+        assert sent == [
+            ("chunk", 0, 4),
+            ("chunk", 4, 2),
+            ("flush", 6),
+            ("chunk", 7, 3),
+        ]
