@@ -159,6 +159,11 @@ def _cmd_chaos(arguments: argparse.Namespace) -> int:
     from .obs import MetricsRegistry
     from .resilience import ChaosConfig, ChaosInjector, SupervisedEngine
 
+    if not arguments.rules or not arguments.stream:
+        raise SystemExit(
+            "chaos: --rules and --stream are required "
+            "(network drills live under 'chaos serve')"
+        )
     program, observations = _load_inputs(arguments)
     injector = ChaosInjector(
         ChaosConfig(
@@ -217,6 +222,68 @@ def _cmd_chaos(arguments: argparse.Namespace) -> int:
     if registry is not None:
         _write_metrics(registry, arguments.metrics, arguments.metrics_format)
     return 0
+
+
+def _cmd_chaos_serve(arguments: argparse.Namespace) -> int:
+    """The network chaos soak drill (see :mod:`repro.serve.drill`).
+
+    A seeded ChaosProxy sits between a durable ``CepServer`` and
+    concurrent v1+v2 clients; the server is hard-killed and recovered
+    mid-stream; the drill then audits exactly-once observations,
+    detections and frontier agreement against an in-process baseline.
+    Exit status 0 means every check held.
+    """
+    from dataclasses import replace
+
+    from .serve.drill import default_fault_plan, run_chaos_serve_drill
+
+    plan = default_fault_plan(arguments.seed)
+    overrides = {
+        name: getattr(arguments, name)
+        for name in (
+            "latency",
+            "jitter",
+            "fragment_rate",
+            "stall_rate",
+            "reset_rate",
+            "corrupt_rate",
+        )
+        if getattr(arguments, name) is not None
+    }
+    if overrides:
+        plan = replace(plan, **overrides)
+    print(
+        f"chaos serve drill: seed={arguments.seed} cases={arguments.cases} "
+        f"(reproduce with --seed {arguments.seed})"
+    )
+    report = run_chaos_serve_drill(
+        seed=arguments.seed,
+        cases=arguments.cases,
+        plan=plan,
+        timeout=arguments.timeout,
+        report_path=arguments.report,
+    )
+    for name, check in sorted(report["checks"].items()):
+        status = "ok  " if check["ok"] else "FAIL"
+        detail = f" ({check['detail']})" if check["detail"] else ""
+        print(f"  [{status}] {name}{detail}")
+    faults = report["faults"]
+    print(
+        f"faults: {faults['fragments']} fragments, "
+        f"{faults['corruptions']} corruptions, {faults['resets']} resets, "
+        f"{faults['stalls']} stalls over {faults['chunks']} chunks"
+    )
+    clients = report["clients"]
+    print(
+        f"clients: v1 reconnects={clients['v1']['reconnects']} "
+        f"heartbeats={clients['v1']['heartbeats']}; "
+        f"v2 reconnects={clients['v2']['reconnects']} "
+        f"heartbeats={clients['v2']['heartbeats']}"
+    )
+    if arguments.report:
+        print(f"report written to {arguments.report}")
+    print("drill PASSED" if report["ok"] else "drill FAILED")
+    return 0 if report["ok"] else 1
 
 
 def _cmd_wal_inspect(arguments: argparse.Namespace) -> int:
@@ -592,8 +659,8 @@ def main(argv: "list[str] | None" = None) -> int:
         "chaos",
         help="run a rule program under seeded fault injection, supervised",
     )
-    chaos.add_argument("--rules", required=True, help="rule program file")
-    chaos.add_argument("--stream", required=True, help="JSONL observation file")
+    chaos.add_argument("--rules", help="rule program file")
+    chaos.add_argument("--stream", help="JSONL observation file")
     chaos.add_argument("--seed", type=int, default=0, help="fault-schedule seed")
     chaos.add_argument("--malformed-rate", type=float, default=0.02)
     chaos.add_argument("--duplicate-rate", type=float, default=0.05)
@@ -622,6 +689,37 @@ def main(argv: "list[str] | None" = None) -> int:
         "--metrics-format", choices=("json", "prom"), default="json"
     )
     chaos.set_defaults(handler=_cmd_chaos)
+
+    chaos_commands = chaos.add_subparsers(dest="chaos_command")
+    chaos_serve = chaos_commands.add_parser(
+        "serve",
+        help="network chaos soak drill: seeded proxy faults + server "
+        "kill/recover around a durable CepServer (exit 1 on any failure)",
+    )
+    chaos_serve.add_argument(
+        "--seed", type=int, default=7, help="fault-schedule seed"
+    )
+    chaos_serve.add_argument(
+        "--cases", type=int, default=20, help="simulated packing cases"
+    )
+    chaos_serve.add_argument("--latency", type=float, default=None)
+    chaos_serve.add_argument("--jitter", type=float, default=None)
+    chaos_serve.add_argument("--fragment-rate", type=float, default=None)
+    chaos_serve.add_argument("--stall-rate", type=float, default=None)
+    chaos_serve.add_argument("--reset-rate", type=float, default=None)
+    chaos_serve.add_argument("--corrupt-rate", type=float, default=None)
+    chaos_serve.add_argument(
+        "--timeout",
+        type=float,
+        default=120.0,
+        help="hard wall-clock bound on the whole drill (seconds)",
+    )
+    chaos_serve.add_argument(
+        "--report",
+        default="CHAOS_serve.json",
+        help="write the JSON drill report here (default: CHAOS_serve.json)",
+    )
+    chaos_serve.set_defaults(handler=_cmd_chaos_serve)
 
     wal = commands.add_parser(
         "wal", help="write-ahead log tools: inspect, recover, crash drill"

@@ -12,7 +12,12 @@ ways —
 
 Each networked transport is measured once per wire codec (``json`` —
 the v1 layout, and ``binary`` — the struct-packed v2 batch frames), so
-the codec win is a measured number, not an assumption.
+the codec win is a measured number, not an assumption.  When the
+binary codec is measured, one extra loopback row — codec
+``"binary+hb"`` — reruns it with server heartbeats enabled
+(``heartbeat_interval=0.05``), so the liveness machinery's cost on the
+clean path is also a measured number (it should sit at the noise
+floor: pings ride the existing sender queues).
 
 Each networked run subscribes to detections and must receive exactly as
 many as the baseline found — the benchmark raises if they diverge, so
@@ -28,7 +33,9 @@ the ``"schema"`` key)::
       "results": [
         {
           "transport": "direct" | "loopback" | "tcp",
-          "codec": "-" | "json" | "binary",   # "-" for the direct row
+          "codec": "-" | "json" | "binary" | "binary+hb",
+                                  # "-" for the direct row; "+hb" marks
+                                  # the heartbeat-enabled variant
           "n_events": int,        # observations submitted
           "n_rules": int,
           "detections": int,      # == baseline for every transport
@@ -135,10 +142,21 @@ async def _run_through_server(
 
     The push queue is sized past the expected detection count so the
     slow-consumer policy never fires — this benchmark measures framing
-    and session cost, not drop behaviour.
+    and session cost, not drop behaviour.  A ``+hb`` codec suffix
+    (e.g. ``"binary+hb"``) selects the underlying wire codec with
+    server heartbeats and the idle reaper enabled, measuring the
+    liveness machinery's cost on a healthy connection.
     """
+    wire_codec, _, variant = codec.partition("+")
     engine = Engine(rules, context="chronicle")
-    config = ServeConfig(push_queue=expected_detections + 64)
+    if variant == "hb":
+        config = ServeConfig(
+            push_queue=expected_detections + 64,
+            heartbeat_interval=0.05,
+            idle_deadline=30.0,
+        )
+    else:
+        config = ServeConfig(push_queue=expected_detections + 64)
     server = CepServer(engine, config=config)
     async with server:
         if transport == "tcp":
@@ -147,12 +165,12 @@ async def _run_through_server(
         else:
             connector = loopback_connector(server)
         client = AsyncClient(
-            connector, subscribe=True, batch_size=batch_size, codec=codec
+            connector, subscribe=True, batch_size=batch_size, codec=wire_codec
         )
         async with client:
-            if client.codec != codec:
+            if client.codec != wire_codec:
                 raise AssertionError(
-                    f"negotiated codec {client.codec!r}, wanted {codec!r}"
+                    f"negotiated codec {client.codec!r}, wanted {wire_codec!r}"
                 )
             # GC off during the timed region (the baseline gets the same
             # treatment): a cycle collection landing inside one run and
@@ -223,6 +241,12 @@ def run_serve_bench(
         for codec in codecs
         for transport in ("loopback", "tcp")
     ]
+    if "binary" in codecs:
+        # Heartbeat-overhead row: the binary loopback path rerun with
+        # liveness probes on.  Loopback only — the point is isolating
+        # the ping/reaper cost, and kernel-socket variance would bury
+        # it.  The plain loopback/binary row (the CI gate) is untouched.
+        configurations.append(("loopback", "binary+hb"))
     baseline = None
     timings: dict = {}
     for _ in range(repeats):

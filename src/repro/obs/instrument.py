@@ -455,6 +455,11 @@ class ServeInstruments:
     ``rceda_serve_push_queue_depth``                gauge      server
     ``rceda_serve_detections_dropped_total``        counter    server
     ``rceda_serve_disconnects_total``               counter    server
+    ``rceda_serve_reconnects_total``                counter    server
+    ``rceda_serve_heartbeat_pings_total``           counter    server
+    ``rceda_serve_heartbeat_pongs_total``           counter    server
+    ``rceda_serve_sessions_reaped_total``           counter    server
+    ``rceda_serve_overloads_total``                 counter    server
     ==============================================  =========  ========
 
     ``rceda_serve_duplicates_skipped_total`` is the resume contract made
@@ -481,6 +486,11 @@ class ServeInstruments:
         "push_depth",
         "dropped",
         "disconnects",
+        "reconnects",
+        "pings",
+        "pongs",
+        "reaped",
+        "overloads",
     )
 
     def __init__(self, registry: MetricsRegistry, server_label: str = "serve") -> None:
@@ -540,6 +550,31 @@ class ServeInstruments:
             "Sessions force-closed (slow-consumer DISCONNECT policy).",
             labelnames=("server",),
         ).labels(server=server_label)
+        self.reconnects = registry.counter(
+            "rceda_serve_reconnects_total",
+            "Handshakes resuming a previously seen client identity.",
+            labelnames=("server",),
+        ).labels(server=server_label)
+        self.pings = registry.counter(
+            "rceda_serve_heartbeat_pings_total",
+            "Liveness PING frames sent to heartbeat-capable sessions.",
+            labelnames=("server",),
+        ).labels(server=server_label)
+        self.pongs = registry.counter(
+            "rceda_serve_heartbeat_pongs_total",
+            "PONG replies received from heartbeat-capable sessions.",
+            labelnames=("server",),
+        ).labels(server=server_label)
+        self.reaped = registry.counter(
+            "rceda_serve_sessions_reaped_total",
+            "Sessions closed for exceeding the idle deadline.",
+            labelnames=("server",),
+        ).labels(server=server_label)
+        self.overloads = registry.counter(
+            "rceda_serve_overloads_total",
+            "Submitters shed with ERROR overloaded (queue saturated).",
+            labelnames=("server",),
+        ).labels(server=server_label)
 
     def reset(self) -> None:
         """Zero this server's children only — co-tenants keep their values."""
@@ -556,6 +591,11 @@ class ServeInstruments:
             self.push_depth,
             self.dropped,
             self.disconnects,
+            self.reconnects,
+            self.pings,
+            self.pongs,
+            self.reaped,
+            self.overloads,
         ):
             handle.reset()
 

@@ -25,6 +25,14 @@ so chaos tests are reproducible and checkpoint/restore equality can be
 asserted under fire.  :func:`kill_and_restore_run` drives any
 checkpointable engine through a mid-stream kill + restore, the backbone
 of the recovery tests and the ``python -m repro chaos`` CLI.
+
+Stream chaos has a network-layer sibling: :mod:`repro.serve.faults`
+perturbs the *wire* that carries observations (latency, fragmentation,
+resets, byte corruption) with the same seeded-determinism contract.
+Its classes — :class:`~repro.serve.faults.NetworkFaultPlan`,
+:class:`~repro.serve.faults.ChaosProxy`,
+:class:`~repro.serve.faults.FaultyTransport` — are re-exported here so
+one import serves both layers of a drill.
 """
 
 from __future__ import annotations
@@ -35,11 +43,23 @@ from dataclasses import dataclass
 from typing import Any, Callable, Iterable, Iterator
 
 from ..core.instances import Observation
+from ..serve.faults import (
+    ChaosProxy,
+    FaultSchedule,
+    FaultStats,
+    FaultyTransport,
+    NetworkFaultPlan,
+)
 
 __all__ = [
     "ChaosConfig",
     "ChaosInjector",
+    "ChaosProxy",
+    "FaultSchedule",
+    "FaultStats",
+    "FaultyTransport",
     "MalformedObservation",
+    "NetworkFaultPlan",
     "SimulatedCrash",
     "corrupt_checkpoint",
     "crash_failpoint",

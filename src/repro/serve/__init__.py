@@ -41,6 +41,14 @@ from .client import (
     loopback_connector,
     tcp_connector,
 )
+from .faults import (
+    ChaosProxy,
+    FaultSchedule,
+    FaultStats,
+    FaultyTransport,
+    FaultyWriter,
+    NetworkFaultPlan,
+)
 from .loopback import LoopbackReader, LoopbackWriter, loopback_pair
 from .protocol import (
     MAX_FRAME_BYTES,
@@ -60,6 +68,8 @@ from .protocol import (
     FrameError,
     Hello,
     JsonCodec,
+    Ping,
+    Pong,
     Submit,
     Subscribe,
     Welcome,
@@ -84,11 +94,16 @@ __all__ = [
     "BinaryCodec",
     "Bye",
     "CepServer",
+    "ChaosProxy",
     "Client",
     "ClientError",
     "DetectionBatch",
     "DetectionFrame",
     "ErrorFrame",
+    "FaultSchedule",
+    "FaultStats",
+    "FaultyTransport",
+    "FaultyWriter",
     "Flush",
     "Frame",
     "FrameDecoder",
@@ -99,7 +114,10 @@ __all__ = [
     "LoopbackWriter",
     "MAX_FRAME_BYTES",
     "MIN_PROTOCOL_VERSION",
+    "NetworkFaultPlan",
     "PROTOCOL_VERSION",
+    "Ping",
+    "Pong",
     "RetryConfig",
     "ServeConfig",
     "ServeError",

@@ -23,6 +23,8 @@ from __future__ import annotations
 
 import asyncio
 import itertools
+import logging
+import random
 import threading
 from dataclasses import dataclass
 from typing import Any, Callable, Iterable, Optional
@@ -30,6 +32,7 @@ from typing import Any, Callable, Iterable, Optional
 from ..core.errors import ReproError
 from ..core.instances import Observation
 from .protocol import (
+    PROTOCOL_VERSION,
     Ack,
     Bye,
     DetectionBatch,
@@ -39,12 +42,16 @@ from .protocol import (
     FrameDecoder,
     FrameError,
     Hello,
+    Ping,
+    Pong,
     Subscribe,
     Welcome,
     codec_names,
     encode_frame,
     get_codec,
 )
+
+logger = logging.getLogger("repro.serve.client")
 
 __all__ = [
     "AsyncClient",
@@ -68,10 +75,23 @@ class RetryConfig:
 
     #: Connection attempts per (re)connect before giving up.
     max_attempts: int = 5
-    #: First backoff delay; doubles per failed attempt.
+    #: First backoff delay; the *ceiling* doubles per failed attempt.
     backoff_base: float = 0.05
     #: Backoff ceiling.
     backoff_max: float = 2.0
+    #: Full jitter: each delay is uniform in ``[0, min(cap, base·2ⁿ)]``.
+    #: Pure doubling synchronizes a fleet's reconnect storm after a
+    #: server restart — every client that died together retries
+    #: together; jitter decorrelates them.  Disable only in tests that
+    #: assert exact timing.
+    jitter: bool = True
+    #: Wall-clock bound (seconds) across *all* attempts of one
+    #: (re)connect, sleeps included; ``None`` = attempts alone bound it.
+    connect_deadline: Optional[float] = None
+    #: Default timeout (seconds) for ack-waiting operations —
+    #: ``drain``/``flush`` and the waits inside ``submit`` — when the
+    #: caller passes no explicit timeout; ``None`` = wait forever.
+    op_timeout: Optional[float] = None
 
 
 def tcp_connector(host: str, port: int) -> Callable:
@@ -93,6 +113,13 @@ def loopback_connector(server: Any) -> Callable:
 
 
 _FLUSH = object()  # pending-buffer marker for a sequenced FLUSH
+
+#: Server error codes that mean "this connection is done, the session is
+#: not": the client reconnects and resends instead of raising.
+#: ``overloaded`` — shed under load (may carry ``retry_after``);
+#: ``idle`` — reaped by the server's idle deadline; ``frame`` — the
+#: server's CRC caught corruption on the ingest path.
+_TRANSIENT_ERRORS = frozenset({"overloaded", "idle", "frame"})
 
 #: ``submit_many`` packs encoded batch frames into its reusable buffer
 #: and writes once per this many bytes — one syscall/drain per stretch
@@ -125,6 +152,12 @@ class AsyncClient:
         ``"json"``), or ``None`` to offer everything registered with
         binary preferred.  The *server* picks from the offer at HELLO;
         :attr:`codec` reports the negotiated choice after connect.
+    protocol_version:
+        Protocol version to speak (default: the current one).  ``1``
+        makes this client behave as a faithful v1 peer — no
+        capabilities in HELLO, JSON layout regardless of ``codec``,
+        never probed with PING — while keeping the reconnect/resume
+        machinery, which is what mixed-fleet chaos drills need.
     """
 
     def __init__(
@@ -139,10 +172,16 @@ class AsyncClient:
         retry: Optional[RetryConfig] = None,
         on_detection: Optional[Callable[[DetectionFrame], None]] = None,
         codec: Optional[str] = None,
+        protocol_version: int = PROTOCOL_VERSION,
     ) -> None:
         if batch_size < 1:
             raise ValueError("batch_size must be >= 1")
+        if not 1 <= protocol_version <= PROTOCOL_VERSION:
+            raise ValueError(
+                f"protocol_version must be 1..{PROTOCOL_VERSION}"
+            )
         self._connector = connector
+        self._protocol_version = protocol_version
         self.client_id = client_id or f"client-{next(_client_ids)}"
         self._subscribe = subscribe
         self._rules = tuple(rules) if rules is not None else None
@@ -175,6 +214,15 @@ class AsyncClient:
         self._batch: list[tuple[int, Observation]] = []
         self.detections: list[DetectionFrame] = []
         self.reconnects = 0
+        #: Server PINGs answered (always 0 for a v1-mode client: the
+        #: server never probes a peer that didn't advertise heartbeat).
+        self.heartbeats = 0
+        #: ``ERROR overloaded`` sheds absorbed (each is a reconnect, not
+        #: a failure — the server asked this client to back off).
+        self.overloads = 0
+        #: Corrupt frames the CRC caught on the return path; each one
+        #: cost a reconnect, never a wrongly decoded frame.
+        self.frame_errors = 0
 
         self._reader: Any = None
         self._writer: Any = None
@@ -183,24 +231,58 @@ class AsyncClient:
         self._connected = False
         self._closed = False
         self._error: Optional[ErrorFrame] = None
+        #: ``retry_after`` from the latest transient server error; the
+        #: next (re)connect sleeps at least this long before dialing.
+        self._retry_after_hint = 0.0
 
     # -- connection management ----------------------------------------------
 
     async def connect(self) -> None:
-        """Establish (or re-establish) the session, resending unacked data."""
+        """Establish (or re-establish) the session, resending unacked data.
+
+        Backoff is *full jitter*: attempt ``n`` sleeps uniformly in
+        ``[0, min(backoff_max, backoff_base · 2ⁿ⁻¹)]``, so a fleet that
+        lost its server together does not retry in lockstep.  A server
+        ``retry_after`` hint (from an ``ERROR overloaded`` shed) floors
+        the first sleep.  ``RetryConfig.connect_deadline`` bounds the
+        whole affair in wall-clock time, sleeps included.
+        """
         retry = self._retry
-        delay = retry.backoff_base
+        loop = asyncio.get_running_loop()
+        deadline = (
+            loop.time() + retry.connect_deadline
+            if retry.connect_deadline is not None
+            else None
+        )
+        hint, self._retry_after_hint = self._retry_after_hint, 0.0
+        if hint > 0:
+            await asyncio.sleep(hint)
         last_exc: Optional[BaseException] = None
         for attempt in range(retry.max_attempts):
             if attempt:
-                await asyncio.sleep(min(delay, retry.backoff_max))
-                delay *= 2
+                cap = min(
+                    retry.backoff_max, retry.backoff_base * 2 ** (attempt - 1)
+                )
+                delay = random.uniform(0, cap) if retry.jitter else cap
+                if deadline is not None:
+                    delay = min(delay, max(0.0, deadline - loop.time()))
+                await asyncio.sleep(delay)
             try:
                 await self._connect_once()
                 return
-            except (ConnectionError, OSError, asyncio.IncompleteReadError) as exc:
+            except (
+                ConnectionError,
+                OSError,
+                FrameError,  # chaos-corrupted handshake: retry, don't die
+                asyncio.IncompleteReadError,
+            ) as exc:
                 last_exc = exc
                 self._teardown_transport()
+            if deadline is not None and loop.time() >= deadline:
+                raise ClientError(
+                    f"connect deadline of {retry.connect_deadline:g}s "
+                    f"exhausted after {attempt + 1} attempts"
+                ) from last_exc
         raise ClientError(
             f"could not connect after {retry.max_attempts} attempts"
         ) from last_exc
@@ -214,20 +296,32 @@ class AsyncClient:
         reader, writer = await self._connector()
         self._reader = reader
         self._writer = writer
-        await self._send_raw(
-            Hello(
+        if self._protocol_version >= 2:
+            hello = Hello(
                 client_id=self.client_id,
                 resume_from=self.last_acked,
                 capabilities={
                     "codecs": list(self._offered_codecs),
                     "resume": True,
                     "batch_push": True,
+                    "heartbeat": True,
                     "max_batch": self._batch_size,
                 },
             )
-        )
+        else:
+            # Faithful v1 peer: no capabilities dict at all.
+            hello = Hello(
+                client_id=self.client_id,
+                version=self._protocol_version,
+                resume_from=self.last_acked,
+            )
+        await self._send_raw(hello)
         welcome = await self._read_welcome(reader)
-        chosen = welcome.capabilities.get("codec")
+        chosen = (
+            welcome.capabilities.get("codec")
+            if self._protocol_version >= 2
+            else None  # a real v1 peer ignores capabilities entirely
+        )
         if chosen:
             try:
                 self._codec = get_codec(str(chosen))
@@ -259,6 +353,19 @@ class AsyncClient:
                 if isinstance(frame, Welcome):
                     return frame
                 if isinstance(frame, ErrorFrame):
+                    if frame.code in _TRANSIENT_ERRORS:
+                        # e.g. chaos corrupted our HELLO in flight and the
+                        # server's CRC caught it: retry the connect, don't
+                        # poison the client.
+                        if frame.retry_after:
+                            self._retry_after_hint = max(
+                                self._retry_after_hint,
+                                float(frame.retry_after),
+                            )
+                        raise ConnectionResetError(
+                            f"transient refusal during handshake: "
+                            f"[{frame.code}] {frame.message}"
+                        )
                     raise ClientError(
                         f"server refused session: [{frame.code}] {frame.message}"
                     )
@@ -496,7 +603,12 @@ class AsyncClient:
                     break
                 for frame in decoder.feed(data):
                     await self._handle_frame(frame)
-        except (ConnectionError, OSError, asyncio.CancelledError, FrameError):
+        except FrameError:
+            # CRC caught wire corruption: framing is lost, so the only
+            # correct move is a clean reconnect — which resends every
+            # unacked observation.  Never a wrongly decoded frame.
+            self.frame_errors += 1
+        except (ConnectionError, OSError, asyncio.CancelledError):
             pass
         finally:
             self._connected = False
@@ -521,8 +633,27 @@ class AsyncClient:
             if self._on_detection is not None:
                 for detection in unpacked:
                     self._on_detection(detection)
+        elif isinstance(frame, Ping):
+            self.heartbeats += 1
+            try:
+                await self._send_raw(Pong(token=frame.token))
+            except (ConnectionError, OSError, RuntimeError):
+                pass
+        elif isinstance(frame, Pong):
+            pass
         elif isinstance(frame, ErrorFrame):
-            self._error = frame
+            if frame.code in _TRANSIENT_ERRORS:
+                # The server is closing this connection but the session
+                # is recoverable: reconnect (honoring any retry_after
+                # hint) instead of poisoning the client.
+                if frame.code == "overloaded":
+                    self.overloads += 1
+                if frame.retry_after:
+                    self._retry_after_hint = max(
+                        self._retry_after_hint, float(frame.retry_after)
+                    )
+            else:
+                self._error = frame
             async with self._cond:
                 self._cond.notify_all()
         elif isinstance(frame, Bye):
@@ -601,6 +732,11 @@ class AsyncClient:
             self._check_usable()
 
         if timeout is None:
+            # Per-operation deadline: an unset caller timeout falls back
+            # to the retry policy's op_timeout, so a hung server cannot
+            # park drain()/flush() forever by default configuration.
+            timeout = self._retry.op_timeout
+        if timeout is None:
             await wait()
         else:
             await asyncio.wait_for(wait(), timeout)
@@ -634,6 +770,8 @@ class Client:
         codec: Optional[str] = None,
     ) -> None:
         self._call_timeout = call_timeout
+        self._closed = False
+        self._stopped = False
         self._loop = asyncio.new_event_loop()
         self._thread = threading.Thread(
             target=self._loop.run_forever, name="repro-serve-client", daemon=True
@@ -659,11 +797,27 @@ class Client:
         future = asyncio.run_coroutine_threadsafe(coro, self._loop)
         return future.result(timeout=self._call_timeout)
 
-    def _stop_loop(self) -> None:
+    def _stop_loop(self) -> bool:
+        """Stop the IO loop and join its thread; True when fully stopped.
+
+        A join that times out used to be silently ignored — ``close()``
+        returned as if done while the daemon thread (and its event
+        loop, sockets, buffers) kept running.  The leak is now logged
+        and reported: the loop is only closed once the thread is
+        actually gone.
+        """
         self._loop.call_soon_threadsafe(self._loop.stop)
         self._thread.join(timeout=5)
+        if self._thread.is_alive():
+            logger.warning(
+                "serve client IO thread %r did not stop within 5s; "
+                "leaking the thread and its event loop",
+                self._thread.name,
+            )
+            return False
         if not self._loop.is_running():
             self._loop.close()
+        return True
 
     # -- public surface -------------------------------------------------------
 
@@ -679,6 +833,16 @@ class Client:
     @property
     def reconnects(self) -> int:
         return self._async.reconnects
+
+    @property
+    def heartbeats(self) -> int:
+        """Server liveness probes answered on this session."""
+        return self._async.heartbeats
+
+    @property
+    def overloads(self) -> int:
+        """``ERROR overloaded`` sheds absorbed (each cost a reconnect)."""
+        return self._async.overloads
 
     @property
     def codec(self) -> str:
@@ -701,11 +865,24 @@ class Client:
         """Snapshot of the detections pushed so far (subscribe=True)."""
         return list(self._async.detections)
 
-    def close(self) -> None:
+    def close(self) -> bool:
+        """Say goodbye and stop the IO thread (idempotent).
+
+        Returns ``True`` when the background thread actually stopped;
+        ``False`` means it leaked (a warning is logged) — the process
+        can still exit, the thread is a daemon, but resources held by
+        the loop were not released.  Closing twice — e.g. an explicit
+        ``close()`` after a ``with`` block — repeats the last verdict
+        instead of raising on the dead event loop.
+        """
+        if self._closed:
+            return self._stopped
+        self._closed = True
         try:
             self._call(self._async.close())
         finally:
-            self._stop_loop()
+            self._stopped = self._stop_loop()
+        return self._stopped
 
     def __enter__(self) -> "Client":
         return self

@@ -1,0 +1,457 @@
+"""Seeded network fault injection for the serving layer.
+
+:mod:`repro.resilience.chaos` perturbs *observation streams*; this
+module perturbs the *network that carries them*.  RFID edge stations
+sit behind flaky links — frames fragment at arbitrary byte boundaries,
+middleboxes stall silently, connections reset mid-write, and the odd
+bit flips in transit.  The serving layer claims exactly-once delivery
+and corruption-proof framing (CRC32 per frame); this module is how
+those claims are *demonstrated* rather than assumed.
+
+Three pieces, all driven by one :class:`NetworkFaultPlan`:
+
+* :class:`ChaosProxy` — an asyncio TCP man-in-the-middle.  Clients
+  connect to the proxy; it pipes bytes to the real server, applying the
+  plan independently per direction.  ``retarget()`` repoints the
+  upstream, so a drill can kill a server, recover it on a new port and
+  keep every client aimed at the same address.
+* :class:`FaultyTransport` — a loopback-compatible wrapper around one
+  ``(reader, writer)`` endpoint (sockets or
+  :func:`repro.serve.loopback.loopback_pair`): faults are applied on
+  the write side, so a test can chaos a single client without a proxy
+  or a port.
+* :class:`FaultSchedule` — the per-direction decision stream.  Each
+  direction derives its own ``random.Random(f"{seed}:{label}")`` (string
+  seeding hashes with SHA-512, so the schedule is identical across
+  processes and ``PYTHONHASHSEED`` values).  Given the same sequence of
+  chunk lengths, the same seed yields the same fault schedule — the
+  contract that makes a failing chaos run reproducible from its logged
+  seed.
+
+Faults injected per transport chunk, in fixed decision order:
+
+* **byte corruption** — one XOR'd byte; the CRC32 framing must catch
+  it (the peer drops the connection, never decodes a wrong frame);
+* **mid-write reset** — the chunk is truncated at a random byte and the
+  connection torn down, exercising resend-after-reconnect;
+* **fragmentation** — the chunk is split at random byte boundaries
+  (down to single bytes), exercising the incremental
+  :class:`~repro.serve.protocol.FrameDecoder`;
+* **stalls, latency/jitter, bandwidth** — delays before the chunk is
+  forwarded: a silent black-hole pause, a base + jittered per-chunk
+  latency, and a bytes/second throttle.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+__all__ = [
+    "NetworkFaultPlan",
+    "FaultSchedule",
+    "FaultStats",
+    "ChaosProxy",
+    "FaultyTransport",
+    "FaultyWriter",
+]
+
+
+@dataclass
+class FaultStats:
+    """What a plan actually did (aggregated across directions)."""
+
+    chunks: int = 0
+    bytes_forwarded: int = 0
+    fragments: int = 0
+    corruptions: int = 0
+    resets: int = 0
+    stalls: int = 0
+    delay_seconds: float = 0.0
+
+    def as_dict(self) -> dict:
+        return dict(self.__dict__)
+
+    @property
+    def faults_fired(self) -> int:
+        return self.fragments + self.corruptions + self.resets + self.stalls
+
+
+@dataclass(frozen=True)
+class NetworkFaultPlan:
+    """One seeded recipe for how a link misbehaves.
+
+    Rates are per transport chunk.  A zeroed plan (the default) forwards
+    bytes verbatim; :meth:`schedule` derives the deterministic
+    per-direction decision stream.
+    """
+
+    seed: int = 0
+    #: Base delay added before each chunk is forwarded (seconds).
+    latency: float = 0.0
+    #: Uniform random extra delay on top of ``latency`` (seconds).
+    jitter: float = 0.0
+    #: Bytes/second throttle (None = unthrottled).
+    bandwidth: Optional[float] = None
+    #: Probability a chunk is split at random byte boundaries.
+    fragment_rate: float = 0.0
+    #: Upper bound on the number of splits per fragmented chunk.
+    fragment_cuts: int = 8
+    #: Probability of a silent stall before a chunk.
+    stall_rate: float = 0.0
+    #: Stall length (seconds).
+    stall_seconds: float = 0.05
+    #: Probability the connection resets mid-chunk.
+    reset_rate: float = 0.0
+    #: Probability one byte of the chunk is XOR-corrupted.
+    corrupt_rate: float = 0.0
+
+    def schedule(
+        self, label: str, stats: Optional[FaultStats] = None
+    ) -> "FaultSchedule":
+        """The decision stream for one direction, named by ``label``."""
+        return FaultSchedule(self, label, stats=stats)
+
+    def describe(self) -> dict:
+        """JSON-safe view for drill reports."""
+        return {
+            "seed": self.seed,
+            "latency": self.latency,
+            "jitter": self.jitter,
+            "bandwidth": self.bandwidth,
+            "fragment_rate": self.fragment_rate,
+            "fragment_cuts": self.fragment_cuts,
+            "stall_rate": self.stall_rate,
+            "stall_seconds": self.stall_seconds,
+            "reset_rate": self.reset_rate,
+            "corrupt_rate": self.corrupt_rate,
+        }
+
+    def reseeded(self, seed: int) -> "NetworkFaultPlan":
+        """The same fault mix under a different seed."""
+        return replace(self, seed=seed)
+
+
+@dataclass
+class ChunkPlan:
+    """What to do with one transport chunk.
+
+    ``segments`` are written in order (possibly corrupted/truncated
+    already); ``delay`` is slept before the first write; ``reset`` means
+    the connection is torn down after the segments — mid-chunk, since a
+    reset truncates the data first.
+    """
+
+    segments: list = field(default_factory=list)
+    delay: float = 0.0
+    reset: bool = False
+
+
+class FaultSchedule:
+    """Deterministic per-direction fault decisions.
+
+    One instance per pipe direction; decisions are drawn in a fixed
+    order per chunk from a private RNG, so the same ``(seed, label)``
+    over the same chunk sizes replays the same schedule exactly.
+    """
+
+    __slots__ = ("plan", "label", "stats", "_rng")
+
+    def __init__(
+        self,
+        plan: NetworkFaultPlan,
+        label: str,
+        *,
+        stats: Optional[FaultStats] = None,
+    ) -> None:
+        self.plan = plan
+        self.label = label
+        self.stats = stats if stats is not None else FaultStats()
+        # String seeding goes through SHA-512 (random.seed version 2):
+        # stable across processes and PYTHONHASHSEED, unlike hash().
+        self._rng = random.Random(f"{plan.seed}:{label}")
+
+    def plan_chunk(self, data: bytes) -> ChunkPlan:
+        """Decide the fate of one chunk; mutates only the RNG and stats."""
+        plan = self.plan
+        rng = self._rng
+        stats = self.stats
+        stats.chunks += 1
+        out = ChunkPlan()
+        if not data:
+            return out
+        # Fixed decision order — corrupt, reset, fragment, stall — so a
+        # schedule is a pure function of (seed, label, chunk sizes).
+        if plan.corrupt_rate and rng.random() < plan.corrupt_rate:
+            position = rng.randrange(len(data))
+            flip = rng.randint(1, 255)
+            corrupted = bytearray(data)
+            corrupted[position] ^= flip
+            data = bytes(corrupted)
+            stats.corruptions += 1
+        if plan.reset_rate and rng.random() < plan.reset_rate:
+            cut = rng.randrange(len(data) + 1)
+            data = data[:cut]
+            out.reset = True
+            stats.resets += 1
+        if (
+            plan.fragment_rate
+            and len(data) > 1
+            and rng.random() < plan.fragment_rate
+        ):
+            cuts = rng.randint(1, max(1, min(plan.fragment_cuts, len(data) - 1)))
+            points = sorted(rng.sample(range(1, len(data)), cuts))
+            start = 0
+            for point in points:
+                out.segments.append(data[start:point])
+                start = point
+            out.segments.append(data[start:])
+            stats.fragments += len(points)
+        elif data:
+            out.segments.append(data)
+        delay = plan.latency
+        if plan.jitter:
+            delay += rng.random() * plan.jitter
+        if plan.bandwidth:
+            delay += len(data) / plan.bandwidth
+        if plan.stall_rate and rng.random() < plan.stall_rate:
+            delay += plan.stall_seconds
+            stats.stalls += 1
+        out.delay = delay
+        stats.delay_seconds += delay
+        stats.bytes_forwarded += len(data)
+        return out
+
+
+class FaultyWriter:
+    """A transport writer that runs its bytes through a fault schedule.
+
+    Duck-types the asyncio ``StreamWriter`` surface the serving layer
+    uses (``write``/``drain``/``close``/``is_closing``/``wait_closed``/
+    ``get_extra_info``), so it drops in wherever a
+    :class:`~repro.serve.loopback.LoopbackWriter` or socket writer
+    does.  Delays accumulate in ``write`` and are slept in ``drain`` —
+    write itself stays synchronous, like the real thing.
+    """
+
+    def __init__(self, writer, schedule: FaultSchedule) -> None:
+        self._writer = writer
+        self._schedule = schedule
+        self._pending_delay = 0.0
+        self._broken = False
+
+    def write(self, data: bytes) -> None:
+        if self._broken:
+            raise ConnectionResetError("chaos: connection was reset")
+        plan = self._schedule.plan_chunk(bytes(data))
+        self._pending_delay += plan.delay
+        for segment in plan.segments:
+            if segment:
+                self._writer.write(segment)
+        if plan.reset:
+            self._broken = True
+            try:
+                self._writer.close()
+            except Exception:
+                pass
+            raise ConnectionResetError("chaos: injected mid-write reset")
+
+    async def drain(self) -> None:
+        if self._broken:
+            raise ConnectionResetError("chaos: connection was reset")
+        delay, self._pending_delay = self._pending_delay, 0.0
+        if delay:
+            await asyncio.sleep(delay)
+        await self._writer.drain()
+
+    def close(self) -> None:
+        try:
+            self._writer.close()
+        except Exception:
+            pass
+
+    def is_closing(self) -> bool:
+        return self._broken or self._writer.is_closing()
+
+    async def wait_closed(self) -> None:
+        await self._writer.wait_closed()
+
+    def get_extra_info(self, name: str, default=None):
+        return self._writer.get_extra_info(name, default)
+
+
+class FaultyTransport:
+    """One endpoint with chaos on its outbound half.
+
+    Wraps a connected ``(reader, writer)`` pair — loopback or socket —
+    leaving reads untouched and routing writes through ``schedule`` (to
+    fault both directions of a loopback pair, wrap both endpoints).
+    Unpacks like the pair it wraps::
+
+        reader, writer = FaultyTransport(*endpoint, plan.schedule("client"))
+    """
+
+    def __init__(self, reader, writer, schedule: FaultSchedule) -> None:
+        self.reader = reader
+        self.writer = FaultyWriter(writer, schedule)
+        self.schedule = schedule
+
+    def __iter__(self):
+        return iter((self.reader, self.writer))
+
+
+class ChaosProxy:
+    """Asyncio TCP man-in-the-middle applying a :class:`NetworkFaultPlan`.
+
+    Listens on its own port; every accepted connection is piped to the
+    current upstream target with the plan applied independently per
+    direction (``up:N`` client→server, ``down:N`` server→client, where
+    ``N`` is the accept index — so with a deterministic client connect
+    order the whole run's fault schedule is a function of the seed).
+
+    A reset decision tears down *both* halves of that connection — the
+    client sees a dropped connection, the server sees its session die —
+    and an upstream that refuses connections (a killed server) closes
+    the client side immediately, so client backoff logic gets the same
+    signal a real outage gives.
+    """
+
+    def __init__(
+        self,
+        plan: NetworkFaultPlan,
+        target_host: str = "127.0.0.1",
+        target_port: int = 0,
+        *,
+        host: str = "127.0.0.1",
+    ) -> None:
+        self.plan = plan
+        self.host = host
+        self._target = (target_host, target_port)
+        self.stats = FaultStats()
+        self.connections_accepted = 0
+        self.connections_refused = 0
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._tasks: set = set()
+        self._writers: set = set()
+
+    async def start(self, port: int = 0) -> int:
+        """Listen (0 = ephemeral); returns the bound proxy port."""
+        self._server = await asyncio.start_server(self._accept, self.host, port)
+        return self._server.sockets[0].getsockname()[1]
+
+    def retarget(
+        self, host: Optional[str] = None, port: Optional[int] = None
+    ) -> None:
+        """Repoint upstream — e.g. at a recovered server's new port.
+
+        Existing pipes keep their old upstream until they die; new
+        connections go to the new target.
+        """
+        self._target = (
+            host if host is not None else self._target[0],
+            port if port is not None else self._target[1],
+        )
+
+    async def close(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for writer in list(self._writers):
+            try:
+                writer.close()
+            except Exception:
+                pass
+        # Closed sockets end the pumps with EOF; only cancel whatever
+        # survives the grace period (cancelling an asyncio-streams
+        # accept task mid-read logs a spurious CancelledError).
+        tasks = [task for task in self._tasks if not task.done()]
+        if tasks:
+            await asyncio.wait(tasks, timeout=1.0)
+        for task in tasks:
+            if not task.done():
+                task.cancel()
+        for task in tasks:
+            try:
+                await task
+            except (asyncio.CancelledError, Exception):
+                pass
+
+    async def _accept(self, client_reader, client_writer) -> None:
+        index = self.connections_accepted
+        self.connections_accepted += 1
+        try:
+            upstream_reader, upstream_writer = await asyncio.open_connection(
+                *self._target
+            )
+        except OSError:
+            # Upstream down (e.g. killed mid-drill): hang up so the
+            # client's reconnect backoff takes over.
+            self.connections_refused += 1
+            try:
+                client_writer.close()
+            except Exception:
+                pass
+            return
+        self._writers.update((client_writer, upstream_writer))
+        up = self.plan.schedule(f"up:{index}", stats=self.stats)
+        down = self.plan.schedule(f"down:{index}", stats=self.stats)
+        task = asyncio.current_task()
+        if task is not None:
+            self._tasks.add(task)
+        pumps = [
+            asyncio.ensure_future(
+                self._pump(client_reader, upstream_writer, client_writer, up)
+            ),
+            asyncio.ensure_future(
+                self._pump(upstream_reader, client_writer, upstream_writer, down)
+            ),
+        ]
+        self._tasks.update(pumps)
+        try:
+            await asyncio.gather(*pumps, return_exceptions=True)
+        finally:
+            for pump in pumps:
+                pump.cancel()
+                self._tasks.discard(pump)
+            if task is not None:
+                self._tasks.discard(task)
+            for writer in (client_writer, upstream_writer):
+                self._writers.discard(writer)
+                try:
+                    writer.close()
+                except Exception:
+                    pass
+
+    async def _pump(self, reader, writer, peer_writer, schedule) -> None:
+        """Forward one direction until EOF, error or an injected reset."""
+        try:
+            while True:
+                data = await reader.read(65536)
+                if not data:
+                    break
+                plan = schedule.plan_chunk(data)
+                if plan.delay:
+                    await asyncio.sleep(plan.delay)
+                for segment in plan.segments:
+                    if segment:
+                        writer.write(segment)
+                        await writer.drain()
+                if plan.reset:
+                    # Tear down both halves: to the client this is a
+                    # dropped connection, to the server a dead peer.
+                    for half in (writer, peer_writer):
+                        try:
+                            half.close()
+                        except Exception:
+                            pass
+                    return
+        except (ConnectionError, OSError, asyncio.CancelledError):
+            pass
+        finally:
+            try:
+                writer.close()
+            except Exception:
+                pass

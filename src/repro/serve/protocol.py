@@ -33,6 +33,9 @@ frame          type  meaning
 ``BBATCH``     0x0B  a BATCH packed by the ``binary`` codec (protocol ≥ 2)
 ``DETBATCH``   0x0C  (server) several DETECTION payloads in one frame,
                      sent only to peers with the ``batch_push`` capability
+``PING``       0x0D  liveness probe (either side); sent by the server only
+                     to peers that advertised the ``heartbeat`` capability
+``PONG``       0x0E  answer to a PING, echoing its token
 =============  ====  ======================================================
 
 Wire codecs (protocol version 2)
@@ -106,6 +109,8 @@ __all__ = [
     "DetectionBatch",
     "ErrorFrame",
     "Bye",
+    "Ping",
+    "Pong",
     "encode_frame",
     "encode_frame_into",
     "decode_frame",
@@ -623,19 +628,34 @@ class DetectionBatch(Frame):
 
 @dataclass(frozen=True)
 class ErrorFrame(Frame):
-    """Protocol or processing failure; the server closes after sending it."""
+    """Protocol or processing failure; the server closes after sending it.
+
+    ``retry_after`` (optional, seconds) rides on *transient* errors —
+    today ``overloaded``, when the submit queue saturated and the server
+    shed this session — telling the client's backoff when a reconnect is
+    worth attempting.  The key is omitted from the payload when unset,
+    so v1 peers see the exact frames they always did.
+    """
 
     TYPE = 0x09
 
     code: str
     message: str
+    retry_after: Optional[float] = None
 
     def to_payload(self) -> dict:
-        return {"code": self.code, "message": self.message}
+        payload = {"code": self.code, "message": self.message}
+        if self.retry_after is not None:
+            payload["retry_after"] = self.retry_after
+        return payload
 
     @classmethod
     def from_payload(cls, payload: dict) -> "ErrorFrame":
-        return cls(code=payload["code"], message=payload["message"])
+        return cls(
+            code=payload["code"],
+            message=payload["message"],
+            retry_after=payload.get("retry_after"),
+        )
 
 
 @dataclass(frozen=True)
@@ -650,6 +670,44 @@ class Bye(Frame):
     @classmethod
     def from_payload(cls, payload: dict) -> "Bye":
         return cls()
+
+
+@dataclass(frozen=True)
+class Ping(Frame):
+    """Liveness probe; the peer answers with a :class:`Pong` echoing
+    ``token``.
+
+    Capability-gated: the server sends PING only to sessions whose HELLO
+    advertised ``"heartbeat": true``, so v1 peers (and v2 peers that
+    stayed silent) never see a frame type they cannot parse.
+    """
+
+    TYPE = 0x0D
+
+    token: int = 0
+
+    def to_payload(self) -> dict:
+        return {"token": self.token}
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "Ping":
+        return cls(token=payload.get("token", 0))
+
+
+@dataclass(frozen=True)
+class Pong(Frame):
+    """Answer to a :class:`Ping`; carries the probe's token back."""
+
+    TYPE = 0x0E
+
+    token: int = 0
+
+    def to_payload(self) -> dict:
+        return {"token": self.token}
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "Pong":
+        return cls(token=payload.get("token", 0))
 
 
 _FRAME_TYPES: dict[int, type] = {
@@ -667,6 +725,8 @@ _FRAME_TYPES: dict[int, type] = {
         DetectionBatch,
         ErrorFrame,
         Bye,
+        Ping,
+        Pong,
     )
 }
 

@@ -79,6 +79,8 @@ from .protocol import (
     FrameDecoder,
     FrameError,
     Hello,
+    Ping,
+    Pong,
     Submit,
     Subscribe,
     Welcome,
@@ -145,6 +147,25 @@ class ServeConfig:
     #: Advertised per-batch observation cap (``capabilities.max_batch``);
     #: cooperating v2 clients chunk their batches to it.
     max_batch: int = 8192
+    #: Seconds of session inactivity before the server probes a
+    #: heartbeat-capable peer with PING (0 disables).  Only sessions
+    #: whose HELLO advertised ``"heartbeat": true`` are ever probed —
+    #: v1 JSON peers never see a frame they cannot parse.
+    heartbeat_interval: float = 0.0
+    #: Seconds of inactivity (no frames, no PONG) after which a session
+    #: is reaped: ``ERROR idle`` then disconnect (0 disables).  A live
+    #: but quiet heartbeat peer answers PINGs, which counts as
+    #: activity; a dead peer answers nothing and is collected here.
+    #: With v1 fleets set this above the longest legitimate quiet
+    #: period (v1 peers cannot be probed, only observed).
+    idle_deadline: float = 0.0
+    #: Overload shedding: when the submit queue is full, how long a
+    #: reader waits for space before the session is shed with
+    #: ``ERROR overloaded``.  ``None`` (default) disables shedding —
+    #: readers block indefinitely, which is plain TCP backpressure.
+    overload_grace: Optional[float] = None
+    #: ``retry_after`` hint (seconds) carried on ``ERROR overloaded``.
+    retry_after: float = 1.0
 
     def codec_preference(self) -> tuple:
         if self.codecs is not None:
@@ -176,6 +197,12 @@ class ServeStats:
     errors_sent: int = 0
     sessions_superseded: int = 0
     client_records_evicted: int = 0
+    pings_sent: int = 0
+    pongs_received: int = 0
+    sessions_reaped: int = 0
+    overloads_shed: int = 0
+    subscribers_shed: int = 0
+    reconnects: int = 0
 
     @property
     def sessions_active(self) -> int:
@@ -215,6 +242,12 @@ class _Session:
         #: Whether the peer understands DetectionBatch push frames
         #: (HELLO capability ``batch_push``); v1 peers never set it.
         self.batch_push = False
+        #: Whether the peer answers PING (HELLO capability
+        #: ``heartbeat``); gates whether the liveness loop probes it.
+        self.heartbeat = False
+        #: ``loop.time()`` of the last inbound data; the liveness loop
+        #: measures idleness against this.
+        self.last_activity = 0.0
         self.subscribed = False
         self.rule_filter: Optional[frozenset] = None
         self.alive = True
@@ -300,6 +333,8 @@ class CepServer:
         self._clients: dict[str, _ClientRecord] = {}
         self._sessions: set[_Session] = set()
         self._writer_task: Optional[asyncio.Task] = None
+        self._liveness_task: Optional[asyncio.Task] = None
+        self._ping_token = 0
         self._tcp_server: Optional[asyncio.AbstractServer] = None
         self._connection_tasks: set[asyncio.Task] = set()
         self._sender_tasks: set[asyncio.Task] = set()
@@ -315,6 +350,10 @@ class CepServer:
             raise ServeError("server is closed")
         if self._writer_task is None:
             self._writer_task = asyncio.ensure_future(self._writer_loop())
+        if self._liveness_task is None and (
+            self.config.heartbeat_interval > 0 or self.config.idle_deadline > 0
+        ):
+            self._liveness_task = asyncio.ensure_future(self._liveness_loop())
 
     async def close(self) -> None:
         """Stop accepting, close every session, stop the writer."""
@@ -324,6 +363,13 @@ class CepServer:
         if self._tcp_server is not None:
             self._tcp_server.close()
             await self._tcp_server.wait_closed()
+        if self._liveness_task is not None:
+            self._liveness_task.cancel()
+            try:
+                await self._liveness_task
+            except asyncio.CancelledError:
+                pass
+            self._liveness_task = None
         for session in list(self._sessions):
             self._disconnect(session)
         if self._writer_task is not None:
@@ -338,6 +384,56 @@ class CepServer:
         for task in list(self._sender_tasks):
             task.cancel()
         for task in list(self._connection_tasks):
+            try:
+                await task
+            except (asyncio.CancelledError, Exception):
+                pass
+
+    async def abort(self) -> None:
+        """Hard stop: the in-process analogue of ``kill -9``, for drills.
+
+        Unlike :meth:`close`, the submit queue is *not* drained — items
+        read off the wire but not yet applied vanish exactly as they
+        would in a crash (clients keep them in their unacked buffers and
+        resend after reconnecting), sessions are dropped without a BYE,
+        and a durable backend is left un-closed so the drill can hand
+        its directory to ``DurableEngine.recover``.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        if self._tcp_server is not None:
+            self._tcp_server.close()
+            await self._tcp_server.wait_closed()
+            self._tcp_server = None
+        for task in (self._liveness_task, self._writer_task):
+            if task is not None:
+                task.cancel()
+                try:
+                    await task
+                except asyncio.CancelledError:
+                    pass
+        self._liveness_task = None
+        self._writer_task = None
+        for session in list(self._sessions):
+            session.alive = False
+            self._sessions.discard(session)
+            session.outbound.put_nowait("close")
+            try:
+                session.writer.close()
+            except Exception:
+                pass
+        # Closed transports wake the reader/sender tasks with EOF; give
+        # them a beat to exit on their own before cancelling stragglers
+        # (cancelling an asyncio-streams accept task mid-read makes the
+        # event loop log a spurious CancelledError).
+        pending = list(self._connection_tasks) + list(self._sender_tasks)
+        if pending:
+            await asyncio.wait(pending, timeout=1.0)
+        for task in pending:
+            if not task.done():
+                task.cancel()
+        for task in pending:
             try:
                 await task
             except (asyncio.CancelledError, Exception):
@@ -395,6 +491,7 @@ class CepServer:
         await self.start()
         self._session_counter += 1
         session = _Session(f"s{self._session_counter}", reader, writer)
+        session.last_activity = asyncio.get_running_loop().time()
         self._sessions.add(session)
         self.stats.sessions_opened += 1
         if self._instr is not None:
@@ -415,12 +512,14 @@ class CepServer:
     async def _reader_loop(self, session: _Session) -> None:
         decoder = FrameDecoder()
         reader = session.reader
+        loop = asyncio.get_running_loop()
         greeted = False
         try:
             while session.alive:
                 data = await reader.read(self.config.read_chunk)
                 if not data:
                     return
+                session.last_activity = loop.time()
                 self.stats.bytes_in += len(data)
                 if self._instr is not None:
                     self._instr.bytes_in.inc(len(data))
@@ -458,6 +557,7 @@ class CepServer:
             )
             return False
         record = self._clients.get(hello.client_id)
+        known = record is not None
         if record is None:
             record = _ClientRecord(hello.client_id)
             if self._durable:
@@ -469,7 +569,14 @@ class CepServer:
                 record.last_acked = self.backend.client_frontiers.get(
                     hello.client_id, -1
                 )
+                known = record.last_acked >= 0
             self._clients[hello.client_id] = record
+        if known or hello.resume_from >= 0:
+            # A client id the server (or its WAL) has seen before, or one
+            # claiming a prior ack frontier: this HELLO is a reconnect.
+            self.stats.reconnects += 1
+            if self._instr is not None:
+                self._instr.reconnects.inc()
         stale = record.active_session
         if stale is not None:
             # Newest wins: the previous session is usually a peer that
@@ -492,6 +599,11 @@ class CepServer:
         codecs = self.config.codec_preference()
         session.codec = negotiate_codec(hello, codecs)
         session.batch_push = bool(hello.capabilities.get("batch_push"))
+        # PING is capability-gated: only a peer that said it answers
+        # heartbeats is ever probed (v1 peers never advertise it).
+        session.heartbeat = hello.version >= 2 and bool(
+            hello.capabilities.get("heartbeat")
+        )
         self._prune_client_records()
         self._send_control(
             session,
@@ -504,6 +616,7 @@ class CepServer:
                     "resume": True,
                     "batch_push": True,
                     "max_batch": self.config.max_batch,
+                    "heartbeat": self.config.heartbeat_interval,
                 },
             ),
         )
@@ -535,17 +648,25 @@ class CepServer:
     async def _handle_frame(self, session: _Session, frame: Frame) -> bool:
         """Dispatch one post-handshake frame; False ends the session."""
         if isinstance(frame, Submit):
-            await self._queue.put(
-                _SubmitItem(session, frame.seq, [frame.observation])
+            return await self._enqueue(
+                session, _SubmitItem(session, frame.seq, [frame.observation])
             )
-            return True
         if isinstance(frame, Batch):
-            await self._queue.put(
-                _SubmitItem(session, frame.seq, list(frame.observations))
+            return await self._enqueue(
+                session, _SubmitItem(session, frame.seq, list(frame.observations))
             )
-            return True
         if isinstance(frame, Flush):
-            await self._queue.put(_SubmitItem(session, frame.seq, flush=True))
+            return await self._enqueue(
+                session, _SubmitItem(session, frame.seq, flush=True)
+            )
+        if isinstance(frame, Ping):
+            # Either side may probe; answer regardless of capability.
+            self._send_control(session, Pong(token=frame.token))
+            return True
+        if isinstance(frame, Pong):
+            self.stats.pongs_received += 1
+            if self._instr is not None:
+                self._instr.pongs.inc()
             return True
         if isinstance(frame, Subscribe):
             session.subscribed = True
@@ -559,6 +680,118 @@ class CepServer:
             session, "protocol", f"unexpected {type(frame).__name__} frame"
         )
         return False
+
+    async def _enqueue(self, session: _Session, item: "_SubmitItem") -> bool:
+        """Put one item on the submit queue, shedding load if configured.
+
+        With ``overload_grace`` unset this is a plain blocking put — the
+        reader stops reading its transport, which is TCP backpressure.
+        With a grace period, saturation shed order is: first the
+        deepest-buffered *subscriber* (push fan-out is the usual reason
+        the writer cannot keep up), then — if the queue still has no
+        room within the grace — the submitting session itself, with an
+        explicit ``ERROR overloaded`` carrying ``retry_after`` so its
+        backoff knows when to come back.
+        """
+        grace = self.config.overload_grace
+        if grace is None:
+            await self._queue.put(item)
+            return True
+        try:
+            self._queue.put_nowait(item)
+            return True
+        except asyncio.QueueFull:
+            pass
+        self._shed_slowest_subscriber(session)
+        try:
+            await asyncio.wait_for(self._queue.put(item), grace)
+            return True
+        except asyncio.TimeoutError:
+            self.stats.overloads_shed += 1
+            if self._instr is not None:
+                self._instr.overloads.inc()
+            self._send_error(
+                session,
+                "overloaded",
+                f"submit queue full; retry after {self.config.retry_after}s",
+                retry_after=self.config.retry_after,
+            )
+            self._disconnect(session)
+            return False
+
+    def _shed_slowest_subscriber(self, submitter: _Session) -> None:
+        """Drop the subscriber with the deepest push backlog (not the
+        submitter): under overload, ingestion outranks fan-out."""
+        victim = None
+        for candidate in self._sessions:
+            if (
+                candidate.alive
+                and candidate.subscribed
+                and candidate is not submitter
+            ):
+                if victim is None or len(candidate.push_buffer) > len(
+                    victim.push_buffer
+                ):
+                    victim = candidate
+        if victim is None:
+            return
+        self.stats.subscribers_shed += 1
+        self._send_error(
+            victim,
+            "overloaded",
+            "server shedding subscribers under load",
+            retry_after=self.config.retry_after,
+        )
+        self._disconnect(victim)
+
+    # -- liveness ------------------------------------------------------------
+
+    async def _liveness_loop(self) -> None:
+        """Probe idle heartbeat peers; reap sessions past the deadline."""
+        interval = self.config.heartbeat_interval
+        deadline = self.config.idle_deadline
+        periods = [p for p in (interval, deadline) if p > 0]
+        tick = max(0.01, min(periods) / 2)
+        loop = asyncio.get_running_loop()
+        while True:
+            await asyncio.sleep(tick)
+            now = loop.time()
+            for session in list(self._sessions):
+                # Pre-handshake sessions (record is None) are still
+                # reaped: a peer whose HELLO was lost to corruption
+                # would otherwise hold its connection open forever.
+                if not session.alive:
+                    continue
+                idle = now - session.last_activity
+                if deadline > 0 and idle > deadline:
+                    self.stats.sessions_reaped += 1
+                    if self._instr is not None:
+                        self._instr.reaped.inc()
+                    self._send_error(
+                        session,
+                        "idle",
+                        f"no activity for {idle:.1f}s "
+                        f"(deadline {deadline:g}s); reaping session",
+                    )
+                    self._disconnect(session)
+                    # Give the sender a beat to flush the ERROR to a
+                    # live-but-quiet peer, then force-close: a dead
+                    # peer never drains or hangs up, and without the
+                    # close its blocked reader task would leak.
+                    def _force_close(target=session):
+                        try:
+                            target.writer.close()
+                        except Exception:
+                            pass
+
+                    loop.call_later(1.0, _force_close)
+                    continue
+                if interval > 0 and session.heartbeat and idle >= interval:
+                    self._ping_token += 1
+                    self._send_control(session, Ping(token=self._ping_token))
+                    self.stats.pings_sent += 1
+                    if self._instr is not None:
+                        self._instr.pings.inc()
 
     # -- the single writer --------------------------------------------------
 
@@ -742,9 +975,18 @@ class CepServer:
         if session.alive:
             session.outbound.put_nowait(frame)
 
-    def _send_error(self, session: _Session, code: str, message: str) -> None:
+    def _send_error(
+        self,
+        session: _Session,
+        code: str,
+        message: str,
+        retry_after: Optional[float] = None,
+    ) -> None:
         self.stats.errors_sent += 1
-        self._send_control(session, ErrorFrame(code=code, message=message))
+        self._send_control(
+            session,
+            ErrorFrame(code=code, message=message, retry_after=retry_after),
+        )
 
     # -- per-session sender --------------------------------------------------
 

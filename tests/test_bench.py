@@ -166,6 +166,7 @@ class TestServeBench:
             ("tcp", "json"),
             ("loopback", "binary"),
             ("tcp", "binary"),
+            ("loopback", "binary+hb"),
         ]
         direct = results[0]
         assert direct.detections > 0
@@ -188,6 +189,7 @@ class TestServeBench:
             ("direct", "-"),
             ("loopback", "binary"),
             ("tcp", "binary"),
+            ("loopback", "binary+hb"),
         ]
         # A generous bound always passes; an impossible one always fails.
         assert check_overhead(results, 1e9) is None
@@ -222,6 +224,7 @@ class TestServeBench:
             ("tcp", "json"),
             ("loopback", "binary"),
             ("tcp", "binary"),
+            ("loopback", "binary+hb"),
         ]
 
     def test_serve_cli_overhead_gate_exit_code(self, tmp_path, capsys, monkeypatch):

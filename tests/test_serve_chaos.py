@@ -1,0 +1,52 @@
+"""The bounded chaos soak: the serving layer's headline robustness claim.
+
+Marked ``chaos`` (excluded from the default tier-1 run; CI runs it as
+its own step).  One seeded drill streams a packing workload through a
+real TCP :class:`~repro.serve.ChaosProxy` — fragmentation, corruption,
+resets, stalls — into a durable server from concurrent v1 and v2
+clients, kills the server mid-stream and recovers it, then asserts
+exactly-once observations, baseline-identical detections and agreeing
+frontiers.  A failure message carries the full report; the seed inside
+reproduces the run via ``python -m repro chaos serve --seed N``.
+"""
+
+import json
+
+import pytest
+
+from repro.serve.drill import default_fault_plan, run_chaos_serve_drill
+
+pytestmark = pytest.mark.chaos
+
+
+def test_chaos_serve_drill_seed7():
+    report = run_chaos_serve_drill(seed=7, cases=20)
+    assert report["ok"], json.dumps(report, indent=2, sort_keys=True)
+    # Every fault class must actually have fired — a drill that
+    # happened to see a clean network proves nothing.
+    faults = report["faults"]
+    assert faults["fragments"] > 0
+    assert faults["corruptions"] > 0
+    assert faults["resets"] > 0
+    # The v2 client was probed; the v1 client never was.
+    assert report["checks"]["v2_heartbeats"]["ok"]
+    assert report["checks"]["v1_never_pinged"]["ok"]
+
+
+def test_chaos_serve_drill_other_seed():
+    # A second seed guards against the first one being a lucky
+    # schedule; determinism itself is asserted inside the drill
+    # (same-seed plans replay identically — tests/test_serve_faults.py).
+    report = run_chaos_serve_drill(seed=3, cases=20)
+    assert report["ok"], json.dumps(report, indent=2, sort_keys=True)
+
+
+def test_drill_report_shape():
+    report = run_chaos_serve_drill(seed=5, cases=8)
+    assert report["ok"], json.dumps(report, indent=2, sort_keys=True)
+    assert report["seed"] == 5
+    assert report["plan"] == default_fault_plan(5).describe()
+    for key in ("checks", "faults", "proxy", "clients", "server", "recovery"):
+        assert key in report, key
+    # The report must be artifact-ready: plain JSON all the way down.
+    json.dumps(report)

@@ -1,6 +1,7 @@
 """Wire-protocol tests: frame round-trips, corruption, incremental decode."""
 
 import json
+import random
 import struct
 
 import pytest
@@ -19,11 +20,14 @@ from repro.serve import (
     FrameDecoder,
     FrameError,
     Hello,
+    Ping,
+    Pong,
     Submit,
     Subscribe,
     Welcome,
     decode_frame,
     encode_frame,
+    get_codec,
 )
 from repro.serve.protocol import (
     decode_observation_payload,
@@ -43,6 +47,9 @@ ALL_FRAMES = [
     Subscribe(rules=None),
     DetectionFrame(rule="r1", time=20.0, bindings={"o1": "x"}, seq=5, ordinal=2),
     ErrorFrame(code="sequence", message="got 7, expected 3"),
+    ErrorFrame(code="overloaded", message="queue full", retry_after=2.5),
+    Ping(token=17),
+    Pong(token=17),
     Bye(),
 ]
 
@@ -197,3 +204,128 @@ class TestFrameDecoder:
         for start in range(0, len(blob), chunk):
             out.extend(decoder.feed(blob[start : start + chunk]))
         assert out == ALL_FRAMES
+
+
+class TestRetryAfterCompat:
+    def test_absent_retry_after_stays_absent_on_the_wire(self):
+        # v1 peers parse the ERROR payload as a closed two-key dict;
+        # the hint must not appear at all when unset.
+        frame = ErrorFrame(code="frame", message="bad crc")
+        payload = json.loads(encode_frame(frame)[5:-4].decode())
+        assert "retry_after" not in payload
+        decoded, _ = decode_frame(encode_frame(frame))
+        assert decoded.retry_after is None
+
+    def test_retry_after_round_trips(self):
+        frame = ErrorFrame(code="overloaded", message="busy", retry_after=0.25)
+        decoded, _ = decode_frame(encode_frame(frame))
+        assert decoded.retry_after == 0.25
+
+
+def _ingest_stream(codec_name, observations, batch=5):
+    """A realistic client byte stream: HELLO, batches, FLUSH, BYE."""
+    codec = get_codec(codec_name)
+    blob = bytearray(encode_frame(Hello(client_id="frag", resume_from=-1)))
+    seq = 0
+    for start in range(0, len(observations), batch):
+        chunk = observations[start : start + batch]
+        blob += codec.encode_batch(seq, chunk)
+        seq += len(chunk)
+    blob += encode_frame(Flush(seq=seq))
+    blob += encode_frame(Bye())
+    return bytes(blob)
+
+
+def _decoded_observations(frames):
+    out = []
+    for frame in frames:
+        if isinstance(frame, Submit):
+            out.append(frame.observation)
+        elif isinstance(frame, Batch):
+            out.extend(frame.observations)
+    return out
+
+
+_FRAG_OBSERVATIONS = [
+    Observation(f"reader-{i % 3}", f"urn:epc:item:{i}", float(i)) for i in range(23)
+] + [
+    # One batch the binary codec cannot pack — exercises the JSON
+    # fallback frame inside a negotiated-binary stream.
+    Observation("reader-x", "urn:epc:item:x", 99.0, {"temp": 21.5})
+]
+
+
+class TestAdversarialFragmentation:
+    """The decoder must survive any split the network can produce.
+
+    This is the unit-level face of the chaos drill: `ChaosProxy`
+    fragments live traffic at arbitrary byte offsets, and every split
+    must yield the same frames — or a clean `FrameError`, never a
+    wrong frame.
+    """
+
+    @pytest.mark.parametrize("codec_name", ["json", "binary"])
+    def test_byte_at_a_time(self, codec_name):
+        blob = _ingest_stream(codec_name, _FRAG_OBSERVATIONS)
+        decoder = FrameDecoder()
+        frames = []
+        for index in range(len(blob)):
+            frames.extend(decoder.feed(blob[index : index + 1]))
+        assert _decoded_observations(frames) == _FRAG_OBSERVATIONS
+        assert decoder.pending_bytes == 0
+
+    @pytest.mark.parametrize("codec_name", ["json", "binary"])
+    @given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+    def test_seeded_random_splits(self, codec_name, seed):
+        blob = _ingest_stream(codec_name, _FRAG_OBSERVATIONS)
+        rng = random.Random(seed)
+        decoder = FrameDecoder()
+        frames = []
+        start = 0
+        while start < len(blob):
+            end = min(len(blob), start + rng.randint(1, 97))
+            frames.extend(decoder.feed(blob[start:end]))
+            start = end
+        assert _decoded_observations(frames) == _FRAG_OBSERVATIONS
+        assert decoder.pending_bytes == 0
+
+    @pytest.mark.parametrize("codec_name", ["json", "binary"])
+    @given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+    def test_corrupt_frame_mid_stream_never_decodes_wrong(
+        self, codec_name, seed
+    ):
+        # Flip one payload byte of a mid-stream frame, then feed the
+        # whole blob in random fragments: every frame decoded before
+        # the corruption must be genuine, and the corrupt frame must
+        # surface as FrameError — not as an altered observation.
+        rng = random.Random(seed)
+        codec = get_codec(codec_name)
+        pieces = [encode_frame(Hello(client_id="frag", resume_from=-1))]
+        seq = 0
+        for start in range(0, len(_FRAG_OBSERVATIONS), 5):
+            chunk = _FRAG_OBSERVATIONS[start : start + 5]
+            pieces.append(codec.encode_batch(seq, chunk))
+            seq += len(chunk)
+        victim = rng.randrange(1, len(pieces))
+        corrupted = bytearray(pieces[victim])
+        # Flip inside the body (skip the 4-byte length prefix and the
+        # type byte) so the length field stays sane and the CRC check
+        # is what must catch it.
+        corrupted[rng.randrange(5, len(corrupted) - 4)] ^= 0xFF
+        pieces[victim] = bytes(corrupted)
+        blob = b"".join(pieces)
+        good_prefix = _decoded_observations(
+            FrameDecoder().feed(b"".join(pieces[:victim]))
+        )
+        decoder = FrameDecoder()
+        frames = []
+        start = 0
+        with pytest.raises(FrameError):
+            while start < len(blob):
+                end = min(len(blob), start + rng.randint(1, 97))
+                frames.extend(decoder.feed(blob[start:end]))
+                start = end
+        seen = _decoded_observations(frames)
+        assert seen == good_prefix[: len(seen)]
+        for observation in seen:
+            assert observation in _FRAG_OBSERVATIONS
