@@ -286,6 +286,121 @@ def _cmd_chaos_serve(arguments: argparse.Namespace) -> int:
     return 0 if report["ok"] else 1
 
 
+def _cmd_chaos_cluster(arguments: argparse.Namespace) -> int:
+    """The cluster kill/recover drill (see :mod:`repro.serve.cluster_drill`).
+
+    A router fans a packing workload out to shard-worker subprocesses;
+    one worker is SIGKILLed mid-stream with batches in flight, respawned
+    with ``DurableEngine.recover``, and the drill audits per-shard WALs,
+    exactly-once sink deliveries and push dedup against an in-process
+    baseline.  Exit status 0 means every check held.
+    """
+    from .serve.cluster_drill import run_cluster_drill
+
+    print(
+        f"chaos cluster drill: seed={arguments.seed} "
+        f"workers={arguments.workers} lines={arguments.lines} "
+        f"(reproduce with --seed {arguments.seed})"
+    )
+    report = run_cluster_drill(
+        seed=arguments.seed,
+        lines=arguments.lines,
+        cases_per_line=arguments.cases_per_line,
+        workers=arguments.workers,
+        inprocess=arguments.inprocess,
+        timeout=arguments.timeout,
+        report_path=arguments.report,
+    )
+    for name, check in sorted(report["checks"].items()):
+        status = "ok  " if check["ok"] else "FAIL"
+        detail = f" ({check['detail']})" if check["detail"] else ""
+        print(f"  [{status}] {name}{detail}")
+    router = report["router"]
+    print(
+        f"router: {router['routed']} routed over {router['epochs']} epochs, "
+        f"{router['detections_forwarded']} detections forwarded, "
+        f"{router['worker_reconnects']} link reconnects"
+    )
+    print(
+        f"victim: {report['victim']} (shards {report['victim_shards']}), "
+        f"assignment {report['assignment']}"
+    )
+    if arguments.report:
+        print(f"report written to {arguments.report}")
+    print("drill PASSED" if report["ok"] else "drill FAILED")
+    return 0 if report["ok"] else 1
+
+
+def _cmd_cluster(arguments: argparse.Namespace) -> int:
+    """Run a full cluster — shard-worker subprocesses plus the router.
+
+    Prints ``cluster on HOST:PORT`` once the router socket is bound
+    (``--port 0`` picks an ephemeral port, so scripts can parse the
+    line), then runs until interrupted or ``--max-seconds`` elapses.
+    Workers keep per-shard durable state under ``--dir``; restarting
+    the cluster over the same directory resumes every shard's WAL.
+    """
+    import asyncio
+    import tempfile
+
+    from .serve.cluster import Cluster
+
+    if not arguments.rules:
+        print("cluster: --rules is required")
+        return 2
+    with open(arguments.rules) as handle:
+        program = handle.read()
+    directory = arguments.dir or tempfile.mkdtemp(prefix="rceda-cluster-")
+
+    async def _run() -> None:
+        cluster = Cluster(
+            program,
+            workers=arguments.workers,
+            directory=directory,
+            max_shards=arguments.max_shards,
+            fsync=arguments.fsync,
+            sink=arguments.sink,
+            inprocess=arguments.inprocess,
+        )
+        try:
+            port = await cluster.start(
+                router_host=arguments.host, router_port=arguments.port
+            )
+            print(f"placement: {cluster.plan.assignment}", flush=True)
+            print(f"cluster on {arguments.host}:{port}", flush=True)
+            if arguments.max_seconds is not None:
+                await asyncio.sleep(arguments.max_seconds)
+            else:
+                await asyncio.Event().wait()
+        finally:
+            stats = (
+                cluster.router.stats if cluster.router is not None else None
+            )
+            await cluster.stop()
+            if stats is not None:
+                print(
+                    f"routed {stats.routed} observations over "
+                    f"{stats.epochs} epochs, forwarded "
+                    f"{stats.detections_forwarded} detections"
+                )
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:
+        print("interrupted")
+    return 0
+
+
+def _cmd_cluster_worker(arguments: argparse.Namespace) -> int:
+    """One shard-worker process (spawned by the cluster supervisor)."""
+    import asyncio
+
+    from .serve.cluster import load_worker_spec, run_worker
+
+    asyncio.run(run_worker(load_worker_spec(arguments.spec)))
+    return 0
+
+
 def _cmd_wal_inspect(arguments: argparse.Namespace) -> int:
     """Describe a durable directory: segments, checkpoints, outbox."""
     import os
@@ -721,6 +836,41 @@ def main(argv: "list[str] | None" = None) -> int:
     )
     chaos_serve.set_defaults(handler=_cmd_chaos_serve)
 
+    chaos_cluster = chaos_commands.add_parser(
+        "cluster",
+        help="cluster kill/recover drill: SIGKILL one shard worker "
+        "mid-stream, recover it, audit exactly-once end to end "
+        "(exit 1 on any failure)",
+    )
+    chaos_cluster.add_argument(
+        "--seed", type=int, default=7, help="workload seed"
+    )
+    chaos_cluster.add_argument(
+        "--workers", type=int, default=2, help="shard worker processes"
+    )
+    chaos_cluster.add_argument(
+        "--lines", type=int, default=4, help="independent packing lines"
+    )
+    chaos_cluster.add_argument("--cases-per-line", type=int, default=12)
+    chaos_cluster.add_argument(
+        "--inprocess",
+        action="store_true",
+        help="in-loop workers crashed via abort() instead of subprocesses "
+        "+ SIGKILL (faster; used by tests)",
+    )
+    chaos_cluster.add_argument(
+        "--timeout",
+        type=float,
+        default=120.0,
+        help="hard wall-clock bound on the whole drill (seconds)",
+    )
+    chaos_cluster.add_argument(
+        "--report",
+        default="CHAOS_cluster.json",
+        help="write the JSON drill report here (default: CHAOS_cluster.json)",
+    )
+    chaos_cluster.set_defaults(handler=_cmd_chaos_cluster)
+
     wal = commands.add_parser(
         "wal", help="write-ahead log tools: inspect, recover, crash drill"
     )
@@ -817,6 +967,57 @@ def main(argv: "list[str] | None" = None) -> int:
         "--metrics-format", choices=("json", "prom"), default="json"
     )
     serve.set_defaults(handler=_cmd_serve)
+
+    cluster = commands.add_parser(
+        "cluster",
+        help="serve a rule program across shard-worker processes "
+        "behind a router (repro.serve.cluster)",
+    )
+    cluster.add_argument("--rules", help="rule program file")
+    cluster.add_argument("--host", default="127.0.0.1")
+    cluster.add_argument(
+        "--port", type=int, default=7007, help="router port (0 = ephemeral)"
+    )
+    cluster.add_argument(
+        "--workers", type=int, default=2, help="shard worker processes"
+    )
+    cluster.add_argument(
+        "--max-shards",
+        type=int,
+        help="shard count ceiling (default: one per worker)",
+    )
+    cluster.add_argument(
+        "--dir", help="durable state root (default: a fresh temp directory)"
+    )
+    cluster.add_argument(
+        "--fsync", default="never", help="fsync policy: always, never or batch:N"
+    )
+    cluster.add_argument(
+        "--sink",
+        action="store_true",
+        help="write per-shard delivery journals (deliveries.jsonl)",
+    )
+    cluster.add_argument(
+        "--inprocess",
+        action="store_true",
+        help="run workers inside this process instead of subprocesses",
+    )
+    cluster.add_argument(
+        "--max-seconds",
+        type=float,
+        help="stop after this many seconds (default: run until interrupted)",
+    )
+    cluster.set_defaults(handler=_cmd_cluster)
+
+    cluster_commands = cluster.add_subparsers(dest="cluster_command")
+    cluster_worker = cluster_commands.add_parser(
+        "worker",
+        help="one shard-worker process (spawned by the cluster supervisor)",
+    )
+    cluster_worker.add_argument(
+        "--spec", required=True, help="worker spec JSON written by the spawner"
+    )
+    cluster_worker.set_defaults(handler=_cmd_cluster_worker)
 
     graph = commands.add_parser("graph", help="print a rule program's event graph as DOT")
     graph.add_argument("--rules", required=True)

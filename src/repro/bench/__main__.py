@@ -12,6 +12,8 @@ Usage::
     python -m repro.bench wal [--full]       # WAL durability overhead per fsync policy
     python -m repro.bench serve [--scale quick|full|large] [--max-overhead PCT]
                                              # serving layer vs direct, per codec
+    python -m repro.bench cluster [--scale quick|full|large] [--min-speedup X]
+                                             # shard-worker scaling at 1/2/4 workers
     python -m repro.bench all [--full]
 
 ``--full`` runs the paper-scale axes (250k events / 500 rules); the
@@ -156,6 +158,38 @@ def _cmd_serve(
     return 0
 
 
+def _cmd_cluster(
+    full: bool,
+    scale: "str | None" = None,
+    min_speedup: "float | None" = None,
+) -> int:
+    from .cluster import (
+        check_speedup,
+        cluster_table,
+        merge_cluster_json,
+        run_cluster_bench,
+    )
+
+    if scale is None:
+        scale = "full" if full else "quick"
+    results = run_cluster_bench(scale=scale)
+    print(
+        f"Cluster scaling over {results[0].n_events:,} events, "
+        f"{results[0].n_rules} rules (baseline: 1 worker, "
+        f"{results[0].baseline_seconds * 1000:.1f} ms)"
+    )
+    print(cluster_table(results))
+    merge_cluster_json(results, "BENCH_serve.json", scale=scale)
+    print("cluster rows merged into BENCH_serve.json")
+    if min_speedup is not None:
+        failure = check_speedup(results, min_speedup)
+        if failure is not None:
+            print(f"FAIL: {failure}", file=sys.stderr)
+            return 1
+        print(f"scaling gate passed (2 workers >= {min_speedup:.2f}x)")
+    return 0
+
+
 def _cmd_report(full: bool, out: "str | None" = None) -> None:
     from .report import generate_report
 
@@ -179,6 +213,7 @@ _COMMANDS = {
     "metrics": _cmd_metrics,
     "wal": _cmd_wal,
     "serve": _cmd_serve,
+    "cluster": _cmd_cluster,
 }
 
 
@@ -203,7 +238,7 @@ def main(argv: "list[str] | None" = None) -> int:
     parser.add_argument(
         "--scale",
         choices=("quick", "full", "large"),
-        help="(serve only) workload size; overrides --full "
+        help="(serve/cluster only) workload size; overrides --full "
         "(quick=2k, full=20k, large=100k events)",
     )
     parser.add_argument(
@@ -212,6 +247,13 @@ def main(argv: "list[str] | None" = None) -> int:
         metavar="PCT",
         help="(serve only) fail with exit code 1 if binary-codec loopback "
         "overhead vs direct exceeds this percentage",
+    )
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        metavar="X",
+        help="(cluster only) fail with exit code 1 if the 2-worker run's "
+        "speedup over 1 worker is below this factor",
     )
     arguments = parser.parse_args(argv)
     if arguments.command == "report":
@@ -222,6 +264,12 @@ def main(argv: "list[str] | None" = None) -> int:
             arguments.full,
             scale=arguments.scale,
             max_overhead=arguments.max_overhead,
+        )
+    if arguments.command == "cluster":
+        return _cmd_cluster(
+            arguments.full,
+            scale=arguments.scale,
+            min_speedup=arguments.min_speedup,
         )
     if arguments.command == "all":
         for name in (

@@ -63,6 +63,7 @@ from __future__ import annotations
 import asyncio
 import gc
 import json
+import os
 import time
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
@@ -364,12 +365,38 @@ def write_serve_json(
     *,
     scale: Optional[str] = None,
 ) -> None:
-    """Write the machine-readable results (schema in module docstring)."""
+    """Write the machine-readable results (schema in module docstring).
+
+    The cluster benchmark merges its rows into the same file (see
+    :func:`repro.bench.cluster.merge_cluster_json`); any existing
+    ``transport == "cluster"`` rows and their ``cluster_*`` context
+    keys are carried over so the two benchmarks can be re-run in
+    either order without losing each other's results.
+    """
     if scale is None:
         scale = "full" if full_scale else "quick"
+    cluster_rows: list = []
+    cluster_context = {}
+    if os.path.exists(path):
+        try:
+            with open(path, encoding="utf-8") as handle:
+                previous = json.load(handle)
+        except (OSError, ValueError):
+            previous = {}
+        cluster_rows = [
+            row
+            for row in previous.get("results", [])
+            if isinstance(row, dict) and row.get("transport") == "cluster"
+        ]
+        cluster_context = {
+            key: previous[key]
+            for key in ("cluster_scale", "cluster_cpus")
+            if key in previous
+        }
     document = {
         "schema": {"name": "repro-bench-serve", "version": 2},
         "scale": scale,
+        **cluster_context,
         "results": [
             {
                 "transport": result.transport,
@@ -389,6 +416,7 @@ def write_serve_json(
             for result in results
         ],
     }
+    document["results"].extend(cluster_rows)
     with open(path, "w") as handle:
         json.dump(document, handle, indent=2, sort_keys=True)
         handle.write("\n")

@@ -27,7 +27,8 @@ shard only sees its own traffic.
 
 from __future__ import annotations
 
-from typing import Any, Iterable, Optional
+from dataclasses import dataclass
+from typing import Any, Iterable, Mapping, Optional
 
 from ..obs.metrics import MetricsRegistry
 from ..obs.tracing import EngineObserver
@@ -73,6 +74,156 @@ class _UnionFind:
         self.parent[self.find(left)] = self.find(right)
 
 
+@dataclass(frozen=True)
+class ShardPlan:
+    """A deterministic rule→shard assignment, independent of any engine.
+
+    This is the single source of truth for placement: the in-process
+    :class:`ShardedEngine` builds its engines from it, the durable
+    sharded engine inherits it through its coordinator, and the cluster
+    router (:mod:`repro.serve.cluster`) computes the *same* plan in every
+    process so routing decisions agree without any coordination traffic.
+    """
+
+    #: shard name -> rules placed there, placement order.
+    rules: dict[str, tuple]
+    #: shard name -> reader literals pinned to it (empty for catch-all).
+    readers: dict[str, frozenset]
+    #: reader literal -> shard names needing its observations, in order.
+    routes: dict[str, tuple]
+    #: whether a catch-all shard (wildcard rules) exists.
+    has_catch_all: bool
+
+    @property
+    def shard_names(self) -> tuple:
+        return tuple(self.rules)
+
+    def placement(self) -> dict[str, list[str]]:
+        """shard name -> rule ids, the introspection view."""
+        return {
+            name: [rule.rule_id for rule in shard_rules]
+            for name, shard_rules in self.rules.items()
+        }
+
+    def routes_for_reader(self, reader: str) -> list[str]:
+        """Shard names one reader's observations fan out to, in order."""
+        targets = list(self.routes.get(reader, ()))
+        if self.has_catch_all:
+            targets.append(CATCH_ALL)
+        return targets
+
+
+def plan_shards(
+    rules: Iterable[RuleLike],
+    max_shards: int,
+    group_members: Optional[Mapping[str, set]] = None,
+) -> ShardPlan:
+    """Compute the canonical placement for ``rules`` over ``max_shards``.
+
+    Rules whose primitives all name reader literals (or groups resolved
+    through ``group_members``) are clustered by shared readers
+    (union-find — co-reading rules must co-locate) and the clusters are
+    packed round-robin by descending size onto ``shard-0..N-1``; rules
+    with wildcard readers go to the dedicated catch-all shard.  The
+    result is a pure function of its inputs, so every process that runs
+    it over the same rule list derives the same shard set and routes.
+    """
+    if max_shards < 1:
+        raise ValueError("need at least one shard")
+    members = group_members or {}
+
+    def rule_readers(rule: RuleLike) -> Optional[set]:
+        readers: set = set()
+        for node in rule.event.walk():
+            if not isinstance(node, ObservationType):
+                continue
+            if isinstance(node.reader, str):
+                readers.add(node.reader)
+            elif node.group is not None and node.group in members:
+                readers.update(members[node.group])
+            else:
+                return None
+        return readers
+
+    placeable: list[tuple[RuleLike, set]] = []
+    catch_all: list[RuleLike] = []
+    for rule in rules:
+        readers = rule_readers(rule)
+        if readers is None or not readers:
+            catch_all.append(rule)
+        else:
+            placeable.append((rule, readers))
+
+    # Rules sharing any reader must co-locate: union by reader.
+    union = _UnionFind()
+    for rule, readers in placeable:
+        first, *rest = sorted(readers)
+        for reader in rest:
+            union.union(first, reader)
+    clusters: dict[Any, tuple[list[RuleLike], set]] = {}
+    for rule, readers in placeable:
+        root = union.find(sorted(readers)[0])
+        bucket = clusters.setdefault(root, ([], set()))
+        bucket[0].append(rule)
+        bucket[1].update(readers)
+
+    # Pack clusters onto shards round-robin by descending size.
+    shard_count = max(1, min(max_shards, len(clusters)) or 1)
+    shards: dict[str, tuple[list[RuleLike], set]] = {
+        f"shard-{index}": ([], set()) for index in range(shard_count)
+    }
+    ordered = sorted(clusters.values(), key=lambda bucket: -len(bucket[0]))
+    names = list(shards)
+    for index, (cluster_rules, cluster_readers) in enumerate(ordered):
+        target = shards[names[index % shard_count]]
+        target[0].extend(cluster_rules)
+        target[1].update(cluster_readers)
+    placements = {name: bucket for name, bucket in shards.items() if bucket[0]}
+    if catch_all:
+        placements[CATCH_ALL] = (catch_all, set())
+    if not placements:
+        placements["shard-0"] = ([], set())
+
+    routes: dict[str, list[str]] = {}
+    for name, (_shard_rules, shard_readers) in placements.items():
+        if name == CATCH_ALL:
+            continue
+        for reader in shard_readers:
+            routes.setdefault(reader, []).append(name)
+    return ShardPlan(
+        rules={
+            name: tuple(shard_rules)
+            for name, (shard_rules, _readers) in placements.items()
+        },
+        readers={
+            name: frozenset(shard_readers)
+            for name, (_rules, shard_readers) in placements.items()
+        },
+        routes={reader: tuple(names) for reader, names in routes.items()},
+        has_catch_all=CATCH_ALL in placements,
+    )
+
+
+def shard_placement(shards: Mapping[str, Any]) -> dict[str, list[str]]:
+    """shard name -> rule ids, for any mapping of name to engine.
+
+    The one implementation behind :meth:`ShardedEngine.placement` and
+    the durable fleet's delegation — keeping the two views from
+    drifting apart (the cluster router keys its routing on this shape).
+    """
+    return {
+        name: [rule.rule_id for rule in engine.rules]
+        for name, engine in shards.items()
+    }
+
+
+def shard_traffic(shards: Mapping[str, Any]) -> dict[str, int]:
+    """shard name -> observations processed, for any name→engine mapping."""
+    return {
+        name: engine.stats.observations for name, engine in shards.items()
+    }
+
+
 class ShardedEngine:
     """Partition rules and observation traffic across engines.
 
@@ -97,16 +248,18 @@ class ShardedEngine:
         metrics: Optional[MetricsRegistry] = None,
         observer: Optional[EngineObserver] = None,
     ) -> None:
-        if max_shards < 1:
-            raise ValueError("need at least one shard")
         self._group_members = group_members or {}
-        placements = self._place(list(rules), max_shards)
+        self.plan = plan_shards(
+            list(rules), max_shards, group_members=self._group_members
+        )
         self.shards: dict[str, Engine] = {}
         #: reader literal -> shard names that need its observations.
-        self._routes: dict[str, list[str]] = {}
-        self._has_catch_all = False
-        for shard_name, (shard_rules, readers) in placements.items():
-            engine = Engine(
+        self._routes: dict[str, list[str]] = {
+            reader: list(names) for reader, names in self.plan.routes.items()
+        }
+        self._has_catch_all = self.plan.has_catch_all
+        for shard_name, shard_rules in self.plan.rules.items():
+            self.shards[shard_name] = Engine(
                 shard_rules,
                 context=context,
                 functions=functions,
@@ -115,77 +268,9 @@ class ShardedEngine:
                 metrics=metrics,
                 metrics_label=shard_name,
             )
-            self.shards[shard_name] = engine
-            if shard_name == CATCH_ALL:
-                self._has_catch_all = True
-                continue
-            for reader in readers:
-                self._routes.setdefault(reader, []).append(shard_name)
         self.routed = 0
         self.multicast = 0
         self._last_seq = -1
-
-    # -- placement ------------------------------------------------------------
-
-    def _rule_readers(self, rule: RuleLike) -> Optional[set[str]]:
-        readers: set[str] = set()
-        for node in rule.event.walk():
-            if not isinstance(node, ObservationType):
-                continue
-            if isinstance(node.reader, str):
-                readers.add(node.reader)
-            elif node.group is not None and node.group in self._group_members:
-                readers.update(self._group_members[node.group])
-            else:
-                return None
-        return readers
-
-    def _place(
-        self, rules: list[RuleLike], max_shards: int
-    ) -> dict[str, tuple[list[RuleLike], set[str]]]:
-        placeable: list[tuple[RuleLike, set[str]]] = []
-        catch_all: list[RuleLike] = []
-        for rule in rules:
-            readers = self._rule_readers(rule)
-            if readers is None or not readers:
-                catch_all.append(rule)
-            else:
-                placeable.append((rule, readers))
-
-        # Rules sharing any reader must co-locate: union by reader.
-        union = _UnionFind()
-        for rule, readers in placeable:
-            first, *rest = sorted(readers)
-            for reader in rest:
-                union.union(first, reader)
-        clusters: dict[Any, tuple[list[RuleLike], set[str]]] = {}
-        for rule, readers in placeable:
-            root = union.find(sorted(readers)[0])
-            bucket = clusters.setdefault(root, ([], set()))
-            bucket[0].append(rule)
-            bucket[1].update(readers)
-
-        # Pack clusters onto shards round-robin by descending size.
-        shard_count = max(1, min(max_shards, len(clusters)) or 1)
-        shards: dict[str, tuple[list[RuleLike], set[str]]] = {
-            f"shard-{index}": ([], set()) for index in range(shard_count)
-        }
-        ordered = sorted(
-            clusters.values(), key=lambda bucket: -len(bucket[0])
-        )
-        names = list(shards)
-        for index, (cluster_rules, cluster_readers) in enumerate(ordered):
-            target = shards[names[index % shard_count]]
-            target[0].extend(cluster_rules)
-            target[1].update(cluster_readers)
-        placements = {
-            name: bucket for name, bucket in shards.items() if bucket[0]
-        }
-        if catch_all:
-            placements[CATCH_ALL] = (catch_all, set())
-        if not placements:
-            placements["shard-0"] = ([], set())
-        return placements
 
     # -- streaming -----------------------------------------------------------
 
@@ -356,14 +441,8 @@ class ShardedEngine:
 
     def placement(self) -> dict[str, list[str]]:
         """shard name -> rule ids, for inspection."""
-        return {
-            name: [rule.rule_id for rule in engine.rules]
-            for name, engine in self.shards.items()
-        }
+        return shard_placement(self.shards)
 
     def traffic_summary(self) -> dict[str, int]:
         """Observations each shard actually processed."""
-        return {
-            name: engine.stats.observations
-            for name, engine in self.shards.items()
-        }
+        return shard_traffic(self.shards)

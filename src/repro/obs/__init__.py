@@ -26,6 +26,7 @@ See ``docs/observability.md`` for the full tour.
 
 from .instrument import (
     NODE_KINDS,
+    ClusterInstruments,
     DurabilityInstruments,
     EngineInstruments,
     ReorderInstruments,
@@ -56,6 +57,7 @@ __all__ = [
     "Counter",
     "DEFAULT_LATENCY_BUCKETS",
     "DEFAULT_SIZE_BUCKETS",
+    "ClusterInstruments",
     "DurabilityInstruments",
     "EngineInstruments",
     "EngineObserver",

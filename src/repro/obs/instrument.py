@@ -600,6 +600,96 @@ class ServeInstruments:
             handle.reset()
 
 
+class ClusterInstruments:
+    """Bound handles for one :class:`~repro.serve.cluster.CepRouter`.
+
+    Catalogue (all carry the ``router`` label):
+
+    ==============================================  =========  ========
+    name                                            type       labels
+    ==============================================  =========  ========
+    ``rceda_cluster_routed_total``                  counter    router
+    ``rceda_cluster_multicast_total``               counter    router
+    ``rceda_cluster_epochs_total``                  counter    router
+    ``rceda_cluster_epochs_open``                   gauge      router
+    ``rceda_cluster_detections_forwarded_total``    counter    router
+    ``rceda_cluster_worker_reconnects_total``       counter    router
+    ``rceda_cluster_unattributed_total``            counter    router
+    ==============================================  =========  ========
+
+    ``rceda_cluster_epochs_open`` is the router's in-flight window: the
+    number of client batches forwarded to workers but not yet released
+    (acked + detections pushed).  ``rceda_cluster_unattributed_total``
+    counts worker detections that arrived for a sub-batch the router no
+    longer tracks — nonzero only around worker crashes, where the push
+    path is deliberately at-most-once (durable sinks stay exactly-once).
+    """
+
+    __slots__ = (
+        "registry",
+        "router_label",
+        "routed",
+        "multicast",
+        "epochs",
+        "epochs_open",
+        "forwarded",
+        "worker_reconnects",
+        "unattributed",
+    )
+
+    def __init__(self, registry: MetricsRegistry, router_label: str = "router") -> None:
+        self.registry = registry
+        self.router_label = router_label
+        self.routed = registry.counter(
+            "rceda_cluster_routed_total",
+            "Observations fanned out to shard workers.",
+            labelnames=("router",),
+        ).labels(router=router_label)
+        self.multicast = registry.counter(
+            "rceda_cluster_multicast_total",
+            "Extra shard copies beyond the first (fan-out cost).",
+            labelnames=("router",),
+        ).labels(router=router_label)
+        self.epochs = registry.counter(
+            "rceda_cluster_epochs_total",
+            "Client batches routed as fan-in epochs.",
+            labelnames=("router",),
+        ).labels(router=router_label)
+        self.epochs_open = registry.gauge(
+            "rceda_cluster_epochs_open",
+            "Epochs forwarded to workers but not yet released.",
+            labelnames=("router",),
+        ).labels(router=router_label)
+        self.forwarded = registry.counter(
+            "rceda_cluster_detections_forwarded_total",
+            "Worker detections re-pushed to router subscribers.",
+            labelnames=("router",),
+        ).labels(router=router_label)
+        self.worker_reconnects = registry.counter(
+            "rceda_cluster_worker_reconnects_total",
+            "Times a worker link redialed (crash, retarget, migration).",
+            labelnames=("router",),
+        ).labels(router=router_label)
+        self.unattributed = registry.counter(
+            "rceda_cluster_unattributed_total",
+            "Worker detections for sub-batches no longer tracked.",
+            labelnames=("router",),
+        ).labels(router=router_label)
+
+    def reset(self) -> None:
+        """Zero this router's children only — co-tenants keep their values."""
+        for handle in (
+            self.routed,
+            self.multicast,
+            self.epochs,
+            self.epochs_open,
+            self.forwarded,
+            self.worker_reconnects,
+            self.unattributed,
+        ):
+            handle.reset()
+
+
 class ReorderInstruments:
     """Bound handles for a reorder buffer feeding one engine."""
 

@@ -143,6 +143,35 @@ def _note_client(frontiers: dict, payload: dict) -> None:
             frontiers[client_id] = client_seq
 
 
+def _resolve_client_seqs(client, count: int):
+    """Normalize a ``submit_many`` ``client`` argument to per-record seqs.
+
+    ``client`` is either ``(client_id, first_seq)`` — the contiguous
+    form, observation ``i`` carries ``first_seq + i`` — or
+    ``(client_id, seqs)`` with one ascending client seq per observation.
+    The non-contiguous form exists for relays: a router splits one
+    client batch across shards, so the subsequence a shard receives has
+    gaps, and forcing it back into contiguous runs would shatter the
+    batch (and its single WAL commit) into per-gap fragments.
+
+    Returns ``(client_id, indexable_of_seqs)``; raises ``ValueError``
+    when an explicit seq list disagrees with the batch length or is not
+    strictly ascending (the frontier is the *last* seq — out-of-order
+    seqs would silently regress it).
+    """
+    client_id, start = client
+    if isinstance(start, int):
+        return client_id, range(start, start + count)
+    seqs = tuple(start)
+    if len(seqs) != count:
+        raise ValueError(
+            f"client seqs length {len(seqs)} != batch length {count}"
+        )
+    if any(b <= a for a, b in zip(seqs, seqs[1:])):
+        raise ValueError("client seqs must be strictly ascending")
+    return client_id, seqs
+
+
 def decode_payload(payload: dict) -> Optional[Any]:
     """Inverse of :func:`encode_observation`.
 
@@ -359,11 +388,12 @@ class DurableEngine:
 
         The vectorized form of :meth:`submit`: every observation's WAL
         record — including its per-observation ``(client_id,
-        client_seq)`` provenance when ``client`` names the batch's
-        *first* client seq — is identical to what a submit loop would
-        have written, but the batch is committed with one
+        client_seq)`` provenance — is identical to what a submit loop
+        would have written, but the batch is committed with one
         ``append_many`` (one write + one fsync under
         ``FsyncPolicy.ALWAYS``) instead of one fsync per observation.
+        ``client`` is ``(client_id, first_seq)`` or ``(client_id,
+        per-observation seqs)`` — see :func:`_resolve_client_seqs`.
         Detection and outbox delivery still run per record, so
         exactly-once keys ``(seq, ordinal)`` match replay precisely.
 
@@ -373,12 +403,16 @@ class DurableEngine:
         observations = list(observations)
         if not observations:
             return SubmitResult()
+        if client is not None:
+            client_id, client_seqs = _resolve_client_seqs(
+                client, len(observations)
+            )
         first_seq = self._next_seq
         records = []
         for index, observation in enumerate(observations):
             payload = encode_observation(observation)
             if client is not None:
-                payload[CLIENT_KEY] = [client[0], client[1] + index]
+                payload[CLIENT_KEY] = [client_id, client_seqs[index]]
             records.append((first_seq + index, payload))
         self.wal.append_many(records)
         if client is not None:
@@ -771,19 +805,24 @@ class DurableShardedEngine:
         frontier no-op), but each shard's records for the batch are
         committed with one ``append_many``, so the fsync count per
         batch is the number of *touched shards*, not the number of
-        observations.  ``client`` names the first client seq;
-        observation ``i`` carries ``(client_id, client_seq + i)``.
+        observations.  ``client`` is ``(client_id, first_seq)`` or
+        ``(client_id, per-observation seqs)`` — see
+        :func:`_resolve_client_seqs`.
         """
         observations = list(observations)
         if not observations:
             return SubmitResult()
+        if client is not None:
+            client_id, client_seqs = _resolve_client_seqs(
+                client, len(observations)
+            )
         first_seq = self._next_seq
         per_wal: dict[str, list[tuple[int, dict]]] = {}
         routed_targets: list[tuple[int, Any]] = []
         for index, observation in enumerate(observations):
             seq = first_seq + index
             provenance = (
-                None if client is None else [client[0], client[1] + index]
+                None if client is None else [client_id, client_seqs[index]]
             )
             targets = self.coordinator.routes_for(observation)
             routed_targets.append((seq, observation))
@@ -802,7 +841,7 @@ class DurableShardedEngine:
         if client is not None:
             _note_client(
                 self.client_frontiers,
-                {CLIENT_KEY: [client[0], client[1] + len(observations) - 1]},
+                {CLIENT_KEY: [client_id, client_seqs[-1]]},
             )
         self._next_seq = first_seq + len(observations)
         for seq, _observation in routed_targets:
@@ -1027,9 +1066,17 @@ class DurableShardedEngine:
         )
 
     # -- passthrough --------------------------------------------------------
+    #
+    # Introspection is delegated to the coordinator, whose implementation
+    # lives in repro.core.sharding (shard_placement / shard_traffic) — the
+    # cluster router keys its routing on these views, so there is exactly
+    # one source of truth for their shape.
 
     def placement(self) -> dict[str, list[str]]:
         return self.coordinator.placement()
 
     def traffic_summary(self) -> dict[str, int]:
         return self.coordinator.traffic_summary()
+
+    def routes_for(self, observation) -> list[str]:
+        return self.coordinator.routes_for(observation)

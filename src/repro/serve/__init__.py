@@ -15,7 +15,15 @@ that makes the repo an actual *server* for those streams:
   with batching, cumulative acks and retry/backoff reconnect;
 * :mod:`repro.serve.loopback` — an in-memory transport with real flow
   control, so every protocol/session/backpressure path is testable
-  without sockets.
+  without sockets;
+* :mod:`repro.serve.cluster` — :class:`Cluster` / :class:`CepRouter`:
+  N shard-worker processes (each a :class:`CepServer` over a durable
+  engine with its own WAL) behind a router that speaks the same wire
+  protocol, with consistent-hash placement, deterministic detection
+  fan-in, crash recovery and live shard migration;
+* :mod:`repro.serve.cluster_drill` — ``python -m repro chaos cluster``,
+  a scripted kill-a-worker-mid-stream drill asserting exactly-once
+  delivery end to end.
 
 Quickstart (see ``docs/serving.md`` for the full tour)::
 
@@ -41,6 +49,20 @@ from .client import (
     loopback_connector,
     tcp_connector,
 )
+from .cluster import (
+    CepRouter,
+    Cluster,
+    ClusterPlan,
+    HashRing,
+    RouterStats,
+    ShardWorker,
+    WorkerLink,
+    WorkerProcess,
+    file_sink,
+    plan_cluster,
+    run_worker,
+)
+from .cluster_drill import cluster_program, run_cluster_drill
 from .faults import (
     ChaosProxy,
     FaultSchedule,
@@ -93,10 +115,13 @@ __all__ = [
     "BinaryBatch",
     "BinaryCodec",
     "Bye",
+    "CepRouter",
     "CepServer",
     "ChaosProxy",
     "Client",
     "ClientError",
+    "Cluster",
+    "ClusterPlan",
     "DetectionBatch",
     "DetectionFrame",
     "ErrorFrame",
@@ -108,6 +133,7 @@ __all__ = [
     "Frame",
     "FrameDecoder",
     "FrameError",
+    "HashRing",
     "Hello",
     "JsonCodec",
     "LoopbackReader",
@@ -119,21 +145,30 @@ __all__ = [
     "Ping",
     "Pong",
     "RetryConfig",
+    "RouterStats",
     "ServeConfig",
     "ServeError",
+    "ShardWorker",
     "SlowConsumerPolicy",
     "Submit",
     "Subscribe",
     "Welcome",
     "WireCodec",
+    "WorkerLink",
+    "WorkerProcess",
+    "cluster_program",
     "codec_names",
     "decode_frame",
     "encode_frame",
     "encode_frame_into",
+    "file_sink",
     "get_codec",
     "loopback_connector",
     "loopback_pair",
     "negotiate_codec",
+    "plan_cluster",
     "register_codec",
+    "run_cluster_drill",
+    "run_worker",
     "tcp_connector",
 ]

@@ -264,6 +264,11 @@ class AsyncClient:
                     retry.backoff_max, retry.backoff_base * 2 ** (attempt - 1)
                 )
                 delay = random.uniform(0, cap) if retry.jitter else cap
+                # A failed attempt may itself have been shed with a fresh
+                # retry_after (ERROR during the handshake): honour it, or
+                # an overloaded server gets hammered at jitter speed.
+                hint, self._retry_after_hint = self._retry_after_hint, 0.0
+                delay = max(delay, hint)
                 if deadline is not None:
                     delay = min(delay, max(0.0, deadline - loop.time()))
                 await asyncio.sleep(delay)

@@ -319,49 +319,76 @@ class Welcome(Frame):
 
 @dataclass(frozen=True)
 class Submit(Frame):
-    """One observation under client sequence number ``seq``."""
+    """One observation under client sequence number ``seq``.
+
+    ``prov`` optionally carries the *originating* client's identity as
+    ``(client_id, client_seq)`` when the sender is itself a relay (the
+    cluster router): the receiving server then logs that provenance in
+    its WAL instead of the relay's own, so end-to-end exactly-once
+    dedup keys on the real source.  Older peers ignore the extra
+    payload key — ``from_payload`` only reads what it knows.
+    """
 
     TYPE = 0x03
 
     seq: int
     observation: Observation
+    prov: Optional[tuple] = None
 
     def to_payload(self) -> dict:
-        return {
+        payload = {
             "seq": self.seq,
             "obs": encode_observation_payload(self.observation),
         }
+        if self.prov is not None:
+            payload["p"] = [self.prov[0], self.prov[1]]
+        return payload
 
     @classmethod
     def from_payload(cls, payload: dict) -> "Submit":
+        prov = payload.get("p")
         return cls(
             seq=payload["seq"],
             observation=decode_observation_payload(payload["obs"]),
+            prov=(prov[0], prov[1]) if prov is not None else None,
         )
 
 
 @dataclass(frozen=True)
 class Batch(Frame):
-    """Observations numbered ``seq, seq + 1, ...`` — one frame, one ack."""
+    """Observations numbered ``seq, seq + 1, ...`` — one frame, one ack.
+
+    ``prov`` is the relay extension (see :class:`Submit`): a
+    ``(client_id, (seq, ...))`` pair naming the originating client and
+    one source sequence number *per observation*.  Unlike the frame's
+    own link numbering, source seqs may have gaps — the relay splits
+    one source batch across shards — so they travel explicitly.
+    """
 
     TYPE = 0x04
 
     seq: int
     observations: tuple = ()
+    prov: Optional[tuple] = None
 
     def to_payload(self) -> dict:
-        return {
+        payload = {
             "seq": self.seq,
             "obs": [encode_observation_payload(o) for o in self.observations],
         }
+        if self.prov is not None:
+            payload["p"] = [self.prov[0], list(self.prov[1])]
+        return payload
 
     @classmethod
     def from_payload(cls, payload: dict) -> "Batch":
+        prov = payload.get("p")
         return cls(
             seq=payload["seq"],
             observations=tuple(
                 decode_observation_payload(item) for item in payload["obs"]
             ),
+            prov=(prov[0], tuple(prov[1])) if prov is not None else None,
         )
 
     @property
@@ -420,6 +447,10 @@ class BinaryBatch(Batch):
         count = len(observations)
         if not 0 <= self.seq < 2**64 or count > 0xFFFFFFFF:
             raise _NotPackable(f"seq {self.seq}/count {count} out of range")
+        if self.prov is not None:
+            # The columnar layout has no provenance columns; relayed
+            # batches take the JSON body, which carries the "p" key.
+            raise _NotPackable("batch carries provenance")
         if any(observation.extra is not None for observation in observations):
             raise _NotPackable("observation carries an extra payload")
         # dict.setdefault evaluates len() before any insert, so each new
@@ -525,18 +556,29 @@ class Ack(Frame):
 
 @dataclass(frozen=True)
 class Flush(Frame):
-    """Fire end-of-stream expirations; sequenced so the ack is unambiguous."""
+    """Fire end-of-stream expirations; sequenced so the ack is unambiguous.
+
+    ``prov`` is the relay extension (see :class:`Submit`).
+    """
 
     TYPE = 0x06
 
     seq: int
+    prov: Optional[tuple] = None
 
     def to_payload(self) -> dict:
-        return {"seq": self.seq}
+        payload = {"seq": self.seq}
+        if self.prov is not None:
+            payload["p"] = [self.prov[0], self.prov[1]]
+        return payload
 
     @classmethod
     def from_payload(cls, payload: dict) -> "Flush":
-        return cls(seq=payload["seq"])
+        prov = payload.get("p")
+        return cls(
+            seq=payload["seq"],
+            prov=(prov[0], prov[1]) if prov is not None else None,
+        )
 
 
 @dataclass(frozen=True)

@@ -256,8 +256,13 @@ class _Session:
         self.outbound: asyncio.Queue = asyncio.Queue()
         #: Bounded detection buffer (policy applies on overflow).
         self.push_buffer: deque = deque()
-        #: Coalesced cumulative ack (at most one sentinel in flight).
-        self.pending_ack: Optional[int] = None
+        #: Tail ack box (``["ack", seq]``) still coalescable in the
+        #: outbound queue, or None.  Acks coalesce by bumping the boxed
+        #: seq *in place*, but only while nothing else (a push, a
+        #: control frame) has been queued behind the box — otherwise a
+        #: later ack would overtake frames it must follow, and a peer
+        #: could see Ack(n) before the detections of batch n.
+        self.tail_ack: Optional[list] = None
         self.tasks: list[asyncio.Task] = []
 
     @property
@@ -271,6 +276,10 @@ class _SubmitItem:
     seq: int
     observations: list = field(default_factory=list)
     flush: bool = False
+    #: Relay provenance: ``(client_id, (seq, ...))`` for a batch (one
+    #: source seq per observation, gaps allowed), ``(client_id, seq)``
+    #: for a flush.  None for directly-connected clients.
+    prov: Optional[tuple] = None
 
 
 class CepServer:
@@ -376,14 +385,20 @@ class CepServer:
             await self._queue.put(None)
             await self._writer_task
             self._writer_task = None
-        for task in list(self._connection_tasks):
-            task.cancel()
-        # A sender can be parked in ``drain()`` forever when its peer
-        # stopped reading; cancel them so shutdown cannot hang on a
-        # slow consumer.
-        for task in list(self._sender_tasks):
-            task.cancel()
-        for task in list(self._connection_tasks):
+        # Disconnected sessions close their transports from the sender
+        # side; readers then exit on EOF.  Give them a beat before
+        # cancelling stragglers — cancelling an asyncio-streams accept
+        # task mid-read makes the event loop log a spurious
+        # CancelledError — but still cancel: a sender can be parked in
+        # ``drain()`` forever when its peer stopped reading, and
+        # shutdown must not hang on a slow consumer.
+        pending = list(self._connection_tasks) + list(self._sender_tasks)
+        if pending:
+            await asyncio.wait(pending, timeout=1.0)
+        for task in pending:
+            if not task.done():
+                task.cancel()
+        for task in pending:
             try:
                 await task
             except (asyncio.CancelledError, Exception):
@@ -648,16 +663,35 @@ class CepServer:
     async def _handle_frame(self, session: _Session, frame: Frame) -> bool:
         """Dispatch one post-handshake frame; False ends the session."""
         if isinstance(frame, Submit):
+            prov = frame.prov
+            if prov is not None:
+                prov = (prov[0], (prov[1],))
             return await self._enqueue(
-                session, _SubmitItem(session, frame.seq, [frame.observation])
+                session,
+                _SubmitItem(
+                    session, frame.seq, [frame.observation], prov=prov
+                ),
             )
         if isinstance(frame, Batch):
+            prov = frame.prov
+            if prov is not None and len(prov[1]) != len(frame.observations):
+                self._send_error(
+                    session,
+                    "protocol",
+                    f"provenance lists {len(prov[1])} seqs for "
+                    f"{len(frame.observations)} observations",
+                )
+                return False
             return await self._enqueue(
-                session, _SubmitItem(session, frame.seq, list(frame.observations))
+                session,
+                _SubmitItem(
+                    session, frame.seq, list(frame.observations), prov=prov
+                ),
             )
         if isinstance(frame, Flush):
             return await self._enqueue(
-                session, _SubmitItem(session, frame.seq, flush=True)
+                session,
+                _SubmitItem(session, frame.seq, flush=True, prov=frame.prov),
             )
         if isinstance(frame, Ping):
             # Either side may probe; answer regardless of capability.
@@ -806,7 +840,7 @@ class CepServer:
                 continue
             try:
                 if item.flush:
-                    self._apply_flush(session, record, item.seq)
+                    self._apply_flush(session, record, item)
                 else:
                     self._apply_submit(session, record, item)
             except Exception as exc:  # backend failure: isolate the session
@@ -832,15 +866,27 @@ class CepServer:
         # A batch is contiguous, so a resend overlap is always a prefix:
         # trim it in one step instead of testing every observation.
         skip = min(expected - first, len(observations))
+        prov_seqs = item.prov[1] if item.prov is not None else None
         if skip:
             self.stats.duplicates_skipped += skip
             if self._instr is not None:
                 self._instr.duplicates.inc(skip)
             observations = observations[skip:]
+            if prov_seqs is not None:
+                prov_seqs = prov_seqs[skip:]
             first += skip
         if observations:
             count = len(observations)
-            if self._batch_submit:
+            if item.prov is not None and self._durable and self._batch_submit:
+                detections = self._apply_relayed(
+                    item.prov[0], observations, prov_seqs
+                )
+                record.last_acked = first + count - 1
+                self.stats.submitted += count
+                if self._instr is not None:
+                    self._instr.submitted.inc(count)
+                self._fan_out(detections, record.last_acked)
+            elif self._batch_submit:
                 if self._durable:
                     # Provenance rides in the WAL records themselves, so
                     # the ack frontier is durable exactly when the
@@ -872,9 +918,49 @@ class CepServer:
                     self._fan_out(detections, seq)
         self._queue_ack(session, record.last_acked)
 
+    def _apply_relayed(
+        self, origin: str, observations: list, prov_seqs: tuple
+    ) -> list:
+        """Apply relayed observations exactly once, keyed on source seqs.
+
+        Sub-batches travel one ordered link per shard and are applied in
+        order, so the source seqs this backend has already applied are
+        always a prefix of the ordered subsequence routed here — one
+        recovered frontier read suffices: at or below it is a replay,
+        above it is new.  Source seqs may have gaps (the relay splits
+        batches across shards); the durable backend takes the
+        per-observation seq list directly, so the whole fresh tail
+        commits as one batch — splitting it into contiguous runs would
+        turn an interleaved shard's sub-batches into per-gap fragments
+        and pay the per-call WAL/engine overhead once per fragment.
+        """
+        frontier = self.backend.client_frontiers.get(origin, -1)
+        fresh: list = []
+        fresh_seqs: list = []
+        skipped = 0
+        for observation, seq in zip(observations, prov_seqs):
+            if seq <= frontier:
+                skipped += 1
+            else:
+                fresh.append(observation)
+                fresh_seqs.append(seq)
+        detections: list = []
+        if fresh:
+            detections.extend(
+                self.backend.submit_many(
+                    fresh, client=(origin, tuple(fresh_seqs))
+                )
+            )
+        if skipped:
+            self.stats.duplicates_skipped += skipped
+            if self._instr is not None:
+                self._instr.duplicates.inc(skipped)
+        return detections
+
     def _apply_flush(
-        self, session: _Session, record: _ClientRecord, seq: int
+        self, session: _Session, record: _ClientRecord, item: _SubmitItem
     ) -> None:
+        seq = item.seq
         if seq > record.last_acked:
             if seq != record.last_acked + 1:
                 self._send_error(
@@ -884,7 +970,15 @@ class CepServer:
                 )
                 self._disconnect(session)
                 return
-            if self._durable:
+            if self._durable and item.prov is not None:
+                origin, source_seq = item.prov
+                if source_seq <= self.backend.client_frontiers.get(origin, -1):
+                    detections = []  # replayed flush: already applied
+                else:
+                    detections = self.backend.flush(
+                        client=(origin, source_seq)
+                    )
+            elif self._durable:
                 detections = self.backend.flush(
                     client=(record.client_id, seq)
                 )
@@ -959,6 +1053,9 @@ class CepServer:
                 self._instr.dropped.inc(dropped)
             return
         session.push_buffer.append(frame)
+        # The push now sits behind any queued ack box; later acks must
+        # queue behind this push, not coalesce ahead of it.
+        session.tail_ack = None
         session.outbound.put_nowait("push")
         if self._instr is not None:
             self._instr.push_depth.set(len(session.push_buffer))
@@ -966,13 +1063,18 @@ class CepServer:
     def _queue_ack(self, session: _Session, seq: int) -> None:
         if not session.alive:
             return
-        first = session.pending_ack is None
-        session.pending_ack = seq
-        if first:
-            session.outbound.put_nowait("ack")
+        box = session.tail_ack
+        if box is not None:
+            # Still the newest queued item: safe to coalesce in place.
+            box[1] = seq
+            return
+        box = ["ack", seq]
+        session.tail_ack = box
+        session.outbound.put_nowait(box)
 
     def _send_control(self, session: _Session, frame: Frame) -> None:
         if session.alive:
+            session.tail_ack = None
             session.outbound.put_nowait(frame)
 
     def _send_error(
@@ -1010,15 +1112,14 @@ class CepServer:
                 while True:
                     if item == "close":
                         closing = True
-                    elif item == "ack":
-                        seq = session.pending_ack
-                        session.pending_ack = None
-                        if seq is not None:
-                            encode_frame_into(Ack(seq=seq), buffer)
-                            frames += 1
-                            self.stats.acks_sent += 1
-                            if self._instr is not None:
-                                self._instr.acks.inc()
+                    elif item.__class__ is list:  # ["ack", seq] box
+                        if session.tail_ack is item:
+                            session.tail_ack = None
+                        encode_frame_into(Ack(seq=item[1]), buffer)
+                        frames += 1
+                        self.stats.acks_sent += 1
+                        if self._instr is not None:
+                            self._instr.acks.inc()
                     elif item == "push":
                         if session.push_buffer:
                             frame = session.push_buffer.popleft()

@@ -1,0 +1,386 @@
+"""Tests for the multi-process cluster layer: router, workers, fan-in.
+
+Fast variants of the cluster guarantees run here in-process (workers in
+the same event loop, crashes via ``abort()``): detection equivalence
+with a single-process baseline, deterministic fan-in ordering, no
+duplicates across crash recovery (WAL-tail replay) and live shard
+migration, and the relayed-provenance batch API underneath it all.
+The subprocess + SIGKILL variant is ``python -m repro chaos cluster``.
+"""
+
+import asyncio
+import json
+import os
+
+import pytest
+
+from repro import Engine
+from repro.lang import parse_rules
+from repro.resilience.durability import DurableEngine, read_wal
+from repro.resilience.durability.engine import (
+    CLIENT_KEY,
+    _resolve_client_seqs,
+)
+from repro.serve import ClientError, ErrorFrame, RetryConfig, encode_frame
+from repro.serve.client import AsyncClient, tcp_connector
+from repro.serve.cluster import (
+    SINK_FILENAME,
+    Cluster,
+    HashRing,
+    plan_cluster,
+)
+from repro.serve.cluster_drill import cluster_program, run_cluster_drill
+from repro.simulator import simulate_multi_packing
+from repro.store import RfidStore
+
+
+def build_workload(lines=2, cases_per_line=6, seed=5):
+    trace = simulate_multi_packing(
+        lines=lines, cases_per_line=cases_per_line, items_per_case=5, seed=seed
+    )
+    program = cluster_program(trace.reader_pairs)
+    return program, list(trace.observations)
+
+
+def canon_engine(detections):
+    return sorted(
+        (d.rule.rule_id, round(d.time, 9), tuple(sorted(d.bindings.items())))
+        for d in detections
+    )
+
+
+def canon_frames(frames):
+    return sorted(
+        (f.rule, round(f.time, 9), tuple(sorted(f.bindings.items())))
+        for f in frames
+    )
+
+
+def baseline(program, stream):
+    engine = Engine(parse_rules(program), store=RfidStore())
+    return canon_engine(engine.run(stream))
+
+
+async def eventually(predicate, timeout=10.0, message="condition not reached"):
+    loop = asyncio.get_running_loop()
+    deadline = loop.time() + timeout
+    while not predicate():
+        if loop.time() > deadline:
+            raise AssertionError(message)
+        await asyncio.sleep(0.01)
+
+
+class TestClusterPlan:
+    def rules(self, lines=4):
+        program, _stream = build_workload(lines=lines, cases_per_line=1)
+        return parse_rules(program)
+
+    def test_assignment_is_balanced(self):
+        # Bounded-load consistent hashing: no node may hold more than
+        # ceil(shards / nodes) shards, whatever the ring says.
+        plan = plan_cluster(self.rules(lines=4), 2, max_shards=4)
+        per_node = {}
+        for node in plan.assignment.values():
+            per_node[node] = per_node.get(node, 0) + 1
+        assert sorted(per_node.values()) == [2, 2]
+
+    def test_assignment_is_deterministic(self):
+        first = plan_cluster(self.rules(), 3)
+        second = plan_cluster(self.rules(), 3)
+        assert first.assignment == second.assignment
+        assert first.nodes == second.nodes
+
+    def test_every_shard_is_assigned(self):
+        plan = plan_cluster(self.rules(), 2)
+        assert sorted(plan.assignment) == sorted(plan.shard_plan.shard_names)
+        assert set(plan.assignment.values()) <= set(plan.nodes)
+
+    def test_ring_walk_yields_distinct_nodes(self):
+        ring = HashRing(["a", "b", "c"])
+        walked = list(ring.nodes_for("some-shard"))
+        assert sorted(walked) == ["a", "b", "c"]
+
+
+class TestClusterEndToEnd:
+    def _run_once(self, program, stream, expected_count, tmp, tag):
+        async def scenario():
+            cluster = Cluster(
+                program,
+                workers=2,
+                directory=os.path.join(tmp, tag),
+                inprocess=True,
+            )
+            try:
+                port = await cluster.start()
+                client = AsyncClient(
+                    tcp_connector("127.0.0.1", port),
+                    client_id="e2e",
+                    subscribe=True,
+                    batch_size=16,
+                )
+                async with client:
+                    await client.submit_many(stream)
+                    await client.flush(timeout=30)
+                    await eventually(
+                        lambda: len(client.detections) >= expected_count
+                    )
+                    return list(client.detections)
+            finally:
+                await cluster.stop()
+
+        return asyncio.run(scenario())
+
+    def test_detections_match_single_process_baseline(self, tmp_path):
+        program, stream = build_workload()
+        expected = baseline(program, stream)
+        frames = self._run_once(
+            program, stream, len(expected), str(tmp_path), "a"
+        )
+        assert canon_frames(frames) == expected
+
+    def test_fan_in_order_is_deterministic_and_documented(self, tmp_path):
+        # The documented order (see repro.serve.cluster): epochs release
+        # in client-submission order; within an epoch, shards in route
+        # order, each shard's detections in firing order; every frame is
+        # re-stamped with the epoch's end seq and a per-epoch ordinal.
+        program, stream = build_workload()
+        expected = baseline(program, stream)
+        first = self._run_once(program, stream, len(expected), str(tmp_path), "b1")
+        second = self._run_once(program, stream, len(expected), str(tmp_path), "b2")
+        as_tuples = lambda frames: [
+            (f.rule, round(f.time, 9), f.seq, f.ordinal) for f in frames
+        ]
+        assert as_tuples(first) == as_tuples(second)
+        keys = [(f.seq, f.ordinal) for f in first]
+        assert keys == sorted(keys)
+        assert len(set(keys)) == len(keys)
+        # Ordinals are renumbered per epoch: each epoch's block starts at 0.
+        by_seq = {}
+        for f in first:
+            by_seq.setdefault(f.seq, []).append(f.ordinal)
+        for ordinals in by_seq.values():
+            assert ordinals == list(range(len(ordinals)))
+
+
+class TestClusterRecovery:
+    def test_crash_recovery_replays_wal_tail_without_duplicates(
+        self, tmp_path
+    ):
+        # Kill a worker without checkpointing (in-process abort), keep
+        # streaming into the hole, recover it: recovery replays the WAL
+        # tail through the outbox, so sink deliveries stay exactly-once
+        # and no duplicate detections reach the subscriber.
+        program, stream = build_workload(cases_per_line=8)
+        expected = baseline(program, stream)
+        directory = str(tmp_path / "crash")
+
+        async def scenario():
+            cluster = Cluster(
+                program,
+                workers=2,
+                directory=directory,
+                sink=True,
+                inprocess=True,
+            )
+            try:
+                port = await cluster.start()
+                victim = cluster.plan.assignment[
+                    sorted(cluster.plan.assignment)[0]
+                ]
+                client = AsyncClient(
+                    tcp_connector("127.0.0.1", port),
+                    client_id="crash",
+                    subscribe=True,
+                    batch_size=8,
+                )
+                async with client:
+                    third = len(stream) // 3
+                    await client.submit_many(stream[:third])
+                    await cluster.kill_worker(victim)
+                    await client.submit_many(stream[third : 2 * third])
+                    await cluster.restart_worker(victim)
+                    await client.submit_many(stream[2 * third :])
+                    await client.flush(timeout=30)
+                    await asyncio.sleep(0.2)
+                    pushed = canon_frames(client.detections)
+                return cluster.plan, pushed
+            finally:
+                await cluster.stop()
+
+        plan, pushed = asyncio.run(scenario())
+        assert len(pushed) == len(set(pushed))
+        assert set(pushed) <= set(expected) and pushed
+
+        deliveries = []
+        for shard, node in plan.assignment.items():
+            sink_path = os.path.join(directory, node, shard, SINK_FILENAME)
+            if not os.path.exists(sink_path):
+                continue
+            with open(sink_path, encoding="utf-8") as handle:
+                for line in handle:
+                    payload = json.loads(line)
+                    deliveries.append(
+                        (
+                            (shard, payload["seq"], payload["ordinal"]),
+                            (
+                                payload["rule"],
+                                round(payload["time"], 9),
+                                tuple(sorted(payload["bindings"].items())),
+                            ),
+                        )
+                    )
+        keys = [key for key, _ in deliveries]
+        assert len(keys) == len(set(keys))
+        assert sorted(canon for _, canon in deliveries) == expected
+
+    def test_inprocess_drill_passes(self, tmp_path):
+        report = run_cluster_drill(
+            seed=13,
+            lines=2,
+            cases_per_line=6,
+            workers=2,
+            directory=str(tmp_path / "drill"),
+            inprocess=True,
+            timeout=60.0,
+        )
+        failed = {
+            name: entry
+            for name, entry in report["checks"].items()
+            if not entry["ok"]
+        }
+        assert report["ok"], failed
+
+
+class TestClusterMigration:
+    def test_migration_keeps_detections_exactly_once(self, tmp_path):
+        program, stream = build_workload(cases_per_line=8)
+        expected = baseline(program, stream)
+        directory = str(tmp_path / "migrate")
+
+        async def scenario():
+            cluster = Cluster(
+                program,
+                workers=2,
+                directory=directory,
+                sink=True,
+                inprocess=True,
+            )
+            try:
+                port = await cluster.start()
+                shard = sorted(cluster.plan.assignment)[0]
+                source = cluster.plan.assignment[shard]
+                target = next(
+                    node for node in cluster.plan.nodes if node != source
+                )
+                client = AsyncClient(
+                    tcp_connector("127.0.0.1", port),
+                    client_id="mover",
+                    subscribe=True,
+                    batch_size=8,
+                )
+                async with client:
+                    half = len(stream) // 2
+                    await client.submit_many(stream[:half])
+                    await client.drain(timeout=30)
+                    await cluster.migrate_shard(shard, target)
+                    assert cluster.plan.assignment[shard] == target
+                    await client.submit_many(stream[half:])
+                    await client.flush(timeout=30)
+                    await asyncio.sleep(0.2)
+                    pushed = canon_frames(client.detections)
+                return pushed
+            finally:
+                await cluster.stop()
+
+        pushed = asyncio.run(scenario())
+        assert len(pushed) == len(set(pushed))
+        assert pushed == expected
+
+
+class TestRelayedProvenance:
+    """The per-observation client-seq batch API the router relies on."""
+
+    def test_contiguous_form_unchanged(self):
+        client_id, seqs = _resolve_client_seqs(("c", 7), 3)
+        assert client_id == "c" and list(seqs) == [7, 8, 9]
+
+    def test_explicit_seqs_accepted_with_gaps(self):
+        client_id, seqs = _resolve_client_seqs(("c", (1, 4, 9)), 3)
+        assert client_id == "c" and list(seqs) == [1, 4, 9]
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="length"):
+            _resolve_client_seqs(("c", (1, 2)), 3)
+
+    def test_non_ascending_rejected(self):
+        with pytest.raises(ValueError, match="ascending"):
+            _resolve_client_seqs(("c", (3, 2, 5)), 3)
+
+    def test_gapped_batch_commits_exact_seqs_and_frontier(self, tmp_path):
+        program, stream = build_workload(lines=1, cases_per_line=2)
+        directory = str(tmp_path / "wal")
+        factory = lambda: Engine(parse_rules(program), store=RfidStore())
+        with DurableEngine(factory, directory) as durable:
+            gapped = tuple(range(0, 2 * len(stream), 2))
+            durable.submit_many(stream, client=("relay", gapped))
+            assert durable.client_frontiers["relay"] == gapped[-1]
+        recorded = [
+            record.payload[CLIENT_KEY][1]
+            for record in read_wal(os.path.join(directory, "wal"))
+            if CLIENT_KEY in record.payload
+        ]
+        assert recorded == list(gapped)
+
+
+class TestRetryHintPerAttempt:
+    def test_failed_reconnect_attempt_reapplies_fresh_hint(self):
+        # A server that sheds every handshake with ``retry_after`` must
+        # see that hint honoured on *every* subsequent attempt, not just
+        # the first dial — the regression was consuming the hint once
+        # before the attempt loop.
+        async def scenario():
+            async def shed(reader, writer):
+                writer.write(
+                    encode_frame(
+                        ErrorFrame(
+                            code="overloaded",
+                            message="go away",
+                            retry_after=0.08,
+                        )
+                    )
+                )
+                await writer.drain()
+                writer.close()
+
+            server = await asyncio.start_server(shed, "127.0.0.1", 0)
+            port = server.sockets[0].getsockname()[1]
+            sleeps = []
+            real_sleep = asyncio.sleep
+
+            async def recording_sleep(delay, *args, **kwargs):
+                sleeps.append(delay)
+                return await real_sleep(0)
+
+            client = AsyncClient(
+                tcp_connector("127.0.0.1", port),
+                client_id="shed-me",
+                retry=RetryConfig(
+                    max_attempts=3, backoff_base=0.001, jitter=False
+                ),
+            )
+            asyncio.sleep = recording_sleep
+            try:
+                with pytest.raises(ClientError):
+                    await client.connect()
+            finally:
+                asyncio.sleep = real_sleep
+                server.close()
+                await server.wait_closed()
+                await client.close()
+            return sleeps
+
+        sleeps = asyncio.run(scenario())
+        # Attempts 2 and 3 each follow a shed handshake: both of their
+        # backoff sleeps must be floored by the re-read 0.08s hint
+        # (plain backoff would be ~0.001s/0.002s).
+        assert len([delay for delay in sleeps if delay >= 0.08]) >= 2

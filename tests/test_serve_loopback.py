@@ -508,6 +508,65 @@ class TestClientRecordCap:
 
         asyncio.run(scenario())
 
+    def test_exactly_cap_records_keeps_all(self):
+        # The boundary itself: cap records is *at* the bound, not past
+        # it — nothing may be evicted until record cap+1 arrives.
+        async def scenario():
+            config = ServeConfig(client_record_cap=3)
+            async with CepServer(plain_engine(), config=config) as server:
+                for index in range(3):
+                    raw = Raw(server)
+                    await raw.send(Hello(client_id=f"edge-{index}"))
+                    assert isinstance(await raw.recv(), Welcome)
+                    await raw.send(Bye())
+                    await eventually(lambda: server.stats.sessions_active == 0)
+                assert server.session_summary()["client_records"] == 3
+                assert server.stats.client_records_evicted == 0
+                # cap+1: exactly one eviction, and it is the
+                # least-recently-connected record.
+                raw = Raw(server)
+                await raw.send(Hello(client_id="edge-3"))
+                assert isinstance(await raw.recv(), Welcome)
+                assert server.session_summary()["client_records"] == 3
+                assert server.stats.client_records_evicted == 1
+                assert "edge-0" not in server._clients
+                assert "edge-3" in server._clients
+
+        asyncio.run(scenario())
+
+    def test_live_sessions_are_never_evicted_even_above_cap(self):
+        # Every record pinned by a live connection survives, even when
+        # the live sessions alone exceed the cap — eviction only ever
+        # considers idle records.
+        async def scenario():
+            config = ServeConfig(client_record_cap=2)
+            async with CepServer(plain_engine(), config=config) as server:
+                raws = []
+                for index in range(4):
+                    raw = Raw(server)
+                    await raw.send(Hello(client_id=f"live-{index}"))
+                    assert isinstance(await raw.recv(), Welcome)
+                    raws.append(raw)
+                assert server.session_summary()["client_records"] == 4
+                assert server.stats.client_records_evicted == 0
+                assert all(
+                    server._clients[f"live-{index}"].active_session
+                    is not None
+                    for index in range(4)
+                )
+                # Once they disconnect they become candidates: the next
+                # handshake prunes the now-idle surplus down to the cap.
+                for raw in raws:
+                    await raw.send(Bye())
+                await eventually(lambda: server.stats.sessions_active == 0)
+                raw = Raw(server)
+                await raw.send(Hello(client_id="latecomer"))
+                assert isinstance(await raw.recv(), Welcome)
+                assert server.session_summary()["client_records"] == 2
+                assert "latecomer" in server._clients
+
+        asyncio.run(scenario())
+
 
 class TestSlowConsumers:
     def _congest(self, policy):

@@ -248,3 +248,60 @@ class TestIntrospection:
         for index in range(4):
             sharded.submit(Observation(f"r{index}", "x", float(index)))
         assert sharded.traffic_summary() == {CATCH_ALL: 4}
+
+
+class TestIntrospectionParity:
+    """One source of truth for placement/traffic across the engines.
+
+    ``ShardedEngine``, the standalone ``plan_shards`` plan, and the
+    durable fleet's passthroughs must all report identical views — the
+    cluster router derives worker placement from the plan while the
+    engines report their own, and any drift would desynchronize them.
+    """
+
+    def _rules(self):
+        return [
+            containment("r1", "a1", "b1"),
+            containment("r2", "a2", "b2"),
+            containment("r3", "a1", "c3"),
+        ]
+
+    def _stream(self):
+        return [
+            Observation("a1", "x", 0.0),
+            Observation("a2", "y", 0.2),
+            Observation("b1", "z", 0.4),
+            Observation("nobody", "q", 0.6),
+        ]
+
+    def test_engine_placement_matches_plan(self):
+        from repro.core.sharding import plan_shards
+
+        plan = plan_shards(self._rules(), 2)
+        sharded = ShardedEngine(self._rules(), max_shards=2)
+        assert sharded.placement() == plan.placement()
+
+    def test_durable_fleet_reports_same_views(self, tmp_path):
+        from repro.resilience.durability import DurableShardedEngine
+
+        sharded = ShardedEngine(self._rules(), max_shards=2)
+        for observation in self._stream():
+            sharded.submit(observation)
+        durable = DurableShardedEngine(
+            lambda: ShardedEngine(self._rules(), max_shards=2),
+            str(tmp_path / "fleet"),
+        )
+        try:
+            for observation in self._stream():
+                durable.submit(observation)
+            assert durable.placement() == sharded.placement()
+            assert durable.traffic_summary() == sharded.traffic_summary()
+            assert [
+                durable.routes_for(observation)
+                for observation in self._stream()
+            ] == [
+                sharded.routes_for(observation)
+                for observation in self._stream()
+            ]
+        finally:
+            durable.close()
