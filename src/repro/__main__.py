@@ -181,6 +181,17 @@ def _cmd_chaos(arguments: argparse.Namespace) -> int:
     registry = MetricsRegistry() if getattr(arguments, "metrics", None) else None
     store = RfidStore()
 
+    engine_kwargs = {}
+    if arguments.out_of_order == "revise":
+        horizon = arguments.revise_horizon
+        if horizon is None:
+            horizon = arguments.max_lateness * 2
+        engine_kwargs["revise_horizon"] = horizon
+    elif arguments.revise_horizon is not None:
+        raise SystemExit(
+            "chaos: --revise-horizon requires --out-of-order revise"
+        )
+
     def build() -> SupervisedEngine:
         return SupervisedEngine(
             program.rules,
@@ -188,6 +199,7 @@ def _cmd_chaos(arguments: argparse.Namespace) -> int:
             functions=FunctionRegistry(),
             metrics=registry,
             out_of_order=arguments.out_of_order,
+            **engine_kwargs,
         )
 
     detections = 0
@@ -212,6 +224,21 @@ def _cmd_chaos(arguments: argparse.Namespace) -> int:
         f"{detections} detections"
     )
     print(f"chaos: {injector.counts}")
+    if arguments.out_of_order == "revise":
+        stats = engine.engine.stats
+        print(
+            f"speculation: {stats.speculative} provisional, "
+            f"{stats.revised} revised, {stats.retracted} retracted, "
+            f"{stats.sealed} sealed final, "
+            f"{stats.dropped_too_late} dropped past horizon"
+        )
+    elif arguments.out_of_order == "drop":
+        # DROP is allowed, but never silent: every discarded late
+        # reading is a reading the detections above did not see.
+        print(
+            f"ooo_dropped: {engine.engine.stats.dropped_out_of_order} "
+            f"stale readings discarded before detection"
+        )
     print("supervision report:")
     for key, value in engine.report().items():
         print(f"  {key}: {value}")
@@ -279,6 +306,52 @@ def _cmd_chaos_serve(arguments: argparse.Namespace) -> int:
         f"heartbeats={clients['v1']['heartbeats']}; "
         f"v2 reconnects={clients['v2']['reconnects']} "
         f"heartbeats={clients['v2']['heartbeats']}"
+    )
+    if arguments.report:
+        print(f"report written to {arguments.report}")
+    print("drill PASSED" if report["ok"] else "drill FAILED")
+    return 0 if report["ok"] else 1
+
+
+def _cmd_chaos_skew(arguments: argparse.Namespace) -> int:
+    """The skew drill (see :mod:`repro.serve.skew_drill`).
+
+    A seeded ChaosInjector perturbs an interleaved packing + smart-shelf
+    stream with clock skew, out-of-order spikes and duplicate bursts; a
+    durable REVISE-mode ``CepServer`` (outbox ``confidence="final"``) is
+    hard-killed and recovered mid-stream; the drill then audits that the
+    sink saw exactly the in-order oracle's detections — finals only,
+    exactly once, with real retractions along the way.  Exit status 0
+    means every check held.
+    """
+    from .serve.skew_drill import run_chaos_skew_drill
+
+    print(
+        f"chaos skew drill: seed={arguments.seed} cases={arguments.cases} "
+        f"horizon={arguments.horizon} "
+        f"(reproduce with --seed {arguments.seed})"
+    )
+    report = run_chaos_skew_drill(
+        seed=arguments.seed,
+        cases=arguments.cases,
+        horizon=arguments.horizon,
+        timeout=arguments.timeout,
+        report_path=arguments.report,
+    )
+    for name, check in sorted(report["checks"].items()):
+        status = "ok  " if check["ok"] else "FAIL"
+        detail = f" ({check['detail']})" if check["detail"] else ""
+        print(f"  [{status}] {name}{detail}")
+    engine = report["engine"]
+    print(
+        f"speculation: {engine['speculative']} provisional, "
+        f"{engine['revised']} revised, {engine['retracted']} retracted, "
+        f"{engine['sealed']} sealed final"
+    )
+    outbox = report["outbox"]
+    print(
+        f"outbox: {outbox['held']} held, {outbox['cancelled']} cancelled, "
+        f"{outbox['timed_out']} timed out"
     )
     if arguments.report:
         print(f"report written to {arguments.report}")
@@ -786,9 +859,17 @@ def main(argv: "list[str] | None" = None) -> int:
     chaos.add_argument("--skew-rate", type=float, default=0.0)
     chaos.add_argument(
         "--out-of-order",
-        choices=("raise", "drop", "accept"),
+        choices=("raise", "drop", "accept", "revise"),
         default="accept",
-        help="engine policy for late readings (default: accept)",
+        help="engine policy for late readings (default: accept; "
+        "'accept' is deprecated — prefer 'revise')",
+    )
+    chaos.add_argument(
+        "--revise-horizon",
+        type=float,
+        default=None,
+        help="watermark lag for --out-of-order revise (stream seconds; "
+        "defaults to --max-lateness * 2 when the policy is revise)",
     )
     chaos.add_argument(
         "--kill-at",
@@ -835,6 +916,39 @@ def main(argv: "list[str] | None" = None) -> int:
         help="write the JSON drill report here (default: CHAOS_serve.json)",
     )
     chaos_serve.set_defaults(handler=_cmd_chaos_serve)
+
+    chaos_skew = chaos_commands.add_parser(
+        "skew",
+        help="skew drill: seeded clock skew + out-of-order spikes "
+        "through a REVISE-mode durable server with a mid-stream "
+        "kill/recover; audits finals against the in-order oracle "
+        "(exit 1 on any failure)",
+    )
+    chaos_skew.add_argument(
+        "--seed", type=int, default=11, help="perturbation-schedule seed"
+    )
+    chaos_skew.add_argument(
+        "--cases", type=int, default=16, help="simulated packing cases"
+    )
+    chaos_skew.add_argument(
+        "--horizon",
+        type=float,
+        default=6.0,
+        help="revise_horizon (stream seconds); must exceed the fault "
+        "mix's worst-case lateness (default: 6.0)",
+    )
+    chaos_skew.add_argument(
+        "--timeout",
+        type=float,
+        default=120.0,
+        help="hard wall-clock bound on the whole drill (seconds)",
+    )
+    chaos_skew.add_argument(
+        "--report",
+        default="CHAOS_skew.json",
+        help="write the JSON drill report here (default: CHAOS_skew.json)",
+    )
+    chaos_skew.set_defaults(handler=_cmd_chaos_skew)
 
     chaos_cluster = chaos_commands.add_parser(
         "cluster",

@@ -136,11 +136,22 @@ def _cmd_serve(
     scale: "str | None" = None,
     max_overhead: "float | None" = None,
 ) -> int:
-    from .serve import check_overhead, run_serve_bench, serve_table, write_serve_json
+    from .serve import (
+        check_overhead,
+        run_serve_bench,
+        run_speculation_bench,
+        serve_table,
+        write_serve_json,
+    )
 
     if scale is None:
         scale = "full" if full else "quick"
     results = run_serve_bench(scale=scale)
+    # Speculation rows ride along in the same table/JSON: what REVISE's
+    # watermark-buffered retraction machinery costs over the deprecated
+    # ACCEPT policy on a seeded disordered arrival order.  Direct
+    # transport only — they never touch the loopback/binary CI gate.
+    results = list(results) + run_speculation_bench(scale=scale)
     print(
         f"Serving layer overhead over {results[0].n_events:,} events "
         f"(baseline: direct submit_many, "

@@ -56,6 +56,18 @@ the ``"schema"`` key)::
 Schema version 1 (one row per transport, no ``codec`` key) is what
 pre-codec checkouts emitted; consumers should key rows on
 ``(transport, codec)``.
+
+Two additional ``transport == "direct"`` rows measure what speculation
+costs at the engine layer, away from the wire: codec ``"ooo-accept"``
+runs the deprecated ACCEPT policy over a seeded bounded-disorder
+arrival order (stale observations processed as-is), and codec
+``"ooo-revise"`` runs the same arrival through REVISE
+(watermark-buffered speculation with retraction).  The revise row's
+``overhead_pct`` is scored against the accept row — the price of
+getting *correct* eager answers instead of fast wrong ones — and the
+revise run's sealed finals are asserted equal to the in-order oracle
+before any number is reported.  These rows never participate in the
+``check_overhead`` CI gate, which keys on ``loopback/binary``.
 """
 
 from __future__ import annotations
@@ -96,6 +108,25 @@ SERVE_CODECS = ("json", "binary")
 #: wire cost being measured; repeats shrink as the workload grows and
 #: the signal-to-noise ratio improves on its own.
 SERVE_REPEATS = {"quick": 7, "full": 3, "large": 1}
+
+#: Workload sizes for the speculation (out-of-order policy) rows.  The
+#: REVISE run rebuilds its speculative engine on every late arrival, so
+#: these are deliberately smaller than the wire-row scales — the ratio
+#: being measured stabilises quickly and a full-size run would just
+#: burn CI minutes re-measuring it.
+SPECULATION_SCALES = {"quick": 2_000, "full": 8_000, "large": 20_000}
+
+#: Best-of-N repeats for the speculation rows; the revise run is slow
+#: enough that its signal clears the noise floor with few repeats.
+SPECULATION_REPEATS = {"quick": 3, "full": 2, "large": 1}
+
+#: Seeded bounded-disorder shape for the speculation rows: roughly one
+#: reading in five arrives late, at most 2 stream-seconds behind.  The
+#: revise horizon covers the worst lateness twice over so nothing is
+#: dropped — every late reading costs a real speculative rebuild.
+SPECULATION_DISORDER_RATE = 0.2
+SPECULATION_MAX_LATENESS = 2.0
+SPECULATION_HORIZON = 2 * SPECULATION_MAX_LATENESS
 
 
 @dataclass(frozen=True)
@@ -318,16 +349,212 @@ def run_serve_bench(
     return results
 
 
+def _run_policy_once(
+    rules: Sequence[Rule],
+    arrival: Sequence[Observation],
+    policy: str,
+) -> tuple[int, float]:
+    """Time one engine run over the disordered arrival order.
+
+    Returns ``(detections, elapsed_seconds)``.  For ``"revise"`` the
+    detection count is the number of *sealed finals* — provisional and
+    retraction records are part of the work being timed but are not
+    answers.  The deprecated ACCEPT path is measured deliberately (it
+    is the comparison point this benchmark exists to price), so its
+    DeprecationWarning is silenced here and nowhere else.
+    """
+    import warnings
+
+    from ..core.detector import OutOfOrderPolicy
+    from ..core.speculate import FINAL
+
+    if policy == "revise":
+        engine = Engine(
+            rules,
+            context="chronicle",
+            out_of_order=OutOfOrderPolicy.REVISE,
+            revise_horizon=SPECULATION_HORIZON,
+        )
+    else:
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            engine = Engine(
+                rules, context="chronicle", out_of_order=OutOfOrderPolicy.ACCEPT
+            )
+    gc.collect()
+    gc.disable()
+    try:
+        started = time.perf_counter()
+        out = engine.submit_many(arrival)
+        out += engine.flush()
+        elapsed = time.perf_counter() - started
+    finally:
+        gc.enable()
+    if policy == "revise":
+        detections = sum(
+            1 for record in out if getattr(record, "status", None) == FINAL
+        )
+    else:
+        detections = len(out)
+    return detections, elapsed
+
+
+def _disordered_workload(scale: str, seed: int):
+    """Events-axis workload plus its seeded bounded-disorder arrival.
+
+    Returns ``(workload, arrival)``; raises if the injector happened to
+    delay nothing (a disorder benchmark over an in-order stream would
+    silently measure the wrong thing).
+    """
+    from ..resilience.chaos import ChaosConfig, ChaosInjector
+
+    if scale not in SPECULATION_SCALES:
+        raise ValueError(
+            f"unknown scale {scale!r} (expected one of "
+            f"{sorted(SPECULATION_SCALES)})"
+        )
+    workload = build_events_axis_workload(
+        SPECULATION_SCALES[scale], n_rules=10
+    )
+    injector = ChaosInjector(
+        ChaosConfig(
+            seed=seed,
+            disorder_rate=SPECULATION_DISORDER_RATE,
+            max_lateness=SPECULATION_MAX_LATENESS,
+        )
+    )
+    arrival = list(injector.inject(workload.observations))
+    if not injector.counts["delayed"]:
+        raise AssertionError("disorder injection produced no late arrivals")
+    return workload, arrival
+
+
+def measure_drop_loss(
+    full_scale: bool = False,
+    *,
+    scale: Optional[str] = None,
+    seed: int = 11,
+) -> dict:
+    """Quantify what ``OutOfOrderPolicy.DROP`` silently throws away.
+
+    Runs the same seeded disordered arrival the speculation rows use
+    through a DROP-policy engine and returns the loss, observable at
+    last: ``ooo_dropped`` (late readings discarded — the engine's
+    ``stats.dropped_out_of_order`` / ``rceda_dropped_out_of_order_total``
+    counter), the detections the crippled run still found, and the
+    in-order oracle's count, so the report can state how many *answers*
+    the dropped readings took with them.
+    """
+    from ..core.detector import OutOfOrderPolicy
+    from ..core.speculate import canonical_key
+
+    if scale is None:
+        scale = "full" if full_scale else "quick"
+    workload, arrival = _disordered_workload(scale, seed)
+    oracle_engine = Engine(workload.rules, context="chronicle")
+    oracle = len(
+        oracle_engine.submit_many(sorted(arrival, key=canonical_key))
+    ) + len(oracle_engine.flush())
+    engine = Engine(
+        workload.rules, context="chronicle", out_of_order=OutOfOrderPolicy.DROP
+    )
+    detections = len(engine.submit_many(arrival)) + len(engine.flush())
+    return {
+        "n_events": len(arrival),
+        "ooo_dropped": engine.stats.dropped_out_of_order,
+        "detections": detections,
+        "oracle_detections": oracle,
+        "detections_lost": oracle - detections,
+    }
+
+
+def run_speculation_bench(
+    full_scale: bool = False,
+    *,
+    scale: Optional[str] = None,
+    repeats: Optional[int] = None,
+    seed: int = 11,
+) -> List[ServeBenchResult]:
+    """Price REVISE speculation against the deprecated ACCEPT policy.
+
+    Builds the events-axis workload, perturbs its arrival order with
+    seeded bounded disorder (:class:`~repro.resilience.chaos
+    .ChaosInjector`, disorder only — same timestamps, late arrival),
+    and times the same engine/rule set under both out-of-order
+    policies.  Returns two ``transport == "direct"`` rows: codec
+    ``"ooo-accept"`` (its own baseline, overhead 0) and
+    ``"ooo-revise"``, scored against the paired accept run of its best
+    round.  Before anything is reported, the revise run's sealed
+    finals are asserted equal to the in-order oracle — the overhead
+    number is only ever attached to a *correct* run, mirroring the
+    detection-count precondition of the wire rows.
+    """
+    from ..core.speculate import canonical_key
+
+    if scale is None:
+        scale = "full" if full_scale else "quick"
+    workload, arrival = _disordered_workload(scale, seed)
+    if repeats is None:
+        repeats = SPECULATION_REPEATS[scale]
+    repeats = max(1, repeats)
+    n_rules = 10
+    oracle_engine = Engine(workload.rules, context="chronicle")
+    oracle = len(
+        oracle_engine.submit_many(sorted(arrival, key=canonical_key))
+    ) + len(oracle_engine.flush())
+    best_accept: Optional[tuple[int, float]] = None
+    best_revise: Optional[tuple[float, float, float]] = None  # ratio, el, base
+    for _ in range(repeats):
+        accept_detections, accept_elapsed = _run_policy_once(
+            workload.rules, arrival, "accept"
+        )
+        revise_detections, revise_elapsed = _run_policy_once(
+            workload.rules, arrival, "revise"
+        )
+        if revise_detections != oracle:
+            raise AssertionError(
+                f"revise run sealed {revise_detections} finals, in-order "
+                f"oracle found {oracle}"
+            )
+        if best_accept is None or accept_elapsed < best_accept[1]:
+            best_accept = (accept_detections, accept_elapsed)
+        ratio = revise_elapsed / accept_elapsed
+        if best_revise is None or ratio < best_revise[0]:
+            best_revise = (ratio, revise_elapsed, accept_elapsed)
+    assert best_accept is not None and best_revise is not None
+    n_arrival = len(arrival)
+    return [
+        ServeBenchResult(
+            transport="direct",
+            codec="ooo-accept",
+            n_events=n_arrival,
+            n_rules=n_rules,
+            detections=best_accept[0],
+            elapsed_seconds=best_accept[1],
+            baseline_seconds=best_accept[1],
+        ),
+        ServeBenchResult(
+            transport="direct",
+            codec="ooo-revise",
+            n_events=n_arrival,
+            n_rules=n_rules,
+            detections=oracle,
+            elapsed_seconds=best_revise[1],
+            baseline_seconds=best_revise[2],
+        ),
+    ]
+
+
 def serve_table(results: Sequence[ServeBenchResult]) -> str:
     """Render the per-transport/per-codec series as an aligned table."""
     lines = [
-        f"{'transport':>10} | {'codec':>7} | {'total ms':>10} | "
+        f"{'transport':>10} | {'codec':>10} | {'total ms':>10} | "
         f"{'events/s':>10} | {'overhead':>9} | {'bytes in':>11}"
     ]
     lines.append("-" * len(lines[0]))
     for result in results:
         lines.append(
-            f"{result.transport:>10} | {result.codec:>7} | "
+            f"{result.transport:>10} | {result.codec:>10} | "
             f"{result.total_ms:>10.1f} | "
             f"{result.events_per_second:>10,.0f} | "
             f"{result.overhead_pct:>8.1f}% | {result.bytes_in:>11,}"

@@ -51,18 +51,28 @@ class OutOfOrderPolicy(str, Enum):
     """What :class:`Engine` does with observations older than its clock.
 
     ``RAISE`` (the default) treats disorder as a caller bug; ``DROP``
-    mirrors a watermark-style late-data policy; ``ACCEPT`` processes the
-    stale observation anyway and exists for experimentation only —
-    pseudo-event correctness assumes time order.
+    mirrors a watermark-style late-data policy and counts every loss in
+    ``stats.dropped_out_of_order`` / the ``rceda_dropped_out_of_order_
+    total`` metric; ``REVISE`` buffers a bounded reorder horizon
+    (``revise_horizon`` seconds), emits detections immediately tagged
+    ``provisional`` and compensates with ``retract``/``revise``/
+    ``final`` records as late data lands and the watermark advances
+    (see :mod:`repro.core.speculate` and ``docs/consistency.md``).
+
+    ``ACCEPT`` processes the stale observation anyway; it is
+    **deprecated** — pseudo-event correctness assumes time order, so
+    accepted disorder silently corrupts detections.  Use ``REVISE``,
+    which is eager *and* correct.
 
     A :class:`str` subclass, so the legacy string spellings
-    (``"raise"``/``"drop"``/``"accept"``) compare equal and both forms
-    are accepted by ``Engine(out_of_order=...)``.
+    (``"raise"``/``"drop"``/``"accept"``/``"revise"``) compare equal
+    and both forms are accepted by ``Engine(out_of_order=...)``.
     """
 
     RAISE = "raise"
     DROP = "drop"
     ACCEPT = "accept"
+    REVISE = "revise"
 
     @classmethod
     def coerce(cls, value: "str | OutOfOrderPolicy") -> "OutOfOrderPolicy":
@@ -112,6 +122,14 @@ class EngineStats:
     pending_killed: int = 0
     interval_violations: int = 0
     dropped_out_of_order: int = 0
+    #: REVISE-mode arrivals older than the watermark (outside the
+    #: promised horizon); also counted in ``dropped_out_of_order``.
+    dropped_too_late: int = 0
+    #: REVISE-mode revision-lifecycle counters.
+    speculative: int = 0
+    revised: int = 0
+    retracted: int = 0
+    sealed: int = 0
     gc_removed: int = 0
     #: detections per rule id.
     per_rule: dict = field(default_factory=dict)
@@ -275,9 +293,16 @@ class Engine:
         this exists for the merge ablation benchmark.
     out_of_order:
         An :class:`OutOfOrderPolicy` (or its string spelling,
-        ``"raise"``/``"drop"``/``"accept"``) for observations older than
-        the engine clock.  ``ACCEPT`` exists for experimentation only —
-        pseudo-event correctness assumes order.
+        ``"raise"``/``"drop"``/``"accept"``/``"revise"``) for
+        observations older than the engine clock.  ``ACCEPT`` is
+        deprecated (pseudo-event correctness assumes order — prefer
+        ``REVISE``); ``REVISE`` requires ``revise_horizon``.
+    revise_horizon:
+        The REVISE watermark lag, in stream seconds: arrivals up to this
+        late are repaired via retraction/revision; older arrivals are
+        dropped (counted in ``stats.dropped_too_late``).  Detections are
+        sealed ``final`` once the watermark passes them.  Only valid
+        with ``out_of_order=REVISE``, which it is required by.
     reorder_delay:
         When set, arrivals pass through a watermark reorder buffer of
         this many seconds before detection: readings up to that late are
@@ -314,6 +339,7 @@ class Engine:
         store: Any = None,
         merge_common_subgraphs: bool = True,
         out_of_order: "str | OutOfOrderPolicy" = OutOfOrderPolicy.RAISE,
+        revise_horizon: Optional[float] = None,
         reorder_delay: Optional[float] = None,
         gc_every: int = 1024,
         observer: Optional[EngineObserver] = None,
@@ -345,6 +371,38 @@ class Engine:
             from ..readers.streams import ReorderBuffer
 
             self._reorder = ReorderBuffer(delay=reorder_delay)
+        self._spec = None
+        if self._out_of_order is OutOfOrderPolicy.ACCEPT:
+            import warnings
+
+            warnings.warn(
+                "OutOfOrderPolicy.ACCEPT is deprecated: processing stale "
+                "observations breaks pseudo-event correctness.  Use "
+                "OutOfOrderPolicy.REVISE (with revise_horizon=...) for "
+                "eager detections that are retracted/revised when late "
+                "data arrives.",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+        if self._out_of_order is OutOfOrderPolicy.REVISE:
+            if revise_horizon is None:
+                raise ValueError(
+                    "out_of_order=REVISE requires revise_horizon (the "
+                    "watermark lag, in stream seconds)"
+                )
+            if self._reorder is not None:
+                raise ValueError(
+                    "revise_horizon and reorder_delay are mutually "
+                    "exclusive: REVISE subsumes the reorder buffer"
+                )
+            from .speculate import SpeculationManager
+
+            self._spec = SpeculationManager(self, revise_horizon)
+        elif revise_horizon is not None:
+            raise ValueError(
+                "revise_horizon is only meaningful with out_of_order="
+                "OutOfOrderPolicy.REVISE"
+            )
         if metrics is not None:
             self.attach_metrics(metrics, label=metrics_label)
         for rule in rules:
@@ -454,6 +512,10 @@ class Engine:
             self._reorder.attach_instruments(instruments)
             if instruments is not None:
                 instruments.reset()
+        if self._spec is not None:
+            from .speculate import SpeculationManager
+
+            self._spec = SpeculationManager(self, self._spec.horizon)
         if self._instr is not None:
             # Zero only this engine's label slice: registry co-tenants
             # (other shards) keep their values.
@@ -499,6 +561,18 @@ class Engine:
         return self._clock
 
     @property
+    def speculation(self):
+        """The REVISE-mode :class:`~repro.core.speculate.SpeculationManager`,
+        or None under any other out-of-order policy."""
+        return self._spec
+
+    @property
+    def watermark(self) -> Optional[float]:
+        """The REVISE watermark (``max seen timestamp - revise_horizon``),
+        or None when speculation is off."""
+        return self._spec.watermark if self._spec is not None else None
+
+    @property
     def last_seq(self) -> int:
         """Sequence number of the latest observation submitted with one.
 
@@ -530,6 +604,8 @@ class Engine:
         self._started = True
         if seq is not None:
             self._last_seq = seq
+        if self._spec is not None:
+            return self._spec.ingest(observation)
         if self._reorder is not None:
             for released in self._reorder.push(observation):
                 self._process(released)
@@ -558,6 +634,18 @@ class Engine:
         seq = first_seq
         count = 0
         dropped_before = self.stats.dropped_out_of_order
+        if self._spec is not None:
+            records: list = []
+            for observation in observations:
+                if seq is not None:
+                    self._last_seq = seq
+                    seq += 1
+                count += 1
+                records.extend(self._spec.ingest(observation))
+            dropped = self.stats.dropped_out_of_order - dropped_before
+            return SubmitResult(
+                records, accepted=count - dropped, dropped=dropped
+            )
         reorder = self._reorder
         if reorder is not None:
             for observation in observations:
@@ -613,8 +701,15 @@ class Engine:
             instr.pseudo_depth.set(len(self._pseudo_queue))
 
     def advance_to(self, time: float) -> list[Detection]:
-        """Advance the logical clock, firing pseudo events due by ``time``."""
+        """Advance the logical clock, firing pseudo events due by ``time``.
+
+        In REVISE mode this advances the *watermark* to ``time``: the
+        speculative view advances fully (expiry-driven provisionals
+        surface), while sealing trails by the configured horizon.
+        """
         self._started = True
+        if self._spec is not None:
+            return self._spec.advance(time)
         self._fire_due_pseudo(time, inclusive=True)
         self._clock = max(self._clock, time)
         return self._take_output()
@@ -623,9 +718,13 @@ class Engine:
         """Fire every remaining pseudo event (end of stream).
 
         With a reorder buffer configured, its still-buffered readings are
-        processed first.
+        processed first.  In REVISE mode the whole buffer is released,
+        every surviving detection seals ``final`` and unconfirmed
+        speculation is retracted.
         """
         self._started = True
+        if self._spec is not None:
+            return self._spec.finish()
         if self._reorder is not None:
             for released in self._reorder.drain():
                 self._process(released)

@@ -1,0 +1,605 @@
+"""Watermark-driven speculative detection: provisional → retract/revise → final.
+
+The paper's chronicle engine assumes observations arrive in timestamp
+order; real RFID deployments have clock-skewed readers and delayed
+relays.  ``OutOfOrderPolicy.REVISE`` (the CEDR model — "Consistent
+Streaming Through Time", see PAPERS.md) closes the gap with speculative
+output plus compensation:
+
+* arrivals are buffered inside a bounded *reorder horizon*; the
+  **watermark** is ``max(seen timestamps) - horizon``;
+* detections are emitted immediately, tagged ``provisional``, each with
+  a stable :attr:`~SpeculativeDetection.detection_id` and a
+  monotonically increasing :attr:`~SpeculativeDetection.revision`;
+* a late observation landing inside the horizon re-runs the affected
+  window: detections that change are re-emitted as ``revise`` records,
+  detections that disappear as ``retract`` records;
+* once the watermark passes a detection's window it is sealed with a
+  ``final`` record — provably immune to any acceptable late data, so
+  side effects (see the outbox confidence horizon in
+  :mod:`repro.resilience.durability.outbox`) can fire.
+
+Mechanically the host :class:`~repro.core.detector.Engine` becomes the
+*sealed* engine: it only ever processes observations the watermark has
+released, in canonical stream order, so its detections — and its rule
+**actions**, which run exactly once — are byte-identical to an in-order
+run.  A *speculative clone* (same compiled graph, shadow rules whose
+actions are no-ops) runs ahead over sealed + buffered observations and
+produces the provisional view; on a late arrival it is rebuilt from a
+cached checkpoint of the sealed engine plus a replay of the buffer.
+
+Canonical stream order is ``(timestamp, reader, obj)`` — both the
+buffer and the "in-order baseline" that REVISE converges to are defined
+by this key, which makes equal-timestamp readings deterministic.
+
+The sealing argument, precisely: an accepted late observation has
+``ts > watermark``; every detection it can create or destroy occurs at
+time ``>= ts > watermark``.  Contrapositive: a detection whose time is
+``<= watermark`` can no longer change, so sealing it as ``final`` when
+the sealed engine (whose clock trails the watermark) emits it is safe —
+including negation expiries, whose pseudo events execute at times the
+sealed engine has provably passed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from bisect import bisect_right
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Optional
+
+from .instances import Observation
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .detector import Detection, Engine, RuleLike
+
+__all__ = [
+    "FINAL",
+    "PROVISIONAL",
+    "RETRACT",
+    "REVISED",
+    "SpeculationManager",
+    "SpeculativeDetection",
+    "canonical_key",
+]
+
+#: Revision-record statuses, in lifecycle order.
+PROVISIONAL = "provisional"
+REVISED = "revise"
+RETRACT = "retract"
+FINAL = "final"
+
+
+def canonical_key(observation: Observation) -> tuple:
+    """The canonical stream-order key: ``(timestamp, reader, obj)``.
+
+    Defines both the reorder buffer's ordering and the in-order oracle
+    that REVISE-mode finals are guaranteed to equal.
+    """
+    return (
+        observation.timestamp,
+        str(observation.reader),
+        str(observation.obj),
+    )
+
+
+def _make_speculative(base: "Detection", detection_id: str,
+                      revision: int, status: str) -> "SpeculativeDetection":
+    return SpeculativeDetection(
+        base.rule, base.instance, base.time,
+        detection_id=detection_id, revision=revision, status=status,
+    )
+
+
+def _identity_of(detection: "Detection") -> tuple:
+    """The occurrence anchor a detection id hashes over (sans ordinal).
+
+    Anchored on the rule plus the *trigger* leaf — the canonically last
+    constituent observation — so late data that changes other parts of
+    the match keeps the same id (and is a ``revise``), while genuinely
+    distinct occurrences get distinct ids.  Leafless instances (pure
+    negation windows) anchor on the window itself.
+    """
+    leaves = list(detection.instance.observations())
+    rule_id = detection.rule.rule_id
+    if leaves:
+        trigger = max(leaves, key=canonical_key)
+        return (rule_id, str(trigger.reader), str(trigger.obj),
+                trigger.timestamp)
+    return (rule_id, detection.instance.t_begin, detection.instance.t_end)
+
+
+def _content_of(detection: "Detection") -> str:
+    """Hash of everything a subscriber can see: leaves, time, bindings."""
+    leaves = sorted(
+        (str(o.reader), str(o.obj), repr(o.timestamp))
+        for o in detection.instance.observations()
+    )
+    bindings = sorted(
+        (str(key), repr(value))
+        for key, value in detection.instance.bindings.items()
+    )
+    blob = repr((leaves, repr(detection.time), bindings)).encode()
+    return hashlib.sha1(blob).hexdigest()[:16]
+
+
+def _hash_identity(identity: tuple, ordinal: int) -> str:
+    blob = repr((identity, ordinal)).encode()
+    return hashlib.sha1(blob).hexdigest()[:16]
+
+
+class _Record:
+    """Lifecycle state of one detection id (latest emitted revision)."""
+
+    __slots__ = ("revision", "status", "content", "rule_id", "instance",
+                 "time")
+
+    def __init__(self, revision: int, status: str, content: str,
+                 rule_id: str, instance: Any, time: float) -> None:
+        self.revision = revision
+        self.status = status
+        self.content = content
+        self.rule_id = rule_id
+        self.instance = instance
+        self.time = time
+
+
+class _ShadowRule:
+    """A rule clone that detects but never acts.
+
+    Shares the original's ``rule_id``/``name``/``event`` (so the clone
+    engine's checkpoint fingerprint matches the sealed engine's) and
+    delegates the condition, but :meth:`execute_actions` is a no-op —
+    speculative re-runs must not re-fire side effects, store writes or
+    watch callbacks.  ``enabled`` tracks the original live.
+    """
+
+    __slots__ = ("_original", "rule_id", "name", "event")
+
+    def __init__(self, original: "RuleLike") -> None:
+        self._original = original
+        self.rule_id = original.rule_id
+        self.name = original.name
+        self.event = original.event
+
+    @property
+    def enabled(self) -> bool:
+        return getattr(self._original, "enabled", True)
+
+    def evaluate_condition(self, context: Any) -> bool:
+        return self._original.evaluate_condition(context)
+
+    def execute_actions(self, context: Any) -> None:
+        return None
+
+
+@dataclass(frozen=True)
+class SpeculativeDetection:
+    """A :class:`~repro.core.detector.Detection` with a revision tag.
+
+    Structurally a plain ``Detection`` (duck-typed: ``rule``,
+    ``instance``, ``time``, ``bindings``), plus the revision lifecycle —
+    every existing detection channel (server fan-out, outbox, bench
+    comparisons) keeps working, and revision-aware layers read the three
+    extra fields via ``getattr``.
+
+    ``revision`` increases strictly per ``detection_id``; a ``retract``
+    always references an id whose previous revision was emitted.
+    """
+
+    rule: Any
+    instance: Any
+    time: float
+    detection_id: str = ""
+    revision: int = 0
+    status: str = PROVISIONAL
+
+    @property
+    def bindings(self) -> dict:
+        return dict(self.instance.bindings)
+
+    def __repr__(self) -> str:
+        return (
+            f"<detection rule={self.rule.rule_id!r} at {self.time:g} "
+            f"id={self.detection_id} rev={self.revision} {self.status}>"
+        )
+
+
+class SpeculationManager:
+    """The REVISE-mode driver owned by an :class:`~repro.core.detector.Engine`.
+
+    Holds the reorder buffer, the watermark, the per-id revision records
+    and the speculative clone engine; the host engine routes
+    ``submit``/``advance_to``/``flush`` through :meth:`ingest`/
+    :meth:`advance`/:meth:`finish` and returns the revision records they
+    produce instead of raw detections.
+    """
+
+    def __init__(self, engine: "Engine", horizon: float) -> None:
+        if horizon < 0:
+            raise ValueError("revise_horizon must be >= 0")
+        self.engine = engine
+        self.horizon = float(horizon)
+        #: Buffered observations in canonical order, with a parallel key
+        #: list so insertion is one bisect, not a key() per comparison.
+        self.buffer: list[Observation] = []
+        self._keys: list[tuple] = []
+        self.max_ts = float("-inf")
+        #: Explicit advance_to() high-water mark, replayed after rebuilds.
+        self._advanced_to = float("-inf")
+        #: detection_id -> latest emitted revision record.
+        self.records: dict[str, _Record] = {}
+        #: Unsealed ids currently present in the speculative view.
+        self._live: dict[str, str] = {}
+        #: Occurrence counters for the current speculative generation.
+        self._occ: dict[tuple, int] = {}
+        #: Occurrence counters covering only sealed (final) detections —
+        #: the generation counters reseed from this on every rebuild so
+        #: ordinals (and therefore ids) stay stable across generations.
+        self._sealed_occ: dict[tuple, int] = {}
+        self._spec_engine: Optional["Engine"] = None
+        self._spec_dirty = True
+        self._sealed_snapshot: Optional[dict] = None
+        self._sealed_dirty = True
+
+    # -- watermark ----------------------------------------------------------
+
+    @property
+    def watermark(self) -> float:
+        """``max(seen timestamps) - horizon``; ``-inf`` before any input."""
+        if self.max_ts == float("-inf"):
+            return float("-inf")
+        return self.max_ts - self.horizon
+
+    @property
+    def buffered(self) -> int:
+        return len(self.buffer)
+
+    # -- main entry points --------------------------------------------------
+
+    def ingest(self, observation: Observation) -> list:
+        """One arrival: buffer, speculate, release, seal.
+
+        Returns the revision records this arrival produced (possibly
+        empty — e.g. a buffered observation that matched nothing yet).
+        Arrivals at or below the watermark are *too late* — outside the
+        promised horizon — and are dropped (counted, never silent).
+        """
+        engine = self.engine
+        key = canonical_key(observation)
+        if key[0] <= self.watermark:
+            engine.stats.dropped_out_of_order += 1
+            engine.stats.dropped_too_late += 1
+            if engine._instr is not None:
+                engine._instr.dropped_out_of_order.inc()
+                engine._instr.dropped_too_late.inc()
+            return []
+        # Canonical insertion; arriving in canonical order means the
+        # speculative engine can be fed incrementally instead of rebuilt.
+        position = self._insort(key, observation)
+        in_order = position == len(self.buffer) - 1
+        self.max_ts = max(self.max_ts, key[0])
+        out: list = []
+        if in_order and not self._spec_dirty and self._spec_engine is not None:
+            out.extend(self._absorb(self._spec_engine.submit(observation)))
+        elif not in_order:
+            self._spec_dirty = True
+        # else: spec already dirty; the rebuild below covers this arrival.
+        out.extend(self._release())
+        if self._spec_dirty:
+            out.extend(self._rebuild())
+        return out
+
+    def advance(self, time: float) -> list:
+        """Advance logical time (no observation): watermark and clone move.
+
+        The sealed engine only ever advances to the watermark — the
+        region that can still change stays unsealed — while the clone
+        advances to ``time`` so expiry-driven detections surface as
+        provisionals immediately.
+        """
+        self.max_ts = max(self.max_ts, time)
+        self._advanced_to = max(self._advanced_to, time)
+        out = list(self._release())
+        if self._spec_dirty:
+            out.extend(self._rebuild())
+        elif self._spec_engine is not None:
+            out.extend(self._absorb(self._spec_engine.advance_to(time)))
+        return out
+
+    def finish(self) -> list:
+        """End of stream: release everything, flush, seal everything.
+
+        After this the speculative view is empty; any record the sealed
+        flush did not confirm (a speculative artifact) is retracted, so
+        the record stream always converges to exactly the final set.
+        """
+        engine = self.engine
+        out: list = []
+        if self.buffer:
+            released = self.buffer
+            self.buffer = []
+            self._keys = []
+            for observation in released:
+                engine._process(observation)
+            self._sealed_dirty = True
+            out.extend(self._seal(engine._take_output()))
+        while engine._pseudo_queue:
+            event = engine._pseudo_queue.pop_due(float("inf"))
+            assert event is not None
+            engine._execute_pseudo(event)
+        self._sealed_dirty = True
+        out.extend(self._seal(engine._take_output()))
+        for detection_id in list(self._live):
+            out.append(self._emit_retract(detection_id))
+        self._spec_dirty = True
+        self._sealed_snapshot = None
+        if self._spec_engine is not None:
+            self._spec_engine.reset()
+        return out
+
+    # -- speculative view ---------------------------------------------------
+
+    def _insort(self, key: tuple, observation: Observation) -> int:
+        position = bisect_right(self._keys, key)
+        self._keys.insert(position, key)
+        self.buffer.insert(position, observation)
+        return position
+
+    def _spec_clone(self) -> "Engine":
+        """The speculative engine, built once and recycled via reset()."""
+        if self._spec_engine is None:
+            from .detector import Engine, OutOfOrderPolicy
+
+            host = self.engine
+            self._spec_engine = Engine(
+                [_ShadowRule(rule) for rule in host.rules],
+                context=host.context,
+                functions=host.functions,
+                store=host.store,
+                merge_common_subgraphs=host.graph._merge,
+                out_of_order=OutOfOrderPolicy.RAISE,
+                gc_every=host._gc_every,
+            )
+        return self._spec_engine
+
+    def _sealed_state(self) -> dict:
+        if self._sealed_dirty or self._sealed_snapshot is None:
+            from ..resilience.checkpoint import checkpoint_engine
+
+            self._sealed_snapshot = checkpoint_engine(
+                self.engine, include_speculation=False
+            )
+            self._sealed_dirty = False
+        return self._sealed_snapshot
+
+    def _rebuild(self) -> list:
+        """Re-run the unsealed window and diff it against the last view.
+
+        Restores the clone from the sealed engine's snapshot, replays
+        the buffer in canonical order, then compares: ids that vanished
+        are retracted, ids whose content changed (or that had been
+        retracted) are revised, new ids appear as provisionals.
+        """
+        from ..resilience.checkpoint import restore_engine
+
+        spec = self._spec_clone()
+        spec.reset()
+        restore_engine(spec, self._sealed_state())
+        outputs: list = []
+        for observation in self.buffer:
+            outputs.extend(spec.submit(observation))
+        if self._advanced_to > float("-inf"):
+            outputs.extend(spec.advance_to(self._advanced_to))
+        self._spec_dirty = False
+        self._occ = dict(self._sealed_occ)
+        fresh: dict[str, tuple[str, Any]] = {}
+        for detection in outputs:
+            identity = _identity_of(detection)
+            ordinal = self._occ.get(identity, 0)
+            self._occ[identity] = ordinal + 1
+            detection_id = _hash_identity(identity, ordinal)
+            record = self.records.get(detection_id)
+            if record is not None and record.status == FINAL:
+                continue
+            fresh[detection_id] = (_content_of(detection), detection)
+        out: list = []
+        for detection_id in list(self._live):
+            if detection_id not in fresh:
+                out.append(self._emit_retract(detection_id))
+        for detection_id, (content, detection) in fresh.items():
+            emitted = self._note_live(detection_id, content, detection)
+            if emitted is not None:
+                out.append(emitted)
+        return out
+
+    def _absorb(self, detections: list) -> list:
+        """Fold incremental clone output into the live view."""
+        out: list = []
+        for detection in detections:
+            identity = _identity_of(detection)
+            ordinal = self._occ.get(identity, 0)
+            self._occ[identity] = ordinal + 1
+            detection_id = _hash_identity(identity, ordinal)
+            record = self.records.get(detection_id)
+            if record is not None and record.status == FINAL:
+                continue
+            emitted = self._note_live(
+                detection_id, _content_of(detection), detection
+            )
+            if emitted is not None:
+                out.append(emitted)
+        return out
+
+    def _note_live(self, detection_id: str, content: str,
+                   detection: "Detection") -> Optional[SpeculativeDetection]:
+        """Record one live speculative detection; emit what changed."""
+        engine = self.engine
+        record = self.records.get(detection_id)
+        if record is None:
+            record = _Record(0, PROVISIONAL, content,
+                             detection.rule.rule_id, detection.instance,
+                             detection.time)
+            self.records[detection_id] = record
+            self._live[detection_id] = content
+            engine.stats.speculative += 1
+            if engine._instr is not None:
+                engine._instr.speculative.inc()
+            return _make_speculative(detection, detection_id, 0, PROVISIONAL)
+        previous = self._live.get(detection_id)
+        self._live[detection_id] = content
+        if previous == content and record.status != RETRACT:
+            # Unchanged across the re-run: no new revision.
+            record.instance = detection.instance
+            record.time = detection.time
+            return None
+        record.revision += 1
+        record.status = REVISED
+        record.content = content
+        record.instance = detection.instance
+        record.time = detection.time
+        engine.stats.revised += 1
+        if engine._instr is not None:
+            engine._instr.revised.inc()
+        return _make_speculative(
+            detection, detection_id, record.revision, REVISED
+        )
+
+    def _emit_retract(self, detection_id: str) -> SpeculativeDetection:
+        engine = self.engine
+        record = self.records[detection_id]
+        record.revision += 1
+        record.status = RETRACT
+        self._live.pop(detection_id, None)
+        engine.stats.retracted += 1
+        if engine._instr is not None:
+            engine._instr.retracted.inc()
+        return SpeculativeDetection(
+            engine.rule(record.rule_id), record.instance, record.time,
+            detection_id=detection_id, revision=record.revision,
+            status=RETRACT,
+        )
+
+    # -- sealing ------------------------------------------------------------
+
+    def _release(self) -> list:
+        """Feed watermark-passed buffer entries to the sealed engine.
+
+        Also drags the sealed clock up to the watermark: a pseudo event
+        (negation expiry) due at or before the watermark is provably
+        immune to acceptable late data — any accepted arrival has
+        ``ts > watermark`` — so it fires and seals now, not only when a
+        released observation happens to advance the clock past it.
+        """
+        watermark = self.watermark
+        count = 0
+        while count < len(self._keys) and self._keys[count][0] <= watermark:
+            count += 1
+        engine = self.engine
+        advanced = False
+        if count:
+            released = self.buffer[:count]
+            del self.buffer[:count]
+            del self._keys[:count]
+            for observation in released:
+                engine._process(observation)
+            advanced = True
+        if watermark != float("-inf") and watermark > engine._clock:
+            engine._started = True
+            engine._fire_due_pseudo(watermark, inclusive=True)
+            engine._clock = watermark
+            advanced = True
+        if not advanced:
+            return []
+        self._sealed_dirty = True
+        return self._seal(engine._take_output())
+
+    def _seal(self, detections: list) -> list:
+        """Finalize what the sealed engine emitted (see module docstring)."""
+        out: list = []
+        engine = self.engine
+        for detection in detections:
+            identity = _identity_of(detection)
+            ordinal = self._sealed_occ.get(identity, 0)
+            self._sealed_occ[identity] = ordinal + 1
+            detection_id = _hash_identity(identity, ordinal)
+            content = _content_of(detection)
+            record = self.records.get(detection_id)
+            if record is None:
+                # Sealed before it was ever speculated (e.g. horizon 0,
+                # or a flush-time expiry): final is the first revision.
+                record = _Record(0, FINAL, content, detection.rule.rule_id,
+                                 detection.instance, detection.time)
+                self.records[detection_id] = record
+            elif record.status == FINAL:
+                continue
+            else:
+                record.revision += 1
+                record.status = FINAL
+                record.content = content
+                record.instance = detection.instance
+                record.time = detection.time
+            self._live.pop(detection_id, None)
+            engine.stats.sealed += 1
+            if engine._instr is not None:
+                engine._instr.sealed.inc()
+            out.append(_make_speculative(
+                detection, detection_id, record.revision, FINAL
+            ))
+        return out
+
+    # -- checkpoint/restore -------------------------------------------------
+
+    def encode(self, table: Any) -> dict:
+        """Speculation state for a checkpoint (shares the instance table)."""
+        return {
+            "horizon": self.horizon,
+            "max_ts": self.max_ts,
+            "advanced_to": self._advanced_to,
+            "buffer": [table.obs_ref(observation)
+                       for observation in self.buffer],
+            "occ": [[list(key), count] for key, count in self._occ.items()],
+            "sealed_occ": [[list(key), count]
+                           for key, count in self._sealed_occ.items()],
+            "records": [
+                {
+                    "id": detection_id,
+                    "rev": record.revision,
+                    "status": record.status,
+                    "content": record.content,
+                    "rule": record.rule_id,
+                    "inst": table.ref(record.instance),
+                    "time": record.time,
+                }
+                for detection_id, record in self.records.items()
+            ],
+            "live": [[detection_id, content]
+                     for detection_id, content in self._live.items()],
+        }
+
+    def restore(self, section: dict, observations: list,
+                instances: list) -> None:
+        """Load an :meth:`encode` section (tables already decoded)."""
+        self.horizon = float(section["horizon"])
+        self.max_ts = section["max_ts"]
+        self._advanced_to = section.get("advanced_to", float("-inf"))
+        self.buffer = [observations[index] for index in section["buffer"]]
+        self._keys = [canonical_key(observation)
+                      for observation in self.buffer]
+        self._occ = {tuple(key): count for key, count in section["occ"]}
+        self._sealed_occ = {
+            tuple(key): count for key, count in section["sealed_occ"]
+        }
+        self.records = {
+            entry["id"]: _Record(
+                entry["rev"], entry["status"], entry["content"],
+                entry["rule"], instances[entry["inst"]], entry["time"],
+            )
+            for entry in section["records"]
+        }
+        self._live = {
+            detection_id: content for detection_id, content in section["live"]
+        }
+        self._spec_dirty = True
+        self._sealed_dirty = True
+        self._sealed_snapshot = None

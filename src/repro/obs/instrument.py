@@ -28,6 +28,11 @@ name                                            type       labels
 ``rceda_pseudo_queue_depth``                    gauge      engine
 ``rceda_gc_reclaimed_total``                    counter    engine
 ``rceda_dropped_out_of_order_total``            counter    engine
+``rceda_dropped_too_late_total``                counter    engine
+``rceda_speculative_detections_total``          counter    engine
+``rceda_revisions_total``                       counter    engine
+``rceda_retractions_total``                     counter    engine
+``rceda_sealed_final_total``                    counter    engine
 ``rceda_reorder_occupancy``                     gauge      engine
 ``rceda_reorder_lateness_seconds``              histogram  engine
 ``rceda_reorder_dropped_late_total``            counter    engine
@@ -82,6 +87,11 @@ class EngineInstruments:
         "pseudo_depth",
         "gc_reclaimed",
         "dropped_out_of_order",
+        "dropped_too_late",
+        "speculative",
+        "revised",
+        "retracted",
+        "sealed",
         "_match_family",
         "_emit_family",
     )
@@ -159,6 +169,31 @@ class EngineInstruments:
             "Observations dropped for arriving older than the clock.",
             labelnames=("engine",),
         ).labels(engine=label)
+        self.dropped_too_late = registry.counter(
+            "rceda_dropped_too_late_total",
+            "REVISE-mode arrivals older than the watermark, dropped.",
+            labelnames=("engine",),
+        ).labels(engine=label)
+        self.speculative = registry.counter(
+            "rceda_speculative_detections_total",
+            "Provisional detections emitted ahead of the watermark.",
+            labelnames=("engine",),
+        ).labels(engine=label)
+        self.revised = registry.counter(
+            "rceda_revisions_total",
+            "Revision records emitted after late arrivals changed a match.",
+            labelnames=("engine",),
+        ).labels(engine=label)
+        self.retracted = registry.counter(
+            "rceda_retractions_total",
+            "Retraction records emitted for withdrawn detections.",
+            labelnames=("engine",),
+        ).labels(engine=label)
+        self.sealed = registry.counter(
+            "rceda_sealed_final_total",
+            "Detections sealed final by watermark passage.",
+            labelnames=("engine",),
+        ).labels(engine=label)
 
     def observe_match(self, kind: str, seconds: float) -> None:
         """Record match time for a node kind (lazy-binding fallback path)."""
@@ -187,6 +222,11 @@ class EngineInstruments:
             self.pseudo_depth,
             self.gc_reclaimed,
             self.dropped_out_of_order,
+            self.dropped_too_late,
+            self.speculative,
+            self.revised,
+            self.retracted,
+            self.sealed,
         ):
             handle.reset()
         for child in self.match_seconds.values():
@@ -348,11 +388,18 @@ class DurabilityInstruments:
     ``rceda_outbox_delivered_total``            counter    engine
     ``rceda_outbox_suppressed_total``           counter    engine
     ``rceda_outbox_dead_letters_total``         counter    engine
+    ``rceda_outbox_held_total``                 counter    engine
+    ``rceda_outbox_cancelled_total``            counter    engine
+    ``rceda_outbox_timed_out_total``            counter    engine
     ==========================================  =========  ================
 
     ``rceda_outbox_suppressed_total`` is the exactly-once guarantee made
     visible: each suppression is a side effect that WAL replay would have
-    duplicated without the outbox journal.
+    duplicated without the outbox journal.  The ``held``/``cancelled``/
+    ``timed_out`` trio tracks the confidence horizon: provisional
+    detections parked awaiting a ``final``, retractions that cancelled a
+    parked intent before delivery, and parked intents released by the
+    provisional timeout instead of a seal.
     """
 
     __slots__ = (
@@ -367,6 +414,9 @@ class DurabilityInstruments:
         "outbox_delivered",
         "outbox_suppressed",
         "outbox_dead_letters",
+        "outbox_held",
+        "outbox_cancelled",
+        "outbox_timed_out",
     )
 
     def __init__(self, registry: MetricsRegistry, engine_label: str = "main") -> None:
@@ -418,6 +468,21 @@ class DurabilityInstruments:
             "Deliveries that exhausted their retries and were dead-lettered.",
             labelnames=("engine",),
         ).labels(engine=engine_label)
+        self.outbox_held = registry.counter(
+            "rceda_outbox_held_total",
+            "Provisional detections parked awaiting seal (confidence=final).",
+            labelnames=("engine",),
+        ).labels(engine=engine_label)
+        self.outbox_cancelled = registry.counter(
+            "rceda_outbox_cancelled_total",
+            "Parked intents cancelled by a retraction before delivery.",
+            labelnames=("engine",),
+        ).labels(engine=engine_label)
+        self.outbox_timed_out = registry.counter(
+            "rceda_outbox_timed_out_total",
+            "Parked intents released by the provisional timeout, unsealed.",
+            labelnames=("engine",),
+        ).labels(engine=engine_label)
 
     def reset(self) -> None:
         """Zero this engine's children only — co-tenants keep their values."""
@@ -431,6 +496,9 @@ class DurabilityInstruments:
             self.outbox_delivered,
             self.outbox_suppressed,
             self.outbox_dead_letters,
+            self.outbox_held,
+            self.outbox_cancelled,
+            self.outbox_timed_out,
         ):
             handle.reset()
 

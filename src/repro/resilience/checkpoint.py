@@ -162,7 +162,9 @@ class _InstanceTable:
         return index
 
 
-def _decode_tables(snapshot: dict) -> list[EventInstance]:
+def _decode_tables(
+    snapshot: dict,
+) -> tuple[list[Observation], list[EventInstance]]:
     """Rebuild the instance table; index ``i`` resolves records ``< i``."""
     observations = [
         Observation(record["r"], record["o"], record["t"], record.get("x"))
@@ -188,7 +190,7 @@ def _decode_tables(snapshot: dict) -> list[EventInstance]:
         else:  # pragma: no cover - format corruption
             raise CheckpointError(f"unknown instance record type {kind!r}")
         instances.append(instance)
-    return instances
+    return observations, instances
 
 
 # -- per-node state ------------------------------------------------------------
@@ -396,8 +398,16 @@ def _restore_pseudo_queue(engine: "Engine", record: dict) -> None:
 # -- engine-level entry points -------------------------------------------------
 
 
-def checkpoint_engine(engine: "Engine") -> dict:
-    """Serialize ``engine``'s full runtime state to a plain-data snapshot."""
+def checkpoint_engine(
+    engine: "Engine", *, include_speculation: bool = True
+) -> dict:
+    """Serialize ``engine``'s full runtime state to a plain-data snapshot.
+
+    ``include_speculation=False`` omits the REVISE-mode speculation
+    section (reorder buffer, revision records, watermark): the
+    :class:`~repro.core.speculate.SpeculationManager` uses it to
+    snapshot just the *sealed* engine state its clone rebuilds from.
+    """
     from dataclasses import asdict
 
     table = _InstanceTable()
@@ -410,6 +420,11 @@ def checkpoint_engine(engine: "Engine") -> dict:
         }
         for detection in engine._out
     ]
+    speculation = None
+    if include_speculation and engine._spec is not None:
+        # Encoded before the tables are read out below: speculation
+        # records and buffered observations share the instance table.
+        speculation = engine._spec.encode(table)
     snapshot = {
         "format": FORMAT,
         "version": VERSION,
@@ -427,6 +442,7 @@ def checkpoint_engine(engine: "Engine") -> dict:
         "reorder": (
             engine._reorder.state_dict() if engine._reorder is not None else None
         ),
+        "speculation": speculation,
     }
     return snapshot
 
@@ -465,9 +481,14 @@ def restore_engine(engine: "Engine", snapshot: dict) -> None:
             "checkpoint carries reorder-buffer state but the restore target "
             "has no reorder_delay configured"
         )
+    if snapshot.get("speculation") is not None and engine._spec is None:
+        raise CheckpointError(
+            "checkpoint carries speculation state but the restore target "
+            "is not configured with out_of_order=REVISE"
+        )
 
     engine.reset()
-    instances = _decode_tables(snapshot)
+    observations, instances = _decode_tables(snapshot)
     for record in snapshot["nodes"]:
         _restore_state(engine.states[record["node"]], record, instances)
     _restore_pseudo_queue(engine, snapshot["pseudo"])
@@ -488,6 +509,8 @@ def restore_engine(engine: "Engine", snapshot: dict) -> None:
     ]
     if engine._reorder is not None and snapshot["reorder"] is not None:
         engine._reorder.load_state(snapshot["reorder"])
+    if engine._spec is not None and snapshot.get("speculation") is not None:
+        engine._spec.restore(snapshot["speculation"], observations, instances)
 
 
 # -- file round trip -----------------------------------------------------------

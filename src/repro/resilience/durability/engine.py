@@ -250,7 +250,11 @@ class DurableEngine:
     effect; it runs under ``retry`` with exactly-once replay protection
     (see :mod:`repro.resilience.durability.outbox`).  Without a sink,
     detections are only returned to the caller and replay re-derives
-    engine state without re-running anything external.
+    engine state without re-running anything external.  For engines
+    built with ``OutOfOrderPolicy.REVISE``, ``confidence="final"``
+    parks provisional detections until the watermark seals them (and
+    cancels retracted ones before delivery); ``provisional_timeout``
+    bounds how long an unsealed intent may wait.
 
     ``checkpoint_every`` observations triggers an automatic
     :meth:`checkpoint_now` (0 disables); the newest ``keep_checkpoints``
@@ -270,6 +274,8 @@ class DurableEngine:
         sink: Optional[Callable[[Any, int, int], None]] = None,
         retry: Optional[RetryPolicy] = None,
         dead_letter_capacity: int = 1000,
+        confidence: str = "immediate",
+        provisional_timeout: Optional[float] = None,
         metrics: Optional[MetricsRegistry] = None,
         metrics_label: str = "durable",
         _existing: bool = False,
@@ -313,6 +319,8 @@ class DurableEngine:
                 dead_letter_capacity=dead_letter_capacity,
                 fsync=FsyncPolicy.parse(fsync).mode == "always",
                 instruments=self.instruments,
+                confidence=confidence,
+                provisional_timeout=provisional_timeout,
             )
             if sink is not None
             else None
@@ -666,6 +674,8 @@ class DurableShardedEngine:
         sink: Optional[Callable[[Any, int, int], None]] = None,
         retry: Optional[RetryPolicy] = None,
         dead_letter_capacity: int = 1000,
+        confidence: str = "immediate",
+        provisional_timeout: Optional[float] = None,
         metrics: Optional[MetricsRegistry] = None,
         metrics_label: str = "durable-fleet",
         _existing: bool = False,
@@ -711,6 +721,8 @@ class DurableShardedEngine:
                 dead_letter_capacity=dead_letter_capacity,
                 fsync=policy.mode == "always",
                 instruments=self.instruments,
+                confidence=confidence,
+                provisional_timeout=provisional_timeout,
             )
             if sink is not None
             else None

@@ -16,12 +16,24 @@ operations:
 * ``i`` — *intent*: delivery ``(seq, ordinal)`` is about to run;
 * ``a`` — *ack*: it succeeded;
 * ``d`` — *dead*: it exhausted its retries and went to the dead-letter
-  queue (counts as resolved — recovery does not retry dead entries).
+  queue (counts as resolved — recovery does not retry dead entries);
+* ``m`` — *memo*: the detection ids already delivered, rewritten at
+  compaction so id-level dedup survives journal pruning.
 
 The delivery key is ``(seq, ordinal)``: the durable sequence number of
 the observation (or flush marker) that produced the detection, plus the
 detection's position within that submission's output.  Detection is
 deterministic, so the key is stable across replays.
+
+**Confidence horizon** (REVISE streams): with ``confidence="final"``
+the outbox parks ``provisional``/``revise`` detections instead of
+running the sink, cancels parked intents when their ``retract``
+arrives, and delivers on ``final`` — so a speculative detection that
+late data later withdraws never causes a side effect.  A parked intent
+older than ``provisional_timeout`` wall-clock seconds is released
+unsealed (late data starved the watermark); the ack then records the
+``detection_id``, so the eventual ``final`` is suppressed by id even
+though its ``(seq, ordinal)`` key differs.
 
 The guarantee, precisely: a delivery whose ack reached the journal runs
 exactly once; a crash *between* intent and ack makes that one delivery
@@ -35,6 +47,7 @@ from __future__ import annotations
 
 import json
 import os
+import time as _time
 import zlib
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Optional
@@ -105,6 +118,12 @@ class ActionOutbox:
     Re-opening an outbox on an existing journal restores the resolved
     set, so :meth:`deliver` called again for an acked key is a no-op
     (counted as *suppressed*) — this is what makes WAL replay safe.
+
+    ``confidence`` selects the horizon: ``"immediate"`` (default) runs
+    the sink for every detection handed in; ``"final"`` parks revision-
+    tagged detections until they seal (see the module docstring).  The
+    parked map is *not* journaled — it is rebuilt deterministically by
+    WAL replay, which re-emits the same revision records.
     """
 
     def __init__(
@@ -116,7 +135,17 @@ class ActionOutbox:
         dead_letter_capacity: int = 1000,
         fsync: bool = False,
         instruments: "Optional[DurabilityInstruments]" = None,
+        confidence: str = "immediate",
+        provisional_timeout: Optional[float] = None,
     ) -> None:
+        if confidence not in ("immediate", "final"):
+            raise ValueError(
+                f"confidence must be 'immediate' or 'final', got {confidence!r}"
+            )
+        if provisional_timeout is not None and confidence != "final":
+            raise ValueError(
+                "provisional_timeout is only meaningful with confidence='final'"
+            )
         os.makedirs(directory, exist_ok=True)
         self.path = os.path.join(directory, JOURNAL_NAME)
         self.sink = sink
@@ -124,13 +153,23 @@ class ActionOutbox:
         self.dead_letters = DeadLetterQueue(dead_letter_capacity)
         self.fsync = fsync
         self.instruments = instruments
+        self.confidence = confidence
+        self.provisional_timeout = provisional_timeout
         self.delivered = 0
         self.suppressed = 0
         self.retries = 0
+        self.held = 0
+        self.cancelled = 0
+        self.timed_out = 0
         #: (seq, ordinal) -> op of the entry that resolved it ("a" or "d").
         self._resolved: dict[tuple[int, int], str] = {}
         #: intents without a resolution (crash left them in flight).
         self._in_flight: set[tuple[int, int]] = set()
+        #: detection_id -> (detection, seq, ordinal, parked_at_monotonic):
+        #: provisional intents awaiting their final (confidence="final").
+        self._pending: dict[str, tuple[object, int, int, float]] = {}
+        #: detection ids whose delivery resolved (timeout-vs-final dedup).
+        self._delivered_ids: set[str] = set()
         self._load()
         self._handle = open(self.path, "ab")
 
@@ -154,12 +193,19 @@ class ActionOutbox:
             if zlib.crc32(body) != expected:
                 break
             record = json.loads(body.decode())
+            operation = record["op"]
+            if operation == "m":
+                self._delivered_ids.update(record.get("dids", ()))
+                valid_bytes += len(line)
+                continue
             key = (record["seq"], record["ord"])
-            if record["op"] == "i":
+            if operation == "i":
                 self._in_flight.add(key)
             else:
-                self._resolved[key] = record["op"]
+                self._resolved[key] = operation
                 self._in_flight.discard(key)
+                if record.get("did"):
+                    self._delivered_ids.add(record["did"])
             valid_bytes += len(line)
         total = sum(len(line) for line in lines)
         if valid_bytes < total:
@@ -195,13 +241,75 @@ class ActionOutbox:
         """Intents with no ack/dead marker (interrupted deliveries)."""
         return set(self._in_flight)
 
+    @property
+    def pending(self) -> dict[str, tuple[int, int]]:
+        """Parked provisional intents: detection_id -> (seq, ordinal)."""
+        return {
+            did: (seq, ordinal)
+            for did, (_detection, seq, ordinal, _at) in self._pending.items()
+        }
+
     def deliver(self, detection: object, seq: int, ordinal: int) -> bool:
         """Run the sink for one detection, exactly once per key.
 
         Returns True when the sink ran (successfully or into the
-        dead-letter queue), False when the key was already resolved and
-        the delivery was suppressed.
+        dead-letter queue), False when the delivery was suppressed
+        (already resolved), parked (provisional under
+        ``confidence="final"``) or cancelled (retract).
         """
+        self._flush_timed_out()
+        detection_id = getattr(detection, "detection_id", "")
+        if self.confidence == "final" and detection_id:
+            status = getattr(detection, "status", "final")
+            if status in ("provisional", "revise"):
+                parked = self._pending.get(detection_id)
+                parked_at = parked[3] if parked is not None else _time.monotonic()
+                self._pending[detection_id] = (detection, seq, ordinal, parked_at)
+                if parked is None:
+                    self.held += 1
+                    if self.instruments is not None:
+                        self.instruments.outbox_held.inc()
+                return False
+            if status == "retract":
+                if self._pending.pop(detection_id, None) is not None:
+                    self.cancelled += 1
+                    if self.instruments is not None:
+                        self.instruments.outbox_cancelled.inc()
+                return False
+            # final: the sealed record replaces whatever was parked and
+            # delivers under its own key — WAL replay re-emits the same
+            # final at the same (seq, ordinal), so key-level dedup works
+            # across lives without consulting the (volatile) parked map.
+            self._pending.pop(detection_id, None)
+        if detection_id and detection_id in self._delivered_ids:
+            # Timed-out release already ran this id under another key.
+            self.suppressed += 1
+            if self.instruments is not None:
+                self.instruments.outbox_suppressed.inc()
+            return False
+        return self._execute(detection, seq, ordinal, detection_id)
+
+    def _flush_timed_out(self) -> None:
+        """Release parked intents older than ``provisional_timeout``."""
+        if self.provisional_timeout is None or not self._pending:
+            return
+        deadline = _time.monotonic() - self.provisional_timeout
+        expired = [
+            did for did, (_d, _s, _o, at) in self._pending.items()
+            if at <= deadline
+        ]
+        for did in expired:
+            detection, seq, ordinal, _at = self._pending.pop(did)
+            self.timed_out += 1
+            if self.instruments is not None:
+                self.instruments.outbox_timed_out.inc()
+            if did in self._delivered_ids or (seq, ordinal) in self._resolved:
+                continue
+            self._execute(detection, seq, ordinal, did)
+
+    def _execute(
+        self, detection: object, seq: int, ordinal: int, detection_id: str
+    ) -> bool:
         key = (seq, ordinal)
         if key in self._resolved:
             self.suppressed += 1
@@ -210,9 +318,10 @@ class ActionOutbox:
             return False
         rule_id = getattr(getattr(detection, "rule", None), "rule_id", None)
         if key not in self._in_flight:
-            self._append(
-                {"op": "i", "seq": seq, "ord": ordinal, "rule": rule_id}
-            )
+            record = {"op": "i", "seq": seq, "ord": ordinal, "rule": rule_id}
+            if detection_id:
+                record["did"] = detection_id
+            self._append(record)
             self._in_flight.add(key)
         policy = self.retry
         attempt = 0
@@ -222,16 +331,17 @@ class ActionOutbox:
                 self.sink(detection, seq, ordinal)
             except Exception as exc:
                 if attempt >= policy.attempts:
-                    self._append(
-                        {
-                            "op": "d",
-                            "seq": seq,
-                            "ord": ordinal,
-                            "rule": rule_id,
-                            "error": f"{type(exc).__name__}: {exc}",
-                        }
-                    )
-                    self._resolve(key, "d")
+                    record = {
+                        "op": "d",
+                        "seq": seq,
+                        "ord": ordinal,
+                        "rule": rule_id,
+                        "error": f"{type(exc).__name__}: {exc}",
+                    }
+                    if detection_id:
+                        record["did"] = detection_id
+                    self._append(record)
+                    self._resolve(key, "d", detection_id)
                     self.dead_letters.push(
                         DeadLetterEntry(
                             kind="delivery",
@@ -258,16 +368,23 @@ class ActionOutbox:
                 policy.sleep(policy.delay(attempt))
                 continue
             break
-        self._append({"op": "a", "seq": seq, "ord": ordinal})
-        self._resolve(key, "a")
+        record = {"op": "a", "seq": seq, "ord": ordinal}
+        if detection_id:
+            record["did"] = detection_id
+        self._append(record)
+        self._resolve(key, "a", detection_id)
         self.delivered += 1
         if self.instruments is not None:
             self.instruments.outbox_delivered.inc()
         return True
 
-    def _resolve(self, key: tuple[int, int], op: str) -> None:
+    def _resolve(
+        self, key: tuple[int, int], op: str, detection_id: str = ""
+    ) -> None:
         self._resolved[key] = op
         self._in_flight.discard(key)
+        if detection_id:
+            self._delivered_ids.add(detection_id)
 
     # -- maintenance --------------------------------------------------------
 
@@ -290,6 +407,13 @@ class ActionOutbox:
             return 0
         temp_path = self.path + ".compact"
         with open(temp_path, "wb") as handle:
+            if self._delivered_ids:
+                # Dropped lines may carry the only record of a delivered
+                # detection id; the memo keeps id-level dedup intact.
+                handle.write(_format_line({
+                    "op": "m", "seq": -1, "ord": 0,
+                    "dids": sorted(self._delivered_ids),
+                }))
             for seq, ordinal in sorted(kept_in_flight):
                 handle.write(
                     _format_line({"op": "i", "seq": seq, "ord": ordinal})

@@ -572,4 +572,8 @@ class SupervisedEngine:
             },
             "detections": self.engine.stats.detections,
             "observations": self.engine.stats.observations,
+            # Late-data loss must be observable, not invisible: DROP-mode
+            # discards (and REVISE-mode beyond-horizon drops) show up
+            # here even when nobody attached a metrics registry.
+            "ooo_dropped": self.engine.stats.dropped_out_of_order,
         }

@@ -311,6 +311,7 @@ class AsyncClient:
                     "batch_push": True,
                     "heartbeat": True,
                     "max_batch": self._batch_size,
+                    "revisions": True,
                 },
             )
         else:

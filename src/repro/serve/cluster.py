@@ -691,6 +691,10 @@ class WorkerLink:
                 "resume": True,
                 "batch_push": True,
                 "heartbeat": True,
+                # The link must see the full revision lifecycle: the
+                # router re-pushes records to its own subscribers, where
+                # per-subscriber gating strips them if need be.
+                "revisions": True,
             },
         )
         buffer = bytearray()
@@ -865,6 +869,7 @@ class _RouterSession:
         "writer",
         "codec",
         "batch_push",
+        "revisions",
         "subscribed",
         "rule_filter",
         "alive",
@@ -878,6 +883,7 @@ class _RouterSession:
         self.writer = writer
         self.codec = "json"
         self.batch_push = False
+        self.revisions = False
         self.subscribed = False
         self.rule_filter: Optional[frozenset] = None
         self.alive = True
@@ -1153,6 +1159,9 @@ class CepRouter:
         codecs = self.config.codec_preference()
         session.codec = negotiate_codec(hello, codecs)
         session.batch_push = bool(hello.capabilities.get("batch_push"))
+        session.revisions = hello.version >= 2 and bool(
+            hello.capabilities.get("revisions")
+        )
         self._send_frame(
             session,
             Welcome(
@@ -1165,6 +1174,7 @@ class CepRouter:
                     "batch_push": True,
                     "max_batch": self.config.max_batch,
                     "heartbeat": 0.0,
+                    "revisions": True,
                 },
             ),
         )
@@ -1302,6 +1312,16 @@ class CepRouter:
         payloads: list = []
         for shard in epoch.order:
             payloads.extend(epoch.detections[shard])
+        if any("did" in payload for payload in payloads):
+            # Revision-tagged fan-in must be deterministic regardless of
+            # which shard's push won the race: order by (detection_id,
+            # revision).  The sort is stable, so untagged payloads keep
+            # their shard order (and sort ahead on the empty id).
+            payloads.sort(
+                key=lambda payload: (
+                    payload.get("did", ""), payload.get("rev", -1)
+                )
+            )
         if payloads:
             for ordinal, payload in enumerate(payloads):
                 payload["seq"] = epoch.end_seq
@@ -1329,6 +1349,15 @@ class CepRouter:
                     payload
                     for payload in payloads
                     if payload["rule"] in subscriber.rule_filter
+                ]
+            if not subscriber.revisions:
+                # Same contract as CepServer: non-capable subscribers
+                # see only finals, revision keys stripped.
+                wanted = [
+                    {k: v for k, v in payload.items()
+                     if k not in ("did", "rev", "status")}
+                    for payload in wanted
+                    if payload.get("status", "final") == "final"
                 ]
             if not wanted:
                 continue

@@ -178,12 +178,23 @@ def detection_payload(detection: Any) -> dict:
     Bindings are passed through as-is; rule authors who bind non-JSON
     values and want them pushed over the wire must keep them
     JSON-serializable (EPC strings always are).
+
+    Revision-tagged detections (REVISE-mode
+    :class:`~repro.core.speculate.SpeculativeDetection`) additionally
+    carry ``did``/``rev``/``status``; plain detections omit the keys, so
+    their payloads are byte-identical to protocol v1.
     """
-    return {
+    payload = {
         "rule": detection.rule.rule_id,
         "time": detection.time,
         "bindings": dict(detection.instance.bindings),
     }
+    detection_id = getattr(detection, "detection_id", "")
+    if detection_id:
+        payload["did"] = detection_id
+        payload["rev"] = detection.revision
+        payload["status"] = detection.status
+    return payload
 
 
 # -- frame types ---------------------------------------------------------------
@@ -252,8 +263,10 @@ class Hello(Frame):
 
     ``capabilities`` (protocol ≥ 2) is an open-ended dict advertising
     what the client can do; today's keys are ``codecs`` (preference-
-    ordered list of wire codec names), ``resume`` (bool) and
-    ``max_batch`` (int).  Unknown keys are ignored by both sides, so
+    ordered list of wire codec names), ``resume`` (bool),
+    ``max_batch`` (int), ``batch_push`` (bool), ``heartbeat`` (bool)
+    and ``revisions`` (bool — the subscriber understands provisional/
+    retract/revise records).  Unknown keys are ignored by both sides, so
     the handshake grows without another version bump.  v1 peers send no
     capabilities and are treated as ``{"codecs": ["json"]}``.
     """
@@ -606,6 +619,12 @@ class DetectionFrame(Frame):
     triggered it (``-1`` for flush-triggered expirations of another
     session's traffic); ``ordinal`` disambiguates several detections off
     one observation.
+
+    ``detection_id``/``revision``/``status`` (capability ``revisions``)
+    carry the REVISE-mode revision lifecycle; the keys are omitted from
+    the payload for plain detections, and subscribers that did not
+    advertise ``revisions`` receive only ``final`` records with the
+    keys stripped — byte-identical to protocol v1.
     """
 
     TYPE = 0x08
@@ -615,15 +634,23 @@ class DetectionFrame(Frame):
     bindings: dict = field(default_factory=dict)
     seq: int = -1
     ordinal: int = 0
+    detection_id: str = ""
+    revision: int = 0
+    status: str = ""
 
     def to_payload(self) -> dict:
-        return {
+        payload = {
             "rule": self.rule,
             "time": self.time,
             "bindings": self.bindings,
             "seq": self.seq,
             "ordinal": self.ordinal,
         }
+        if self.detection_id:
+            payload["did"] = self.detection_id
+            payload["rev"] = self.revision
+            payload["status"] = self.status
+        return payload
 
     @classmethod
     def from_payload(cls, payload: dict) -> "DetectionFrame":
@@ -637,6 +664,9 @@ class DetectionFrame(Frame):
             bindings=payload.get("bindings", {}),
             seq=payload.get("seq", -1),
             ordinal=payload.get("ordinal", 0),
+            detection_id=payload.get("did", ""),
+            revision=payload.get("rev", 0),
+            status=payload.get("status", ""),
         )
         return frame
 

@@ -245,6 +245,11 @@ class _Session:
         #: Whether the peer answers PING (HELLO capability
         #: ``heartbeat``); gates whether the liveness loop probes it.
         self.heartbeat = False
+        #: Whether the peer understands revision-tagged detections
+        #: (HELLO capability ``revisions``).  Non-capable subscribers
+        #: receive only ``final`` records, with the revision keys
+        #: stripped so their payloads stay byte-identical to v1.
+        self.revisions = False
         #: ``loop.time()`` of the last inbound data; the liveness loop
         #: measures idleness against this.
         self.last_activity = 0.0
@@ -619,6 +624,9 @@ class CepServer:
         session.heartbeat = hello.version >= 2 and bool(
             hello.capabilities.get("heartbeat")
         )
+        session.revisions = hello.version >= 2 and bool(
+            hello.capabilities.get("revisions")
+        )
         self._prune_client_records()
         self._send_control(
             session,
@@ -632,6 +640,7 @@ class CepServer:
                     "batch_push": True,
                     "max_batch": self.config.max_batch,
                     "heartbeat": self.config.heartbeat_interval,
+                    "revisions": True,
                 },
             ),
         )
@@ -1011,6 +1020,15 @@ class CepServer:
                     payload
                     for payload in payloads
                     if payload["rule"] in subscriber.rule_filter
+                ]
+            if not subscriber.revisions:
+                # Speculation is invisible to non-capable peers: finals
+                # only, revision keys stripped — byte-identical to v1.
+                wanted = [
+                    {k: v for k, v in payload.items()
+                     if k not in ("did", "rev", "status")}
+                    for payload in wanted
+                    if payload.get("status", "final") == "final"
                 ]
             if not wanted:
                 continue

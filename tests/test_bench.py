@@ -205,6 +205,50 @@ class TestServeBench:
         with pytest.raises(ValueError, match="unknown scale"):
             run_serve_bench(scale="galactic")
 
+    def test_speculation_bench_rows(self):
+        from repro.bench.serve import check_overhead, run_speculation_bench
+
+        results = run_speculation_bench(repeats=1)
+        assert [(r.transport, r.codec) for r in results] == [
+            ("direct", "ooo-accept"),
+            ("direct", "ooo-revise"),
+        ]
+        accept, revise = results
+        # The function only returns after asserting the revise run's
+        # sealed finals equal the in-order oracle, so a non-zero count
+        # here is a count of *correct* answers.
+        assert revise.detections > 0
+        assert accept.overhead_pct == 0.0
+        # Speculation is never free: every late arrival forces a
+        # rebuild, so the revise row must cost more than accept.
+        assert revise.elapsed_seconds > accept.elapsed_seconds
+        assert revise.overhead_pct > 0.0
+        # Engine-layer rows: nothing crossed the wire.
+        assert accept.frames_in == 0 and revise.bytes_in == 0
+        # The CI gate must be blind to these rows.
+        assert "no loopback/binary row" in check_overhead(results, 1e9)
+
+    def test_measure_drop_loss_surfaces_late_data_loss(self):
+        from repro.bench.serve import measure_drop_loss
+
+        loss = measure_drop_loss()
+        # The whole point: drops are counted and the answers they cost
+        # are named, instead of DROP silently shrinking the output.
+        assert loss["ooo_dropped"] > 0
+        assert loss["detections_lost"] >= 0
+        assert (
+            loss["detections"] + loss["detections_lost"]
+            == loss["oracle_detections"]
+        )
+
+    def test_speculation_bench_rejects_unknown_scale(self):
+        import pytest
+
+        from repro.bench.serve import run_speculation_bench
+
+        with pytest.raises(ValueError, match="unknown scale"):
+            run_speculation_bench(scale="galactic")
+
     def test_serve_cli_writes_json(self, tmp_path, capsys, monkeypatch):
         import json
 
@@ -225,6 +269,8 @@ class TestServeBench:
             ("loopback", "binary"),
             ("tcp", "binary"),
             ("loopback", "binary+hb"),
+            ("direct", "ooo-accept"),
+            ("direct", "ooo-revise"),
         ]
 
     def test_serve_cli_overhead_gate_exit_code(self, tmp_path, capsys, monkeypatch):
@@ -248,6 +294,7 @@ class TestServeBench:
             ]
 
         monkeypatch.setattr(serve_bench, "run_serve_bench", fake_bench)
+        monkeypatch.setattr(serve_bench, "run_speculation_bench", lambda *a, **k: [])
         monkeypatch.chdir(tmp_path)
         # Fake binary loopback overhead is 100%: over a 40% bound it
         # must fail with exit code 1, under a 150% bound it must pass.
@@ -272,9 +319,14 @@ class TestReport:
             "latency",
             "WAL durability overhead",
             "Serving layer overhead",
+            "Out-of-order handling",
         ):
             assert heading in text, heading
         assert "RCEDA matches: **2**" in text
+        # Late-data loss is part of the report now: the DROP policy's
+        # discards are named and counted, never silent.
+        assert "ooo_dropped" in text
+        assert "ooo-revise" in text
 
     def test_report_cli_writes_file(self, tmp_path, capsys):
         from repro.bench.__main__ import main

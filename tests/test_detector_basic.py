@@ -178,6 +178,28 @@ class TestClockAndOrdering:
         assert engine.submit(Observation("r", "a", 5)) == []
         assert engine.stats.dropped_out_of_order == 1
 
+    def test_accept_policy_warns_deprecated(self):
+        # ACCEPT still works (one-release grace) but announces itself:
+        # processing stale observations breaks pseudo-event correctness,
+        # and the warning points at the REVISE replacement.
+        with pytest.warns(DeprecationWarning, match="REVISE"):
+            engine = Engine(out_of_order="accept")
+        engine.watch(obs("r"))
+        engine.submit(Observation("r", "a", 10))
+        detections = engine.submit(Observation("r", "a", 5))
+        # Behaviour is unchanged: the stale observation is processed.
+        assert len(detections) == 1
+        assert engine.stats.dropped_out_of_order == 0
+
+    def test_non_accept_policies_do_not_warn(self):
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            Engine(out_of_order="drop")
+            Engine(out_of_order="raise")
+            Engine(out_of_order="revise", revise_horizon=5.0)
+
     def test_bad_policy_rejected(self):
         with pytest.raises(ValueError):
             Engine(out_of_order="shuffle")

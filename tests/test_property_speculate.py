@@ -1,0 +1,170 @@
+"""Property-based tests for REVISE-mode revision records.
+
+The speculation contract, checked on randomized streams under seeded
+skew/disorder/duplicate perturbation:
+
+* ``revision`` numbers are strictly increasing per ``detection_id`` in
+  emission order;
+* every ``retract`` withdraws a revision that was previously emitted
+  for the same ``detection_id`` (never a phantom);
+* the sealed ``final`` records equal what a plain engine finds over the
+  same readings in canonical timestamp order — the in-order oracle —
+  whenever nothing fell outside the revise horizon.
+
+Perturbations draw real lateness through :class:`ChaosInjector`, so the
+streams exercise genuine buffering, speculative rebuilds and
+retractions, not just the in-order fast path.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Engine, Observation, Var, Within, obs
+from repro.core.expressions import Not, Seq
+from repro.core.speculate import FINAL, PROVISIONAL, RETRACT, REVISED, canonical_key
+from repro.resilience.chaos import ChaosConfig, ChaosInjector
+from repro.rules import Rule
+
+#: Perturbation bounds; the horizon covers their sum so nothing is ever
+#: dropped past the watermark (the finals == oracle guarantee only
+#: holds for data inside the promised horizon).
+MAX_SKEW = 1.0
+MAX_LATENESS = 2.0
+HORIZON = 2 * (MAX_SKEW + MAX_LATENESS)
+
+OBJECTS = ("o1", "o2", "o3")
+
+
+def _rules():
+    """One pair rule and one negation rule (the retraction generator).
+
+    The negation window is what makes late data *withdraw* answers: a
+    provisional "no B followed A" detection dies retroactively when a
+    delayed B lands inside the window.
+    """
+    pair = Rule(
+        "pair",
+        "A then B on one object",
+        Within(
+            Seq(obs("A", Var("o"), t=Var("t1")), obs("B", Var("o"), t=Var("t2"))),
+            4.0,
+        ),
+    )
+    missing = Rule(
+        "missing",
+        "A with no B within the window",
+        Within(
+            Seq(obs("A", Var("o"), t=Var("t1")), Not(obs("B", Var("o"), t=Var("t2")))),
+            3.0,
+        ),
+    )
+    return [pair, missing]
+
+
+@st.composite
+def skewed_runs(draw, max_size=30):
+    """An in-order stream plus a chaos seed to perturb its arrival."""
+    entries = draw(
+        st.lists(
+            st.tuples(
+                st.sampled_from(("A", "B")),
+                st.sampled_from(OBJECTS),
+                st.integers(min_value=0, max_value=6),  # gap in half-seconds
+            ),
+            max_size=max_size,
+        )
+    )
+    stream = []
+    time = 0.0
+    for reader, object_epc, gap in entries:
+        time += gap * 0.5
+        stream.append(Observation(reader, object_epc, time))
+    seed = draw(st.integers(min_value=0, max_value=2**16))
+    return stream, seed
+
+
+def _perturb(stream, seed):
+    injector = ChaosInjector(
+        ChaosConfig(
+            seed=seed,
+            skew_rate=0.3,
+            max_skew=MAX_SKEW,
+            disorder_rate=0.3,
+            max_lateness=MAX_LATENESS,
+            duplicate_rate=0.1,
+            duplicate_max_extra=1,
+        )
+    )
+    return list(injector.inject(stream))
+
+
+def _canon(detections):
+    return sorted(
+        (
+            d.rule.rule_id,
+            round(d.time, 9),
+            tuple(sorted((k, str(v)) for k, v in d.bindings.items())),
+        )
+        for d in detections
+    )
+
+
+@given(skewed_runs())
+@settings(max_examples=30, deadline=None)
+def test_revision_lifecycle_invariants(run):
+    stream, seed = run
+    arrival = _perturb(stream, seed)
+    engine = Engine(_rules(), out_of_order="revise", revise_horizon=HORIZON)
+    records = engine.submit_many(arrival)
+    records += engine.flush()
+    assert engine.stats.dropped_too_late == 0
+
+    seen: dict[str, list] = {}
+    for record in records:
+        assert record.status in (PROVISIONAL, REVISED, RETRACT, FINAL)
+        assert record.detection_id
+        history = seen.setdefault(record.detection_id, [])
+        if history:
+            # Strictly increasing per detection_id, in emission order.
+            assert record.revision > history[-1].revision, (
+                f"revision {record.revision} after {history[-1].revision} "
+                f"for {record.detection_id}"
+            )
+        else:
+            # A lifecycle opens with an answer, never a withdrawal.
+            assert record.status in (PROVISIONAL, FINAL)
+        if record.status == RETRACT:
+            # A retract withdraws something previously emitted: an
+            # earlier non-retract record for the same detection_id.
+            assert any(entry.status != RETRACT for entry in history), (
+                f"retract of never-emitted detection {record.detection_id}"
+            )
+        history.append(record)
+
+    # No lifecycle continues past its terminal record.
+    for history in seen.values():
+        for entry in history[:-1]:
+            assert entry.status != FINAL, "record emitted after seal"
+
+
+@given(skewed_runs())
+@settings(max_examples=30, deadline=None)
+def test_finals_equal_in_order_oracle(run):
+    stream, seed = run
+    arrival = _perturb(stream, seed)
+    engine = Engine(_rules(), out_of_order="revise", revise_horizon=HORIZON)
+    records = engine.submit_many(arrival)
+    records += engine.flush()
+    assert engine.stats.dropped_too_late == 0
+    finals = [record for record in records if record.status == FINAL]
+
+    oracle_engine = Engine(_rules())
+    oracle = list(oracle_engine.run(sorted(arrival, key=canonical_key)))
+    assert _canon(finals) == _canon(oracle)
+
+    # Finals are the only records that survive: each detection_id seals
+    # exactly once (retracted lifecycles end in RETRACT instead).
+    by_id: dict[str, int] = {}
+    for record in finals:
+        by_id[record.detection_id] = by_id.get(record.detection_id, 0) + 1
+    assert all(count == 1 for count in by_id.values())

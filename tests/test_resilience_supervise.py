@@ -342,6 +342,7 @@ class TestPassthrough:
         assert report["quarantined"] == 0
         assert report["detections"] == supervised.stats.detections
         assert report["breakers"] == {"pair": "closed"}
+        assert report["ooo_dropped"] == 0
 
     def test_add_rule_is_guarded(self):
         def bomb(context):

@@ -15,6 +15,7 @@ import json
 import pytest
 
 from repro.serve.drill import default_fault_plan, run_chaos_serve_drill
+from repro.serve.skew_drill import run_chaos_skew_drill
 
 pytestmark = pytest.mark.chaos
 
@@ -39,6 +40,38 @@ def test_chaos_serve_drill_other_seed():
     # (same-seed plans replay identically — tests/test_serve_faults.py).
     report = run_chaos_serve_drill(seed=3, cases=20)
     assert report["ok"], json.dumps(report, indent=2, sort_keys=True)
+
+
+def test_chaos_skew_drill_seed11():
+    # The speculation headline: clock skew + out-of-order spikes +
+    # duplicates through a REVISE-mode durable server, hard-killed and
+    # recovered mid-stream, must converge to the in-order oracle with
+    # finals-only side effects.
+    report = run_chaos_skew_drill(seed=11, cases=16)
+    assert report["ok"], json.dumps(report, indent=2, sort_keys=True)
+    # The drill is only meaningful if speculation was really exercised:
+    # provisionals were emitted, some were genuinely retracted, and the
+    # outbox cancelled the corresponding parked intents.
+    assert report["engine"]["speculative"] > 0
+    assert report["engine"]["retracted"] > 0
+    assert report["outbox"]["cancelled"] > 0
+    assert report["recovery"]["suppressed_deliveries"] > 0
+
+
+def test_chaos_skew_drill_other_seed():
+    # A second seed guards against the first being a lucky schedule.
+    report = run_chaos_skew_drill(seed=4, cases=12)
+    assert report["ok"], json.dumps(report, indent=2, sort_keys=True)
+
+
+def test_skew_drill_report_shape():
+    report = run_chaos_skew_drill(seed=2, cases=8)
+    assert report["ok"], json.dumps(report, indent=2, sort_keys=True)
+    assert report["seed"] == 2
+    for key in ("checks", "faults", "engine", "outbox", "recovery"):
+        assert key in report, key
+    # Artifact-ready: plain JSON all the way down.
+    json.dumps(report)
 
 
 def test_drill_report_shape():

@@ -332,6 +332,183 @@ class TestRelayedProvenance:
         assert recorded == list(gapped)
 
 
+REVISION_PROGRAM = """
+CREATE RULE missing_case, item never cased
+ON WITHIN(observation('dock', o, t1); NOT observation('case', o, t2), 5sec)
+IF true
+DO ALERT 'missing case'
+
+CREATE RULE paired, keeps the second shard populated
+ON WITHIN(observation('r3', o, t1); observation('r4', o, t2), 5sec)
+IF true
+DO ALERT 'pair'
+"""
+
+
+class TestRevisionFanIn:
+    """Speculative (REVISE) workers behind the router.
+
+    The router is a pure forwarder: workers tag detection payloads with
+    ``(did, rev, status)``, the fan-in sort makes cross-shard merge
+    order deterministic, and per-subscriber gating keeps v1 peers on a
+    finals-only diet.  The headline scenario is the ISSUE one: a late
+    observation submitted on one session retracts a detection that was
+    already pushed to a *different* session's subscriber.
+    """
+
+    HORIZON = 100.0
+
+    def test_late_event_retracts_detection_pushed_via_another_session(self):
+        from repro import Observation, OutOfOrderPolicy
+        from repro.serve.cluster import CepRouter
+        from repro.serve.server import CepServer
+        from repro.store import RfidStore
+
+        async def scenario():
+            rules = parse_rules(REVISION_PROGRAM)
+            plan = plan_cluster(rules, 2, max_shards=2)
+            assert len(plan.shard_plan.shard_names) == 2
+            servers = []
+            endpoints = {}
+            for shard in plan.shard_plan.shard_names:
+                engine = Engine(
+                    plan.shard_plan.rules[shard],
+                    store=RfidStore(),
+                    out_of_order=OutOfOrderPolicy.REVISE,
+                    revise_horizon=self.HORIZON,
+                )
+                server = CepServer(engine)
+                port = await server.serve_tcp("127.0.0.1", 0)
+                servers.append(server)
+                endpoints[shard] = ("127.0.0.1", port)
+            router = CepRouter(plan, endpoints)
+            port = await router.serve_tcp("127.0.0.1", 0)
+
+            watcher = AsyncClient(
+                tcp_connector("127.0.0.1", port),
+                client_id="watcher",
+                subscribe=True,
+            )
+            legacy = AsyncClient(
+                tcp_connector("127.0.0.1", port),
+                client_id="legacy",
+                subscribe=True,
+                protocol_version=1,
+            )
+            producer = AsyncClient(
+                tcp_connector("127.0.0.1", port), client_id="producer"
+            )
+            latecomer = AsyncClient(
+                tcp_connector("127.0.0.1", port), client_id="latecomer"
+            )
+            try:
+                async with watcher, legacy, producer, latecomer:
+                    # o1 seen at the dock; a second dock read far past
+                    # o1's 5s window lets the speculative engine close
+                    # it: "o1 was never cased" fires *provisionally*.
+                    await producer.submit_many(
+                        [
+                            Observation("dock", "o1", 0.0),
+                            Observation("dock", "o2", 10.0),
+                        ]
+                    )
+                    await eventually(
+                        lambda: any(
+                            f.status == "provisional"
+                            and f.bindings.get("o") == "o1"
+                            for f in watcher.detections
+                        ),
+                        message="provisional detection never pushed",
+                    )
+                    provisional = next(
+                        f
+                        for f in watcher.detections
+                        if f.bindings.get("o") == "o1"
+                    )
+                    assert provisional.detection_id
+                    assert provisional.revision == 0
+
+                    # The late casing read arrives on a *different*
+                    # session, is routed to shard-0, and must retract
+                    # the detection the watcher already holds.
+                    await latecomer.submit_many(
+                        [Observation("case", "o1", 2.0)]
+                    )
+                    await eventually(
+                        lambda: any(
+                            f.status == "retract"
+                            and f.detection_id == provisional.detection_id
+                            for f in watcher.detections
+                        ),
+                        message="late event never retracted the push",
+                    )
+                    retract = next(
+                        f
+                        for f in watcher.detections
+                        if f.status == "retract"
+                    )
+                    assert retract.detection_id == provisional.detection_id
+                    assert retract.revision == provisional.revision + 1
+
+                    # Push the watermark past o2's window close: its
+                    # detection seals, and only *that* final reaches the
+                    # v1 subscriber — stripped of revision keys.
+                    await producer.submit_many(
+                        [Observation("dock", "o3", 120.0)]
+                    )
+                    await eventually(
+                        lambda: any(
+                            f.status == "final"
+                            and f.bindings.get("o") == "o2"
+                            for f in watcher.detections
+                        ),
+                        message="watermark passage never sealed o2",
+                    )
+                    await eventually(
+                        lambda: len(legacy.detections) >= 1,
+                        message="v1 subscriber never saw the final",
+                    )
+                    return (
+                        list(watcher.detections),
+                        list(legacy.detections),
+                    )
+            finally:
+                await router.close()
+                for server in servers:
+                    await server.close()
+
+        frames, legacy_frames = asyncio.run(scenario())
+
+        # Revisions are strictly increasing per detection_id, and every
+        # frame from a REVISE worker carries the lifecycle fields.
+        by_id = {}
+        for frame in frames:
+            assert frame.detection_id and frame.status
+            by_id.setdefault(frame.detection_id, []).append(frame.revision)
+        for revisions in by_id.values():
+            assert revisions == sorted(revisions)
+            assert len(set(revisions)) == len(revisions)
+
+        # Fan-in determinism: within one epoch (= one seq), tagged
+        # payloads are ordered by (detection_id, revision).
+        by_seq = {}
+        for frame in frames:
+            by_seq.setdefault(frame.seq, []).append(
+                (frame.detection_id, frame.revision)
+            )
+        for keys in by_seq.values():
+            assert keys == sorted(keys)
+
+        # The v1 subscriber saw finals only — never o1 (its lifecycle
+        # was provisional -> retract) — and no revision fields at all.
+        assert legacy_frames
+        for frame in legacy_frames:
+            assert frame.bindings.get("o") != "o1"
+            assert frame.detection_id == ""
+            assert frame.status == ""
+            assert frame.revision == 0
+
+
 class TestRetryHintPerAttempt:
     def test_failed_reconnect_attempt_reapplies_fresh_hint(self):
         # A server that sheds every handshake with ``retry_after`` must
