@@ -2,12 +2,15 @@
 
 Usage::
 
+    python -m repro scenario list                       # registered packs
+    python -m repro scenario run --pack gate --seed 11  # seeded oracle run
     python -m repro record --scenario supply-chain --out stream.jsonl
     python -m repro run --rules rules.txt --stream stream.jsonl [--store out.json]
     python -m repro run ... --metrics - --metrics-format prom   # instrumented
     python -m repro metrics --rules rules.txt --stream stream.jsonl
     python -m repro chaos --rules rules.txt --stream stream.jsonl \
         --seed 7 --kill-at 500     # fault injection + crash-recovery drill
+    python -m repro smoke --profile ci --report smoke.json  # production drill
     python -m repro serve --rules rules.txt --port 7007  # network server
     python -m repro graph --rules rules.txt            # DOT to stdout
     python -m repro demo                                # end-to-end demo
@@ -38,16 +41,167 @@ def _packing_stream(cases: int, seed: int):
 
 
 def _cmd_record(arguments: argparse.Namespace) -> int:
-    if arguments.scenario == "packing":
-        observations = _packing_stream(arguments.cases, arguments.seed)
-    else:
+    """Record a seeded stream: any registry pack, or the merged sim.
+
+    ``--scenario`` names a registered scenario pack (``scenario list``)
+    or the special ``supply-chain``, the merged multi-scenario
+    simulation that interleaves every paper scenario into one stream.
+    """
+    if arguments.scenario == "supply-chain":
         from .simulator import SupplyChainConfig, simulate_supply_chain
 
         config = SupplyChainConfig(seed=arguments.seed)
         observations = simulate_supply_chain(config).observations
+    else:
+        from .scenarios import get_pack
+
+        try:
+            pack = get_pack(arguments.scenario)
+        except KeyError as exc:
+            print(f"record: {exc.args[0]}")
+            return 2
+        run = pack.build(seed=arguments.seed, size=arguments.cases)
+        observations = run.observations
     count = save_stream(observations, arguments.out)
     print(f"recorded {count} observations to {arguments.out}")
     return 0
+
+
+def _cmd_scenario_list(arguments: argparse.Namespace) -> int:
+    """Every registered pack, built-ins first, plus plugin failures."""
+    from .scenarios import discovery_errors, is_builtin, iter_packs
+
+    for pack in iter_packs():
+        origin = "builtin " if is_builtin(pack.name) else "external"
+        print(f"  {pack.name:16} {origin} {pack.description}")
+    errors = discovery_errors()
+    for error in errors:
+        print(f"  [discovery error] {error}")
+    return 0
+
+
+def _cmd_scenario_info(arguments: argparse.Namespace) -> int:
+    """One pack's card: sizing, rules, workload capability."""
+    from .scenarios import get_pack, is_builtin
+
+    try:
+        pack = get_pack(arguments.pack)
+    except KeyError as exc:
+        print(f"scenario info: {exc.args[0]}")
+        return 2
+    run = pack.build(seed=arguments.seed)
+    source = pack.episode_source()
+    print(f"name:         {pack.name}")
+    print(f"origin:       {'builtin' if is_builtin(pack.name) else 'external'}")
+    print(f"description:  {pack.description}")
+    print(f"default size: {pack.default_size} {pack.size_unit}")
+    print(f"rules:        {', '.join(r.rule_id for r in run.rules)}")
+    print(
+        f"oracle:       {len(run.expected_detections)} expected detection "
+        f"counts + {'pack verifier' if run.verifier else 'counts only'}"
+    )
+    print(
+        f"workload:     "
+        f"{'episode source available' if source is not None else 'not workload-capable'}"
+    )
+    if source is not None:
+        print(
+            f"cluster:      "
+            f"{'rule-language program' if source.program else 'in-process only'}"
+        )
+    return 0
+
+
+def _cmd_scenario_run(arguments: argparse.Namespace) -> int:
+    """Build one seeded realization, run it, audit it against its oracle."""
+    from .scenarios import execute_run, get_pack
+
+    try:
+        pack = get_pack(arguments.pack)
+    except KeyError as exc:
+        print(f"scenario run: {exc.args[0]}")
+        return 2
+    run = pack.build(seed=arguments.seed, size=arguments.size)
+    print(
+        f"scenario {pack.name}: seed={arguments.seed} "
+        f"size={run.size} {pack.size_unit} "
+        f"({len(run.observations)} observations)"
+    )
+    report = execute_run(run)
+    for name, check in sorted(report["checks"].items()):
+        status = "ok  " if check["ok"] else "FAIL"
+        detail = f" ({check['detail']})" if check["detail"] else ""
+        print(f"  [{status}] {name}{detail}")
+    if arguments.report:
+        import json
+
+        with open(arguments.report, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"report written to {arguments.report}")
+    print("oracle PASSED" if report["ok"] else "oracle FAILED")
+    return 0 if report["ok"] else 1
+
+
+def _cmd_smoke(arguments: argparse.Namespace) -> int:
+    """The standing production smoke drill (see :mod:`repro.workload.smoke`).
+
+    Streams an open-world generated workload through the durable
+    serving stack and audits exactly-once sink delivery, oracle-exact
+    detections, distinct-EPC cardinality and frontier agreement.  Exit
+    status 0 means every check held.
+    """
+    from .workload.smoke import SMOKE_PROFILES, run_smoke_drill
+
+    chaos = None
+    if arguments.duplicates or arguments.disorder:
+        from .resilience import ChaosConfig
+
+        chaos = ChaosConfig(
+            seed=arguments.seed,
+            duplicate_rate=arguments.duplicates,
+            disorder_rate=arguments.disorder,
+            max_lateness=arguments.max_lateness,
+        )
+    profile = SMOKE_PROFILES[arguments.profile]
+    print(
+        f"smoke drill: profile={profile.name} pack={arguments.pack} "
+        f"seed={arguments.seed} "
+        f"target={profile.target_observations} observations, "
+        f"cardinality={profile.cardinality} "
+        f"(reproduce with --seed {arguments.seed})"
+    )
+    try:
+        report = run_smoke_drill(
+            arguments.profile,
+            pack=arguments.pack,
+            seed=arguments.seed,
+            cluster=arguments.cluster,
+            workers=arguments.workers,
+            chaos=chaos,
+            report_path=arguments.report,
+            timeout=arguments.timeout,
+        )
+    except (KeyError, ValueError) as exc:
+        print(f"smoke: {exc.args[0]}")
+        return 2
+    for name, check in sorted(report["checks"].items()):
+        status = "ok  " if check["ok"] else "FAIL"
+        detail = f" ({check['detail']})" if check["detail"] else ""
+        print(f"  [{status}] {name}{detail}")
+    print(
+        f"throughput: {report['observations']} observations "
+        f"({report['distinct_epcs']} distinct EPCs) in "
+        f"{report['elapsed_seconds']:.2f}s = "
+        f"{report['events_per_second']:.0f} events/s "
+        f"over {report['transport']}"
+    )
+    if report.get("chaos"):
+        print(f"chaos: {report['chaos']}")
+    if arguments.report:
+        print(f"report written to {arguments.report}")
+    print("smoke PASSED" if report["ok"] else "smoke FAILED")
+    return 0 if report["ok"] else 1
 
 
 def _load_rules(path: str):
@@ -280,7 +434,8 @@ def _cmd_chaos_serve(arguments: argparse.Namespace) -> int:
     if overrides:
         plan = replace(plan, **overrides)
     print(
-        f"chaos serve drill: seed={arguments.seed} cases={arguments.cases} "
+        f"chaos serve drill: scenario={arguments.scenario} "
+        f"seed={arguments.seed} cases={arguments.cases} "
         f"(reproduce with --seed {arguments.seed})"
     )
     report = run_chaos_serve_drill(
@@ -289,6 +444,7 @@ def _cmd_chaos_serve(arguments: argparse.Namespace) -> int:
         plan=plan,
         timeout=arguments.timeout,
         report_path=arguments.report,
+        scenario=arguments.scenario,
     )
     for name, check in sorted(report["checks"].items()):
         status = "ok  " if check["ok"] else "FAIL"
@@ -806,12 +962,58 @@ def main(argv: "list[str] | None" = None) -> int:
     commands = parser.add_subparsers(dest="command", required=True)
 
     record = commands.add_parser("record", help="record a simulated stream")
-    record.add_argument("--scenario", choices=("packing", "supply-chain"),
-                        default="supply-chain")
+    record.add_argument(
+        "--scenario",
+        default="supply-chain",
+        help="a registered scenario pack name ('scenario list'), or "
+        "'supply-chain' for the merged multi-scenario stream (default)",
+    )
     record.add_argument("--out", required=True)
     record.add_argument("--seed", type=int, default=7)
-    record.add_argument("--cases", type=int, default=20)
+    record.add_argument(
+        "--cases",
+        type=int,
+        default=None,
+        help="scenario size (pack default when omitted; ignored by "
+        "supply-chain)",
+    )
     record.set_defaults(handler=_cmd_record)
+
+    scenario = commands.add_parser(
+        "scenario",
+        help="scenario-pack registry: list packs, show one, run its oracle",
+    )
+    scenario_commands = scenario.add_subparsers(
+        dest="scenario_command", required=True
+    )
+    scenario_list = scenario_commands.add_parser(
+        "list", help="list registered scenario packs (built-ins first)"
+    )
+    scenario_list.set_defaults(handler=_cmd_scenario_list)
+    scenario_info = scenario_commands.add_parser(
+        "info", help="show one pack: sizing, rules, workload capability"
+    )
+    scenario_info.add_argument("--pack", required=True, help="pack name")
+    scenario_info.add_argument("--seed", type=int, default=7)
+    scenario_info.set_defaults(handler=_cmd_scenario_info)
+    scenario_run = scenario_commands.add_parser(
+        "run",
+        help="run one seeded realization through a fresh engine and "
+        "audit it against the pack's ground-truth oracle (exit 1 on "
+        "any failure)",
+    )
+    scenario_run.add_argument("--pack", required=True, help="pack name")
+    scenario_run.add_argument("--seed", type=int, default=7)
+    scenario_run.add_argument(
+        "--size",
+        type=int,
+        default=None,
+        help="scenario size (pack default when omitted)",
+    )
+    scenario_run.add_argument(
+        "--report", help="write the JSON oracle report here"
+    )
+    scenario_run.set_defaults(handler=_cmd_scenario_run)
 
     run = commands.add_parser("run", help="run a rule program over a stream")
     run.add_argument("--rules", required=True, help="rule program file")
@@ -896,7 +1098,13 @@ def main(argv: "list[str] | None" = None) -> int:
         "--seed", type=int, default=7, help="fault-schedule seed"
     )
     chaos_serve.add_argument(
-        "--cases", type=int, default=20, help="simulated packing cases"
+        "--cases", type=int, default=20, help="scenario size (pack units)"
+    )
+    chaos_serve.add_argument(
+        "--scenario",
+        default="packing",
+        help="scenario pack driving the drill ('scenario list'; "
+        "default: packing)",
     )
     chaos_serve.add_argument("--latency", type=float, default=None)
     chaos_serve.add_argument("--jitter", type=float, default=None)
@@ -984,6 +1192,66 @@ def main(argv: "list[str] | None" = None) -> int:
         help="write the JSON drill report here (default: CHAOS_cluster.json)",
     )
     chaos_cluster.set_defaults(handler=_cmd_chaos_cluster)
+
+    smoke = commands.add_parser(
+        "smoke",
+        help="standing production smoke drill: open-world generated "
+        "workload through the durable serving stack; audits "
+        "exactly-once delivery, oracle-exact detections and "
+        "distinct-EPC cardinality (exit 1 on any failure)",
+    )
+    smoke.add_argument(
+        "--profile",
+        choices=("ci", "quick", "full"),
+        default="quick",
+        help="drill scale (ci: seconds; quick: <1 min; full: >=1M "
+        "distinct EPCs; default: quick)",
+    )
+    smoke.add_argument(
+        "--pack",
+        default="returns-fraud",
+        help="workload-capable scenario pack (default: returns-fraud)",
+    )
+    smoke.add_argument("--seed", type=int, default=7, help="workload seed")
+    smoke.add_argument(
+        "--cluster",
+        action="store_true",
+        help="drive the sharded cluster instead of a single durable "
+        "server (needs a pack with a rule-language program, e.g. "
+        "--pack packing)",
+    )
+    smoke.add_argument(
+        "--workers", type=int, default=2, help="cluster workers (--cluster)"
+    )
+    smoke.add_argument(
+        "--duplicates",
+        type=float,
+        default=0.0,
+        help="chaos duplicate rate on the generated stream (oracle "
+        "equality is relaxed to delivery audits under chaos)",
+    )
+    smoke.add_argument(
+        "--disorder",
+        type=float,
+        default=0.0,
+        help="chaos out-of-order rate on the generated stream",
+    )
+    smoke.add_argument(
+        "--max-lateness",
+        type=float,
+        default=2.0,
+        help="worst-case lateness for --disorder (stream seconds)",
+    )
+    smoke.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="hard wall-clock bound (seconds; default: the profile's)",
+    )
+    smoke.add_argument(
+        "--report", help="write the JSON drill report here"
+    )
+    smoke.set_defaults(handler=_cmd_smoke)
 
     wal = commands.add_parser(
         "wal", help="write-ahead log tools: inspect, recover, crash drill"

@@ -14,6 +14,9 @@ Usage::
                                              # serving layer vs direct, per codec
     python -m repro.bench cluster [--scale quick|full|large] [--min-speedup X]
                                              # shard-worker scaling at 1/2/4 workers
+    python -m repro.bench smoke [--scale quick|full|large] [--pack NAME]
+                                             # open-world workload: events/s vs
+                                             # EPC cardinality and Zipf skew
     python -m repro.bench all [--full]
 
 ``--full`` runs the paper-scale axes (250k events / 500 rules); the
@@ -201,6 +204,35 @@ def _cmd_cluster(
     return 0
 
 
+def _cmd_smoke(
+    full: bool,
+    scale: "str | None" = None,
+    pack: str = "returns-fraud",
+) -> int:
+    from .smoke import (
+        check_oracle,
+        merge_smoke_json,
+        run_smoke_bench,
+        smoke_table,
+    )
+
+    if scale is None:
+        scale = "full" if full else "quick"
+    results = run_smoke_bench(scale=scale, pack=pack)
+    print(
+        f"Open-world workload throughput ({pack}, {results[0].n_events:,} "
+        f"events per cell, direct chronicle engine)"
+    )
+    print(smoke_table(results))
+    merge_smoke_json(results, "BENCH_serve.json", scale=scale)
+    print("smoke rows merged into BENCH_serve.json")
+    failure = check_oracle(results)
+    if failure is not None:
+        print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_report(full: bool, out: "str | None" = None) -> None:
     from .report import generate_report
 
@@ -225,6 +257,7 @@ _COMMANDS = {
     "wal": _cmd_wal,
     "serve": _cmd_serve,
     "cluster": _cmd_cluster,
+    "smoke": _cmd_smoke,
 }
 
 
@@ -249,8 +282,14 @@ def main(argv: "list[str] | None" = None) -> int:
     parser.add_argument(
         "--scale",
         choices=("quick", "full", "large"),
-        help="(serve/cluster only) workload size; overrides --full "
+        help="(serve/cluster/smoke only) workload size; overrides --full "
         "(quick=2k, full=20k, large=100k events)",
+    )
+    parser.add_argument(
+        "--pack",
+        default="returns-fraud",
+        help="(smoke only) workload-capable scenario pack "
+        "(default: returns-fraud)",
     )
     parser.add_argument(
         "--max-overhead",
@@ -281,6 +320,10 @@ def main(argv: "list[str] | None" = None) -> int:
             arguments.full,
             scale=arguments.scale,
             min_speedup=arguments.min_speedup,
+        )
+    if arguments.command == "smoke":
+        return _cmd_smoke(
+            arguments.full, scale=arguments.scale, pack=arguments.pack
         )
     if arguments.command == "all":
         for name in (

@@ -18,6 +18,7 @@ from .ablations import (
 from .fig9 import linearity_ratio, run_fig9a, run_fig9b
 from .harness import run_detection, run_with_latency
 from .serve import measure_drop_loss, run_serve_bench, run_speculation_bench
+from .smoke import run_smoke_bench
 from .wal import run_wal_bench
 from .workloads import build_events_axis_workload
 
@@ -170,6 +171,28 @@ def generate_report(full_scale: bool = False) -> str:
             f"| {result.transport} | {result.codec} | {result.total_ms:.1f} | "
             f"{result.events_per_second:,.0f} | {result.overhead_pct:.1f}% | "
             f"{result.frames_out:,} | {result.bytes_in:,} |"
+        )
+    sections.append("")
+
+    smoke_results = run_smoke_bench(scale="full" if full_scale else "quick")
+    sections += [
+        "## Open-world workload (cardinality x skew)",
+        "",
+        f"Generated episode workload ({smoke_results[0].pack}, "
+        f"{smoke_results[0].n_events:,} events per cell) through a direct "
+        f"chronicle engine; every cell asserts the generator's exact "
+        f"per-rule oracle, so a fast-but-wrong run cannot post a number.",
+        "",
+        "| cardinality | theta | distinct EPCs | detections | events/s "
+        "| oracle |",
+        "|---:|---:|---:|---:|---:|---|",
+    ]
+    for result in smoke_results:
+        sections.append(
+            f"| {result.cardinality:,} | {result.theta:.2f} | "
+            f"{result.distinct_epcs:,} | {result.detections:,} | "
+            f"{result.events_per_second:,.0f} | "
+            f"{'ok' if result.oracle_ok else 'FAIL'} |"
         )
     sections.append("")
 

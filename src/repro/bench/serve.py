@@ -594,11 +594,12 @@ def write_serve_json(
 ) -> None:
     """Write the machine-readable results (schema in module docstring).
 
-    The cluster benchmark merges its rows into the same file (see
-    :func:`repro.bench.cluster.merge_cluster_json`); any existing
-    ``transport == "cluster"`` rows and their ``cluster_*`` context
-    keys are carried over so the two benchmarks can be re-run in
-    either order without losing each other's results.
+    The cluster and smoke benchmarks merge their rows into the same
+    file (see :func:`repro.bench.cluster.merge_cluster_json` and
+    :func:`repro.bench.smoke.merge_smoke_json`); any existing
+    ``transport == "cluster"`` / ``"smoke"`` rows and their context
+    keys are carried over so the benchmarks can be re-run in any order
+    without losing each other's results.
     """
     if scale is None:
         scale = "full" if full_scale else "quick"
@@ -613,11 +614,12 @@ def write_serve_json(
         cluster_rows = [
             row
             for row in previous.get("results", [])
-            if isinstance(row, dict) and row.get("transport") == "cluster"
+            if isinstance(row, dict)
+            and row.get("transport") in ("cluster", "smoke")
         ]
         cluster_context = {
             key: previous[key]
-            for key in ("cluster_scale", "cluster_cpus")
+            for key in ("cluster_scale", "cluster_cpus", "smoke_scale")
             if key in previous
         }
     document = {

@@ -1,0 +1,203 @@
+"""Open-world workload benchmark: events/s vs EPC cardinality and skew.
+
+``python -m repro.bench smoke`` sweeps the generated workload
+(:mod:`repro.workload`) over a grid of distinct-EPC cardinalities and
+Zipf skew parameters, drives each cell through a direct chronicle
+engine, and reports engine-side throughput.  Every cell also asserts
+the generator's oracle — per-rule detection counts must equal the
+episode ground truth exactly — so a fast-but-wrong run cannot post a
+number.
+
+Rows merge into ``BENCH_serve.json`` as ``transport == "smoke"``
+(alongside the serve and cluster rows) so one file carries the whole
+serving-and-workload picture.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+__all__ = [
+    "SmokeBenchResult",
+    "check_oracle",
+    "merge_smoke_json",
+    "run_smoke_bench",
+    "smoke_table",
+]
+
+#: (cardinality axis, theta axis, observations per cell) per scale.
+_SCALES = {
+    "quick": ((1_000, 100_000), (0.0, 0.99), 4_000),
+    "full": ((10_000, 100_000, 1_000_000), (0.0, 0.6, 0.99), 20_000),
+    "large": ((100_000, 2_000_000), (0.0, 0.99), 100_000),
+}
+
+
+@dataclass(frozen=True)
+class SmokeBenchResult:
+    """One grid cell: a generated workload through a direct engine."""
+
+    pack: str
+    cardinality: int
+    theta: float
+    n_events: int
+    distinct_epcs: int
+    detections: int
+    elapsed_seconds: float
+    events_per_second: float
+    oracle_ok: bool
+
+
+def _run_cell(
+    pack_name: str,
+    cardinality: int,
+    theta: float,
+    n_events: int,
+    seed: int,
+) -> SmokeBenchResult:
+    from ..core.detector import Engine, FunctionRegistry
+    from ..scenarios import get_pack
+    from ..store import RfidStore
+    from ..workload import GeneratedWorkload, WorkloadConfig
+
+    source = get_pack(pack_name).episode_source(lines=4)
+    workload = GeneratedWorkload(
+        source,
+        WorkloadConfig(
+            pack=pack_name,
+            seed=seed,
+            target_observations=n_events,
+            lines=4,
+            cardinality=cardinality,
+            theta=theta,
+        ),
+    )
+    store = RfidStore()
+    for reader, location in source.placements():
+        store.place_reader(reader, location)
+    engine = Engine(
+        workload.rules(),
+        store=store,
+        functions=FunctionRegistry(),
+        context="chronicle",
+    )
+    started = time.perf_counter()
+    detections = 0
+    for observation in workload:
+        detections += len(engine.submit(observation))
+    detections += len(engine.flush())
+    elapsed = time.perf_counter() - started
+
+    stats = workload.stats
+    oracle_ok = dict(engine.stats.per_rule) == dict(stats.expected)
+    return SmokeBenchResult(
+        pack=pack_name,
+        cardinality=cardinality,
+        theta=theta,
+        n_events=stats.observations,
+        distinct_epcs=workload.tags.distinct_epcs(),
+        detections=detections,
+        elapsed_seconds=elapsed,
+        events_per_second=stats.observations / elapsed if elapsed else 0.0,
+        oracle_ok=oracle_ok,
+    )
+
+
+def run_smoke_bench(
+    scale: str = "quick",
+    pack: str = "returns-fraud",
+    seed: int = 7,
+) -> list[SmokeBenchResult]:
+    """The cardinality x skew grid for one workload-capable pack."""
+    try:
+        cardinalities, thetas, n_events = _SCALES[scale]
+    except KeyError:
+        raise ValueError(
+            f"unknown smoke bench scale {scale!r} "
+            f"(choose from: {', '.join(_SCALES)})"
+        ) from None
+    return [
+        _run_cell(pack, cardinality, theta, n_events, seed)
+        for cardinality in cardinalities
+        for theta in thetas
+    ]
+
+
+def smoke_table(results: Sequence[SmokeBenchResult]) -> str:
+    """Fixed-width table mirroring the serve/cluster bench output."""
+    lines = [
+        f"{'cardinality':>12} | {'theta':>5} | {'events':>8} | "
+        f"{'distinct':>9} | {'detections':>10} | {'events/s':>9} | oracle",
+        "-" * 76,
+    ]
+    for result in results:
+        lines.append(
+            f"{result.cardinality:>12,} | {result.theta:>5.2f} | "
+            f"{result.n_events:>8,} | {result.distinct_epcs:>9,} | "
+            f"{result.detections:>10,} | {result.events_per_second:>9,.0f} | "
+            f"{'ok' if result.oracle_ok else 'FAIL'}"
+        )
+    return "\n".join(lines)
+
+
+def merge_smoke_json(
+    results: Sequence[SmokeBenchResult],
+    path: str,
+    *,
+    scale: str,
+) -> None:
+    """Merge smoke rows into ``BENCH_serve.json``.
+
+    The serve benchmark owns the file; this replaces any previous
+    ``transport == "smoke"`` rows and leaves the rest of the document
+    untouched (or creates a minimal one if it doesn't exist).
+    """
+    if os.path.exists(path):
+        with open(path, encoding="utf-8") as handle:
+            document = json.load(handle)
+    else:
+        document = {
+            "schema": {"name": "repro-bench-serve", "version": 2},
+            "scale": scale,
+            "results": [],
+        }
+    document["results"] = [
+        row
+        for row in document.get("results", [])
+        if row.get("transport") != "smoke"
+    ]
+    document["smoke_scale"] = scale
+    for result in results:
+        document["results"].append(
+            {
+                "transport": "smoke",
+                "codec": f"direct+z{result.theta:g}",
+                "pack": result.pack,
+                "cardinality": result.cardinality,
+                "theta": result.theta,
+                "n_events": result.n_events,
+                "distinct_epcs": result.distinct_epcs,
+                "detections": result.detections,
+                "elapsed_seconds": result.elapsed_seconds,
+                "events_per_second": result.events_per_second,
+                "oracle_ok": result.oracle_ok,
+            }
+        )
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def check_oracle(results: Sequence[SmokeBenchResult]) -> Optional[str]:
+    """Gate: None when every cell's oracle held, else the failure."""
+    for result in results:
+        if not result.oracle_ok:
+            return (
+                f"oracle failed at cardinality={result.cardinality} "
+                f"theta={result.theta}"
+            )
+    return None

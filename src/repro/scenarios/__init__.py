@@ -1,0 +1,121 @@
+"""Scenario packs: named, registrable RFID deployment scenarios.
+
+A :class:`ScenarioPack` bundles a rule set, a seeded stream/trace
+factory and a ground-truth oracle under one name, so every entry point
+— ``python -m repro scenario run``, the chaos drills, the workload
+generator, the benches — resolves scenarios the same way:
+
+>>> from repro.scenarios import execute_run, get_pack
+>>> execute_run(get_pack("gate").build(seed=11))["ok"]
+True
+
+Eight packs ship built in: the five paper scenarios (``packing``,
+``movement``, ``shelf``, ``gate``, ``checkout``) and three extensions
+(``hospital-assets``, ``cold-chain``, ``returns-fraud``).  External
+packs register through the ``repro.scenarios`` entry-point group or
+the ``REPRO_SCENARIO_PACKS`` environment variable — see
+:mod:`repro.scenarios.registry`.
+"""
+
+from .builtin import (
+    CheckoutPack,
+    GatePack,
+    MovementPack,
+    PackingPack,
+    ShelfPack,
+    builtin_packs,
+)
+from .coldchain import (
+    ColdChainConfig,
+    ColdChainPack,
+    ColdChainTrace,
+    excursion_rule,
+    simulate_cold_chain,
+)
+from .episodes_builtin import CheckoutEpisodeSource, PackingEpisodeSource
+from .hospital import (
+    HospitalConfig,
+    HospitalPack,
+    HospitalTrace,
+    hospital_type_function,
+    simulate_hospital,
+)
+from .pack import (
+    OracleCheck,
+    ScenarioPack,
+    ScenarioRun,
+    canon_detections,
+    execute_run,
+)
+from .registry import (
+    ENTRY_POINT_GROUP,
+    ENV_VAR,
+    discover_external_packs,
+    discovery_errors,
+    get_pack,
+    is_builtin,
+    iter_packs,
+    pack_names,
+    register_pack,
+    unregister_pack,
+)
+from .returns import (
+    ReturnsConfig,
+    ReturnsEpisodeSource,
+    ReturnsPack,
+    ReturnsTrace,
+    fraud_rule,
+    returns_sale_rule,
+    simulate_returns,
+)
+
+__all__ = [
+    "ENTRY_POINT_GROUP",
+    "ENV_VAR",
+    "CheckoutEpisodeSource",
+    "CheckoutPack",
+    "ColdChainConfig",
+    "ColdChainPack",
+    "ColdChainTrace",
+    "GatePack",
+    "HospitalConfig",
+    "HospitalPack",
+    "HospitalTrace",
+    "MovementPack",
+    "OracleCheck",
+    "PackingEpisodeSource",
+    "PackingPack",
+    "ReturnsConfig",
+    "ReturnsEpisodeSource",
+    "ReturnsPack",
+    "ReturnsTrace",
+    "ScenarioPack",
+    "ScenarioRun",
+    "ShelfPack",
+    "builtin_packs",
+    "canon_detections",
+    "discover_external_packs",
+    "discovery_errors",
+    "excursion_rule",
+    "execute_run",
+    "fraud_rule",
+    "get_pack",
+    "hospital_type_function",
+    "is_builtin",
+    "iter_packs",
+    "pack_names",
+    "register_pack",
+    "returns_sale_rule",
+    "simulate_cold_chain",
+    "simulate_hospital",
+    "simulate_returns",
+    "unregister_pack",
+]
+
+for _pack in builtin_packs() + [
+    HospitalPack(),
+    ColdChainPack(),
+    ReturnsPack(),
+]:
+    register_pack(_pack, builtin=True)
+del _pack

@@ -1,0 +1,286 @@
+"""Cold-chain monitoring: temperature pseudo-events over CEP.
+
+Refrigerated containers move through a dock route while an on-board
+telemetry bridge publishes periodic temperature samples as *pseudo-
+observations* — readings from a virtual reader whose ``extra`` payload
+carries the sensor value.  That is the paper's point about RFID CEP
+generalizing to any timestamped event source: the same engine that
+tracks location (Rule 3 over the dock readers) detects **temperature
+excursions** with a distance-constrained sequence::
+
+    rc1 = TSEQ(hot(o, t1) ; hot(o, t2), 0, 1.5 * sample_period)
+
+where ``hot`` filters samples above the threshold with a ``where``
+predicate.  One isolated hot sample is sensor noise; two *consecutive*
+hot samples (the TSEQ bound admits exactly adjacent ones) mean the
+reefer genuinely lost cooling.  Chronicle context consumes the pair,
+so a seeded excursion of exactly two hot samples yields exactly one
+alert — the oracle the simulator promises.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..apps import location_rule
+from ..core.expressions import TSeq, Var, obs
+from ..core.instances import Observation
+from ..epc import EpcFactory
+from ..rules import AlertAction, Rule
+from .pack import OracleCheck, ScenarioPack, ScenarioRun
+
+__all__ = [
+    "ColdChainConfig",
+    "ColdChainPack",
+    "ColdChainTrace",
+    "excursion_rule",
+    "simulate_cold_chain",
+]
+
+
+@dataclass(frozen=True)
+class Excursion:
+    """Ground truth: one genuine cooling failure (two hot samples)."""
+
+    container_epc: str
+    first_hot: float
+    second_hot: float
+
+
+@dataclass(frozen=True)
+class DockVisit:
+    """Ground truth: one container hitting one dock reader."""
+
+    container_epc: str
+    location: str
+    arrive: float
+
+
+@dataclass
+class ColdChainTrace:
+    observations: list[Observation] = field(default_factory=list)
+    excursions: list[Excursion] = field(default_factory=list)
+    visits: list[DockVisit] = field(default_factory=list)
+    #: isolated hot samples that must NOT alert (sensor noise)
+    noise_spikes: int = 0
+    end_time: float = 0.0
+
+    def expected_history(self, container_epc: str) -> list[tuple[str, float]]:
+        return [
+            (visit.location, visit.arrive)
+            for visit in sorted(self.visits, key=lambda v: v.arrive)
+            if visit.container_epc == container_epc
+        ]
+
+
+@dataclass
+class ColdChainConfig:
+    #: (reader EPC, location) dock route every container traverses.
+    route: tuple[tuple[str, str], ...] = (
+        ("cc_dock", "loading_dock"),
+        ("cc_truck", "reefer_truck"),
+        ("cc_dc", "distribution_center"),
+    )
+    telemetry_reader: str = "cc_sense"
+    containers: int = 6
+    sample_period: float = 60.0
+    #: temperature threshold; samples above it are "hot"
+    threshold: float = 8.0
+    safe_temp: tuple[float, float] = (2.0, 6.0)
+    hot_temp: tuple[float, float] = (9.5, 14.0)
+    #: samples per dock leg, inclusive bounds
+    samples_per_leg: tuple[int, int] = (3, 6)
+    leg_gap: tuple[float, float] = (90.0, 240.0)
+    launch_gap: tuple[float, float] = (30.0, 120.0)
+    #: probability a leg contains a genuine excursion (two hot samples)
+    excursion_rate: float = 0.35
+    #: probability a leg contains one isolated hot spike (noise)
+    noise_rate: float = 0.25
+
+    def __post_init__(self) -> None:
+        if len(self.route) < 1:
+            raise ValueError("route needs at least one dock reader")
+        if self.sample_period <= 0:
+            raise ValueError("sample_period must be positive")
+        if self.samples_per_leg[0] < 3:
+            raise ValueError(
+                "samples_per_leg lower bound must be >= 3 so an excursion "
+                "pair fits with cool guards around it"
+            )
+        if not self.safe_temp[1] < self.threshold < self.hot_temp[0]:
+            raise ValueError("threshold must separate safe_temp from hot_temp")
+        if self.excursion_rate + self.noise_rate > 1.0:
+            raise ValueError("excursion_rate + noise_rate must be <= 1")
+
+
+def excursion_rule(
+    telemetry_reader: str = "cc_sense",
+    threshold: float = 8.0,
+    sample_period: float = 60.0,
+    rule_id: str = "rc1",
+) -> Rule:
+    """Two consecutive over-threshold samples from one container alert.
+
+    The TSEQ upper bound of ``1.5 * sample_period`` admits adjacent
+    samples only: the next-but-one sample is two periods away.
+    """
+
+    def hot(observation: Observation) -> bool:
+        extra = observation.extra or {}
+        return float(extra.get("temp", float("-inf"))) > threshold
+
+    first = obs(telemetry_reader, Var("o"), where=hot, t=Var("t1"))
+    second = obs(telemetry_reader, Var("o"), where=hot, t=Var("t2"))
+    event = TSeq(first, second, 0.0, 1.5 * sample_period)
+    return Rule(
+        rule_id,
+        "cold-chain excursion rule",
+        event,
+        actions=[
+            AlertAction(
+                "temperature excursion on {o} (second hot sample at {time})"
+            )
+        ],
+        description="two consecutive hot samples mean lost cooling",
+    )
+
+
+def simulate_cold_chain(
+    config: ColdChainConfig,
+    rng: Optional[random.Random] = None,
+    factory: Optional[EpcFactory] = None,
+    start_time: float = 0.0,
+) -> ColdChainTrace:
+    """Containers traverse the route; some legs overheat, some spike."""
+    rng = rng if rng is not None else random.Random()
+    factory = factory if factory is not None else EpcFactory()
+    trace = ColdChainTrace()
+    launch = start_time
+    for _ in range(config.containers):
+        launch += rng.uniform(*config.launch_gap)
+        container = factory.case()
+        time = launch
+        for reader, location in config.route:
+            trace.observations.append(Observation(reader, container, time))
+            trace.visits.append(DockVisit(container, location, time))
+            samples = rng.randint(*config.samples_per_leg)
+            # Decide the leg's thermal story up front.  Hot samples sit
+            # strictly inside the leg so cool guards on both sides keep
+            # excursions of different legs from pairing across the gap.
+            roll = rng.random()
+            hot_at: set[int] = set()
+            if roll < config.excursion_rate:
+                first = rng.randint(1, samples - 2)
+                hot_at = {first, first + 1}
+            elif roll < config.excursion_rate + config.noise_rate:
+                hot_at = {rng.randint(1, samples - 1)}
+                trace.noise_spikes += 1
+            sample_time = time
+            hot_times: list[float] = []
+            for index in range(samples):
+                sample_time += config.sample_period
+                hot = index in hot_at
+                temp = rng.uniform(
+                    *(config.hot_temp if hot else config.safe_temp)
+                )
+                trace.observations.append(
+                    Observation(
+                        config.telemetry_reader,
+                        container,
+                        sample_time,
+                        extra={"temp": round(temp, 2)},
+                    )
+                )
+                if hot:
+                    hot_times.append(sample_time)
+            if len(hot_times) == 2:
+                trace.excursions.append(
+                    Excursion(container, hot_times[0], hot_times[1])
+                )
+            time = sample_time + rng.uniform(*config.leg_gap)
+        trace.end_time = max(trace.end_time, time)
+
+    trace.observations.sort(key=lambda observation: observation.timestamp)
+    return trace
+
+
+class ColdChainPack(ScenarioPack):
+    """Cold chain: dock-route tracking + temperature-excursion alerts."""
+
+    name = "cold-chain"
+    description = (
+        "Cold-chain monitoring: reefer containers tracked along a dock "
+        "route (Rule 3) while TSEQ over temperature pseudo-events (rc1) "
+        "alerts on two consecutive over-threshold samples"
+    )
+    default_size = 6
+    size_unit = "containers"
+
+    def build(self, *, seed: int = 7, size: Optional[int] = None) -> ScenarioRun:
+        size = self.default_size if size is None else size
+        config = ColdChainConfig(containers=size)
+        trace = simulate_cold_chain(config, rng=random.Random(seed))
+
+        def verify(run, store, detections) -> list[OracleCheck]:
+            containers = sorted(
+                {visit.container_epc for visit in run.trace.visits}
+            )
+            wrong = sum(
+                1
+                for epc in containers
+                if [
+                    (location, start)
+                    for location, start, _end in store.location_history(epc)
+                ]
+                != run.trace.expected_history(epc)
+            )
+            raised = sorted(
+                (d.bindings["o"], round(d.time, 6))
+                for d in detections
+                if d.rule.rule_id == "rc1"
+            )
+            expected = sorted(
+                (e.container_epc, round(e.second_hot, 6))
+                for e in run.trace.excursions
+            )
+            return [
+                OracleCheck(
+                    "route_histories_match",
+                    wrong == 0,
+                    f"{len(containers) - wrong}/{len(containers)} "
+                    f"containers correct",
+                ),
+                OracleCheck(
+                    "excursions_match",
+                    raised == expected,
+                    f"raised {len(raised)}, expected {len(expected)} "
+                    f"({run.trace.noise_spikes} noise spikes suppressed)",
+                ),
+            ]
+
+        return ScenarioRun(
+            pack=self.name,
+            seed=seed,
+            size=size,
+            rules=[
+                location_rule(),
+                excursion_rule(
+                    telemetry_reader=config.telemetry_reader,
+                    threshold=config.threshold,
+                    sample_period=config.sample_period,
+                ),
+            ],
+            observations=list(trace.observations),
+            end_time=trace.end_time,
+            # The telemetry reader is unplaced on purpose: a temperature
+            # sample is not a location fix, and Rule 3 must ignore it.
+            reader_placements=tuple(config.route),
+            expected_detections={
+                "r3": len(trace.observations),
+                "rc1": len(trace.excursions),
+            },
+            trace=trace,
+            verifier=verify,
+        )

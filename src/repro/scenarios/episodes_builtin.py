@@ -1,0 +1,133 @@
+"""Episode sources for the built-in packs that power generated workloads.
+
+Packing and checkout compose episode-by-episode — one packed case, one
+sale — so they back the open-world generator; movement, shelf and gate
+ground truths depend on whole-stream structure and stay replay-only.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..apps import containment_rule, sale_rule
+from ..core.instances import Observation
+from ..workload.episodes import Episode, EpisodeSource, TagStreams
+
+__all__ = ["CheckoutEpisodeSource", "PackingEpisodeSource"]
+
+#: containment timing (must satisfy the rule's TSEQ bounds below)
+_ITEM_GAP = (0.1, 1.0)
+_CASE_DELAY = (10.0, 20.0)
+
+
+class PackingEpisodeSource(EpisodeSource):
+    """Parallel packing lines, one case per episode.
+
+    Line ``l`` has readers ``pack{l}_item`` / ``pack{l}_case`` and its
+    own containment rule ``pack{l}``.  The rules are plain literal-
+    reader TSEQ structures, so the same program renders to rule-language
+    text (:attr:`program`) and can cross process boundaries to a
+    cluster — this is the pack the cluster smoke path uses.
+    """
+
+    def __init__(self, *, lines: int = 4, items: tuple[int, int] = (2, 5)):
+        if lines < 1:
+            raise ValueError("need at least one line")
+        if items[0] < 1 or items[0] > items[1]:
+            raise ValueError("items bounds must satisfy 1 <= low <= high")
+        self.lines = lines
+        self.items = items
+        self._readers = [
+            (f"pack{line}_item", f"pack{line}_case") for line in range(lines)
+        ]
+        self.program = self._render_program()
+
+    def rules(self) -> list:
+        return [
+            containment_rule(
+                item_reader=item_reader,
+                case_reader=case_reader,
+                item_gap=_ITEM_GAP,
+                case_delay=_CASE_DELAY,
+                rule_id=f"pack{line}",
+            )
+            for line, (item_reader, case_reader) in enumerate(self._readers)
+        ]
+
+    def _render_program(self) -> str:
+        from ..lang import format_event
+
+        blocks = []
+        for line, rule in enumerate(self.rules()):
+            blocks.append(
+                f"CREATE RULE pack{line}, packing line {line}\n"
+                f"ON {format_event(rule.event)}\n"
+                f"IF true\n"
+                f"DO ALERT 'case packed on line {line}'\n"
+            )
+        return "\n".join(blocks)
+
+    def episode(
+        self,
+        line: int,
+        start: float,
+        rng: random.Random,
+        tags: TagStreams,
+    ) -> Episode:
+        item_reader, case_reader = self._readers[line]
+        observations = []
+        time = start
+        for _ in range(rng.randint(*self.items)):
+            observations.append(Observation(item_reader, tags.fresh(), time))
+            # strictly inside the rule's (0.1, 1.0) TSEQ+ gap bounds
+            time += rng.uniform(0.15, 0.9)
+        case_time = observations[-1].timestamp + rng.uniform(11.0, 19.0)
+        observations.append(
+            Observation(case_reader, tags.fresh_case(), case_time)
+        )
+        return Episode(
+            observations=observations,
+            expected={f"pack{line}": 1},
+            # Keep the line quiet past the case read so the next run of
+            # items can never extend this episode's TSEQ+ window.
+            hold_until=case_time + rng.uniform(4.0, 8.0),
+        )
+
+
+class CheckoutEpisodeSource(EpisodeSource):
+    """Parallel POS lanes, one sale per episode.
+
+    The sale rule's multi-reader form uses a ``where`` predicate, which
+    has no rule-language rendering — checkout workloads are in-process
+    only (:attr:`program` stays ``None``).
+    """
+
+    def __init__(self, *, lines: int = 4, popular_fraction: float = 0.35):
+        if lines < 1:
+            raise ValueError("need at least one line")
+        if not 0.0 <= popular_fraction <= 1.0:
+            raise ValueError("popular_fraction must be in [0, 1]")
+        self.lines = lines
+        self.popular_fraction = popular_fraction
+        self._readers = [f"pos{line}" for line in range(lines)]
+
+    def rules(self) -> list:
+        return [sale_rule(tuple(self._readers))]
+
+    def episode(
+        self,
+        line: int,
+        start: float,
+        rng: random.Random,
+        tags: TagStreams,
+    ) -> Episode:
+        item = (
+            tags.popular()
+            if rng.random() < self.popular_fraction
+            else tags.fresh()
+        )
+        return Episode(
+            observations=[Observation(self._readers[line], item, start)],
+            expected={"r6": 1},
+            hold_until=start + rng.uniform(0.3, 1.5),
+        )

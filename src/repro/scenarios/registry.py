@@ -1,0 +1,210 @@
+"""The scenario-pack registry: built-ins, plugins, lookup by name.
+
+Every scenario the system can run is a :class:`~repro.scenarios.pack
+.ScenarioPack` registered here under its ``name``.  The five paper
+scenarios and the three extension packs self-register when
+``repro.scenarios`` is imported; external packs join through either of
+two discovery channels, checked once (lazily) on first lookup:
+
+* **entry points** — an installed distribution declares::
+
+      [project.entry-points."repro.scenarios"]
+      my-pack = "my_module:MyPack"
+
+  The entry point may resolve to a pack instance, a pack class, or a
+  callable returning a pack or an iterable of packs.
+
+* **environment variable** — ``REPRO_SCENARIO_PACKS`` holds a
+  comma-separated list of ``module`` or ``module:attr`` specs, loaded
+  the same way.  This is the no-install channel (development trees,
+  tests, containers without packaging metadata).
+
+Both channels tolerate broken plugins: a pack that fails to import is
+recorded in :func:`discovery_errors` instead of taking the process
+down with it.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Iterable, List, Optional
+
+from .pack import ScenarioPack
+
+__all__ = [
+    "ENV_VAR",
+    "ENTRY_POINT_GROUP",
+    "discover_external_packs",
+    "discovery_errors",
+    "get_pack",
+    "iter_packs",
+    "pack_names",
+    "register_pack",
+    "unregister_pack",
+]
+
+#: Entry-point group external distributions register packs under.
+ENTRY_POINT_GROUP = "repro.scenarios"
+
+#: Comma-separated ``module[:attr]`` specs for uninstalled packs.
+ENV_VAR = "REPRO_SCENARIO_PACKS"
+
+_REGISTRY: dict[str, ScenarioPack] = {}
+_BUILTIN: set[str] = set()
+_DISCOVERED = False
+_DISCOVERY_ERRORS: list[str] = []
+
+
+def register_pack(
+    pack: ScenarioPack, *, replace: bool = False, builtin: bool = False
+) -> ScenarioPack:
+    """Register a pack under ``pack.name``; returns it for chaining.
+
+    Re-registering an existing name raises unless ``replace`` is set —
+    a silently shadowed built-in would make ``scenario run`` lie.
+    """
+    name = getattr(pack, "name", "")
+    if not name or not isinstance(name, str):
+        raise ValueError(f"scenario pack {pack!r} has no usable name")
+    if name in _REGISTRY and not replace:
+        raise ValueError(f"scenario pack {name!r} is already registered")
+    _REGISTRY[name] = pack
+    if builtin:
+        _BUILTIN.add(name)
+    return pack
+
+
+def unregister_pack(name: str) -> None:
+    """Remove a pack (tests use this to clean up fixture packs)."""
+    _REGISTRY.pop(name, None)
+    _BUILTIN.discard(name)
+
+
+def is_builtin(name: str) -> bool:
+    return name in _BUILTIN
+
+
+def _load_spec_object(obj, origin: str) -> List[ScenarioPack]:
+    """Normalize whatever a plugin hands us into a list of packs."""
+    if isinstance(obj, type):
+        obj = obj()
+    if callable(obj) and not _looks_like_pack(obj):
+        obj = obj()
+    if _looks_like_pack(obj):
+        return [obj]
+    try:
+        packs = [candidate for candidate in obj]
+    except TypeError:
+        raise ValueError(f"{origin}: not a scenario pack (or iterable of them)")
+    for candidate in packs:
+        if not _looks_like_pack(candidate):
+            raise ValueError(f"{origin}: {candidate!r} is not a scenario pack")
+    return packs
+
+
+def _looks_like_pack(obj) -> bool:
+    return (
+        not isinstance(obj, type)
+        and isinstance(getattr(obj, "name", None), str)
+        and bool(getattr(obj, "name", ""))
+        and callable(getattr(obj, "build", None))
+    )
+
+
+def _iter_entry_points():
+    try:
+        from importlib.metadata import entry_points
+    except ImportError:  # pragma: no cover - py3.10+ always has it
+        return []
+    try:
+        return list(entry_points(group=ENTRY_POINT_GROUP))
+    except TypeError:  # pragma: no cover - pre-3.10 selection API
+        return list(entry_points().get(ENTRY_POINT_GROUP, []))
+    except Exception:  # pragma: no cover - broken metadata must not kill us
+        return []
+
+
+def _iter_env_specs() -> Iterable[tuple[str, Callable[[], object]]]:
+    specs = os.environ.get(ENV_VAR, "")
+    for spec in specs.split(","):
+        spec = spec.strip()
+        if not spec:
+            continue
+
+        def loader(spec: str = spec):
+            import importlib
+
+            module_name, _, attr = spec.partition(":")
+            module = importlib.import_module(module_name)
+            if attr:
+                return getattr(module, attr)
+            candidate = getattr(module, "SCENARIO_PACKS", None)
+            if candidate is None:
+                candidate = getattr(module, "PACKS", None)
+            if candidate is None:
+                raise ValueError(
+                    f"module {module_name!r} defines neither SCENARIO_PACKS "
+                    f"nor PACKS; use a {module_name}:attr spec"
+                )
+            return candidate
+
+        yield spec, loader
+
+
+def discover_external_packs(*, force: bool = False) -> int:
+    """Load entry-point and env-var packs; returns how many registered.
+
+    Runs at most once per process unless ``force`` — plugin discovery
+    touches packaging metadata and the filesystem, and every lookup
+    path funnels through here.
+    """
+    global _DISCOVERED
+    if _DISCOVERED and not force:
+        return 0
+    _DISCOVERED = True
+    registered = 0
+    sources: list[tuple[str, Callable[[], object]]] = [
+        (f"entry point {point.name!r}", point.load)
+        for point in _iter_entry_points()
+    ]
+    sources.extend(
+        (f"{ENV_VAR} spec {spec!r}", loader)
+        for spec, loader in _iter_env_specs()
+    )
+    for origin, loader in sources:
+        try:
+            for pack in _load_spec_object(loader(), origin):
+                register_pack(pack, replace=True)
+                registered += 1
+        except Exception as exc:
+            _DISCOVERY_ERRORS.append(f"{origin}: {exc}")
+    return registered
+
+
+def discovery_errors() -> list[str]:
+    """Plugin load failures collected by the last discovery pass."""
+    return list(_DISCOVERY_ERRORS)
+
+
+def get_pack(name: str) -> ScenarioPack:
+    """Look a pack up by name, running plugin discovery if needed."""
+    discover_external_packs()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY)) or "<none>"
+        raise KeyError(
+            f"unknown scenario pack {name!r} (registered: {known})"
+        ) from None
+
+
+def pack_names() -> list[str]:
+    """All registered pack names, built-ins first, each group sorted."""
+    discover_external_packs()
+    builtin = sorted(name for name in _REGISTRY if name in _BUILTIN)
+    external = sorted(name for name in _REGISTRY if name not in _BUILTIN)
+    return builtin + external
+
+
+def iter_packs() -> list[ScenarioPack]:
+    return [_REGISTRY[name] for name in pack_names()]

@@ -1,0 +1,352 @@
+"""Returns-desk fraud: detections conditioned on the virtual world.
+
+The paper's motivating loop — physical events update the virtual world,
+and rule *conditions* consult it — closes here.  Two rules:
+
+* ``rs6`` (a lean variant of Rule 6): a POS reading inserts a SALE row,
+  nothing else;
+* ``rf1``: a reading at the returns desk is **fraud** iff the virtual
+  world holds no SALE row for that EPC — someone is returning an item
+  that was never sold (shoplifted stock, counterfeit tags, receipt
+  fraud).  The condition is a per-event point query against the SALE
+  table, served by :meth:`repro.sql.executor.Table.lookup` so a
+  million-sale table still answers in O(1).
+
+The simulator seeds sales, legitimate returns (sold earlier, no alert)
+and fraudulent returns (never sold, alert) with exact ground truth; the
+episode source powers the open-world generator, where fraudulent
+returns always use fresh tags so no concurrent episode can
+accidentally launder them with a sale.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from ..core.detector import ActivationContext
+from ..core.expressions import Var, obs
+from ..core.instances import Observation
+from ..epc import EpcFactory
+from ..rules import AlertAction, CallableAction, Rule
+from ..workload.episodes import Episode, EpisodeSource, TagStreams
+from .pack import OracleCheck, ScenarioPack, ScenarioRun
+
+__all__ = [
+    "ReturnsConfig",
+    "ReturnsEpisodeSource",
+    "ReturnsPack",
+    "ReturnsTrace",
+    "fraud_rule",
+    "returns_sale_rule",
+    "simulate_returns",
+]
+
+
+def returns_sale_rule(
+    pos_readers: Sequence[str] = ("ret_pos1",),
+    rule_id: str = "rs6",
+) -> Rule:
+    """Record a SALE row per POS reading — nothing else.
+
+    Leaner than :func:`repro.apps.sale_rule`: no location or containment
+    upkeep, just the fact the fraud condition probes.
+    """
+    if len(pos_readers) == 1:
+        event = obs(pos_readers[0], Var("o"), t=Var("t"))
+    else:
+        readers = frozenset(pos_readers)
+        event = obs(
+            None,
+            Var("o"),
+            where=lambda observation: observation.reader in readers,
+            t=Var("t"),
+        )
+
+    def record_sale(context: ActivationContext) -> None:
+        observation = context.observations()[0]
+        context.store.database.table("SALE").insert(
+            [observation.obj, observation.reader, observation.timestamp]
+        )
+
+    return Rule(
+        rule_id,
+        "returns sale rule",
+        event,
+        actions=[CallableAction(record_sale)],
+        description="POS reading inserts a SALE row",
+    )
+
+
+def fraud_rule(
+    desk_readers: Sequence[str] = ("ret_desk",),
+    rule_id: str = "rf1",
+) -> Rule:
+    """Alert on returns of items the virtual world never saw sold."""
+    if len(desk_readers) == 1:
+        event = obs(desk_readers[0], Var("o"), t=Var("t"))
+    else:
+        readers = frozenset(desk_readers)
+        event = obs(
+            None,
+            Var("o"),
+            where=lambda observation: observation.reader in readers,
+            t=Var("t"),
+        )
+
+    def never_sold(context: ActivationContext) -> bool:
+        table = context.store.database.table("SALE")
+        return not table.lookup("object_epc", context.bindings["o"])
+
+    return Rule(
+        rule_id,
+        "return fraud rule",
+        event,
+        condition=never_sold,
+        actions=[
+            AlertAction(
+                "fraudulent return of {o}: no sale on record (at {time})"
+            )
+        ],
+        description="returned item has no SALE row",
+    )
+
+
+@dataclass(frozen=True)
+class SaleEvent:
+    item_epc: str
+    pos_reader: str
+    time: float
+
+
+@dataclass(frozen=True)
+class ReturnEvent:
+    item_epc: str
+    time: float
+    fraud: bool
+
+
+@dataclass
+class ReturnsTrace:
+    observations: list[Observation] = field(default_factory=list)
+    sales: list[SaleEvent] = field(default_factory=list)
+    returns: list[ReturnEvent] = field(default_factory=list)
+    end_time: float = 0.0
+
+    def expected_frauds(self) -> list[tuple[str, float]]:
+        return [(r.item_epc, r.time) for r in self.returns if r.fraud]
+
+
+@dataclass
+class ReturnsConfig:
+    pos_readers: tuple[str, ...] = ("ret_pos1", "ret_pos2")
+    desk_reader: str = "ret_desk"
+    sales: int = 12
+    #: fraction of sold items that come back legitimately
+    return_rate: float = 0.3
+    #: fraudulent returns per sale (rounded, at least one)
+    fraud_rate: float = 0.2
+    sale_gap: tuple[float, float] = (3.0, 10.0)
+    return_delay: tuple[float, float] = (30.0, 300.0)
+
+    def __post_init__(self) -> None:
+        if not self.pos_readers:
+            raise ValueError("need at least one POS reader")
+        if self.sales < 1:
+            raise ValueError("need at least one sale")
+        if not 0.0 <= self.return_rate <= 1.0:
+            raise ValueError("return_rate must be in [0, 1]")
+        if self.fraud_rate < 0.0:
+            raise ValueError("fraud_rate must be >= 0")
+        if self.desk_reader in self.pos_readers:
+            raise ValueError("desk reader must differ from POS readers")
+
+
+def simulate_returns(
+    config: ReturnsConfig,
+    rng: Optional[random.Random] = None,
+    factory: Optional[EpcFactory] = None,
+    start_time: float = 0.0,
+) -> ReturnsTrace:
+    """Sales, legitimate returns and never-sold fraudulent returns."""
+    rng = rng if rng is not None else random.Random()
+    factory = factory if factory is not None else EpcFactory()
+    trace = ReturnsTrace()
+    time = start_time
+    for _ in range(config.sales):
+        time += rng.uniform(*config.sale_gap)
+        item = factory.item(1001)
+        pos = rng.choice(config.pos_readers)
+        trace.observations.append(Observation(pos, item, time))
+        trace.sales.append(SaleEvent(item, pos, time))
+        if rng.random() < config.return_rate:
+            return_time = time + rng.uniform(*config.return_delay)
+            trace.observations.append(
+                Observation(config.desk_reader, item, return_time)
+            )
+            trace.returns.append(ReturnEvent(item, return_time, fraud=False))
+    last_sale = time
+    frauds = max(1, round(config.fraud_rate * config.sales))
+    for _ in range(frauds):
+        # Fraud items never touch a POS reader; any time after the first
+        # sale window works, the condition is state- not time-based.
+        fraud_time = last_sale + rng.uniform(1.0, 60.0)
+        item = factory.item(6666)
+        trace.observations.append(
+            Observation(config.desk_reader, item, fraud_time)
+        )
+        trace.returns.append(ReturnEvent(item, fraud_time, fraud=True))
+
+    trace.observations.sort(key=lambda observation: observation.timestamp)
+    trace.end_time = trace.observations[-1].timestamp if trace.observations else 0.0
+    return trace
+
+
+class ReturnsPack(ScenarioPack):
+    """Returns-desk fraud: SALE-table-conditioned return alerts."""
+
+    name = "returns-fraud"
+    description = (
+        "Returns fraud: POS sales feed the SALE table (rs6); a return "
+        "with no sale on record alerts (rf1) — a condition over the "
+        "virtual world, the paper's physical/virtual bridge"
+    )
+    default_size = 12
+    size_unit = "sales"
+
+    def build(self, *, seed: int = 7, size: Optional[int] = None) -> ScenarioRun:
+        size = self.default_size if size is None else size
+        config = ReturnsConfig(sales=size)
+        trace = simulate_returns(config, rng=random.Random(seed))
+
+        def verify(run, store, detections) -> list[OracleCheck]:
+            rows = sorted(
+                (row["object_epc"], row["pos_reader"], round(row["timestamp"], 9))
+                for row in store.database.table("SALE").rows
+            )
+            expected_rows = sorted(
+                (sale.item_epc, sale.pos_reader, round(sale.time, 9))
+                for sale in run.trace.sales
+            )
+            raised = sorted(
+                (d.bindings["o"], round(d.time, 6))
+                for d in detections
+                if d.rule.rule_id == "rf1"
+            )
+            expected_frauds = sorted(
+                (epc, round(time, 6))
+                for epc, time in run.trace.expected_frauds()
+            )
+            legit = sum(1 for r in run.trace.returns if not r.fraud)
+            return [
+                OracleCheck(
+                    "sales_recorded",
+                    rows == expected_rows,
+                    f"{len(rows)} SALE rows, expected {len(expected_rows)}",
+                ),
+                OracleCheck(
+                    "fraud_alerts_match",
+                    raised == expected_frauds,
+                    f"raised {len(raised)}, expected {len(expected_frauds)} "
+                    f"({legit} legitimate returns cleared)",
+                ),
+            ]
+
+        return ScenarioRun(
+            pack=self.name,
+            seed=seed,
+            size=size,
+            rules=[
+                returns_sale_rule(config.pos_readers),
+                fraud_rule((config.desk_reader,)),
+            ],
+            observations=list(trace.observations),
+            end_time=trace.end_time,
+            expected_detections={
+                "rs6": len(trace.sales),
+                "rf1": len(trace.expected_frauds()),
+            },
+            trace=trace,
+            verifier=verify,
+        )
+
+    def episode_source(self, *, lines: int = 4, popular_fraction: float = 0.35):
+        return ReturnsEpisodeSource(
+            lines=lines, popular_fraction=popular_fraction
+        )
+
+
+class ReturnsEpisodeSource(EpisodeSource):
+    """Open-world returns traffic: sales, legit returns, fraud.
+
+    Each line is one store lane with a POS reader and a returns desk.
+    Mix per episode: sale only (one observation), sale + later return
+    (two observations, the line held until the return clears), or a
+    fraudulent return of a *fresh* tag — fresh so no concurrent sale
+    episode can ever insert a SALE row for it and flip the oracle.
+    """
+
+    #: episode mix; must sum to 1
+    SALE = 0.62
+    LEGIT_RETURN = 0.23
+    FRAUD = 0.15
+
+    def __init__(self, *, lines: int = 4, popular_fraction: float = 0.35):
+        if lines < 1:
+            raise ValueError("need at least one line")
+        if not 0.0 <= popular_fraction <= 1.0:
+            raise ValueError("popular_fraction must be in [0, 1]")
+        self.lines = lines
+        self.popular_fraction = popular_fraction
+        self._pos = [f"ret_pos{line}" for line in range(lines)]
+        self._desks = [f"ret_desk{line}" for line in range(lines)]
+
+    def rules(self) -> list:
+        return [
+            returns_sale_rule(tuple(self._pos)),
+            fraud_rule(tuple(self._desks)),
+        ]
+
+    def episode(
+        self,
+        line: int,
+        start: float,
+        rng: random.Random,
+        tags: TagStreams,
+    ) -> Episode:
+        pos, desk = self._pos[line], self._desks[line]
+        roll = rng.random()
+        if roll < self.FRAUD:
+            # Never-sold tag straight to the desk: must alert.
+            item = tags.fresh()
+            return Episode(
+                observations=[Observation(desk, item, start)],
+                expected={"rf1": 1},
+                hold_until=start + rng.uniform(0.5, 2.0),
+            )
+        if roll < self.FRAUD + self.LEGIT_RETURN:
+            # Sold here, returned here a bit later: no alert.  The tag
+            # is fresh so the SALE row this episode inserts is the one
+            # the condition finds — self-contained ground truth.
+            item = tags.fresh()
+            return_time = start + rng.uniform(5.0, 45.0)
+            return Episode(
+                observations=[
+                    Observation(pos, item, start),
+                    Observation(desk, item, return_time),
+                ],
+                expected={"rs6": 1, "rf1": 0},
+                hold_until=return_time + rng.uniform(0.5, 2.0),
+            )
+        # Plain sale; popular tags model repeat-bestseller reads.
+        item = (
+            tags.popular()
+            if rng.random() < self.popular_fraction
+            else tags.fresh()
+        )
+        return Episode(
+            observations=[Observation(pos, item, start)],
+            expected={"rs6": 1},
+            hold_until=start + rng.uniform(0.5, 2.0),
+        )

@@ -68,26 +68,19 @@ def default_fault_plan(seed: int = 7) -> NetworkFaultPlan:
     )
 
 
-def _build_workload(cases: int, seed: int):
-    """(stream, baseline_detections) for one simulated packing run."""
-    import random
+def _build_workload(cases: int, seed: int, scenario: str = "packing"):
+    """(factory, stream, baseline_detections) for one scenario run.
 
-    from ..apps import containment_rule, location_rule
-    from ..core.detector import Engine, FunctionRegistry
-    from ..simulator import PackingConfig, simulate_packing
-    from ..store import RfidStore
+    Any registered scenario pack works — the drill resolves it by name
+    and drives its seeded stream through its own rules, so the soak can
+    exercise e.g. SQL-conditioned rules (``returns-fraud``) or pseudo-
+    event TSEQs (``cold-chain``), not just packing.
+    """
+    from ..scenarios import get_pack
 
-    def factory():
-        return Engine(
-            [containment_rule(), location_rule()],
-            store=RfidStore(),
-            functions=FunctionRegistry(),
-        )
-
-    trace = simulate_packing(
-        PackingConfig(cases=cases), rng=random.Random(seed)
-    )
-    stream = list(trace.observations)
+    run = get_pack(scenario).build(seed=seed, size=cases)
+    factory = run.engine_factory()
+    stream = list(run.observations)
     baseline = _canon(factory().run(stream))
     return factory, stream, baseline
 
@@ -133,6 +126,7 @@ async def _drill(
     directory: str,
     heartbeat_interval: float,
     idle_deadline: float,
+    scenario: str = "packing",
 ) -> dict:
     from ..resilience.durability import DurableEngine
     from ..resilience.durability.engine import (
@@ -142,7 +136,7 @@ async def _drill(
         read_wal,
     )
 
-    factory, stream, baseline = _build_workload(cases, seed)
+    factory, stream, baseline = _build_workload(cases, seed, scenario)
     slices = _split(stream, 4)
     while len(slices) < 4:
         slices.append([])
@@ -315,6 +309,7 @@ async def _drill(
         report = {
             "ok": all(ok for _, ok, _ in checks),
             "seed": seed,
+            "scenario": scenario,
             "cases": cases,
             "observations": len(stream),
             "plan": plan.describe(),
@@ -389,12 +384,15 @@ def run_chaos_serve_drill(
     idle_deadline: float = 2.0,
     timeout: float = 120.0,
     report_path: Optional[str] = None,
+    scenario: str = "packing",
 ) -> dict:
     """Run the soak drill; returns (and optionally writes) its report.
 
-    ``report["ok"]`` is the verdict; ``report["checks"]`` itemizes each
-    invariant with a human-readable detail line.  The same ``seed``
-    replays the same fault schedule — echo it with every failure.
+    ``scenario`` names any registered scenario pack; its seeded stream
+    and rules replace the default packing workload.  ``report["ok"]``
+    is the verdict; ``report["checks"]`` itemizes each invariant with a
+    human-readable detail line.  The same ``seed`` replays the same
+    fault schedule — echo it with every failure.
     """
     if plan is None:
         plan = default_fault_plan(seed)
@@ -411,6 +409,7 @@ def run_chaos_serve_drill(
                 directory,
                 heartbeat_interval,
                 idle_deadline,
+                scenario,
             ),
             timeout,
         )

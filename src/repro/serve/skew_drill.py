@@ -84,19 +84,17 @@ def _build_workload(cases: int, seed: int, horizon: float):
     """(factory, arrival_stream, oracle_detections) for one drill run."""
     import random
 
-    from ..apps import containment_rule, location_rule
     from ..core.detector import Engine, FunctionRegistry, OutOfOrderPolicy
     from ..core.speculate import canonical_key
     from ..resilience.chaos import ChaosConfig, ChaosInjector
-    from ..simulator import (
-        PackingConfig,
-        ShelfConfig,
-        simulate_packing,
-        simulate_shelf,
-    )
+    from ..scenarios import get_pack
+    from ..simulator import ShelfConfig, simulate_shelf
     from ..store import RfidStore
 
-    rules = lambda: [containment_rule(), location_rule(), _outfield_rule()]
+    # The packing half resolves through the scenario registry like every
+    # other drill; its pack carries the containment + location rules.
+    packing = get_pack("packing").build(seed=seed, size=cases)
+    rules = lambda: list(packing.rules) + [_outfield_rule()]
 
     def factory():
         return Engine(
@@ -112,9 +110,6 @@ def _build_workload(cases: int, seed: int, horizon: float):
     # negation — the workload where a held-back re-read makes the
     # speculative engine provisionally declare a removal it must then
     # take back.
-    packing = simulate_packing(
-        PackingConfig(cases=cases), rng=random.Random(seed)
-    )
     shelf = simulate_shelf(
         ShelfConfig(
             reader="shelf1",

@@ -6,8 +6,12 @@ Scenario generators with ground truth:
 * :mod:`~repro.simulator.movement` — location routes (Rule 3),
 * :mod:`~repro.simulator.shelf` — smart shelves (Rule 2),
 * :mod:`~repro.simulator.gate` — security gates (Rule 5),
+* :mod:`~repro.simulator.checkout` — point-of-sale checkout (Rule 6),
 * :mod:`~repro.simulator.supply_chain` — the composed system and the
   Fig. 9 scaling workloads.
+
+Each simulator is also wrapped as a registrable scenario pack — see
+:mod:`repro.scenarios` for name-based lookup and the seeded oracles.
 """
 
 from .checkout import CheckoutConfig, CheckoutTrace, Sale, simulate_checkout

@@ -99,6 +99,18 @@ class Table:
 
     # -- scanning ---------------------------------------------------------------
 
+    def lookup(self, column: str, value: Any) -> list[Row]:
+        """Equality lookup on ``column``, building its hash index on demand.
+
+        The first call pays one scan to build the index; every later
+        call is O(1).  This is the fast path for rule conditions that
+        probe a table per event (e.g. "was this EPC ever sold?") where
+        issuing SQL per observation would rescan the table each time.
+        """
+        if column not in self._indexes:
+            self.create_index(column)
+        return list(self._indexes[column].get(value, ()))
+
     def candidate_rows(
         self, where: Optional[Expr], params: Mapping[str, Any]
     ) -> Iterable[Row]:

@@ -1,0 +1,103 @@
+"""The episode contract between scenario packs and the generator.
+
+The open-world generator does not replay one canned trace — it
+schedules an unbounded stream of short, self-contained **episodes**
+(one checkout sale, one packed case, one return) whose arrival times
+follow the diurnal/burst process and whose tag identities come from
+the shared tag pools.  A pack that wants to power generated workloads
+returns an :class:`EpisodeSource` from
+:meth:`~repro.scenarios.pack.ScenarioPack.episode_source`; packs whose
+ground truth cannot be composed episode-by-episode simply return
+``None`` and stay replay-only.
+
+The contract is deliberately small:
+
+* ``rules()`` / ``placements()`` describe the deployment once, for all
+  lines (stations) the source spans;
+* ``episode(line, start, rng, tags)`` produces one episode at ``start``
+  on ``line``: its time-ordered observations, the per-rule detection
+  counts the ground truth promises, and ``hold_until`` — the stream
+  time until which that line is busy (the generator never overlaps two
+  episodes on one line, which is what keeps chain rules' oracles
+  exact under arbitrary arrival rates);
+* ``program`` optionally renders the same rules as rule-language
+  source, which is what lets the smoke drill ship the scenario across
+  process boundaries to a :class:`~repro.serve.CepRouter` cluster.
+
+``tags`` is the generator's :class:`TagStreams` view: ``fresh()`` mints
+a never-seen item EPC (unique by construction — these are what push
+distinct-EPC cardinality into the millions), ``popular()`` draws a
+Zipf-ranked EPC from the configured universe, and ``fresh_case()``
+mints logistic-unit tags for containment episodes.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Optional, Protocol, Sequence
+
+from ..core.instances import Observation
+
+__all__ = ["Episode", "EpisodeSource", "TagStreams"]
+
+
+class TagStreams(Protocol):
+    """What an episode may draw tags from (implemented by the generator)."""
+
+    def fresh(self) -> str:
+        """A brand-new item EPC, never returned before."""
+        ...
+
+    def fresh_case(self) -> str:
+        """A brand-new logistic-unit (SSCC) EPC."""
+        ...
+
+    def popular(self) -> str:
+        """A Zipf-distributed draw from the popular-tag universe."""
+        ...
+
+
+@dataclass
+class Episode:
+    """One scheduled scenario occurrence.
+
+    ``observations`` must be time-ordered and start no earlier than the
+    ``start`` the source was called with; ``expected`` maps rule ids to
+    the detections this episode adds to the oracle.
+    """
+
+    observations: list[Observation]
+    expected: dict[str, int] = field(default_factory=dict)
+    #: Stream time until which this episode's line stays busy.
+    hold_until: float = 0.0
+
+
+class EpisodeSource:
+    """Base class for pack episode sources.
+
+    Subclasses set :attr:`lines` (how many independent stations the
+    source spans) and implement :meth:`rules` and :meth:`episode`.
+    """
+
+    #: Number of independent stations episodes are scheduled onto.
+    lines: int = 1
+    #: Rule-language rendering of :meth:`rules`, when the scenario can
+    #: cross a process boundary (cluster smoke); ``None`` otherwise.
+    program: Optional[str] = None
+
+    def rules(self) -> list:
+        raise NotImplementedError
+
+    def placements(self) -> Sequence[tuple[str, str]]:
+        """(reader, location) pairs for the store, default none."""
+        return ()
+
+    def episode(
+        self,
+        line: int,
+        start: float,
+        rng: random.Random,
+        tags: TagStreams,
+    ) -> Episode:
+        raise NotImplementedError

@@ -1,0 +1,175 @@
+"""The open-world workload generator: unbounded streams over any pack.
+
+Layers, bottom to top:
+
+* a scenario pack's :class:`~repro.workload.episodes.EpisodeSource`
+  supplies self-contained episodes with per-rule ground truth;
+* :class:`~repro.workload.tags.TagUniverse` supplies tag identity —
+  Zipf-skewed popular tags plus fresh mints that push distinct-EPC
+  cardinality into the millions;
+* :class:`~repro.workload.shaping.ArrivalShaper` supplies arrival
+  times (diurnal sinusoid, seeded burst storms);
+* this module schedules episodes onto lines and merges their
+  observations into one globally time-ordered stream.
+
+Everything is **streamed**: the generator never materializes the
+workload.  Scheduling applies line backpressure (an episode cannot
+start while its line is busy, and the arrival clock never runs ahead
+of the start it produced), so the pending-observation heap holds only
+in-flight episodes — O(lines), however many billion events flow
+through.  Exact expected detection counts accumulate as episodes are
+scheduled, which is what the smoke drill audits delivery against.
+
+An optional :class:`~repro.resilience.chaos.ChaosConfig` wraps the
+output in the same duplicate/disorder faults the chaos drills use;
+counts of applied faults land in :attr:`GeneratedWorkload.chaos_counts`.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from ..core.instances import Observation
+from ..resilience.chaos import ChaosConfig, ChaosInjector
+from .episodes import EpisodeSource
+from .shaping import ArrivalShaper, ShapingConfig
+from .tags import TagUniverse
+
+__all__ = ["GeneratedWorkload", "WorkloadConfig", "WorkloadStats"]
+
+
+@dataclass
+class WorkloadConfig:
+    """Knobs for one generated workload."""
+
+    pack: str = "returns-fraud"
+    seed: int = 7
+    #: stop scheduling new episodes once this many observations exist
+    target_observations: int = 10_000
+    lines: int = 4
+    #: distinct-EPC cardinality of the popular-tag universe
+    cardinality: int = 100_000
+    #: Zipf skew of popular draws, in [0, 1)
+    theta: float = 0.9
+    #: fraction of eligible tag draws that hit the popular universe
+    popular_fraction: float = 0.35
+    shaping: ShapingConfig = field(default_factory=ShapingConfig)
+    #: optional duplicate/disorder fault injection on the output
+    chaos: Optional[ChaosConfig] = None
+
+    def __post_init__(self) -> None:
+        if self.target_observations < 1:
+            raise ValueError("target_observations must be >= 1")
+        if self.lines < 1:
+            raise ValueError("lines must be >= 1")
+
+
+@dataclass
+class WorkloadStats:
+    episodes: int = 0
+    observations: int = 0
+    #: rule id -> detections the ground truth promises
+    expected: dict[str, int] = field(default_factory=dict)
+    #: episodes whose start was pushed back by a busy line
+    deferred: int = 0
+    #: peak size of the pending-observation heap (memory proxy)
+    max_in_flight: int = 0
+    end_time: float = 0.0
+
+    def merge_expected(self, expected: dict[str, int]) -> None:
+        for rule_id, count in expected.items():
+            if count:
+                self.expected[rule_id] = self.expected.get(rule_id, 0) + count
+
+
+class GeneratedWorkload:
+    """One seeded open-world workload: iterate it to stream observations.
+
+    The instance is single-use (it is a generator with accounting
+    attached).  ``stats`` is meaningful once iteration completes;
+    ``tags.distinct_epcs()`` is the exact distinct-EPC count.
+    """
+
+    def __init__(self, source: EpisodeSource, config: WorkloadConfig) -> None:
+        if source.lines != config.lines:
+            raise ValueError(
+                f"episode source spans {source.lines} lines but the config "
+                f"asked for {config.lines}"
+            )
+        self.source = source
+        self.config = config
+        self.rng = random.Random(config.seed)
+        self.tags = TagUniverse(
+            cardinality=config.cardinality,
+            theta=config.theta,
+            rng=random.Random(config.seed + 1),
+        )
+        self.shaper = ArrivalShaper(
+            config.shaping, rng=random.Random(config.seed + 2)
+        )
+        self.stats = WorkloadStats()
+        self.injector = (
+            ChaosInjector(config.chaos) if config.chaos is not None else None
+        )
+        self._consumed = False
+
+    @property
+    def chaos_counts(self) -> Optional[dict]:
+        return self.injector.counts if self.injector is not None else None
+
+    def rules(self) -> list:
+        return self.source.rules()
+
+    def __iter__(self) -> Iterator[Observation]:
+        if self._consumed:
+            raise RuntimeError(
+                "GeneratedWorkload is single-use; build a new one to replay"
+            )
+        self._consumed = True
+        if self.injector is not None:
+            return self.injector.inject(self._generate())
+        return self._generate()
+
+    def _generate(self) -> Iterator[Observation]:
+        config, stats, rng = self.config, self.stats, self.rng
+        free_at = [0.0] * config.lines
+        #: (timestamp, tie-break, observation) — the in-flight frontier
+        pending: list[tuple[float, int, Observation]] = []
+        tie = 0
+        clock = 0.0
+        scheduled_observations = 0
+
+        while scheduled_observations < config.target_observations:
+            arrival = self.shaper.next_arrival(clock)
+            # Backpressure: the least-loaded line takes the episode; if
+            # even that line is busy, the start slips and the arrival
+            # clock slips with it, so unstarted episodes never pile up.
+            line = min(range(config.lines), key=free_at.__getitem__)
+            start = max(arrival, free_at[line])
+            if start > arrival:
+                stats.deferred += 1
+            # Every future episode starts strictly after `start`, so
+            # everything pending at or before it is safe to emit.
+            while pending and pending[0][0] <= start:
+                yield heapq.heappop(pending)[2]
+            episode = self.source.episode(line, start, rng, self.tags)
+            free_at[line] = max(episode.hold_until, start)
+            for observation in episode.observations:
+                heapq.heappush(
+                    pending, (observation.timestamp, tie, observation)
+                )
+                tie += 1
+                if observation.timestamp > stats.end_time:
+                    stats.end_time = observation.timestamp
+            scheduled_observations += len(episode.observations)
+            stats.episodes += 1
+            stats.observations += len(episode.observations)
+            stats.merge_expected(episode.expected)
+            stats.max_in_flight = max(stats.max_in_flight, len(pending))
+            clock = start
+
+        while pending:
+            yield heapq.heappop(pending)[2]

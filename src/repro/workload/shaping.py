@@ -1,0 +1,114 @@
+"""Arrival-time shaping: diurnal rhythm plus seeded burst storms.
+
+Episode arrivals follow a non-homogeneous Poisson process whose rate
+function composes two real-world effects:
+
+* a **diurnal sinusoid** — stores and docks are busy at noon and quiet
+  at night: ``base * (1 + amplitude * sin(2*pi*t/period + phase))``;
+* **bursts** — promotions, truck arrivals, shift changes: seeded
+  intervals during which the rate is multiplied by ``burst_factor``.
+
+Sampling uses Lewis-Shedler thinning: draw exponential gaps at the
+peak rate, accept each candidate with ``rate(t)/peak``.  The burst
+schedule is generated lazily ahead of the simulation clock, so the
+shaper is O(1) memory no matter how long the stream runs.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = ["ArrivalShaper", "ShapingConfig"]
+
+
+@dataclass(frozen=True)
+class ShapingConfig:
+    """Rate-function knobs; rates are episodes per second."""
+
+    base_rate: float = 50.0
+    #: diurnal modulation depth in [0, 1); 0 disables the sinusoid
+    diurnal_amplitude: float = 0.4
+    #: seconds per diurnal cycle (a compressed "day" by default)
+    diurnal_period: float = 3600.0
+    diurnal_phase: float = 0.0
+    #: expected seconds between burst starts; 0 disables bursts
+    burst_every: float = 600.0
+    burst_duration: tuple[float, float] = (20.0, 60.0)
+    #: rate multiplier while a burst is active
+    burst_factor: float = 4.0
+
+    def __post_init__(self) -> None:
+        if self.base_rate <= 0:
+            raise ValueError("base_rate must be positive")
+        if not 0.0 <= self.diurnal_amplitude < 1.0:
+            raise ValueError("diurnal_amplitude must be in [0, 1)")
+        if self.diurnal_period <= 0:
+            raise ValueError("diurnal_period must be positive")
+        if self.burst_every < 0:
+            raise ValueError("burst_every must be >= 0")
+        if self.burst_factor < 1.0:
+            raise ValueError("burst_factor must be >= 1")
+        if self.burst_duration[0] <= 0 or self.burst_duration[0] > self.burst_duration[1]:
+            raise ValueError("burst_duration bounds must satisfy 0 < low <= high")
+
+
+class ArrivalShaper:
+    """Seeded arrival-time generator over the shaped rate function."""
+
+    def __init__(
+        self,
+        config: Optional[ShapingConfig] = None,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        self.config = config if config is not None else ShapingConfig()
+        self.rng = rng if rng is not None else random.Random()
+        self._peak = (
+            self.config.base_rate
+            * (1.0 + self.config.diurnal_amplitude)
+            * (self.config.burst_factor if self.config.burst_every else 1.0)
+        )
+        # Lazy burst schedule: the currently active/next burst interval.
+        self._burst_start = math.inf
+        self._burst_end = -math.inf
+        if self.config.burst_every:
+            self._burst_start = self.rng.expovariate(
+                1.0 / self.config.burst_every
+            )
+            self._burst_end = self._burst_start + self.rng.uniform(
+                *self.config.burst_duration
+            )
+
+    def _advance_bursts(self, time: float) -> None:
+        while self.config.burst_every and time > self._burst_end:
+            self._burst_start = self._burst_end + self.rng.expovariate(
+                1.0 / self.config.burst_every
+            )
+            self._burst_end = self._burst_start + self.rng.uniform(
+                *self.config.burst_duration
+            )
+
+    def in_burst(self, time: float) -> bool:
+        self._advance_bursts(time)
+        return self._burst_start <= time <= self._burst_end
+
+    def rate(self, time: float) -> float:
+        """Instantaneous episode rate at ``time``."""
+        config = self.config
+        diurnal = 1.0 + config.diurnal_amplitude * math.sin(
+            2.0 * math.pi * time / config.diurnal_period + config.diurnal_phase
+        )
+        rate = config.base_rate * diurnal
+        if self.in_burst(time):
+            rate *= config.burst_factor
+        return rate
+
+    def next_arrival(self, after: float) -> float:
+        """The next arrival strictly after ``after`` (thinning)."""
+        time = after
+        while True:
+            time += self.rng.expovariate(self._peak)
+            if self.rng.random() * self._peak <= self.rate(time):
+                return time

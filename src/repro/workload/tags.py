@@ -1,0 +1,133 @@
+"""Tag pools: millions of distinct EPCs in O(active tags) memory.
+
+The generator needs two kinds of tag identity:
+
+* **fresh** tags — never seen before, minted on demand.  These push
+  distinct-EPC cardinality arbitrarily high; memory cost is one
+  integer counter per pool, not one string per tag.
+* **popular** tags — Zipf-ranked draws from a configurable universe of
+  up to millions of EPCs.  The universe is *virtual*: rank ``i`` maps
+  to a deterministic SGTIN-96 serial, encoded on demand.  Only the
+  hottest ranks (which Zipf hits constantly) are cached; cold ranks
+  are re-encoded per draw, so a 10-million-tag universe costs a few
+  thousand cached strings, not ten million.
+
+Distinct-EPC accounting is exact and cheap: fresh pools count mints,
+and popular draws set bits in a ``cardinality/8``-byte bitmap whose
+popcount is the number of distinct universe tags actually touched.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from ..epc import Sgtin96, Sscc96
+from .zipf import ZipfSampler
+
+__all__ = ["TagUniverse"]
+
+#: Item references partitioning the SGTIN serial spaces so fresh and
+#: popular tags can never collide.
+_POPULAR_REF = 500001
+_FRESH_REF = 900001
+
+#: Ranks below this are cached permanently (Zipf hits them constantly).
+_HOT_CACHE_RANKS = 4096
+
+
+class TagUniverse:
+    """Implements :class:`repro.workload.episodes.TagStreams`.
+
+    >>> tags = TagUniverse(cardinality=1000, theta=0.9,
+    ...                    rng=random.Random(5))
+    >>> tags.fresh() != tags.fresh()
+    True
+    >>> _ = tags.popular()
+    >>> tags.distinct_epcs() >= 3
+    True
+    """
+
+    def __init__(
+        self,
+        cardinality: int = 100_000,
+        theta: float = 0.99,
+        rng: Optional[random.Random] = None,
+        company_prefix: int = 614141,
+        company_digits: int = 7,
+    ) -> None:
+        if cardinality < 1:
+            raise ValueError("cardinality must be >= 1")
+        self.cardinality = cardinality
+        self.company_prefix = company_prefix
+        self.company_digits = company_digits
+        self._sampler = ZipfSampler(
+            cardinality,
+            theta=theta,
+            rng=rng if rng is not None else random.Random(),
+        )
+        self._fresh_serial = 0
+        self._case_serial = 0
+        self._seen = bytearray((cardinality + 7) // 8)
+        self._seen_count = 0
+        self._hot_cache: dict[int, str] = {}
+        self.popular_draws = 0
+
+    # -- TagStreams ---------------------------------------------------------
+
+    def fresh(self) -> str:
+        self._fresh_serial += 1
+        return Sgtin96(
+            1,
+            self.company_prefix,
+            self.company_digits,
+            _FRESH_REF,
+            self._fresh_serial,
+        ).to_hex()
+
+    def fresh_case(self) -> str:
+        self._case_serial += 1
+        return Sscc96(
+            2, self.company_prefix, self.company_digits, self._case_serial
+        ).to_hex()
+
+    def popular(self) -> str:
+        rank = self._sampler.sample()
+        self.popular_draws += 1
+        byte, bit = rank >> 3, 1 << (rank & 7)
+        if not self._seen[byte] & bit:
+            self._seen[byte] |= bit
+            self._seen_count += 1
+        return self.epc_for_rank(rank)
+
+    # -- accounting ---------------------------------------------------------
+
+    def epc_for_rank(self, rank: int) -> str:
+        """Deterministic EPC of universe rank ``rank`` (0-based)."""
+        if not 0 <= rank < self.cardinality:
+            raise ValueError(f"rank {rank} out of [0, {self.cardinality})")
+        cached = self._hot_cache.get(rank)
+        if cached is not None:
+            return cached
+        epc = Sgtin96(
+            1,
+            self.company_prefix,
+            self.company_digits,
+            _POPULAR_REF,
+            rank + 1,
+        ).to_hex()
+        if rank < _HOT_CACHE_RANKS:
+            self._hot_cache[rank] = epc
+        return epc
+
+    def fresh_count(self) -> int:
+        """Distinct fresh tags minted so far (items plus cases)."""
+        return self._fresh_serial + self._case_serial
+
+    def popular_distinct(self) -> int:
+        """Distinct universe tags actually drawn so far."""
+        return self._seen_count
+
+    def distinct_epcs(self) -> int:
+        """Total distinct EPCs handed out (exact, by construction)."""
+        return self.fresh_count() + self._seen_count

@@ -24,11 +24,14 @@ import repro.lang.printer
 import repro.readers.reader
 import repro.readers.streams
 import repro.rules.rule
+import repro.scenarios
 import repro.simulator.network
 import repro.simulator.packing
 import repro.sql.executor
 import repro.sql.parser
 import repro.store.render
+import repro.workload.tags
+import repro.workload.zipf
 
 MODULES = [
     repro.core.contexts,
@@ -46,11 +49,14 @@ MODULES = [
     repro.readers.reader,
     repro.readers.streams,
     repro.rules.rule,
+    repro.scenarios,
     repro.simulator.network,
     repro.simulator.packing,
     repro.sql.executor,
     repro.sql.parser,
     repro.store.render,
+    repro.workload.tags,
+    repro.workload.zipf,
 ]
 
 

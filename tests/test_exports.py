@@ -1,0 +1,54 @@
+"""Export completeness: ``__all__`` must match each package's surface.
+
+A public name bound in the package namespace that is missing from
+``__all__`` is invisible to ``from pkg import *`` and to doc tooling; a
+name in ``__all__`` that does not resolve is an ImportError waiting for
+the first star-import.  These tests pin both directions for the
+packages that form the system's public seams.
+"""
+
+import importlib
+import inspect
+
+import pytest
+
+PACKAGES = [
+    "repro.scenarios",
+    "repro.serve",
+    "repro.simulator",
+    "repro.workload",
+]
+
+
+def _public_surface(module) -> set:
+    """Public, non-module names actually bound in the namespace."""
+    return {
+        name
+        for name, value in vars(module).items()
+        if not name.startswith("_") and not inspect.ismodule(value)
+    }
+
+
+@pytest.mark.parametrize("package", PACKAGES)
+def test_all_matches_public_names(package):
+    module = importlib.import_module(package)
+    exported = set(module.__all__)
+    public = _public_surface(module)
+    assert exported == public, (
+        f"{package}: missing from __all__: {sorted(public - exported)}; "
+        f"in __all__ but not bound: {sorted(exported - public)}"
+    )
+
+
+@pytest.mark.parametrize("package", PACKAGES)
+def test_all_unique(package):
+    module = importlib.import_module(package)
+    exported = list(module.__all__)
+    assert len(exported) == len(set(exported)), f"{package}: duplicates"
+
+
+@pytest.mark.parametrize("package", PACKAGES)
+def test_star_import_resolves(package):
+    module = importlib.import_module(package)
+    for name in module.__all__:
+        assert hasattr(module, name), f"{package}.{name} does not resolve"

@@ -1,0 +1,256 @@
+"""Open-world workload generator: sampler, shaper, episodes, oracle.
+
+The generator's promise is unusual: production-shaped, unbounded-feel
+streams whose ground truth stays *exact*.  These tests pin the three
+legs separately (Zipf popularity, arrival shaping, episode scheduling)
+and then the combined promise — a direct engine over the generated
+stream must produce exactly the per-rule detection counts the
+generator accumulated while emitting it.
+"""
+
+import random
+
+import pytest
+
+from repro.core.detector import Engine, FunctionRegistry
+from repro.scenarios import get_pack
+from repro.store import RfidStore
+from repro.workload import (
+    ArrivalShaper,
+    GeneratedWorkload,
+    ShapingConfig,
+    TagUniverse,
+    WorkloadConfig,
+    ZipfSampler,
+    zeta,
+)
+
+WORKLOAD_PACKS = ["checkout", "packing", "returns-fraud"]
+
+
+class TestZipf:
+    def test_seeded_determinism(self):
+        a = ZipfSampler(10_000, theta=0.9, rng=random.Random(5))
+        b = ZipfSampler(10_000, theta=0.9, rng=random.Random(5))
+        assert [a.sample() for _ in range(500)] == [
+            b.sample() for _ in range(500)
+        ]
+
+    def test_frequency_rank_monotonicity(self):
+        """Hot ranks must actually be drawn more often, in rank order."""
+        sampler = ZipfSampler(1_000, theta=0.99, rng=random.Random(11))
+        counts = [0] * 1_000
+        for _ in range(50_000):
+            counts[sampler.sample()] += 1
+        assert counts[0] > counts[1] > counts[4]
+        assert counts[0] > 20 * counts[500]
+
+    def test_theta_zero_is_uniform(self):
+        sampler = ZipfSampler(100, theta=0.0, rng=random.Random(3))
+        counts = [0] * 100
+        for _ in range(20_000):
+            counts[sampler.sample()] += 1
+        assert min(counts) > 0
+        assert max(counts) < 3 * min(counts)
+        assert sampler.probability(0) == sampler.probability(99)
+
+    def test_probabilities_sum_to_one(self):
+        sampler = ZipfSampler(200, theta=0.8)
+        total = sum(sampler.probability(rank) for rank in range(200))
+        assert total == pytest.approx(1.0)
+
+    def test_probability_matches_empirical_head(self):
+        sampler = ZipfSampler(100, theta=0.9, rng=random.Random(7))
+        draws = 100_000
+        hits = sum(sampler.sample() == 0 for _ in range(draws))
+        assert hits / draws == pytest.approx(
+            sampler.probability(0), rel=0.1
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ZipfSampler(0)
+        with pytest.raises(ValueError):
+            ZipfSampler(10, theta=1.0)
+        with pytest.raises(ValueError):
+            ZipfSampler(10).probability(10)
+
+    def test_zeta_cached_and_correct(self):
+        assert zeta(3, 1.0) == pytest.approx(1 + 1 / 2 + 1 / 3)
+        assert zeta(3, 1.0) == zeta(3, 1.0)
+
+
+class TestShaper:
+    def test_seeded_determinism(self):
+        config = ShapingConfig(base_rate=20.0)
+        a = ArrivalShaper(config, rng=random.Random(2))
+        b = ArrivalShaper(config, rng=random.Random(2))
+        times_a, times_b, t_a, t_b = [], [], 0.0, 0.0
+        for _ in range(200):
+            t_a = a.next_arrival(t_a)
+            t_b = b.next_arrival(t_b)
+            times_a.append(t_a)
+            times_b.append(t_b)
+        assert times_a == times_b
+
+    def test_arrivals_strictly_increase(self):
+        shaper = ArrivalShaper(ShapingConfig(), rng=random.Random(4))
+        t = 0.0
+        for _ in range(500):
+            nxt = shaper.next_arrival(t)
+            assert nxt > t
+            t = nxt
+
+    def test_burst_density_exceeds_calm_density(self):
+        config = ShapingConfig(
+            base_rate=10.0,
+            diurnal_amplitude=0.0,
+            burst_every=200.0,
+            burst_duration=(40.0, 60.0),
+            burst_factor=8.0,
+        )
+        shaper = ArrivalShaper(config, rng=random.Random(6))
+        burst, calm, t = [], [], 0.0
+        for _ in range(8_000):
+            t = shaper.next_arrival(t)
+            (burst if shaper.in_burst(t) else calm).append(t)
+        assert burst and calm
+
+        def density(times):
+            return len(times) / (max(times) - min(times))
+
+        assert density(burst) > 3 * density(calm)
+
+    def test_no_bursts_when_disabled(self):
+        shaper = ArrivalShaper(
+            ShapingConfig(burst_every=0.0), rng=random.Random(1)
+        )
+        assert not any(
+            shaper.in_burst(float(t)) for t in range(0, 1000, 10)
+        )
+
+    def test_diurnal_rate_oscillates(self):
+        config = ShapingConfig(
+            base_rate=10.0,
+            diurnal_amplitude=0.5,
+            diurnal_period=100.0,
+            burst_every=0.0,
+        )
+        shaper = ArrivalShaper(config, rng=random.Random(1))
+        assert shaper.rate(25.0) == pytest.approx(15.0)
+        assert shaper.rate(75.0) == pytest.approx(5.0)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            ShapingConfig(diurnal_amplitude=1.0)
+        with pytest.raises(ValueError):
+            ShapingConfig(burst_factor=0.5)
+
+
+class TestTagUniverse:
+    def test_fresh_tags_never_repeat(self):
+        tags = TagUniverse(cardinality=100, theta=0.5, rng=random.Random(1))
+        drawn = [tags.fresh() for _ in range(500)]
+        drawn += [tags.fresh_case() for _ in range(100)]
+        assert len(set(drawn)) == len(drawn)
+        assert tags.fresh_count() == 600
+
+    def test_popular_draws_repeat_and_count_distinct(self):
+        tags = TagUniverse(cardinality=50, theta=0.99, rng=random.Random(2))
+        drawn = [tags.popular() for _ in range(2_000)]
+        assert len(set(drawn)) <= 50
+        assert tags.popular_distinct() == len(set(drawn))
+        assert tags.distinct_epcs() == tags.popular_distinct()
+
+    def test_distinct_epcs_combines_pools(self):
+        tags = TagUniverse(cardinality=10, theta=0.0, rng=random.Random(3))
+        tags.fresh()
+        tags.popular()
+        assert tags.distinct_epcs() == 2
+
+
+class TestGeneratedWorkload:
+    def _workload(self, pack_name, **overrides):
+        pack = get_pack(pack_name)
+        config = WorkloadConfig(
+            pack=pack_name,
+            seed=13,
+            target_observations=overrides.pop("target", 1_500),
+            lines=4,
+            cardinality=5_000,
+            theta=0.9,
+            **overrides,
+        )
+        return GeneratedWorkload(pack.episode_source(lines=4), config)
+
+    @pytest.mark.parametrize("pack_name", WORKLOAD_PACKS)
+    def test_stream_is_time_ordered(self, pack_name):
+        workload = self._workload(pack_name)
+        last = -1.0
+        for observation in workload:
+            assert observation.timestamp >= last
+            last = observation.timestamp
+        assert workload.stats.observations >= 1_500
+
+    @pytest.mark.parametrize("pack_name", WORKLOAD_PACKS)
+    def test_seeded_determinism(self, pack_name):
+        def key(workload):
+            return [
+                (o.reader, o.obj, o.timestamp) for o in workload
+            ]
+
+        assert key(self._workload(pack_name)) == key(
+            self._workload(pack_name)
+        )
+
+    def test_single_use_iterator(self):
+        workload = self._workload("checkout", target=100)
+        list(workload)
+        with pytest.raises(RuntimeError):
+            list(workload)
+
+    @pytest.mark.parametrize("pack_name", WORKLOAD_PACKS)
+    def test_oracle_consistency(self, pack_name):
+        """Engine detections over the stream == generator ground truth."""
+        workload = self._workload(pack_name)
+        store = RfidStore()
+        for reader, location in workload.source.placements():
+            store.place_reader(reader, location)
+        engine = Engine(
+            workload.rules(),
+            store=store,
+            functions=FunctionRegistry(),
+            context="chronicle",
+        )
+        for observation in workload:
+            engine.submit(observation)
+        engine.flush()
+        assert dict(engine.stats.per_rule) == dict(workload.stats.expected)
+
+    def test_bounded_in_flight(self):
+        workload = self._workload("returns-fraud", target=3_000)
+        list(workload)
+        # Line backpressure: the pending heap stays O(lines), far below
+        # the stream length.
+        assert workload.stats.max_in_flight <= 64
+
+    def test_chaos_wrapping(self):
+        from repro.resilience import ChaosConfig
+
+        workload = self._workload(
+            "checkout",
+            target=800,
+            chaos=ChaosConfig(seed=3, duplicate_rate=0.1),
+        )
+        emitted = sum(1 for _ in workload)
+        counts = workload.chaos_counts
+        assert counts["duplicated"] > 0
+        assert emitted == counts["delivered"] + counts["duplicated"]
+
+    def test_lines_mismatch_rejected(self):
+        pack = get_pack("packing")
+        with pytest.raises(ValueError):
+            GeneratedWorkload(
+                pack.episode_source(lines=2),
+                WorkloadConfig(pack="packing", lines=4),
+            )
